@@ -1,0 +1,103 @@
+// Shared helpers for the figure-reproduction benches: multi-client open-loop load
+// generation and table printing. Each bench binary reproduces one figure of the paper's
+// evaluation (§6) and prints the series the figure plots, plus the paper's reference
+// numbers where the text states them.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/lazylog/shared_log_client.h"
+#include "src/workload/drivers.h"
+
+namespace lazylog {
+
+// A fleet of open-loop appenders, each with its own client (own simulated NIC), jointly
+// producing `total_rate` appends/s — mirroring the paper's multi-machine load generators.
+class AppenderFleet {
+ public:
+  AppenderFleet(EventLoop* loop, std::vector<std::unique_ptr<SharedLogClient>> clients,
+                double total_rate, size_t record_bytes, uint64_t warmup_ns) {
+    const double per = total_rate / static_cast<double>(clients.size());
+    clients_ = std::move(clients);
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      OpenLoopAppender::Options opt;
+      opt.rate_per_sec = per;
+      opt.record_bytes = record_bytes;
+      opt.warmup_ns = warmup_ns;
+      appenders_.push_back(
+          std::make_unique<OpenLoopAppender>(loop, clients_[i].get(), opt, 100 + i));
+    }
+  }
+
+  void Start() {
+    for (auto& a : appenders_) {
+      a->Start();
+    }
+  }
+  void Stop() {
+    for (auto& a : appenders_) {
+      a->Stop();
+    }
+  }
+
+  Histogram MergedLatency() const {
+    Histogram h;
+    for (const auto& a : appenders_) {
+      h.Merge(a->latency());
+    }
+    return h;
+  }
+  uint64_t TotalAcked() const {
+    uint64_t n = 0;
+    for (const auto& a : appenders_) {
+      n += a->acked();
+    }
+    return n;
+  }
+  double MeasuredRate(SimTime now) const {
+    double r = 0;
+    for (const auto& a : appenders_) {
+      r += a->MeasuredRate(now);
+    }
+    return r;
+  }
+  OpenLoopAppender& appender(size_t i) { return *appenders_[i]; }
+  size_t size() const { return appenders_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<SharedLogClient>> clients_;
+  std::vector<std::unique_ptr<OpenLoopAppender>> appenders_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintLatencyRow(const std::string& label, const Histogram& h) {
+  std::printf("  %-34s mean=%-10s p50=%-10s p99=%-10s n=%llu\n", label.c_str(),
+              FormatNanos(h.Mean()).c_str(), FormatNanos(h.Percentile(0.5)).c_str(),
+              FormatNanos(h.Percentile(0.99)).c_str(),
+              static_cast<unsigned long long>(h.count()));
+}
+
+inline void PrintCdf(const std::string& label, const Histogram& h, size_t points = 12) {
+  std::printf("  CDF %s:\n", label.c_str());
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}) {
+    std::printf("    p%-6.1f %s\n", q * 100, FormatNanos(h.Percentile(q)).c_str());
+  }
+}
+
+inline void PrintPaperNote(const std::string& note) {
+  std::printf("  [paper] %s\n", note.c_str());
+}
+
+}  // namespace lazylog
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,29 @@
+// Figure 8: reads lagging appends by a small window (3 ms), Erwin-m vs Corfu, at
+// matched append+read rates of 15K/30K/45K ops/s. Because the lag gives background
+// ordering time to finish, Erwin reads take the fast path and approximate Corfu's read
+// latency (slightly above, from contention with background batch writes at the shards),
+// while Erwin appends stay ~4x lower.
+#include <cstdio>
+
+#include "bench/readlag_common.h"
+
+int main() {
+  using namespace lazylog;
+  PrintHeader("Figure 8: Reads lagging appends by 3ms, Erwin-m vs Corfu (4KB, 1 shard)");
+  for (double rate : {15'000.0, 30'000.0, 45'000.0}) {
+    std::printf("\n-- append+read rate %.0fK ops/s --\n", rate / 1000);
+    ReadLagResult erwin = RunErwin(rate, kLagNs);
+    ReadLagResult corfu = RunCorfu(rate, kLagNs);
+    PrintLatencyRow("Erwin append", erwin.append);
+    PrintLatencyRow("Corfu append", corfu.append);
+    PrintLatencyRow("Erwin read", erwin.read);
+    PrintLatencyRow("Corfu read", corfu.read);
+    std::printf("  Erwin slow-path reads: %llu (of %llu)\n",
+                static_cast<unsigned long long>(erwin.slow_reads),
+                static_cast<unsigned long long>(erwin.read.count()));
+  }
+  PrintPaperNote("With a 3ms lag, ordering completes before reads arrive: Erwin reads");
+  PrintPaperNote("approximate Corfu's (slightly higher from contention with background");
+  PrintPaperNote("writes), while Erwin appends remain ~4x lower (Fig 8).");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 13: Erwin-st scalability vs Erwin-m. (a) Throughput as shards grow from 3 to
+// 10 with 4KB and 8KB records: Erwin-m flattens (data through the sequencing layer)
+// while Erwin-st scales (only 32B metadata through the layer; data goes straight to
+// shards). The paper reports ~700K 4KB appends/s at 10 shards. (b) Throughput vs
+// latency for Erwin-st at 10 shards / 4KB: ~29us at 700K appends/s.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lazylog/erwin_cluster.h"
+
+namespace lazylog {
+namespace {
+
+constexpr uint64_t kWarmup = 50 * kMs;
+constexpr uint64_t kRun = 200 * kMs;
+
+struct Measurement {
+  double rate = 0;
+  Histogram latency;
+};
+
+Measurement MeasureAt(ErwinMode mode, uint32_t shards, size_t record_bytes, double offered) {
+  ErwinClusterOptions opt;
+  opt.mode = mode;
+  opt.num_shards = shards;
+  opt.shard_replication = 2;
+  opt.with_control_plane = false;
+  ErwinCluster cluster(opt);
+  std::vector<std::unique_ptr<SharedLogClient>> clients;
+  for (size_t i = 0; i < 24; ++i) {
+    clients.push_back(cluster.MakeClient());
+  }
+  AppenderFleet fleet(&cluster.loop(), std::move(clients), offered, record_bytes, kWarmup);
+  fleet.Start();
+  cluster.RunFor(kRun);
+  fleet.Stop();
+  Measurement m;
+  m.rate = fleet.MeasuredRate(cluster.loop().Now());
+  m.latency = fleet.MergedLatency();
+  return m;
+}
+
+double Saturate(ErwinMode mode, uint32_t shards, size_t record_bytes) {
+  // Analytic starting point: Erwin-m is bound by the sequencing layer's record
+  // processing; Erwin-st by min(total shard disk bandwidth, metadata sequencing).
+  const SimParams params;
+  double capacity;
+  if (mode == ErwinMode::kM) {
+    capacity = 1e9 / (params.seq_cpu.fixed_ns +
+                      record_bytes / params.seq_cpu.copy_bandwidth_bytes_per_sec * 1e9);
+  } else {
+    const double disk = shards * params.disk.write_bandwidth_bytes_per_sec / record_bytes;
+    const double meta =
+        1e9 / (params.seq_cpu.fixed_ns + params.seq.metadata_entry_bytes /
+                                             params.seq_cpu.copy_bandwidth_bytes_per_sec * 1e9);
+    capacity = std::min(disk, meta);
+  }
+  double offered = 0.7 * capacity;
+  double best = 0;
+  for (int i = 0; i < 5; ++i) {
+    const Measurement m = MeasureAt(mode, shards, record_bytes, offered);
+    best = std::max(best, m.rate);
+    if (m.rate < offered * 0.95) {
+      break;
+    }
+    offered *= 1.3;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace lazylog
+
+int main() {
+  using namespace lazylog;
+  PrintHeader("Figure 13a: Throughput vs #shards (Erwin-m vs Erwin-st, 4KB and 8KB)");
+  std::printf("  %-8s %-16s %-16s %-16s %-16s\n", "#shards", "Erwin-m 4K", "Erwin-st 4K",
+              "Erwin-m 8K", "Erwin-st 8K");
+  for (uint32_t shards : {3u, 5u, 7u, 10u}) {
+    const double m4 = Saturate(ErwinMode::kM, shards, 4096);
+    const double st4 = Saturate(ErwinMode::kSt, shards, 4096);
+    const double m8 = Saturate(ErwinMode::kM, shards, 8192);
+    const double st8 = Saturate(ErwinMode::kSt, shards, 8192);
+    std::printf("  %-8u %-16.0f %-16.0f %-16.0f %-16.0f\n", shards, m4, st4, m8, st8);
+  }
+  PrintPaperNote("Erwin-m flattens; Erwin-st scales with shards (~700K 4KB appends/s at");
+  PrintPaperNote("10 shards in the paper), limited only by the metadata sequencing layer.");
+
+  PrintHeader("Figure 13b: Throughput vs latency (Erwin-st, 10 shards, 4KB)");
+  std::printf("  %-16s %-12s %-12s\n", "offered (K/s)", "mean", "p99");
+  for (double offered : {150e3, 300e3, 450e3, 600e3, 700e3}) {
+    Measurement m = MeasureAt(ErwinMode::kSt, 10, 4096, offered);
+    std::printf("  %-16.0f %-12s %-12s\n", offered / 1000,
+                FormatNanos(m.latency.Mean()).c_str(),
+                FormatNanos(m.latency.Percentile(0.99)).c_str());
+  }
+  PrintPaperNote("Erwin-st keeps ~tens-of-us latency up to ~700K appends/s (29us at 700K");
+  PrintPaperNote("in the paper) because data and metadata are written in 1 coordinated-free RTT.");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 17: sequencing-layer reconfiguration (§6.10). A sequencing replica is crashed
+// mid-workload; the control plane detects it via ZooKeeperLite session expiry, seals the
+// view, flushes the recovery replica's unordered log to the shards, persists the new
+// configuration, advances stable-gp, and starts the new view. (a) prints the throughput
+// timeline around the crash (~15 ms dip in the paper); (b) the breakdown, dominated by
+// ZooKeeper-based detection and view persistence, with core recovery (seal+flush) being
+// only hundreds of microseconds.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lazylog/erwin_cluster.h"
+
+namespace lazylog {
+namespace {
+constexpr size_t kRecordBytes = 1024;
+}  // namespace
+}  // namespace lazylog
+
+int main() {
+  using namespace lazylog;
+  PrintHeader("Figure 17: Sequencing-layer reconfiguration under a replica crash");
+
+  ErwinClusterOptions opt;
+  opt.mode = ErwinMode::kM;
+  opt.num_shards = 2;
+  opt.shard_replication = 2;
+  opt.with_control_plane = true;
+  ErwinCluster cluster(opt);
+
+  std::vector<std::unique_ptr<ErwinMClient>> clients;
+  std::vector<std::unique_ptr<OpenLoopAppender>> appenders;
+  const double offered = 50'000;
+  const size_t n_clients = 8;
+  uint64_t window_acked = 0;
+  for (size_t i = 0; i < n_clients; ++i) {
+    clients.push_back(cluster.MakeMClient());
+    OpenLoopAppender::Options aopt;
+    aopt.rate_per_sec = offered / n_clients;
+    aopt.record_bytes = kRecordBytes;
+    appenders.push_back(std::make_unique<OpenLoopAppender>(&cluster.loop(),
+                                                           clients[i].get(), aopt, 40 + i));
+    appenders.back()->OnAck([&](uint64_t, SimTime) { window_acked++; });
+    appenders.back()->Start();
+  }
+
+  SimTime crash_at = 0;
+  ReconfigTiming timing;
+  bool have_timing = false;
+  cluster.controller()->OnReconfigured([&](const ReconfigTiming& t) {
+    timing = t;
+    have_timing = true;
+  });
+
+  std::printf("  -- throughput timeline (5 ms windows; follower crashed at t=100ms) --\n");
+  std::printf("  %-10s %-16s\n", "time", "throughput (K/s)");
+  const uint64_t kWindow = 5 * kMs;
+  for (int w = 0; w < 40; ++w) {
+    if (w == 20) {
+      crash_at = cluster.loop().Now();
+      cluster.CrashSeqReplica(2);  // a follower
+    }
+    window_acked = 0;
+    cluster.RunFor(kWindow);
+    std::printf("  %-10s %-16.1f%s\n", (std::to_string((w + 1) * 5) + "ms").c_str(),
+                static_cast<double>(window_acked) / (static_cast<double>(kWindow) / 1e9) / 1000,
+                w == 20 ? "   <- crash injected" : "");
+  }
+  cluster.RunFor(50 * kMs);
+
+  std::printf("\n  -- reconfiguration breakdown (Fig 17b) --\n");
+  if (have_timing && timing.complete) {
+    const double detect = static_cast<double>(timing.detected_at - crash_at) / 1e6;
+    const double seal = static_cast<double>(timing.sealed_at - timing.detected_at) / 1e6;
+    const double flush = static_cast<double>(timing.flushed_at - timing.sealed_at) / 1e6;
+    const double view = static_cast<double>(timing.view_written_at - timing.flushed_at) / 1e6;
+    const double start = static_cast<double>(timing.new_view_at - timing.view_written_at) / 1e6;
+    std::printf("  detect     %8.2f ms   (ZooKeeper session expiry + watch)\n", detect);
+    std::printf("  seal       %8.2f ms\n", seal);
+    std::printf("  flush      %8.2f ms\n", flush);
+    std::printf("  new-view   %8.2f ms   (ZooKeeper config write)\n", view);
+    std::printf("  start-view %8.2f ms\n", start);
+    std::printf("  total      %8.2f ms   (core recovery seal+flush: %.0f us)\n",
+                detect + seal + flush + view + start, (seal + flush) * 1000);
+  } else {
+    std::printf("  reconfiguration did not complete!\n");
+  }
+  PrintPaperNote("~15 ms outage, dominated by ZooKeeper detection and view persistence;");
+  PrintPaperNote("core recovery is ~600 us — a faster coordination service would cut the");
+  PrintPaperNote("outage to ~1 ms (Fig 17).");
+  return 0;
+}

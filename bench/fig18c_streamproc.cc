@@ -1,0 +1,81 @@
+// Figure 18c: journaled stream-processing word count, Corfu vs Erwin-m. Five workers
+// process input batches, durably checkpoint their produced state to the shared log, and
+// only then emit (Samza/MillWheel-style exactly-once). With small batches the
+// checkpoint append dominates record latency (1.66x paper win at batch 500); with big
+// batches compute dominates and the gap narrows (1.17x at 5000).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/streamproc.h"
+#include "src/baselines/corfu/corfu.h"
+#include "src/lazylog/erwin_cluster.h"
+
+namespace lazylog {
+namespace {
+
+constexpr uint64_t kRun = 400 * kMs;
+constexpr int kWorkers = 5;
+
+Histogram RunErwin(uint64_t batch) {
+  ErwinClusterOptions opt;
+  opt.mode = ErwinMode::kM;
+  opt.num_shards = 1;
+  opt.shard_replication = 3;
+  opt.with_control_plane = false;
+  ErwinCluster cluster(opt);
+  std::vector<std::unique_ptr<WordCountWorker>> workers;
+  for (int i = 0; i < kWorkers; ++i) {
+    WordCountWorker::Options wopt;
+    wopt.batch_size = batch;
+    workers.push_back(std::make_unique<WordCountWorker>(&cluster.loop(),
+                                                        cluster.MakeMClient(), wopt, 60 + i));
+    workers.back()->Start();
+  }
+  cluster.RunFor(kRun);
+  Histogram h;
+  for (auto& w : workers) {
+    w->Stop();
+    h.Merge(w->record_latency());
+  }
+  return h;
+}
+
+Histogram RunCorfu(uint64_t batch) {
+  SimParams params;
+  CorfuCluster cluster(1, 3, params);
+  std::vector<std::unique_ptr<WordCountWorker>> workers;
+  for (int i = 0; i < kWorkers; ++i) {
+    WordCountWorker::Options wopt;
+    wopt.batch_size = batch;
+    workers.push_back(std::make_unique<WordCountWorker>(&cluster.loop(),
+                                                        cluster.MakeClient(), wopt, 60 + i));
+    workers.back()->Start();
+  }
+  cluster.RunFor(kRun);
+  Histogram h;
+  for (auto& w : workers) {
+    w->Stop();
+    h.Merge(w->record_latency());
+  }
+  return h;
+}
+
+}  // namespace
+}  // namespace lazylog
+
+int main() {
+  using namespace lazylog;
+  PrintHeader("Figure 18c: Journaled stream-processing word count, Corfu vs Erwin-m");
+  std::printf("  %-12s %-16s %-16s %-8s\n", "batch size", "Journal-Corfu", "Journal-Erwin",
+              "gain");
+  for (uint64_t batch : {500u, 2000u, 5000u}) {
+    Histogram corfu = RunCorfu(batch);
+    Histogram erwin = RunErwin(batch);
+    std::printf("  %-12llu %-16s %-16s %.2fx\n", static_cast<unsigned long long>(batch),
+                FormatNanos(corfu.Mean()).c_str(), FormatNanos(erwin.Mean()).c_str(),
+                corfu.Mean() / erwin.Mean());
+  }
+  PrintPaperNote("Paper: 1.66x lower record latency at batch 500, shrinking to 1.17x at");
+  PrintPaperNote("batch 5000 as compute dominates the checkpoint append (Fig 18c).");
+  return 0;
+}

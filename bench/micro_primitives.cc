@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underlying the simulator
+// and protocol implementations: wire codec, histogram recording, segmented log, event
+// loop scheduling, and zipfian generation.
+#include <benchmark/benchmark.h>
+
+#include "src/common/codec.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/sim/event_loop.h"
+#include "src/storage/segmented_log.h"
+
+namespace lazylog {
+namespace {
+
+void BM_CodecEncodeRecord(benchmark::State& state) {
+  Record rec{RecordId{1, 2}, std::string(static_cast<size_t>(state.range(0)), 'x'), false};
+  for (auto _ : state) {
+    Encoder e;
+    EncodeRecord(e, rec);
+    benchmark::DoNotOptimize(e.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CodecEncodeRecord)->Arg(100)->Arg(4096);
+
+void BM_CodecDecodeRecord(benchmark::State& state) {
+  Record rec{RecordId{1, 2}, std::string(static_cast<size_t>(state.range(0)), 'x'), false};
+  Encoder e;
+  EncodeRecord(e, rec);
+  const std::string buf = e.data();
+  for (auto _ : state) {
+    Decoder d(buf);
+    Record out;
+    DecodeRecord(d, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CodecDecodeRecord)->Arg(100)->Arg(4096);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Add(rng.Uniform(1'000'000));
+  }
+  benchmark::DoNotOptimize(h.Mean());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100'000; ++i) {
+    h.Add(rng.Uniform(1'000'000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Percentile(0.99));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_SegmentedLogAppend(benchmark::State& state) {
+  SegmentedLog log;
+  const Record rec{RecordId{1, 1}, std::string(128, 'x'), false};
+  for (auto _ : state) {
+    log.Append(rec);
+  }
+  benchmark::DoNotOptimize(log.size());
+}
+BENCHMARK(BM_SegmentedLogAppend);
+
+void BM_SegmentedLogGet(benchmark::State& state) {
+  SegmentedLog log;
+  for (int i = 0; i < 100'000; ++i) {
+    log.Append(Record{RecordId{1, static_cast<uint64_t>(i)}, "x", false});
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Get(rng.Uniform(100'000)));
+  }
+}
+BENCHMARK(BM_SegmentedLogGet);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  EventLoop loop;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    loop.Schedule(1, [&sink]() { sink++; });
+    loop.RunOne();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_Zipfian(benchmark::State& state) {
+  ZipfianGenerator zipf(1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+}
+BENCHMARK(BM_Zipfian);
+
+}  // namespace
+}  // namespace lazylog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Example: synchronous audit logging for a transaction-processing service (§6.11).
+// Every transaction executes against a local store and appends an audit record to the
+// shared log before acknowledging; LazyLog makes that synchronous append cheap.
+#include <cstdio>
+
+#include "src/apps/logagg.h"
+#include "src/lazylog/erwin_cluster.h"
+
+using namespace lazylog;
+
+int main() {
+  ErwinClusterOptions options;
+  options.mode = ErwinMode::kM;
+  options.num_shards = 1;
+  options.shard_replication = 3;
+  options.with_control_plane = false;
+  ErwinCluster cluster(options);
+
+  TxnServer server(&cluster.network(), cluster.params(), cluster.MakeClient());
+  TxnClient client(&cluster.network(), cluster.params(), server.node_id());
+
+  struct Step {
+    TxnType type;
+    uint64_t account;
+    int64_t amount;
+    const char* what;
+  };
+  const Step steps[] = {
+      {TxnType::kCreateAccount, 42, 0, "create account 42"},
+      {TxnType::kDeposit, 42, 100, "deposit 100 -> 42"},
+      {TxnType::kWithdraw, 42, 30, "withdraw 30 <- 42"},
+      {TxnType::kBalanceQuery, 42, 0, "balance(42)?"},
+      {TxnType::kTransfer, 42, 50, "transfer 50: 42 -> 43"},
+  };
+  for (const Step& s : steps) {
+    const SimTime start = cluster.loop().Now();
+    client.Execute(s.type, s.account, s.amount, [&, start](bool ok) {
+      std::printf("%-22s -> %-4s (%.1f us, audit logged)\n", s.what, ok ? "ok" : "fail",
+                  static_cast<double>(cluster.loop().Now() - start) / 1000.0);
+    });
+    cluster.RunFor(1 * kMs);
+  }
+  std::printf("committed transactions: %llu (each with a synchronous audit append)\n",
+              static_cast<unsigned long long>(server.committed()));
+  return 0;
+}

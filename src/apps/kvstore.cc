@@ -1,0 +1,138 @@
+#include "src/apps/kvstore.h"
+
+#include "src/common/codec.h"
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+std::string EncodeKvUpdate(const std::string& key, const std::string& value) {
+  Encoder e;
+  e.PutBytes(key);
+  e.PutBytes(value);
+  return e.Take();
+}
+
+bool DecodeKvUpdate(const std::string& record, std::string* key, std::string* value) {
+  Decoder d(record);
+  return d.GetBytes(key) && d.GetBytes(value);
+}
+
+// --- write server ---------------------------------------------------------------------
+
+KvWriteServer::KvWriteServer(Network* net, const SimParams& params,
+                             std::unique_ptr<SharedLogClient> log)
+    : endpoint_(net),
+      cpu_(net->loop(), CpuParams{.fixed_ns = 500, .copy_bandwidth_bytes_per_sec = 4e9}),
+      log_(std::move(log)) {
+  endpoint_.Register(kKvPut, [this](NodeId, Decoder d, Responder r) {
+    std::string key, value;
+    if (!d.GetBytes(&key) || !d.GetBytes(&value)) {
+      r.Send(Status::InvalidArgument("bad put"));
+      return;
+    }
+    // Validate + serialize, then append; the ack waits only for log durability — the
+    // dominant cost of a put in this application (§6.11).
+    cpu_.ExecuteFor(key.size() + value.size(), [this, key, value, r]() mutable {
+      log_->Append(EncodeKvUpdate(key, value), [this, r](bool ok) mutable {
+        puts_++;
+        r.Send(ok ? Status::Ok() : Status::Unavailable("log append failed"));
+      });
+    });
+  });
+}
+
+// --- read server -----------------------------------------------------------------------
+
+KvReadServer::KvReadServer(Network* net, const SimParams& params,
+                           std::unique_ptr<SharedLogClient> log, uint64_t poll_interval_ns)
+    : endpoint_(net),
+      cpu_(net->loop(), CpuParams{.fixed_ns = 400, .copy_bandwidth_bytes_per_sec = 4e9}),
+      log_(std::move(log)),
+      poll_interval_ns_(poll_interval_ns) {
+  endpoint_.Register(kKvGet, [this](NodeId, Decoder d, Responder r) {
+    std::string key;
+    if (!d.GetBytes(&key)) {
+      r.Send(Status::InvalidArgument("bad get"));
+      return;
+    }
+    cpu_.ExecuteFor(key.size(), [this, key, r]() mutable {
+      auto it = state_.find(key);
+      Encoder e;
+      e.PutBytes(it == state_.end() ? std::string() : it->second);
+      r.Ok(e);
+    });
+  });
+  PollLoop();
+}
+
+void KvReadServer::PollLoop() {
+  // "Consume the log at their own pace" (§3.1): check the stable prefix and apply
+  // anything new, then sleep.
+  if (poll_busy_) {
+    endpoint_.loop()->Schedule(poll_interval_ns_, [this]() { PollLoop(); });
+    return;
+  }
+  poll_busy_ = true;
+  log_->CheckTail([this](Status s, LogPos, LogPos stable) {
+    if (!s.ok() || stable <= cursor_) {
+      poll_busy_ = false;
+      endpoint_.loop()->Schedule(poll_interval_ns_, [this]() { PollLoop(); });
+      return;
+    }
+    const LogPos from = cursor_;
+    const uint64_t len = std::min<uint64_t>(stable - cursor_, 1024);
+    cursor_ = from + len;
+    log_->Read(from, len, [this](Status rs, std::vector<PositionedRecord> records) {
+      if (rs.ok()) {
+        for (const PositionedRecord& pr : records) {
+          if (pr.record.no_op) {
+            continue;
+          }
+          std::string key, value;
+          if (DecodeKvUpdate(pr.record.payload, &key, &value)) {
+            state_[key] = value;
+            applied_++;
+          }
+        }
+      }
+      poll_busy_ = false;
+      endpoint_.loop()->Schedule(poll_interval_ns_, [this]() { PollLoop(); });
+    });
+  });
+}
+
+// --- client ------------------------------------------------------------------------------
+
+KvClient::KvClient(Network* net, const SimParams& params, NodeId write_server,
+                   NodeId read_server)
+    : endpoint_(net), params_(params), write_server_(write_server), read_server_(read_server) {}
+
+void KvClient::Put(const std::string& key, const std::string& value, PutCallback cb) {
+  Encoder e;
+  e.PutBytes(key);
+  e.PutBytes(value);
+  endpoint_.Call(write_server_, kKvPut, e.Take(),
+                 [cb](Status s, const std::string&) {
+                   if (cb) {
+                     cb(s.ok());
+                   }
+                 },
+                 params_.rpc_timeout_ns);
+}
+
+void KvClient::Get(const std::string& key, GetCallback cb) {
+  Encoder e;
+  e.PutBytes(key);
+  endpoint_.Call(read_server_, kKvGet, e.Take(),
+                 [cb](Status s, const std::string& body) {
+                   std::string value;
+                   if (s.ok()) {
+                     Decoder d(body);
+                     d.GetBytes(&value);
+                   }
+                   cb(std::move(s), std::move(value));
+                 },
+                 params_.rpc_timeout_ns);
+}
+
+}  // namespace lazylog

@@ -1,0 +1,53 @@
+#include "src/apps/streamproc.h"
+
+namespace lazylog {
+
+namespace {
+const char* const kWords[] = {"the", "quick", "brown", "fox", "jumps", "over",
+                              "lazy", "log",   "shard", "order"};
+}  // namespace
+
+WordCountWorker::WordCountWorker(EventLoop* loop, std::unique_ptr<SharedLogClient> journal,
+                                 Options options, uint64_t seed)
+    : loop_(loop), journal_(std::move(journal)), options_(options), rng_(seed) {}
+
+void WordCountWorker::Start() {
+  running_ = true;
+  RunBatch();
+}
+
+void WordCountWorker::Stop() { running_ = false; }
+
+void WordCountWorker::RunBatch() {
+  if (!running_ || batches_emitted_ >= options_.max_batches) {
+    running_ = false;
+    return;
+  }
+  const SimTime batch_read_at = loop_->Now();
+  // Process: count words for the whole batch (compute charged as simulated time).
+  for (uint64_t i = 0; i < options_.batch_size; ++i) {
+    counts_[kWords[rng_.Uniform(std::size(kWords))]]++;
+  }
+  const uint64_t compute_ns = options_.batch_size * options_.per_record_ns;
+  loop_->Schedule(compute_ns, [this, batch_read_at]() {
+    // Checkpoint the produced state to the journal before emitting (exactly-once).
+    std::string checkpoint(options_.checkpoint_bytes, 'c');
+    journal_->Append(std::move(checkpoint), [this, batch_read_at](bool ok) {
+      if (!running_) {
+        return;
+      }
+      if (ok) {
+        // Emit: every record of the batch is now processed and emitted.
+        const uint64_t latency = loop_->Now() - batch_read_at;
+        for (uint64_t i = 0; i < options_.batch_size; ++i) {
+          record_latency_.Add(latency);
+        }
+        batches_emitted_++;
+        records_emitted_ += options_.batch_size;
+      }
+      RunBatch();
+    });
+  });
+}
+
+}  // namespace lazylog

@@ -1,0 +1,274 @@
+#include "src/baselines/corfu/corfu.h"
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+// --- sequencer -----------------------------------------------------------------------
+
+CorfuSequencer::CorfuSequencer(Network* net, const SimParams& params)
+    : endpoint_(net),
+      cpu_(net->loop(), CpuParams{.fixed_ns = 300, .copy_bandwidth_bytes_per_sec = 10e9}) {
+  endpoint_.Register(kCorfuNextPos, [this](NodeId, Decoder d, Responder r) {
+    cpu_.Execute(cpu_.CostFor(0), [this, r]() mutable {
+      Encoder e;
+      e.PutU64(next_pos_++);
+      r.Ok(e);
+    });
+  });
+  endpoint_.Register(kCorfuTail, [this](NodeId, Decoder d, Responder r) {
+    uint64_t completed = 0;
+    const bool report = d.GetU64(&completed);
+    cpu_.Execute(cpu_.CostFor(0), [this, r, report, completed]() mutable {
+      if (report && completed > committed_) {
+        committed_ = completed;
+      }
+      Encoder e;
+      e.PutU64(next_pos_);
+      e.PutU64(committed_);
+      r.Ok(e);
+    });
+  });
+}
+
+// --- storage unit ----------------------------------------------------------------------
+
+CorfuStorageUnit::CorfuStorageUnit(Network* net, const SimParams& params, ShardId shard_id)
+    : endpoint_(net), cpu_(net->loop(), params.shard_cpu), disk_(net->loop(), params.disk) {
+  endpoint_.Register(kCorfuWrite, [this](NodeId, Decoder d, Responder r) {
+    HandleWrite(d, std::move(r));
+  });
+  endpoint_.Register(kCorfuRead, [this](NodeId, Decoder d, Responder r) {
+    HandleRead(d, std::move(r));
+  });
+}
+
+void CorfuStorageUnit::HandleWrite(Decoder d, Responder r) {
+  uint64_t pos = 0;
+  Record rec;
+  if (!d.GetU64(&pos) || !DecodeRecord(d, &rec)) {
+    r.Send(Status::InvalidArgument("bad corfu write"));
+    return;
+  }
+  cpu_.ExecuteFor(rec.payload.size(), [this, pos, rec = std::move(rec), r]() mutable {
+    auto it = store_.find(pos);
+    if (it != store_.end()) {
+      // Write-once: a duplicate identical write (client retry) is fine; a conflicting
+      // one is an error.
+      r.Send(it->second.id == rec.id ? Status::Ok() : Status::Rejected("position taken"));
+      return;
+    }
+    const uint64_t bytes = rec.payload.size();
+    store_.emplace(pos, std::move(rec));
+    // Flash write happens off the ack path (Corfu acks from the unit's memory/NVRAM);
+    // the disk still applies backpressure at saturation.
+    disk_.Write(bytes);
+    const uint64_t depth = disk_.QueueDepthNs();
+    const uint64_t delay = depth > 2 * kMs ? depth - 2 * kMs : 0;
+    auto finish = [this, pos, r]() mutable {
+      r.Send(Status::Ok());
+      // Wake any read waiting for this position.
+      std::vector<ReadWaiter> rest;
+      for (auto& w : waiters_) {
+        if (w.pos == pos) {
+          Encoder e;
+          EncodeRecord(e, store_[pos]);
+          w.responder.Ok(e);
+        } else {
+          rest.push_back(std::move(w));
+        }
+      }
+      waiters_ = std::move(rest);
+    };
+    if (delay == 0) {
+      finish();
+    } else {
+      endpoint_.loop()->Schedule(delay, std::move(finish));
+    }
+  });
+}
+
+void CorfuStorageUnit::HandleRead(Decoder d, Responder r) {
+  uint64_t pos = 0;
+  bool nowait = false;
+  if (!d.GetU64(&pos) || !d.GetBool(&nowait)) {
+    r.Send(Status::InvalidArgument("bad corfu read"));
+    return;
+  }
+  auto it = store_.find(pos);
+  if (it == store_.end()) {
+    if (nowait) {
+      r.Send(Status::OutOfRange("position unwritten"));
+    } else {
+      waiters_.push_back(ReadWaiter{pos, std::move(r)});
+    }
+    return;
+  }
+  cpu_.ExecuteFor(it->second.payload.size(), [this, pos, r]() mutable {
+    Encoder e;
+    EncodeRecord(e, store_[pos]);
+    r.Ok(e);
+  });
+}
+
+// --- client ----------------------------------------------------------------------------
+
+CorfuClient::CorfuClient(Network* net, const SimParams& params, NodeId sequencer,
+                         std::vector<std::vector<NodeId>> chains, ClientId client_id)
+    : endpoint_(net), params_(params), sequencer_(sequencer), chains_(std::move(chains)),
+      client_id_(client_id) {}
+
+void CorfuClient::Append(std::string payload, AppendCallback cb) {
+  AppendAt(std::move(payload), [cb](Status s, LogPos) { cb(s.ok()); });
+}
+
+void CorfuClient::AppendAt(std::string payload, AppendPosCallback cb) {
+  // RTT 1: obtain a position from the sequencer (not yet binding, §2.2).
+  auto record = std::make_shared<Record>();
+  record->id = RecordId{client_id_, next_request_id_++};
+  record->payload = std::move(payload);
+  endpoint_.Call(sequencer_, kCorfuNextPos, "",
+                 [this, record, cb](Status s, const std::string& body) {
+                   if (!s.ok()) {
+                     cb(std::move(s), kInvalidLogPos);
+                     return;
+                   }
+                   Decoder d(body);
+                   uint64_t pos = 0;
+                   d.GetU64(&pos);
+                   // RTTs 2..1+k: client-driven chain write binds the record.
+                   ChainWrite(pos, record, 0, std::move(cb));
+                 },
+                 params_.rpc_timeout_ns);
+}
+
+void CorfuClient::ChainWrite(LogPos pos, std::shared_ptr<Record> record, size_t hop,
+                             AppendPosCallback cb) {
+  const auto& chain = chains_[pos % chains_.size()];
+  if (hop == chain.size()) {
+    // Written at the chain tail: durable and bound. Report the completed write so the
+    // sequencer's committed tail advances.
+    Encoder e;
+    e.PutU64(pos + 1);
+    endpoint_.Call(sequencer_, kCorfuTail, e.Take(), nullptr, 0);
+    cb(Status::Ok(), pos);
+    return;
+  }
+  Encoder e;
+  e.PutU64(pos);
+  EncodeRecord(e, *record);
+  endpoint_.Call(chain[hop], kCorfuWrite, e.Take(),
+                 [this, pos, record, hop, cb](Status s, const std::string&) {
+                   if (!s.ok()) {
+                     cb(std::move(s), kInvalidLogPos);
+                     return;
+                   }
+                   ChainWrite(pos, record, hop + 1, cb);
+                 },
+                 params_.rpc_timeout_ns);
+}
+
+void CorfuClient::ReadOne(LogPos pos, std::function<void(Status, PositionedRecord)> cb) {
+  // Committed data is read from the chain tail.
+  const auto& chain = chains_[pos % chains_.size()];
+  Encoder e;
+  e.PutU64(pos);
+  e.PutBool(false);
+  endpoint_.Call(chain.back(), kCorfuRead, e.Take(),
+                 [pos, cb](Status s, const std::string& body) {
+                   PositionedRecord pr;
+                   pr.pos = pos;
+                   if (s.ok()) {
+                     Decoder d(body);
+                     if (!DecodeRecord(d, &pr.record)) {
+                       s = Status::Internal("bad corfu read response");
+                     }
+                   }
+                   cb(std::move(s), std::move(pr));
+                 },
+                 0);
+}
+
+void CorfuClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
+  if (len == 0) {
+    cb(Status::Ok(), {});
+    return;
+  }
+  struct State {
+    std::vector<PositionedRecord> records;
+    Status failure = Status::Ok();
+  };
+  auto state = std::make_shared<State>();
+  auto gather = Gather::Create(len, [state, cb](const std::vector<Status>& ss) {
+    for (const Status& s : ss) {
+      if (!s.ok()) {
+        cb(s, {});
+        return;
+      }
+    }
+    std::sort(state->records.begin(), state->records.end(),
+              [](const PositionedRecord& a, const PositionedRecord& b) { return a.pos < b.pos; });
+    cb(Status::Ok(), std::move(state->records));
+  });
+  for (uint64_t i = 0; i < len; ++i) {
+    auto slot = gather->Slot(i);
+    ReadOne(from + i, [state, slot](Status s, PositionedRecord pr) {
+      if (s.ok()) {
+        state->records.push_back(std::move(pr));
+      }
+      slot(std::move(s), "");
+    });
+  }
+}
+
+void CorfuClient::CheckTail(TailCallback cb) {
+  endpoint_.Call(sequencer_, kCorfuTail, "",
+                 [cb](Status s, const std::string& body) {
+                   if (!s.ok()) {
+                     cb(std::move(s), 0, 0);
+                     return;
+                   }
+                   Decoder d(body);
+                   uint64_t next = 0, committed = 0;
+                   d.GetU64(&next);
+                   d.GetU64(&committed);
+                   // Corfu binds eagerly: every committed record is stable.
+                   cb(Status::Ok(), committed, committed);
+                 },
+                 params_.rpc_timeout_ns);
+}
+
+void CorfuClient::Trim(LogPos index, TrimCallback cb) {
+  // Storage units keep a hash map; trim is metadata-only in this baseline.
+  cb(Status::Ok());
+}
+
+// --- cluster ------------------------------------------------------------------------------
+
+CorfuCluster::CorfuCluster(uint32_t num_shards, uint32_t chain_length, const SimParams& params)
+    : params_(params) {
+  net_ = std::make_unique<Network>(&loop_, params_.net, params_.seed);
+  sequencer_ = std::make_unique<CorfuSequencer>(net_.get(), params_);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    std::vector<std::unique_ptr<CorfuStorageUnit>> chain;
+    for (uint32_t r = 0; r < chain_length; ++r) {
+      chain.push_back(std::make_unique<CorfuStorageUnit>(net_.get(), params_, s));
+    }
+    chains_.push_back(std::move(chain));
+  }
+}
+
+std::unique_ptr<CorfuClient> CorfuCluster::MakeClient() {
+  std::vector<std::vector<NodeId>> chains;
+  for (const auto& chain : chains_) {
+    std::vector<NodeId> ids;
+    for (const auto& unit : chain) {
+      ids.push_back(unit->node_id());
+    }
+    chains.push_back(std::move(ids));
+  }
+  return std::make_unique<CorfuClient>(net_.get(), params_, sequencer_->node_id(),
+                                       std::move(chains), next_client_id_++);
+}
+
+}  // namespace lazylog

@@ -1,0 +1,156 @@
+// KafkaLite: a Kafka-style per-shard-ordering shared log (§2.1-2.2). A partition has a
+// leader and followers; producers batch client-side (linger) and the leader acknowledges
+// only after all replicas persist (acks=all). Standalone it exhibits Kafka's ms-scale
+// append latencies (Fig 15); through KafkaShardAdapter it serves as an unmodified
+// black-box shard under Erwin-m, which then delivers total order across Kafka shards at
+// sequencing-layer latencies (§6.8).
+#ifndef SRC_BASELINES_KAFKALITE_KAFKALITE_H_
+#define SRC_BASELINES_KAFKALITE_KAFKALITE_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/params.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/rpc_methods.h"
+#include "src/sim/resources.h"
+#include "src/storage/segmented_log.h"
+#include "src/storage/shard_messages.h"
+
+namespace lazylog {
+
+// One replica of a Kafka partition.
+class KafkaBroker {
+ public:
+  KafkaBroker(Network* net, const SimParams& params, uint32_t partition, bool leader);
+
+  NodeId node_id() const { return endpoint_.node_id(); }
+  void SetFollowers(std::vector<NodeId> followers) { followers_ = std::move(followers); }
+
+  uint64_t log_end_offset() const { return log_.end_index(); }
+  const Record* At(uint64_t offset) const { return log_.Get(offset); }
+
+ private:
+  void HandleProduce(Decoder d, Responder r);
+  void HandleReplicate(Decoder d, Responder r);
+  void HandleFetch(Decoder d, Responder r);
+  void HandleTruncate(Decoder d, Responder r);
+
+  RpcEndpoint endpoint_;
+  ServerCpu cpu_;
+  Disk disk_;
+  SimParams params_;
+  uint32_t partition_;
+  bool leader_;
+  std::vector<NodeId> followers_;
+  SegmentedLog log_;
+};
+
+// Client-side producer with linger-based batching (Kafka's latency story).
+class KafkaProducer {
+ public:
+  KafkaProducer(Network* net, const SimParams& params, NodeId leader, ClientId client_id);
+
+  using ProduceCallback = std::function<void(bool ok)>;
+  // Buffers the record; the batch is flushed after `linger` or at 1 MB.
+  void Produce(std::string payload, ProduceCallback cb);
+  // Forces an immediate flush (tests).
+  void Flush();
+
+ private:
+  void FlushLocked();
+
+  RpcEndpoint endpoint_;
+  SimParams params_;
+  NodeId leader_;
+  ClientId client_id_;
+  RequestId next_request_id_ = 1;
+  std::vector<Record> buffer_;
+  std::vector<ProduceCallback> callbacks_;
+  uint64_t buffered_bytes_ = 0;
+  EventHandle linger_timer_;
+};
+
+// Simple pull consumer.
+class KafkaConsumer {
+ public:
+  KafkaConsumer(Network* net, const SimParams& params, NodeId leader);
+
+  using FetchCallback = std::function<void(Status, std::vector<Record>)>;
+  void Fetch(uint64_t offset, uint32_t max_records, FetchCallback cb);
+
+ private:
+  RpcEndpoint endpoint_;
+  SimParams params_;
+  NodeId leader_;
+};
+
+// Black-box shard adapter: speaks the Erwin-m shard protocol (ordered append batches,
+// stable-gp-gated reads, trim, recovery tail-overwrite) and drives a Kafka partition
+// through its public produce/fetch/truncate API — the bolt-on of §4.1/§6.8. Tail
+// overwrites are "delete tail records, then append" exactly as the paper prescribes
+// for Kafka shards.
+class KafkaShardAdapter {
+ public:
+  KafkaShardAdapter(Network* net, const SimParams& params, ShardId shard_id,
+                    NodeId kafka_leader);
+
+  NodeId node_id() const { return endpoint_.node_id(); }
+  LogPos stable_gp() const { return stable_gp_; }
+  uint64_t slow_reads() const { return slow_reads_; }
+
+ private:
+  struct Waiter {
+    ShardReadReq req;
+    Responder responder;
+  };
+
+  void HandleAppendBatch(Decoder d, Responder r);
+  void HandleRead(Decoder d, Responder r);
+  void HandleSetStableGp(Decoder d, Responder r);
+  void HandleTrim(Decoder d, Responder r);
+  void ServeRead(const ShardReadReq& req, Responder r);
+  void WakeWaiters();
+
+  RpcEndpoint endpoint_;
+  ServerCpu cpu_;
+  SimParams params_;
+  ShardId shard_id_;
+  NodeId kafka_leader_;
+  ViewId view_ = 0;
+  LogPos stable_gp_ = 0;
+  std::deque<LogPos> offset_pos_;  // kafka offset -> global pos (dense from offset_base_)
+  uint64_t offset_base_ = 0;
+  std::unordered_map<LogPos, uint64_t> pos_to_offset_;
+  std::vector<Waiter> waiters_;
+  uint64_t slow_reads_ = 0;
+};
+
+// Standalone KafkaLite deployment: `partitions` partitions, each leader + `replication-1`
+// followers.
+class KafkaCluster {
+ public:
+  KafkaCluster(uint32_t partitions, uint32_t replication, const SimParams& params);
+
+  EventLoop& loop() { return loop_; }
+  Network& network() { return *net_; }
+  NodeId leader(uint32_t partition) const { return brokers_[partition][0]->node_id(); }
+  KafkaBroker& broker(uint32_t partition, uint32_t r) { return *brokers_[partition][r]; }
+  std::unique_ptr<KafkaProducer> MakeProducer(uint32_t partition);
+  std::unique_ptr<KafkaConsumer> MakeConsumer(uint32_t partition);
+  void RunFor(uint64_t ns) { loop_.RunUntil(loop_.Now() + ns); }
+
+ private:
+  SimParams params_;
+  EventLoop loop_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::vector<std::unique_ptr<KafkaBroker>>> brokers_;
+  ClientId next_client_id_ = 1;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_BASELINES_KAFKALITE_KAFKALITE_H_

@@ -1,0 +1,129 @@
+#include "src/baselines/scalog/paxos.h"
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+PaxosAcceptor::PaxosAcceptor(Network* net)
+    : endpoint_(net),
+      cpu_(net->loop(), CpuParams{.fixed_ns = 800, .copy_bandwidth_bytes_per_sec = 5e9}) {
+  endpoint_.Register(kPaxosPrepare, [this](NodeId, Decoder d, Responder r) {
+    uint64_t ballot = 0, slot = 0;
+    if (!d.GetU64(&ballot) || !d.GetU64(&slot)) {
+      r.Send(Status::InvalidArgument("bad prepare"));
+      return;
+    }
+    cpu_.Execute(cpu_.CostFor(0), [this, ballot, slot, r]() mutable {
+      SlotState& s = slots_[slot];
+      if (ballot <= s.promised) {
+        r.Send(Status::Rejected("ballot too low"));
+        return;
+      }
+      s.promised = ballot;
+      Encoder e;
+      e.PutU64(s.accepted_ballot);
+      e.PutBytes(s.accepted_value);
+      r.Ok(e);
+    });
+  });
+  endpoint_.Register(kPaxosAccept, [this](NodeId, Decoder d, Responder r) {
+    uint64_t ballot = 0, slot = 0;
+    std::string value;
+    if (!d.GetU64(&ballot) || !d.GetU64(&slot) || !d.GetBytes(&value)) {
+      r.Send(Status::InvalidArgument("bad accept"));
+      return;
+    }
+    cpu_.ExecuteFor(value.size(), [this, ballot, slot, value = std::move(value), r]() mutable {
+      SlotState& s = slots_[slot];
+      if (ballot < s.promised) {
+        r.Send(Status::Rejected("ballot too low"));
+        return;
+      }
+      s.promised = ballot;
+      s.accepted_ballot = ballot;
+      s.accepted_value = std::move(value);
+      r.Send(Status::Ok());
+    });
+  });
+}
+
+void PaxosProposer::Propose(uint64_t slot, std::string value, CommitCallback cb) {
+  Encoder e;
+  e.PutU64(ballot_);
+  e.PutU64(slot);
+  e.PutBytes(value);
+  const std::string body = e.Take();
+  const size_t n = acceptors_.size();
+  const size_t majority = n / 2 + 1;
+  struct State {
+    size_t acks = 0;
+    size_t done = 0;
+    bool fired = false;
+  };
+  auto state = std::make_shared<State>();
+  for (size_t i = 0; i < n; ++i) {
+    endpoint_->Call(acceptors_[i], kPaxosAccept, body,
+                    [state, majority, n, cb](Status s, const std::string&) {
+                      state->done++;
+                      if (s.ok()) {
+                        state->acks++;
+                      }
+                      if (!state->fired && state->acks >= majority) {
+                        state->fired = true;
+                        cb(Status::Ok());
+                      } else if (!state->fired && state->done == n &&
+                                 state->acks < majority) {
+                        state->fired = true;
+                        cb(Status::Unavailable("no majority"));
+                      }
+                    },
+                    rpc_timeout_ns_);
+  }
+}
+
+void PaxosProposer::Prepare(uint64_t slot, RecoverCallback cb) {
+  Encoder e;
+  e.PutU64(ballot_);
+  e.PutU64(slot);
+  const std::string body = e.Take();
+  const size_t n = acceptors_.size();
+  const size_t majority = n / 2 + 1;
+  struct State {
+    size_t acks = 0;
+    size_t done = 0;
+    bool fired = false;
+    uint64_t best_ballot = 0;
+    std::string best_value;
+    bool has_value = false;
+  };
+  auto state = std::make_shared<State>();
+  for (size_t i = 0; i < n; ++i) {
+    endpoint_->Call(acceptors_[i], kPaxosPrepare, body,
+                    [state, majority, n, cb](Status s, const std::string& resp) {
+                      state->done++;
+                      if (s.ok()) {
+                        state->acks++;
+                        Decoder d(resp);
+                        uint64_t ab = 0;
+                        std::string av;
+                        if (d.GetU64(&ab) && d.GetBytes(&av) && ab > 0 &&
+                            ab >= state->best_ballot) {
+                          state->best_ballot = ab;
+                          state->best_value = std::move(av);
+                          state->has_value = true;
+                        }
+                      }
+                      if (!state->fired && state->acks >= majority) {
+                        state->fired = true;
+                        cb(Status::Ok(), state->has_value, state->best_value);
+                      } else if (!state->fired && state->done == n &&
+                                 state->acks < majority) {
+                        state->fired = true;
+                        cb(Status::Unavailable("no majority"), false, "");
+                      }
+                    },
+                    rpc_timeout_ns_);
+  }
+}
+
+}  // namespace lazylog

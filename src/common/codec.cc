@@ -1,0 +1,5 @@
+#include "src/common/codec.h"
+
+// Codec is header-only today; this TU anchors the library and keeps a place for
+// future out-of-line helpers.
+namespace lazylog {}

@@ -1,0 +1,161 @@
+// Wire codec used by the RPC layer. Little-endian fixed-width scalars plus
+// length-prefixed strings and vectors. Every RPC message type implements
+// Encode(Encoder&) / Decode(Decoder&); Decode returns false on malformed input
+// instead of aborting so fuzz-style tests can exercise it.
+#ifndef SRC_COMMON_CODEC_H_
+#define SRC_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace lazylog {
+
+// Append-only byte sink for message serialization.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutBytes(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    for (const T& e : v) {
+      e.Encode(*this);
+    }
+  }
+  void PutU64Vector(const std::vector<uint64_t>& v) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    for (uint64_t e : v) {
+      PutU64(e);
+    }
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutFixed(const void* p, size_t n) {
+    // Host order is little-endian on every supported target; memcpy keeps it alignment-safe.
+    size_t off = buf_.size();
+    buf_.resize(off + n);
+    std::memcpy(buf_.data() + off, p, n);
+  }
+
+  std::string buf_;
+};
+
+// Cursor over an encoded buffer. All getters return false (and leave the output untouched)
+// once the buffer is exhausted or a length prefix is inconsistent.
+class Decoder {
+ public:
+  explicit Decoder(const std::string& data) : data_(data.data()), size_(data.size()) {}
+  Decoder(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool GetU8(uint8_t* v) { return GetFixed(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetFixed(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetFixed(v, sizeof(*v)); }
+  bool GetBool(bool* v) {
+    uint8_t b = 0;
+    if (!GetU8(&b)) {
+      return false;
+    }
+    *v = b != 0;
+    return true;
+  }
+  bool GetBytes(std::string* s) {
+    uint32_t n = 0;
+    if (!GetU32(&n) || n > Remaining()) {
+      return false;
+    }
+    s->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool GetVector(std::vector<T>* v) {
+    uint32_t n = 0;
+    if (!GetU32(&n)) {
+      return false;
+    }
+    v->clear();
+    v->reserve(std::min<size_t>(n, Remaining()));
+    for (uint32_t i = 0; i < n; ++i) {
+      T e;
+      if (!e.Decode(*this)) {
+        return false;
+      }
+      v->push_back(std::move(e));
+    }
+    return true;
+  }
+  bool GetU64Vector(std::vector<uint64_t>* v) {
+    uint32_t n = 0;
+    if (!GetU32(&n) || static_cast<size_t>(n) * sizeof(uint64_t) > Remaining()) {
+      return false;
+    }
+    v->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      GetU64(&(*v)[i]);
+    }
+    return true;
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  bool GetFixed(void* p, size_t n) {
+    if (Remaining() < n) {
+      return false;
+    }
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Codec helpers for the shared record types.
+
+inline void EncodeRecordId(Encoder& e, const RecordId& id) {
+  e.PutU64(id.client_id);
+  e.PutU64(id.request_id);
+}
+inline bool DecodeRecordId(Decoder& d, RecordId* id) {
+  return d.GetU64(&id->client_id) && d.GetU64(&id->request_id);
+}
+
+inline void EncodeRecord(Encoder& e, const Record& r) {
+  EncodeRecordId(e, r.id);
+  e.PutBytes(r.payload);
+  e.PutBool(r.no_op);
+}
+inline bool DecodeRecord(Decoder& d, Record* r) {
+  return DecodeRecordId(d, &r->id) && d.GetBytes(&r->payload) && d.GetBool(&r->no_op);
+}
+
+// A record wrapper with member Encode/Decode so PutVector/GetVector apply.
+struct WireRecord {
+  Record rec;
+  void Encode(Encoder& e) const { EncodeRecord(e, rec); }
+  bool Decode(Decoder& d) { return DecodeRecord(d, &rec); }
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_COMMON_CODEC_H_

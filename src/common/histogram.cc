@@ -1,0 +1,158 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace lazylog {
+
+namespace {
+// 64 exponent groups x 64 linear sub-buckets: relative error <= 1/64 within a group.
+constexpr size_t kSubBuckets = 64;
+constexpr size_t kSubShift = 6;  // log2(kSubBuckets)
+constexpr size_t kNumBuckets = 64 * kSubBuckets;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(uint64_t v) {
+  // Group 0 holds [0, 64) exactly; group g >= 1 holds [64 << (g-1), 128 << (g-1)) in 64
+  // linear sub-buckets of width 1 << (g-1).
+  if (v < kSubBuckets) {
+    return static_cast<size_t>(v);
+  }
+  const int top = 63 - std::countl_zero(v);  // >= kSubShift
+  const size_t group = static_cast<size_t>(top) - kSubShift + 1;
+  const size_t sub = static_cast<size_t>(v >> (top - kSubShift)) - kSubBuckets;
+  return group * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLow(size_t b) {
+  const size_t group = b / kSubBuckets;
+  const size_t sub = b % kSubBuckets;
+  if (group == 0) {
+    return sub;
+  }
+  return (static_cast<uint64_t>(kSubBuckets + sub)) << (group - 1);
+}
+
+uint64_t Histogram::BucketHigh(size_t b) {
+  const size_t group = b / kSubBuckets;
+  if (group == 0) {
+    return b;
+  }
+  return BucketLow(b) + ((1ULL << (group - 1)) - 1);
+}
+
+void Histogram::Add(uint64_t v) {
+  size_t b = BucketFor(v);
+  if (b >= buckets_.size()) {
+    b = buckets_.size() - 1;
+  }
+  buckets_[b]++;
+  count_++;
+  sum_ += static_cast<double>(v);
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) {
+      continue;
+    }
+    const uint64_t next = seen + buckets_[b];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation within the bucket.
+      const double frac =
+          buckets_[b] == 0 ? 0.0 : (target - static_cast<double>(seen)) / buckets_[b];
+      const uint64_t lo = BucketLow(b);
+      const uint64_t hi = std::max(BucketHigh(b), lo);
+      uint64_t v = lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+      return std::clamp(v, min(), max());
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::vector<std::pair<uint64_t, double>> Histogram::Cdf(size_t max_points) const {
+  std::vector<std::pair<uint64_t, double>> points;
+  if (count_ == 0) {
+    return points;
+  }
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) {
+      continue;
+    }
+    seen += buckets_[b];
+    points.emplace_back(BucketHigh(b), static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  if (points.size() > max_points) {
+    std::vector<std::pair<uint64_t, double>> thinned;
+    const double stride = static_cast<double>(points.size()) / static_cast<double>(max_points);
+    for (size_t i = 0; i < max_points; ++i) {
+      thinned.push_back(points[static_cast<size_t>(i * stride)]);
+    }
+    thinned.back() = points.back();
+    points = std::move(thinned);
+  }
+  return points;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_), FormatNanos(Mean()).c_str(),
+                FormatNanos(Percentile(0.5)).c_str(), FormatNanos(Percentile(0.99)).c_str(),
+                FormatNanos(max()).c_str());
+  return buf;
+}
+
+std::string FormatNanos(double ns) {
+  char buf[48];
+  if (ns < 1'000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1'000'000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 1'000'000'000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string FormatNanos(uint64_t ns) { return FormatNanos(static_cast<double>(ns)); }
+
+}  // namespace lazylog

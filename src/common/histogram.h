@@ -1,0 +1,58 @@
+// Log-bucketed latency histogram (HdrHistogram-style), used by all benches to report
+// mean / percentiles / CDFs of simulated latencies in nanoseconds.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lazylog {
+
+// Records uint64 values (nanoseconds) into buckets with ~1.5% relative error.
+// Single-threaded, like the simulator.
+class Histogram {
+ public:
+  Histogram();
+
+  // Adds one sample.
+  void Add(uint64_t value_ns);
+  // Merges another histogram into this one.
+  void Merge(const Histogram& other);
+  // Drops all samples.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  // Arithmetic mean of the raw samples (exact, not bucketed).
+  double Mean() const;
+  // Value at quantile q in [0,1], interpolated within the bucket.
+  uint64_t Percentile(double q) const;
+
+  // (value_ns, cumulative_fraction) points suitable for plotting a CDF; at most
+  // `max_points` points, skipping empty buckets.
+  std::vector<std::pair<uint64_t, double>> Cdf(size_t max_points = 200) const;
+
+  // One-line summary like "n=1000 mean=12.3us p50=11us p99=40us max=55us".
+  std::string Summary() const;
+
+ private:
+  static size_t BucketFor(uint64_t v);
+  static uint64_t BucketLow(size_t b);
+  static uint64_t BucketHigh(size_t b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+// Formats a nanosecond value as a human-readable string ("741ns", "12.4us", "1.5ms", "2.1s").
+std::string FormatNanos(uint64_t ns);
+std::string FormatNanos(double ns);
+
+}  // namespace lazylog
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,62 @@
+// Minimal leveled logging. Protocol code logs through these macros; tests raise the level
+// to keep output quiet. Not thread-safe beyond stdio (the simulator is single-threaded).
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace lazylog {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log threshold; messages below it are dropped. Defaults to kWarn so tests and
+// benches stay quiet; examples raise verbosity explicitly.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Emits one formatted log line. Used via the LLOG macro below.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define LLOG(level)                                                       \
+  if (::lazylog::GetLogLevel() <= ::lazylog::LogLevel::level)             \
+  ::lazylog::log_internal::LogLine(::lazylog::LogLevel::level, __FILE__, __LINE__)
+
+// Invariant check that survives NDEBUG builds: protocol invariants must hold in release
+// benchmarks too. Aborts with a message on violation.
+#define LL_CHECK(cond, msg)                                                      \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__, #cond, \
+                     ::std::string(msg).c_str());                                \
+      ::std::abort();                                                            \
+    }                                                                            \
+  } while (0)
+
+}  // namespace lazylog
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,117 @@
+// Deterministic RNG used throughout the simulator. A small xoshiro256** generator plus
+// the distributions the workloads need (uniform, exponential for Poisson arrivals,
+// zipfian for YCSB keys). Header-only so the hot paths inline.
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace lazylog {
+
+// xoshiro256** seeded via splitmix64. Deterministic for a given seed on all platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      si = SplitMix(&x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+  // Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+  // True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+  // Exponential with the given mean (for Poisson inter-arrival times).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  static uint64_t SplitMix(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[4];
+};
+
+// Zipfian generator over [0, n) with parameter theta (YCSB uses 0.99). Uses the
+// Gray/YCSB rejection-free formula; O(1) per sample after O(n)-free setup.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 42)
+      : rng_(seed), n_(n), theta_(theta) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    return static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // Exact for small n; sampled harmonic approximation for large n keeps setup O(1e5).
+    double sum = 0.0;
+    if (n <= 100000) {
+      for (uint64_t i = 1; i <= n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      }
+      return sum;
+    }
+    for (uint64_t i = 1; i <= 100000; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    // Integral tail approximation of sum_{100001..n} x^-theta.
+    const double a = 100000.5;
+    const double b = static_cast<double>(n) + 0.5;
+    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+    return sum;
+  }
+
+  Rng rng_;
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_COMMON_RANDOM_H_

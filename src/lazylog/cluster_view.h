@@ -1,0 +1,23 @@
+// A client's view of the Erwin cluster topology.
+#ifndef SRC_LAZYLOG_CLUSTER_VIEW_H_
+#define SRC_LAZYLOG_CLUSTER_VIEW_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace lazylog {
+
+struct ClusterView {
+  ViewId view = 0;
+  // Sequencing replicas; seq_config[0] is the leader.
+  std::vector<NodeId> seq_config;
+  // shards[s] lists shard s's replicas; shards[s][0] is the primary.
+  std::vector<std::vector<NodeId>> shards;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards.size()); }
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_LAZYLOG_CLUSTER_VIEW_H_

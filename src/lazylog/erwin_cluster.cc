@@ -1,0 +1,189 @@
+#include "src/lazylog/erwin_cluster.h"
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+ErwinCluster::ErwinCluster(const ErwinClusterOptions& options) : options_(options) {
+  net_ = std::make_unique<Network>(&loop_, options_.params.net, options_.params.seed);
+
+  if (options_.with_control_plane) {
+    zk_ = std::make_unique<ZooKeeperLite>(net_.get(), options_.params.control);
+  }
+
+  // Storage shards.
+  const ShardMode shard_mode =
+      options_.mode == ErwinMode::kM ? ShardMode::kBlackBox : ShardMode::kStModified;
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    std::vector<std::unique_ptr<ShardServer>> replicas;
+    std::vector<NodeId> ids;
+    for (uint32_t r = 0; r < options_.shard_replication; ++r) {
+      replicas.push_back(std::make_unique<ShardServer>(net_.get(), options_.params, shard_mode,
+                                                       s, options_.num_shards));
+      ids.push_back(replicas.back()->node_id());
+    }
+    for (auto& rep : replicas) {
+      rep->SetReplicaSet(ids);
+    }
+    shards_.push_back(std::move(replicas));
+  }
+
+  // Sequencing replicas; replica 0 starts as leader.
+  const NodeId zk_node = zk_ ? zk_->node_id() : kInvalidNode;
+  std::vector<NodeId> seq_config;
+  for (int i = 0; i < options_.params.seq.num_replicas; ++i) {
+    seq_replicas_.push_back(std::make_unique<SequencingReplica>(
+        net_.get(), options_.params, options_.mode, static_cast<uint32_t>(i), zk_node));
+    seq_config.push_back(seq_replicas_.back()->node_id());
+  }
+  for (auto& rep : seq_replicas_) {
+    rep->Start(seq_config, ShardPrimaries(), AllShardServers());
+  }
+
+  if (options_.with_control_plane) {
+    controller_ = std::make_unique<Controller>(net_.get(), options_.params, zk_->node_id());
+    controller_->Start(seq_config, seq_config[0], AllShardServers());
+    // Let sessions/ephemerals establish before traffic starts.
+    loop_.RunUntil(loop_.Now() + 2 * options_.params.control.session_heartbeat_ns);
+  }
+}
+
+ErwinCluster::~ErwinCluster() = default;
+
+std::vector<NodeId> ErwinCluster::AllShardServers() const {
+  std::vector<NodeId> ids;
+  for (const auto& shard : shards_) {
+    for (const auto& rep : shard) {
+      ids.push_back(rep->node_id());
+    }
+  }
+  return ids;
+}
+
+std::vector<NodeId> ErwinCluster::ShardPrimaries() const {
+  std::vector<NodeId> ids;
+  for (const auto& shard : shards_) {
+    ids.push_back(shard[0]->node_id());
+  }
+  return ids;
+}
+
+ClusterView ErwinCluster::MakeView() const {
+  ClusterView view;
+  // Take the configuration from a live, unsealed replica (after reconfigurations,
+  // replica 0 may be dead or hold a stale view).
+  const SequencingReplica* source = seq_replicas_[0].get();
+  for (const auto& rep : seq_replicas_) {
+    if (net_->IsUp(rep->node_id()) && !rep->sealed()) {
+      source = rep.get();
+      break;
+    }
+  }
+  view.view = source->view();
+  view.seq_config = source->config();
+  if (view.seq_config.empty()) {
+    for (const auto& rep : seq_replicas_) {
+      view.seq_config.push_back(rep->node_id());
+    }
+  }
+  for (const auto& shard : shards_) {
+    std::vector<NodeId> ids;
+    for (const auto& rep : shard) {
+      ids.push_back(rep->node_id());
+    }
+    view.shards.push_back(std::move(ids));
+  }
+  return view;
+}
+
+std::unique_ptr<ErwinMClient> ErwinCluster::MakeMClient() {
+  LL_CHECK(options_.mode == ErwinMode::kM, "M client on an st cluster");
+  return std::make_unique<ErwinMClient>(net_.get(), options_.params, MakeView(),
+                                        next_client_id_++);
+}
+
+std::unique_ptr<ErwinStClient> ErwinCluster::MakeStClient() {
+  LL_CHECK(options_.mode == ErwinMode::kSt, "st client on an M cluster");
+  return std::make_unique<ErwinStClient>(net_.get(), options_.params, MakeView(),
+                                         next_client_id_++);
+}
+
+std::unique_ptr<SharedLogClient> ErwinCluster::MakeClient() {
+  if (options_.mode == ErwinMode::kM) {
+    return MakeMClient();
+  }
+  return MakeStClient();
+}
+
+void ErwinCluster::CrashSeqReplica(uint32_t index) {
+  LL_CHECK(index < seq_replicas_.size(), "bad replica index");
+  net_->Crash(seq_replicas_[index]->node_id());
+  seq_replicas_[index]->StopHeartbeats();
+}
+
+std::vector<NodeId> ErwinCluster::AddShard() {
+  LL_CHECK(options_.mode == ErwinMode::kSt, "runtime shard add requires Erwin-st");
+  const ShardId s = static_cast<ShardId>(shards_.size());
+  std::vector<std::unique_ptr<ShardServer>> replicas;
+  std::vector<NodeId> ids;
+  for (uint32_t r = 0; r < options_.shard_replication; ++r) {
+    replicas.push_back(std::make_unique<ShardServer>(net_.get(), options_.params,
+                                                     ShardMode::kStModified, s,
+                                                     static_cast<uint32_t>(shards_.size() + 1)));
+    ids.push_back(replicas.back()->node_id());
+  }
+  for (auto& rep : replicas) {
+    rep->SetReplicaSet(ids);
+    // The new shard adopts the current stable prefix and metadata offset (§6.9).
+    rep->Bootstrap(leader().stable_gp(), leader().ordered_gp());
+  }
+  for (auto& seq : seq_replicas_) {
+    seq->AddShard(ids[0], ids);
+  }
+  shards_.push_back(std::move(replicas));
+  return ids;
+}
+
+NodeId ErwinCluster::ReplaceShardReplica(uint32_t shard, uint32_t replica_index) {
+  LL_CHECK(shard < shards_.size(), "bad shard index");
+  LL_CHECK(replica_index > 0 && replica_index < shards_[shard].size(),
+           "can only replace a non-primary replica");
+  const NodeId old_node = shards_[shard][replica_index]->node_id();
+  net_->Crash(old_node);
+  const ShardMode mode =
+      options_.mode == ErwinMode::kM ? ShardMode::kBlackBox : ShardMode::kStModified;
+  auto fresh = std::make_unique<ShardServer>(net_.get(), options_.params, mode, shard,
+                                             static_cast<uint32_t>(shards_.size()));
+  const NodeId new_node = fresh->node_id();
+  // Copy ordered + unordered state from a live replica (the primary).
+  fresh->CopyStateFrom(shards_[shard][0]->node_id(), [](Status s) {
+    LL_CHECK(s.ok(), "shard state copy failed: " + s.ToString());
+  });
+  // Install the replacement in the replica set and the orderers' broadcast lists. The
+  // old server object stays alive (inert behind its crashed network node) so its
+  // still-scheduled timers cannot dangle.
+  retired_shards_.push_back(std::move(shards_[shard][replica_index]));
+  shards_[shard][replica_index] = std::move(fresh);
+  std::vector<NodeId> ids;
+  for (const auto& rep : shards_[shard]) {
+    ids.push_back(rep->node_id());
+  }
+  for (auto& rep : shards_[shard]) {
+    rep->SetReplicaSet(ids);
+  }
+  for (auto& seq : seq_replicas_) {
+    seq->ReplaceShardServer(old_node, new_node);
+  }
+  return new_node;
+}
+
+SequencingReplica& ErwinCluster::leader() {
+  for (auto& rep : seq_replicas_) {
+    if (rep->is_leader() && !rep->sealed() && net_->IsUp(rep->node_id())) {
+      return *rep;
+    }
+  }
+  return *seq_replicas_[0];
+}
+
+}  // namespace lazylog

@@ -1,0 +1,102 @@
+// One-object assembly of a complete Erwin deployment on the simulated testbed: event
+// loop, network, ZooKeeperLite + controller (optional), sequencing replicas, storage
+// shards, and client factories. Tests, benches, and examples build everything through
+// this.
+#ifndef SRC_LAZYLOG_ERWIN_CLUSTER_H_
+#define SRC_LAZYLOG_ERWIN_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/params.h"
+#include "src/control/zookeeper.h"
+#include "src/lazylog/cluster_view.h"
+#include "src/lazylog/erwin_m_client.h"
+#include "src/lazylog/erwin_st_client.h"
+#include "src/seq/controller.h"
+#include "src/seq/sequencing_replica.h"
+#include "src/sim/network.h"
+#include "src/storage/shard_server.h"
+
+namespace lazylog {
+
+struct ErwinClusterOptions {
+  ErwinMode mode = ErwinMode::kM;
+  uint32_t num_shards = 1;
+  uint32_t shard_replication = 3;  // replicas per shard (paper: 2 or 3)
+  bool with_control_plane = true;  // ZooKeeperLite + controller (needed for §4.5 tests)
+  SimParams params;
+};
+
+class ErwinCluster {
+ public:
+  explicit ErwinCluster(const ErwinClusterOptions& options);
+  ~ErwinCluster();
+
+  ErwinCluster(const ErwinCluster&) = delete;
+  ErwinCluster& operator=(const ErwinCluster&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  Network& network() { return *net_; }
+  const SimParams& params() const { return options_.params; }
+  ErwinMode mode() const { return options_.mode; }
+
+  // Client factories. Clients are owned by the caller but must not outlive the cluster.
+  std::unique_ptr<ErwinMClient> MakeMClient();
+  std::unique_ptr<ErwinStClient> MakeStClient();
+  // Mode-dispatched factory for code that only needs the SharedLogClient interface.
+  std::unique_ptr<SharedLogClient> MakeClient();
+
+  // Current topology for hand-built clients.
+  ClusterView MakeView() const;
+
+  // --- runtime operations -------------------------------------------------------------
+  // Crashes sequencing replica `index` (network drop + heartbeat stop). The control
+  // plane detects and reconfigures; watch via controller().
+  void CrashSeqReplica(uint32_t index);
+  // Adds a shard at runtime (Erwin-st). Returns its replica node ids; existing
+  // ErwinStClients must be told via AddShard().
+  std::vector<NodeId> AddShard();
+  // Replaces a failed (non-primary) shard replica with a fresh server that copies both
+  // ordered and unordered records from a live replica (§5.4). The old node is crashed,
+  // the new one installed in the replica set and the orderers' broadcast lists.
+  // Returns the new server's node id. Clients built before the replacement keep the old
+  // membership in their view; Erwin-st writers must be given the new view (deployments
+  // would push shard membership through the control plane).
+  NodeId ReplaceShardReplica(uint32_t shard, uint32_t replica_index);
+
+  // --- accessors for tests/benches ------------------------------------------------------
+  SequencingReplica& seq_replica(uint32_t i) { return *seq_replicas_[i]; }
+  uint32_t num_seq_replicas() const { return static_cast<uint32_t>(seq_replicas_.size()); }
+  ShardServer& shard(uint32_t s, uint32_t r) { return *shards_[s][r]; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t shard_replication() const { return options_.shard_replication; }
+  Controller* controller() { return controller_.get(); }
+  ZooKeeperLite* zookeeper() { return zk_.get(); }
+  // The sequencing leader in the *current* view (asks the controller if present).
+  SequencingReplica& leader();
+
+  // Runs the simulation.
+  void RunFor(uint64_t ns) { loop_.RunUntil(loop_.Now() + ns); }
+  void RunUntilIdle() { loop_.RunUntilIdle(); }
+
+ private:
+  std::vector<NodeId> AllShardServers() const;
+  std::vector<NodeId> ShardPrimaries() const;
+
+  ErwinClusterOptions options_;
+  EventLoop loop_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ZooKeeperLite> zk_;
+  std::unique_ptr<Controller> controller_;
+  std::vector<std::unique_ptr<SequencingReplica>> seq_replicas_;
+  std::vector<std::vector<std::unique_ptr<ShardServer>>> shards_;
+  // Replaced shard servers are kept alive (crashed, inert) because their periodic
+  // timers may still be scheduled on the event loop.
+  std::vector<std::unique_ptr<ShardServer>> retired_shards_;
+  ClientId next_client_id_ = 1;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_LAZYLOG_ERWIN_CLUSTER_H_

@@ -1,0 +1,252 @@
+#include "src/lazylog/erwin_m_client.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+ErwinMClient::ErwinMClient(Network* net, const SimParams& params, ClusterView view,
+                           ClientId client_id)
+    : endpoint_(net), params_(params), view_(std::move(view)), client_id_(client_id) {}
+
+// --- append ------------------------------------------------------------------------------
+
+void ErwinMClient::Append(std::string payload, AppendCallback cb) {
+  auto p = std::make_shared<PendingAppend>();
+  p->id = RecordId{client_id_, next_request_id_++};
+  p->payload = std::move(payload);
+  p->cb = std::move(cb);
+  SendAppend(std::move(p));
+}
+
+void ErwinMClient::SendAppend(std::shared_ptr<PendingAppend> p) {
+  p->attempts++;
+  SeqAppendReq req;
+  req.view = view_.view;
+  req.id = p->id;
+  req.payload = p->payload;
+  req.is_meta = false;
+  Encoder enc;
+  req.Encode(enc);
+  const std::string body = enc.Take();
+  const size_t n = view_.seq_config.size();
+  auto gather = Gather::Create(n, [this, p](const std::vector<Status>& ss) {
+    const bool all_ok =
+        std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
+    if (all_ok) {
+      // Durable on all sequencing replicas: the append is complete (1 RTT).
+      p->cb(true);
+      return;
+    }
+    EnqueueRetry(p);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    endpoint_.Call(view_.seq_config[i], kSeqAppend, body, gather->Slot(i),
+                   params_.client_append_timeout_ns);
+  }
+}
+
+void ErwinMClient::EnqueueRetry(std::shared_ptr<PendingAppend> p) {
+  if (p->attempts > 50) {
+    LLOG(kWarn) << "append giving up after " << p->attempts << " attempts";
+    p->cb(false);
+    return;
+  }
+  retry_queue_.push_back(std::move(p));
+  if (!resolving_config_) {
+    resolving_config_ = true;
+    ResolveConfig();
+  }
+}
+
+void ErwinMClient::ProbeThen(std::function<void()> then, int attempt) {
+  if (attempt > 1000) {
+    then();  // give up resolving; the continuation will fail and surface the error
+    return;
+  }
+  const NodeId target = view_.seq_config[probe_cursor_++ % view_.seq_config.size()];
+  endpoint_.Call(
+      target, kSeqGetConfig, "",
+      [this, then = std::move(then), attempt](Status s, const std::string& body) mutable {
+        SeqConfigResp resp;
+        bool usable = false;
+        if (s.ok()) {
+          Decoder d(body);
+          usable = resp.Decode(d) && !resp.sealed && !resp.config.empty();
+        }
+        if (!usable) {
+          endpoint_.loop()->Schedule(
+              1 * kMs, [this, then = std::move(then), attempt]() mutable {
+                ProbeThen(std::move(then), attempt + 1);
+              });
+          return;
+        }
+        if (resp.view != view_.view) {
+          view_changes_++;
+        }
+        view_.view = resp.view;
+        view_.seq_config.assign(resp.config.begin(), resp.config.end());
+        then();
+      },
+      2 * kMs);
+}
+
+void ErwinMClient::ResolveConfig() {
+  // Probe until an unsealed view is found, then resend every queued append under it
+  // (same record ids; replicas filter duplicates).
+  ProbeThen([this]() {
+    resolving_config_ = false;
+    auto queued = std::move(retry_queue_);
+    retry_queue_.clear();
+    for (auto& p : queued) {
+      SendAppend(std::move(p));
+    }
+  });
+}
+
+// --- read (p mod n placement, §4.4) -------------------------------------------------------
+
+void ErwinMClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
+  if (len == 0) {
+    cb(Status::Ok(), {});
+    return;
+  }
+  const uint32_t n = view_.num_shards();
+  struct MergeState {
+    std::vector<PositionedRecord> all;
+    Status failure = Status::Ok();
+  };
+  auto state = std::make_shared<MergeState>();
+  // One sub-read per shard that owns at least one position in [from, from+len).
+  std::vector<std::pair<ShardId, ShardReadReq>> subs;
+  for (ShardId s = 0; s < n; ++s) {
+    const uint64_t offset = (s + n - static_cast<uint32_t>(from % n)) % n;
+    if (offset >= len) {
+      continue;
+    }
+    ShardReadReq req;
+    req.pos = from + offset;
+    req.len = static_cast<uint32_t>((len - offset + n - 1) / n);
+    subs.emplace_back(s, req);
+  }
+  auto gather = Gather::Create(subs.size(), [state, cb](const std::vector<Status>& ss) {
+    for (const Status& s : ss) {
+      if (!s.ok()) {
+        cb(s, {});
+        return;
+      }
+    }
+    if (!state->failure.ok()) {
+      cb(state->failure, {});
+      return;
+    }
+    std::sort(state->all.begin(), state->all.end(),
+              [](const PositionedRecord& a, const PositionedRecord& b) { return a.pos < b.pos; });
+    cb(Status::Ok(), std::move(state->all));
+  });
+  for (size_t i = 0; i < subs.size(); ++i) {
+    const auto& [shard, req] = subs[i];
+    // Spread reads over the shard's replicas.
+    const auto& replicas = view_.shards[shard];
+    const NodeId target = replicas[client_id_ % replicas.size()];
+    auto slot = gather->Slot(i);
+    endpoint_.CallMsg(target, kShardRead, req,
+                      [state, slot](Status s, const std::string& body) {
+                        if (s.ok()) {
+                          ShardReadResp resp;
+                          Decoder d(body);
+                          if (resp.Decode(d)) {
+                            for (auto& pr : resp.records) {
+                              state->all.push_back(std::move(pr));
+                            }
+                          } else {
+                            state->failure = Status::Internal("bad read response");
+                          }
+                        }
+                        slot(std::move(s), "");
+                      },
+                      0 /* slow-path reads may wait arbitrarily long */);
+  }
+}
+
+// --- tail / trim ---------------------------------------------------------------------------
+
+void ErwinMClient::CheckTail(TailCallback cb) { CheckTailAttempt(std::move(cb), 0); }
+
+void ErwinMClient::CheckTailAttempt(TailCallback cb, int attempt) {
+  endpoint_.Call(view_.seq_config[0], kSeqCheckTail, "",
+                 [this, cb, attempt](Status s, const std::string& body) {
+                   if (!s.ok()) {
+                     if (attempt >= 20) {
+                       cb(std::move(s), 0, 0);
+                       return;
+                     }
+                     // Leader unreachable / changed: re-resolve and retry.
+                     ProbeThen([this, cb, attempt]() { CheckTailAttempt(cb, attempt + 1); });
+                     return;
+                   }
+                   SeqCheckTailResp resp;
+                   Decoder d(body);
+                   if (!resp.Decode(d)) {
+                     cb(Status::Internal("bad tail response"), 0, 0);
+                     return;
+                   }
+                   cb(Status::Ok(), resp.durable, resp.stable);
+                 },
+                 5 * kMs);
+}
+
+void ErwinMClient::Trim(LogPos index, TrimCallback cb) { TrimAttempt(index, std::move(cb), 0); }
+
+void ErwinMClient::TrimAttempt(LogPos index, TrimCallback cb, int attempt) {
+  TrimMsg msg{index};
+  endpoint_.CallMsg(view_.seq_config[0], kSeqTrim, msg,
+                    [this, index, cb, attempt](Status s, const std::string&) {
+                      if (!s.ok() && attempt < 20) {
+                        ProbeThen([this, index, cb, attempt]() {
+                          TrimAttempt(index, cb, attempt + 1);
+                        });
+                        return;
+                      }
+                      cb(std::move(s));
+                    },
+                    10 * kMs);
+}
+
+// --- appendSync (§5.5 extension) ------------------------------------------------------------
+
+void ErwinMClient::AppendSync(std::string payload, AppendCallback cb) {
+  Append(std::move(payload), [this, cb](bool durable) {
+    if (!durable) {
+      cb(false);
+      return;
+    }
+    // The record is durable; now wait until the stable prefix has passed the durable
+    // tail observed at ack time, i.e. the record's binding is final.
+    CheckTail([this, cb](Status s, LogPos durable_count, LogPos) {
+      if (!s.ok()) {
+        cb(false);
+        return;
+      }
+      PollStable(durable_count, cb);
+    });
+  });
+}
+
+void ErwinMClient::PollStable(LogPos target, AppendCallback cb) {
+  CheckTail([this, target, cb](Status s, LogPos, LogPos stable) {
+    if (!s.ok()) {
+      cb(false);
+      return;
+    }
+    if (stable >= target) {
+      cb(true);
+      return;
+    }
+    endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns,
+                               [this, target, cb]() { PollStable(target, cb); });
+  });
+}
+
+}  // namespace lazylog

@@ -1,0 +1,71 @@
+// Erwin-m client library (§4). Appends write the record to every sequencing replica in
+// parallel and complete when all acknowledge — 1 RTT, no coordination. Reads go to the
+// shard owning the position (p mod n); the shard gates them on stable-gp. On sealed /
+// stale-view errors the client re-resolves the configuration and retries with the same
+// record id (replicas filter duplicates).
+#ifndef SRC_LAZYLOG_ERWIN_M_CLIENT_H_
+#define SRC_LAZYLOG_ERWIN_M_CLIENT_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/common/params.h"
+#include "src/lazylog/cluster_view.h"
+#include "src/lazylog/shared_log_client.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/rpc_methods.h"
+#include "src/seq/seq_messages.h"
+
+namespace lazylog {
+
+class ErwinMClient : public SharedLogClient {
+ public:
+  ErwinMClient(Network* net, const SimParams& params, ClusterView view, ClientId client_id);
+
+  NodeId node_id() const { return endpoint_.node_id(); }
+
+  // --- SharedLogClient ---
+  void Append(std::string payload, AppendCallback cb) override;
+  void Read(LogPos from, uint64_t len, ReadCallback cb) override;
+  void CheckTail(TailCallback cb) override;
+  void Trim(LogPos index, TrimCallback cb) override;
+
+  // appendSync extension (§5.5): completes only after the record is bound to its final
+  // position (eager ordering at the cost of latency).
+  void AppendSync(std::string payload, AppendCallback cb);
+
+  // Number of view changes this client has observed (tests).
+  uint64_t view_changes() const { return view_changes_; }
+  ViewId view() const { return view_.view; }
+
+ private:
+  struct PendingAppend {
+    RecordId id;
+    std::string payload;
+    AppendCallback cb;
+    int attempts = 0;
+  };
+
+  void SendAppend(std::shared_ptr<PendingAppend> p);
+  void EnqueueRetry(std::shared_ptr<PendingAppend> p);
+  void ResolveConfig();
+  // Probes replicas until an unsealed view is found, adopts it, then runs `then`.
+  void ProbeThen(std::function<void()> then, int attempt = 0);
+  void CheckTailAttempt(TailCallback cb, int attempt);
+  void TrimAttempt(LogPos index, TrimCallback cb, int attempt);
+  void PollStable(LogPos target, AppendCallback cb);
+
+  RpcEndpoint endpoint_;
+  SimParams params_;
+  ClusterView view_;
+  ClientId client_id_;
+  RequestId next_request_id_ = 1;
+  bool resolving_config_ = false;
+  size_t probe_cursor_ = 0;
+  uint64_t view_changes_ = 0;
+  std::deque<std::shared_ptr<PendingAppend>> retry_queue_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_LAZYLOG_ERWIN_M_CLIENT_H_

@@ -1,0 +1,342 @@
+#include "src/lazylog/erwin_st_client.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+ErwinStClient::ErwinStClient(Network* net, const SimParams& params, ClusterView view,
+                             ClientId client_id)
+    : endpoint_(net), params_(params), view_(std::move(view)), client_id_(client_id) {
+  rr_cursor_ = client_id;  // decorrelate shard choice across clients
+}
+
+void ErwinStClient::AddShard(std::vector<NodeId> replicas) {
+  view_.shards.push_back(std::move(replicas));
+}
+
+// --- append (§5.1): data to the shard replicas + metadata to the sequencing replicas,
+// all in parallel, 1 RTT -------------------------------------------------------------------
+
+void ErwinStClient::Append(std::string payload, AppendCallback cb) {
+  auto p = std::make_shared<PendingAppend>();
+  p->id = RecordId{client_id_, next_request_id_++};
+  p->payload = std::move(payload);
+  p->shard = static_cast<ShardId>(rr_cursor_++ % view_.num_shards());
+  p->cb = std::move(cb);
+  SendAppend(std::move(p));
+}
+
+void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
+  p->attempts++;
+  const auto& shard_replicas = view_.shards[p->shard];
+  const size_t n_data = shard_replicas.size();
+  const size_t n_meta = view_.seq_config.size();
+  auto gather =
+      Gather::Create(n_data + n_meta, [this, p](const std::vector<Status>& ss) {
+        const bool all_ok =
+            std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
+        if (all_ok) {
+          p->cb(true);
+          return;
+        }
+        // A Rejected data write means the shard already no-op'ed this id after an
+        // earlier attempt timed out; the append is lost and must not be retried
+        // under the same id.
+        for (const Status& s : ss) {
+          if (s.code() == StatusCode::kRejected) {
+            p->cb(false);
+            return;
+          }
+        }
+        EnqueueRetry(p);
+      });
+  // Data writes to every replica of the chosen shard (no coordination, §5.1).
+  ShardPutDataReq data{p->id, p->payload};
+  Encoder denc;
+  data.Encode(denc);
+  const std::string dbody = denc.Take();
+  for (size_t i = 0; i < n_data; ++i) {
+    endpoint_.Call(shard_replicas[i], kShardPutData, dbody, gather->Slot(i),
+                   params_.client_append_timeout_ns);
+  }
+  // Metadata to every sequencing replica, same RTT.
+  SeqAppendReq meta;
+  meta.view = view_.view;
+  meta.id = p->id;
+  meta.target_shard = p->shard;
+  meta.is_meta = true;
+  Encoder menc;
+  meta.Encode(menc);
+  const std::string mbody = menc.Take();
+  for (size_t i = 0; i < n_meta; ++i) {
+    endpoint_.Call(view_.seq_config[i], kSeqAppendMeta, mbody, gather->Slot(n_data + i),
+                   params_.client_append_timeout_ns);
+  }
+}
+
+void ErwinStClient::EnqueueRetry(std::shared_ptr<PendingAppend> p) {
+  if (p->attempts > 50) {
+    p->cb(false);
+    return;
+  }
+  retry_queue_.push_back(std::move(p));
+  if (!resolving_config_) {
+    resolving_config_ = true;
+    ResolveConfig();
+  }
+}
+
+void ErwinStClient::ProbeThen(std::function<void()> then, int attempt) {
+  if (attempt > 1000) {
+    then();
+    return;
+  }
+  const NodeId target = view_.seq_config[probe_cursor_++ % view_.seq_config.size()];
+  endpoint_.Call(
+      target, kSeqGetConfig, "",
+      [this, then = std::move(then), attempt](Status s, const std::string& body) mutable {
+        SeqConfigResp resp;
+        bool usable = false;
+        if (s.ok()) {
+          Decoder d(body);
+          usable = resp.Decode(d) && !resp.sealed && !resp.config.empty();
+        }
+        if (!usable) {
+          endpoint_.loop()->Schedule(
+              1 * kMs, [this, then = std::move(then), attempt]() mutable {
+                ProbeThen(std::move(then), attempt + 1);
+              });
+          return;
+        }
+        view_.view = resp.view;
+        view_.seq_config.assign(resp.config.begin(), resp.config.end());
+        then();
+      },
+      2 * kMs);
+}
+
+void ErwinStClient::ResolveConfig() {
+  ProbeThen([this]() {
+    resolving_config_ = false;
+    auto queued = std::move(retry_queue_);
+    retry_queue_.clear();
+    // Retries keep their record id and target shard: the first metadata write to
+    // reach the ordering decides, and every layer filters duplicates.
+    for (auto& p : queued) {
+      SendAppend(std::move(p));
+    }
+  });
+}
+
+// --- read (§5.3): resolve positions to shards via the cached map, then read ---------------
+
+void ErwinStClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
+  if (len == 0) {
+    cb(Status::Ok(), {});
+    return;
+  }
+  auto rd = std::make_shared<PendingRead>(PendingRead{from, len, std::move(cb)});
+  TryRead(std::move(rd));
+}
+
+void ErwinStClient::TryRead(std::shared_ptr<PendingRead> rd) {
+  const LogPos needed_end = rd->from + rd->len;
+  if (cache_enabled_ && posmap_.size() >= needed_end) {
+    DoRead(std::move(rd));
+    return;
+  }
+  FetchPosMap(needed_end, [this, rd]() {
+    if (posmap_.size() >= rd->from + rd->len) {
+      DoRead(rd);
+      return;
+    }
+    // Positions not ordered yet: slow path — poll until the ordering catches up.
+    endpoint_.loop()->Schedule(params_.posmap_poll_interval_ns, [this, rd]() { TryRead(rd); });
+  });
+}
+
+void ErwinStClient::FetchPosMap(LogPos needed_end, std::function<void()> then) {
+  // Bulk fetch with read-ahead; amortizes the mapping roundtrip over many reads (§5.3).
+  constexpr uint64_t kReadAhead = 1024;
+  ShardPosMapReq req;
+  req.from = posmap_.size();
+  const uint64_t want =
+      needed_end > posmap_.size() ? needed_end - posmap_.size() : kReadAhead;
+  req.len = static_cast<uint32_t>(std::max<uint64_t>(want, kReadAhead));
+  posmap_fetches_++;
+  // Shard 0 predates any runtime-added shard, so its metadata log covers all positions.
+  const auto& replicas = view_.shards[0];
+  const NodeId target = replicas[client_id_ % replicas.size()];
+  endpoint_.CallMsg(target, kShardPosMap, req,
+                    [this, then = std::move(then)](Status s, const std::string& body) {
+                      if (s.ok()) {
+                        ShardPosMapResp resp;
+                        Decoder d(body);
+                        if (resp.Decode(d) && resp.from == posmap_.size()) {
+                          for (uint64_t sid : resp.shard_ids) {
+                            posmap_.push_back(static_cast<uint32_t>(sid));
+                          }
+                        }
+                      }
+                      then();
+                    },
+                    params_.rpc_timeout_ns);
+}
+
+void ErwinStClient::DoRead(std::shared_ptr<PendingRead> rd) {
+  struct MergeState {
+    std::vector<PositionedRecord> all;
+    Status failure = Status::Ok();
+  };
+  auto state = std::make_shared<MergeState>();
+  // Group the positions by owning shard; each shard's positions form one contiguous run
+  // of its local log, so a single ranged read per shard suffices.
+  std::vector<std::pair<NodeId, ShardReadReq>> subs;
+  std::vector<std::pair<ShardId, std::pair<LogPos, uint32_t>>> per_shard;  // first pos, count
+  for (LogPos p = rd->from; p < rd->from + rd->len; ++p) {
+    const ShardId s = static_cast<ShardId>(posmap_[p]);
+    bool found = false;
+    for (auto& [sid, fc] : per_shard) {
+      if (sid == s) {
+        fc.second++;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      per_shard.push_back({s, {p, 1}});
+    }
+  }
+  for (const auto& [sid, fc] : per_shard) {
+    ShardReadReq req;
+    req.pos = fc.first;
+    req.len = fc.second;
+    const auto& replicas = view_.shards[sid];
+    subs.emplace_back(replicas[client_id_ % replicas.size()], req);
+  }
+  auto gather = Gather::Create(subs.size(), [state, rd](const std::vector<Status>& ss) {
+    for (const Status& s : ss) {
+      if (!s.ok()) {
+        rd->cb(s, {});
+        return;
+      }
+    }
+    if (!state->failure.ok()) {
+      rd->cb(state->failure, {});
+      return;
+    }
+    std::sort(state->all.begin(), state->all.end(),
+              [](const PositionedRecord& a, const PositionedRecord& b) { return a.pos < b.pos; });
+    rd->cb(Status::Ok(), std::move(state->all));
+  });
+  for (size_t i = 0; i < subs.size(); ++i) {
+    auto slot = gather->Slot(i);
+    endpoint_.CallMsg(subs[i].first, kShardRead, subs[i].second,
+                      [state, slot](Status s, const std::string& body) {
+                        if (s.ok()) {
+                          ShardReadResp resp;
+                          Decoder d(body);
+                          if (resp.Decode(d)) {
+                            for (auto& pr : resp.records) {
+                              state->all.push_back(std::move(pr));
+                            }
+                          } else {
+                            state->failure = Status::Internal("bad read response");
+                          }
+                        }
+                        slot(std::move(s), "");
+                      },
+                      0);
+  }
+}
+
+// --- tail / trim ----------------------------------------------------------------------------
+
+void ErwinStClient::CheckTail(TailCallback cb) { CheckTailAttempt(std::move(cb), 0); }
+
+void ErwinStClient::CheckTailAttempt(TailCallback cb, int attempt) {
+  endpoint_.Call(view_.seq_config[0], kSeqCheckTail, "",
+                 [this, cb, attempt](Status s, const std::string& body) {
+                   if (!s.ok()) {
+                     if (attempt >= 20) {
+                       cb(std::move(s), 0, 0);
+                       return;
+                     }
+                     ProbeThen([this, cb, attempt]() { CheckTailAttempt(cb, attempt + 1); });
+                     return;
+                   }
+                   SeqCheckTailResp resp;
+                   Decoder d(body);
+                   if (!resp.Decode(d)) {
+                     cb(Status::Internal("bad tail response"), 0, 0);
+                     return;
+                   }
+                   cb(Status::Ok(), resp.durable, resp.stable);
+                 },
+                 5 * kMs);
+}
+
+void ErwinStClient::Trim(LogPos index, TrimCallback cb) {
+  TrimAttempt(index, std::move(cb), 0);
+}
+
+void ErwinStClient::TrimAttempt(LogPos index, TrimCallback cb, int attempt) {
+  TrimMsg msg{index};
+  endpoint_.CallMsg(view_.seq_config[0], kSeqTrim, msg,
+                    [this, index, cb, attempt](Status s, const std::string&) {
+                      if (!s.ok() && attempt < 20) {
+                        ProbeThen([this, index, cb, attempt]() {
+                          TrimAttempt(index, cb, attempt + 1);
+                        });
+                        return;
+                      }
+                      cb(std::move(s));
+                    },
+                    10 * kMs);
+}
+
+// --- test hooks (§5.4) -----------------------------------------------------------------------
+
+void ErwinStClient::AppendMetadataOnly(ShardId shard, AppendCallback cb) {
+  // Simulates a client that crashed after the metadata write but before the data write:
+  // the shard primary must resolve the position as a no-op after its timeout.
+  const RecordId id{client_id_, next_request_id_++};
+  SeqAppendReq meta;
+  meta.view = view_.view;
+  meta.id = id;
+  meta.target_shard = shard;
+  meta.is_meta = true;
+  Encoder enc;
+  meta.Encode(enc);
+  const std::string body = enc.Take();
+  const size_t n = view_.seq_config.size();
+  auto gather = Gather::Create(n, [cb](const std::vector<Status>& ss) {
+    cb(std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); }));
+  });
+  for (size_t i = 0; i < n; ++i) {
+    endpoint_.Call(view_.seq_config[i], kSeqAppendMeta, body, gather->Slot(i),
+                   params_.client_append_timeout_ns);
+  }
+}
+
+void ErwinStClient::AppendDataOnly(ShardId shard, std::string payload, AppendCallback cb) {
+  // Simulates a crash after the data write but before the metadata write: the data is
+  // orphaned on the shard and must be garbage-collected by scrubbing.
+  const RecordId id{client_id_, next_request_id_++};
+  ShardPutDataReq data{id, std::move(payload)};
+  Encoder enc;
+  data.Encode(enc);
+  const std::string body = enc.Take();
+  const auto& replicas = view_.shards[shard];
+  auto gather = Gather::Create(replicas.size(), [cb](const std::vector<Status>& ss) {
+    cb(std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); }));
+  });
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    endpoint_.Call(replicas[i], kShardPutData, body, gather->Slot(i),
+                   params_.client_append_timeout_ns);
+  }
+}
+
+}  // namespace lazylog

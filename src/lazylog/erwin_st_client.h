@@ -1,0 +1,90 @@
+// Erwin-st client library (§5). An append splits the record into data and metadata: the
+// data goes to every replica of a client-chosen shard and the metadata <record-id,
+// shard-id> to every sequencing replica — all in parallel, completing in 1 RTT. Reads
+// first resolve the position->shard mapping (fetched in bulk and cached, §5.3), then
+// read the record from its shard.
+#ifndef SRC_LAZYLOG_ERWIN_ST_CLIENT_H_
+#define SRC_LAZYLOG_ERWIN_ST_CLIENT_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/common/params.h"
+#include "src/lazylog/cluster_view.h"
+#include "src/lazylog/shared_log_client.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/rpc_methods.h"
+#include "src/seq/seq_messages.h"
+
+namespace lazylog {
+
+class ErwinStClient : public SharedLogClient {
+ public:
+  ErwinStClient(Network* net, const SimParams& params, ClusterView view, ClientId client_id);
+
+  NodeId node_id() const { return endpoint_.node_id(); }
+
+  // --- SharedLogClient ---
+  void Append(std::string payload, AppendCallback cb) override;
+  void Read(LogPos from, uint64_t len, ReadCallback cb) override;
+  void CheckTail(TailCallback cb) override;
+  void Trim(LogPos index, TrimCallback cb) override;
+
+  // Seamless shard addition (§6.9): subsequent appends include the new shard in the
+  // placement choice immediately.
+  void AddShard(std::vector<NodeId> replicas);
+
+  // Disables the client-side position-map cache (ablation for §6.7's observation that
+  // caching makes Erwin-st reads match Erwin-m).
+  void SetPosMapCacheEnabled(bool enabled) { cache_enabled_ = enabled; }
+
+  // Test hooks for the client-failure protocol (§5.4): write only one half of an append.
+  void AppendMetadataOnly(ShardId shard, AppendCallback cb);
+  void AppendDataOnly(ShardId shard, std::string payload, AppendCallback cb);
+
+  uint64_t posmap_fetches() const { return posmap_fetches_; }
+
+ private:
+  struct PendingAppend {
+    RecordId id;
+    std::string payload;
+    ShardId shard = 0;
+    AppendCallback cb;
+    int attempts = 0;
+  };
+  struct PendingRead {
+    LogPos from = 0;
+    uint64_t len = 0;
+    ReadCallback cb;
+  };
+
+  void SendAppend(std::shared_ptr<PendingAppend> p);
+  void EnqueueRetry(std::shared_ptr<PendingAppend> p);
+  void ResolveConfig();
+  void ProbeThen(std::function<void()> then, int attempt = 0);
+  void CheckTailAttempt(TailCallback cb, int attempt);
+  void TrimAttempt(LogPos index, TrimCallback cb, int attempt);
+  void TryRead(std::shared_ptr<PendingRead> rd);
+  void DoRead(std::shared_ptr<PendingRead> rd);
+  void FetchPosMap(LogPos needed_end, std::function<void()> then);
+
+  RpcEndpoint endpoint_;
+  SimParams params_;
+  ClusterView view_;
+  ClientId client_id_;
+  RequestId next_request_id_ = 1;
+  uint64_t rr_cursor_ = 0;  // round-robin shard choice
+  bool resolving_config_ = false;
+  size_t probe_cursor_ = 0;
+  std::deque<std::shared_ptr<PendingAppend>> retry_queue_;
+
+  // Position->shard cache: posmap_[p] is the shard of position p; dense from 0.
+  std::vector<uint32_t> posmap_;
+  bool cache_enabled_ = true;
+  bool posmap_fetch_inflight_ = false;
+  uint64_t posmap_fetches_ = 0;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_LAZYLOG_ERWIN_ST_CLIENT_H_

@@ -1,0 +1,50 @@
+// The shared-log client interface (the paper's Figure 2). Erwin-m, Erwin-st, and the
+// eager-ordering baselines (Corfu, Scalog, KafkaLite) all implement it, so the example
+// applications and benches run unchanged on any of them.
+//
+//   append    - make the record durable; with LazyLog it is *not* yet bound to a
+//               position (returns only a durability flag).
+//   read      - records at positions [from, from+len); enforced to be the final,
+//               linearizable binding before it is served.
+//   checkTail - number of durable records in the log.
+//   trim      - garbage-collect positions below `index`.
+//
+// All calls are asynchronous (the simulator is event-driven); completion callbacks fire
+// on the simulated event loop.
+#ifndef SRC_LAZYLOG_SHARED_LOG_CLIENT_H_
+#define SRC_LAZYLOG_SHARED_LOG_CLIENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/storage/shard_messages.h"
+
+namespace lazylog {
+
+class SharedLogClient {
+ public:
+  // append: `durable` is true once the record is safely stored (LazyLog semantics: the
+  // position is assigned later; conventional logs have it bound already).
+  using AppendCallback = std::function<void(bool durable)>;
+  // read: positioned records in ascending position order. No-op records (Erwin-st
+  // client-failure resolutions) are delivered with no_op=true; applications skip them.
+  using ReadCallback = std::function<void(Status, std::vector<PositionedRecord>)>;
+  // checkTail: `durable` = number of durable records; `stable` = prefix already bound
+  // to final positions (stable == durable in eager-ordering logs).
+  using TailCallback = std::function<void(Status, LogPos durable, LogPos stable)>;
+  using TrimCallback = std::function<void(Status)>;
+
+  virtual ~SharedLogClient() = default;
+
+  virtual void Append(std::string payload, AppendCallback cb) = 0;
+  virtual void Read(LogPos from, uint64_t len, ReadCallback cb) = 0;
+  virtual void CheckTail(TailCallback cb) = 0;
+  virtual void Trim(LogPos index, TrimCallback cb) = 0;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_LAZYLOG_SHARED_LOG_CLIENT_H_

@@ -1,0 +1,191 @@
+#include "src/seq/controller.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/rpc/rpc_methods.h"
+
+namespace lazylog {
+
+Controller::Controller(Network* net, const SimParams& params, NodeId zk_node)
+    : endpoint_(net), params_(params), zk_(&endpoint_, zk_node) {}
+
+void Controller::Start(std::vector<NodeId> seq_replicas, NodeId initial_leader,
+                       std::vector<NodeId> all_shard_servers) {
+  seq_replicas_ = seq_replicas;
+  all_shard_servers_ = std::move(all_shard_servers);
+  // Initial config: leader first, then the rest in index order.
+  config_.clear();
+  config_.push_back(initial_leader);
+  for (NodeId n : seq_replicas) {
+    if (n != initial_leader) {
+      config_.push_back(n);
+    }
+  }
+  zk_.Watch("/seq/replicas/", [this](const std::string& path, ZkEvent event) {
+    if (event == ZkEvent::kDeleted) {
+      OnReplicaDown(path);
+    }
+  });
+}
+
+void Controller::OnReplicaDown(const std::string& path) {
+  LLOG(kInfo) << "controller: replica ephemeral gone: " << path;
+  // The path encodes the replica index ("/seq/replicas/<i>"); remember it as dead so
+  // sealing does not wait out a timeout on a node we know has failed.
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    const int idx = std::atoi(path.c_str() + slash + 1);
+    if (idx >= 0 && static_cast<size_t>(idx) < seq_replicas_.size()) {
+      known_dead_.insert(seq_replicas_[idx]);
+    }
+  }
+  if (reconfiguring_) {
+    pending_failure_ = true;
+    return;
+  }
+  timing_ = ReconfigTiming{};
+  timing_.detected_at = endpoint_.loop()->Now();
+  reconfiguring_ = true;
+  RunReconfiguration();
+}
+
+void Controller::RunReconfiguration() { SealAll(); }
+
+void Controller::SealAll() {
+  // Seal every replica of the current config; once a replica is sealed no new record
+  // can commit in the old view (clients need acks from *all* replicas in one view).
+  SeqSealReq seal{view_};
+  Encoder enc;
+  seal.Encode(enc);
+  const std::string body = enc.Take();
+  auto live = std::make_shared<std::vector<NodeId>>();
+  std::vector<NodeId> targets;
+  for (NodeId n : config_) {
+    if (known_dead_.count(n) == 0) {
+      targets.push_back(n);
+    }
+  }
+  auto gather = Gather::Create(targets.size(), [this, live, targets](const std::vector<Status>& ss) {
+    std::vector<NodeId> live_nodes;
+    for (size_t i = 0; i < ss.size(); ++i) {
+      if (ss[i].ok()) {
+        live_nodes.push_back(targets[i]);
+      }
+    }
+    if (live_nodes.empty()) {
+      LLOG(kError) << "controller: no live sequencing replicas; staying unavailable";
+      reconfiguring_ = false;
+      return;
+    }
+    timing_.sealed_at = endpoint_.loop()->Now();
+    // Prefer the old leader as recovery replica when alive (its log already defines the
+    // order in flight); otherwise any live replica is safe (§4.5 correctness sketch).
+    NodeId recovery = live_nodes[0];
+    for (NodeId n : live_nodes) {
+      if (n == config_[0]) {
+        recovery = n;
+        break;
+      }
+    }
+    FlushRecovery(std::move(live_nodes), recovery);
+  });
+  for (size_t i = 0; i < targets.size(); ++i) {
+    endpoint_.Call(targets[i], kSeqSeal, body, gather->Slot(i), 5 * kMs);
+  }
+}
+
+void Controller::FlushRecovery(std::vector<NodeId> live, NodeId recovery) {
+  const ViewId new_view = view_ + 1;
+  SeqFlushReq req{new_view};
+  Encoder enc;
+  req.Encode(enc);
+  // New config: recovery replica leads, followed by the other live replicas.
+  std::vector<NodeId> new_config{recovery};
+  for (NodeId n : live) {
+    if (n != recovery) {
+      new_config.push_back(n);
+    }
+  }
+  endpoint_.Call(recovery, kSeqFetchLog, enc.Take(),
+                 [this, new_config](Status s, const std::string& body) mutable {
+                   if (!s.ok()) {
+                     LLOG(kError) << "controller: flush failed: " << s.ToString();
+                     reconfiguring_ = false;
+                     return;
+                   }
+                   SeqFlushResp resp;
+                   Decoder d(body);
+                   if (!resp.Decode(d)) {
+                     reconfiguring_ = false;
+                     return;
+                   }
+                   timing_.flushed_at = endpoint_.loop()->Now();
+                   FinishView(std::move(new_config), resp.new_ordered_gp,
+                              std::move(resp.flushed_ids));
+                 },
+                 params_.rpc_timeout_ns);
+}
+
+void Controller::FinishView(std::vector<NodeId> new_config, LogPos ordered_gp,
+                            std::vector<WireRecordId> flushed_ids) {
+  const ViewId new_view = view_ + 1;
+  // Persist the new configuration *before* advancing stable-gp so a partitioned replica
+  // of the old view can never overwrite records exposed afterwards (§4.5).
+  Encoder cfg;
+  cfg.PutU64(new_view);
+  cfg.PutU32(static_cast<uint32_t>(new_config.size()));
+  for (NodeId n : new_config) {
+    cfg.PutU32(n);
+  }
+  zk_.SetData("/seq/config", cfg.Take(), UINT64_MAX,
+              [this, new_config = std::move(new_config), ordered_gp,
+               flushed_ids = std::move(flushed_ids), new_view](Status s) mutable {
+                if (!s.ok()) {
+                  LLOG(kError) << "controller: zk config write failed";
+                  reconfiguring_ = false;
+                  return;
+                }
+                timing_.view_written_at = endpoint_.loop()->Now();
+                // Advance stable-gp on the shards: everything flushed is now stable.
+                StableGpMsg stable{new_view, ordered_gp};
+                Encoder se;
+                stable.Encode(se);
+                const std::string sbody = se.Take();
+                for (NodeId n : all_shard_servers_) {
+                  endpoint_.Call(n, kShardSetStableGp, sbody, nullptr, 0);
+                }
+                // Start the new view on every member.
+                SeqStartViewReq sv;
+                sv.view = new_view;
+                sv.config.assign(new_config.begin(), new_config.end());
+                sv.ordered_gp = ordered_gp;
+                sv.stable_gp = ordered_gp;
+                sv.flushed_ids = std::move(flushed_ids);
+                Encoder sve;
+                sv.Encode(sve);
+                const std::string svbody = sve.Take();
+                auto gather = Gather::Create(
+                    new_config.size(), [this, new_config, new_view](const std::vector<Status>&) {
+                      view_ = new_view;
+                      config_ = new_config;
+                      timing_.new_view_at = endpoint_.loop()->Now();
+                      timing_.complete = true;
+                      reconfiguring_ = false;
+                      LLOG(kInfo) << "controller: view " << new_view << " started";
+                      if (on_reconfigured_) {
+                        on_reconfigured_(timing_);
+                      }
+                      if (pending_failure_) {
+                        pending_failure_ = false;
+                        OnReplicaDown("(queued)");
+                      }
+                    });
+                for (size_t i = 0; i < new_config.size(); ++i) {
+                  endpoint_.Call(new_config[i], kSeqStartView, svbody, gather->Slot(i),
+                                 params_.rpc_timeout_ns);
+                }
+              });
+}
+
+}  // namespace lazylog

@@ -1,0 +1,77 @@
+// The stateless controller of Erwin's control plane (§4.5). Watches the sequencing
+// replicas' liveness ephemerals in ZooKeeperLite; on a failure it seals the old view,
+// has a recovery replica flush its unordered log to the shards, persists the new
+// configuration to ZooKeeper, advances stable-gp, and starts the new view.
+#ifndef SRC_SEQ_CONTROLLER_H_
+#define SRC_SEQ_CONTROLLER_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/params.h"
+#include "src/control/zookeeper.h"
+#include "src/rpc/rpc.h"
+#include "src/seq/seq_messages.h"
+#include "src/storage/shard_messages.h"
+
+namespace lazylog {
+
+// Wall-clock breakdown of the last reconfiguration (Fig 17b).
+struct ReconfigTiming {
+  SimTime crash_at = 0;       // set by the test/bench at injection time
+  SimTime detected_at = 0;    // ZK watch fired
+  SimTime sealed_at = 0;      // all live replicas sealed
+  SimTime flushed_at = 0;     // recovery replica finished flushing
+  SimTime view_written_at = 0;  // new config durable in ZK
+  SimTime new_view_at = 0;    // StartView delivered; appends can resume
+  bool complete = false;
+};
+
+class Controller {
+ public:
+  Controller(Network* net, const SimParams& params, NodeId zk_node);
+
+  NodeId node_id() const { return endpoint_.node_id(); }
+
+  // `seq_replicas[i]` must own the ephemeral "/seq/replicas/<i>". The shard servers
+  // receive the stable-gp advance at the end of every reconfiguration.
+  void Start(std::vector<NodeId> seq_replicas, NodeId initial_leader,
+             std::vector<NodeId> all_shard_servers);
+
+  // Fired after each completed reconfiguration (tests and Fig 17 use this).
+  void OnReconfigured(std::function<void(const ReconfigTiming&)> cb) {
+    on_reconfigured_ = std::move(cb);
+  }
+
+  ViewId view() const { return view_; }
+  const ReconfigTiming& last_timing() const { return timing_; }
+  const std::vector<NodeId>& current_config() const { return config_; }
+
+ private:
+  void OnReplicaDown(const std::string& path);
+  void RunReconfiguration();
+  void SealAll();
+  // Nodes known dead (their liveness ephemerals vanished); skipped when sealing.
+  std::set<NodeId> known_dead_;
+  void FlushRecovery(std::vector<NodeId> live, NodeId recovery);
+  void FinishView(std::vector<NodeId> new_config, LogPos ordered_gp,
+                  std::vector<WireRecordId> flushed_ids);
+
+  RpcEndpoint endpoint_;
+  SimParams params_;
+  ZkClient zk_;
+  std::vector<NodeId> seq_replicas_;  // all ever-registered replicas, by index
+  std::vector<NodeId> config_;        // current view's config; config_[0] = leader
+  std::vector<NodeId> all_shard_servers_;
+  ViewId view_ = 0;
+  bool reconfiguring_ = false;
+  bool pending_failure_ = false;
+  ReconfigTiming timing_;
+  std::function<void(const ReconfigTiming&)> on_reconfigured_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_SEQ_CONTROLLER_H_

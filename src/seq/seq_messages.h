@@ -1,0 +1,153 @@
+// Wire messages for the sequencing layer: client appends, leader->follower GC, and the
+// control-plane reconfiguration protocol (seal / flush / start-view, §4.5).
+#ifndef SRC_SEQ_SEQ_MESSAGES_H_
+#define SRC_SEQ_SEQ_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/types.h"
+
+namespace lazylog {
+
+// Wire-encodable RecordId wrapper (for PutVector/GetVector).
+struct WireRecordId {
+  RecordId id;
+  void Encode(Encoder& e) const { EncodeRecordId(e, id); }
+  bool Decode(Decoder& d) { return DecodeRecordId(d, &id); }
+};
+
+// Client -> every sequencing replica, in parallel, no coordination (§4.1 / §5.1).
+// Erwin-m carries the record payload (is_meta=false); Erwin-st carries only the metadata
+// identifier <record-id, shard-id> (is_meta=true, empty payload).
+struct SeqAppendReq {
+  ViewId view = 0;
+  RecordId id;
+  std::string payload;
+  ShardId target_shard = 0;
+  bool is_meta = false;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(view);
+    EncodeRecordId(e, id);
+    e.PutBytes(payload);
+    e.PutU32(target_shard);
+    e.PutBool(is_meta);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&view) && DecodeRecordId(d, &id) && d.GetBytes(&payload) &&
+           d.GetU32(&target_shard) && d.GetBool(&is_meta);
+  }
+};
+
+// Leader -> follower: garbage-collect the listed (now ordered) entries and advance
+// last-ordered-gp (§4.3). Entry identity, not position, because followers may hold
+// concurrent entries in a different order.
+struct SeqGcReq {
+  ViewId view = 0;
+  LogPos new_ordered_gp = 0;
+  std::vector<WireRecordId> ids;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(view);
+    e.PutU64(new_ordered_gp);
+    e.PutVector(ids);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&view) && d.GetU64(&new_ordered_gp) && d.GetVector(&ids);
+  }
+};
+
+// Controller -> replica: seal the view; the replica rejects all later appends in it.
+struct SeqSealReq {
+  ViewId view = 0;
+
+  void Encode(Encoder& e) const { e.PutU64(view); }
+  bool Decode(Decoder& d) { return d.GetU64(&view); }
+};
+
+struct SeqSealResp {
+  LogPos ordered_gp = 0;
+  uint64_t unordered = 0;  // entries still in the local log
+
+  void Encode(Encoder& e) const {
+    e.PutU64(ordered_gp);
+    e.PutU64(unordered);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&ordered_gp) && d.GetU64(&unordered); }
+};
+
+// Controller -> recovery replica: flush your unordered log to the shards, assigning
+// positions from your last-ordered-gp, stamped with the new view (§4.5).
+struct SeqFlushReq {
+  ViewId new_view = 0;
+
+  void Encode(Encoder& e) const { e.PutU64(new_view); }
+  bool Decode(Decoder& d) { return d.GetU64(&new_view); }
+};
+
+struct SeqFlushResp {
+  LogPos new_ordered_gp = 0;
+  std::vector<WireRecordId> flushed_ids;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(new_ordered_gp);
+    e.PutVector(flushed_ids);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&new_ordered_gp) && d.GetVector(&flushed_ids); }
+};
+
+// Controller -> replicas of the new configuration: adopt the new view. Flushed ids seed
+// the duplicate filter so client retries of already-ordered records are rejected.
+struct SeqStartViewReq {
+  ViewId view = 0;
+  std::vector<uint64_t> config;  // replica node ids; config[0] is the leader
+  LogPos ordered_gp = 0;
+  LogPos stable_gp = 0;
+  std::vector<WireRecordId> flushed_ids;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(view);
+    e.PutU64Vector(config);
+    e.PutU64(ordered_gp);
+    e.PutU64(stable_gp);
+    e.PutVector(flushed_ids);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&view) && d.GetU64Vector(&config) && d.GetU64(&ordered_gp) &&
+           d.GetU64(&stable_gp) && d.GetVector(&flushed_ids);
+  }
+};
+
+struct SeqCheckTailResp {
+  LogPos durable = 0;  // number of durable records (ordered + not-yet-ordered)
+  LogPos stable = 0;   // number of stable (readable) records
+
+  void Encode(Encoder& e) const {
+    e.PutU64(durable);
+    e.PutU64(stable);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&durable) && d.GetU64(&stable); }
+};
+
+// Any replica -> client: current sequencing configuration (clients probe this after
+// failed appends to discover the new view).
+struct SeqConfigResp {
+  ViewId view = 0;
+  bool sealed = false;
+  std::vector<uint64_t> config;  // config[0] is the leader
+
+  void Encode(Encoder& e) const {
+    e.PutU64(view);
+    e.PutBool(sealed);
+    e.PutU64Vector(config);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&view) && d.GetBool(&sealed) && d.GetU64Vector(&config);
+  }
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_SEQ_SEQ_MESSAGES_H_

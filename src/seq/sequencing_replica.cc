@@ -1,0 +1,482 @@
+#include "src/seq/sequencing_replica.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+SequencingReplica::SequencingReplica(Network* net, const SimParams& params, ErwinMode mode,
+                                     uint32_t index, NodeId zk)
+    : endpoint_(net), cpu_(net->loop(), params.seq_cpu), params_(params), mode_(mode),
+      index_(index), zk_node_(zk) {
+  endpoint_.Register(kSeqAppend, [this](NodeId, Decoder d, Responder r) {
+    HandleAppend(d, std::move(r));
+  });
+  endpoint_.Register(kSeqAppendMeta, [this](NodeId, Decoder d, Responder r) {
+    HandleAppend(d, std::move(r));
+  });
+  endpoint_.Register(kSeqGc, [this](NodeId, Decoder d, Responder r) {
+    HandleGc(d, std::move(r));
+  });
+  endpoint_.Register(kSeqSeal, [this](NodeId, Decoder d, Responder r) {
+    HandleSeal(d, std::move(r));
+  });
+  endpoint_.Register(kSeqFetchLog, [this](NodeId, Decoder d, Responder r) {
+    HandleFlush(d, std::move(r));
+  });
+  endpoint_.Register(kSeqStartView, [this](NodeId, Decoder d, Responder r) {
+    HandleStartView(d, std::move(r));
+  });
+  endpoint_.Register(kSeqCheckTail, [this](NodeId, Decoder d, Responder r) {
+    HandleCheckTail(d, std::move(r));
+  });
+  endpoint_.Register(kSeqGetConfig, [this](NodeId, Decoder d, Responder r) {
+    HandleGetConfig(d, std::move(r));
+  });
+  endpoint_.Register(kSeqTrim, [this](NodeId, Decoder d, Responder r) {
+    HandleTrim(d, std::move(r));
+  });
+}
+
+void SequencingReplica::Start(std::vector<NodeId> config, std::vector<NodeId> shard_primaries,
+                              std::vector<NodeId> all_shard_servers) {
+  config_ = std::move(config);
+  shard_primaries_ = std::move(shard_primaries);
+  all_shard_servers_ = std::move(all_shard_servers);
+  if (zk_node_ != kInvalidNode) {
+    zk_session_ = std::make_unique<ZkSession>(&endpoint_, zk_node_, params_.control);
+    zk_session_->Start("/seq/replicas/" + std::to_string(index_));
+  }
+  if (is_leader() && !ordering_armed_) {
+    ordering_armed_ = true;
+    endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns, [this]() { OrderingTick(); });
+  }
+}
+
+void SequencingReplica::AddShard(NodeId primary, std::vector<NodeId> replicas) {
+  shard_primaries_.push_back(primary);
+  for (NodeId n : replicas) {
+    all_shard_servers_.push_back(n);
+  }
+}
+
+void SequencingReplica::ReplaceShardServer(NodeId old_node, NodeId new_node) {
+  for (NodeId& n : shard_primaries_) {
+    if (n == old_node) {
+      n = new_node;
+    }
+  }
+  for (NodeId& n : all_shard_servers_) {
+    if (n == old_node) {
+      n = new_node;
+    }
+  }
+}
+
+std::vector<RecordId> SequencingReplica::LogIds() const {
+  std::vector<RecordId> ids;
+  ids.reserve(log_.size());
+  for (const Entry& e : log_) {
+    ids.push_back(e.id);
+  }
+  return ids;
+}
+
+// --- appends ---------------------------------------------------------------------------
+
+bool SequencingReplica::IsDuplicate(const RecordId& id) const {
+  return in_log_.count(id) > 0 || recently_ordered_.count(id) > 0;
+}
+
+void SequencingReplica::RememberOrdered(const std::vector<WireRecordId>& ids) {
+  const SimTime now = endpoint_.loop()->Now();
+  for (const WireRecordId& w : ids) {
+    if (recently_ordered_.insert(w.id).second) {
+      ordered_expiry_.emplace_back(now, w.id);
+    }
+  }
+  PruneRemembered();
+}
+
+void SequencingReplica::PruneRemembered() {
+  // Retries can arrive at most ~one rpc timeout after the original; keep a safety margin.
+  const uint64_t window = 4 * params_.rpc_timeout_ns;
+  const SimTime now = endpoint_.loop()->Now();
+  while (!ordered_expiry_.empty() && now - ordered_expiry_.front().first > window) {
+    recently_ordered_.erase(ordered_expiry_.front().second);
+    ordered_expiry_.pop_front();
+  }
+}
+
+void SequencingReplica::HandleAppend(Decoder d, Responder r) {
+  SeqAppendReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad append"));
+    return;
+  }
+  if (sealed_) {
+    r.Send(Status::Sealed());
+    return;
+  }
+  if (req.view != view_) {
+    r.Send(Status::WrongView());
+    return;
+  }
+  const uint64_t bytes =
+      req.is_meta ? params_.seq.metadata_entry_bytes : req.payload.size();
+  cpu_.ExecuteFor(bytes, [this, req = std::move(req), r]() mutable {
+    if (sealed_) {
+      r.Send(Status::Sealed());
+      return;
+    }
+    if (IsDuplicate(req.id)) {
+      // Retried append (view change or packet loss): already durable here; idempotent OK.
+      stats_.duplicates_filtered++;
+      r.Send(Status::Ok());
+      return;
+    }
+    log_.push_back(Entry{req.id, std::move(req.payload), req.target_shard});
+    in_log_.insert(req.id);
+    stats_.appends++;
+    r.Send(Status::Ok());
+  });
+}
+
+// --- background ordering (§4.3) ---------------------------------------------------------
+
+void SequencingReplica::OrderingTick() {
+  if (!is_leader() || sealed_) {
+    ordering_armed_ = false;  // re-armed by StartView if we lead again
+    return;
+  }
+  if (!batch_in_flight_ && !log_.empty()) {
+    StartOrderingBatch();
+  }
+  endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns, [this]() { OrderingTick(); });
+}
+
+void SequencingReplica::StartOrderingBatch() {
+  batch_in_flight_ = true;
+  const uint64_t k = std::min<uint64_t>(log_.size(), max_batch_);
+  std::vector<Entry> batch(log_.begin(), log_.begin() + static_cast<long>(k));
+  std::vector<WireRecordId> ids;
+  ids.reserve(k);
+  for (const Entry& e : batch) {
+    ids.push_back(WireRecordId{e.id});
+  }
+  stats_.batches++;
+  stats_.batch_entries += k;
+  const ViewId batch_view = view_;
+  PushBatchToShards(std::move(batch), ordered_gp_, batch_view, /*overwrite=*/false,
+                    [this, k, ids = std::move(ids), batch_view](bool ok) mutable {
+                      if (sealed_ || view_ != batch_view || !is_leader()) {
+                        return;  // reconfiguration owns the log now
+                      }
+                      if (!ok) {
+                        // A shard missed the batch; retry the same positions (shards
+                        // apply idempotently).
+                        endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns,
+                                                   [this]() {
+                                                     batch_in_flight_ = false;
+                                                     if (!sealed_ && is_leader()) {
+                                                       StartOrderingBatch();
+                                                     }
+                                                   });
+                        return;
+                      }
+                      OnShardsAcked(k, std::move(ids));
+                    });
+}
+
+void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_pos,
+                                          ViewId view, bool overwrite,
+                                          std::function<void(bool ok)> done) {
+  const size_t n_shards = shard_primaries_.size();
+  LL_CHECK(n_shards > 0, "ordering without shards");
+  auto gather = Gather::Create(n_shards, [done = std::move(done)](const std::vector<Status>& ss) {
+    const bool ok = std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
+    done(ok);
+  });
+  if (mode_ == ErwinMode::kM) {
+    // Corfu-style placement: position p lives on shard p mod n (§4.3). Every primary
+    // gets a request (possibly empty) so recovery truncation reaches all shards.
+    std::vector<ShardAppendBatchReq> reqs(n_shards);
+    for (size_t s = 0; s < n_shards; ++s) {
+      reqs[s].view = view;
+      reqs[s].overwrite = overwrite;
+      reqs[s].truncate_from = base_pos;
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const LogPos pos = base_pos + i;
+      auto& req = reqs[pos % n_shards];
+      req.records.push_back(
+          PositionedRecord{pos, Record{batch[i].id, std::move(batch[i].payload), false}});
+    }
+    for (size_t s = 0; s < n_shards; ++s) {
+      if (!overwrite && reqs[s].records.empty()) {
+        // Nothing for this shard and nothing to truncate: complete the slot locally.
+        gather->Slot(s)(Status::Ok(), "");
+        continue;
+      }
+      endpoint_.CallMsg(shard_primaries_[s], kShardAppendBatch, reqs[s], gather->Slot(s),
+                        params_.rpc_timeout_ns);
+    }
+    return;
+  }
+  // Erwin-st: push the full ordered metadata segment to every shard primary (§5.2).
+  ShardOrderMetaReq req;
+  req.view = view;
+  req.overwrite = overwrite;
+  req.truncate_from = base_pos;
+  req.entries.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    req.entries.push_back(MetaEntry{base_pos + i, batch[i].id, batch[i].shard});
+  }
+  Encoder enc;
+  req.Encode(enc);
+  const std::string body = enc.Take();
+  for (size_t s = 0; s < n_shards; ++s) {
+    endpoint_.Call(shard_primaries_[s], kShardOrderMeta, body, gather->Slot(s),
+                   params_.rpc_timeout_ns);
+  }
+}
+
+void SequencingReplica::OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids) {
+  // Records are safe on the shards: GC the leader's log and advance last-ordered-gp.
+  for (uint64_t i = 0; i < k; ++i) {
+    in_log_.erase(log_.front().id);
+    log_.pop_front();
+  }
+  ordered_gp_ += k;
+  RememberOrdered(ids);
+  stats_.gc_rounds++;
+
+  // Instruct followers to GC and advance their last-ordered-gp; stable-gp may only
+  // advance after *all* replicas have done so (§4.5 correctness argument).
+  SeqGcReq gc;
+  gc.view = view_;
+  gc.new_ordered_gp = ordered_gp_;
+  gc.ids = std::move(ids);
+  const size_t followers = config_.size() - 1;
+  const ViewId gc_view = view_;
+  if (followers == 0) {
+    stable_gp_ = ordered_gp_;
+    BroadcastStableGp();
+    batch_in_flight_ = false;
+    if (!log_.empty()) {
+      StartOrderingBatch();
+    }
+    return;
+  }
+  auto gather = Gather::Create(followers, [this, gc_view](const std::vector<Status>& ss) {
+    if (sealed_ || view_ != gc_view || !is_leader()) {
+      return;
+    }
+    const bool ok = std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
+    if (!ok) {
+      // A follower is unreachable; stable-gp must not advance. Stall until the control
+      // plane reconfigures (its flush re-establishes the invariant).
+      LLOG(kInfo) << "seq leader: follower gc failed; stalling stable-gp";
+      batch_in_flight_ = false;
+      return;
+    }
+    stable_gp_ = ordered_gp_;
+    BroadcastStableGp();
+    batch_in_flight_ = false;
+    if (!log_.empty()) {
+      StartOrderingBatch();
+    }
+  });
+  Encoder enc;
+  gc.Encode(enc);
+  const std::string body = enc.Take();
+  for (size_t i = 1; i < config_.size(); ++i) {
+    endpoint_.Call(config_[i], kSeqGc, body, gather->Slot(i - 1), params_.rpc_timeout_ns);
+  }
+}
+
+void SequencingReplica::BroadcastStableGp() {
+  StableGpMsg msg{view_, stable_gp_};
+  Encoder enc;
+  msg.Encode(enc);
+  const std::string body = enc.Take();
+  for (NodeId n : all_shard_servers_) {
+    endpoint_.Call(n, kShardSetStableGp, body, nullptr, 0);
+  }
+}
+
+void SequencingReplica::HandleGc(Decoder d, Responder r) {
+  SeqGcReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad gc"));
+    return;
+  }
+  if (req.view != view_ || sealed_) {
+    r.Send(Status::WrongView());
+    return;
+  }
+  cpu_.ExecuteFor(req.ids.size() * 16, [this, req = std::move(req), r]() mutable {
+    if (sealed_) {
+      r.Send(Status::Sealed());
+      return;
+    }
+    std::unordered_set<RecordId, RecordIdHash> gone;
+    gone.reserve(req.ids.size());
+    for (const WireRecordId& w : req.ids) {
+      gone.insert(w.id);
+    }
+    std::deque<Entry> kept;
+    for (Entry& e : log_) {
+      if (gone.count(e.id) > 0) {
+        in_log_.erase(e.id);
+      } else {
+        kept.push_back(std::move(e));
+      }
+    }
+    log_ = std::move(kept);
+    ordered_gp_ = std::max(ordered_gp_, req.new_ordered_gp);
+    RememberOrdered(req.ids);
+    stats_.gc_rounds++;
+    r.Send(Status::Ok());
+  });
+}
+
+// --- reconfiguration (§4.5) -------------------------------------------------------------
+
+void SequencingReplica::HandleSeal(Decoder d, Responder r) {
+  SeqSealReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad seal"));
+    return;
+  }
+  if (req.view < view_) {
+    r.Send(Status::WrongView());
+    return;
+  }
+  sealed_ = true;
+  SeqSealResp resp{ordered_gp_, log_.size()};
+  Encoder e;
+  resp.Encode(e);
+  r.Ok(e);
+}
+
+void SequencingReplica::HandleFlush(Decoder d, Responder r) {
+  SeqFlushReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad flush"));
+    return;
+  }
+  LL_CHECK(sealed_, "flush on unsealed replica");
+  // Flush this replica's unordered log to the shards, assigning positions from our
+  // last-ordered-gp (§4.5). The push overwrites any unstable tail the dead leader wrote.
+  std::vector<Entry> batch(log_.begin(), log_.end());
+  std::vector<WireRecordId> ids;
+  ids.reserve(batch.size());
+  for (const Entry& e : batch) {
+    ids.push_back(WireRecordId{e.id});
+  }
+  const uint64_t k = batch.size();
+  PushBatchToShards(std::move(batch), ordered_gp_, req.new_view, /*overwrite=*/true,
+                    [this, k, ids = std::move(ids), r](bool ok) mutable {
+                      if (!ok) {
+                        r.Send(Status::Unavailable("flush push failed"));
+                        return;
+                      }
+                      ordered_gp_ += k;
+                      RememberOrdered(ids);
+                      for (const Entry& e : log_) {
+                        in_log_.erase(e.id);
+                      }
+                      log_.clear();
+                      SeqFlushResp resp;
+                      resp.new_ordered_gp = ordered_gp_;
+                      resp.flushed_ids = std::move(ids);
+                      Encoder enc;
+                      resp.Encode(enc);
+                      r.Ok(enc);
+                    });
+}
+
+void SequencingReplica::HandleStartView(Decoder d, Responder r) {
+  SeqStartViewReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad start view"));
+    return;
+  }
+  if (req.view <= view_ && view_ != 0) {
+    r.Send(Status::WrongView("stale start view"));
+    return;
+  }
+  view_ = req.view;
+  config_.assign(req.config.begin(), req.config.end());
+  ordered_gp_ = req.ordered_gp;
+  stable_gp_ = req.stable_gp;
+  RememberOrdered(req.flushed_ids);
+  for (const Entry& e : log_) {
+    in_log_.erase(e.id);
+  }
+  log_.clear();
+  in_log_.clear();
+  sealed_ = false;
+  batch_in_flight_ = false;
+  if (is_leader() && !ordering_armed_) {
+    ordering_armed_ = true;
+    endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns, [this]() { OrderingTick(); });
+  }
+  r.Send(Status::Ok());
+}
+
+// --- misc client calls -------------------------------------------------------------------
+
+void SequencingReplica::HandleCheckTail(Decoder d, Responder r) {
+  if (!is_leader()) {
+    r.Send(Status::NotLeader());
+    return;
+  }
+  cpu_.Execute(cpu_.CostFor(0), [this, r]() mutable {
+    SeqCheckTailResp resp{ordered_gp_ + log_.size(), stable_gp_};
+    Encoder e;
+    resp.Encode(e);
+    r.Ok(e);
+  });
+}
+
+void SequencingReplica::HandleGetConfig(Decoder d, Responder r) {
+  SeqConfigResp resp;
+  resp.view = view_;
+  resp.sealed = sealed_;
+  resp.config.assign(config_.begin(), config_.end());
+  Encoder e;
+  resp.Encode(e);
+  r.Ok(e);
+}
+
+void SequencingReplica::HandleTrim(Decoder d, Responder r) {
+  TrimMsg msg;
+  if (!msg.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad trim"));
+    return;
+  }
+  if (!is_leader()) {
+    r.Send(Status::NotLeader());
+    return;
+  }
+  // Positions below min(stable-gp, up_to) are safe to drop everywhere.
+  msg.up_to = std::min<LogPos>(msg.up_to, stable_gp_);
+  Encoder enc;
+  msg.Encode(enc);
+  const std::string body = enc.Take();
+  auto gather = Gather::Create(all_shard_servers_.size(),
+                               [r](const std::vector<Status>& ss) mutable {
+                                 const bool ok = std::all_of(
+                                     ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
+                                 r.Send(ok ? Status::Ok() : Status::Internal("trim failed"));
+                               });
+  for (size_t i = 0; i < all_shard_servers_.size(); ++i) {
+    endpoint_.Call(all_shard_servers_[i], kShardTrim, body, gather->Slot(i),
+                   params_.rpc_timeout_ns);
+  }
+}
+
+}  // namespace lazylog

@@ -1,0 +1,143 @@
+// A sequencing-layer replica (§4). Clients write records (Erwin-m) or metadata
+// identifiers (Erwin-st) to every replica in parallel with no cross-replica
+// coordination; each replica appends to a local ring-buffer log and replies, so appends
+// complete in 1 RTT. The leader's log defines the order for concurrent appends: its
+// background orderer periodically assigns positions, pushes batches to the shards,
+// garbage-collects all replicas, and only then advances stable-gp (§4.3) — the invariant
+// that makes exposed orderings immune to leader failure (§4.5).
+#ifndef SRC_SEQ_SEQUENCING_REPLICA_H_
+#define SRC_SEQ_SEQUENCING_REPLICA_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/params.h"
+#include "src/control/zookeeper.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/rpc_methods.h"
+#include "src/seq/seq_messages.h"
+#include "src/sim/resources.h"
+#include "src/storage/shard_messages.h"
+
+namespace lazylog {
+
+// Which LazyLog system this cluster runs; affects what the sequencing layer stores and
+// what the orderer pushes to shards.
+enum class ErwinMode { kM, kSt };
+
+// Orderer statistics for Fig 11 (ordering batch sizes) and Fig 17 (recovery timing).
+struct SeqStats {
+  uint64_t appends = 0;
+  uint64_t duplicates_filtered = 0;
+  uint64_t batches = 0;
+  uint64_t batch_entries = 0;  // sum of batch sizes
+  uint64_t gc_rounds = 0;
+  double AvgBatchSize() const {
+    return batches == 0 ? 0.0 : static_cast<double>(batch_entries) / static_cast<double>(batches);
+  }
+};
+
+class SequencingReplica {
+ public:
+  // `shard_primaries[i]` / `shard_servers` wire the orderer to the storage tier.
+  // `zk` (optional, kInvalidNode to disable) hosts this replica's liveness ephemeral.
+  SequencingReplica(Network* net, const SimParams& params, ErwinMode mode, uint32_t index,
+                    NodeId zk = kInvalidNode);
+
+  NodeId node_id() const { return endpoint_.node_id(); }
+
+  // Wires the replica set (config[0] = leader) and the storage tier, then starts the
+  // leader's background-ordering timer and the ZK liveness session.
+  void Start(std::vector<NodeId> config, std::vector<NodeId> shard_primaries,
+             std::vector<NodeId> all_shard_servers);
+
+  // Runtime shard addition (Erwin-st §6.9): the orderer starts including the new
+  // primary in metadata pushes.
+  void AddShard(NodeId primary, std::vector<NodeId> replicas);
+
+  // Shard-replica replacement (§5.4): rewires stable-gp broadcasts (and pushes, if the
+  // node was a primary) from the failed server to its replacement.
+  void ReplaceShardServer(NodeId old_node, NodeId new_node);
+
+  // Simulates a crash: stop heartbeats (the network-level crash is done by the caller).
+  void StopHeartbeats() { zk_session_ ? zk_session_->Stop() : void(); }
+
+  // --- introspection ---
+  bool is_leader() const { return !config_.empty() && config_[0] == node_id(); }
+  ViewId view() const { return view_; }
+  bool sealed() const { return sealed_; }
+  LogPos ordered_gp() const { return ordered_gp_; }
+  LogPos stable_gp() const { return stable_gp_; }
+  uint64_t unordered_size() const { return log_.size(); }
+  const SeqStats& stats() const { return stats_; }
+  const std::vector<NodeId>& config() const { return config_; }
+  // Exposes the local log order for linearizability tests.
+  std::vector<RecordId> LogIds() const;
+
+ private:
+  struct Entry {
+    RecordId id;
+    std::string payload;
+    ShardId shard = 0;
+  };
+
+  // Handlers.
+  void HandleAppend(Decoder d, Responder r);
+  void HandleGc(Decoder d, Responder r);
+  void HandleSeal(Decoder d, Responder r);
+  void HandleFlush(Decoder d, Responder r);
+  void HandleStartView(Decoder d, Responder r);
+  void HandleCheckTail(Decoder d, Responder r);
+  void HandleGetConfig(Decoder d, Responder r);
+  void HandleTrim(Decoder d, Responder r);
+
+  // Background ordering (leader only).
+  void OrderingTick();
+  void StartOrderingBatch();
+  void PushBatchToShards(std::vector<Entry> batch, LogPos base_pos, ViewId view,
+                         bool overwrite, std::function<void(bool ok)> done);
+  void OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids);
+  void BroadcastStableGp();
+
+  // Duplicate filter: an id is filtered if currently in the log or recently ordered.
+  bool IsDuplicate(const RecordId& id) const;
+  void RememberOrdered(const std::vector<WireRecordId>& ids);
+  void PruneRemembered();
+
+  RpcEndpoint endpoint_;
+  ServerCpu cpu_;
+  SimParams params_;
+  ErwinMode mode_;
+  uint32_t index_;
+  NodeId zk_node_;
+  std::unique_ptr<ZkSession> zk_session_;
+
+  ViewId view_ = 0;
+  bool sealed_ = false;
+  std::vector<NodeId> config_;
+  std::vector<NodeId> shard_primaries_;
+  std::vector<NodeId> all_shard_servers_;
+
+  // The local log: the paper's ring buffer. Entries leave only via GC/flush.
+  std::deque<Entry> log_;
+  LogPos ordered_gp_ = 0;  // count of globally ordered records known here
+  LogPos stable_gp_ = 0;   // leader: count of stable records
+
+  // Duplicate filtering (footnote in §4.3 and retry handling in §4.5).
+  std::unordered_set<RecordId, RecordIdHash> in_log_;
+  std::unordered_set<RecordId, RecordIdHash> recently_ordered_;
+  std::deque<std::pair<SimTime, RecordId>> ordered_expiry_;
+
+  bool ordering_armed_ = false;
+  bool batch_in_flight_ = false;
+  uint64_t max_batch_ = 16384;
+
+  SeqStats stats_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_SEQ_SEQUENCING_REPLICA_H_

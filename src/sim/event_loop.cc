@@ -1,0 +1,68 @@
+#include "src/sim/event_loop.h"
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+bool EventHandle::Pending() const { return state_ != nullptr && !state_->cancelled && state_->fn; }
+
+void EventHandle::Cancel() {
+  if (state_ != nullptr) {
+    state_->cancelled = true;
+    state_->fn = nullptr;  // release captured resources promptly
+  }
+}
+
+EventHandle EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  state->fn = std::move(fn);
+  queue_.push(QueueEntry{at, next_seq_++, state});
+  return EventHandle(state);
+}
+
+bool EventLoop::RunOne() {
+  while (!queue_.empty()) {
+    QueueEntry e = queue_.top();
+    queue_.pop();
+    if (e.state->cancelled || !e.state->fn) {
+      continue;  // tombstone of a cancelled event
+    }
+    LL_CHECK(e.at >= now_, "event scheduled in the past");
+    now_ = e.at;
+    auto fn = std::move(e.state->fn);
+    e.state->fn = nullptr;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    const QueueEntry& top = queue_.top();
+    if (top.state->cancelled || !top.state->fn) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) {
+      break;
+    }
+    RunOne();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void EventLoop::RunUntilIdle(uint64_t max_events) {
+  uint64_t ran = 0;
+  while (ran < max_events && RunOne()) {
+    ++ran;
+  }
+  LL_CHECK(ran < max_events, "RunUntilIdle exceeded max_events; runaway rescheduling?");
+}
+
+}  // namespace lazylog

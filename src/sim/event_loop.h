@@ -1,0 +1,84 @@
+// Single-threaded discrete-event loop with a nanosecond clock. Every distributed
+// component in this repo (replicas, shards, clients, the control plane) runs as event
+// handlers on one EventLoop, which makes whole-cluster executions deterministic and
+// lets tests inject failures at exact instants.
+#ifndef SRC_SIM_EVENT_LOOP_H_
+#define SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace lazylog {
+
+// Handle for a scheduled event; lets the scheduler cancel it before it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event has neither fired nor been cancelled.
+  bool Pending() const;
+  // Prevents the event from firing. Safe to call repeatedly or on an empty handle.
+  void Cancel();
+
+ private:
+  friend class EventLoop;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+// The event loop. Events scheduled for the same instant fire in scheduling order.
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Current simulated time (ns since simulation start).
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay_ns` from now. Returns a cancellable handle.
+  EventHandle Schedule(uint64_t delay_ns, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay_ns, std::move(fn));
+  }
+  // Schedules `fn` at an absolute time (clamped to now if in the past).
+  EventHandle ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Runs the single earliest pending event; returns false if none remain.
+  bool RunOne();
+  // Runs events until the clock would pass `deadline`; the clock ends at exactly
+  // `deadline` (events at later times stay pending).
+  void RunUntil(SimTime deadline);
+  // Runs until no events remain. `max_events` guards against runaway self-rescheduling.
+  void RunUntilIdle(uint64_t max_events = UINT64_MAX);
+
+  // Number of pending (non-cancelled) events. O(queue) only when exact is needed;
+  // this returns the queue size including cancelled tombstones.
+  size_t QueuedEvents() const { return queue_.size(); }
+
+ private:
+  struct QueueEntry {
+    SimTime at;
+    uint64_t seq;
+    std::shared_ptr<EventHandle::State> state;
+    bool operator>(const QueueEntry& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_SIM_EVENT_LOOP_H_

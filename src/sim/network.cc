@@ -1,0 +1,77 @@
+#include "src/sim/network.h"
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+NodeId Network::AddNode(Handler handler) {
+  const NodeId id = static_cast<NodeId>(handlers_.size());
+  handlers_.push_back(std::move(handler));
+  up_.push_back(true);
+  nic_free_.push_back(0);
+  nic_bulk_free_.push_back(0);
+  return id;
+}
+
+void Network::SetHandler(NodeId id, Handler handler) {
+  LL_CHECK(id < handlers_.size(), "SetHandler on unknown node");
+  handlers_[id] = std::move(handler);
+}
+
+void Network::Send(NodeId from, NodeId to, std::string payload) {
+  LL_CHECK(from < handlers_.size() && to < handlers_.size(), "Send between unknown nodes");
+  ++messages_sent_;
+  if (!IsUp(from) || Partitioned(from, to)) {
+    return;  // sender is dead or the link is cut; message never leaves
+  }
+  if (loss_probability_ > 0.0 && rng_.Chance(loss_probability_)) {
+    return;
+  }
+  const uint64_t bytes = payload.size() + params_.per_message_overhead_bytes;
+  bytes_sent_ += bytes;
+
+  // Serialize on the sender NIC: back-to-back sends queue behind each other. Bulk
+  // transfers use a separate lane (see header comment).
+  constexpr uint64_t kBulkThresholdBytes = 64 * 1024;
+  const SimTime now = loop_->Now();
+  auto& lane = bytes >= kBulkThresholdBytes ? nic_bulk_free_ : nic_free_;
+  const SimTime start = std::max(now, lane[from]);
+  const uint64_t ser_ns = static_cast<uint64_t>(
+      static_cast<double>(bytes) / params_.bandwidth_bytes_per_sec * 1e9);
+  lane[from] = start + ser_ns;
+
+  const uint64_t jitter = params_.jitter_ns > 0 ? rng_.Uniform(params_.jitter_ns) : 0;
+  const SimTime deliver_at = lane[from] + params_.propagation_ns + jitter;
+
+  loop_->ScheduleAt(deliver_at, [this, from, to, p = std::move(payload)]() mutable {
+    if (!IsUp(to) || Partitioned(from, to)) {
+      return;  // destination died or link cut while in flight
+    }
+    ++messages_delivered_;
+    if (handlers_[to]) {
+      handlers_[to](NetMessage{from, to, std::move(p)});
+    }
+  });
+}
+
+void Network::Crash(NodeId id) {
+  LL_CHECK(id < up_.size(), "Crash on unknown node");
+  up_[id] = false;
+}
+
+void Network::Restart(NodeId id) {
+  LL_CHECK(id < up_.size(), "Restart on unknown node");
+  up_[id] = true;
+  nic_free_[id] = loop_->Now();
+  nic_bulk_free_[id] = loop_->Now();
+}
+
+void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  if (partitioned) {
+    partitions_.insert(Key(a, b));
+  } else {
+    partitions_.erase(Key(a, b));
+  }
+}
+
+}  // namespace lazylog

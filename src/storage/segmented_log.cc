@@ -1,0 +1,74 @@
+#include "src/storage/segmented_log.h"
+
+namespace lazylog {
+
+uint64_t SegmentedLog::Append(Record record) {
+  if (segments_.empty() || segments_.back().entries.size() == entries_per_segment_) {
+    segments_.push_back(Segment{next_index_, {}});
+    segments_.back().entries.reserve(entries_per_segment_);
+  }
+  total_bytes_ += record.payload.size();
+  segments_.back().entries.push_back(std::move(record));
+  return next_index_++;
+}
+
+const Record* SegmentedLog::Locate(uint64_t index) const {
+  if (index >= next_index_ || segments_.empty() || index < segments_.front().base) {
+    return nullptr;
+  }
+  // Segments have fixed capacity, so the target is computable from the first base.
+  const uint64_t offset = index - segments_.front().base;
+  const size_t seg = static_cast<size_t>(offset / entries_per_segment_);
+  const size_t slot = static_cast<size_t>(offset % entries_per_segment_);
+  if (seg >= segments_.size() || slot >= segments_[seg].entries.size()) {
+    return nullptr;
+  }
+  return &segments_[seg].entries[slot];
+}
+
+const Record* SegmentedLog::Get(uint64_t index) const { return Locate(index); }
+
+void SegmentedLog::Overwrite(uint64_t index, Record record) {
+  const Record* r = Locate(index);
+  LL_CHECK(r != nullptr, "Overwrite of missing entry");
+  Record* mut = const_cast<Record*>(r);
+  total_bytes_ -= mut->payload.size();
+  total_bytes_ += record.payload.size();
+  *mut = std::move(record);
+}
+
+void SegmentedLog::TruncateFrom(uint64_t index) {
+  if (index >= next_index_) {
+    return;
+  }
+  LL_CHECK(index >= base_index_, "TruncateFrom below trimmed prefix");
+  while (!segments_.empty() && segments_.back().base >= index) {
+    for (const Record& r : segments_.back().entries) {
+      total_bytes_ -= r.payload.size();
+    }
+    segments_.pop_back();
+  }
+  if (!segments_.empty()) {
+    Segment& last = segments_.back();
+    const uint64_t keep = index - last.base;
+    while (last.entries.size() > keep) {
+      total_bytes_ -= last.entries.back().payload.size();
+      last.entries.pop_back();
+    }
+  }
+  next_index_ = index;
+}
+
+void SegmentedLog::TrimTo(uint64_t index) {
+  while (!segments_.empty() &&
+         segments_.front().base + segments_.front().entries.size() <= index &&
+         segments_.front().entries.size() == entries_per_segment_) {
+    for (const Record& r : segments_.front().entries) {
+      total_bytes_ -= r.payload.size();
+    }
+    segments_.pop_front();
+  }
+  base_index_ = segments_.empty() ? next_index_ : segments_.front().base;
+}
+
+}  // namespace lazylog

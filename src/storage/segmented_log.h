@@ -1,0 +1,66 @@
+// Segmented in-memory log mirroring the paper's shard storage layout (§5.6): a shard
+// stores its log portion across multiple fixed-entry "files" (segments) so locating the
+// target segment for a read is O(1). Segments can be dropped from the front on trim and
+// truncated from the back during recovery overwrites.
+#ifndef SRC_STORAGE_SEGMENTED_LOG_H_
+#define SRC_STORAGE_SEGMENTED_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+
+namespace lazylog {
+
+// Dense log of records indexed by a shard-local sequence number starting at 0.
+class SegmentedLog {
+ public:
+  explicit SegmentedLog(size_t entries_per_segment = 4096)
+      : entries_per_segment_(entries_per_segment) {
+    LL_CHECK(entries_per_segment_ > 0, "segment size must be positive");
+  }
+
+  // Appends a record; returns its local index.
+  uint64_t Append(Record record);
+
+  // Returns the record at `index`; nullptr if trimmed or beyond the tail.
+  const Record* Get(uint64_t index) const;
+
+  // Overwrites an existing (non-trimmed) entry in place.
+  void Overwrite(uint64_t index, Record record);
+
+  // Removes all entries with index >= `index` (recovery tail rewrite).
+  void TruncateFrom(uint64_t index);
+
+  // Garbage-collects whole segments whose entries all have index < `index`.
+  // Entries below `index` may survive until their segment is fully covered.
+  void TrimTo(uint64_t index);
+
+  // First index that is still (possibly) present.
+  uint64_t first_index() const { return base_index_; }
+  // One past the last appended index.
+  uint64_t end_index() const { return next_index_; }
+  uint64_t size() const { return next_index_ - base_index_; }
+  size_t segment_count() const { return segments_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Segment {
+    uint64_t base;  // index of slot 0
+    std::vector<Record> entries;
+  };
+
+  const Record* Locate(uint64_t index) const;
+
+  size_t entries_per_segment_;
+  std::deque<Segment> segments_;
+  uint64_t base_index_ = 0;  // smallest retained index (segment-granular)
+  uint64_t next_index_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_STORAGE_SEGMENTED_LOG_H_

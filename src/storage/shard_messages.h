@@ -1,0 +1,186 @@
+// Wire messages exchanged with shard servers. Shared by the Erwin background orderer,
+// the Erwin-m/st clients, and the recovery path.
+#ifndef SRC_STORAGE_SHARD_MESSAGES_H_
+#define SRC_STORAGE_SHARD_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/types.h"
+
+namespace lazylog {
+
+// One globally positioned record, as pushed by the background orderer (Erwin-m) or
+// replicated primary->backup.
+struct PositionedRecord {
+  LogPos pos = 0;
+  Record record;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(pos);
+    EncodeRecord(e, record);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&pos) && DecodeRecord(d, &record); }
+};
+
+// Orderer -> shard primary: a batch of ordered records (Erwin-m). `overwrite` is set on
+// the recovery flush, where previously pushed (but unstable) tail entries may be
+// logically rewritten (§4.5).
+struct ShardAppendBatchReq {
+  ViewId view = 0;
+  bool overwrite = false;
+  LogPos truncate_from = 0;  // valid when overwrite: drop local entries with pos >= this
+  std::vector<PositionedRecord> records;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(view);
+    e.PutBool(overwrite);
+    e.PutU64(truncate_from);
+    e.PutVector(records);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&view) && d.GetBool(&overwrite) && d.GetU64(&truncate_from) &&
+           d.GetVector(&records);
+  }
+};
+
+// Client read request. `pos` is a global log position; the shard gates the response on
+// stable-gp (slow path waits). `nowait` makes the shard answer OUT_OF_RANGE instead of
+// waiting (used by tests and by readers that poll).
+struct ShardReadReq {
+  LogPos pos = 0;
+  uint32_t len = 1;  // max records to return (all on this shard, ascending positions)
+  bool nowait = false;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(pos);
+    e.PutU32(len);
+    e.PutBool(nowait);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&pos) && d.GetU32(&len) && d.GetBool(&nowait); }
+};
+
+struct ShardReadResp {
+  std::vector<PositionedRecord> records;
+
+  void Encode(Encoder& e) const { e.PutVector(records); }
+  bool Decode(Decoder& d) { return d.GetVector(&records); }
+};
+
+// Erwin-st client data write: durable-on-arrival record data, not yet ordered.
+struct ShardPutDataReq {
+  RecordId id;
+  std::string payload;
+
+  void Encode(Encoder& e) const {
+    EncodeRecordId(e, id);
+    e.PutBytes(payload);
+  }
+  bool Decode(Decoder& d) { return DecodeRecordId(d, &id) && d.GetBytes(&payload); }
+};
+
+// One metadata entry: global position -> (record id, shard that holds the data).
+struct MetaEntry {
+  LogPos pos = 0;
+  RecordId id;
+  ShardId shard = 0;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(pos);
+    EncodeRecordId(e, id);
+    e.PutU32(shard);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&pos) && DecodeRecordId(d, &id) && d.GetU32(&shard);
+  }
+};
+
+// Orderer -> every shard primary (Erwin-st): the ordered metadata log segment. Each
+// primary stores the full position->shard map and binds the positions it owns.
+struct ShardOrderMetaReq {
+  ViewId view = 0;
+  bool overwrite = false;
+  LogPos truncate_from = 0;  // valid when overwrite
+  std::vector<MetaEntry> entries;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(view);
+    e.PutBool(overwrite);
+    e.PutU64(truncate_from);
+    e.PutVector(entries);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&view) && d.GetBool(&overwrite) && d.GetU64(&truncate_from) &&
+           d.GetVector(&entries);
+  }
+};
+
+// Client -> any shard server (Erwin-st): fetch position->shard mappings for caching.
+struct ShardPosMapReq {
+  LogPos from = 0;
+  uint32_t len = 0;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(from);
+    e.PutU32(len);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&from) && d.GetU32(&len); }
+};
+
+struct ShardPosMapResp {
+  LogPos from = 0;
+  std::vector<uint64_t> shard_ids;  // shard id per position, dense from `from`
+
+  void Encode(Encoder& e) const {
+    e.PutU64(from);
+    e.PutU64Vector(shard_ids);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&from) && d.GetU64Vector(&shard_ids); }
+};
+
+// Orderer/controller -> shard server: advance the stable global position. `stable_gp`
+// uses count semantics: positions < stable_gp are stable and readable.
+struct StableGpMsg {
+  ViewId view = 0;
+  LogPos stable_gp = 0;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(view);
+    e.PutU64(stable_gp);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&view) && d.GetU64(&stable_gp); }
+};
+
+// Client -> shard: garbage-collect positions < up_to.
+struct TrimMsg {
+  LogPos up_to = 0;
+
+  void Encode(Encoder& e) const { e.PutU64(up_to); }
+  bool Decode(Decoder& d) { return d.GetU64(&up_to); }
+};
+
+// Backup -> primary (Erwin-st): fetch the resolved record bound at `pos` (repairs a
+// backup that never received the data for an unacknowledged append).
+struct FetchRecordReq {
+  LogPos pos = 0;
+
+  void Encode(Encoder& e) const { e.PutU64(pos); }
+  bool Decode(Decoder& d) { return d.GetU64(&pos); }
+};
+
+// Primary -> backup (Erwin-st): position `pos` resolved as a no-op for record `id`.
+struct NoOpMsg {
+  LogPos pos = 0;
+  RecordId id;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(pos);
+    EncodeRecordId(e, id);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&pos) && DecodeRecordId(d, &id); }
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_STORAGE_SHARD_MESSAGES_H_

@@ -1,0 +1,799 @@
+#include "src/storage/shard_server.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+namespace {
+// Ack a client data put only once the disk backlog is below this horizon; bounds memory
+// and makes shard throughput saturate at disk bandwidth (§5.1's "durability in the
+// critical path is memory, disk catches up in the background").
+constexpr uint64_t kDiskAdmissionHorizonNs = 2 * kMs;
+constexpr uint64_t kScrubIntervalNs = 50 * kMs;
+}  // namespace
+
+void ShardServer::BatchAck::Complete(const Status& s) {
+  if (!s.ok()) {
+    failed = true;
+  }
+  LL_CHECK(waits > 0, "BatchAck over-completed");
+  if (--waits == 0 && responder.valid()) {
+    responder.Send(failed ? Status::Internal("shard batch failed") : Status::Ok());
+  }
+}
+
+ShardServer::ShardServer(Network* net, const SimParams& params, ShardMode mode,
+                         ShardId shard_id, uint32_t num_shards)
+    : endpoint_(net),
+      cpu_(net->loop(), params.shard_cpu),
+      disk_(net->loop(), params.disk),
+      params_(params),
+      mode_(mode),
+      shard_id_(shard_id),
+      num_shards_(num_shards) {
+  endpoint_.Register(kShardAppendBatch, [this](NodeId, Decoder d, Responder r) {
+    HandleAppendBatch(d, std::move(r));
+  });
+  endpoint_.Register(kShardReplicate, [this](NodeId, Decoder d, Responder r) {
+    HandleReplicate(d, std::move(r));
+  });
+  endpoint_.Register(kShardRead, [this](NodeId, Decoder d, Responder r) {
+    HandleRead(d, std::move(r));
+  });
+  endpoint_.Register(kShardSetStableGp, [this](NodeId, Decoder d, Responder r) {
+    HandleSetStableGp(d, std::move(r));
+  });
+  endpoint_.Register(kShardPutData, [this](NodeId, Decoder d, Responder r) {
+    HandlePutData(d, std::move(r));
+  });
+  endpoint_.Register(kShardOrderMeta, [this](NodeId, Decoder d, Responder r) {
+    HandleOrderMeta(d, std::move(r));
+  });
+  endpoint_.Register(kShardReplicateMeta, [this](NodeId, Decoder d, Responder r) {
+    HandleReplicateMeta(d, std::move(r));
+  });
+  endpoint_.Register(kShardReplicateNoOp, [this](NodeId, Decoder d, Responder r) {
+    HandleReplicateNoOp(d, std::move(r));
+  });
+  endpoint_.Register(kShardPosMap, [this](NodeId, Decoder d, Responder r) {
+    HandlePosMap(d, std::move(r));
+  });
+  endpoint_.Register(kShardTrim, [this](NodeId, Decoder d, Responder r) {
+    HandleTrim(d, std::move(r));
+  });
+  endpoint_.Register(kShardFetchState, [this](NodeId, Decoder d, Responder r) {
+    HandleFetchState(d, std::move(r));
+  });
+  endpoint_.Register(kShardFetchRecord, [this](NodeId, Decoder d, Responder r) {
+    FetchRecordReq req;
+    if (!req.Decode(d)) {
+      r.Send(Status::InvalidArgument("bad fetch"));
+      return;
+    }
+    auto it = pos_to_local_.find(req.pos);
+    if (it == pos_to_local_.end()) {
+      r.Send(Status::Unavailable("position not bound yet"));
+      return;
+    }
+    if (pending_.size() > 0) {
+      // If this position is itself still pending at the primary, tell the backup to retry.
+      for (const auto& [id, pb] : pending_) {
+        if (pb.pos == req.pos) {
+          r.Send(Status::Unavailable("still pending"));
+          return;
+        }
+      }
+    }
+    const Record* rec = log_.Get(it->second);
+    LL_CHECK(rec != nullptr, "bound position missing from log");
+    Encoder e;
+    EncodeRecord(e, *rec);
+    r.Ok(e);
+  });
+  if (mode_ == ShardMode::kStModified) {
+    endpoint_.loop()->Schedule(kScrubIntervalNs, [this]() { ScrubOrphans(); });
+  }
+}
+
+void ShardServer::SetReplicaSet(std::vector<NodeId> replicas) {
+  replicas_ = std::move(replicas);
+}
+
+void ShardServer::Bootstrap(LogPos stable_gp, LogPos meta_next_pos) {
+  stable_gp_ = stable_gp;
+  meta_base_ = meta_next_pos;
+  trimmed_below_ = 0;
+}
+
+const Record* ShardServer::RecordAt(LogPos pos) const {
+  auto it = pos_to_local_.find(pos);
+  return it == pos_to_local_.end() ? nullptr : log_.Get(it->second);
+}
+
+uint64_t ShardServer::DiskAdmissionDelay() const {
+  const uint64_t depth = disk_.QueueDepthNs();
+  return depth > kDiskAdmissionHorizonNs ? depth - kDiskAdmissionHorizonNs : 0;
+}
+
+// --- ordered storage ----------------------------------------------------------------
+
+void ShardServer::StoreOrdered(LogPos pos, Record record, bool allow_existing) {
+  auto it = pos_to_local_.find(pos);
+  if (it != pos_to_local_.end()) {
+    LL_CHECK(allow_existing, "duplicate ordered position");
+    log_.Overwrite(it->second, std::move(record));
+    return;
+  }
+  LL_CHECK(local_pos_.empty() || pos > local_pos_.back(), "ordered positions must ascend");
+  const uint64_t local = log_.Append(std::move(record));
+  local_pos_.push_back(pos);
+  pos_to_local_[pos] = local;
+  stats_.appends++;
+}
+
+void ShardServer::TruncateOrderedFrom(LogPos pos) {
+  uint64_t dropped = 0;
+  while (!local_pos_.empty() && local_pos_.back() >= pos) {
+    const uint64_t local = log_.end_index() - 1 - dropped;
+    if (mode_ == ShardMode::kStModified) {
+      // The recovery flush will rebind these positions from the unordered pool; put the
+      // record data back so it is not lost (it was moved out of the pool at bind time).
+      const Record* rec = log_.Get(local);
+      if (rec != nullptr && !rec->no_op && pending_.count(rec->id) == 0) {
+        pool_[rec->id] = rec->payload;
+        pool_arrival_[rec->id] = endpoint_.loop()->Now();
+      }
+    }
+    pos_to_local_.erase(local_pos_.back());
+    local_pos_.pop_back();
+    ++dropped;
+  }
+  if (dropped > 0) {
+    log_.TruncateFrom(log_.end_index() - dropped);
+  }
+  // Cancel pending bindings in the truncated range (recovery rewrites them).
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.pos >= pos) {
+      it->second.timeout.Cancel();
+      if (it->second.batch) {
+        it->second.batch->Complete(Status::Ok());
+      }
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --- Erwin-m: ordered batches from the background orderer ----------------------------
+
+void ShardServer::HandleAppendBatch(Decoder d, Responder r) {
+  auto req = std::make_shared<ShardAppendBatchReq>();
+  if (!req->Decode(d)) {
+    r.Send(Status::InvalidArgument("bad append batch"));
+    return;
+  }
+  if (req->view < view_) {
+    r.Send(Status::WrongView("stale orderer view"));
+    return;
+  }
+  view_ = req->view;
+  uint64_t bytes = 0;
+  for (const auto& pr : req->records) {
+    bytes += pr.record.payload.size();
+  }
+  cpu_.ExecuteFor(bytes, [this, req, r]() mutable {
+    auto batch = std::make_shared<BatchAck>();
+    batch->responder = r;
+    batch->waits = 1;  // guard until arming completes
+    if (req->overwrite) {
+      TruncateOrderedFrom(req->truncate_from);
+    }
+    uint64_t bytes2 = 0;
+    for (auto& pr : req->records) {
+      if (!req->overwrite && pos_to_local_.count(pr.pos) > 0) {
+        continue;  // duplicate push from an orderer retry; idempotent
+      }
+      StoreOrdered(pr.pos, pr.record, req->overwrite);
+      bytes2 += pr.record.payload.size();
+    }
+    // Replicate to backups; each ack releases one wait.
+    if (is_primary()) {
+      Encoder enc;
+      req->Encode(enc);
+      const std::string body = enc.Take();
+      for (size_t i = 1; i < replicas_.size(); ++i) {
+        batch->waits++;
+        endpoint_.Call(replicas_[i], kShardReplicate, body,
+                       [batch](Status s, const std::string&) { batch->Complete(s); },
+                       params_.rpc_timeout_ns);
+      }
+    }
+    // Shards are the long-term durable tier: the batch ack (and hence GC of the
+    // sequencing replicas and the stable-gp advance) waits for the disk write. This is
+    // off the append critical path — it only sets the background-ordering cycle length,
+    // which is what makes ordering batches grow with the append rate (Fig 11).
+    batch->waits++;
+    disk_.Write(bytes2 + req->records.size() * 32,
+                [batch]() { batch->Complete(Status::Ok()); });
+    batch->Complete(Status::Ok());  // release the arming guard
+  });
+}
+
+void ShardServer::HandleReplicate(Decoder d, Responder r) {
+  // Backup side of HandleAppendBatch; identical storage path without re-replication.
+  if (loading_) {
+    r.Send(Status::Unavailable("state copy in progress"));
+    return;
+  }
+  auto req = std::make_shared<ShardAppendBatchReq>();
+  if (!req->Decode(d)) {
+    r.Send(Status::InvalidArgument("bad replicate"));
+    return;
+  }
+  if (req->view < view_) {
+    r.Send(Status::WrongView("stale view"));
+    return;
+  }
+  view_ = req->view;
+  uint64_t bytes = 0;
+  for (const auto& pr : req->records) {
+    bytes += pr.record.payload.size();
+  }
+  cpu_.ExecuteFor(bytes, [this, req, r]() mutable {
+    if (req->overwrite) {
+      TruncateOrderedFrom(req->truncate_from);
+    }
+    uint64_t bytes2 = 0;
+    for (auto& pr : req->records) {
+      if (!req->overwrite && pos_to_local_.count(pr.pos) > 0) {
+        continue;  // duplicate push (retry); idempotent
+      }
+      StoreOrdered(pr.pos, pr.record, req->overwrite);
+      bytes2 += pr.record.payload.size();
+    }
+    disk_.Write(bytes2 + req->records.size() * 32,
+                [r]() mutable { r.Send(Status::Ok()); });
+  });
+}
+
+// --- Erwin-st: unordered data + ordered metadata --------------------------------------
+
+void ShardServer::HandlePutData(Decoder d, Responder r) {
+  ShardPutDataReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad put"));
+    return;
+  }
+  if (rejected_.count(req.id) > 0) {
+    stats_.rejected_puts++;
+    r.Send(Status::Rejected("record resolved as no-op"));
+    return;
+  }
+  stats_.data_puts++;
+  const uint64_t bytes = req.payload.size();
+  cpu_.ExecuteFor(bytes, [this, req = std::move(req), r]() mutable {
+    if (rejected_.count(req.id) > 0) {
+      stats_.rejected_puts++;
+      r.Send(Status::Rejected("record resolved as no-op"));
+      return;
+    }
+    auto pending_it = pending_.find(req.id);
+    if (pending_it != pending_.end()) {
+      // The metadata beat the data here; resolve the parked binding.
+      ResolvePendingWithData(req.id, req.payload);
+    } else {
+      pool_[req.id] = req.payload;
+      pool_arrival_[req.id] = endpoint_.loop()->Now();
+    }
+    // Memory on all replicas is the critical-path durability; disk catches up in the
+    // background but exerts backpressure once its queue exceeds the admission horizon.
+    disk_.Write(req.payload.size());
+    const uint64_t delay = DiskAdmissionDelay();
+    if (delay == 0) {
+      r.Send(Status::Ok());
+    } else {
+      endpoint_.loop()->Schedule(delay, [r]() mutable { r.Send(Status::Ok()); });
+    }
+  });
+}
+
+bool ShardServer::BindPosition(const MetaEntry& entry, const std::shared_ptr<BatchAck>& batch) {
+  auto pool_it = pool_.find(entry.id);
+  if (pool_it != pool_.end()) {
+    StoreOrdered(entry.pos, Record{entry.id, std::move(pool_it->second), false}, false);
+    pool_.erase(pool_it);
+    pool_arrival_.erase(entry.id);
+    return true;
+  }
+  if (rejected_.count(entry.id) > 0) {
+    // Already resolved as no-op in a previous view; rebind the no-op.
+    StoreOrdered(entry.pos, Record{entry.id, "", true}, false);
+    return true;
+  }
+  // Data not here yet: bind a placeholder, start the timeout (§5.4). The primary
+  // decides no-op; backups repair by fetching from the primary instead.
+  StoreOrdered(entry.pos, Record{entry.id, "", true}, false);
+  PendingBinding pb;
+  pb.pos = entry.pos;
+  pb.local_index = pos_to_local_[entry.pos];
+  pb.batch = batch;
+  if (batch) {
+    batch->waits++;
+  }
+  const RecordId id = entry.id;
+  if (is_primary()) {
+    pb.timeout = endpoint_.loop()->Schedule(params_.seq.st_data_timeout_ns,
+                                            [this, id]() { FinalizeNoOp(id); });
+  } else {
+    const LogPos pos = entry.pos;
+    pb.timeout = endpoint_.loop()->Schedule(params_.seq.st_data_timeout_ns, [this, id, pos]() {
+      // Ask the primary for the resolved record (data it had, or a no-op decision).
+      FetchRecordReq freq{pos};
+      Encoder e;
+      freq.Encode(e);
+      endpoint_.Call(replicas_.empty() ? kInvalidNode : replicas_[0], kShardFetchRecord,
+                     e.Take(),
+                     [this, id](Status s, const std::string& body) {
+                       auto it = pending_.find(id);
+                       if (it == pending_.end()) {
+                         return;  // resolved meanwhile
+                       }
+                       if (!s.ok()) {
+                         // Primary still undecided; retry after another timeout.
+                         const LogPos p2 = it->second.pos;
+                         it->second.timeout = endpoint_.loop()->Schedule(
+                             params_.seq.st_data_timeout_ns, [this, id, p2]() {
+                               Encoder e2;
+                               FetchRecordReq{p2}.Encode(e2);
+                               endpoint_.Call(replicas_[0], kShardFetchRecord, e2.Take(),
+                                              [this, id](Status s2, const std::string& b2) {
+                                                ApplyFetchedRecord(id, s2, b2);
+                                              },
+                                              params_.rpc_timeout_ns);
+                             });
+                         return;
+                       }
+                       ApplyFetchedRecord(id, s, body);
+                     },
+                     params_.rpc_timeout_ns);
+    });
+  }
+  pending_.emplace(id, std::move(pb));
+  return false;
+}
+
+void ShardServer::ApplyFetchedRecord(const RecordId& id, const Status& s,
+                                     const std::string& body) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || !s.ok()) {
+    return;
+  }
+  Decoder d(body);
+  Record rec;
+  if (!DecodeRecord(d, &rec)) {
+    return;
+  }
+  if (rec.no_op) {
+    FinalizeNoOp(id);
+    return;
+  }
+  ResolvePendingWithData(id, rec.payload);
+}
+
+void ShardServer::ResolvePendingWithData(const RecordId& id, const std::string& payload) {
+  auto it = pending_.find(id);
+  LL_CHECK(it != pending_.end(), "resolving non-pending binding");
+  it->second.timeout.Cancel();
+  log_.Overwrite(it->second.local_index, Record{id, payload, false});
+  if (it->second.batch) {
+    it->second.batch->Complete(Status::Ok());
+  }
+  pending_.erase(it);
+}
+
+void ShardServer::FinalizeNoOp(const RecordId& id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.timeout.Cancel();
+  const LogPos pos = it->second.pos;
+  log_.Overwrite(it->second.local_index, Record{id, "", true});
+  rejected_.insert(id);
+  stats_.noops_created++;
+  if (it->second.batch) {
+    it->second.batch->Complete(Status::Ok());
+  }
+  pending_.erase(it);
+  if (is_primary()) {
+    // Instruct backups to replace their copy with a no-op (§5.4).
+    NoOpMsg msg{pos, id};
+    Encoder e;
+    msg.Encode(e);
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      endpoint_.Call(replicas_[i], kShardReplicateNoOp, e.data(), nullptr, 0);
+    }
+  }
+}
+
+void ShardServer::HandleOrderMeta(Decoder d, Responder r) {
+  auto req = std::make_shared<ShardOrderMetaReq>();
+  if (!req->Decode(d)) {
+    r.Send(Status::InvalidArgument("bad order meta"));
+    return;
+  }
+  if (req->view < view_) {
+    r.Send(Status::WrongView("stale orderer view"));
+    return;
+  }
+  view_ = req->view;
+  cpu_.ExecuteFor(req->entries.size() * params_.seq.metadata_entry_bytes,
+                  [this, req, r]() mutable { ProcessOrderMeta(*req, r, /*primary_path=*/true); });
+}
+
+void ShardServer::HandleReplicateMeta(Decoder d, Responder r) {
+  if (loading_) {
+    r.Send(Status::Unavailable("state copy in progress"));
+    return;
+  }
+  auto req = std::make_shared<ShardOrderMetaReq>();
+  if (!req->Decode(d)) {
+    r.Send(Status::InvalidArgument("bad replicate meta"));
+    return;
+  }
+  if (req->view < view_) {
+    r.Send(Status::WrongView("stale view"));
+    return;
+  }
+  view_ = req->view;
+  cpu_.ExecuteFor(req->entries.size() * params_.seq.metadata_entry_bytes,
+                  [this, req, r]() mutable { ProcessOrderMeta(*req, r, /*primary_path=*/false); });
+}
+
+void ShardServer::ProcessOrderMeta(const ShardOrderMetaReq& req, Responder r,
+                                   bool primary_path) {
+  auto batch = std::make_shared<BatchAck>();
+  batch->responder = r;
+  batch->waits = 1;
+  if (req.overwrite) {
+    // Recovery flush: rewrite the unstable metadata tail and any bindings in it.
+    if (req.truncate_from >= meta_base_ &&
+        req.truncate_from - meta_base_ < meta_log_.size()) {
+      meta_log_.resize(req.truncate_from - meta_base_);
+    }
+    TruncateOrderedFrom(req.truncate_from);
+  }
+  uint64_t bound_bytes = 0;
+  for (const MetaEntry& entry : req.entries) {
+    if (entry.pos < meta_base_) {
+      continue;  // before this shard joined (runtime-added shard, §6.9)
+    }
+    // Store the position->shard map (every shard keeps the full map; readers use it to
+    // locate records, §5.3).
+    const uint64_t idx = entry.pos - meta_base_;
+    if (idx < meta_log_.size()) {
+      meta_log_[idx] = entry.shard;
+    } else {
+      // A gap can only occur on a runtime-added shard whose bootstrap raced a batch
+      // that was in flight when it joined; those positions predate the shard and hold
+      // no records of ours. Readers resolve them via long-lived shards (§6.9).
+      while (meta_log_.size() < idx) {
+        meta_log_.push_back(UINT32_MAX);
+      }
+      meta_log_.push_back(entry.shard);
+    }
+    if (entry.shard == shard_id_) {
+      if (pos_to_local_.count(entry.pos) > 0 && !req.overwrite) {
+        continue;  // duplicate push (orderer retry)
+      }
+      BindPosition(entry, batch);
+      const Record* rec = RecordAt(entry.pos);
+      bound_bytes += rec != nullptr ? rec->payload.size() : 0;
+    }
+  }
+  if (primary_path && is_primary()) {
+    Encoder enc;
+    req.Encode(enc);
+    const std::string body = enc.Take();
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      batch->waits++;
+      endpoint_.Call(replicas_[i], kShardReplicateMeta, body,
+                     [batch](Status s, const std::string&) { batch->Complete(s); },
+                     params_.rpc_timeout_ns);
+    }
+  }
+  // Persist the metadata log segment; bound data already hit the disk on PutData.
+  batch->waits++;
+  disk_.Write(req.entries.size() * params_.seq.metadata_entry_bytes,
+              [batch]() { batch->Complete(Status::Ok()); });
+  batch->Complete(Status::Ok());
+}
+
+// --- reads, stable-gp, trim -----------------------------------------------------------
+
+void ShardServer::HandleReplicateNoOp(Decoder d, Responder r) {
+  // Primary resolved `pos` as a no-op; mirror that decision (§5.4). The data may have
+  // arrived here (and even been bound) meanwhile — the primary's decision wins.
+  NoOpMsg msg;
+  if (!msg.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad no-op"));
+    return;
+  }
+  rejected_.insert(msg.id);
+  pool_.erase(msg.id);
+  pool_arrival_.erase(msg.id);
+  auto pending_it = pending_.find(msg.id);
+  if (pending_it != pending_.end()) {
+    pending_it->second.timeout.Cancel();
+    log_.Overwrite(pending_it->second.local_index, Record{msg.id, "", true});
+    if (pending_it->second.batch) {
+      pending_it->second.batch->Complete(Status::Ok());
+    }
+    pending_.erase(pending_it);
+    stats_.noops_created++;
+  } else {
+    auto bound = pos_to_local_.find(msg.pos);
+    if (bound != pos_to_local_.end()) {
+      log_.Overwrite(bound->second, Record{msg.id, "", true});
+    }
+  }
+  r.Send(Status::Ok());
+}
+
+void ShardServer::HandleRead(Decoder d, Responder r) {
+  ShardReadReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad read"));
+    return;
+  }
+  if (req.pos < trimmed_below_) {
+    r.Send(Status::OutOfRange("position trimmed"));
+    return;
+  }
+  if (req.pos >= stable_gp_) {
+    if (req.nowait) {
+      r.Send(Status::OutOfRange("position not stable yet"));
+      return;
+    }
+    // Slow path (§4.4): hold the read until stable-gp passes the requested position.
+    stats_.slow_reads++;
+    waiters_.push_back(Waiter{req, std::move(r)});
+    return;
+  }
+  stats_.fast_reads++;
+  ServeRead(req, std::move(r));
+}
+
+void ShardServer::ServeRead(const ShardReadReq& req, Responder r) {
+  auto it = pos_to_local_.find(req.pos);
+  if (it == pos_to_local_.end()) {
+    r.Send(Status::Internal("stable position not on this shard"));
+    return;
+  }
+  ShardReadResp resp;
+  uint64_t local = it->second;
+  uint64_t bytes = 0;
+  for (uint32_t i = 0; i < req.len; ++i, ++local) {
+    if (local >= log_.end_index() || local - local_pos_base_ >= local_pos_.size()) {
+      break;
+    }
+    const LogPos pos = local_pos_[local - local_pos_base_];
+    if (pos >= stable_gp_) {
+      break;
+    }
+    const Record* rec = log_.Get(local);
+    if (rec == nullptr) {
+      break;
+    }
+    resp.records.push_back(PositionedRecord{pos, *rec});
+    bytes += rec->payload.size();
+  }
+  cpu_.ExecuteFor(bytes, [resp = std::move(resp), r]() mutable {
+    Encoder e;
+    resp.Encode(e);
+    r.Ok(e);
+  });
+}
+
+void ShardServer::HandleSetStableGp(Decoder d, Responder r) {
+  StableGpMsg msg;
+  if (!msg.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad stable-gp"));
+    return;
+  }
+  if (msg.view >= view_) {
+    view_ = msg.view;
+    stable_gp_ = std::max(stable_gp_, msg.stable_gp);
+    WakeWaiters();
+  }
+  r.Send(Status::Ok());
+}
+
+void ShardServer::WakeWaiters() {
+  std::vector<Waiter> still_waiting;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (Waiter& w : waiters) {
+    if (w.req.pos < trimmed_below_) {
+      w.responder.Send(Status::OutOfRange("position trimmed"));
+    } else if (w.req.pos < stable_gp_) {
+      ServeRead(w.req, std::move(w.responder));
+    } else {
+      still_waiting.push_back(std::move(w));
+    }
+  }
+  for (Waiter& w : still_waiting) {
+    waiters_.push_back(std::move(w));
+  }
+}
+
+void ShardServer::HandlePosMap(Decoder d, Responder r) {
+  ShardPosMapReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad posmap"));
+    return;
+  }
+  ShardPosMapResp resp;
+  resp.from = std::max(req.from, meta_base_);
+  const LogPos end =
+      std::min<LogPos>(meta_base_ + meta_log_.size(), std::min<LogPos>(req.from + req.len,
+                                                                       stable_gp_));
+  for (LogPos p = resp.from; p < end; ++p) {
+    resp.shard_ids.push_back(meta_log_[p - meta_base_]);
+  }
+  cpu_.ExecuteFor(resp.shard_ids.size() * 8, [resp = std::move(resp), r]() mutable {
+    Encoder e;
+    resp.Encode(e);
+    r.Ok(e);
+  });
+}
+
+void ShardServer::HandleTrim(Decoder d, Responder r) {
+  TrimMsg msg;
+  if (!msg.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad trim"));
+    return;
+  }
+  trimmed_below_ = std::max(trimmed_below_, msg.up_to);
+  while (!local_pos_.empty() && local_pos_.front() < trimmed_below_) {
+    pos_to_local_.erase(local_pos_.front());
+    local_pos_.pop_front();
+    ++local_pos_base_;
+  }
+  // Segment-granular GC; entries below local_pos_base_ in a partial front segment are
+  // unreachable (their pos_to_local_ entries are gone) and vanish with the segment.
+  log_.TrimTo(local_pos_base_);
+  r.Send(Status::Ok());
+}
+
+// --- shard-replica replacement (§5.4) --------------------------------------------------
+
+void ShardServer::HandleFetchState(Decoder d, Responder r) {
+  // Serialize everything a replacement replica needs: the ordered log with positions,
+  // the unordered pool, the metadata log, no-op decisions, and the counters.
+  Encoder e;
+  e.PutU64(view_);
+  e.PutU64(stable_gp_);
+  e.PutU64(trimmed_below_);
+  e.PutU64(meta_base_);
+  // Ordered records in local order.
+  e.PutU32(static_cast<uint32_t>(local_pos_.size()));
+  for (size_t i = 0; i < local_pos_.size(); ++i) {
+    const Record* rec = log_.Get(local_pos_base_ + i);
+    LL_CHECK(rec != nullptr, "state copy: missing log entry");
+    PositionedRecord pr{local_pos_[i], *rec};
+    pr.Encode(e);
+  }
+  // Unordered pool.
+  e.PutU32(static_cast<uint32_t>(pool_.size()));
+  for (const auto& [id, payload] : pool_) {
+    EncodeRecordId(e, id);
+    e.PutBytes(payload);
+  }
+  // No-op decisions (so late data writes stay rejected on the new replica).
+  e.PutU32(static_cast<uint32_t>(rejected_.size()));
+  for (const RecordId& id : rejected_) {
+    EncodeRecordId(e, id);
+  }
+  // Metadata log.
+  std::vector<uint64_t> meta(meta_log_.begin(), meta_log_.end());
+  e.PutU64Vector(meta);
+  const uint64_t bytes = e.size();
+  cpu_.ExecuteFor(bytes, [e = std::move(e), r]() mutable { r.Ok(e); });
+}
+
+void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)> done) {
+  // Reject replication traffic until the snapshot is installed; the primary's batch
+  // acks fail and the orderer retries (idempotently) once we are caught up.
+  loading_ = true;
+  endpoint_.Call(
+      live_replica, kShardFetchState, "",
+      [this, done = std::move(done)](Status s, const std::string& body) {
+        if (!s.ok()) {
+          done(std::move(s));
+          return;
+        }
+        Decoder d(body);
+        uint32_t n_ordered = 0;
+        uint64_t view = 0, stable = 0, trimmed = 0, meta_base = 0;
+        if (!d.GetU64(&view) || !d.GetU64(&stable) || !d.GetU64(&trimmed) ||
+            !d.GetU64(&meta_base) || !d.GetU32(&n_ordered)) {
+          done(Status::Internal("bad state snapshot"));
+          return;
+        }
+        view_ = view;
+        stable_gp_ = stable;
+        trimmed_below_ = trimmed;
+        meta_base_ = meta_base;
+        uint64_t bytes = 0;
+        for (uint32_t i = 0; i < n_ordered; ++i) {
+          PositionedRecord pr;
+          if (!pr.Decode(d)) {
+            done(Status::Internal("bad state snapshot record"));
+            return;
+          }
+          bytes += pr.record.payload.size();
+          StoreOrdered(pr.pos, std::move(pr.record), false);
+        }
+        uint32_t n_pool = 0;
+        if (!d.GetU32(&n_pool)) {
+          done(Status::Internal("bad state snapshot pool"));
+          return;
+        }
+        for (uint32_t i = 0; i < n_pool; ++i) {
+          RecordId id;
+          std::string payload;
+          if (!DecodeRecordId(d, &id) || !d.GetBytes(&payload)) {
+            done(Status::Internal("bad state snapshot pool entry"));
+            return;
+          }
+          bytes += payload.size();
+          pool_.emplace(id, std::move(payload));
+          pool_arrival_[id] = endpoint_.loop()->Now();
+        }
+        uint32_t n_rejected = 0;
+        if (!d.GetU32(&n_rejected)) {
+          done(Status::Internal("bad state snapshot rejects"));
+          return;
+        }
+        for (uint32_t i = 0; i < n_rejected; ++i) {
+          RecordId id;
+          if (!DecodeRecordId(d, &id)) {
+            done(Status::Internal("bad state snapshot reject entry"));
+            return;
+          }
+          rejected_.insert(id);
+        }
+        std::vector<uint64_t> meta;
+        if (!d.GetU64Vector(&meta)) {
+          done(Status::Internal("bad state snapshot meta log"));
+          return;
+        }
+        meta_log_.assign(meta.begin(), meta.end());
+        loading_ = false;
+        // Persist the copied state; completion waits for the disk like any bulk load.
+        disk_.Write(bytes, [done = std::move(done)]() { done(Status::Ok()); });
+      },
+      params_.rpc_timeout_ns);
+}
+
+void ShardServer::ScrubOrphans() {
+  // Orphaned data: written by a client that crashed before writing metadata; no binding
+  // will ever reference it. GC after a generous age (§5.4 "periodic scrubbing").
+  const SimTime now = endpoint_.loop()->Now();
+  const uint64_t max_age = 20 * params_.seq.st_data_timeout_ns;
+  for (auto it = pool_arrival_.begin(); it != pool_arrival_.end();) {
+    if (now - it->second > max_age) {
+      pool_.erase(it->first);
+      it = pool_arrival_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  endpoint_.loop()->Schedule(kScrubIntervalNs, [this]() { ScrubOrphans(); });
+}
+
+}  // namespace lazylog

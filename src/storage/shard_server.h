@@ -1,0 +1,162 @@
+// Storage shard server. In Erwin-m ("black-box") mode it is a plain primary-backup
+// replicated log: the background orderer appends globally positioned records, replicas
+// persist them, and reads are gated on stable-gp (§4.3-4.4). In Erwin-st ("modified")
+// mode it additionally accepts unordered durable data writes straight from clients and
+// binds them to positions when the ordered metadata arrives, resolving missing data with
+// no-op records after a timeout (§5). One class serves both primary and backup roles.
+#ifndef SRC_STORAGE_SHARD_SERVER_H_
+#define SRC_STORAGE_SHARD_SERVER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/params.h"
+#include "src/common/status.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/rpc_methods.h"
+#include "src/sim/resources.h"
+#include "src/storage/segmented_log.h"
+#include "src/storage/shard_messages.h"
+
+namespace lazylog {
+
+enum class ShardMode { kBlackBox, kStModified };
+
+// Runtime statistics exposed to benches and tests.
+struct ShardStats {
+  uint64_t appends = 0;        // ordered records stored
+  uint64_t data_puts = 0;      // Erwin-st unordered data writes
+  uint64_t fast_reads = 0;     // served immediately (pos <= stable-gp)
+  uint64_t slow_reads = 0;     // had to wait for stable-gp to advance
+  uint64_t noops_created = 0;  // Erwin-st missing-data resolutions
+  uint64_t rejected_puts = 0;  // late data after no-op
+};
+
+class ShardServer {
+ public:
+  ShardServer(Network* net, const SimParams& params, ShardMode mode, ShardId shard_id,
+              uint32_t num_shards);
+
+  NodeId node_id() const { return endpoint_.node_id(); }
+  ShardId shard_id() const { return shard_id_; }
+
+  // Wires up the replica set; `replicas[0]` is the primary. Must be called on every
+  // replica before traffic starts.
+  void SetReplicaSet(std::vector<NodeId> replicas);
+  bool is_primary() const { return !replicas_.empty() && replicas_[0] == node_id(); }
+
+  // Used when shards are added at runtime (Erwin-st §6.9): adopt the current stable-gp
+  // and metadata offset so the new shard starts consistent.
+  void Bootstrap(LogPos stable_gp, LogPos meta_next_pos);
+
+  // Shard-replica replacement (§5.4): copies both ordered and unordered records (plus
+  // the metadata log and no-op decisions) from a live replica of the same shard into
+  // this fresh server. `done` fires with the outcome once the state is installed.
+  void CopyStateFrom(NodeId live_replica, std::function<void(Status)> done);
+
+  // --- introspection (tests / benches; no wire latency) ---
+  LogPos stable_gp() const { return stable_gp_; }
+  const ShardStats& stats() const { return stats_; }
+  uint64_t ordered_records() const { return log_.size(); }
+  const Record* RecordAt(LogPos pos) const;
+  size_t unordered_pool_size() const { return pool_.size(); }
+  uint64_t meta_log_size() const { return meta_log_.size(); }
+  ViewId view() const { return view_; }
+
+ private:
+  struct BatchAck;
+
+  struct Waiter {
+    ShardReadReq req;
+    Responder responder;
+  };
+  // A position bound before its data arrived (Erwin-st); resolved by data arrival,
+  // timeout (no-op), or a fetch from the primary (backup side).
+  struct PendingBinding {
+    LogPos pos = 0;
+    uint64_t local_index = 0;
+    EventHandle timeout;
+    std::shared_ptr<BatchAck> batch;  // primary: the orderer ack this gates
+  };
+
+  // Tracks one in-flight ordered batch: responds to the orderer once replication,
+  // disk persistence, and (Erwin-st) all pending bindings resolve.
+  struct BatchAck {
+    Responder responder;
+    int waits = 0;
+    bool failed = false;
+    void Arm(int n) { waits += n; }
+    void Complete(const Status& s);
+  };
+
+  // Handlers.
+  void HandleAppendBatch(Decoder d, Responder r);   // orderer -> primary (Erwin-m)
+  void HandleReplicate(Decoder d, Responder r);     // primary -> backup
+  void HandleRead(Decoder d, Responder r);
+  void HandleSetStableGp(Decoder d, Responder r);
+  void HandlePutData(Decoder d, Responder r);       // client -> replica (Erwin-st)
+  void HandleOrderMeta(Decoder d, Responder r);     // orderer -> primary (Erwin-st)
+  void HandleReplicateMeta(Decoder d, Responder r); // primary -> backup (Erwin-st)
+  void HandleReplicateNoOp(Decoder d, Responder r); // primary -> backup (late no-op fix)
+  void HandlePosMap(Decoder d, Responder r);
+  void HandleTrim(Decoder d, Responder r);
+  void HandleFetchState(Decoder d, Responder r);
+
+  // Stores one ordered record locally (append or recovery overwrite).
+  void StoreOrdered(LogPos pos, Record record, bool overwrite_tail_done);
+  // Truncates everything with position >= pos (recovery overwrite path).
+  void TruncateOrderedFrom(LogPos pos);
+  // Erwin-st: binds position -> record data from the unordered pool, or parks a
+  // PendingBinding. Returns true if immediately resolved.
+  bool BindPosition(const MetaEntry& entry, const std::shared_ptr<BatchAck>& batch);
+  void ResolvePendingWithData(const RecordId& id, const std::string& payload);
+  void FinalizeNoOp(const RecordId& id);
+  // Shared body of HandleOrderMeta / HandleReplicateMeta.
+  void ProcessOrderMeta(const ShardOrderMetaReq& req, Responder r, bool primary_path);
+  // Backup repair: applies a record fetched from the primary to a pending binding.
+  void ApplyFetchedRecord(const RecordId& id, const Status& s, const std::string& body);
+
+  void ServeRead(const ShardReadReq& req, Responder r);
+  void WakeWaiters();
+  uint64_t DiskAdmissionDelay() const;
+  void ScrubOrphans();
+
+  RpcEndpoint endpoint_;
+  ServerCpu cpu_;
+  Disk disk_;
+  SimParams params_;
+  ShardMode mode_;
+  ShardId shard_id_;
+  uint32_t num_shards_;
+  std::vector<NodeId> replicas_;
+
+  ViewId view_ = 0;
+  LogPos stable_gp_ = 0;  // positions < stable_gp_ are readable (count semantics)
+  bool loading_ = false;  // replacement replica: state copy still in flight
+
+  // Ordered storage: dense local log + position bookkeeping. local_pos_[i] is the
+  // global position of local index local_pos_base_ + i.
+  SegmentedLog log_;
+  std::deque<LogPos> local_pos_;
+  uint64_t local_pos_base_ = 0;
+  std::unordered_map<LogPos, uint64_t> pos_to_local_;  // global pos -> local index
+  LogPos trimmed_below_ = 0;
+
+  // Erwin-st state.
+  std::unordered_map<RecordId, std::string, RecordIdHash> pool_;  // unordered durable data
+  std::unordered_map<RecordId, SimTime, RecordIdHash> pool_arrival_;
+  std::unordered_map<RecordId, PendingBinding, RecordIdHash> pending_;
+  std::unordered_set<RecordId, RecordIdHash> rejected_;  // no-op'ed ids
+  std::vector<uint64_t> meta_log_;                       // pos -> shard id (dense)
+  LogPos meta_base_ = 0;                                 // position of meta_log_[0]
+
+  std::vector<Waiter> waiters_;
+  ShardStats stats_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_STORAGE_SHARD_SERVER_H_

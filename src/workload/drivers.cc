@@ -1,0 +1,200 @@
+#include "src/workload/drivers.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+// --- OpenLoopAppender ----------------------------------------------------------------------
+
+OpenLoopAppender::OpenLoopAppender(EventLoop* loop, SharedLogClient* client, Options options,
+                                   uint64_t seed)
+    : loop_(loop), client_(client), options_(options), rng_(seed) {
+  payload_template_.assign(options_.record_bytes, 'x');
+}
+
+void OpenLoopAppender::Start() {
+  running_ = true;
+  started_at_ = loop_->Now();
+  measure_from_ = started_at_ + options_.warmup_ns;
+  // Random initial phase de-synchronizes fleet members (otherwise same-rate appenders
+  // tick in lockstep and create artificial burst queueing).
+  const uint64_t interval = static_cast<uint64_t>(1e9 / options_.rate_per_sec);
+  next_issue_ = loop_->Now() + rng_.Uniform(std::max<uint64_t>(interval, 1));
+  Tick();
+}
+
+void OpenLoopAppender::Stop() {
+  running_ = false;
+  tick_.Cancel();
+}
+
+double OpenLoopAppender::MeasuredRate(SimTime now) const {
+  if (now <= measure_from_) {
+    return 0.0;
+  }
+  return static_cast<double>(measured_acked_) /
+         (static_cast<double>(now - measure_from_) / 1e9);
+}
+
+void OpenLoopAppender::Tick() {
+  if (!running_) {
+    return;
+  }
+  const uint64_t interval =
+      options_.poisson
+          ? static_cast<uint64_t>(rng_.Exponential(1e9 / options_.rate_per_sec))
+          : static_cast<uint64_t>(1e9 / options_.rate_per_sec);
+  // Issue every append whose deadline has passed (catches up after event-loop delays).
+  while (next_issue_ <= loop_->Now() && issued_ < options_.max_appends) {
+    IssueOne();
+    next_issue_ += interval;
+  }
+  if (issued_ >= options_.max_appends) {
+    running_ = false;
+    return;
+  }
+  tick_ = loop_->ScheduleAt(next_issue_, [this]() { Tick(); });
+}
+
+void OpenLoopAppender::IssueOne() {
+  const uint64_t index = issued_++;
+  const SimTime start = loop_->Now();
+  client_->Append(payload_template_, [this, index, start](bool ok) {
+    if (!ok) {
+      failed_++;
+      return;
+    }
+    acked_++;
+    const SimTime now = loop_->Now();
+    if (start >= measure_from_) {
+      latency_.Add(now - start);
+      measured_acked_++;
+    }
+    if (on_ack_) {
+      on_ack_(index, now);
+    }
+  });
+}
+
+// --- SequentialReader -----------------------------------------------------------------------
+
+SequentialReader::SequentialReader(EventLoop* loop, SharedLogClient* client, Options options)
+    : loop_(loop), client_(client), options_(options) {}
+
+void SequentialReader::Start() {
+  running_ = true;
+  started_at_ = loop_->Now();
+  measure_from_ = started_at_ + options_.warmup_ns;
+}
+
+void SequentialReader::Stop() {
+  running_ = false;
+  wakeup_.Cancel();
+}
+
+void SequentialReader::NotifyAcked(uint64_t index, SimTime ack_time) {
+  ready_at_.push_back(ack_time + options_.lag_ns);
+  if (running_) {
+    MaybeIssue();
+  }
+}
+
+double SequentialReader::MeasuredRate(SimTime now) const {
+  if (now <= measure_from_) {
+    return 0.0;
+  }
+  return static_cast<double>(measured_records_) /
+         (static_cast<double>(now - measure_from_) / 1e9);
+}
+
+void SequentialReader::MaybeIssue() {
+  if (!running_ || read_in_flight_ || ready_at_.size() < options_.batch) {
+    return;
+  }
+  // The batch becomes readable when its last record's lag has elapsed.
+  const SimTime ready = ready_at_[options_.batch - 1];
+  if (ready > loop_->Now()) {
+    if (!wakeup_.Pending()) {
+      wakeup_ = loop_->ScheduleAt(ready, [this]() { MaybeIssue(); });
+    }
+    return;
+  }
+  read_in_flight_ = true;
+  const LogPos from = next_pos_;
+  const uint64_t batch = options_.batch;
+  for (uint64_t i = 0; i < batch; ++i) {
+    ready_at_.pop_front();
+  }
+  next_pos_ += batch;
+  const SimTime start = loop_->Now();
+  client_->Read(from, batch, [this, start, batch](Status s, std::vector<PositionedRecord>) {
+    read_in_flight_ = false;
+    if (s.ok()) {
+      reads_done_++;
+      records_read_ += batch;
+      if (start >= measure_from_) {
+        latency_.Add(loop_->Now() - start);
+        measured_records_ += batch;
+      }
+    }
+    MaybeIssue();
+  });
+}
+
+// --- PeriodicTailReader -----------------------------------------------------------------------
+
+PeriodicTailReader::PeriodicTailReader(EventLoop* loop, SharedLogClient* client, Options options)
+    : loop_(loop), client_(client), options_(options) {}
+
+void PeriodicTailReader::Start() {
+  running_ = true;
+  started_at_ = loop_->Now();
+  Tick();
+}
+
+void PeriodicTailReader::Stop() { running_ = false; }
+
+void PeriodicTailReader::Tick() {
+  if (!running_) {
+    return;
+  }
+  if (busy_) {
+    loop_->Schedule(options_.period_ns, [this]() { Tick(); });
+    return;
+  }
+  busy_ = true;
+  client_->CheckTail([this](Status s, LogPos durable, LogPos) {
+    if (!s.ok() || durable <= cursor_) {
+      busy_ = false;
+      loop_->Schedule(options_.period_ns, [this]() { Tick(); });
+      return;
+    }
+    // Read record by record up to the tail, measuring every read call: only the first
+    // read into the unordered portion blocks; the rest are fast (§3.2, §6.3) — which
+    // is why higher append rates (bigger accumulations) yield lower mean latencies.
+    ReadNext(durable);
+  });
+}
+
+void PeriodicTailReader::ReadNext(LogPos until) {
+  if (!running_ || cursor_ >= until) {
+    busy_ = false;
+    loop_->Schedule(options_.period_ns, [this]() { Tick(); });
+    return;
+  }
+  const SimTime start = loop_->Now();
+  client_->Read(cursor_, 1, [this, start, until](Status rs, std::vector<PositionedRecord>) {
+    if (rs.ok()) {
+      records_read_++;
+      if (start >= started_at_ + options_.warmup_ns) {
+        latency_.Add(loop_->Now() - start);
+      }
+    }
+    cursor_++;
+    ReadNext(until);
+  });
+}
+
+}  // namespace lazylog

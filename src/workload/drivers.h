@@ -1,0 +1,149 @@
+// Workload drivers used by the benches: an open-loop appender (fixed-rate or Poisson
+// arrivals) and sequential readers with configurable lag, mirroring the read/write
+// patterns of §6 (lagging readers, aggressive no-lag readers, periodic tail readers).
+#ifndef SRC_WORKLOAD_DRIVERS_H_
+#define SRC_WORKLOAD_DRIVERS_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "src/common/histogram.h"
+#include "src/common/params.h"
+#include "src/common/random.h"
+#include "src/lazylog/shared_log_client.h"
+#include "src/sim/event_loop.h"
+
+namespace lazylog {
+
+// Issues appends at a target rate regardless of completion (open loop), recording ack
+// latency. The on_ack hook tells readers when position `index` became durable.
+class OpenLoopAppender {
+ public:
+  struct Options {
+    double rate_per_sec = 10'000;
+    size_t record_bytes = 4096;
+    bool poisson = false;
+    uint64_t max_appends = UINT64_MAX;
+    uint64_t warmup_ns = 0;  // samples before start+warmup are not recorded
+  };
+
+  OpenLoopAppender(EventLoop* loop, SharedLogClient* client, Options options,
+                   uint64_t seed = 7);
+
+  void Start();
+  void Stop();
+
+  // Fires on each ack: (append index in issue order, ack time). Indexes are issue-order,
+  // which equals position order for single-appender runs.
+  void OnAck(std::function<void(uint64_t index, SimTime ack_time)> hook) {
+    on_ack_ = std::move(hook);
+  }
+
+  const Histogram& latency() const { return latency_; }
+  Histogram& latency() { return latency_; }
+  uint64_t issued() const { return issued_; }
+  uint64_t acked() const { return acked_; }
+  uint64_t failed() const { return failed_; }
+  // Acked appends per second over the measured (post-warmup) window.
+  double MeasuredRate(SimTime now) const;
+
+ private:
+  void Tick();
+  void IssueOne();
+
+  EventLoop* loop_;
+  SharedLogClient* client_;
+  Options options_;
+  Rng rng_;
+  std::string payload_template_;
+  bool running_ = false;
+  SimTime started_at_ = 0;
+  SimTime next_issue_ = 0;
+  uint64_t issued_ = 0;
+  uint64_t acked_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t measured_acked_ = 0;
+  SimTime measure_from_ = 0;
+  Histogram latency_;
+  std::function<void(uint64_t, SimTime)> on_ack_;
+  EventHandle tick_;
+};
+
+// Reads the log sequentially, one outstanding ranged read at a time. A read for a batch
+// is issued `lag_ns` after the batch's last record was acked (lag_ns=0 reproduces the
+// paper's "no lag" aggressive reader; 3 ms reproduces Fig 8).
+class SequentialReader {
+ public:
+  struct Options {
+    uint64_t batch = 1;       // records per Read call
+    uint64_t lag_ns = 0;      // time decoupling between append ack and read
+    uint64_t warmup_ns = 0;
+  };
+
+  SequentialReader(EventLoop* loop, SharedLogClient* client, Options options);
+
+  // Wire into the appender: reader learns of durable records through this.
+  void NotifyAcked(uint64_t index, SimTime ack_time);
+
+  void Start();
+  void Stop();
+
+  const Histogram& latency() const { return latency_; }
+  uint64_t reads_done() const { return reads_done_; }
+  uint64_t records_read() const { return records_read_; }
+  double MeasuredRate(SimTime now) const;
+
+ private:
+  void MaybeIssue();
+
+  EventLoop* loop_;
+  SharedLogClient* client_;
+  Options options_;
+  bool running_ = false;
+  bool read_in_flight_ = false;
+  SimTime started_at_ = 0;
+  LogPos next_pos_ = 0;
+  std::deque<SimTime> ready_at_;  // per not-yet-read durable record: ack time + lag
+  uint64_t reads_done_ = 0;
+  uint64_t records_read_ = 0;
+  uint64_t measured_records_ = 0;
+  SimTime measure_from_ = 0;
+  Histogram latency_;
+  EventHandle wakeup_;
+};
+
+// Periodically checkTails and reads everything up to the tail (Fig 10's workload).
+class PeriodicTailReader {
+ public:
+  struct Options {
+    uint64_t period_ns = 1 * kMs;
+    uint64_t warmup_ns = 0;
+  };
+
+  PeriodicTailReader(EventLoop* loop, SharedLogClient* client, Options options);
+
+  void Start();
+  void Stop();
+
+  const Histogram& latency() const { return latency_; }  // per read call
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  void Tick();
+  void ReadNext(LogPos until);
+
+  EventLoop* loop_;
+  SharedLogClient* client_;
+  Options options_;
+  bool running_ = false;
+  bool busy_ = false;
+  SimTime started_at_ = 0;
+  LogPos cursor_ = 0;
+  uint64_t records_read_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_WORKLOAD_DRIVERS_H_

@@ -1,0 +1,68 @@
+// YCSB-style workload generator for the KV-store application (§6.11): Load
+// (write-only), YCSB-A (write-heavy, 50/50) and YCSB-B (read-heavy, 5/95), with
+// zipfian key selection, 24-byte keys and 1 KB values as in the paper.
+#ifndef SRC_WORKLOAD_YCSB_H_
+#define SRC_WORKLOAD_YCSB_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/random.h"
+
+namespace lazylog {
+
+enum class YcsbWorkload { kLoad, kA, kB };
+
+struct YcsbOp {
+  enum class Kind { kPut, kGet } kind = Kind::kPut;
+  std::string key;
+};
+
+inline const char* YcsbWorkloadName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kLoad: return "Load (write-only)";
+    case YcsbWorkload::kA: return "YCSB-A (write-heavy)";
+    case YcsbWorkload::kB: return "YCSB-B (read-heavy)";
+  }
+  return "?";
+}
+
+class YcsbGenerator {
+ public:
+  YcsbGenerator(YcsbWorkload workload, uint64_t key_space, uint64_t seed = 11)
+      : workload_(workload), rng_(seed), zipf_(key_space, 0.99, seed ^ 0x5a5a) {}
+
+  static constexpr size_t kKeyBytes = 24;
+  static constexpr size_t kValueBytes = 1024;
+
+  YcsbOp Next() {
+    YcsbOp op;
+    double update_fraction = 1.0;
+    if (workload_ == YcsbWorkload::kA) {
+      update_fraction = 0.5;
+    } else if (workload_ == YcsbWorkload::kB) {
+      update_fraction = 0.05;
+    }
+    op.kind = rng_.NextDouble() < update_fraction ? YcsbOp::Kind::kPut : YcsbOp::Kind::kGet;
+    char buf[kKeyBytes + 1];
+    std::snprintf(buf, sizeof(buf), "user%020llu",
+                  static_cast<unsigned long long>(zipf_.Next()));
+    op.key.assign(buf, kKeyBytes);
+    return op;
+  }
+
+  static std::string MakeValue(uint64_t salt) {
+    std::string v(kValueBytes, 'v');
+    std::snprintf(v.data(), 20, "%019llu", static_cast<unsigned long long>(salt));
+    return v;
+  }
+
+ private:
+  YcsbWorkload workload_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_WORKLOAD_YCSB_H_

@@ -1,0 +1,243 @@
+// Codec tests: scalar and composite round trips, malformed-input robustness (every
+// decoder must fail cleanly, never crash), and property-style random round trips.
+#include <gtest/gtest.h>
+
+#include "src/common/codec.h"
+#include "src/common/random.h"
+#include "src/seq/seq_messages.h"
+#include "src/storage/shard_messages.h"
+
+namespace lazylog {
+namespace {
+
+TEST(Codec, ScalarRoundTrip) {
+  Encoder e;
+  e.PutU8(7);
+  e.PutU32(123456);
+  e.PutU64(0xdeadbeefcafef00dULL);
+  e.PutBool(true);
+  e.PutBool(false);
+  Decoder d(e.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  bool b1, b2;
+  ASSERT_TRUE(d.GetU8(&u8));
+  ASSERT_TRUE(d.GetU32(&u32));
+  ASSERT_TRUE(d.GetU64(&u64));
+  ASSERT_TRUE(d.GetBool(&b1));
+  ASSERT_TRUE(d.GetBool(&b2));
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 0xdeadbeefcafef00dULL);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_TRUE(d.Done());
+}
+
+TEST(Codec, BytesRoundTrip) {
+  Encoder e;
+  e.PutBytes("");
+  e.PutBytes(std::string("with\0nul", 8));
+  Decoder d(e.data());
+  std::string a, b;
+  ASSERT_TRUE(d.GetBytes(&a));
+  ASSERT_TRUE(d.GetBytes(&b));
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, std::string("with\0nul", 8));
+}
+
+TEST(Codec, U64VectorRoundTrip) {
+  Encoder e;
+  e.PutU64Vector({1, 2, 3, UINT64_MAX});
+  Decoder d(e.data());
+  std::vector<uint64_t> v;
+  ASSERT_TRUE(d.GetU64Vector(&v));
+  EXPECT_EQ(v, (std::vector<uint64_t>{1, 2, 3, UINT64_MAX}));
+}
+
+TEST(Codec, TruncatedInputFailsCleanly) {
+  Encoder e;
+  e.PutU64(42);
+  e.PutBytes("hello");
+  const std::string full = e.data();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    Decoder d(full.data(), cut);
+    uint64_t x;
+    std::string s;
+    const bool got_u64 = d.GetU64(&x);
+    if (got_u64) {
+      EXPECT_FALSE(d.GetBytes(&s)) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(Codec, LengthPrefixBeyondBufferRejected) {
+  Encoder e;
+  e.PutU32(1'000'000);  // claims a 1MB string follows
+  Decoder d(e.data());
+  std::string s;
+  EXPECT_FALSE(d.GetBytes(&s));
+}
+
+TEST(Codec, RecordRoundTrip) {
+  Record r{RecordId{7, 9}, "payload", true};
+  Encoder e;
+  EncodeRecord(e, r);
+  Decoder d(e.data());
+  Record out;
+  ASSERT_TRUE(DecodeRecord(d, &out));
+  EXPECT_EQ(out, r);
+}
+
+template <typename T>
+void ExpectRoundTrip(const T& msg) {
+  Encoder e;
+  msg.Encode(e);
+  Decoder d(e.data());
+  T out;
+  ASSERT_TRUE(out.Decode(d));
+  Encoder e2;
+  out.Encode(e2);
+  EXPECT_EQ(e.data(), e2.data());
+  EXPECT_TRUE(d.Done());
+}
+
+TEST(Codec, ShardMessagesRoundTrip) {
+  ShardAppendBatchReq batch;
+  batch.view = 3;
+  batch.overwrite = true;
+  batch.truncate_from = 17;
+  batch.records.push_back(PositionedRecord{5, Record{RecordId{1, 2}, "abc", false}});
+  batch.records.push_back(PositionedRecord{8, Record{RecordId{1, 3}, "", true}});
+  ExpectRoundTrip(batch);
+
+  ShardReadReq read{42, 25, true};
+  ExpectRoundTrip(read);
+
+  ShardReadResp resp;
+  resp.records.push_back(PositionedRecord{1, Record{RecordId{2, 2}, "x", false}});
+  ExpectRoundTrip(resp);
+
+  ShardPutDataReq put{RecordId{9, 10}, "data"};
+  ExpectRoundTrip(put);
+
+  ShardOrderMetaReq meta;
+  meta.view = 1;
+  meta.entries.push_back(MetaEntry{0, RecordId{1, 1}, 2});
+  ExpectRoundTrip(meta);
+
+  ShardPosMapReq pm{100, 50};
+  ExpectRoundTrip(pm);
+  ShardPosMapResp pmr;
+  pmr.from = 100;
+  pmr.shard_ids = {0, 1, 2};
+  ExpectRoundTrip(pmr);
+
+  ExpectRoundTrip(StableGpMsg{2, 99});
+  ExpectRoundTrip(TrimMsg{55});
+  ExpectRoundTrip(FetchRecordReq{7});
+  ExpectRoundTrip(NoOpMsg{3, RecordId{4, 5}});
+}
+
+TEST(Codec, SeqMessagesRoundTrip) {
+  SeqAppendReq app;
+  app.view = 2;
+  app.id = RecordId{10, 20};
+  app.payload = "hello";
+  app.target_shard = 3;
+  app.is_meta = true;
+  ExpectRoundTrip(app);
+
+  SeqGcReq gc;
+  gc.view = 1;
+  gc.new_ordered_gp = 77;
+  gc.ids.push_back(WireRecordId{RecordId{1, 1}});
+  ExpectRoundTrip(gc);
+
+  ExpectRoundTrip(SeqSealReq{4});
+  ExpectRoundTrip(SeqSealResp{10, 5});
+  ExpectRoundTrip(SeqFlushReq{6});
+
+  SeqFlushResp fr;
+  fr.new_ordered_gp = 12;
+  fr.flushed_ids.push_back(WireRecordId{RecordId{2, 2}});
+  ExpectRoundTrip(fr);
+
+  SeqStartViewReq sv;
+  sv.view = 9;
+  sv.config = {1, 2, 3};
+  sv.ordered_gp = 8;
+  sv.stable_gp = 8;
+  sv.flushed_ids.push_back(WireRecordId{RecordId{3, 3}});
+  ExpectRoundTrip(sv);
+
+  ExpectRoundTrip(SeqCheckTailResp{100, 90});
+
+  SeqConfigResp cfg;
+  cfg.view = 2;
+  cfg.sealed = true;
+  cfg.config = {5, 6};
+  ExpectRoundTrip(cfg);
+}
+
+// Property: random record batches round-trip for many sizes and seeds.
+class CodecFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBatchRoundTrip) {
+  Rng rng(GetParam());
+  ShardAppendBatchReq batch;
+  batch.view = rng.Next();
+  batch.overwrite = rng.Chance(0.5);
+  batch.truncate_from = rng.Next();
+  const size_t n = rng.Uniform(64);
+  for (size_t i = 0; i < n; ++i) {
+    std::string payload(rng.Uniform(512), static_cast<char>('a' + rng.Uniform(26)));
+    batch.records.push_back(PositionedRecord{
+        rng.Next(), Record{RecordId{rng.Next(), rng.Next()}, payload, rng.Chance(0.1)}});
+  }
+  Encoder e;
+  batch.Encode(e);
+  Decoder d(e.data());
+  ShardAppendBatchReq out;
+  ASSERT_TRUE(out.Decode(d));
+  ASSERT_EQ(out.records.size(), batch.records.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out.records[i].pos, batch.records[i].pos);
+    EXPECT_EQ(out.records[i].record, batch.records[i].record);
+  }
+}
+
+TEST_P(CodecFuzz, RandomBytesNeverCrashDecoders) {
+  Rng rng(GetParam() ^ 0xf00d);
+  std::string junk(rng.Uniform(256), '\0');
+  for (char& c : junk) {
+    c = static_cast<char>(rng.Next());
+  }
+  // None of these may crash; failure is fine.
+  {
+    Decoder d(junk);
+    ShardAppendBatchReq m;
+    (void)m.Decode(d);
+  }
+  {
+    Decoder d(junk);
+    SeqStartViewReq m;
+    (void)m.Decode(d);
+  }
+  {
+    Decoder d(junk);
+    ShardOrderMetaReq m;
+    (void)m.Decode(d);
+  }
+  {
+    Decoder d(junk);
+    SeqAppendReq m;
+    (void)m.Decode(d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace lazylog

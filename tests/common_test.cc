@@ -1,0 +1,87 @@
+// Unit tests for Status/Result, logging plumbing, and FormatNanos.
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.h"
+#include "src/common/logging.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace lazylog {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::Timeout().code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::WrongView().code(), StatusCode::kWrongView);
+  EXPECT_EQ(Status::Sealed().code(), StatusCode::kSealed);
+  EXPECT_EQ(Status::OutOfRange().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Duplicate().code(), StatusCode::kDuplicate);
+  EXPECT_EQ(Status::Rejected().code(), StatusCode::kRejected);
+  EXPECT_EQ(Status::NotLeader().code(), StatusCode::kNotLeader);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Status::Timeout().ok());
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::Timeout("t").ToString(), "TIMEOUT: t");
+  EXPECT_EQ(Status::Internal("x").ToString(), "INTERNAL: x");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Timeout("a"), Status::Timeout("b"));
+  EXPECT_FALSE(Status::Timeout() == Status::Sealed());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::Timeout());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = r.take();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(Logging, LevelGate) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(old);
+}
+
+TEST(FormatNanos, Ranges) {
+  EXPECT_EQ(FormatNanos(uint64_t{500}), "500ns");
+  EXPECT_EQ(FormatNanos(uint64_t{1'500}), "1.5us");
+  EXPECT_EQ(FormatNanos(uint64_t{2'000'000}), "2.00ms");
+  EXPECT_EQ(FormatNanos(uint64_t{3'000'000'000}), "3.00s");
+}
+
+TEST(RecordId, HashAndEquality) {
+  RecordId a{1, 2};
+  RecordId b{1, 2};
+  RecordId c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  RecordIdHash h;
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_NE(h(a), h(c));  // astronomically unlikely to collide
+}
+
+}  // namespace
+}  // namespace lazylog

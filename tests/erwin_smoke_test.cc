@@ -1,0 +1,94 @@
+// End-to-end smoke tests: append/read/checkTail on Erwin-m and Erwin-st.
+#include <gtest/gtest.h>
+
+#include "src/lazylog/erwin_cluster.h"
+#include "tests/test_util.h"
+
+namespace lazylog {
+namespace {
+
+TEST(ErwinSmoke, MAppendReadTail) {
+  ErwinClusterOptions opt;
+  opt.mode = ErwinMode::kM;
+  opt.num_shards = 3;
+  opt.shard_replication = 2;
+  ErwinCluster cluster(opt);
+  auto client = cluster.MakeMClient();
+
+  // Sequential appends establish a real-time order the final log must respect.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(AppendSyncly(cluster.loop(), *client, "rec-" + std::to_string(i)));
+  }
+
+  // Background ordering should bind and stabilize all 10 within a few intervals.
+  cluster.RunFor(20 * kMs);
+  TailResult tail = TailSyncly(cluster.loop(), *client);
+  ASSERT_TRUE(tail.status.ok());
+  EXPECT_EQ(tail.durable, 10u);
+  EXPECT_EQ(tail.stable, 10u);
+
+  auto records = ReadSyncly(cluster.loop(), *client, 0, 10);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 10u);
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ((*records)[i].pos, i);
+    EXPECT_EQ((*records)[i].record.payload, "rec-" + std::to_string(i));
+  }
+}
+
+TEST(ErwinSmoke, StAppendReadTail) {
+  ErwinClusterOptions opt;
+  opt.mode = ErwinMode::kSt;
+  opt.num_shards = 3;
+  opt.shard_replication = 2;
+  ErwinCluster cluster(opt);
+  auto client = cluster.MakeStClient();
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(AppendSyncly(cluster.loop(), *client, "st-" + std::to_string(i)));
+  }
+
+  cluster.RunFor(20 * kMs);
+  auto records = ReadSyncly(cluster.loop(), *client, 0, 10);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 10u);
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ((*records)[i].pos, i);
+    EXPECT_EQ((*records)[i].record.payload, "st-" + std::to_string(i));
+    EXPECT_FALSE((*records)[i].record.no_op);
+  }
+}
+
+TEST(ErwinSmoke, SlowPathReadWaitsForOrdering) {
+  // A read issued immediately after the append must block until background ordering
+  // stabilizes the position, then return the correct record (Figure 3 slow path).
+  ErwinClusterOptions opt;
+  opt.mode = ErwinMode::kM;
+  opt.num_shards = 2;
+  opt.shard_replication = 2;
+  ErwinCluster cluster(opt);
+  auto client = cluster.MakeMClient();
+
+  ASSERT_TRUE(AppendSyncly(cluster.loop(), *client, "first"));
+  // Read before ordering had a chance to run.
+  bool done = false;
+  std::vector<PositionedRecord> records;
+  client->Read(0, 1, [&](Status s, std::vector<PositionedRecord> recs) {
+    ASSERT_TRUE(s.ok());
+    records = std::move(recs);
+    done = true;
+  });
+  RunUntilDone(cluster.loop(), done, 200 * kMs);
+  ASSERT_TRUE(done);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].record.payload, "first");
+  // That read must have taken the slow path on some replica of shard 0.
+  uint64_t slow = 0;
+  for (uint32_t r = 0; r < 2; ++r) {
+    slow += cluster.shard(0, r).stats().slow_reads;
+  }
+  EXPECT_GE(slow, 1u);
+}
+
+}  // namespace
+}  // namespace lazylog

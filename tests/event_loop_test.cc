@@ -1,0 +1,125 @@
+// EventLoop tests: time advancement, ordering, same-instant FIFO, cancellation,
+// RunUntil clamping, and runaway protection hooks.
+#include <gtest/gtest.h>
+
+#include "src/sim/event_loop.h"
+
+namespace lazylog {
+namespace {
+
+TEST(EventLoop, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.Now(), 0u);
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoop, AdvancesToEventTime) {
+  EventLoop loop;
+  SimTime fired_at = 0;
+  loop.Schedule(1000, [&]() { fired_at = loop.Now(); });
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_EQ(fired_at, 1000u);
+  EXPECT_EQ(loop.Now(), 1000u);
+}
+
+TEST(EventLoop, OrdersByTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(300, [&]() { order.push_back(3); });
+  loop.Schedule(100, [&]() { order.push_back(1); });
+  loop.Schedule(200, [&]() { order.push_back(2); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, SameInstantIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.Schedule(500, [&order, i]() { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventLoop, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  EventHandle h = loop.Schedule(100, [&]() { fired = true; });
+  EXPECT_TRUE(h.Pending());
+  h.Cancel();
+  EXPECT_FALSE(h.Pending());
+  loop.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelAfterFireIsSafe) {
+  EventLoop loop;
+  EventHandle h = loop.Schedule(1, []() {});
+  loop.RunUntilIdle();
+  EXPECT_FALSE(h.Pending());
+  h.Cancel();  // no-op
+}
+
+TEST(EventLoop, EmptyHandleIsSafe) {
+  EventHandle h;
+  EXPECT_FALSE(h.Pending());
+  h.Cancel();
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  bool late_fired = false;
+  loop.Schedule(100, []() {});
+  loop.Schedule(10'000, [&]() { late_fired = true; });
+  loop.RunUntil(5'000);
+  EXPECT_EQ(loop.Now(), 5'000u);
+  EXPECT_FALSE(late_fired);
+  loop.RunUntil(20'000);
+  EXPECT_TRUE(late_fired);
+  EXPECT_EQ(loop.Now(), 20'000u);
+}
+
+TEST(EventLoop, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) {
+      loop.Schedule(10, recurse);
+    }
+  };
+  loop.Schedule(10, recurse);
+  loop.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.Now(), 50u);
+}
+
+TEST(EventLoop, ScheduleAtPastClampsToNow) {
+  EventLoop loop;
+  loop.Schedule(1000, []() {});
+  loop.RunUntilIdle();
+  SimTime fired_at = 0;
+  loop.ScheduleAt(10, [&]() { fired_at = loop.Now(); });  // in the past
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired_at, 1000u);
+}
+
+TEST(EventLoop, ManyEventsStressOrdering) {
+  EventLoop loop;
+  SimTime last = 0;
+  int count = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    loop.Schedule((i * 7919) % 100'000, [&]() {
+      EXPECT_GE(loop.Now(), last);
+      last = loop.Now();
+      count++;
+    });
+  }
+  loop.RunUntilIdle();
+  EXPECT_EQ(count, 10'000);
+}
+
+}  // namespace
+}  // namespace lazylog

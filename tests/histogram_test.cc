@@ -1,0 +1,123 @@
+// Histogram tests: bucket accuracy across magnitudes (property), percentile sanity,
+// merge/reset, and CDF monotonicity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+
+namespace lazylog {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.max(), 12345u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 12345.0);
+  // Bucketed value must be within ~2% relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 12345.0, 12345.0 * 0.02);
+}
+
+TEST(Histogram, ExactMeanBucketedPercentiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Add(v * 100);
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), 50050.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 50000.0, 2000.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 99000.0, 3000.0);
+  EXPECT_EQ(h.Percentile(0.0), h.min());
+  EXPECT_EQ(h.Percentile(1.0), h.max());
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.Add(100);
+  b.Add(200);
+  b.Add(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 300u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 200.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Add(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, CdfIsMonotone) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    h.Add(rng.Uniform(10'000'000));
+  }
+  auto cdf = h.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-9);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1000);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+// Property: for values across all magnitudes, the bucketed percentile of a point mass
+// stays within 2% relative error.
+class HistogramAccuracy : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracy, PointMassWithinRelativeError) {
+  const uint64_t v = GetParam();
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Add(v);
+  }
+  const double got = static_cast<double>(h.Percentile(0.5));
+  EXPECT_NEAR(got, static_cast<double>(v), std::max(1.0, static_cast<double>(v) * 0.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracy,
+                         ::testing::Values(0, 1, 63, 64, 65, 127, 128, 1000, 4096, 65535,
+                                           1'000'000, 123'456'789, 10'000'000'000ULL));
+
+// Property: percentiles are monotone in q for random data.
+class HistogramMonotone : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramMonotone, PercentileMonotoneInQ) {
+  Histogram h;
+  Rng rng(GetParam());
+  for (int i = 0; i < 5'000; ++i) {
+    h.Add(rng.Uniform(1'000'000) + 1);
+  }
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const uint64_t p = h.Percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMonotone, ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace lazylog

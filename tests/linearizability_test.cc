@@ -1,0 +1,179 @@
+// Linearizability property tests. Many concurrent clients append records while the
+// test tracks each append's real-time [invocation, ack] interval; after everything
+// settles, the final bound order must satisfy:
+//   (1) if append(a) was acknowledged before append(b) was invoked, pos(a) < pos(b);
+//   (2) every acknowledged record appears exactly once;
+//   (3) re-reading any position returns the same record (bindings are immutable).
+// Swept over seeds, cluster shapes, both Erwin variants, and crash injection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "src/common/random.h"
+#include "src/lazylog/erwin_cluster.h"
+#include "tests/test_util.h"
+
+namespace lazylog {
+namespace {
+
+struct AppendTrace {
+  RecordId id;                    // recovered from the payload on read-back
+  SimTime invoked_at = 0;
+  SimTime acked_at = 0;
+  bool acked = false;
+};
+
+struct LinParams {
+  ErwinMode mode;
+  uint32_t shards;
+  bool crash_leader;
+  uint64_t seed;
+};
+
+class LinearizabilityTest : public ::testing::TestWithParam<LinParams> {};
+
+TEST_P(LinearizabilityTest, RealTimeOrderRespected) {
+  const LinParams p = GetParam();
+  ErwinClusterOptions opt;
+  opt.mode = p.mode;
+  opt.num_shards = p.shards;
+  opt.shard_replication = 2;
+  opt.with_control_plane = true;
+  opt.params.seed = p.seed;
+  ErwinCluster cluster(opt);
+
+  constexpr int kClients = 4;
+  constexpr int kAppendsPerClient = 25;
+  std::vector<std::unique_ptr<SharedLogClient>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(cluster.MakeClient());
+  }
+
+  // Each client issues appends with random think time; payload identifies the append.
+  std::map<std::string, AppendTrace> traces;
+  Rng rng(p.seed);
+  int in_flight = 0;
+  std::function<void(int, int)> issue = [&](int c, int n) {
+    if (n >= kAppendsPerClient) {
+      return;
+    }
+    const std::string payload = "c" + std::to_string(c) + "-" + std::to_string(n);
+    AppendTrace& trace = traces[payload];
+    trace.invoked_at = cluster.loop().Now();
+    in_flight++;
+    clients[c]->Append(payload, [&, payload, c, n](bool ok) {
+      in_flight--;
+      AppendTrace& t = traces[payload];
+      t.acked = ok;
+      t.acked_at = cluster.loop().Now();
+      // Random think time before the next append from this client.
+      cluster.loop().Schedule(rng.Uniform(200 * kUs) + 1, [&, c, n]() { issue(c, n + 1); });
+    });
+  };
+  for (int c = 0; c < kClients; ++c) {
+    cluster.loop().Schedule(rng.Uniform(50 * kUs), [&, c]() { issue(c, 0); });
+  }
+
+  if (p.crash_leader) {
+    cluster.loop().Schedule(3 * kMs, [&]() { cluster.CrashSeqReplica(0); });
+  }
+
+  // Run until all appends resolved (ack or give-up) plus settling time.
+  for (int rounds = 0; rounds < 10'000; ++rounds) {
+    cluster.RunFor(1 * kMs);
+    if (in_flight == 0 && traces.size() == kClients * kAppendsPerClient) {
+      bool all_done = true;
+      for (auto& [k, t] : traces) {
+        all_done &= t.acked_at != 0 || !t.acked;
+      }
+      if (all_done) {
+        break;
+      }
+    }
+  }
+  cluster.RunFor(300 * kMs);  // let ordering settle
+
+  // Read back the full log.
+  auto reader = cluster.MakeClient();
+  TailResult tail = TailSyncly(cluster.loop(), *reader);
+  ASSERT_TRUE(tail.status.ok());
+  auto records = ReadSyncly(cluster.loop(), *reader, 0, tail.durable, 30 * kSec);
+  ASSERT_TRUE(records.has_value());
+
+  // Build payload -> position map; verify uniqueness.
+  std::unordered_map<std::string, LogPos> position_of;
+  for (const auto& pr : *records) {
+    if (pr.record.no_op) {
+      continue;
+    }
+    auto [it, inserted] = position_of.emplace(pr.record.payload, pr.pos);
+    EXPECT_TRUE(inserted) << "record bound twice: " << pr.record.payload;
+  }
+
+  // (2) every acked record present exactly once.
+  uint64_t acked_count = 0;
+  for (const auto& [payload, t] : traces) {
+    if (t.acked) {
+      acked_count++;
+      EXPECT_TRUE(position_of.count(payload) > 0) << "acked record lost: " << payload;
+    }
+  }
+  ASSERT_GT(acked_count, 0u);
+
+  // (1) real-time order: ack(a) < invoke(b) => pos(a) < pos(b).
+  std::vector<const AppendTrace*> acked;
+  std::vector<std::string> payloads;
+  for (auto& [payload, t] : traces) {
+    if (t.acked && position_of.count(payload) > 0) {
+      t.id = RecordId{};  // unused
+      acked.push_back(&t);
+      payloads.push_back(payload);
+    }
+  }
+  for (size_t i = 0; i < acked.size(); ++i) {
+    for (size_t j = 0; j < acked.size(); ++j) {
+      if (acked[i]->acked_at < acked[j]->invoked_at) {
+        EXPECT_LT(position_of[payloads[i]], position_of[payloads[j]])
+            << payloads[i] << " acked before " << payloads[j]
+            << " was invoked, but is ordered after it";
+      }
+    }
+  }
+
+  // (3) bindings immutable: a second read returns identical records.
+  auto again = ReadSyncly(cluster.loop(), *reader, 0, tail.durable, 30 * kSec);
+  ASSERT_TRUE(again.has_value());
+  ASSERT_EQ(again->size(), records->size());
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ((*again)[i].record, (*records)[i].record);
+    EXPECT_EQ((*again)[i].pos, (*records)[i].pos);
+  }
+}
+
+std::vector<LinParams> AllParams() {
+  std::vector<LinParams> params;
+  for (ErwinMode mode : {ErwinMode::kM, ErwinMode::kSt}) {
+    for (uint32_t shards : {1u, 3u}) {
+      for (bool crash : {false, true}) {
+        for (uint64_t seed : {1ull, 2ull, 3ull}) {
+          params.push_back(LinParams{mode, shards, crash, seed});
+        }
+      }
+    }
+  }
+  return params;
+}
+
+std::string ParamName(const ::testing::TestParamInfo<LinParams>& info) {
+  const LinParams& p = info.param;
+  return std::string(p.mode == ErwinMode::kM ? "M" : "St") + "_shards" +
+         std::to_string(p.shards) + (p.crash_leader ? "_crash" : "_nocrash") + "_seed" +
+         std::to_string(p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LinearizabilityTest, ::testing::ValuesIn(AllParams()),
+                         ParamName);
+
+}  // namespace
+}  // namespace lazylog

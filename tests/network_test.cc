@@ -1,0 +1,132 @@
+// Network model tests: delivery latency arithmetic, NIC serialization queueing, the
+// bulk lane, crash/restart, partitions, and loss injection.
+#include <gtest/gtest.h>
+
+#include "src/sim/network.h"
+
+namespace lazylog {
+namespace {
+
+struct TestNode {
+  NodeId id = kInvalidNode;
+  std::vector<NetMessage> inbox;
+  std::vector<SimTime> arrival;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() {
+    params_.jitter_ns = 0;  // deterministic latency for arithmetic checks
+    net_ = std::make_unique<Network>(&loop_, params_, 1);
+    for (auto& n : nodes_) {
+      TestNode* node = &n;
+      n.id = net_->AddNode([this, node](NetMessage&& m) {
+        node->inbox.push_back(std::move(m));
+        node->arrival.push_back(loop_.Now());
+      });
+    }
+  }
+
+  NetworkParams params_;
+  EventLoop loop_;
+  std::unique_ptr<Network> net_;
+  TestNode nodes_[3];
+};
+
+TEST_F(NetworkTest, DeliversWithPropagationAndSerialization) {
+  const std::string payload(1000, 'x');
+  net_->Send(nodes_[0].id, nodes_[1].id, payload);
+  loop_.RunUntilIdle();
+  ASSERT_EQ(nodes_[1].inbox.size(), 1u);
+  const uint64_t ser =
+      static_cast<uint64_t>((1000 + params_.per_message_overhead_bytes) /
+                            params_.bandwidth_bytes_per_sec * 1e9);
+  EXPECT_EQ(nodes_[1].arrival[0], ser + params_.propagation_ns);
+  EXPECT_EQ(nodes_[1].inbox[0].payload, payload);
+  EXPECT_EQ(nodes_[1].inbox[0].from, nodes_[0].id);
+}
+
+TEST_F(NetworkTest, BackToBackSendsQueueOnNic) {
+  const std::string payload(100'000, 'x');  // ~32us serialization each
+  net_->Send(nodes_[0].id, nodes_[1].id, payload);
+  net_->Send(nodes_[0].id, nodes_[2].id, payload);
+  loop_.RunUntilIdle();
+  ASSERT_EQ(nodes_[1].arrival.size(), 1u);
+  ASSERT_EQ(nodes_[2].arrival.size(), 1u);
+  // Second message waits for the first one's serialization.
+  const uint64_t ser =
+      static_cast<uint64_t>((100'000 + params_.per_message_overhead_bytes) /
+                            params_.bandwidth_bytes_per_sec * 1e9);
+  EXPECT_EQ(nodes_[2].arrival[0] - nodes_[1].arrival[0], ser);
+}
+
+TEST_F(NetworkTest, BulkLaneDoesNotBlockSmallMessages) {
+  const std::string bulk(10'000'000, 'b');  // >64KB => bulk lane (3.2ms serialization)
+  net_->Send(nodes_[0].id, nodes_[1].id, bulk);
+  net_->Send(nodes_[0].id, nodes_[2].id, "small");
+  loop_.RunUntilIdle();
+  ASSERT_EQ(nodes_[2].arrival.size(), 1u);
+  // The small message is not delayed behind the bulk transfer.
+  EXPECT_LT(nodes_[2].arrival[0], 100 * kUs);
+}
+
+TEST_F(NetworkTest, CrashDropsTrafficBothWays) {
+  net_->Crash(nodes_[1].id);
+  EXPECT_FALSE(net_->IsUp(nodes_[1].id));
+  net_->Send(nodes_[0].id, nodes_[1].id, "to-dead");
+  net_->Send(nodes_[1].id, nodes_[0].id, "from-dead");
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(nodes_[1].inbox.empty());
+  EXPECT_TRUE(nodes_[0].inbox.empty());
+}
+
+TEST_F(NetworkTest, InFlightToCrashedNodeIsLost) {
+  net_->Send(nodes_[0].id, nodes_[1].id, "in-flight");
+  net_->Crash(nodes_[1].id);  // crash before delivery event fires
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(nodes_[1].inbox.empty());
+}
+
+TEST_F(NetworkTest, RestartRestoresDelivery) {
+  net_->Crash(nodes_[1].id);
+  net_->Restart(nodes_[1].id);
+  net_->Send(nodes_[0].id, nodes_[1].id, "hello-again");
+  loop_.RunUntilIdle();
+  EXPECT_EQ(nodes_[1].inbox.size(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionCutsBothDirections) {
+  net_->SetPartitioned(nodes_[0].id, nodes_[1].id, true);
+  net_->Send(nodes_[0].id, nodes_[1].id, "a");
+  net_->Send(nodes_[1].id, nodes_[0].id, "b");
+  net_->Send(nodes_[0].id, nodes_[2].id, "c");  // unaffected pair
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(nodes_[0].inbox.empty());
+  EXPECT_TRUE(nodes_[1].inbox.empty());
+  EXPECT_EQ(nodes_[2].inbox.size(), 1u);
+  net_->SetPartitioned(nodes_[0].id, nodes_[1].id, false);
+  net_->Send(nodes_[0].id, nodes_[1].id, "healed");
+  loop_.RunUntilIdle();
+  EXPECT_EQ(nodes_[1].inbox.size(), 1u);
+}
+
+TEST_F(NetworkTest, LossDropsFraction) {
+  net_->SetLossProbability(0.5);
+  for (int i = 0; i < 1000; ++i) {
+    net_->Send(nodes_[0].id, nodes_[1].id, "x");
+  }
+  loop_.RunUntilIdle();
+  EXPECT_GT(nodes_[1].inbox.size(), 300u);
+  EXPECT_LT(nodes_[1].inbox.size(), 700u);
+}
+
+TEST_F(NetworkTest, CountersTrackTraffic) {
+  net_->Send(nodes_[0].id, nodes_[1].id, "x");
+  loop_.RunUntilIdle();
+  EXPECT_EQ(net_->messages_sent(), 1u);
+  EXPECT_EQ(net_->messages_delivered(), 1u);
+  EXPECT_GT(net_->bytes_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace lazylog

@@ -1,0 +1,114 @@
+// RNG and distribution tests: determinism, uniformity sanity, exponential mean,
+// zipfian skew, and YCSB generator mixes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/common/random.h"
+#include "src/workload/ycsb.h"
+
+namespace lazylog {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    differs |= a2.Next() != c.Next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t r = rng.Range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(3);
+  double sum = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Exponential(100.0);
+  }
+  EXPECT_NEAR(sum / kN, 100.0, 2.0);
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    hits += rng.Chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100'000.0, 0.25, 0.01);
+}
+
+TEST(Zipfian, InRangeAndSkewed) {
+  ZipfianGenerator zipf(1000, 0.99, 7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100'000; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Head items dominate: item 0 must be far more popular than the median item.
+  EXPECT_GT(counts[0], 100'000 / 100);
+  int head = 0;
+  for (uint64_t k = 0; k < 10; ++k) {
+    head += counts[k];
+  }
+  EXPECT_GT(head, 100'000 / 4);  // top-1% of keys take >25% of accesses
+}
+
+TEST(Ycsb, LoadIsWriteOnly) {
+  YcsbGenerator gen(YcsbWorkload::kLoad, 1000);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(gen.Next().kind, YcsbOp::Kind::kPut);
+  }
+}
+
+TEST(Ycsb, MixesMatchWorkloads) {
+  auto measure = [](YcsbWorkload w) {
+    YcsbGenerator gen(w, 1000);
+    int puts = 0;
+    for (int i = 0; i < 20'000; ++i) {
+      puts += gen.Next().kind == YcsbOp::Kind::kPut ? 1 : 0;
+    }
+    return puts / 20'000.0;
+  };
+  EXPECT_NEAR(measure(YcsbWorkload::kA), 0.50, 0.02);
+  EXPECT_NEAR(measure(YcsbWorkload::kB), 0.05, 0.01);
+}
+
+TEST(Ycsb, KeysHaveFixedWidth) {
+  YcsbGenerator gen(YcsbWorkload::kA, 1000);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.Next().key.size(), YcsbGenerator::kKeyBytes);
+  }
+  EXPECT_EQ(YcsbGenerator::MakeValue(7).size(), YcsbGenerator::kValueBytes);
+}
+
+}  // namespace
+}  // namespace lazylog

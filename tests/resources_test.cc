@@ -1,0 +1,87 @@
+// ServerCpu and Disk model tests: FIFO service, queueing arithmetic, cost functions,
+// disk bandwidth and latency, queue-depth reporting.
+#include <gtest/gtest.h>
+
+#include "src/sim/resources.h"
+
+namespace lazylog {
+namespace {
+
+TEST(ServerCpu, CostIncludesFixedAndCopy) {
+  EventLoop loop;
+  ServerCpu cpu(&loop, CpuParams{.fixed_ns = 1000, .copy_bandwidth_bytes_per_sec = 1e9});
+  EXPECT_EQ(cpu.CostFor(0), 1000u);
+  EXPECT_EQ(cpu.CostFor(1000), 2000u);  // 1000ns fixed + 1us copy
+}
+
+TEST(ServerCpu, BackToBackWorkQueues) {
+  EventLoop loop;
+  ServerCpu cpu(&loop, CpuParams{.fixed_ns = 1000, .copy_bandwidth_bytes_per_sec = 1e9});
+  std::vector<SimTime> done;
+  cpu.Execute(1000, [&]() { done.push_back(loop.Now()); });
+  cpu.Execute(1000, [&]() { done.push_back(loop.Now()); });
+  cpu.Execute(1000, [&]() { done.push_back(loop.Now()); });
+  loop.RunUntilIdle();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], 1000u);
+  EXPECT_EQ(done[1], 2000u);
+  EXPECT_EQ(done[2], 3000u);
+}
+
+TEST(ServerCpu, IdleGapsDoNotAccumulate) {
+  EventLoop loop;
+  ServerCpu cpu(&loop, CpuParams{.fixed_ns = 100, .copy_bandwidth_bytes_per_sec = 1e9});
+  SimTime first = 0;
+  cpu.Execute(100, [&]() { first = loop.Now(); });
+  loop.RunUntilIdle();
+  loop.Schedule(10'000, []() {});
+  loop.RunUntilIdle();  // clock at 10.1us, cpu idle
+  SimTime second = 0;
+  cpu.Execute(100, [&]() { second = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(first, 100u);
+  EXPECT_EQ(second, 10'200u);  // starts at Now (10.1us), not after old busy_until
+}
+
+TEST(Disk, WriteLatencyAndBandwidth) {
+  EventLoop loop;
+  Disk disk(&loop, DiskParams{.write_bandwidth_bytes_per_sec = 1e9,
+                              .write_latency_ns = 10'000});
+  SimTime done = 0;
+  disk.Write(1'000'000, [&]() { done = loop.Now(); });  // 1MB at 1GB/s = 1ms transfer
+  loop.RunUntilIdle();
+  EXPECT_EQ(done, 1'000'000u + 10'000u);
+}
+
+TEST(Disk, WritesQueueAtBandwidth) {
+  EventLoop loop;
+  Disk disk(&loop, DiskParams{.write_bandwidth_bytes_per_sec = 1e9, .write_latency_ns = 0});
+  std::vector<SimTime> done;
+  disk.Write(1000, [&]() { done.push_back(loop.Now()); });
+  disk.Write(1000, [&]() { done.push_back(loop.Now()); });
+  loop.RunUntilIdle();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 1000u);
+  EXPECT_EQ(done[1], 2000u);
+}
+
+TEST(Disk, QueueDepthReflectsBacklog) {
+  EventLoop loop;
+  Disk disk(&loop, DiskParams{.write_bandwidth_bytes_per_sec = 1e9, .write_latency_ns = 0});
+  EXPECT_EQ(disk.QueueDepthNs(), 0u);
+  disk.Write(5'000'000);  // 5ms of backlog
+  EXPECT_EQ(disk.QueueDepthNs(), 5'000'000u);
+  loop.RunUntil(2'000'000);
+  EXPECT_EQ(disk.QueueDepthNs(), 3'000'000u);
+}
+
+TEST(Disk, NullCallbackIsFine) {
+  EventLoop loop;
+  Disk disk(&loop, DiskParams{});
+  disk.Write(100);
+  loop.RunUntilIdle();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lazylog

@@ -1,0 +1,184 @@
+// RPC layer tests: dispatch, async responders, timeouts, late responses, cancellation,
+// and the Gather fan-out helper.
+#include <gtest/gtest.h>
+
+#include "src/rpc/rpc.h"
+
+namespace lazylog {
+namespace {
+
+constexpr MethodId kEcho = 1;
+constexpr MethodId kNever = 2;
+constexpr MethodId kDeferred = 3;
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() : net_(&loop_, NetworkParams{}, 1), server_(&net_), client_(&net_) {
+    server_.Register(kEcho, [](NodeId, Decoder d, Responder r) {
+      std::string s;
+      d.GetBytes(&s);
+      Encoder e;
+      e.PutBytes(s);
+      r.Ok(e);
+    });
+    server_.Register(kNever, [this](NodeId, Decoder, Responder r) {
+      parked_.push_back(std::move(r));  // never answered (until test flushes)
+    });
+    server_.Register(kDeferred, [this](NodeId, Decoder, Responder r) {
+      loop_.Schedule(5 * kMs, [r]() mutable { r.Send(Status::Ok(), "late"); });
+    });
+  }
+
+  EventLoop loop_;
+  Network net_;
+  RpcEndpoint server_;
+  RpcEndpoint client_;
+  std::vector<Responder> parked_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  Encoder e;
+  e.PutBytes("ping");
+  Status status = Status::Internal("unset");
+  std::string reply;
+  client_.Call(server_.node_id(), kEcho, e.Take(),
+               [&](Status s, const std::string& body) {
+                 status = std::move(s);
+                 Decoder d(body);
+                 d.GetBytes(&reply);
+               },
+               kSec);
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(reply, "ping");
+}
+
+TEST_F(RpcTest, UnknownMethodReturnsError) {
+  Status status;
+  client_.Call(server_.node_id(), 999, "", [&](Status s, const std::string&) { status = s; },
+               kSec);
+  loop_.RunUntilIdle();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(RpcTest, TimeoutFiresWhenServerSilent) {
+  Status status;
+  client_.Call(server_.node_id(), kNever, "", [&](Status s, const std::string&) { status = s; },
+               10 * kMs);
+  loop_.RunUntilIdle();
+  EXPECT_EQ(status.code(), StatusCode::kTimeout);
+}
+
+TEST_F(RpcTest, LateResponseAfterTimeoutIsDropped) {
+  int calls = 0;
+  client_.Call(server_.node_id(), kNever, "",
+               [&](Status, const std::string&) { calls++; }, 10 * kMs);
+  loop_.RunUntil(20 * kMs);
+  EXPECT_EQ(calls, 1);
+  // Server finally responds; the client must not invoke the callback again.
+  for (auto& r : parked_) {
+    r.Send(Status::Ok());
+  }
+  parked_.clear();
+  loop_.RunUntilIdle();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(RpcTest, DeferredResponderWorks) {
+  Status status = Status::Internal("unset");
+  std::string body_out;
+  client_.Call(server_.node_id(), kDeferred, "",
+               [&](Status s, const std::string& body) {
+                 status = std::move(s);
+                 body_out = body;
+               },
+               kSec);
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(body_out, "late");
+}
+
+TEST_F(RpcTest, ErrorStatusPropagates) {
+  server_.Register(kEcho, [](NodeId, Decoder, Responder r) {
+    r.Send(Status::Sealed("try later"));
+  });
+  Status status;
+  client_.Call(server_.node_id(), kEcho, "", [&](Status s, const std::string&) { status = s; },
+               kSec);
+  loop_.RunUntilIdle();
+  EXPECT_EQ(status.code(), StatusCode::kSealed);
+  EXPECT_EQ(status.message(), "try later");
+}
+
+TEST_F(RpcTest, CancelAllFailsOutstanding) {
+  Status status;
+  client_.Call(server_.node_id(), kNever, "", [&](Status s, const std::string&) { status = s; },
+               0);
+  client_.CancelAll();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(RpcTest, CallToCrashedServerTimesOut) {
+  net_.Crash(server_.node_id());
+  Status status;
+  client_.Call(server_.node_id(), kEcho, "", [&](Status s, const std::string&) { status = s; },
+               5 * kMs);
+  loop_.RunUntilIdle();
+  EXPECT_EQ(status.code(), StatusCode::kTimeout);
+}
+
+TEST_F(RpcTest, ManyConcurrentCallsMatchResponses) {
+  int ok = 0;
+  for (int i = 0; i < 100; ++i) {
+    Encoder e;
+    e.PutBytes("m" + std::to_string(i));
+    const std::string want = "m" + std::to_string(i);
+    client_.Call(server_.node_id(), kEcho, e.Take(),
+                 [&ok, want](Status s, const std::string& body) {
+                   Decoder d(body);
+                   std::string got;
+                   d.GetBytes(&got);
+                   if (s.ok() && got == want) {
+                     ok++;
+                   }
+                 },
+                 kSec);
+  }
+  loop_.RunUntilIdle();
+  EXPECT_EQ(ok, 100);
+}
+
+TEST(Gather, CompletesOnceAllSlotsDone) {
+  bool done = false;
+  std::vector<Status> result;
+  auto gather = Gather::Create(3, [&](const std::vector<Status>& ss) {
+    done = true;
+    result = ss;
+  });
+  auto s0 = gather->Slot(0);
+  auto s1 = gather->Slot(1);
+  auto s2 = gather->Slot(2);
+  s1(Status::Ok(), "");
+  EXPECT_FALSE(done);
+  s0(Status::Timeout(), "");
+  EXPECT_FALSE(done);
+  s2(Status::Ok(), "");
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result[0].code() == StatusCode::kTimeout);
+  EXPECT_TRUE(result[1].ok());
+  EXPECT_TRUE(result[2].ok());
+}
+
+TEST(Gather, SurvivesCallerRelease) {
+  bool done = false;
+  RpcEndpoint::ResponseCallback cb;
+  {
+    auto gather = Gather::Create(1, [&](const std::vector<Status>&) { done = true; });
+    cb = gather->Slot(0);
+  }  // gather's shared_ptr released; the slot keeps it alive
+  cb(Status::Ok(), "");
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace lazylog

@@ -1,0 +1,360 @@
+// ShardServer tests, driven over the wire: black-box mode (ordered batches,
+// replication, stable-gp gating, slow-path wakeup, trim, recovery overwrite) and
+// Erwin-st mode (unordered puts, metadata binding, no-op timeout, late-put rejection,
+// position map, backup repair).
+#include <gtest/gtest.h>
+
+#include "src/storage/shard_server.h"
+#include "tests/test_util.h"
+
+namespace lazylog {
+namespace {
+
+class ShardHarness {
+ public:
+  ShardHarness(ShardMode mode, uint32_t replicas = 2) : net_(&loop_, params_.net, 1) {
+    for (uint32_t r = 0; r < replicas; ++r) {
+      servers_.push_back(
+          std::make_unique<ShardServer>(&net_, params_, mode, /*shard_id=*/0,
+                                        /*num_shards=*/1));
+      ids_.push_back(servers_.back()->node_id());
+    }
+    for (auto& s : servers_) {
+      s->SetReplicaSet(ids_);
+    }
+    client_ = std::make_unique<RpcEndpoint>(&net_);
+  }
+
+  // Sends an ordered batch to the primary and waits for the ack.
+  Status AppendBatch(ViewId view, std::vector<PositionedRecord> records,
+                     bool overwrite = false, LogPos truncate_from = 0) {
+    ShardAppendBatchReq req;
+    req.view = view;
+    req.overwrite = overwrite;
+    req.truncate_from = truncate_from;
+    req.records = std::move(records);
+    Status out = Status::Internal("pending");
+    bool done = false;
+    client_->CallMsg(ids_[0], kShardAppendBatch, req,
+                     [&](Status s, const std::string&) {
+                       out = std::move(s);
+                       done = true;
+                     },
+                     10 * kSec);
+    RunUntilDone(loop_, done, 10 * kSec);
+    return out;
+  }
+
+  Status OrderMeta(ViewId view, std::vector<MetaEntry> entries, bool overwrite = false,
+                   LogPos truncate_from = 0, uint64_t budget_ns = 10 * kSec) {
+    ShardOrderMetaReq req;
+    req.view = view;
+    req.overwrite = overwrite;
+    req.truncate_from = truncate_from;
+    req.entries = std::move(entries);
+    Status out = Status::Internal("pending");
+    bool done = false;
+    client_->CallMsg(ids_[0], kShardOrderMeta, req,
+                     [&](Status s, const std::string&) {
+                       out = std::move(s);
+                       done = true;
+                     },
+                     30 * kSec);
+    RunUntilDone(loop_, done, budget_ns);
+    return out;
+  }
+
+  Status PutData(const RecordId& id, const std::string& payload, size_t replica = 0) {
+    ShardPutDataReq req{id, payload};
+    Status out = Status::Internal("pending");
+    bool done = false;
+    client_->CallMsg(ids_[replica], kShardPutData, req,
+                     [&](Status s, const std::string&) {
+                       out = std::move(s);
+                       done = true;
+                     },
+                     kSec);
+    RunUntilDone(loop_, done);
+    return out;
+  }
+
+  void SetStable(ViewId view, LogPos stable) {
+    StableGpMsg msg{view, stable};
+    Encoder e;
+    msg.Encode(e);
+    for (NodeId id : ids_) {
+      client_->Call(id, kShardSetStableGp, e.data(), nullptr, 0);
+    }
+    loop_.RunUntil(loop_.Now() + 1 * kMs);
+  }
+
+  // Read via the wire; returns nullopt on error.
+  std::optional<std::vector<PositionedRecord>> Read(LogPos pos, uint32_t len, bool nowait,
+                                                    size_t replica = 0,
+                                                    uint64_t budget_ns = kSec) {
+    ShardReadReq req{pos, len, nowait};
+    std::optional<std::vector<PositionedRecord>> out;
+    bool done = false;
+    client_->CallMsg(ids_[replica], kShardRead, req,
+                     [&](Status s, const std::string& body) {
+                       if (s.ok()) {
+                         ShardReadResp resp;
+                         Decoder d(body);
+                         if (resp.Decode(d)) {
+                           out = std::move(resp.records);
+                         }
+                       }
+                       done = true;
+                     },
+                     0);
+    RunUntilDone(loop_, done, budget_ns);
+    return out;
+  }
+
+  EventLoop loop_;
+  SimParams params_;
+  Network net_;
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+  std::vector<NodeId> ids_;
+  std::unique_ptr<RpcEndpoint> client_;
+};
+
+PositionedRecord PR(LogPos pos, uint64_t rid, const std::string& payload) {
+  return PositionedRecord{pos, Record{RecordId{1, rid}, payload, false}};
+}
+
+TEST(ShardBlackBox, AppendReplicatesToBackup) {
+  ShardHarness h(ShardMode::kBlackBox);
+  ASSERT_TRUE(h.AppendBatch(1, {PR(0, 1, "a"), PR(1, 2, "b")}).ok());
+  EXPECT_EQ(h.servers_[0]->ordered_records(), 2u);
+  EXPECT_EQ(h.servers_[1]->ordered_records(), 2u);
+  ASSERT_NE(h.servers_[1]->RecordAt(1), nullptr);
+  EXPECT_EQ(h.servers_[1]->RecordAt(1)->payload, "b");
+}
+
+TEST(ShardBlackBox, ReadGatedOnStableGp) {
+  ShardHarness h(ShardMode::kBlackBox);
+  ASSERT_TRUE(h.AppendBatch(1, {PR(0, 1, "a")}).ok());
+  // Not stable yet: nowait read refuses.
+  auto r = h.Read(0, 1, /*nowait=*/true);
+  EXPECT_FALSE(r.has_value());
+  h.SetStable(1, 1);
+  r = h.Read(0, 1, true);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].record.payload, "a");
+  EXPECT_EQ(h.servers_[0]->stats().fast_reads, 1u);
+}
+
+TEST(ShardBlackBox, SlowPathWokenByStableAdvance) {
+  ShardHarness h(ShardMode::kBlackBox);
+  ASSERT_TRUE(h.AppendBatch(1, {PR(0, 1, "a")}).ok());
+  bool done = false;
+  std::vector<PositionedRecord> records;
+  ShardReadReq req{0, 1, false};
+  h.client_->CallMsg(h.ids_[0], kShardRead, req,
+                     [&](Status s, const std::string& body) {
+                       ASSERT_TRUE(s.ok());
+                       ShardReadResp resp;
+                       Decoder d(body);
+                       ASSERT_TRUE(resp.Decode(d));
+                       records = std::move(resp.records);
+                       done = true;
+                     },
+                     0);
+  h.loop_.RunUntil(h.loop_.Now() + 10 * kMs);
+  EXPECT_FALSE(done);  // still parked
+  h.SetStable(1, 1);
+  RunUntilDone(h.loop_, done);
+  ASSERT_TRUE(done);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(h.servers_[0]->stats().slow_reads, 1u);
+}
+
+TEST(ShardBlackBox, RangedReadStopsAtStable) {
+  ShardHarness h(ShardMode::kBlackBox);
+  ASSERT_TRUE(h.AppendBatch(1, {PR(0, 1, "a"), PR(1, 2, "b"), PR(2, 3, "c")}).ok());
+  h.SetStable(1, 2);  // only positions 0 and 1 stable
+  auto r = h.Read(0, 3, true);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(ShardBlackBox, DuplicatePushIsIdempotent) {
+  ShardHarness h(ShardMode::kBlackBox);
+  ASSERT_TRUE(h.AppendBatch(1, {PR(0, 1, "a")}).ok());
+  ASSERT_TRUE(h.AppendBatch(1, {PR(0, 1, "a"), PR(1, 2, "b")}).ok());
+  EXPECT_EQ(h.servers_[0]->ordered_records(), 2u);
+}
+
+TEST(ShardBlackBox, StaleViewRejected) {
+  ShardHarness h(ShardMode::kBlackBox);
+  ASSERT_TRUE(h.AppendBatch(5, {PR(0, 1, "a")}).ok());
+  EXPECT_EQ(h.AppendBatch(3, {PR(1, 2, "b")}).code(), StatusCode::kWrongView);
+}
+
+TEST(ShardBlackBox, RecoveryOverwriteRewritesTail) {
+  ShardHarness h(ShardMode::kBlackBox);
+  ASSERT_TRUE(h.AppendBatch(1, {PR(0, 1, "a"), PR(1, 2, "b"), PR(2, 3, "c")}).ok());
+  // Recovery flush in view 2 rewrites positions >= 1 with a different order.
+  ASSERT_TRUE(h.AppendBatch(2, {PR(1, 3, "c2"), PR(2, 2, "b2")}, /*overwrite=*/true,
+                            /*truncate_from=*/1)
+                  .ok());
+  h.SetStable(2, 3);
+  auto r = h.Read(0, 3, true);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].record.payload, "a");
+  EXPECT_EQ((*r)[1].record.payload, "c2");
+  EXPECT_EQ((*r)[2].record.payload, "b2");
+  // Backup converged too.
+  EXPECT_EQ(h.servers_[1]->RecordAt(1)->payload, "c2");
+}
+
+TEST(ShardBlackBox, TrimMakesPrefixUnreadable) {
+  ShardHarness h(ShardMode::kBlackBox);
+  std::vector<PositionedRecord> batch;
+  for (uint64_t i = 0; i < 10; ++i) {
+    batch.push_back(PR(i, i, "r" + std::to_string(i)));
+  }
+  ASSERT_TRUE(h.AppendBatch(1, batch).ok());
+  h.SetStable(1, 10);
+  TrimMsg trim{5};
+  Encoder e;
+  trim.Encode(e);
+  bool done = false;
+  h.client_->Call(h.ids_[0], kShardTrim, e.Take(),
+                  [&](Status s, const std::string&) {
+                    EXPECT_TRUE(s.ok());
+                    done = true;
+                  },
+                  kSec);
+  RunUntilDone(h.loop_, done);
+  EXPECT_FALSE(h.Read(3, 1, true).has_value());
+  auto r = h.Read(5, 1, true);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)[0].record.payload, "r5");
+}
+
+// --- Erwin-st mode -----------------------------------------------------------------------
+
+TEST(ShardSt, PutThenBindServesRead) {
+  ShardHarness h(ShardMode::kStModified);
+  ASSERT_TRUE(h.PutData(RecordId{7, 1}, "data", 0).ok());
+  ASSERT_TRUE(h.PutData(RecordId{7, 1}, "data", 1).ok());
+  ASSERT_TRUE(h.OrderMeta(1, {MetaEntry{0, RecordId{7, 1}, 0}}).ok());
+  h.SetStable(1, 1);
+  auto r = h.Read(0, 1, true);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)[0].record.payload, "data");
+  EXPECT_EQ(h.servers_[0]->unordered_pool_size(), 0u);  // moved out of the pool
+  EXPECT_EQ(h.servers_[1]->unordered_pool_size(), 0u);
+}
+
+TEST(ShardSt, MetaForOtherShardOnlyExtendsPosMap) {
+  ShardHarness h(ShardMode::kStModified);
+  ASSERT_TRUE(h.OrderMeta(1, {MetaEntry{0, RecordId{7, 1}, 4}}).ok());
+  EXPECT_EQ(h.servers_[0]->ordered_records(), 0u);
+  EXPECT_EQ(h.servers_[0]->meta_log_size(), 1u);
+}
+
+TEST(ShardSt, MissingDataBecomesNoOpAfterTimeout) {
+  ShardHarness h(ShardMode::kStModified);
+  // Metadata arrives but the client "crashed" before the data write (§5.4).
+  Status s = h.OrderMeta(1, {MetaEntry{0, RecordId{8, 1}, 0}});
+  ASSERT_TRUE(s.ok());  // ack waits out the timeout and resolves to no-op
+  h.SetStable(1, 1);
+  auto r = h.Read(0, 1, true);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE((*r)[0].record.no_op);
+  EXPECT_GE(h.servers_[0]->stats().noops_created, 1u);
+  // The late data write must now be rejected.
+  EXPECT_EQ(h.PutData(RecordId{8, 1}, "late", 0).code(), StatusCode::kRejected);
+  // And the backup converged to a no-op as well.
+  h.loop_.RunUntil(h.loop_.Now() + h.params_.seq.st_data_timeout_ns * 3);
+  ASSERT_NE(h.servers_[1]->RecordAt(0), nullptr);
+  EXPECT_TRUE(h.servers_[1]->RecordAt(0)->no_op);
+}
+
+TEST(ShardSt, DataArrivingBeforeTimeoutResolvesBinding) {
+  ShardHarness h(ShardMode::kStModified);
+  // Order metadata first; data arrives shortly after (network race, §5.4).
+  bool meta_done = false;
+  ShardOrderMetaReq req;
+  req.view = 1;
+  req.entries = {MetaEntry{0, RecordId{9, 1}, 0}};
+  h.client_->CallMsg(h.ids_[0], kShardOrderMeta, req,
+                     [&](Status s, const std::string&) {
+                       EXPECT_TRUE(s.ok());
+                       meta_done = true;
+                     },
+                     30 * kSec);
+  h.loop_.RunUntil(h.loop_.Now() + 100 * kUs);
+  EXPECT_FALSE(meta_done);  // binding pending on data
+  ASSERT_TRUE(h.PutData(RecordId{9, 1}, "raced", 0).ok());
+  ASSERT_TRUE(h.PutData(RecordId{9, 1}, "raced", 1).ok());
+  RunUntilDone(h.loop_, meta_done);
+  ASSERT_TRUE(meta_done);
+  h.SetStable(1, 1);
+  auto r = h.Read(0, 1, true);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE((*r)[0].record.no_op);
+  EXPECT_EQ((*r)[0].record.payload, "raced");
+  EXPECT_EQ(h.servers_[0]->stats().noops_created, 0u);
+}
+
+TEST(ShardSt, BackupRepairsFromPrimary) {
+  ShardHarness h(ShardMode::kStModified);
+  // Data reaches only the primary (client crashed mid-append); binding on the backup
+  // must repair by fetching the record from the primary.
+  ASSERT_TRUE(h.PutData(RecordId{10, 1}, "only-primary", 0).ok());
+  ASSERT_TRUE(h.OrderMeta(1, {MetaEntry{0, RecordId{10, 1}, 0}}).ok());
+  h.loop_.RunUntil(h.loop_.Now() + 4 * h.params_.seq.st_data_timeout_ns);
+  ASSERT_NE(h.servers_[1]->RecordAt(0), nullptr);
+  EXPECT_FALSE(h.servers_[1]->RecordAt(0)->no_op);
+  EXPECT_EQ(h.servers_[1]->RecordAt(0)->payload, "only-primary");
+}
+
+TEST(ShardSt, PosMapServedUpToStable) {
+  ShardHarness h(ShardMode::kStModified);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(h.PutData(RecordId{11, i + 1}, "d", 0).ok());
+    ASSERT_TRUE(h.PutData(RecordId{11, i + 1}, "d", 1).ok());
+  }
+  std::vector<MetaEntry> entries;
+  for (uint64_t i = 0; i < 4; ++i) {
+    entries.push_back(MetaEntry{i, RecordId{11, i + 1}, static_cast<ShardId>(i % 2)});
+  }
+  ASSERT_TRUE(h.OrderMeta(1, entries).ok());
+  h.SetStable(1, 3);  // only 3 stable
+  ShardPosMapReq req{0, 10};
+  std::vector<uint64_t> ids;
+  bool done = false;
+  h.client_->CallMsg(h.ids_[0], kShardPosMap, req,
+                     [&](Status s, const std::string& body) {
+                       ASSERT_TRUE(s.ok());
+                       ShardPosMapResp resp;
+                       Decoder d(body);
+                       ASSERT_TRUE(resp.Decode(d));
+                       ids = resp.shard_ids;
+                       done = true;
+                     },
+                     kSec);
+  RunUntilDone(h.loop_, done);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+  EXPECT_EQ(ids[2], 0u);
+}
+
+TEST(ShardSt, OrphanedDataScrubbedEventually) {
+  ShardHarness h(ShardMode::kStModified);
+  ASSERT_TRUE(h.PutData(RecordId{12, 1}, "orphan", 0).ok());
+  EXPECT_EQ(h.servers_[0]->unordered_pool_size(), 1u);
+  // No metadata ever references it; the periodic scrubber collects it (§5.4).
+  h.loop_.RunUntil(h.loop_.Now() + 30 * h.params_.seq.st_data_timeout_ns + 200 * kMs);
+  EXPECT_EQ(h.servers_[0]->unordered_pool_size(), 0u);
+}
+
+}  // namespace
+}  // namespace lazylog

@@ -1,0 +1,90 @@
+// Helpers for driving the simulated cluster synchronously from tests: each helper
+// issues one async operation and runs the event loop until its callback fires.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lazylog/shared_log_client.h"
+#include "src/sim/event_loop.h"
+
+namespace lazylog {
+
+// Runs `loop` until `done` becomes true or `budget_ns` of simulated time elapses.
+inline bool RunUntilDone(EventLoop& loop, const bool& done, uint64_t budget_ns = kSec) {
+  const SimTime deadline = loop.Now() + budget_ns;
+  while (!done && loop.Now() < deadline) {
+    if (!loop.RunOne()) {
+      break;
+    }
+  }
+  return done;
+}
+
+// Appends and waits for the durability ack. Returns the ack value.
+inline bool AppendSyncly(EventLoop& loop, SharedLogClient& client, std::string payload) {
+  bool done = false;
+  bool result = false;
+  client.Append(std::move(payload), [&](bool ok) {
+    result = ok;
+    done = true;
+  });
+  RunUntilDone(loop, done);
+  return result;
+}
+
+// Reads [from, from+len) and waits. Returns records or nullopt on error/timeout.
+inline std::optional<std::vector<PositionedRecord>> ReadSyncly(EventLoop& loop,
+                                                               SharedLogClient& client,
+                                                               LogPos from, uint64_t len,
+                                                               uint64_t budget_ns = kSec) {
+  bool done = false;
+  Status status = Status::Internal("never completed");
+  std::vector<PositionedRecord> records;
+  client.Read(from, len, [&](Status s, std::vector<PositionedRecord> recs) {
+    status = std::move(s);
+    records = std::move(recs);
+    done = true;
+  });
+  RunUntilDone(loop, done, budget_ns);
+  if (!done || !status.ok()) {
+    return std::nullopt;
+  }
+  return records;
+}
+
+struct TailResult {
+  Status status = Status::Internal("never completed");
+  LogPos durable = 0;
+  LogPos stable = 0;
+};
+
+inline TailResult TailSyncly(EventLoop& loop, SharedLogClient& client) {
+  bool done = false;
+  TailResult result;
+  client.CheckTail([&](Status s, LogPos d, LogPos st) {
+    result.status = std::move(s);
+    result.durable = d;
+    result.stable = st;
+    done = true;
+  });
+  RunUntilDone(loop, done);
+  return result;
+}
+
+inline Status TrimSyncly(EventLoop& loop, SharedLogClient& client, LogPos index) {
+  bool done = false;
+  Status status = Status::Internal("never completed");
+  client.Trim(index, [&](Status s) {
+    status = std::move(s);
+    done = true;
+  });
+  RunUntilDone(loop, done);
+  return status;
+}
+
+}  // namespace lazylog
+
+#endif  // TESTS_TEST_UTIL_H_

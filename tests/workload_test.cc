@@ -1,0 +1,150 @@
+// Workload-driver tests: open-loop rate fidelity, warmup filtering, reader lag
+// semantics, and the periodic tail reader.
+#include <gtest/gtest.h>
+
+#include "src/lazylog/erwin_cluster.h"
+#include "src/workload/drivers.h"
+#include "tests/test_util.h"
+
+namespace lazylog {
+namespace {
+
+ErwinClusterOptions MOptions() {
+  ErwinClusterOptions opt;
+  opt.mode = ErwinMode::kM;
+  opt.num_shards = 1;
+  opt.shard_replication = 2;
+  opt.with_control_plane = false;
+  return opt;
+}
+
+TEST(OpenLoopAppender, HitsTargetRate) {
+  ErwinCluster cluster(MOptions());
+  auto client = cluster.MakeMClient();
+  OpenLoopAppender::Options opt;
+  opt.rate_per_sec = 20'000;
+  opt.record_bytes = 256;
+  OpenLoopAppender appender(&cluster.loop(), client.get(), opt);
+  appender.Start();
+  cluster.RunFor(500 * kMs);
+  appender.Stop();
+  EXPECT_NEAR(static_cast<double>(appender.acked()), 10'000.0, 300.0);
+  EXPECT_NEAR(appender.MeasuredRate(cluster.loop().Now()), 20'000.0, 600.0);
+  EXPECT_EQ(appender.failed(), 0u);
+}
+
+TEST(OpenLoopAppender, WarmupExcludedFromHistogram) {
+  ErwinCluster cluster(MOptions());
+  auto client = cluster.MakeMClient();
+  OpenLoopAppender::Options opt;
+  opt.rate_per_sec = 10'000;
+  opt.record_bytes = 128;
+  opt.warmup_ns = 100 * kMs;
+  OpenLoopAppender appender(&cluster.loop(), client.get(), opt);
+  appender.Start();
+  cluster.RunFor(200 * kMs);
+  appender.Stop();
+  // Roughly half the acked appends fall in the warmup and are not recorded.
+  EXPECT_LT(appender.latency().count(), appender.acked());
+  EXPECT_NEAR(static_cast<double>(appender.latency().count()),
+              static_cast<double>(appender.acked()) / 2, 120.0);
+}
+
+TEST(OpenLoopAppender, MaxAppendsStops) {
+  ErwinCluster cluster(MOptions());
+  auto client = cluster.MakeMClient();
+  OpenLoopAppender::Options opt;
+  opt.rate_per_sec = 50'000;
+  opt.record_bytes = 64;
+  opt.max_appends = 123;
+  OpenLoopAppender appender(&cluster.loop(), client.get(), opt);
+  appender.Start();
+  cluster.RunFor(kSec);
+  EXPECT_EQ(appender.issued(), 123u);
+  EXPECT_EQ(appender.acked(), 123u);
+}
+
+TEST(SequentialReader, RespectsLag) {
+  ErwinCluster cluster(MOptions());
+  auto wclient = cluster.MakeMClient();
+  auto rclient = cluster.MakeMClient();
+  OpenLoopAppender::Options aopt;
+  aopt.rate_per_sec = 5'000;
+  aopt.record_bytes = 128;
+  OpenLoopAppender appender(&cluster.loop(), wclient.get(), aopt);
+  SequentialReader::Options ropt;
+  ropt.lag_ns = 5 * kMs;
+  SequentialReader reader(&cluster.loop(), rclient.get(), ropt);
+  appender.OnAck([&](uint64_t i, SimTime t) { reader.NotifyAcked(i, t); });
+  reader.Start();
+  appender.Start();
+  cluster.RunFor(100 * kMs);
+  appender.Stop();
+  reader.Stop();
+  EXPECT_GT(reader.records_read(), 100u);
+  // With a 5ms lag, everything is ordered by read time: fast path only.
+  uint64_t slow = 0;
+  for (uint32_t r = 0; r < 2; ++r) {
+    slow += cluster.shard(0, r).stats().slow_reads;
+  }
+  EXPECT_EQ(slow, 0u);
+}
+
+TEST(SequentialReader, BatchedReadsConsumeInOrder) {
+  ErwinCluster cluster(MOptions());
+  auto wclient = cluster.MakeMClient();
+  auto rclient = cluster.MakeMClient();
+  OpenLoopAppender::Options aopt;
+  aopt.rate_per_sec = 10'000;
+  aopt.record_bytes = 64;
+  aopt.max_appends = 100;
+  OpenLoopAppender appender(&cluster.loop(), wclient.get(), aopt);
+  SequentialReader::Options ropt;
+  ropt.batch = 10;
+  ropt.lag_ns = 1 * kMs;
+  SequentialReader reader(&cluster.loop(), rclient.get(), ropt);
+  appender.OnAck([&](uint64_t i, SimTime t) { reader.NotifyAcked(i, t); });
+  reader.Start();
+  appender.Start();
+  cluster.RunFor(500 * kMs);
+  EXPECT_EQ(reader.records_read(), 100u);
+  EXPECT_EQ(reader.reads_done(), 10u);
+}
+
+TEST(PeriodicTailReader, DrainsToTailEachPeriod) {
+  ErwinCluster cluster(MOptions());
+  auto wclient = cluster.MakeMClient();
+  auto rclient = cluster.MakeMClient();
+  OpenLoopAppender::Options aopt;
+  aopt.rate_per_sec = 20'000;
+  aopt.record_bytes = 64;
+  OpenLoopAppender appender(&cluster.loop(), wclient.get(), aopt);
+  PeriodicTailReader::Options ropt;
+  ropt.period_ns = 2 * kMs;
+  PeriodicTailReader reader(&cluster.loop(), rclient.get(), ropt);
+  appender.Start();
+  reader.Start();
+  cluster.RunFor(200 * kMs);
+  appender.Stop();
+  reader.Stop();
+  // The reader keeps up with the appender (reads everything appended, within a period).
+  EXPECT_GT(reader.records_read(), appender.acked() - 200);
+  EXPECT_GT(reader.latency().count(), 10u);
+}
+
+TEST(PoissonAppender, ApproximatesRate) {
+  ErwinCluster cluster(MOptions());
+  auto client = cluster.MakeMClient();
+  OpenLoopAppender::Options opt;
+  opt.rate_per_sec = 10'000;
+  opt.record_bytes = 64;
+  opt.poisson = true;
+  OpenLoopAppender appender(&cluster.loop(), client.get(), opt);
+  appender.Start();
+  cluster.RunFor(kSec);
+  appender.Stop();
+  EXPECT_NEAR(static_cast<double>(appender.acked()), 10'000.0, 500.0);
+}
+
+}  // namespace
+}  // namespace lazylog
