@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ordering_interval.dir/ablation_ordering_interval.cc.o"
+  "CMakeFiles/ablation_ordering_interval.dir/ablation_ordering_interval.cc.o.d"
+  "ablation_ordering_interval"
+  "ablation_ordering_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ordering_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

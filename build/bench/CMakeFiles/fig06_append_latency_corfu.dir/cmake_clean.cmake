@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_append_latency_corfu.dir/fig06_append_latency_corfu.cc.o"
+  "CMakeFiles/fig06_append_latency_corfu.dir/fig06_append_latency_corfu.cc.o.d"
+  "fig06_append_latency_corfu"
+  "fig06_append_latency_corfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_append_latency_corfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

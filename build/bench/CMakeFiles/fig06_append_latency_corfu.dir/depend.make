@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_append_latency_corfu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_append_latency_scalog.dir/fig07_append_latency_scalog.cc.o"
+  "CMakeFiles/fig07_append_latency_scalog.dir/fig07_append_latency_scalog.cc.o.d"
+  "fig07_append_latency_scalog"
+  "fig07_append_latency_scalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_append_latency_scalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_append_latency_scalog.
+# This may be replaced when dependencies are built.

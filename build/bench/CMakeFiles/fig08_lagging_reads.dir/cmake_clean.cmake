@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_lagging_reads.dir/fig08_lagging_reads.cc.o"
+  "CMakeFiles/fig08_lagging_reads.dir/fig08_lagging_reads.cc.o.d"
+  "fig08_lagging_reads"
+  "fig08_lagging_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_lagging_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

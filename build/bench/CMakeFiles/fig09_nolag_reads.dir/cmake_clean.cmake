@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_nolag_reads.dir/fig09_nolag_reads.cc.o"
+  "CMakeFiles/fig09_nolag_reads.dir/fig09_nolag_reads.cc.o.d"
+  "fig09_nolag_reads"
+  "fig09_nolag_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nolag_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_periodic_reads.dir/fig10_periodic_reads.cc.o"
+  "CMakeFiles/fig10_periodic_reads.dir/fig10_periodic_reads.cc.o.d"
+  "fig10_periodic_reads"
+  "fig10_periodic_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_periodic_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_append_rate_vs_reads.dir/fig11_append_rate_vs_reads.cc.o"
+  "CMakeFiles/fig11_append_rate_vs_reads.dir/fig11_append_rate_vs_reads.cc.o.d"
+  "fig11_append_rate_vs_reads"
+  "fig11_append_rate_vs_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_append_rate_vs_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

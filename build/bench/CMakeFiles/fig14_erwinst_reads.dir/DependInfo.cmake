@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_erwinst_reads.cc" "bench/CMakeFiles/fig14_erwinst_reads.dir/fig14_erwinst_reads.cc.o" "gcc" "bench/CMakeFiles/fig14_erwinst_reads.dir/fig14_erwinst_reads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lazylog/CMakeFiles/ll_lazylog.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/corfu/CMakeFiles/ll_corfu.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/scalog/CMakeFiles/ll_scalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/kafkalite/CMakeFiles/ll_kafkalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ll_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ll_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ll_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ll_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/ll_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/ll_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

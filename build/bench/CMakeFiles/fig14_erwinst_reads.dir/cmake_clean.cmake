@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_erwinst_reads.dir/fig14_erwinst_reads.cc.o"
+  "CMakeFiles/fig14_erwinst_reads.dir/fig14_erwinst_reads.cc.o.d"
+  "fig14_erwinst_reads"
+  "fig14_erwinst_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_erwinst_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_kafka_total_order.dir/fig15_kafka_total_order.cc.o"
+  "CMakeFiles/fig15_kafka_total_order.dir/fig15_kafka_total_order.cc.o.d"
+  "fig15_kafka_total_order"
+  "fig15_kafka_total_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_kafka_total_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_add_shard.dir/fig16_add_shard.cc.o"
+  "CMakeFiles/fig16_add_shard.dir/fig16_add_shard.cc.o.d"
+  "fig16_add_shard"
+  "fig16_add_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_add_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_reconfiguration.dir/fig17_reconfiguration.cc.o"
+  "CMakeFiles/fig17_reconfiguration.dir/fig17_reconfiguration.cc.o.d"
+  "fig17_reconfiguration"
+  "fig17_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18a_kvstore.dir/fig18a_kvstore.cc.o"
+  "CMakeFiles/fig18a_kvstore.dir/fig18a_kvstore.cc.o.d"
+  "fig18a_kvstore"
+  "fig18a_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18a_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18b_logagg.dir/fig18b_logagg.cc.o"
+  "CMakeFiles/fig18b_logagg.dir/fig18b_logagg.cc.o.d"
+  "fig18b_logagg"
+  "fig18b_logagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18b_logagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

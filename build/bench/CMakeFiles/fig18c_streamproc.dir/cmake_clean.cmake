@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18c_streamproc.dir/fig18c_streamproc.cc.o"
+  "CMakeFiles/fig18c_streamproc.dir/fig18c_streamproc.cc.o.d"
+  "fig18c_streamproc"
+  "fig18c_streamproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18c_streamproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18c_streamproc.
+# This may be replaced when dependencies are built.

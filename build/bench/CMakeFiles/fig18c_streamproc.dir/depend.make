@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18c_streamproc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kafka_total_order.dir/kafka_total_order.cpp.o"
+  "CMakeFiles/kafka_total_order.dir/kafka_total_order.cpp.o.d"
+  "kafka_total_order"
+  "kafka_total_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kafka_total_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

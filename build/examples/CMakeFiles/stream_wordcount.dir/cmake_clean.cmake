@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_wordcount.dir/stream_wordcount.cpp.o"
+  "CMakeFiles/stream_wordcount.dir/stream_wordcount.cpp.o.d"
+  "stream_wordcount"
+  "stream_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

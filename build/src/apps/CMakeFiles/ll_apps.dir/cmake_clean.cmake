@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_apps.dir/kvstore.cc.o"
+  "CMakeFiles/ll_apps.dir/kvstore.cc.o.d"
+  "CMakeFiles/ll_apps.dir/logagg.cc.o"
+  "CMakeFiles/ll_apps.dir/logagg.cc.o.d"
+  "CMakeFiles/ll_apps.dir/streamproc.cc.o"
+  "CMakeFiles/ll_apps.dir/streamproc.cc.o.d"
+  "libll_apps.a"
+  "libll_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

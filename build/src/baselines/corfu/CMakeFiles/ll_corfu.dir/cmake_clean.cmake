@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_corfu.dir/corfu.cc.o"
+  "CMakeFiles/ll_corfu.dir/corfu.cc.o.d"
+  "libll_corfu.a"
+  "libll_corfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_corfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_kafkalite.dir/kafkalite.cc.o"
+  "CMakeFiles/ll_kafkalite.dir/kafkalite.cc.o.d"
+  "libll_kafkalite.a"
+  "libll_kafkalite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_kafkalite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

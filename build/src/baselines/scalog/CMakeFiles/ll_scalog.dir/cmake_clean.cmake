@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_scalog.dir/paxos.cc.o"
+  "CMakeFiles/ll_scalog.dir/paxos.cc.o.d"
+  "CMakeFiles/ll_scalog.dir/scalog.cc.o"
+  "CMakeFiles/ll_scalog.dir/scalog.cc.o.d"
+  "libll_scalog.a"
+  "libll_scalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_scalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_common.dir/codec.cc.o"
+  "CMakeFiles/ll_common.dir/codec.cc.o.d"
+  "CMakeFiles/ll_common.dir/histogram.cc.o"
+  "CMakeFiles/ll_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ll_common.dir/logging.cc.o"
+  "CMakeFiles/ll_common.dir/logging.cc.o.d"
+  "libll_common.a"
+  "libll_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

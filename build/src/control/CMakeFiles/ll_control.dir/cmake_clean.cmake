@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_control.dir/zookeeper.cc.o"
+  "CMakeFiles/ll_control.dir/zookeeper.cc.o.d"
+  "libll_control.a"
+  "libll_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

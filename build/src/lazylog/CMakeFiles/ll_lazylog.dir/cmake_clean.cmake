@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_lazylog.dir/erwin_cluster.cc.o"
+  "CMakeFiles/ll_lazylog.dir/erwin_cluster.cc.o.d"
+  "CMakeFiles/ll_lazylog.dir/erwin_m_client.cc.o"
+  "CMakeFiles/ll_lazylog.dir/erwin_m_client.cc.o.d"
+  "CMakeFiles/ll_lazylog.dir/erwin_st_client.cc.o"
+  "CMakeFiles/ll_lazylog.dir/erwin_st_client.cc.o.d"
+  "libll_lazylog.a"
+  "libll_lazylog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_lazylog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

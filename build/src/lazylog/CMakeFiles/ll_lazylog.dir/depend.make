@@ -1,0 +1,2 @@
+# Empty dependencies file for ll_lazylog.
+# This may be replaced when dependencies are built.

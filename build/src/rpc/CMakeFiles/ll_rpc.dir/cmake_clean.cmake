@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_rpc.dir/rpc.cc.o"
+  "CMakeFiles/ll_rpc.dir/rpc.cc.o.d"
+  "libll_rpc.a"
+  "libll_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_seq.dir/controller.cc.o"
+  "CMakeFiles/ll_seq.dir/controller.cc.o.d"
+  "CMakeFiles/ll_seq.dir/sequencing_replica.cc.o"
+  "CMakeFiles/ll_seq.dir/sequencing_replica.cc.o.d"
+  "libll_seq.a"
+  "libll_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

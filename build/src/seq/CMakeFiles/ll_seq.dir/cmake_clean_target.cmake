@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libll_seq.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_sim.dir/event_loop.cc.o"
+  "CMakeFiles/ll_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/ll_sim.dir/network.cc.o"
+  "CMakeFiles/ll_sim.dir/network.cc.o.d"
+  "CMakeFiles/ll_sim.dir/resources.cc.o"
+  "CMakeFiles/ll_sim.dir/resources.cc.o.d"
+  "libll_sim.a"
+  "libll_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/segmented_log.cc" "src/storage/CMakeFiles/ll_storage.dir/segmented_log.cc.o" "gcc" "src/storage/CMakeFiles/ll_storage.dir/segmented_log.cc.o.d"
+  "/root/repo/src/storage/shard_server.cc" "src/storage/CMakeFiles/ll_storage.dir/shard_server.cc.o" "gcc" "src/storage/CMakeFiles/ll_storage.dir/shard_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/ll_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_storage.dir/segmented_log.cc.o"
+  "CMakeFiles/ll_storage.dir/segmented_log.cc.o.d"
+  "CMakeFiles/ll_storage.dir/shard_server.cc.o"
+  "CMakeFiles/ll_storage.dir/shard_server.cc.o.d"
+  "libll_storage.a"
+  "libll_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_workload.dir/drivers.cc.o"
+  "CMakeFiles/ll_workload.dir/drivers.cc.o.d"
+  "libll_workload.a"
+  "libll_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

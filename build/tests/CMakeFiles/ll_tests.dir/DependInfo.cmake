@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/ll_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/codec_test.cc" "tests/CMakeFiles/ll_tests.dir/codec_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/codec_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/ll_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/config_sweep_test.cc" "tests/CMakeFiles/ll_tests.dir/config_sweep_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/config_sweep_test.cc.o.d"
+  "/root/repo/tests/corfu_test.cc" "tests/CMakeFiles/ll_tests.dir/corfu_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/corfu_test.cc.o.d"
+  "/root/repo/tests/erwin_m_test.cc" "tests/CMakeFiles/ll_tests.dir/erwin_m_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/erwin_m_test.cc.o.d"
+  "/root/repo/tests/erwin_smoke_test.cc" "tests/CMakeFiles/ll_tests.dir/erwin_smoke_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/erwin_smoke_test.cc.o.d"
+  "/root/repo/tests/erwin_st_test.cc" "tests/CMakeFiles/ll_tests.dir/erwin_st_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/erwin_st_test.cc.o.d"
+  "/root/repo/tests/event_loop_test.cc" "tests/CMakeFiles/ll_tests.dir/event_loop_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/event_loop_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/ll_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/kafkalite_test.cc" "tests/CMakeFiles/ll_tests.dir/kafkalite_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/kafkalite_test.cc.o.d"
+  "/root/repo/tests/linearizability_test.cc" "tests/CMakeFiles/ll_tests.dir/linearizability_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/linearizability_test.cc.o.d"
+  "/root/repo/tests/network_test.cc" "tests/CMakeFiles/ll_tests.dir/network_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/network_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/ll_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/recovery_test.cc" "tests/CMakeFiles/ll_tests.dir/recovery_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/recovery_test.cc.o.d"
+  "/root/repo/tests/resources_test.cc" "tests/CMakeFiles/ll_tests.dir/resources_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/resources_test.cc.o.d"
+  "/root/repo/tests/rpc_test.cc" "tests/CMakeFiles/ll_tests.dir/rpc_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/rpc_test.cc.o.d"
+  "/root/repo/tests/scalog_test.cc" "tests/CMakeFiles/ll_tests.dir/scalog_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/scalog_test.cc.o.d"
+  "/root/repo/tests/segmented_log_test.cc" "tests/CMakeFiles/ll_tests.dir/segmented_log_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/segmented_log_test.cc.o.d"
+  "/root/repo/tests/sequencing_test.cc" "tests/CMakeFiles/ll_tests.dir/sequencing_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/sequencing_test.cc.o.d"
+  "/root/repo/tests/shard_replacement_test.cc" "tests/CMakeFiles/ll_tests.dir/shard_replacement_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/shard_replacement_test.cc.o.d"
+  "/root/repo/tests/shard_server_test.cc" "tests/CMakeFiles/ll_tests.dir/shard_server_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/shard_server_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/ll_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/zookeeper_test.cc" "tests/CMakeFiles/ll_tests.dir/zookeeper_test.cc.o" "gcc" "tests/CMakeFiles/ll_tests.dir/zookeeper_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lazylog/CMakeFiles/ll_lazylog.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/corfu/CMakeFiles/ll_corfu.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/scalog/CMakeFiles/ll_scalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/kafkalite/CMakeFiles/ll_kafkalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ll_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ll_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ll_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ll_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/ll_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/ll_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
