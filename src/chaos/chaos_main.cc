@@ -1,0 +1,205 @@
+// chaos_runner CLI: seed-sweep driver for the deterministic chaos-testing subsystem.
+//
+//   chaos_runner --mode=erwin-m --seeds=100          # sweep seeds 1..100
+//   chaos_runner --mode=erwin-st --seed=17           # one seed, verbose-friendly
+//   chaos_runner --mode=both --seeds=20 --faults=seq-crash,loss
+//
+// Every failing run prints a self-contained repro line; re-running that exact command
+// replays the identical execution (same fault schedule, same history digest, same
+// violations). Exit status is non-zero iff any run violated an invariant.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/chaos/chaos_runner.h"
+#include "src/common/logging.h"
+
+namespace {
+
+using lazylog::ChaosOptions;
+using lazylog::ChaosReport;
+using lazylog::ErwinMode;
+using lazylog::NemesisPolicy;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: chaos_runner [options]\n"
+               "  --mode=erwin-m|erwin-st|both   cluster mode to explore (default erwin-m)\n"
+               "  --seed=N                       run exactly one seed\n"
+               "  --seeds=N                      sweep seeds 1..N (default 10)\n"
+               "  --faults=LIST                  all|none|comma list of seq-crash,\n"
+               "                                 shard-replace,partition,loss,delay,\n"
+               "                                 disk-slow,client-crash (default all)\n"
+               "  --shards=N --replication=N     cluster shape (default 2, 3)\n"
+               "  --writers=N --readers=N        workload shape (default 4, 2)\n"
+               "  --fault-phase-ms=N             nemesis-active window (default 120)\n"
+               "  --payload=N                    append payload bytes (default 128)\n"
+               "  --disable-read-gate            fixture: weaken the read gate (the\n"
+               "                                 read-gating oracle must then fire)\n"
+               "  --verbose                      print fault schedules and violations\n"
+               "  --log=debug|info|warn|error    protocol log threshold (default warn)\n");
+}
+
+bool ParseU64(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+struct CliOptions {
+  ChaosOptions base;
+  bool both_modes = false;
+  uint64_t first_seed = 1;
+  uint64_t num_seeds = 10;
+  bool verbose = false;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    uint64_t v = 0;
+    if (const char* m = value("--mode=")) {
+      if (std::strcmp(m, "erwin-m") == 0) {
+        cli->base.mode = ErwinMode::kM;
+      } else if (std::strcmp(m, "erwin-st") == 0) {
+        cli->base.mode = ErwinMode::kSt;
+      } else if (std::strcmp(m, "both") == 0) {
+        cli->both_modes = true;
+      } else {
+        std::fprintf(stderr, "unknown mode '%s'\n", m);
+        return false;
+      }
+    } else if (const char* s = value("--seed=")) {
+      if (!ParseU64(s, &cli->first_seed)) {
+        return false;
+      }
+      cli->num_seeds = 1;
+    } else if (const char* s2 = value("--seeds=")) {
+      if (!ParseU64(s2, &cli->num_seeds)) {
+        return false;
+      }
+      cli->first_seed = 1;
+    } else if (const char* f = value("--faults=")) {
+      if (!NemesisPolicy::FromFlag(f, &cli->base.faults)) {
+        std::fprintf(stderr, "bad --faults value '%s'\n", f);
+        return false;
+      }
+    } else if (const char* x = value("--shards=")) {
+      if (!ParseU64(x, &v)) {
+        return false;
+      }
+      cli->base.num_shards = static_cast<uint32_t>(v);
+    } else if (const char* x2 = value("--replication=")) {
+      if (!ParseU64(x2, &v)) {
+        return false;
+      }
+      cli->base.shard_replication = static_cast<uint32_t>(v);
+    } else if (const char* x3 = value("--writers=")) {
+      if (!ParseU64(x3, &v)) {
+        return false;
+      }
+      cli->base.num_writers = static_cast<uint32_t>(v);
+    } else if (const char* x4 = value("--readers=")) {
+      if (!ParseU64(x4, &v)) {
+        return false;
+      }
+      cli->base.num_readers = static_cast<uint32_t>(v);
+    } else if (const char* x5 = value("--fault-phase-ms=")) {
+      if (!ParseU64(x5, &v)) {
+        return false;
+      }
+      cli->base.fault_phase_ns = v * lazylog::kMs;
+    } else if (const char* x6 = value("--payload=")) {
+      if (!ParseU64(x6, &v)) {
+        return false;
+      }
+      cli->base.payload_bytes = v;
+    } else if (const char* lvl = value("--log=")) {
+      if (std::strcmp(lvl, "debug") == 0) {
+        lazylog::SetLogLevel(lazylog::LogLevel::kDebug);
+      } else if (std::strcmp(lvl, "info") == 0) {
+        lazylog::SetLogLevel(lazylog::LogLevel::kInfo);
+      } else if (std::strcmp(lvl, "warn") == 0) {
+        lazylog::SetLogLevel(lazylog::LogLevel::kWarn);
+      } else if (std::strcmp(lvl, "error") == 0) {
+        lazylog::SetLogLevel(lazylog::LogLevel::kError);
+      } else {
+        std::fprintf(stderr, "unknown log level '%s'\n", lvl);
+        return false;
+      }
+    } else if (arg == "--disable-read-gate") {
+      cli->base.disable_read_gate = true;
+    } else if (arg == "--verbose") {
+      cli->verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunSweep(const CliOptions& cli, ErwinMode mode, uint64_t* violating_runs) {
+  int failures = 0;
+  for (uint64_t seed = cli.first_seed; seed < cli.first_seed + cli.num_seeds; ++seed) {
+    ChaosOptions opts = cli.base;
+    opts.mode = mode;
+    opts.seed = seed;
+    const ChaosReport report = lazylog::RunChaos(opts);
+    std::printf("%s\n", report.Summary().c_str());
+    if (cli.verbose || !report.ok()) {
+      for (const auto& action : report.nemesis_log) {
+        std::printf("  nemesis: %s\n", action.c_str());
+      }
+      for (const auto& violation : report.violations) {
+        std::printf("  VIOLATION [%s] %s\n", violation.oracle.c_str(),
+                    violation.detail.c_str());
+      }
+    }
+    if (!report.ok()) {
+      std::printf("  repro: %s\n", report.ReproLine().c_str());
+      ++failures;
+      ++*violating_runs;
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    Usage();
+    return 2;
+  }
+  uint64_t violating_runs = 0;
+  uint64_t total_runs = 0;
+  std::vector<ErwinMode> modes;
+  if (cli.both_modes) {
+    modes = {ErwinMode::kM, ErwinMode::kSt};
+  } else {
+    modes = {cli.base.mode};
+  }
+  for (ErwinMode mode : modes) {
+    RunSweep(cli, mode, &violating_runs);
+    total_runs += cli.num_seeds;
+  }
+  std::printf("chaos sweep: %llu/%llu runs violation-free\n",
+              static_cast<unsigned long long>(total_runs - violating_runs),
+              static_cast<unsigned long long>(total_runs));
+  return violating_runs == 0 ? 0 : 1;
+}

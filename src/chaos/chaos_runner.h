@@ -1,0 +1,71 @@
+// ChaosRunner: one seed-reproducible chaos exploration of an Erwin cluster. Assembles
+// the cluster, a mixed append/read workload, and a Nemesis fault schedule — all driven
+// by a single seed — records everything into a ChaosHistory, then runs the invariant
+// oracles over the recorded history.
+//
+// Reproduction contract: RunChaos(options) with identical options replays the identical
+// execution (the history digest is the witness). ChaosReport::ReproLine() prints the
+// chaos_runner CLI invocation that replays a given run.
+#ifndef SRC_CHAOS_CHAOS_RUNNER_H_
+#define SRC_CHAOS_CHAOS_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/history.h"
+#include "src/chaos/nemesis.h"
+#include "src/chaos/oracles.h"
+#include "src/lazylog/erwin_cluster.h"
+
+namespace lazylog {
+
+struct ChaosOptions {
+  ErwinMode mode = ErwinMode::kM;
+  uint64_t seed = 1;
+  NemesisPolicy faults;
+
+  // Cluster shape.
+  uint32_t num_shards = 2;
+  uint32_t shard_replication = 3;
+
+  // Workload shape.
+  uint32_t num_writers = 4;
+  uint32_t num_readers = 2;
+  uint64_t fault_phase_ns = 120 * kMs;  // nemesis-active window
+  uint64_t payload_bytes = 128;
+
+  // Test fixture: intentionally skip the shard-side stable-gp read gate. The read-gating
+  // oracle must flag such runs — this is how the oracle suite itself is tested.
+  bool disable_read_gate = false;
+
+  // The chaos_runner CLI invocation that replays exactly this run.
+  std::string ToReproLine() const;
+};
+
+struct ChaosReport {
+  ChaosOptions options;
+  std::vector<ChaosViolation> violations;
+  uint64_t digest = 0;
+
+  uint64_t appends_issued = 0;
+  uint64_t appends_acked = 0;
+  uint64_t reads_issued = 0;
+  uint64_t reads_failed = 0;
+  uint64_t final_log_size = 0;
+  uint64_t nemesis_actions = 0;
+  std::vector<std::string> nemesis_log;  // Describe() of every executed fault
+  SimTime sim_time_ns = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ReproLine() const { return options.ToReproLine(); }
+  // One-line summary for sweep output.
+  std::string Summary() const;
+};
+
+// Runs one full chaos exploration for `options` and returns the report.
+ChaosReport RunChaos(const ChaosOptions& options);
+
+}  // namespace lazylog
+
+#endif  // SRC_CHAOS_CHAOS_RUNNER_H_

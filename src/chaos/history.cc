@@ -1,0 +1,126 @@
+#include "src/chaos/history.h"
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+namespace {
+// Event tags folded into the digest; the values are part of the replay-identity format.
+constexpr uint8_t kTagAppendInvoke = 1;
+constexpr uint8_t kTagAppendAck = 2;
+constexpr uint8_t kTagReadInvoke = 3;
+constexpr uint8_t kTagReadRecord = 4;
+constexpr uint8_t kTagReadError = 5;
+constexpr uint8_t kTagTail = 6;
+constexpr uint8_t kTagSeqGp = 7;
+constexpr uint8_t kTagShardGp = 8;
+constexpr uint8_t kTagNemesis = 9;
+constexpr uint8_t kTagFinalRecord = 10;
+constexpr uint8_t kTagNote = 11;
+constexpr uint8_t kTagAppendId = 12;
+}  // namespace
+
+void ChaosHistory::FoldEvent(uint8_t tag, uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
+  Fold(tag);
+  Fold(loop_->Now());
+  Fold(a);
+  Fold(b);
+  Fold(c);
+  Fold(d);
+}
+
+uint64_t ChaosHistory::BeginAppend(AppendOp::Kind kind, std::string payload_key,
+                                   uint64_t payload_hash) {
+  AppendOp op;
+  op.op_id = next_op_id_++;
+  op.kind = kind;
+  op.payload_key = std::move(payload_key);
+  op.payload_hash = payload_hash;
+  op.invoked_at = loop_->Now();
+  FoldEvent(kTagAppendInvoke, op.op_id, static_cast<uint64_t>(kind), payload_hash);
+  appends_.push_back(std::move(op));
+  return appends_.back().op_id;
+}
+
+void ChaosHistory::SetAppendId(uint64_t op_id, RecordId id) {
+  for (AppendOp& op : appends_) {
+    if (op.op_id == op_id) {
+      op.id = id;
+      op.id_known = true;
+      FoldEvent(kTagAppendId, op_id, id.client_id, id.request_id);
+      return;
+    }
+  }
+  LL_CHECK(false, "SetAppendId on unknown op");
+}
+
+void ChaosHistory::EndAppend(uint64_t op_id, bool acked) {
+  for (AppendOp& op : appends_) {
+    if (op.op_id == op_id) {
+      LL_CHECK(!op.resolved, "append resolved twice");
+      op.resolved = true;
+      op.acked = acked;
+      op.acked_at = loop_->Now();
+      FoldEvent(kTagAppendAck, op_id, acked ? 1 : 0);
+      return;
+    }
+  }
+  LL_CHECK(false, "EndAppend on unknown op");
+}
+
+uint64_t ChaosHistory::BeginRead(LogPos from, uint64_t len) {
+  const uint64_t op_id = next_op_id_++;
+  reads_issued_++;
+  FoldEvent(kTagReadInvoke, op_id, from, len);
+  return op_id;
+}
+
+void ChaosHistory::RecordReadReturn(uint64_t op_id,
+                                    const std::vector<ObservedRecord>& records) {
+  for (const ObservedRecord& rec : records) {
+    FoldEvent(kTagReadRecord, op_id, rec.pos,
+              rec.id.client_id ^ (rec.id.request_id << 20),
+              rec.payload_hash ^ (rec.no_op ? 1 : 0));
+    read_obs_.push_back(ReadObservation{op_id, loop_->Now(), rec});
+  }
+}
+
+void ChaosHistory::RecordReadError(uint64_t op_id) {
+  reads_failed_++;
+  FoldEvent(kTagReadError, op_id);
+}
+
+void ChaosHistory::RecordTail(uint32_t client, LogPos durable, LogPos stable) {
+  FoldEvent(kTagTail, client, durable, stable);
+  tail_samples_.push_back(TailSample{client, loop_->Now(), durable, stable});
+}
+
+void ChaosHistory::RecordSeqGp(NodeId node, ViewId view, LogPos ordered_gp,
+                               LogPos stable_gp) {
+  FoldEvent(kTagSeqGp, node, view, ordered_gp, stable_gp);
+  seq_gp_samples_.push_back(SeqGpSample{node, loop_->Now(), view, ordered_gp, stable_gp});
+}
+
+void ChaosHistory::RecordShardGp(NodeId node, ShardId shard, ViewId view, LogPos stable_gp) {
+  FoldEvent(kTagShardGp, node, shard, view, stable_gp);
+  shard_gp_samples_.push_back(ShardGpSample{node, shard, loop_->Now(), view, stable_gp});
+}
+
+void ChaosHistory::RecordNemesis(const std::string& description) {
+  FoldEvent(kTagNemesis, HashString(description));
+  nemesis_actions_.push_back(description);
+}
+
+void ChaosHistory::RecordFinalLog(std::vector<ObservedRecord> final_log) {
+  for (const ObservedRecord& rec : final_log) {
+    FoldEvent(kTagFinalRecord, rec.pos, rec.id.client_id ^ (rec.id.request_id << 20),
+              rec.payload_hash, rec.no_op ? 1 : 0);
+  }
+  final_log_ = std::move(final_log);
+}
+
+void ChaosHistory::RecordNote(const std::string& note) {
+  FoldEvent(kTagNote, HashString(note));
+}
+
+}  // namespace lazylog

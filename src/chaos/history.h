@@ -1,0 +1,155 @@
+// Per-run history recorder for the chaos-testing subsystem. The ChaosRunner's workload
+// clients and the cluster's gp-observers feed every observable event here — append
+// invocation/ack intervals, read results, checkTail samples, sequencing-layer and shard
+// stable-gp timelines, and nemesis actions. The oracles (oracles.h) consume the recorded
+// history after the run; a running FNV-1a digest over the full event stream is the
+// byte-identity witness for the seed-replay guarantee (same seed => same digest).
+#ifndef SRC_CHAOS_HISTORY_H_
+#define SRC_CHAOS_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/event_loop.h"
+
+namespace lazylog {
+
+// One record observed by a read (or by the final read-back). Payloads are kept as
+// hashes so long-payload workloads do not blow up history memory.
+struct ObservedRecord {
+  LogPos pos = 0;
+  RecordId id;
+  uint64_t payload_hash = 0;
+  bool no_op = false;
+};
+
+// A workload append operation and its real-time interval.
+struct AppendOp {
+  // Half-appends model Erwin-st client failure (§5.4): metadata without data must
+  // resolve to a no-op; orphaned data must never surface in the log.
+  enum class Kind : uint8_t { kNormal, kMetaOnly, kDataOnly };
+
+  uint64_t op_id = 0;
+  Kind kind = Kind::kNormal;
+  RecordId id;                // known for half-appends (dedicated injector clients)
+  bool id_known = false;
+  std::string payload_key;    // unique payload (normal appends); used for matching
+  uint64_t payload_hash = 0;
+  SimTime invoked_at = 0;
+  SimTime acked_at = 0;
+  bool acked = false;
+  bool resolved = false;      // completion callback fired (ack or give-up)
+};
+
+// One (read operation, returned record) pair, flattened for the oracles.
+struct ReadObservation {
+  uint64_t op_id = 0;
+  SimTime returned_at = 0;
+  ObservedRecord rec;
+};
+
+// A checkTail result as seen by one client.
+struct TailSample {
+  uint32_t client = 0;
+  SimTime at = 0;
+  LogPos durable = 0;
+  LogPos stable = 0;
+};
+
+// Sequencing-replica state transition (from SequencingReplica::SetGpObserver).
+struct SeqGpSample {
+  NodeId node = kInvalidNode;
+  SimTime at = 0;
+  ViewId view = 0;
+  LogPos ordered_gp = 0;
+  LogPos stable_gp = 0;
+};
+
+// Shard stable-gp transition (from ShardServer::SetStableGpObserver).
+struct ShardGpSample {
+  NodeId node = kInvalidNode;
+  ShardId shard = 0;
+  SimTime at = 0;
+  ViewId view = 0;
+  LogPos stable_gp = 0;
+};
+
+// FNV-1a-64 helper shared with the oracles/tests.
+inline uint64_t HashBytes(const void* data, size_t n, uint64_t h = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+inline uint64_t HashString(const std::string& s) { return HashBytes(s.data(), s.size()); }
+
+class ChaosHistory {
+ public:
+  explicit ChaosHistory(EventLoop* loop) : loop_(loop) {}
+
+  // --- workload-side recording ------------------------------------------------------
+  uint64_t BeginAppend(AppendOp::Kind kind, std::string payload_key, uint64_t payload_hash);
+  // For half-appends issued by dedicated injector clients the record id is predictable;
+  // recording it lets the no-op oracle match the final log by id.
+  void SetAppendId(uint64_t op_id, RecordId id);
+  void EndAppend(uint64_t op_id, bool acked);
+
+  uint64_t BeginRead(LogPos from, uint64_t len);
+  void RecordReadReturn(uint64_t op_id, const std::vector<ObservedRecord>& records);
+  void RecordReadError(uint64_t op_id);
+
+  void RecordTail(uint32_t client, LogPos durable, LogPos stable);
+
+  // --- cluster-side recording (observer hooks) --------------------------------------
+  void RecordSeqGp(NodeId node, ViewId view, LogPos ordered_gp, LogPos stable_gp);
+  void RecordShardGp(NodeId node, ShardId shard, ViewId view, LogPos stable_gp);
+
+  // --- run-level recording ----------------------------------------------------------
+  void RecordNemesis(const std::string& description);
+  void RecordFinalLog(std::vector<ObservedRecord> final_log);
+  void RecordNote(const std::string& note);
+
+  // --- accessors for the oracles ----------------------------------------------------
+  const std::vector<AppendOp>& appends() const { return appends_; }
+  const std::vector<ReadObservation>& read_observations() const { return read_obs_; }
+  const std::vector<TailSample>& tail_samples() const { return tail_samples_; }
+  const std::vector<SeqGpSample>& seq_gp_samples() const { return seq_gp_samples_; }
+  const std::vector<ShardGpSample>& shard_gp_samples() const { return shard_gp_samples_; }
+  const std::vector<ObservedRecord>& final_log() const { return final_log_; }
+  const std::vector<std::string>& nemesis_actions() const { return nemesis_actions_; }
+
+  uint64_t reads_issued() const { return reads_issued_; }
+  uint64_t reads_failed() const { return reads_failed_; }
+
+  // Running digest over every recorded event, in recording order, timestamps included.
+  // Two runs of the same seeded configuration must produce identical digests.
+  uint64_t digest() const { return digest_; }
+
+ private:
+  void Fold(uint64_t v) {
+    digest_ = HashBytes(&v, sizeof(v), digest_);
+  }
+  void FoldEvent(uint8_t tag, uint64_t a = 0, uint64_t b = 0, uint64_t c = 0, uint64_t d = 0);
+
+  EventLoop* loop_;
+  uint64_t next_op_id_ = 1;
+  uint64_t digest_ = 0xcbf29ce484222325ULL;
+  uint64_t reads_issued_ = 0;
+  uint64_t reads_failed_ = 0;
+
+  std::vector<AppendOp> appends_;
+  std::vector<ReadObservation> read_obs_;
+  std::vector<TailSample> tail_samples_;
+  std::vector<SeqGpSample> seq_gp_samples_;
+  std::vector<ShardGpSample> shard_gp_samples_;
+  std::vector<ObservedRecord> final_log_;
+  std::vector<std::string> nemesis_actions_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_CHAOS_HISTORY_H_

@@ -1,0 +1,342 @@
+#include "src/chaos/nemesis.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+namespace {
+
+const char* KindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrashSeqReplica: return "seq-crash";
+    case FaultKind::kReplaceShardReplica: return "shard-replace";
+    case FaultKind::kClientPartition: return "partition";
+    case FaultKind::kLossWindow: return "loss";
+    case FaultKind::kDelaySpike: return "delay";
+    case FaultKind::kDiskSlowdown: return "disk-slow";
+    case FaultKind::kClientCrashAppend: return "client-crash";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string NemesisPolicy::ToFlag() const {
+  const NemesisPolicy all;
+  if (seq_crash && shard_replace && partition && loss && delay && disk_slow &&
+      client_crash && max_seq_crashes == all.max_seq_crashes) {
+    return "all";
+  }
+  std::string out;
+  auto add = [&out](bool on, const char* name) {
+    if (on) {
+      out += out.empty() ? "" : ",";
+      out += name;
+    }
+  };
+  add(seq_crash, "seq-crash");
+  add(shard_replace, "shard-replace");
+  add(partition, "partition");
+  add(loss, "loss");
+  add(delay, "delay");
+  add(disk_slow, "disk-slow");
+  add(client_crash, "client-crash");
+  return out.empty() ? "none" : out;
+}
+
+bool NemesisPolicy::FromFlag(const std::string& flag, NemesisPolicy* out) {
+  if (flag == "all") {
+    *out = NemesisPolicy{};
+    return true;
+  }
+  NemesisPolicy p;
+  p.seq_crash = p.shard_replace = p.partition = p.loss = p.delay = p.disk_slow =
+      p.client_crash = false;
+  if (flag != "none") {
+    size_t pos = 0;
+    while (pos <= flag.size()) {
+      const size_t comma = flag.find(',', pos);
+      const std::string name =
+          flag.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (name == "seq-crash") {
+        p.seq_crash = true;
+      } else if (name == "shard-replace") {
+        p.shard_replace = true;
+      } else if (name == "partition") {
+        p.partition = true;
+      } else if (name == "loss") {
+        p.loss = true;
+      } else if (name == "delay") {
+        p.delay = true;
+      } else if (name == "disk-slow") {
+        p.disk_slow = true;
+      } else if (name == "client-crash") {
+        p.client_crash = true;
+      } else {
+        return false;
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      pos = comma + 1;
+    }
+  }
+  *out = p;
+  return true;
+}
+
+std::string FaultAction::Describe() const {
+  std::ostringstream os;
+  os << KindName(kind) << "@" << at / kUs << "us";
+  switch (kind) {
+    case FaultKind::kCrashSeqReplica:
+      os << " replica=" << target;
+      break;
+    case FaultKind::kReplaceShardReplica:
+      os << " shard=" << target << " replica=" << target2;
+      break;
+    case FaultKind::kClientPartition:
+      os << " client-slot=" << target << " server-node=" << target2 << " for "
+         << duration_ns / kUs << "us";
+      break;
+    case FaultKind::kLossWindow:
+      os << " p=" << magnitude << " for " << duration_ns / kUs << "us";
+      break;
+    case FaultKind::kDelaySpike:
+      os << " +" << static_cast<uint64_t>(magnitude) / kUs << "us for "
+         << duration_ns / kUs << "us";
+      break;
+    case FaultKind::kDiskSlowdown:
+      os << " shard=" << target << " replica=" << target2 << " x" << magnitude << " for "
+         << duration_ns / kUs << "us";
+      break;
+    case FaultKind::kClientCrashAppend:
+      break;
+  }
+  return os.str();
+}
+
+Nemesis::Nemesis(ErwinCluster* cluster, ChaosHistory* history, uint64_t seed,
+                 NemesisPolicy policy)
+    : cluster_(cluster),
+      history_(history),
+      rng_(seed ^ 0x6e656d6573697321ULL),
+      policy_(policy) {
+  // The sequencing layer tolerates f = n-1 crash failures (appends require all live
+  // view members; a view excluding the crashed replicas continues).
+  const uint32_t f =
+      cluster_->num_seq_replicas() > 0 ? cluster_->num_seq_replicas() - 1 : 0;
+  seq_crash_budget_ = std::min(policy_.max_seq_crashes, f);
+}
+
+std::vector<FaultKind> Nemesis::DrawableKinds() const {
+  std::vector<FaultKind> kinds;
+  if (policy_.seq_crash && seq_crashes_planned_ < seq_crash_budget_ &&
+      cluster_->controller() != nullptr) {
+    kinds.push_back(FaultKind::kCrashSeqReplica);
+  }
+  if (policy_.shard_replace && cluster_->shard_replication() > 1) {
+    kinds.push_back(FaultKind::kReplaceShardReplica);
+  }
+  if (policy_.partition && !client_nodes_.empty()) {
+    kinds.push_back(FaultKind::kClientPartition);
+  }
+  if (policy_.loss) {
+    kinds.push_back(FaultKind::kLossWindow);
+  }
+  if (policy_.delay) {
+    kinds.push_back(FaultKind::kDelaySpike);
+  }
+  if (policy_.disk_slow) {
+    kinds.push_back(FaultKind::kDiskSlowdown);
+  }
+  if (policy_.client_crash && cluster_->mode() == ErwinMode::kSt && client_crash_hook_) {
+    kinds.push_back(FaultKind::kClientCrashAppend);
+  }
+  return kinds;
+}
+
+void Nemesis::Plan(SimTime start, SimTime end) {
+  // Sequential layout: `cursor` is the earliest time the next action may start; each
+  // action advances it past its own window plus recovery slack, so window faults (loss,
+  // partitions, delay) can never overlap a state-copy or a view change in flight.
+  SimTime cursor = start;
+  while (true) {
+    cursor += 4 * kMs + rng_.Uniform(12 * kMs);  // inter-action gap
+    if (cursor >= end) {
+      break;
+    }
+    const std::vector<FaultKind> kinds = DrawableKinds();
+    if (kinds.empty()) {
+      break;
+    }
+    FaultAction a;
+    a.kind = kinds[rng_.Uniform(kinds.size())];
+    a.at = cursor;
+    switch (a.kind) {
+      case FaultKind::kCrashSeqReplica: {
+        // Crash any replica index not yet crashed; the control plane reconfigures
+        // around it (~15-30ms), so leave a generous settle gap.
+        std::vector<uint32_t> alive;
+        for (uint32_t i = 0; i < cluster_->num_seq_replicas(); ++i) {
+          bool crashed = false;
+          for (const FaultAction& prev : schedule_) {
+            crashed |= prev.kind == FaultKind::kCrashSeqReplica && prev.target == i;
+          }
+          if (!crashed) {
+            alive.push_back(i);
+          }
+        }
+        LL_CHECK(alive.size() >= 2, "seq crash budget exceeded the fault bound");
+        a.target = alive[rng_.Uniform(alive.size())];
+        seq_crashes_planned_++;
+        cursor += 80 * kMs;  // detection + seal + new view + client re-resolution
+        break;
+      }
+      case FaultKind::kReplaceShardReplica:
+        a.target = static_cast<uint32_t>(rng_.Uniform(cluster_->num_shards()));
+        a.target2 =
+            1 + static_cast<uint32_t>(rng_.Uniform(cluster_->shard_replication() - 1));
+        cursor += 15 * kMs;  // state copy + re-replication catch-up
+        break;
+      case FaultKind::kClientPartition:
+        a.target = static_cast<uint32_t>(rng_.Uniform(client_nodes_.size()));
+        a.duration_ns = 8 * kMs + rng_.Uniform(17 * kMs);  // well under the retry budget
+        cursor += a.duration_ns + 5 * kMs;
+        break;
+      case FaultKind::kLossWindow:
+        // Modest probability and short window: heavy sustained loss could starve the
+        // control plane's 2ms heartbeats into a false suspicion, which (by design)
+        // permanently consumes fault budget.
+        a.magnitude = 0.02 + 0.1 * rng_.NextDouble();
+        a.duration_ns = 4 * kMs + rng_.Uniform(6 * kMs);
+        cursor += a.duration_ns + 10 * kMs;  // let retries drain before the next fault
+        break;
+      case FaultKind::kDelaySpike:
+        a.magnitude = static_cast<double>(100 * kUs + rng_.Uniform(400 * kUs));
+        a.duration_ns = 5 * kMs + rng_.Uniform(10 * kMs);
+        cursor += a.duration_ns + 5 * kMs;
+        break;
+      case FaultKind::kDiskSlowdown:
+        a.target = static_cast<uint32_t>(rng_.Uniform(cluster_->num_shards()));
+        a.target2 = static_cast<uint32_t>(rng_.Uniform(cluster_->shard_replication()));
+        a.magnitude = 2.0 + 6.0 * rng_.NextDouble();
+        a.duration_ns = 10 * kMs + rng_.Uniform(20 * kMs);
+        cursor += a.duration_ns + 5 * kMs;
+        break;
+      case FaultKind::kClientCrashAppend:
+        cursor += 3 * kMs;
+        break;
+    }
+    schedule_.push_back(a);
+  }
+}
+
+void Nemesis::Arm(SimTime start, SimTime end, std::vector<NodeId> client_nodes) {
+  client_nodes_ = std::move(client_nodes);
+  Plan(start, end);
+  EventLoop& loop = cluster_->loop();
+  for (const FaultAction& a : schedule_) {
+    loop.ScheduleAt(a.at, [this, a]() { Execute(a); });
+    if (a.duration_ns > 0) {
+      loop.ScheduleAt(a.at + a.duration_ns, [this, a]() { Heal(a); });
+    }
+  }
+}
+
+void Nemesis::Execute(const FaultAction& a) {
+  history_->RecordNemesis(a.Describe());
+  Network& net = cluster_->network();
+  switch (a.kind) {
+    case FaultKind::kCrashSeqReplica:
+      cluster_->CrashSeqReplica(a.target);
+      break;
+    case FaultKind::kReplaceShardReplica: {
+      const NodeId old_node = cluster_->shard(a.target, a.target2).node_id();
+      const NodeId new_node = cluster_->ReplaceShardReplica(a.target, a.target2);
+      if (replace_hook_) {
+        replace_hook_(a.target, a.target2, old_node, new_node);
+      }
+      break;
+    }
+    case FaultKind::kClientPartition: {
+      const NodeId client = client_nodes_[a.target];
+      // Pick the server side at execution time so replacements stay transparent.
+      std::vector<NodeId> servers;
+      for (uint32_t i = 0; i < cluster_->num_seq_replicas(); ++i) {
+        if (net.IsUp(cluster_->seq_replica(i).node_id())) {
+          servers.push_back(cluster_->seq_replica(i).node_id());
+        }
+      }
+      for (uint32_t s = 0; s < cluster_->num_shards(); ++s) {
+        for (uint32_t r = 0; r < cluster_->shard_replication(); ++r) {
+          if (net.IsUp(cluster_->shard(s, r).node_id())) {
+            servers.push_back(cluster_->shard(s, r).node_id());
+          }
+        }
+      }
+      if (servers.empty()) {
+        return;
+      }
+      const NodeId server = servers[rng_.Uniform(servers.size())];
+      partitioned_pairs_.push_back({client, server});
+      net.SetPartitioned(client, server, true);
+      break;
+    }
+    case FaultKind::kLossWindow:
+      net.SetLossProbability(a.magnitude);
+      break;
+    case FaultKind::kDelaySpike:
+      net.SetExtraDelayNs(static_cast<uint64_t>(a.magnitude));
+      break;
+    case FaultKind::kDiskSlowdown:
+      cluster_->shard(a.target, a.target2).disk().SetSlowdownFactor(a.magnitude);
+      break;
+    case FaultKind::kClientCrashAppend:
+      client_crash_hook_();
+      break;
+  }
+}
+
+void Nemesis::Heal(const FaultAction& a) {
+  Network& net = cluster_->network();
+  switch (a.kind) {
+    case FaultKind::kClientPartition:
+      for (const auto& [c, s] : partitioned_pairs_) {
+        net.SetPartitioned(c, s, false);
+      }
+      partitioned_pairs_.clear();
+      break;
+    case FaultKind::kLossWindow:
+      net.SetLossProbability(0.0);
+      break;
+    case FaultKind::kDelaySpike:
+      net.SetExtraDelayNs(0);
+      break;
+    case FaultKind::kDiskSlowdown:
+      cluster_->shard(a.target, a.target2).disk().SetSlowdownFactor(1.0);
+      break;
+    default:
+      break;
+  }
+}
+
+void Nemesis::HealAll() {
+  Network& net = cluster_->network();
+  for (const auto& [c, s] : partitioned_pairs_) {
+    net.SetPartitioned(c, s, false);
+  }
+  partitioned_pairs_.clear();
+  net.SetLossProbability(0.0);
+  net.SetExtraDelayNs(0);
+  for (uint32_t s = 0; s < cluster_->num_shards(); ++s) {
+    for (uint32_t r = 0; r < cluster_->shard_replication(); ++r) {
+      cluster_->shard(s, r).disk().SetSlowdownFactor(1.0);
+    }
+  }
+}
+
+}  // namespace lazylog

@@ -1,0 +1,111 @@
+// Seeded nemesis: plans and injects a schedule of composable faults against a live
+// ErwinCluster. The schedule is a pure function of (seed, policy, cluster shape), so a
+// same-seed replay injects the identical faults at the identical simulated times.
+//
+// Fault planning is cursor-based: actions are laid out sequentially in time with
+// randomized gaps, so heavyweight actions never overlap (a loss window during a shard
+// state-copy would abort the copy, which is outside the system's fault model).
+// Sequencing-layer crashes are capped at f = num_seq_replicas - 1, the designed fault
+// bound.
+#ifndef SRC_CHAOS_NEMESIS_H_
+#define SRC_CHAOS_NEMESIS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/chaos/history.h"
+#include "src/common/random.h"
+#include "src/lazylog/erwin_cluster.h"
+
+namespace lazylog {
+
+enum class FaultKind : uint8_t {
+  kCrashSeqReplica,      // permanent crash of one sequencing replica (<= f total)
+  kReplaceShardReplica,  // crash + state-copy replacement of a non-primary shard replica
+  kClientPartition,      // temporary client<->server partition, healed after a window
+  kLossWindow,           // uniform message-loss probability for a window
+  kDelaySpike,           // extra one-way delay on every message for a window
+  kDiskSlowdown,         // one shard server's disk runs N x slower for a window
+  kClientCrashAppend,    // Erwin-st half-append (client dies mid-append); runner hook
+};
+
+// Which fault kinds the nemesis may draw from. Serializes to/from the repro line's
+// --faults= flag ("all", "none", or a comma list of the names below).
+struct NemesisPolicy {
+  bool seq_crash = true;
+  bool shard_replace = true;
+  bool partition = true;
+  bool loss = true;
+  bool delay = true;
+  bool disk_slow = true;
+  bool client_crash = true;  // only drawn on Erwin-st clusters
+
+  // Upper bound on sequencing-replica crashes; always additionally clamped to f.
+  uint32_t max_seq_crashes = UINT32_MAX;
+
+  std::string ToFlag() const;
+  // Parses "all" / "none" / "seq-crash,loss,...". Returns false on an unknown name.
+  static bool FromFlag(const std::string& flag, NemesisPolicy* out);
+};
+
+// One planned fault. `at` is absolute simulated time; window faults heal at
+// `at + duration_ns`.
+struct FaultAction {
+  FaultKind kind = FaultKind::kLossWindow;
+  SimTime at = 0;
+  uint64_t duration_ns = 0;
+  uint32_t target = 0;    // seq replica index / shard index / client slot
+  uint32_t target2 = 0;   // shard replica index / server node id (partitions)
+  double magnitude = 0;   // loss probability / delay ns / disk slowdown factor
+
+  std::string Describe() const;
+};
+
+class Nemesis {
+ public:
+  // `client_nodes` are the workload clients' network node ids (partition targets).
+  Nemesis(ErwinCluster* cluster, ChaosHistory* history, uint64_t seed, NemesisPolicy policy);
+
+  // Called after a shard-replica replacement so the runner can re-attach observers to
+  // the fresh ShardServer and push the membership change into client views.
+  using ReplaceHook = std::function<void(uint32_t shard, uint32_t replica_index,
+                                         NodeId old_node, NodeId new_node)>;
+  void SetReplaceHook(ReplaceHook hook) { replace_hook_ = std::move(hook); }
+  // Called to inject an Erwin-st half-append (the runner owns the injector client).
+  using ClientCrashHook = std::function<void()>;
+  void SetClientCrashHook(ClientCrashHook hook) { client_crash_hook_ = std::move(hook); }
+
+  // Plans the fault schedule for [start, end) and arms it on the cluster's event loop.
+  void Arm(SimTime start, SimTime end, std::vector<NodeId> client_nodes);
+
+  // Heals every window fault immediately (safety net called after the fault phase; the
+  // planned heal events are idempotent with this).
+  void HealAll();
+
+  const std::vector<FaultAction>& schedule() const { return schedule_; }
+  uint32_t seq_crashes_planned() const { return seq_crashes_planned_; }
+
+ private:
+  void Plan(SimTime start, SimTime end);
+  void Execute(const FaultAction& a);
+  void Heal(const FaultAction& a);
+  std::vector<FaultKind> DrawableKinds() const;
+
+  ErwinCluster* cluster_;
+  ChaosHistory* history_;
+  Rng rng_;
+  NemesisPolicy policy_;
+  ReplaceHook replace_hook_;
+  ClientCrashHook client_crash_hook_;
+  std::vector<NodeId> client_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> partitioned_pairs_;  // live client<->server cuts
+  std::vector<FaultAction> schedule_;
+  uint32_t seq_crashes_planned_ = 0;
+  uint32_t seq_crash_budget_ = 0;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_CHAOS_NEMESIS_H_

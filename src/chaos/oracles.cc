@@ -1,0 +1,321 @@
+#include "src/chaos/oracles.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace lazylog {
+
+namespace {
+
+std::string DescribeId(const RecordId& id) {
+  std::ostringstream os;
+  os << "<" << id.client_id << "," << id.request_id << ">";
+  return os.str();
+}
+
+// Final-log index: payload-hash -> position and id -> position.
+struct FinalIndex {
+  std::unordered_map<uint64_t, std::vector<LogPos>> by_payload;   // non-no-op records
+  std::unordered_map<RecordId, std::vector<LogPos>, RecordIdHash> by_id;
+  std::unordered_map<LogPos, const ObservedRecord*> by_pos;
+
+  explicit FinalIndex(const ChaosHistory& h) {
+    for (const ObservedRecord& rec : h.final_log()) {
+      if (!rec.no_op) {
+        by_payload[rec.payload_hash].push_back(rec.pos);
+      }
+      by_id[rec.id].push_back(rec.pos);
+      by_pos.emplace(rec.pos, &rec);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<ChaosViolation> CheckRealTimeOrder(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  FinalIndex index(h);
+
+  // Collect acked normal appends that made it into the final log, with positions.
+  struct Placed {
+    const AppendOp* op;
+    LogPos pos;
+  };
+  std::vector<Placed> placed;
+  for (const AppendOp& op : h.appends()) {
+    if (op.kind != AppendOp::Kind::kNormal || !op.acked) {
+      continue;
+    }
+    auto it = index.by_payload.find(op.payload_hash);
+    if (it == index.by_payload.end() || it->second.size() != 1) {
+      continue;  // durability oracle reports missing/duplicated records
+    }
+    placed.push_back(Placed{&op, it->second[0]});
+  }
+  std::sort(placed.begin(), placed.end(),
+            [](const Placed& a, const Placed& b) { return a.pos < b.pos; });
+
+  // Violation iff exists (a, b): ack(a) < invoke(b) but pos(a) > pos(b). With the ops
+  // sorted by position, that is "some later-positioned op acked before b was invoked":
+  // compare each op's invocation against the suffix-minimum of ack times.
+  const size_t n = placed.size();
+  std::vector<SimTime> suffix_min_ack(n + 1, UINT64_MAX);
+  for (size_t i = n; i-- > 0;) {
+    suffix_min_ack[i] = std::min(suffix_min_ack[i + 1], placed[i].op->acked_at);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (suffix_min_ack[i + 1] >= placed[i].op->invoked_at) {
+      continue;
+    }
+    // Name one offending pair for the report.
+    for (size_t j = i + 1; j < n; ++j) {
+      if (placed[j].op->acked_at < placed[i].op->invoked_at) {
+        std::ostringstream os;
+        os << "append '" << placed[j].op->payload_key << "' acked at " << placed[j].op->acked_at
+           << "ns before append '" << placed[i].op->payload_key << "' was invoked at "
+           << placed[i].op->invoked_at << "ns, but is bound to position " << placed[j].pos
+           << " > " << placed[i].pos;
+        out.push_back(ChaosViolation{"real-time-order", os.str()});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ChaosViolation> CheckBindingImmutability(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  // First binding observed per position wins; any later disagreement is a violation.
+  std::map<LogPos, ObservedRecord> bindings;
+  auto check = [&](const ObservedRecord& rec, const char* source) {
+    auto [it, inserted] = bindings.emplace(rec.pos, rec);
+    if (inserted) {
+      return;
+    }
+    const ObservedRecord& first = it->second;
+    if (first.id == rec.id && first.payload_hash == rec.payload_hash &&
+        first.no_op == rec.no_op) {
+      return;
+    }
+    std::ostringstream os;
+    os << "position " << rec.pos << " observed bound to record " << DescribeId(first.id)
+       << " but " << source << " saw " << DescribeId(rec.id)
+       << (first.no_op != rec.no_op ? " (no-op flag changed)" : " (binding changed)");
+    out.push_back(ChaosViolation{"stable-binding-immutability", os.str()});
+  };
+  for (const ReadObservation& obs : h.read_observations()) {
+    check(obs.rec, "a later read");
+  }
+  for (const ObservedRecord& rec : h.final_log()) {
+    check(rec, "the final read-back");
+  }
+  return out;
+}
+
+std::vector<ChaosViolation> CheckDurabilityExactlyOnce(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  FinalIndex index(h);
+
+  // The final log must be gapless from position 0 with exactly one record each.
+  const auto& log = h.final_log();
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (log[i].pos != i) {
+      std::ostringstream os;
+      os << "final log is not gapless: expected position " << i << ", found " << log[i].pos;
+      out.push_back(ChaosViolation{"durability", os.str()});
+      break;
+    }
+  }
+
+  // Every acked normal append appears exactly once, as a real record.
+  for (const AppendOp& op : h.appends()) {
+    if (op.kind != AppendOp::Kind::kNormal || !op.acked) {
+      continue;
+    }
+    auto it = index.by_payload.find(op.payload_hash);
+    const size_t copies = it == index.by_payload.end() ? 0 : it->second.size();
+    if (copies != 1) {
+      std::ostringstream os;
+      os << "acked append '" << op.payload_key << "' (invoked " << op.invoked_at
+         << "ns, acked " << op.acked_at << "ns) appears " << copies
+         << " times in the final log (want exactly 1)";
+      out.push_back(ChaosViolation{copies == 0 ? "durability" : "exactly-once", os.str()});
+    }
+  }
+
+  // No record id is bound to two positions (client retries must be filtered).
+  for (const auto& [id, positions] : index.by_id) {
+    if (positions.size() > 1) {
+      std::ostringstream os;
+      os << "record " << DescribeId(id) << " is bound to " << positions.size() << " positions";
+      out.push_back(ChaosViolation{"exactly-once", os.str()});
+    }
+  }
+  return out;
+}
+
+std::vector<ChaosViolation> CheckReadGating(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  // The sequencing layer's stable-gp timeline: running max over every replica's
+  // samples, which are recorded in chronological order by the single-threaded loop.
+  struct Point {
+    SimTime at;
+    LogPos stable;
+  };
+  std::vector<Point> timeline;
+  LogPos running = 0;
+  for (const SeqGpSample& s : h.seq_gp_samples()) {
+    running = std::max(running, s.stable_gp);
+    timeline.push_back(Point{s.at, running});
+  }
+  auto stable_at = [&](SimTime t) -> LogPos {
+    // Largest sample with at <= t.
+    auto it = std::upper_bound(timeline.begin(), timeline.end(), t,
+                               [](SimTime v, const Point& p) { return v < p.at; });
+    return it == timeline.begin() ? 0 : std::prev(it)->stable;
+  };
+  uint64_t reported = 0;
+  for (const ReadObservation& obs : h.read_observations()) {
+    const LogPos stable = stable_at(obs.returned_at);
+    if (obs.rec.pos >= stable) {
+      std::ostringstream os;
+      os << "read returned position " << obs.rec.pos << " at " << obs.returned_at
+         << "ns while the sequencing layer's stable-gp was " << stable
+         << " (position not yet stable)";
+      out.push_back(ChaosViolation{"read-gating", os.str()});
+      if (++reported >= 16) {
+        out.push_back(ChaosViolation{"read-gating", "... further violations elided"});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ChaosViolation> CheckNoOpRule(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  FinalIndex index(h);
+  for (const AppendOp& op : h.appends()) {
+    if (op.kind == AppendOp::Kind::kNormal) {
+      if (!op.acked || !op.id_known) {
+        continue;
+      }
+      auto it = index.by_id.find(op.id);
+      if (it != index.by_id.end()) {
+        for (LogPos pos : it->second) {
+          if (index.by_pos.at(pos)->no_op) {
+            std::ostringstream os;
+            os << "acked append '" << op.payload_key << "' " << DescribeId(op.id)
+               << " was resolved to a no-op at position " << pos;
+            out.push_back(ChaosViolation{"no-op-rule", os.str()});
+          }
+        }
+      }
+      continue;
+    }
+    if (!op.id_known) {
+      continue;  // cannot match the final log without the record id
+    }
+    auto it = index.by_id.find(op.id);
+    if (op.kind == AppendOp::Kind::kMetaOnly && op.acked) {
+      // Durable metadata without data must surface exactly once, as a no-op (§5.4).
+      if (it == index.by_id.end() || it->second.size() != 1) {
+        std::ostringstream os;
+        os << "metadata-only append " << DescribeId(op.id) << " appears "
+           << (it == index.by_id.end() ? 0 : it->second.size())
+           << " times in the final log (want exactly 1 no-op)";
+        out.push_back(ChaosViolation{"no-op-rule", os.str()});
+      } else if (!index.by_pos.at(it->second[0])->no_op) {
+        std::ostringstream os;
+        os << "metadata-only append " << DescribeId(op.id) << " surfaced at position "
+           << it->second[0] << " as a real record (data never existed)";
+        out.push_back(ChaosViolation{"no-op-rule", os.str()});
+      }
+    }
+    if (op.kind == AppendOp::Kind::kDataOnly && it != index.by_id.end()) {
+      std::ostringstream os;
+      os << "data-only append " << DescribeId(op.id)
+         << " surfaced in the final log at position " << it->second[0]
+         << " (orphaned data must stay invisible)";
+      out.push_back(ChaosViolation{"no-op-rule", os.str()});
+    }
+  }
+  return out;
+}
+
+std::vector<ChaosViolation> CheckMonotonicity(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  struct SeqState {
+    ViewId view = 0;
+    LogPos ordered = 0;
+    LogPos stable = 0;
+    bool seen = false;
+  };
+  std::unordered_map<NodeId, SeqState> seq_state;
+  for (const SeqGpSample& s : h.seq_gp_samples()) {
+    SeqState& st = seq_state[s.node];
+    if (st.seen) {
+      if (s.view < st.view || s.ordered_gp < st.ordered || s.stable_gp < st.stable) {
+        std::ostringstream os;
+        os << "sequencing node " << s.node << " regressed at " << s.at << "ns: view "
+           << st.view << "->" << s.view << ", ordered-gp " << st.ordered << "->"
+           << s.ordered_gp << ", stable-gp " << st.stable << "->" << s.stable_gp;
+        out.push_back(ChaosViolation{"monotonicity", os.str()});
+      }
+    }
+    st = SeqState{s.view, s.ordered_gp, s.stable_gp, true};
+  }
+
+  struct ShardState {
+    ViewId view = 0;
+    LogPos stable = 0;
+    bool seen = false;
+  };
+  std::unordered_map<NodeId, ShardState> shard_state;
+  for (const ShardGpSample& s : h.shard_gp_samples()) {
+    ShardState& st = shard_state[s.node];
+    if (st.seen && (s.view < st.view || s.stable_gp < st.stable)) {
+      std::ostringstream os;
+      os << "shard " << s.shard << " node " << s.node << " regressed at " << s.at
+         << "ns: view " << st.view << "->" << s.view << ", stable-gp " << st.stable << "->"
+         << s.stable_gp;
+      out.push_back(ChaosViolation{"monotonicity", os.str()});
+    }
+    st = ShardState{s.view, s.stable_gp, true};
+  }
+
+  std::unordered_map<uint32_t, LogPos> tail_seen;
+  for (const TailSample& s : h.tail_samples()) {
+    auto [it, inserted] = tail_seen.emplace(s.client, s.durable);
+    if (!inserted) {
+      if (s.durable < it->second) {
+        std::ostringstream os;
+        os << "client " << s.client << " observed checkTail regress " << it->second << "->"
+           << s.durable << " at " << s.at << "ns";
+        out.push_back(ChaosViolation{"monotonicity", os.str()});
+      }
+      it->second = std::max(it->second, s.durable);
+    }
+  }
+  return out;
+}
+
+std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode mode) {
+  std::vector<ChaosViolation> all;
+  auto append = [&all](std::vector<ChaosViolation> v) {
+    all.insert(all.end(), std::make_move_iterator(v.begin()), std::make_move_iterator(v.end()));
+  };
+  append(CheckRealTimeOrder(h));
+  append(CheckBindingImmutability(h));
+  append(CheckDurabilityExactlyOnce(h));
+  append(CheckReadGating(h));
+  if (mode == ErwinMode::kSt) {
+    append(CheckNoOpRule(h));
+  }
+  append(CheckMonotonicity(h));
+  return all;
+}
+
+}  // namespace lazylog

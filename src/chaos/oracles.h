@@ -1,0 +1,57 @@
+// Machine-checked invariant oracles over a recorded ChaosHistory. Each oracle encodes
+// one of the DESIGN.md §3 correctness properties; CheckAllInvariants runs every oracle
+// applicable to the cluster mode and returns the (hopefully empty) violation list.
+//
+// The oracles are pure functions of the history — they never touch live cluster state —
+// so a violating run can be re-checked offline and a same-seed replay reproduces the
+// identical verdict.
+#ifndef SRC_CHAOS_ORACLES_H_
+#define SRC_CHAOS_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/history.h"
+#include "src/seq/sequencing_replica.h"
+
+namespace lazylog {
+
+struct ChaosViolation {
+  std::string oracle;  // stable oracle name, e.g. "real-time-order"
+  std::string detail;  // human-readable description naming the offending ops/positions
+};
+
+// (1) Linearizability of the bound order: if append(a) was acknowledged before
+// append(b) was invoked, then pos(a) < pos(b) in the final log.
+std::vector<ChaosViolation> CheckRealTimeOrder(const ChaosHistory& h);
+
+// (2) Stable-gp immutability: a position observed by any read (or the final read-back)
+// is bound to exactly one record, forever.
+std::vector<ChaosViolation> CheckBindingImmutability(const ChaosHistory& h);
+
+// (3) Durability / exactly-once: the final log is gapless from 0; every acknowledged
+// append appears exactly once (as a real record, not a no-op); no record id is bound
+// to two positions.
+std::vector<ChaosViolation> CheckDurabilityExactlyOnce(const ChaosHistory& h);
+
+// (4) Read gating: no read observation returns a position at or above the sequencing
+// layer's stable-gp at the time the response was received (server-side gating at serve
+// time implies this, since stable-gp is monotone).
+std::vector<ChaosViolation> CheckReadGating(const ChaosHistory& h);
+
+// (5) Erwin-st no-op rule: acked appends are never resolved to no-ops; an acked
+// metadata-only half-append surfaces exactly once, as a no-op; orphaned data-only
+// half-appends never surface.
+std::vector<ChaosViolation> CheckNoOpRule(const ChaosHistory& h);
+
+// (6) Monotonicity: per sequencing replica, view / last-ordered-gp / stable-gp never
+// regress; per shard server, view / stable-gp never regress; per client, checkTail's
+// durable count never regresses.
+std::vector<ChaosViolation> CheckMonotonicity(const ChaosHistory& h);
+
+// Runs every oracle applicable to `mode` and concatenates the violations.
+std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode mode);
+
+}  // namespace lazylog
+
+#endif  // SRC_CHAOS_ORACLES_H_

@@ -45,6 +45,16 @@ struct SeqParams {
   uint64_t ordering_interval_ns = 30 * kUs;  // background ordering cadence
   uint64_t metadata_entry_bytes = 32;      // Erwin-st <record-id, shard-id> tuple
   uint64_t st_data_timeout_ns = 2 * kMs;   // Erwin-st missing-data no-op timeout (§5.4)
+  // Retry timeout for the orderer's batch pushes to the shards. Deliberately much
+  // shorter than the generic rpc timeout: a lost push stalls the whole ordering
+  // pipeline (30us cadence) until the retry fires, so waiting out a 50 ms timeout
+  // turns one dropped packet into a 50 ms stable-gp stall.
+  uint64_t order_push_timeout_ns = 5 * kMs;
+  // Age after which unmatched data in the Erwin-st unordered pool is scrubbed as a
+  // client-crash orphan (§5.4). Must dominate the worst-case ordering stall (chained
+  // order-push retries): data of an acked-but-not-yet-ordered record that gets
+  // scrubbed here is later no-op'ed at bind time — losing an acknowledged append.
+  uint64_t st_orphan_scrub_age_ns = 400 * kMs;
 };
 
 // Control plane (ZooKeeperLite + controller). The paper attributes most of the ~15 ms

@@ -37,6 +37,20 @@ class ErwinMClient : public SharedLogClient {
   // Number of view changes this client has observed (tests).
   uint64_t view_changes() const { return view_changes_; }
   ViewId view() const { return view_.view; }
+  ClientId client_id() const { return client_id_; }
+  // Installs a shard-replica replacement in this client's view (deployments would learn
+  // it through the control plane); reads to the retired node would hang forever.
+  void ReplaceShardNode(NodeId old_node, NodeId new_node) {
+    for (auto& shard : view_.shards) {
+      for (NodeId& n : shard) {
+        if (n == old_node) {
+          n = new_node;
+        }
+      }
+    }
+  }
+  // RPC outcome counters (chaos reports: how much of a run hit timeouts/retries).
+  const RpcStats& rpc_stats() const { return endpoint_.stats(); }
 
  private:
   struct PendingAppend {

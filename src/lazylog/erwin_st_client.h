@@ -43,6 +43,20 @@ class ErwinStClient : public SharedLogClient {
   void AppendDataOnly(ShardId shard, std::string payload, AppendCallback cb);
 
   uint64_t posmap_fetches() const { return posmap_fetches_; }
+  ClientId client_id() const { return client_id_; }
+  // Installs a shard-replica replacement in this client's view (deployments would learn
+  // it through the control plane); writes/reads to the retired node would hang forever.
+  void ReplaceShardNode(NodeId old_node, NodeId new_node) {
+    for (auto& shard : view_.shards) {
+      for (NodeId& n : shard) {
+        if (n == old_node) {
+          n = new_node;
+        }
+      }
+    }
+  }
+  // RPC outcome counters (chaos reports: how much of a run hit timeouts/retries).
+  const RpcStats& rpc_stats() const { return endpoint_.stats(); }
 
  private:
   struct PendingAppend {

@@ -27,6 +27,7 @@ void RpcEndpoint::Register(MethodId method, Handler handler) {
 void RpcEndpoint::Call(NodeId dest, MethodId method, std::string body, ResponseCallback cb,
                        uint64_t timeout_ns) {
   const uint64_t rpc_id = next_rpc_id_++;
+  stats_.calls_issued++;
   Encoder enc;
   enc.PutU8(kKindRequest);
   enc.PutU32(method);
@@ -43,6 +44,7 @@ void RpcEndpoint::Call(NodeId dest, MethodId method, std::string body, ResponseC
       }
       auto cb2 = std::move(it->second.cb);
       pending_.erase(it);
+      stats_.timeouts++;
       if (cb2) {
         cb2(Status::Timeout(), "");
       }
@@ -57,6 +59,7 @@ void RpcEndpoint::CancelAll() {
   pending_.clear();
   for (auto& [id, p] : pending) {
     p.timeout.Cancel();
+    stats_.cancelled++;
     if (p.cb) {
       p.cb(Status::Unavailable("call cancelled"), "");
     }
@@ -114,6 +117,7 @@ void RpcEndpoint::OnMessage(NetMessage&& msg) {
     it->second.timeout.Cancel();
     auto cb = std::move(it->second.cb);
     pending_.erase(it);
+    stats_.responses_received++;
     if (cb) {
       cb(Status(static_cast<StatusCode>(code), std::move(message)), body);
     }

@@ -51,6 +51,15 @@ class Responder {
   std::shared_ptr<Inner> inner_;
 };
 
+// Outcome counters per endpoint. Fault-injection tests (src/chaos/) read these to see
+// how much of a run was absorbed by timeouts and retries rather than clean responses.
+struct RpcStats {
+  uint64_t calls_issued = 0;
+  uint64_t responses_received = 0;
+  uint64_t timeouts = 0;
+  uint64_t cancelled = 0;
+};
+
 // One endpoint == one simulated node. Servers register handlers; clients Call().
 class RpcEndpoint {
  public:
@@ -87,6 +96,8 @@ class RpcEndpoint {
   // Cancels all outstanding calls with Status::Unavailable (client teardown).
   void CancelAll();
 
+  const RpcStats& stats() const { return stats_; }
+
  private:
   friend class Responder;
 
@@ -101,6 +112,7 @@ class RpcEndpoint {
   Network* net_;
   NodeId node_id_;
   uint64_t next_rpc_id_ = 1;
+  RpcStats stats_;
   std::unordered_map<MethodId, Handler> handlers_;
   std::unordered_map<uint64_t, Pending> pending_;
 };

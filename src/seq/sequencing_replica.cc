@@ -132,12 +132,18 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
     }
     if (IsDuplicate(req.id)) {
       // Retried append (view change or packet loss): already durable here; idempotent OK.
+      LLOG(kDebug) << "t=" << endpoint_.loop()->Now() << " seq node=" << node_id()
+                   << " dup-ack id={" << req.id.client_id << "," << req.id.request_id
+                   << "} in_log=" << in_log_.count(req.id);
       stats_.duplicates_filtered++;
       r.Send(Status::Ok());
       return;
     }
     log_.push_back(Entry{req.id, std::move(req.payload), req.target_shard});
     in_log_.insert(req.id);
+    LLOG(kDebug) << "t=" << endpoint_.loop()->Now() << " seq node=" << node_id()
+                 << " insert id={" << req.id.client_id << "," << req.id.request_id
+                 << "} log=" << log_.size();
     stats_.appends++;
     r.Send(Status::Ok());
   });
@@ -169,11 +175,15 @@ void SequencingReplica::StartOrderingBatch() {
   stats_.batch_entries += k;
   const ViewId batch_view = view_;
   PushBatchToShards(std::move(batch), ordered_gp_, batch_view, /*overwrite=*/false,
+                    params_.seq.order_push_timeout_ns,
                     [this, k, ids = std::move(ids), batch_view](bool ok) mutable {
                       if (sealed_ || view_ != batch_view || !is_leader()) {
                         return;  // reconfiguration owns the log now
                       }
                       if (!ok) {
+                        LLOG(kInfo) << "t=" << endpoint_.loop()->Now()
+                                    << " seq leader: batch push failed base=" << ordered_gp_
+                                    << " k=" << k << " log=" << log_.size() << "; retrying";
                         // A shard missed the batch; retry the same positions (shards
                         // apply idempotently).
                         endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns,
@@ -190,7 +200,7 @@ void SequencingReplica::StartOrderingBatch() {
 }
 
 void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_pos,
-                                          ViewId view, bool overwrite,
+                                          ViewId view, bool overwrite, uint64_t timeout_ns,
                                           std::function<void(bool ok)> done) {
   const size_t n_shards = shard_primaries_.size();
   LL_CHECK(n_shards > 0, "ordering without shards");
@@ -220,7 +230,7 @@ void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_
         continue;
       }
       endpoint_.CallMsg(shard_primaries_[s], kShardAppendBatch, reqs[s], gather->Slot(s),
-                        params_.rpc_timeout_ns);
+                        timeout_ns);
     }
     return;
   }
@@ -238,11 +248,13 @@ void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_
   const std::string body = enc.Take();
   for (size_t s = 0; s < n_shards; ++s) {
     endpoint_.Call(shard_primaries_[s], kShardOrderMeta, body, gather->Slot(s),
-                   params_.rpc_timeout_ns);
+                   timeout_ns);
   }
 }
 
 void SequencingReplica::OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids) {
+  LLOG(kDebug) << "t=" << endpoint_.loop()->Now() << " seq leader: batch acked base="
+               << ordered_gp_ << " k=" << k << " log=" << log_.size();
   // Records are safe on the shards: GC the leader's log and advance last-ordered-gp.
   for (uint64_t i = 0; i < k; ++i) {
     in_log_.erase(log_.front().id);
@@ -251,6 +263,7 @@ void SequencingReplica::OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids)
   ordered_gp_ += k;
   RememberOrdered(ids);
   stats_.gc_rounds++;
+  NotifyGpObserver();
 
   // Instruct followers to GC and advance their last-ordered-gp; stable-gp may only
   // advance after *all* replicas have done so (§4.5 correctness argument).
@@ -262,6 +275,7 @@ void SequencingReplica::OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids)
   const ViewId gc_view = view_;
   if (followers == 0) {
     stable_gp_ = ordered_gp_;
+    NotifyGpObserver();
     BroadcastStableGp();
     batch_in_flight_ = false;
     if (!log_.empty()) {
@@ -282,6 +296,7 @@ void SequencingReplica::OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids)
       return;
     }
     stable_gp_ = ordered_gp_;
+    NotifyGpObserver();
     BroadcastStableGp();
     batch_in_flight_ = false;
     if (!log_.empty()) {
@@ -338,6 +353,7 @@ void SequencingReplica::HandleGc(Decoder d, Responder r) {
     ordered_gp_ = std::max(ordered_gp_, req.new_ordered_gp);
     RememberOrdered(req.ids);
     stats_.gc_rounds++;
+    NotifyGpObserver();
     r.Send(Status::Ok());
   });
 }
@@ -378,6 +394,7 @@ void SequencingReplica::HandleFlush(Decoder d, Responder r) {
   }
   const uint64_t k = batch.size();
   PushBatchToShards(std::move(batch), ordered_gp_, req.new_view, /*overwrite=*/true,
+                    params_.rpc_timeout_ns,
                     [this, k, ids = std::move(ids), r](bool ok) mutable {
                       if (!ok) {
                         r.Send(Status::Unavailable("flush push failed"));
@@ -389,6 +406,7 @@ void SequencingReplica::HandleFlush(Decoder d, Responder r) {
                         in_log_.erase(e.id);
                       }
                       log_.clear();
+                      NotifyGpObserver();
                       SeqFlushResp resp;
                       resp.new_ordered_gp = ordered_gp_;
                       resp.flushed_ids = std::move(ids);
@@ -420,6 +438,7 @@ void SequencingReplica::HandleStartView(Decoder d, Responder r) {
   in_log_.clear();
   sealed_ = false;
   batch_in_flight_ = false;
+  NotifyGpObserver();
   if (is_leader() && !ordering_armed_) {
     ordering_armed_ = true;
     endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns, [this]() { OrderingTick(); });

@@ -77,6 +77,12 @@ class SequencingReplica {
   // Exposes the local log order for linearizability tests.
   std::vector<RecordId> LogIds() const;
 
+  // Observer fired whenever view / last-ordered-gp / stable-gp change on this replica.
+  // The chaos oracles (src/chaos/) subscribe to build monotonicity and read-gating
+  // timelines without polling.
+  using GpObserver = std::function<void(ViewId view, LogPos ordered_gp, LogPos stable_gp)>;
+  void SetGpObserver(GpObserver observer) { gp_observer_ = std::move(observer); }
+
  private:
   struct Entry {
     RecordId id;
@@ -98,9 +104,16 @@ class SequencingReplica {
   void OrderingTick();
   void StartOrderingBatch();
   void PushBatchToShards(std::vector<Entry> batch, LogPos base_pos, ViewId view,
-                         bool overwrite, std::function<void(bool ok)> done);
+                         bool overwrite, uint64_t timeout_ns,
+                         std::function<void(bool ok)> done);
   void OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids);
   void BroadcastStableGp();
+
+  void NotifyGpObserver() {
+    if (gp_observer_) {
+      gp_observer_(view_, ordered_gp_, stable_gp_);
+    }
+  }
 
   // Duplicate filter: an id is filtered if currently in the log or recently ordered.
   bool IsDuplicate(const RecordId& id) const;
@@ -134,6 +147,7 @@ class SequencingReplica {
   bool ordering_armed_ = false;
   bool batch_in_flight_ = false;
   uint64_t max_batch_ = 16384;
+  GpObserver gp_observer_;
 
   SeqStats stats_;
 };

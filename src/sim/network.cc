@@ -18,7 +18,7 @@ void Network::SetHandler(NodeId id, Handler handler) {
   handlers_[id] = std::move(handler);
 }
 
-void Network::Send(NodeId from, NodeId to, std::string payload) {
+void Network::Send(NodeId from, NodeId to, std::string payload, uint64_t wire_bytes) {
   LL_CHECK(from < handlers_.size() && to < handlers_.size(), "Send between unknown nodes");
   ++messages_sent_;
   if (!IsUp(from) || Partitioned(from, to)) {
@@ -27,7 +27,10 @@ void Network::Send(NodeId from, NodeId to, std::string payload) {
   if (loss_probability_ > 0.0 && rng_.Chance(loss_probability_)) {
     return;
   }
-  const uint64_t bytes = payload.size() + params_.per_message_overhead_bytes;
+  if (wire_bytes == 0) {
+    wire_bytes = payload.size();
+  }
+  const uint64_t bytes = wire_bytes + params_.per_message_overhead_bytes;
   bytes_sent_ += bytes;
 
   // Serialize on the sender NIC: back-to-back sends queue behind each other. Bulk
@@ -41,15 +44,15 @@ void Network::Send(NodeId from, NodeId to, std::string payload) {
   lane[from] = start + ser_ns;
 
   const uint64_t jitter = params_.jitter_ns > 0 ? rng_.Uniform(params_.jitter_ns) : 0;
-  const SimTime deliver_at = lane[from] + params_.propagation_ns + jitter;
+  const SimTime deliver_at = lane[from] + params_.propagation_ns + jitter + extra_delay_ns_;
 
-  loop_->ScheduleAt(deliver_at, [this, from, to, p = std::move(payload)]() mutable {
+  loop_->ScheduleAt(deliver_at, [this, from, to, wire_bytes, p = std::move(payload)]() mutable {
     if (!IsUp(to) || Partitioned(from, to)) {
       return;  // destination died or link cut while in flight
     }
     ++messages_delivered_;
     if (handlers_[to]) {
-      handlers_[to](NetMessage{from, to, std::move(p)});
+      handlers_[to](NetMessage{from, to, std::move(p), wire_bytes});
     }
   });
 }

@@ -26,6 +26,7 @@ struct NetMessage {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
   std::string payload;
+  uint64_t wire_bytes = 0;  // bytes charged to the NIC; 0 means payload.size()
 };
 
 // The network fabric shared by all nodes of a simulated cluster.
@@ -43,8 +44,9 @@ class Network {
 
   // Sends `payload` from -> to. Delivery is dropped if either end is down at send or the
   // destination is down/partitioned at delivery time (messages in flight to a node that
-  // crashes are lost, as on a real network).
-  void Send(NodeId from, NodeId to, std::string payload);
+  // crashes are lost, as on a real network). `wire_bytes` overrides the NIC-charged size
+  // (0 = payload size); Erwin-st uses it to model data scattered via RDMA.
+  void Send(NodeId from, NodeId to, std::string payload, uint64_t wire_bytes = 0);
 
   // --- failure injection -----------------------------------------------------------
   // Crashing a node drops its queued deliveries and all future traffic to/from it.
@@ -56,6 +58,10 @@ class Network {
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
   // Probability in [0,1) that any given message is dropped (loss injection for tests).
   void SetLossProbability(double p) { loss_probability_ = p; }
+  double loss_probability() const { return loss_probability_; }
+  // Extra one-way delay added to every message sent while set (chaos delay spikes).
+  void SetExtraDelayNs(uint64_t ns) { extra_delay_ns_ = ns; }
+  uint64_t extra_delay_ns() const { return extra_delay_ns_; }
 
   // --- introspection ----------------------------------------------------------------
   uint64_t messages_sent() const { return messages_sent_; }
@@ -89,6 +95,7 @@ class Network {
   std::vector<SimTime> nic_bulk_free_;
   std::set<uint64_t> partitions_;
   double loss_probability_ = 0.0;
+  uint64_t extra_delay_ns_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t bytes_sent_ = 0;

@@ -13,7 +13,7 @@ void ServerCpu::Execute(uint64_t cost_ns, std::function<void()> fn) {
 void Disk::Write(uint64_t bytes, std::function<void()> fn) {
   const SimTime start = std::max(loop_->Now(), busy_until_);
   const uint64_t xfer_ns = static_cast<uint64_t>(
-      static_cast<double>(bytes) / params_.write_bandwidth_bytes_per_sec * 1e9);
+      static_cast<double>(bytes) / params_.write_bandwidth_bytes_per_sec * 1e9 * slowdown_);
   busy_until_ = start + xfer_ns;
   const SimTime done = busy_until_ + params_.write_latency_ns;
   if (fn) {

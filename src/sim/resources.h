@@ -60,10 +60,16 @@ class Disk {
   SimTime busy_until() const { return busy_until_; }
   void Reset() { busy_until_ = loop_->Now(); }
 
+  // Multiplies transfer time of subsequent writes (>= 1.0 slows the device down;
+  // chaos disk-slowdown windows set this and restore it to 1.0 on heal).
+  void SetSlowdownFactor(double factor) { slowdown_ = factor < 1.0 ? 1.0 : factor; }
+  double slowdown_factor() const { return slowdown_; }
+
  private:
   EventLoop* loop_;
   DiskParams params_;
   SimTime busy_until_ = 0;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace lazylog

@@ -105,6 +105,9 @@ void ShardServer::Bootstrap(LogPos stable_gp, LogPos meta_next_pos) {
   stable_gp_ = stable_gp;
   meta_base_ = meta_next_pos;
   trimmed_below_ = 0;
+  if (stable_gp_observer_) {
+    stable_gp_observer_(view_, stable_gp_);
+  }
 }
 
 const Record* ShardServer::RecordAt(LogPos pos) const {
@@ -553,7 +556,7 @@ void ShardServer::HandleRead(Decoder d, Responder r) {
     r.Send(Status::OutOfRange("position trimmed"));
     return;
   }
-  if (req.pos >= stable_gp_) {
+  if (req.pos >= stable_gp_ && !read_gate_disabled_) {
     if (req.nowait) {
       r.Send(Status::OutOfRange("position not stable yet"));
       return;
@@ -581,7 +584,7 @@ void ShardServer::ServeRead(const ShardReadReq& req, Responder r) {
       break;
     }
     const LogPos pos = local_pos_[local - local_pos_base_];
-    if (pos >= stable_gp_) {
+    if (pos >= stable_gp_ && !read_gate_disabled_) {
       break;
     }
     const Record* rec = log_.Get(local);
@@ -607,6 +610,9 @@ void ShardServer::HandleSetStableGp(Decoder d, Responder r) {
   if (msg.view >= view_) {
     view_ = msg.view;
     stable_gp_ = std::max(stable_gp_, msg.stable_gp);
+    if (stable_gp_observer_) {
+      stable_gp_observer_(view_, stable_gp_);
+    }
     WakeWaiters();
   }
   r.Send(Status::Ok());
@@ -724,10 +730,15 @@ void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)>
           done(Status::Internal("bad state snapshot"));
           return;
         }
-        view_ = view;
-        stable_gp_ = stable;
+        // Stable-gp broadcasts keep arriving while the snapshot is in flight, so the
+        // snapshot's values may already be stale; both are monotone, take the max.
+        view_ = std::max(view_, view);
+        stable_gp_ = std::max(stable_gp_, stable);
         trimmed_below_ = trimmed;
         meta_base_ = meta_base;
+        if (stable_gp_observer_) {
+          stable_gp_observer_(view_, stable_gp_);
+        }
         uint64_t bytes = 0;
         for (uint32_t i = 0; i < n_ordered; ++i) {
           PositionedRecord pr;
@@ -782,9 +793,13 @@ void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)>
 
 void ShardServer::ScrubOrphans() {
   // Orphaned data: written by a client that crashed before writing metadata; no binding
-  // will ever reference it. GC after a generous age (§5.4 "periodic scrubbing").
+  // will ever reference it. GC after a generous age (§5.4 "periodic scrubbing"). The age
+  // must dominate any ordering stall (chained order-push retries under packet loss):
+  // evicting data whose append was already acknowledged but whose metadata has not yet
+  // been pushed by the orderer turns the record into a no-op at bind time — losing an
+  // acked append.
   const SimTime now = endpoint_.loop()->Now();
-  const uint64_t max_age = 20 * params_.seq.st_data_timeout_ns;
+  const uint64_t max_age = params_.seq.st_orphan_scrub_age_ns;
   for (auto it = pool_arrival_.begin(); it != pool_arrival_.end();) {
     if (now - it->second > max_age) {
       pool_.erase(it->first);

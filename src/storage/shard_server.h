@@ -66,6 +66,19 @@ class ShardServer {
   uint64_t meta_log_size() const { return meta_log_.size(); }
   ViewId view() const { return view_; }
 
+  // Observer fired whenever this shard's stable-gp advances (broadcast, bootstrap, or
+  // state copy). The chaos oracles subscribe to check per-node monotonicity.
+  using StableGpObserver = std::function<void(ViewId view, LogPos stable_gp)>;
+  void SetStableGpObserver(StableGpObserver observer) { stable_gp_observer_ = std::move(observer); }
+
+  // The simulated disk backing this shard (chaos disk-slowdown windows).
+  Disk& disk() { return disk_; }
+
+  // Test hook (chaos weakened-invariant fixtures): serve reads without the stable-gp
+  // gate, returning whatever is locally bound. Violates §4.4 by design; the chaos
+  // read-gating oracle must catch it.
+  void SetReadGateDisabledForTest(bool disabled) { read_gate_disabled_ = disabled; }
+
  private:
   struct BatchAck;
 
@@ -136,6 +149,8 @@ class ShardServer {
   ViewId view_ = 0;
   LogPos stable_gp_ = 0;  // positions < stable_gp_ are readable (count semantics)
   bool loading_ = false;  // replacement replica: state copy still in flight
+  bool read_gate_disabled_ = false;  // test hook; see SetReadGateDisabledForTest
+  StableGpObserver stable_gp_observer_;
 
   // Ordered storage: dense local log + position bookkeeping. local_pos_[i] is the
   // global position of local index local_pos_base_ + i.

@@ -78,7 +78,7 @@ TEST(ErwinSt, DataOnlyAppendIsScrubbedAsOrphan) {
   cluster.RunFor(1 * kMs);
   ASSERT_TRUE(data_acked);
   EXPECT_EQ(cluster.shard(0, 0).unordered_pool_size(), 1u);
-  cluster.RunFor(25 * cluster.params().seq.st_data_timeout_ns + 500 * kMs);
+  cluster.RunFor(cluster.params().seq.st_orphan_scrub_age_ns + 200 * kMs);
   EXPECT_EQ(cluster.shard(0, 0).unordered_pool_size(), 0u);
   // The log itself never saw it.
   TailResult tail = TailSyncly(cluster.loop(), *client);

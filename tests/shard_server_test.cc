@@ -352,7 +352,7 @@ TEST(ShardSt, OrphanedDataScrubbedEventually) {
   ASSERT_TRUE(h.PutData(RecordId{12, 1}, "orphan", 0).ok());
   EXPECT_EQ(h.servers_[0]->unordered_pool_size(), 1u);
   // No metadata ever references it; the periodic scrubber collects it (§5.4).
-  h.loop_.RunUntil(h.loop_.Now() + 30 * h.params_.seq.st_data_timeout_ns + 200 * kMs);
+  h.loop_.RunUntil(h.loop_.Now() + h.params_.seq.st_orphan_scrub_age_ns + 200 * kMs);
   EXPECT_EQ(h.servers_[0]->unordered_pool_size(), 0u);
 }
 
