@@ -3,10 +3,13 @@
 //   chaos_runner --mode=erwin-m --seeds=100          # sweep seeds 1..100
 //   chaos_runner --mode=erwin-st --seed=17           # one seed, verbose-friendly
 //   chaos_runner --mode=both --seeds=20 --faults=seq-crash,loss
+//   chaos_runner --mode=erwin-m --seed=17 --schedule=seq-zk-partition@...  # exact replay
 //
 // Every failing run prints a self-contained repro line; re-running that exact command
 // replays the identical execution (same fault schedule, same history digest, same
-// violations). Exit status is non-zero iff any run violated an invariant.
+// violations). On a violation the schedule is additionally delta-debugged down to a
+// minimal repro (--no-shrink skips this). Exit status is non-zero iff any run violated
+// an invariant.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "src/chaos/chaos_runner.h"
+#include "src/chaos/shrink.h"
 #include "src/common/logging.h"
 
 namespace {
@@ -31,13 +35,21 @@ void Usage() {
                "  --seeds=N                      sweep seeds 1..N (default 10)\n"
                "  --faults=LIST                  all|none|comma list of seq-crash,\n"
                "                                 shard-replace,partition,loss,delay,\n"
-               "                                 disk-slow,client-crash (default all)\n"
+               "                                 disk-slow,client-crash,seq-zk-partition,\n"
+               "                                 ctrl-zk-partition,server-partition\n"
+               "                                 (default all)\n"
                "  --shards=N --replication=N     cluster shape (default 2, 3)\n"
                "  --writers=N --readers=N        workload shape (default 4, 2)\n"
                "  --fault-phase-ms=N             nemesis-active window (default 120)\n"
                "  --payload=N                    append payload bytes (default 128)\n"
                "  --disable-read-gate            fixture: weaken the read gate (the\n"
                "                                 read-gating oracle must then fire)\n"
+               "  --disable-fencing              fixture: drop the shard epoch fence (a\n"
+               "                                 deposed leader keeps ordering; the\n"
+               "                                 oracles must catch the split-brain)\n"
+               "  --schedule=STR                 inject this exact fault schedule instead\n"
+               "                                 of planning one from the seed\n"
+               "  --no-shrink                    skip schedule shrinking on violations\n"
                "  --verbose                      print fault schedules and violations\n"
                "  --log=debug|info|warn|error    protocol log threshold (default warn)\n");
 }
@@ -58,6 +70,7 @@ struct CliOptions {
   uint64_t first_seed = 1;
   uint64_t num_seeds = 10;
   bool verbose = false;
+  bool shrink = true;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* cli) {
@@ -137,8 +150,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
         std::fprintf(stderr, "unknown log level '%s'\n", lvl);
         return false;
       }
+    } else if (const char* sched = value("--schedule=")) {
+      cli->base.forced_schedule = sched;
     } else if (arg == "--disable-read-gate") {
       cli->base.disable_read_gate = true;
+    } else if (arg == "--disable-fencing") {
+      cli->base.disable_fencing = true;
+    } else if (arg == "--no-shrink") {
+      cli->shrink = false;
     } else if (arg == "--verbose") {
       cli->verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -171,6 +190,16 @@ int RunSweep(const CliOptions& cli, ErwinMode mode, uint64_t* violating_runs) {
     }
     if (!report.ok()) {
       std::printf("  repro: %s\n", report.ReproLine().c_str());
+      if (cli.shrink && !report.schedule.empty()) {
+        const lazylog::ShrinkResult shrunk =
+            lazylog::ShrinkSchedule(opts, report.schedule);
+        std::printf("  shrunk %u -> %u actions in %u runs\n", shrunk.original_actions,
+                    shrunk.minimal_actions, shrunk.runs);
+        std::printf("  minimal repro: %s\n", shrunk.minimal.ToReproLine().c_str());
+        if (!shrunk.violation.empty()) {
+          std::printf("  minimal violation: %s\n", shrunk.violation.c_str());
+        }
+      }
       ++failures;
       ++*violating_runs;
     }

@@ -103,6 +103,9 @@ void ChaosRunner::AttachShardObserver(uint32_t s, uint32_t r) {
   if (options_.disable_read_gate) {
     srv.SetReadGateDisabledForTest(true);
   }
+  if (options_.disable_fencing) {
+    srv.SetFencingDisabledForTest(true);
+  }
 }
 
 void ChaosRunner::AttachObservers() {
@@ -154,7 +157,7 @@ void ChaosRunner::ScheduleReaderOp(uint32_t r) {
       next();
       return;
     }
-    history_->RecordTail(client, durable, stable);
+    history_->RecordTail(client, durable, stable, readers_[r].client->last_tail_view());
     // Pick a target: mostly stable-prefix reads; sometimes a gate-stress read just at
     // or past the stable frontier (legal — the shard parks it until stable passes).
     LogPos from = 0;
@@ -260,7 +263,7 @@ void ChaosRunner::SentinelPhase() {
         *durable = d;
         *stable = st;
         *tail_ok = true;
-        history_->RecordTail(client, d, st);
+        history_->RecordTail(client, d, st, driver_.client->last_tail_view());
       }
       *done = true;
     });
@@ -390,14 +393,11 @@ ChaosReport ChaosRunner::Run() {
   nemesis_->SetReplaceHook(
       [this](uint32_t shard, uint32_t replica, NodeId old_node, NodeId new_node) {
         // The replacement is a brand-new ShardServer: re-attach the observer and the
-        // read-gate fixture, and push the membership change into every client's view.
+        // test fixtures. Clients are NOT told directly — they discover the membership
+        // change through the control plane ("/shards/config" refresh on retry).
+        (void)old_node;
+        (void)new_node;
         AttachShardObserver(shard, replica);
-        for (ErwinMClient* c : m_clients_) {
-          c->ReplaceShardNode(old_node, new_node);
-        }
-        for (ErwinStClient* c : st_clients_) {
-          c->ReplaceShardNode(old_node, new_node);
-        }
       });
   nemesis_->SetClientCrashHook([this]() { InjectHalfAppend(); });
 
@@ -412,7 +412,14 @@ ChaosReport ChaosRunner::Run() {
   for (uint32_t r = 0; r < options_.num_readers; ++r) {
     loop.Schedule(1 * kMs + r * 300 * kUs, [this, r]() { ScheduleReaderOp(r); });
   }
-  nemesis_->Arm(t0 + 10 * kMs, t0 + 10 * kMs + options_.fault_phase_ns, client_nodes);
+  if (!options_.forced_schedule.empty()) {
+    std::vector<FaultAction> schedule;
+    LL_CHECK(ParseSchedule(options_.forced_schedule, &schedule),
+             "unparseable --schedule= value");
+    nemesis_->ArmSchedule(std::move(schedule), client_nodes);
+  } else {
+    nemesis_->Arm(t0 + 10 * kMs, t0 + 10 * kMs + options_.fault_phase_ns, client_nodes);
+  }
 
   cluster_->RunFor(write_end_ - t0);
   nemesis_->HealAll();
@@ -437,6 +444,7 @@ ChaosReport ChaosRunner::Run() {
   report.final_log_size = history_->final_log().size();
   report.nemesis_actions = history_->nemesis_actions().size();
   report.nemesis_log = history_->nemesis_actions();
+  report.schedule = SerializeSchedule(nemesis_->schedule());
   report.sim_time_ns = loop.Now();
   return report;
 }
@@ -452,6 +460,12 @@ std::string ChaosOptions::ToReproLine() const {
      << " --payload=" << payload_bytes;
   if (disable_read_gate) {
     os << " --disable-read-gate";
+  }
+  if (disable_fencing) {
+    os << " --disable-fencing";
+  }
+  if (!forced_schedule.empty()) {
+    os << " --schedule=" << forced_schedule;
   }
   return os.str();
 }

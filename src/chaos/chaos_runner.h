@@ -39,6 +39,15 @@ struct ChaosOptions {
   // oracle must flag such runs — this is how the oracle suite itself is tested.
   bool disable_read_gate = false;
 
+  // Test fixture: disable the epoch fence on every shard server, so a deposed-but-alive
+  // leader (kSeqZkPartition) can keep ordering into the shards. The oracles must catch
+  // the resulting split-brain — this is how the fence itself is tested.
+  bool disable_fencing = false;
+
+  // When non-empty, a SerializeSchedule() string injected verbatim instead of planning
+  // a schedule from the seed (shrinker replays and --schedule= repros).
+  std::string forced_schedule;
+
   // The chaos_runner CLI invocation that replays exactly this run.
   std::string ToReproLine() const;
 };
@@ -55,6 +64,7 @@ struct ChaosReport {
   uint64_t final_log_size = 0;
   uint64_t nemesis_actions = 0;
   std::vector<std::string> nemesis_log;  // Describe() of every executed fault
+  std::string schedule;  // SerializeSchedule() of the planned schedule (shrinker input)
   SimTime sim_time_ns = 0;
 
   bool ok() const { return violations.empty(); }

@@ -90,9 +90,9 @@ void ChaosHistory::RecordReadError(uint64_t op_id) {
   FoldEvent(kTagReadError, op_id);
 }
 
-void ChaosHistory::RecordTail(uint32_t client, LogPos durable, LogPos stable) {
-  FoldEvent(kTagTail, client, durable, stable);
-  tail_samples_.push_back(TailSample{client, loop_->Now(), durable, stable});
+void ChaosHistory::RecordTail(uint32_t client, LogPos durable, LogPos stable, ViewId view) {
+  FoldEvent(kTagTail, client, durable, stable, view);
+  tail_samples_.push_back(TailSample{client, loop_->Now(), durable, stable, view});
 }
 
 void ChaosHistory::RecordSeqGp(NodeId node, ViewId view, LogPos ordered_gp,

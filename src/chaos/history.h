@@ -50,12 +50,16 @@ struct ReadObservation {
   ObservedRecord rec;
 };
 
-// A checkTail result as seen by one client.
+// A checkTail result as seen by one client. `view` is the view that served the sample:
+// the durable tail may legally shrink across a view change (the new view drops an
+// uncommitted suffix) but never within one, so the monotonicity oracle scopes the
+// durable check per (client, view). The stable prefix never regresses, view or not.
 struct TailSample {
   uint32_t client = 0;
   SimTime at = 0;
   LogPos durable = 0;
   LogPos stable = 0;
+  ViewId view = 0;
 };
 
 // Sequencing-replica state transition (from SequencingReplica::SetGpObserver).
@@ -102,7 +106,7 @@ class ChaosHistory {
   void RecordReadReturn(uint64_t op_id, const std::vector<ObservedRecord>& records);
   void RecordReadError(uint64_t op_id);
 
-  void RecordTail(uint32_t client, LogPos durable, LogPos stable);
+  void RecordTail(uint32_t client, LogPos durable, LogPos stable, ViewId view);
 
   // --- cluster-side recording (observer hooks) --------------------------------------
   void RecordSeqGp(NodeId node, ViewId view, LogPos ordered_gp, LogPos stable_gp);

@@ -1,6 +1,8 @@
 #include "src/chaos/nemesis.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "src/common/logging.h"
@@ -18,8 +20,21 @@ const char* KindName(FaultKind k) {
     case FaultKind::kDelaySpike: return "delay";
     case FaultKind::kDiskSlowdown: return "disk-slow";
     case FaultKind::kClientCrashAppend: return "client-crash";
+    case FaultKind::kSeqZkPartition: return "seq-zk-partition";
+    case FaultKind::kCtrlZkPartition: return "ctrl-zk-partition";
+    case FaultKind::kServerPartition: return "server-partition";
   }
   return "?";
+}
+
+bool KindFromName(const std::string& name, FaultKind* out) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(FaultKind::kServerPartition); ++k) {
+    if (name == KindName(static_cast<FaultKind>(k))) {
+      *out = static_cast<FaultKind>(k);
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -27,7 +42,8 @@ const char* KindName(FaultKind k) {
 std::string NemesisPolicy::ToFlag() const {
   const NemesisPolicy all;
   if (seq_crash && shard_replace && partition && loss && delay && disk_slow &&
-      client_crash && max_seq_crashes == all.max_seq_crashes) {
+      client_crash && seq_zk_partition && ctrl_zk_partition && server_partition &&
+      max_seq_crashes == all.max_seq_crashes) {
     return "all";
   }
   std::string out;
@@ -44,6 +60,9 @@ std::string NemesisPolicy::ToFlag() const {
   add(delay, "delay");
   add(disk_slow, "disk-slow");
   add(client_crash, "client-crash");
+  add(seq_zk_partition, "seq-zk-partition");
+  add(ctrl_zk_partition, "ctrl-zk-partition");
+  add(server_partition, "server-partition");
   return out.empty() ? "none" : out;
 }
 
@@ -54,7 +73,8 @@ bool NemesisPolicy::FromFlag(const std::string& flag, NemesisPolicy* out) {
   }
   NemesisPolicy p;
   p.seq_crash = p.shard_replace = p.partition = p.loss = p.delay = p.disk_slow =
-      p.client_crash = false;
+      p.client_crash = p.seq_zk_partition = p.ctrl_zk_partition = p.server_partition =
+          false;
   if (flag != "none") {
     size_t pos = 0;
     while (pos <= flag.size()) {
@@ -75,6 +95,12 @@ bool NemesisPolicy::FromFlag(const std::string& flag, NemesisPolicy* out) {
         p.disk_slow = true;
       } else if (name == "client-crash") {
         p.client_crash = true;
+      } else if (name == "seq-zk-partition") {
+        p.seq_zk_partition = true;
+      } else if (name == "ctrl-zk-partition") {
+        p.ctrl_zk_partition = true;
+      } else if (name == "server-partition") {
+        p.server_partition = true;
       } else {
         return false;
       }
@@ -99,7 +125,7 @@ std::string FaultAction::Describe() const {
       os << " shard=" << target << " replica=" << target2;
       break;
     case FaultKind::kClientPartition:
-      os << " client-slot=" << target << " server-node=" << target2 << " for "
+      os << " client-slot=" << target << " server-slot=" << target2 << " for "
          << duration_ns / kUs << "us";
       break;
     case FaultKind::kLossWindow:
@@ -115,8 +141,104 @@ std::string FaultAction::Describe() const {
       break;
     case FaultKind::kClientCrashAppend:
       break;
+    case FaultKind::kSeqZkPartition:
+      os << " replica=" << target << " cut from zk+controller for " << duration_ns / kUs
+         << "us";
+      break;
+    case FaultKind::kCtrlZkPartition:
+      os << " controller cut from zk for " << duration_ns / kUs << "us";
+      break;
+    case FaultKind::kServerPartition:
+      os << " server-slot=" << target << " <-> server-slot=" << target2 << " for "
+         << duration_ns / kUs << "us";
+      break;
   }
   return os.str();
+}
+
+std::string FaultAction::ToString() const {
+  // Hexfloat keeps the magnitude bit-exact across the text round-trip.
+  char mag[64];
+  std::snprintf(mag, sizeof(mag), "%a", magnitude);
+  std::ostringstream os;
+  os << KindName(kind) << "@" << at << ":" << duration_ns << ":" << target << ":"
+     << target2 << ":" << mag;
+  return os.str();
+}
+
+bool FaultAction::FromString(const std::string& text, FaultAction* out) {
+  const size_t at_pos = text.find('@');
+  if (at_pos == std::string::npos) {
+    return false;
+  }
+  FaultAction a;
+  if (!KindFromName(text.substr(0, at_pos), &a.kind)) {
+    return false;
+  }
+  std::vector<std::string> fields;
+  size_t pos = at_pos + 1;
+  while (pos <= text.size()) {
+    const size_t colon = text.find(':', pos);
+    fields.push_back(
+        text.substr(pos, colon == std::string::npos ? std::string::npos : colon - pos));
+    if (colon == std::string::npos) {
+      break;
+    }
+    pos = colon + 1;
+  }
+  if (fields.size() != 5) {
+    return false;
+  }
+  char* end = nullptr;
+  a.at = std::strtoull(fields[0].c_str(), &end, 10);
+  if (*end != '\0') return false;
+  a.duration_ns = std::strtoull(fields[1].c_str(), &end, 10);
+  if (*end != '\0') return false;
+  a.target = static_cast<uint32_t>(std::strtoul(fields[2].c_str(), &end, 10));
+  if (*end != '\0') return false;
+  a.target2 = static_cast<uint32_t>(std::strtoul(fields[3].c_str(), &end, 10));
+  if (*end != '\0') return false;
+  a.magnitude = std::strtod(fields[4].c_str(), &end);
+  if (*end != '\0') return false;
+  *out = a;
+  return true;
+}
+
+std::string SerializeSchedule(const std::vector<FaultAction>& schedule) {
+  // "none" (not "") so an empty schedule survives the trip through
+  // ChaosOptions::forced_schedule, where "" means "plan from the seed".
+  if (schedule.empty()) {
+    return "none";
+  }
+  std::string out;
+  for (const FaultAction& a : schedule) {
+    out += out.empty() ? "" : ",";
+    out += a.ToString();
+  }
+  return out;
+}
+
+bool ParseSchedule(const std::string& text, std::vector<FaultAction>* out) {
+  out->clear();
+  if (text.empty() || text == "none") {
+    return true;
+  }
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string one =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    FaultAction a;
+    if (!FaultAction::FromString(one, &a)) {
+      return false;
+    }
+    out->push_back(a);
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return true;
 }
 
 Nemesis::Nemesis(ErwinCluster* cluster, ChaosHistory* history, uint64_t seed,
@@ -125,17 +247,61 @@ Nemesis::Nemesis(ErwinCluster* cluster, ChaosHistory* history, uint64_t seed,
       history_(history),
       rng_(seed ^ 0x6e656d6573697321ULL),
       policy_(policy) {
-  // The sequencing layer tolerates f = n-1 crash failures (appends require all live
-  // view members; a view excluding the crashed replicas continues).
+  // The sequencing layer tolerates f = n-1 deposition failures (appends require all
+  // live view members; a view excluding the deposed replicas continues). A replica
+  // partitioned from ZK past the session timeout is deposed exactly like a crash — it
+  // just stays up to tempt clients, which is the case the fence exists for.
   const uint32_t f =
       cluster_->num_seq_replicas() > 0 ? cluster_->num_seq_replicas() - 1 : 0;
   seq_crash_budget_ = std::min(policy_.max_seq_crashes, f);
 }
 
+std::vector<uint32_t> Nemesis::UndeposedSeqReplicas() const {
+  std::vector<uint32_t> alive;
+  for (uint32_t i = 0; i < cluster_->num_seq_replicas(); ++i) {
+    bool deposed = false;
+    for (const FaultAction& prev : schedule_) {
+      deposed |= (prev.kind == FaultKind::kCrashSeqReplica ||
+                  prev.kind == FaultKind::kSeqZkPartition) &&
+                 prev.target == i;
+    }
+    if (!deposed) {
+      alive.push_back(i);
+    }
+  }
+  return alive;
+}
+
+uint32_t Nemesis::NumServerSlots() const {
+  return cluster_->num_seq_replicas() +
+         cluster_->num_shards() * cluster_->shard_replication() +
+         (cluster_->controller() != nullptr ? 1 : 0);
+}
+
+NodeId Nemesis::ResolveServerSlot(uint32_t slot) const {
+  const uint32_t num_seq = cluster_->num_seq_replicas();
+  if (slot < num_seq) {
+    return cluster_->seq_replica(slot).node_id();
+  }
+  slot -= num_seq;
+  const uint32_t shard_slots = cluster_->num_shards() * cluster_->shard_replication();
+  if (slot < shard_slots) {
+    return cluster_->shard(slot / cluster_->shard_replication(),
+                           slot % cluster_->shard_replication())
+        .node_id();
+  }
+  slot -= shard_slots;
+  if (slot == 0 && cluster_->controller() != nullptr) {
+    return cluster_->controller()->node_id();
+  }
+  return kInvalidNode;
+}
+
 std::vector<FaultKind> Nemesis::DrawableKinds() const {
   std::vector<FaultKind> kinds;
-  if (policy_.seq_crash && seq_crashes_planned_ < seq_crash_budget_ &&
-      cluster_->controller() != nullptr) {
+  const bool seq_budget_left =
+      seq_crashes_planned_ < seq_crash_budget_ && cluster_->controller() != nullptr;
+  if (policy_.seq_crash && seq_budget_left) {
     kinds.push_back(FaultKind::kCrashSeqReplica);
   }
   if (policy_.shard_replace && cluster_->shard_replication() > 1) {
@@ -155,6 +321,16 @@ std::vector<FaultKind> Nemesis::DrawableKinds() const {
   }
   if (policy_.client_crash && cluster_->mode() == ErwinMode::kSt && client_crash_hook_) {
     kinds.push_back(FaultKind::kClientCrashAppend);
+  }
+  if (policy_.seq_zk_partition && seq_budget_left) {
+    kinds.push_back(FaultKind::kSeqZkPartition);
+  }
+  if (policy_.ctrl_zk_partition && cluster_->controller() != nullptr) {
+    kinds.push_back(FaultKind::kCtrlZkPartition);
+  }
+  if (policy_.server_partition && cluster_->controller() != nullptr &&
+      NumServerSlots() >= 2) {
+    kinds.push_back(FaultKind::kServerPartition);
   }
   return kinds;
 }
@@ -178,19 +354,10 @@ void Nemesis::Plan(SimTime start, SimTime end) {
     a.at = cursor;
     switch (a.kind) {
       case FaultKind::kCrashSeqReplica: {
-        // Crash any replica index not yet crashed; the control plane reconfigures
+        // Crash any replica index not yet deposed; the control plane reconfigures
         // around it (~15-30ms), so leave a generous settle gap.
-        std::vector<uint32_t> alive;
-        for (uint32_t i = 0; i < cluster_->num_seq_replicas(); ++i) {
-          bool crashed = false;
-          for (const FaultAction& prev : schedule_) {
-            crashed |= prev.kind == FaultKind::kCrashSeqReplica && prev.target == i;
-          }
-          if (!crashed) {
-            alive.push_back(i);
-          }
-        }
-        LL_CHECK(alive.size() >= 2, "seq crash budget exceeded the fault bound");
+        const std::vector<uint32_t> alive = UndeposedSeqReplicas();
+        LL_CHECK(alive.size() >= 2, "seq deposition budget exceeded the fault bound");
         a.target = alive[rng_.Uniform(alive.size())];
         seq_crashes_planned_++;
         cursor += 80 * kMs;  // detection + seal + new view + client re-resolution
@@ -204,6 +371,9 @@ void Nemesis::Plan(SimTime start, SimTime end) {
         break;
       case FaultKind::kClientPartition:
         a.target = static_cast<uint32_t>(rng_.Uniform(client_nodes_.size()));
+        // The server side is a virtual slot resolved at execution time, so shard
+        // replacements between planning and execution stay transparent.
+        a.target2 = static_cast<uint32_t>(rng_.Uniform(NumServerSlots()));
         a.duration_ns = 8 * kMs + rng_.Uniform(17 * kMs);  // well under the retry budget
         cursor += a.duration_ns + 5 * kMs;
         break;
@@ -230,14 +400,40 @@ void Nemesis::Plan(SimTime start, SimTime end) {
       case FaultKind::kClientCrashAppend:
         cursor += 3 * kMs;
         break;
+      case FaultKind::kSeqZkPartition: {
+        // Long enough that the ZK session must expire (8ms timeout): the replica is
+        // deposed while still reachable from clients — the split-brain the fence stops.
+        const std::vector<uint32_t> alive = UndeposedSeqReplicas();
+        LL_CHECK(alive.size() >= 2, "seq deposition budget exceeded the fault bound");
+        a.target = alive[rng_.Uniform(alive.size())];
+        a.duration_ns = 12 * kMs + rng_.Uniform(18 * kMs);
+        seq_crashes_planned_++;
+        cursor += a.duration_ns + 80 * kMs;  // deposition + reconfiguration + settle
+        break;
+      }
+      case FaultKind::kCtrlZkPartition:
+        // Shorter than anything that needs the controller to act; ReconcilePoll catches
+        // up on whatever ZK events it went blind to.
+        a.duration_ns = 8 * kMs + rng_.Uniform(12 * kMs);
+        cursor += a.duration_ns + 15 * kMs;
+        break;
+      case FaultKind::kServerPartition: {
+        const uint32_t n = NumServerSlots();
+        a.target = static_cast<uint32_t>(rng_.Uniform(n));
+        a.target2 = static_cast<uint32_t>(rng_.Uniform(n - 1));
+        if (a.target2 >= a.target) {
+          a.target2++;
+        }
+        a.duration_ns = 4 * kMs + rng_.Uniform(11 * kMs);
+        cursor += a.duration_ns + 12 * kMs;
+        break;
+      }
     }
     schedule_.push_back(a);
   }
 }
 
-void Nemesis::Arm(SimTime start, SimTime end, std::vector<NodeId> client_nodes) {
-  client_nodes_ = std::move(client_nodes);
-  Plan(start, end);
+void Nemesis::ArmEvents() {
   EventLoop& loop = cluster_->loop();
   for (const FaultAction& a : schedule_) {
     loop.ScheduleAt(a.at, [this, a]() { Execute(a); });
@@ -247,9 +443,35 @@ void Nemesis::Arm(SimTime start, SimTime end, std::vector<NodeId> client_nodes) 
   }
 }
 
+void Nemesis::Arm(SimTime start, SimTime end, std::vector<NodeId> client_nodes) {
+  client_nodes_ = std::move(client_nodes);
+  Plan(start, end);
+  ArmEvents();
+}
+
+void Nemesis::ArmSchedule(std::vector<FaultAction> schedule,
+                          std::vector<NodeId> client_nodes) {
+  client_nodes_ = std::move(client_nodes);
+  schedule_ = std::move(schedule);
+  seq_crashes_planned_ = 0;
+  for (const FaultAction& a : schedule_) {
+    if (a.kind == FaultKind::kCrashSeqReplica || a.kind == FaultKind::kSeqZkPartition) {
+      seq_crashes_planned_++;
+    }
+  }
+  ArmEvents();
+}
+
 void Nemesis::Execute(const FaultAction& a) {
   history_->RecordNemesis(a.Describe());
   Network& net = cluster_->network();
+  auto cut = [this, &net](NodeId x, NodeId y) {
+    if (x == kInvalidNode || y == kInvalidNode || x == y) {
+      return;
+    }
+    partitioned_pairs_.push_back({x, y});
+    net.SetPartitioned(x, y, true);
+  };
   switch (a.kind) {
     case FaultKind::kCrashSeqReplica:
       cluster_->CrashSeqReplica(a.target);
@@ -264,26 +486,11 @@ void Nemesis::Execute(const FaultAction& a) {
     }
     case FaultKind::kClientPartition: {
       const NodeId client = client_nodes_[a.target];
-      // Pick the server side at execution time so replacements stay transparent.
-      std::vector<NodeId> servers;
-      for (uint32_t i = 0; i < cluster_->num_seq_replicas(); ++i) {
-        if (net.IsUp(cluster_->seq_replica(i).node_id())) {
-          servers.push_back(cluster_->seq_replica(i).node_id());
-        }
-      }
-      for (uint32_t s = 0; s < cluster_->num_shards(); ++s) {
-        for (uint32_t r = 0; r < cluster_->shard_replication(); ++r) {
-          if (net.IsUp(cluster_->shard(s, r).node_id())) {
-            servers.push_back(cluster_->shard(s, r).node_id());
-          }
-        }
-      }
-      if (servers.empty()) {
+      const NodeId server = ResolveServerSlot(a.target2);
+      if (server == kInvalidNode || !net.IsUp(server)) {
         return;
       }
-      const NodeId server = servers[rng_.Uniform(servers.size())];
-      partitioned_pairs_.push_back({client, server});
-      net.SetPartitioned(client, server, true);
+      cut(client, server);
       break;
     }
     case FaultKind::kLossWindow:
@@ -298,6 +505,25 @@ void Nemesis::Execute(const FaultAction& a) {
     case FaultKind::kClientCrashAppend:
       client_crash_hook_();
       break;
+    case FaultKind::kSeqZkPartition: {
+      // Asymmetric: the replica is cut from ZK (its session will expire) and from the
+      // controller (it cannot be sealed directly), but stays reachable from clients and
+      // from the storage shards — which is exactly why the shard fence must hold.
+      const NodeId victim = cluster_->seq_replica(a.target).node_id();
+      cut(victim, cluster_->zookeeper()->node_id());
+      if (cluster_->controller() != nullptr) {
+        cut(victim, cluster_->controller()->node_id());
+      }
+      break;
+    }
+    case FaultKind::kCtrlZkPartition:
+      if (cluster_->controller() != nullptr) {
+        cut(cluster_->controller()->node_id(), cluster_->zookeeper()->node_id());
+      }
+      break;
+    case FaultKind::kServerPartition:
+      cut(ResolveServerSlot(a.target), ResolveServerSlot(a.target2));
+      break;
   }
 }
 
@@ -305,8 +531,12 @@ void Nemesis::Heal(const FaultAction& a) {
   Network& net = cluster_->network();
   switch (a.kind) {
     case FaultKind::kClientPartition:
-      for (const auto& [c, s] : partitioned_pairs_) {
-        net.SetPartitioned(c, s, false);
+    case FaultKind::kSeqZkPartition:
+    case FaultKind::kCtrlZkPartition:
+    case FaultKind::kServerPartition:
+      // Actions are laid out sequentially, so every live cut belongs to this window.
+      for (const auto& [x, y] : partitioned_pairs_) {
+        net.SetPartitioned(x, y, false);
       }
       partitioned_pairs_.clear();
       break;
@@ -326,8 +556,8 @@ void Nemesis::Heal(const FaultAction& a) {
 
 void Nemesis::HealAll() {
   Network& net = cluster_->network();
-  for (const auto& [c, s] : partitioned_pairs_) {
-    net.SetPartitioned(c, s, false);
+  for (const auto& [x, y] : partitioned_pairs_) {
+    net.SetPartitioned(x, y, false);
   }
   partitioned_pairs_.clear();
   net.SetLossProbability(0.0);

@@ -5,8 +5,11 @@
 // Fault planning is cursor-based: actions are laid out sequentially in time with
 // randomized gaps, so heavyweight actions never overlap (a loss window during a shard
 // state-copy would abort the copy, which is outside the system's fault model).
-// Sequencing-layer crashes are capped at f = num_seq_replicas - 1, the designed fault
-// bound.
+// Sequencing-layer depositions — crashes and ZK-partitions alike — are capped at
+// f = num_seq_replicas - 1, the designed fault bound.
+//
+// A schedule also round-trips through text (SerializeSchedule / ParseSchedule), which
+// is what the shrinker (shrink.h) and the --schedule= repro flag build on.
 #ifndef SRC_CHAOS_NEMESIS_H_
 #define SRC_CHAOS_NEMESIS_H_
 
@@ -29,6 +32,12 @@ enum class FaultKind : uint8_t {
   kDelaySpike,           // extra one-way delay on every message for a window
   kDiskSlowdown,         // one shard server's disk runs N x slower for a window
   kClientCrashAppend,    // Erwin-st half-append (client dies mid-append); runner hook
+  // Asymmetric partitions (the fence's reason to exist): the victim stays reachable
+  // from everyone *except* the cut peers.
+  kSeqZkPartition,   // one seq replica loses ZK + controller > session timeout: it is
+                     // deposed while still serving clients (consumes the <= f budget)
+  kCtrlZkPartition,  // the controller loses ZK for a window (blind, must catch up)
+  kServerPartition,  // one server<->server link cut for a window (seq/shard/controller)
 };
 
 // Which fault kinds the nemesis may draw from. Serializes to/from the repro line's
@@ -41,8 +50,12 @@ struct NemesisPolicy {
   bool delay = true;
   bool disk_slow = true;
   bool client_crash = true;  // only drawn on Erwin-st clusters
+  bool seq_zk_partition = true;
+  bool ctrl_zk_partition = true;
+  bool server_partition = true;
 
-  // Upper bound on sequencing-replica crashes; always additionally clamped to f.
+  // Upper bound on sequencing-replica depositions (crashes + ZK partitions); always
+  // additionally clamped to f.
   uint32_t max_seq_crashes = UINT32_MAX;
 
   std::string ToFlag() const;
@@ -56,12 +69,19 @@ struct FaultAction {
   FaultKind kind = FaultKind::kLossWindow;
   SimTime at = 0;
   uint64_t duration_ns = 0;
-  uint32_t target = 0;    // seq replica index / shard index / client slot
-  uint32_t target2 = 0;   // shard replica index / server node id (partitions)
+  uint32_t target = 0;    // seq replica index / shard index / client slot / server slot
+  uint32_t target2 = 0;   // shard replica index / virtual server slot (partitions)
   double magnitude = 0;   // loss probability / delay ns / disk slowdown factor
 
   std::string Describe() const;
+  // Exact text round-trip: "kind@at:dur:t1:t2:mag" with the magnitude in hexfloat.
+  std::string ToString() const;
+  static bool FromString(const std::string& text, FaultAction* out);
 };
+
+// Comma-separated FaultAction::ToString list; "" for an empty schedule.
+std::string SerializeSchedule(const std::vector<FaultAction>& schedule);
+bool ParseSchedule(const std::string& text, std::vector<FaultAction>* out);
 
 class Nemesis {
  public:
@@ -69,7 +89,7 @@ class Nemesis {
   Nemesis(ErwinCluster* cluster, ChaosHistory* history, uint64_t seed, NemesisPolicy policy);
 
   // Called after a shard-replica replacement so the runner can re-attach observers to
-  // the fresh ShardServer and push the membership change into client views.
+  // the fresh ShardServer (clients discover the change through the control plane).
   using ReplaceHook = std::function<void(uint32_t shard, uint32_t replica_index,
                                          NodeId old_node, NodeId new_node)>;
   void SetReplaceHook(ReplaceHook hook) { replace_hook_ = std::move(hook); }
@@ -79,6 +99,9 @@ class Nemesis {
 
   // Plans the fault schedule for [start, end) and arms it on the cluster's event loop.
   void Arm(SimTime start, SimTime end, std::vector<NodeId> client_nodes);
+  // Arms a pre-planned schedule verbatim (shrinker replays, --schedule= repros). The
+  // policy is ignored; the schedule is trusted as-is.
+  void ArmSchedule(std::vector<FaultAction> schedule, std::vector<NodeId> client_nodes);
 
   // Heals every window fault immediately (safety net called after the fault phase; the
   // planned heal events are idempotent with this).
@@ -89,9 +112,16 @@ class Nemesis {
 
  private:
   void Plan(SimTime start, SimTime end);
+  void ArmEvents();
   void Execute(const FaultAction& a);
   void Heal(const FaultAction& a);
   std::vector<FaultKind> DrawableKinds() const;
+  // Seq replica indexes not yet deposed (crashed or ZK-partitioned) by the schedule.
+  std::vector<uint32_t> UndeposedSeqReplicas() const;
+  // Resolves a virtual server slot (seq replicas first, then shard (s, r) slots, then
+  // the controller) to the node currently occupying it; kInvalidNode if out of range.
+  NodeId ResolveServerSlot(uint32_t slot) const;
+  uint32_t NumServerSlots() const;
 
   ErwinCluster* cluster_;
   ChaosHistory* history_;
@@ -100,7 +130,7 @@ class Nemesis {
   ReplaceHook replace_hook_;
   ClientCrashHook client_crash_hook_;
   std::vector<NodeId> client_nodes_;
-  std::vector<std::pair<NodeId, NodeId>> partitioned_pairs_;  // live client<->server cuts
+  std::vector<std::pair<NodeId, NodeId>> partitioned_pairs_;  // live link cuts
   std::vector<FaultAction> schedule_;
   uint32_t seq_crashes_planned_ = 0;
   uint32_t seq_crash_budget_ = 0;

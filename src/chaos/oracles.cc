@@ -286,18 +286,42 @@ std::vector<ChaosViolation> CheckMonotonicity(const ChaosHistory& h) {
     st = ShardState{s.view, s.stable_gp, true};
   }
 
-  std::unordered_map<uint32_t, LogPos> tail_seen;
+  // Per-client tail samples: the view must never regress and the stable prefix never
+  // shrinks. The durable tail is only monotone *within* a view — a view change legally
+  // drops an uncommitted suffix, so a sample from a newer view resets the watermark.
+  struct TailState {
+    ViewId view = 0;
+    LogPos durable = 0;
+    LogPos stable = 0;
+    bool seen = false;
+  };
+  std::unordered_map<uint32_t, TailState> tail_seen;
   for (const TailSample& s : h.tail_samples()) {
-    auto [it, inserted] = tail_seen.emplace(s.client, s.durable);
-    if (!inserted) {
-      if (s.durable < it->second) {
+    TailState& st = tail_seen[s.client];
+    if (st.seen) {
+      if (s.view < st.view) {
         std::ostringstream os;
-        os << "client " << s.client << " observed checkTail regress " << it->second << "->"
-           << s.durable << " at " << s.at << "ns";
+        os << "client " << s.client << " observed the serving view regress " << st.view
+           << "->" << s.view << " at " << s.at << "ns";
         out.push_back(ChaosViolation{"monotonicity", os.str()});
       }
-      it->second = std::max(it->second, s.durable);
+      if (s.view == st.view && s.durable < st.durable) {
+        std::ostringstream os;
+        os << "client " << s.client << " observed checkTail regress " << st.durable << "->"
+           << s.durable << " within view " << s.view << " at " << s.at << "ns";
+        out.push_back(ChaosViolation{"monotonicity", os.str()});
+      }
+      if (s.stable < st.stable) {
+        std::ostringstream os;
+        os << "client " << s.client << " observed the stable prefix regress " << st.stable
+           << "->" << s.stable << " at " << s.at << "ns";
+        out.push_back(ChaosViolation{"monotonicity", os.str()});
+      }
     }
+    st.durable = s.view > st.view ? s.durable : std::max(st.durable, s.durable);
+    st.view = std::max(st.view, s.view);
+    st.stable = std::max(st.stable, s.stable);
+    st.seen = true;
   }
   return out;
 }

@@ -45,8 +45,9 @@ std::vector<ChaosViolation> CheckReadGating(const ChaosHistory& h);
 std::vector<ChaosViolation> CheckNoOpRule(const ChaosHistory& h);
 
 // (6) Monotonicity: per sequencing replica, view / last-ordered-gp / stable-gp never
-// regress; per shard server, view / stable-gp never regress; per client, checkTail's
-// durable count never regresses.
+// regress; per shard server, view / stable-gp never regress; per client, the serving
+// view and checkTail's stable prefix never regress, and the durable count never
+// regresses *within* a view (a view change may legally drop an uncommitted suffix).
 std::vector<ChaosViolation> CheckMonotonicity(const ChaosHistory& h);
 
 // Runs every oracle applicable to `mode` and concatenates the violations.

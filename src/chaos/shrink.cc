@@ -1,0 +1,84 @@
+#include "src/chaos/shrink.h"
+
+#include <vector>
+
+#include "src/chaos/nemesis.h"
+#include "src/common/logging.h"
+
+namespace lazylog {
+
+namespace {
+
+// Runs the simulation with `schedule` forced and reports whether any oracle fired.
+bool StillViolates(const ChaosOptions& base, const std::vector<FaultAction>& schedule,
+                   uint32_t* runs, std::string* violation) {
+  ChaosOptions o = base;
+  o.forced_schedule = SerializeSchedule(schedule);
+  (*runs)++;
+  const ChaosReport report = RunChaos(o);
+  if (report.violations.empty()) {
+    return false;
+  }
+  *violation = report.violations[0].oracle + ": " + report.violations[0].detail;
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkSchedule(const ChaosOptions& failing, const std::string& schedule,
+                            uint32_t max_runs) {
+  std::vector<FaultAction> actions;
+  LL_CHECK(ParseSchedule(schedule, &actions), "shrinker fed an unparseable schedule");
+
+  ShrinkResult result;
+  result.original_actions = static_cast<uint32_t>(actions.size());
+
+  // Confirm the starting point reproduces; the simulation is deterministic, so a
+  // non-reproducing input means the schedule does not match the options.
+  std::string violation;
+  if (!StillViolates(failing, actions, &result.runs, &violation)) {
+    result.minimal = failing;
+    result.minimal.forced_schedule = SerializeSchedule(actions);
+    result.minimal_actions = result.original_actions;
+    return result;
+  }
+  result.violation = violation;
+
+  bool changed = true;
+  while (changed && result.runs < max_runs) {
+    changed = false;
+    // Pass 1: drop whole actions, later ones first (the tail rarely matters once the
+    // violating interaction has happened).
+    for (size_t i = actions.size(); i-- > 0 && result.runs < max_runs;) {
+      std::vector<FaultAction> candidate = actions;
+      candidate.erase(candidate.begin() + static_cast<long>(i));
+      if (StillViolates(failing, candidate, &result.runs, &violation)) {
+        actions = std::move(candidate);
+        result.violation = violation;
+        changed = true;
+      }
+    }
+    // Pass 2: halve the window of each remaining timed fault. A halving that drops a
+    // fault below its effective threshold (e.g. a ZK partition shorter than the session
+    // timeout) stops violating and is rejected, so windows converge to near-minimal.
+    for (size_t i = 0; i < actions.size() && result.runs < max_runs; ++i) {
+      if (actions[i].duration_ns < 2 * kMs) {
+        continue;
+      }
+      std::vector<FaultAction> candidate = actions;
+      candidate[i].duration_ns /= 2;
+      if (StillViolates(failing, candidate, &result.runs, &violation)) {
+        actions = std::move(candidate);
+        result.violation = violation;
+        changed = true;
+      }
+    }
+  }
+
+  result.minimal = failing;
+  result.minimal.forced_schedule = SerializeSchedule(actions);
+  result.minimal_actions = static_cast<uint32_t>(actions.size());
+  return result;
+}
+
+}  // namespace lazylog

@@ -1,0 +1,36 @@
+// Greedy schedule shrinking for violating chaos runs. A violating seed usually plans a
+// dozen faults of which one or two matter; the shrinker delta-debugs the schedule down
+// to a minimal reproduction by re-running the deterministic simulation with candidate
+// schedules — dropping whole actions, then halving fault windows — and keeping every
+// change that still violates. The result is a forced_schedule options line that replays
+// the minimal failure directly (no planning involved).
+#ifndef SRC_CHAOS_SHRINK_H_
+#define SRC_CHAOS_SHRINK_H_
+
+#include <string>
+
+#include "src/chaos/chaos_runner.h"
+
+namespace lazylog {
+
+struct ShrinkResult {
+  // The failing options with forced_schedule set to the minimal schedule; feeding this
+  // back into RunChaos reproduces the violation.
+  ChaosOptions minimal;
+  std::string violation;  // "<oracle>: <detail>" of the minimal run's first violation
+  uint32_t runs = 0;      // simulations spent shrinking (includes the confirming run)
+  uint32_t original_actions = 0;
+  uint32_t minimal_actions = 0;
+};
+
+// Shrinks `schedule` (a SerializeSchedule string, typically ChaosReport::schedule of
+// the violating run) against `failing`. The initial schedule must reproduce a violation
+// under `failing` — if it does not (nondeterminism would be a bug), the result carries
+// the unshrunk schedule with an empty `violation`. `max_runs` bounds the total number
+// of candidate simulations.
+ShrinkResult ShrinkSchedule(const ChaosOptions& failing, const std::string& schedule,
+                            uint32_t max_runs = 64);
+
+}  // namespace lazylog
+
+#endif  // SRC_CHAOS_SHRINK_H_

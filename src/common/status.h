@@ -21,6 +21,7 @@ enum class StatusCode {
   kDuplicate,      // request already executed (filtered)
   kRejected,       // request refused (e.g. late Erwin-st data after no-op)
   kNotLeader,      // request needs the sequencing leader
+  kStaleView,      // fenced: the receiver has sealed into a newer epoch
   kInternal,       // invariant violation or unexpected state
   kInvalidArgument,
 };
@@ -37,6 +38,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDuplicate: return "DUPLICATE";
     case StatusCode::kRejected: return "REJECTED";
     case StatusCode::kNotLeader: return "NOT_LEADER";
+    case StatusCode::kStaleView: return "STALE_VIEW";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
   }
@@ -69,6 +71,9 @@ class Status {
   }
   static Status NotLeader(std::string m = "not leader") {
     return {StatusCode::kNotLeader, std::move(m)};
+  }
+  static Status StaleView(std::string m = "stale view") {
+    return {StatusCode::kStaleView, std::move(m)};
   }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
   static Status InvalidArgument(std::string m) {

@@ -291,7 +291,7 @@ void ZkSession::HeartbeatLoop() {
 // --- ZkClient ------------------------------------------------------------------------
 
 void ZkClient::Create(const std::string& path, const std::string& data,
-                      uint64_t ephemeral_session, DoneCallback cb) {
+                      uint64_t ephemeral_session, DoneCallback cb, uint64_t timeout_ns) {
   Encoder e;
   e.PutBytes(path);
   e.PutBytes(data);
@@ -302,11 +302,11 @@ void ZkClient::Create(const std::string& path, const std::string& data,
                       cb(std::move(s));
                     }
                   },
-                  0);
+                  timeout_ns);
 }
 
 void ZkClient::SetData(const std::string& path, const std::string& data,
-                       uint64_t expected_version, DoneCallback cb) {
+                       uint64_t expected_version, DoneCallback cb, uint64_t timeout_ns) {
   Encoder e;
   e.PutBytes(path);
   e.PutBytes(data);
@@ -317,10 +317,10 @@ void ZkClient::SetData(const std::string& path, const std::string& data,
                       cb(std::move(s));
                     }
                   },
-                  0);
+                  timeout_ns);
 }
 
-void ZkClient::GetData(const std::string& path, DataCallback cb) {
+void ZkClient::GetData(const std::string& path, DataCallback cb, uint64_t timeout_ns) {
   Encoder e;
   e.PutBytes(path);
   endpoint_->Call(zk_node_, kZkGetData, e.Take(),
@@ -334,10 +334,10 @@ void ZkClient::GetData(const std::string& path, DataCallback cb) {
                     }
                     cb(std::move(s), std::move(data), version);
                   },
-                  0);
+                  timeout_ns);
 }
 
-void ZkClient::Delete(const std::string& path, DoneCallback cb) {
+void ZkClient::Delete(const std::string& path, DoneCallback cb, uint64_t timeout_ns) {
   Encoder e;
   e.PutBytes(path);
   endpoint_->Call(zk_node_, kZkDelete, e.Take(),
@@ -346,10 +346,10 @@ void ZkClient::Delete(const std::string& path, DoneCallback cb) {
                       cb(std::move(s));
                     }
                   },
-                  0);
+                  timeout_ns);
 }
 
-void ZkClient::List(const std::string& prefix, ListCallback cb) {
+void ZkClient::List(const std::string& prefix, ListCallback cb, uint64_t timeout_ns) {
   Encoder e;
   e.PutBytes(prefix);
   endpoint_->Call(zk_node_, kZkList, e.Take(),
@@ -369,7 +369,7 @@ void ZkClient::List(const std::string& prefix, ListCallback cb) {
                     }
                     cb(std::move(s), std::move(paths));
                   },
-                  0);
+                  timeout_ns);
 }
 
 void ZkClient::Watch(const std::string& prefix, WatchCallback cb) {

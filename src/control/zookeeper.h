@@ -116,14 +116,18 @@ class ZkClient {
   // Watch callback: path + event.
   using WatchCallback = std::function<void(const std::string& path, ZkEvent event)>;
 
+  // All operations take an optional `timeout_ns`; 0 means wait forever (the callback may
+  // then never fire if ZK is unreachable). Callers that must make progress under
+  // partitions — the controller's view write, client config refresh — pass a bound and
+  // retry on DEADLINE_EXCEEDED.
   void Create(const std::string& path, const std::string& data, uint64_t ephemeral_session,
-              DoneCallback cb);
+              DoneCallback cb, uint64_t timeout_ns = 0);
   // expected_version UINT64_MAX means unconditional.
   void SetData(const std::string& path, const std::string& data, uint64_t expected_version,
-               DoneCallback cb);
-  void GetData(const std::string& path, DataCallback cb);
-  void Delete(const std::string& path, DoneCallback cb);
-  void List(const std::string& prefix, ListCallback cb);
+               DoneCallback cb, uint64_t timeout_ns = 0);
+  void GetData(const std::string& path, DataCallback cb, uint64_t timeout_ns = 0);
+  void Delete(const std::string& path, DoneCallback cb, uint64_t timeout_ns = 0);
+  void List(const std::string& prefix, ListCallback cb, uint64_t timeout_ns = 0);
   // Registers a prefix watch; notifications arrive on `endpoint_` for as long as it lives.
   void Watch(const std::string& prefix, WatchCallback cb);
 

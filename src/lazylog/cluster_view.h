@@ -2,8 +2,10 @@
 #ifndef SRC_LAZYLOG_CLUSTER_VIEW_H_
 #define SRC_LAZYLOG_CLUSTER_VIEW_H_
 
+#include <string>
 #include <vector>
 
+#include "src/common/codec.h"
 #include "src/common/types.h"
 
 namespace lazylog {
@@ -14,9 +16,43 @@ struct ClusterView {
   std::vector<NodeId> seq_config;
   // shards[s] lists shard s's replicas; shards[s][0] is the primary.
   std::vector<std::vector<NodeId>> shards;
+  // Epoch of `shards` (bumped by the controller on every membership change). Clients
+  // adopt a refreshed matrix only when its epoch is newer.
+  uint64_t shard_epoch = 0;
+  // ZooKeeperLite node for config refresh; kInvalidNode when there is no control plane
+  // (clients then keep their construction-time shard membership).
+  NodeId zk = kInvalidNode;
 
   uint32_t num_shards() const { return static_cast<uint32_t>(shards.size()); }
 };
+
+// Parses the controller's "/shards/config" znode: epoch, then the replica matrix.
+// Returns false on a malformed blob.
+inline bool DecodeShardConfig(const std::string& blob, uint64_t* epoch,
+                              std::vector<std::vector<NodeId>>* shards) {
+  Decoder d(blob);
+  uint32_t num_shards = 0;
+  if (!d.GetU64(epoch) || !d.GetU32(&num_shards)) {
+    return false;
+  }
+  shards->clear();
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    uint32_t count = 0;
+    if (!d.GetU32(&count)) {
+      return false;
+    }
+    std::vector<NodeId> replicas;
+    for (uint32_t r = 0; r < count; ++r) {
+      NodeId n = kInvalidNode;
+      if (!d.GetU32(&n)) {
+        return false;
+      }
+      replicas.push_back(n);
+    }
+    shards->push_back(std::move(replicas));
+  }
+  return true;
+}
 
 }  // namespace lazylog
 

@@ -42,7 +42,15 @@ ErwinCluster::ErwinCluster(const ErwinClusterOptions& options) : options_(option
 
   if (options_.with_control_plane) {
     controller_ = std::make_unique<Controller>(net_.get(), options_.params, zk_->node_id());
-    controller_->Start(seq_config, seq_config[0], AllShardServers());
+    std::vector<std::vector<NodeId>> shard_matrix;
+    for (const auto& shard : shards_) {
+      std::vector<NodeId> ids;
+      for (const auto& rep : shard) {
+        ids.push_back(rep->node_id());
+      }
+      shard_matrix.push_back(std::move(ids));
+    }
+    controller_->Start(seq_config, seq_config[0], std::move(shard_matrix));
     // Let sessions/ephemerals establish before traffic starts.
     loop_.RunUntil(loop_.Now() + 2 * options_.params.control.session_heartbeat_ns);
   }
@@ -93,6 +101,10 @@ ClusterView ErwinCluster::MakeView() const {
     }
     view.shards.push_back(std::move(ids));
   }
+  if (controller_) {
+    view.zk = zk_->node_id();
+    view.shard_epoch = controller_->shard_epoch();
+  }
   return view;
 }
 
@@ -141,6 +153,9 @@ std::vector<NodeId> ErwinCluster::AddShard() {
     seq->AddShard(ids[0], ids);
   }
   shards_.push_back(std::move(replicas));
+  if (controller_) {
+    controller_->AddShard(ids);
+  }
   return ids;
 }
 
@@ -155,13 +170,9 @@ NodeId ErwinCluster::ReplaceShardReplica(uint32_t shard, uint32_t replica_index)
   auto fresh = std::make_unique<ShardServer>(net_.get(), options_.params, mode, shard,
                                              static_cast<uint32_t>(shards_.size()));
   const NodeId new_node = fresh->node_id();
-  // Copy ordered + unordered state from a live replica (the primary).
-  fresh->CopyStateFrom(shards_[shard][0]->node_id(), [](Status s) {
-    LL_CHECK(s.ok(), "shard state copy failed: " + s.ToString());
-  });
-  // Install the replacement in the replica set and the orderers' broadcast lists. The
-  // old server object stays alive (inert behind its crashed network node) so its
-  // still-scheduled timers cannot dangle.
+  // Install the replacement in the shard's replica set. The old server object stays
+  // alive (inert behind its crashed network node) so its still-scheduled timers cannot
+  // dangle.
   retired_shards_.push_back(std::move(shards_[shard][replica_index]));
   shards_[shard][replica_index] = std::move(fresh);
   std::vector<NodeId> ids;
@@ -171,8 +182,23 @@ NodeId ErwinCluster::ReplaceShardReplica(uint32_t shard, uint32_t replica_index)
   for (auto& rep : shards_[shard]) {
     rep->SetReplicaSet(ids);
   }
-  for (auto& seq : seq_replicas_) {
-    seq->ReplaceShardServer(old_node, new_node);
+  if (controller_) {
+    // Real membership change through the control plane: state copy over RPC, config
+    // persisted to ZK under a bumped epoch, sequencing replicas re-wired via RPC.
+    // Clients discover the change by refreshing "/shards/config".
+    controller_->ReplaceShardReplica(shard, replica_index, new_node, [](Status s) {
+      if (!s.ok()) {
+        LLOG(kError) << "controller shard replacement failed: " << s.ToString();
+      }
+    });
+  } else {
+    // No control plane (unit fixtures): copy state and re-wire the orderers directly.
+    shards_[shard][replica_index]->CopyStateFrom(shards_[shard][0]->node_id(), [](Status s) {
+      LL_CHECK(s.ok(), "shard state copy failed: " + s.ToString());
+    });
+    for (auto& seq : seq_replicas_) {
+      seq->ReplaceShardServer(old_node, new_node);
+    }
   }
   return new_node;
 }

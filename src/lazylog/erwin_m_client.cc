@@ -3,12 +3,17 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/control/zookeeper.h"
 
 namespace lazylog {
 
 ErwinMClient::ErwinMClient(Network* net, const SimParams& params, ClusterView view,
                            ClientId client_id)
-    : endpoint_(net), params_(params), view_(std::move(view)), client_id_(client_id) {}
+    : endpoint_(net),
+      params_(params),
+      view_(std::move(view)),
+      client_id_(client_id),
+      rng_(params.seed ^ (0xc11e47a5ULL + client_id)) {}
 
 // --- append ------------------------------------------------------------------------------
 
@@ -73,11 +78,15 @@ void ErwinMClient::ProbeThen(std::function<void()> then, int attempt) {
         bool usable = false;
         if (s.ok()) {
           Decoder d(body);
-          usable = resp.Decode(d) && !resp.sealed && !resp.config.empty();
+          // Only adopt views at least as new as ours: a partitioned straggler still in
+          // an older (fenced-off) view must not drag the client backwards.
+          usable = resp.Decode(d) && !resp.sealed && !resp.config.empty() &&
+                   resp.view >= view_.view;
         }
         if (!usable) {
           endpoint_.loop()->Schedule(
-              1 * kMs, [this, then = std::move(then), attempt]() mutable {
+              RetryBackoffNs(static_cast<uint32_t>(attempt), rng_.NextDouble()),
+              [this, then = std::move(then), attempt]() mutable {
                 ProbeThen(std::move(then), attempt + 1);
               });
           return;
@@ -92,16 +101,41 @@ void ErwinMClient::ProbeThen(std::function<void()> then, int attempt) {
       2 * kMs);
 }
 
+void ErwinMClient::RefreshShardConfig(std::function<void()> then) {
+  if (view_.zk == kInvalidNode) {
+    then();
+    return;
+  }
+  ZkClient zk(&endpoint_, view_.zk);
+  zk.GetData(
+      "/shards/config",
+      [this, then = std::move(then)](Status s, std::string data, uint64_t) mutable {
+        if (s.ok()) {
+          uint64_t epoch = 0;
+          std::vector<std::vector<NodeId>> shards;
+          if (DecodeShardConfig(data, &epoch, &shards) && epoch > view_.shard_epoch) {
+            view_.shard_epoch = epoch;
+            view_.shards = std::move(shards);
+          }
+        }
+        then();
+      },
+      5 * kMs);
+}
+
 void ErwinMClient::ResolveConfig() {
-  // Probe until an unsealed view is found, then resend every queued append under it
-  // (same record ids; replicas filter duplicates).
+  // Probe until an unsealed view is found, refresh the shard membership, then resend
+  // every queued append under the new config (same record ids; replicas filter
+  // duplicates).
   ProbeThen([this]() {
-    resolving_config_ = false;
-    auto queued = std::move(retry_queue_);
-    retry_queue_.clear();
-    for (auto& p : queued) {
-      SendAppend(std::move(p));
-    }
+    RefreshShardConfig([this]() {
+      resolving_config_ = false;
+      auto queued = std::move(retry_queue_);
+      retry_queue_.clear();
+      for (auto& p : queued) {
+        SendAppend(std::move(p));
+      }
+    });
   });
 }
 
@@ -112,6 +146,10 @@ void ErwinMClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
     cb(Status::Ok(), {});
     return;
   }
+  ReadAttempt(from, len, std::move(cb), 0);
+}
+
+void ErwinMClient::ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int attempt) {
   const uint32_t n = view_.num_shards();
   struct MergeState {
     std::vector<PositionedRecord> all;
@@ -130,21 +168,36 @@ void ErwinMClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
     req.len = static_cast<uint32_t>((len - offset + n - 1) / n);
     subs.emplace_back(s, req);
   }
-  auto gather = Gather::Create(subs.size(), [state, cb](const std::vector<Status>& ss) {
-    for (const Status& s : ss) {
-      if (!s.ok()) {
-        cb(s, {});
-        return;
-      }
-    }
-    if (!state->failure.ok()) {
-      cb(state->failure, {});
-      return;
-    }
-    std::sort(state->all.begin(), state->all.end(),
-              [](const PositionedRecord& a, const PositionedRecord& b) { return a.pos < b.pos; });
-    cb(Status::Ok(), std::move(state->all));
-  });
+  auto gather = Gather::Create(
+      subs.size(), [this, state, from, len, cb, attempt](const std::vector<Status>& ss) {
+        for (const Status& s : ss) {
+          if (!s.ok()) {
+            if (attempt >= 10) {
+              cb(s, {});
+              return;
+            }
+            // Target unreachable (possibly a replaced replica) or a slow-path wait
+            // outlived the attempt timeout: refresh the shard membership from ZK and
+            // retry with backoff.
+            RefreshShardConfig([this, from, len, cb, attempt]() {
+              endpoint_.loop()->Schedule(
+                  RetryBackoffNs(static_cast<uint32_t>(attempt), rng_.NextDouble()),
+                  [this, from, len, cb, attempt]() {
+                    ReadAttempt(from, len, cb, attempt + 1);
+                  });
+            });
+            return;
+          }
+        }
+        if (!state->failure.ok()) {
+          cb(state->failure, {});
+          return;
+        }
+        std::sort(
+            state->all.begin(), state->all.end(),
+            [](const PositionedRecord& a, const PositionedRecord& b) { return a.pos < b.pos; });
+        cb(Status::Ok(), std::move(state->all));
+      });
   for (size_t i = 0; i < subs.size(); ++i) {
     const auto& [shard, req] = subs[i];
     // Spread reads over the shard's replicas.
@@ -166,7 +219,7 @@ void ErwinMClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
                         }
                         slot(std::move(s), "");
                       },
-                      0 /* slow-path reads may wait arbitrarily long */);
+                      params_.rpc_timeout_ns);
   }
 }
 
@@ -192,6 +245,7 @@ void ErwinMClient::CheckTailAttempt(TailCallback cb, int attempt) {
                      cb(Status::Internal("bad tail response"), 0, 0);
                      return;
                    }
+                   last_tail_view_ = resp.view;
                    cb(Status::Ok(), resp.durable, resp.stable);
                  },
                  5 * kMs);

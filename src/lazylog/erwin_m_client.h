@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "src/common/params.h"
+#include "src/common/random.h"
 #include "src/lazylog/cluster_view.h"
 #include "src/lazylog/shared_log_client.h"
 #include "src/rpc/rpc.h"
@@ -37,18 +38,12 @@ class ErwinMClient : public SharedLogClient {
   // Number of view changes this client has observed (tests).
   uint64_t view_changes() const { return view_changes_; }
   ViewId view() const { return view_.view; }
+  // View that served the most recent successful CheckTail (the durable count may
+  // legitimately shrink across views when an uncommitted suffix is dropped; oracles
+  // scope durable-monotonicity per view using this).
+  ViewId last_tail_view() const { return last_tail_view_; }
+  uint64_t shard_epoch() const { return view_.shard_epoch; }
   ClientId client_id() const { return client_id_; }
-  // Installs a shard-replica replacement in this client's view (deployments would learn
-  // it through the control plane); reads to the retired node would hang forever.
-  void ReplaceShardNode(NodeId old_node, NodeId new_node) {
-    for (auto& shard : view_.shards) {
-      for (NodeId& n : shard) {
-        if (n == old_node) {
-          n = new_node;
-        }
-      }
-    }
-  }
   // RPC outcome counters (chaos reports: how much of a run hit timeouts/retries).
   const RpcStats& rpc_stats() const { return endpoint_.stats(); }
 
@@ -63,8 +58,14 @@ class ErwinMClient : public SharedLogClient {
   void SendAppend(std::shared_ptr<PendingAppend> p);
   void EnqueueRetry(std::shared_ptr<PendingAppend> p);
   void ResolveConfig();
-  // Probes replicas until an unsealed view is found, adopts it, then runs `then`.
+  // Probes replicas until an unsealed view at least as new as ours is found, adopts it,
+  // then runs `then`. Retries use jittered exponential backoff (RetryBackoffNs) so a
+  // herd of clients deposed by the same view change does not probe in lockstep.
   void ProbeThen(std::function<void()> then, int attempt = 0);
+  // Re-reads "/shards/config" from ZK and adopts it if its epoch is newer; runs `then`
+  // regardless of outcome. No-op without a control plane.
+  void RefreshShardConfig(std::function<void()> then);
+  void ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int attempt);
   void CheckTailAttempt(TailCallback cb, int attempt);
   void TrimAttempt(LogPos index, TrimCallback cb, int attempt);
   void PollStable(LogPos target, AppendCallback cb);
@@ -73,10 +74,12 @@ class ErwinMClient : public SharedLogClient {
   SimParams params_;
   ClusterView view_;
   ClientId client_id_;
+  Rng rng_;  // jitter for config-refresh backoff; seeded per client
   RequestId next_request_id_ = 1;
   bool resolving_config_ = false;
   size_t probe_cursor_ = 0;
   uint64_t view_changes_ = 0;
+  ViewId last_tail_view_ = 0;
   std::deque<std::shared_ptr<PendingAppend>> retry_queue_;
 };
 

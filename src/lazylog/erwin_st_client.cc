@@ -3,12 +3,17 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/control/zookeeper.h"
 
 namespace lazylog {
 
 ErwinStClient::ErwinStClient(Network* net, const SimParams& params, ClusterView view,
                              ClientId client_id)
-    : endpoint_(net), params_(params), view_(std::move(view)), client_id_(client_id) {
+    : endpoint_(net),
+      params_(params),
+      view_(std::move(view)),
+      client_id_(client_id),
+      rng_(params.seed ^ (0xc11e47a5ULL + client_id)) {
   rr_cursor_ = client_id;  // decorrelate shard choice across clients
 }
 
@@ -101,11 +106,15 @@ void ErwinStClient::ProbeThen(std::function<void()> then, int attempt) {
         bool usable = false;
         if (s.ok()) {
           Decoder d(body);
-          usable = resp.Decode(d) && !resp.sealed && !resp.config.empty();
+          // Only adopt views at least as new as ours: a partitioned straggler still in
+          // an older (fenced-off) view must not drag the client backwards.
+          usable = resp.Decode(d) && !resp.sealed && !resp.config.empty() &&
+                   resp.view >= view_.view;
         }
         if (!usable) {
           endpoint_.loop()->Schedule(
-              1 * kMs, [this, then = std::move(then), attempt]() mutable {
+              RetryBackoffNs(static_cast<uint32_t>(attempt), rng_.NextDouble()),
+              [this, then = std::move(then), attempt]() mutable {
                 ProbeThen(std::move(then), attempt + 1);
               });
           return;
@@ -117,16 +126,47 @@ void ErwinStClient::ProbeThen(std::function<void()> then, int attempt) {
       2 * kMs);
 }
 
+void ErwinStClient::RefreshShardConfig(std::function<void()> then) {
+  if (view_.zk == kInvalidNode) {
+    then();
+    return;
+  }
+  ZkClient zk(&endpoint_, view_.zk);
+  zk.GetData(
+      "/shards/config",
+      [this, then = std::move(then)](Status s, std::string data, uint64_t) mutable {
+        if (s.ok()) {
+          uint64_t epoch = 0;
+          std::vector<std::vector<NodeId>> shards;
+          if (DecodeShardConfig(data, &epoch, &shards) && epoch > view_.shard_epoch) {
+            view_.shard_epoch = epoch;
+            // Runtime-added shards may not be in ZK yet; keep any tail beyond the
+            // controller's matrix.
+            for (size_t s2 = shards.size(); s2 < view_.shards.size(); ++s2) {
+              shards.push_back(view_.shards[s2]);
+            }
+            view_.shards = std::move(shards);
+          }
+        }
+        then();
+      },
+      5 * kMs);
+}
+
 void ErwinStClient::ResolveConfig() {
   ProbeThen([this]() {
-    resolving_config_ = false;
-    auto queued = std::move(retry_queue_);
-    retry_queue_.clear();
-    // Retries keep their record id and target shard: the first metadata write to
-    // reach the ordering decides, and every layer filters duplicates.
-    for (auto& p : queued) {
-      SendAppend(std::move(p));
-    }
+    // A failed data write may mean a replaced shard replica rather than a sequencing
+    // view change; refresh both before resending.
+    RefreshShardConfig([this]() {
+      resolving_config_ = false;
+      auto queued = std::move(retry_queue_);
+      retry_queue_.clear();
+      // Retries keep their record id and target shard: the first metadata write to
+      // reach the ordering decides, and every layer filters duplicates.
+      for (auto& p : queued) {
+        SendAppend(std::move(p));
+      }
+    });
   });
 }
 
@@ -170,7 +210,7 @@ void ErwinStClient::FetchPosMap(LogPos needed_end, std::function<void()> then) {
   const auto& replicas = view_.shards[0];
   const NodeId target = replicas[client_id_ % replicas.size()];
   endpoint_.CallMsg(target, kShardPosMap, req,
-                    [this, then = std::move(then)](Status s, const std::string& body) {
+                    [this, then = std::move(then)](Status s, const std::string& body) mutable {
                       if (s.ok()) {
                         ShardPosMapResp resp;
                         Decoder d(body);
@@ -179,8 +219,12 @@ void ErwinStClient::FetchPosMap(LogPos needed_end, std::function<void()> then) {
                             posmap_.push_back(static_cast<uint32_t>(sid));
                           }
                         }
+                        then();
+                        return;
                       }
-                      then();
+                      // The mapping server may have been replaced out from under us;
+                      // refresh the shard membership before the caller's retry.
+                      RefreshShardConfig(std::move(then));
                     },
                     params_.rpc_timeout_ns);
 }
@@ -216,10 +260,21 @@ void ErwinStClient::DoRead(std::shared_ptr<PendingRead> rd) {
     const auto& replicas = view_.shards[sid];
     subs.emplace_back(replicas[client_id_ % replicas.size()], req);
   }
-  auto gather = Gather::Create(subs.size(), [state, rd](const std::vector<Status>& ss) {
+  auto gather = Gather::Create(subs.size(), [this, state, rd](const std::vector<Status>& ss) {
     for (const Status& s : ss) {
       if (!s.ok()) {
-        rd->cb(s, {});
+        if (rd->attempts >= 10) {
+          rd->cb(s, {});
+          return;
+        }
+        // Target unreachable (possibly a replaced replica) or a slow-path wait outlived
+        // the attempt timeout: refresh the shard membership and retry with backoff.
+        rd->attempts++;
+        RefreshShardConfig([this, rd]() {
+          endpoint_.loop()->Schedule(
+              RetryBackoffNs(static_cast<uint32_t>(rd->attempts), rng_.NextDouble()),
+              [this, rd]() { TryRead(rd); });
+        });
         return;
       }
     }
@@ -248,7 +303,7 @@ void ErwinStClient::DoRead(std::shared_ptr<PendingRead> rd) {
                         }
                         slot(std::move(s), "");
                       },
-                      0);
+                      params_.rpc_timeout_ns);
   }
 }
 
@@ -273,6 +328,7 @@ void ErwinStClient::CheckTailAttempt(TailCallback cb, int attempt) {
                      cb(Status::Internal("bad tail response"), 0, 0);
                      return;
                    }
+                   last_tail_view_ = resp.view;
                    cb(Status::Ok(), resp.durable, resp.stable);
                  },
                  5 * kMs);

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "src/common/params.h"
+#include "src/common/random.h"
 #include "src/lazylog/cluster_view.h"
 #include "src/lazylog/shared_log_client.h"
 #include "src/rpc/rpc.h"
@@ -44,17 +45,10 @@ class ErwinStClient : public SharedLogClient {
 
   uint64_t posmap_fetches() const { return posmap_fetches_; }
   ClientId client_id() const { return client_id_; }
-  // Installs a shard-replica replacement in this client's view (deployments would learn
-  // it through the control plane); writes/reads to the retired node would hang forever.
-  void ReplaceShardNode(NodeId old_node, NodeId new_node) {
-    for (auto& shard : view_.shards) {
-      for (NodeId& n : shard) {
-        if (n == old_node) {
-          n = new_node;
-        }
-      }
-    }
-  }
+  ViewId view() const { return view_.view; }
+  // View that served the most recent successful CheckTail (see ErwinMClient).
+  ViewId last_tail_view() const { return last_tail_view_; }
+  uint64_t shard_epoch() const { return view_.shard_epoch; }
   // RPC outcome counters (chaos reports: how much of a run hit timeouts/retries).
   const RpcStats& rpc_stats() const { return endpoint_.stats(); }
 
@@ -70,12 +64,18 @@ class ErwinStClient : public SharedLogClient {
     LogPos from = 0;
     uint64_t len = 0;
     ReadCallback cb;
+    int attempts = 0;
   };
 
   void SendAppend(std::shared_ptr<PendingAppend> p);
   void EnqueueRetry(std::shared_ptr<PendingAppend> p);
   void ResolveConfig();
+  // Probes replicas until an unsealed view at least as new as ours is found; retries
+  // use jittered exponential backoff (RetryBackoffNs) to avoid a thundering herd.
   void ProbeThen(std::function<void()> then, int attempt = 0);
+  // Re-reads "/shards/config" from ZK and adopts it if its epoch is newer; runs `then`
+  // regardless of outcome. No-op without a control plane.
+  void RefreshShardConfig(std::function<void()> then);
   void CheckTailAttempt(TailCallback cb, int attempt);
   void TrimAttempt(LogPos index, TrimCallback cb, int attempt);
   void TryRead(std::shared_ptr<PendingRead> rd);
@@ -86,10 +86,12 @@ class ErwinStClient : public SharedLogClient {
   SimParams params_;
   ClusterView view_;
   ClientId client_id_;
+  Rng rng_;  // jitter for config-refresh backoff; seeded per client
   RequestId next_request_id_ = 1;
   uint64_t rr_cursor_ = 0;  // round-robin shard choice
   bool resolving_config_ = false;
   size_t probe_cursor_ = 0;
+  ViewId last_tail_view_ = 0;
   std::deque<std::shared_ptr<PendingAppend>> retry_queue_;
 
   // Position->shard cache: posmap_[p] is the shard of position p; dense from 0.

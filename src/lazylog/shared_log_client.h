@@ -14,15 +14,27 @@
 #ifndef SRC_LAZYLOG_SHARED_LOG_CLIENT_H_
 #define SRC_LAZYLOG_SHARED_LOG_CLIENT_H_
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "src/common/params.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/storage/shard_messages.h"
 
 namespace lazylog {
+
+// Jittered exponential backoff for client config re-resolution (STALE_VIEW / sealed /
+// unreachable-leader retries). Pure so tests can assert the spread: `attempt` doubles
+// the base up to a cap, and `jitter01` (uniform in [0, 1)) scatters concurrent clients
+// so a view change does not produce a thundering herd of simultaneous probes.
+inline uint64_t RetryBackoffNs(uint32_t attempt, double jitter01) {
+  const uint64_t base =
+      std::min<uint64_t>(8 * kMs, (250 * kUs) << std::min<uint32_t>(attempt, 5u));
+  return base / 2 + static_cast<uint64_t>(static_cast<double>(base / 2) * jitter01);
+}
 
 class SharedLogClient {
  public:
@@ -38,6 +50,12 @@ class SharedLogClient {
   using TrimCallback = std::function<void(Status)>;
 
   virtual ~SharedLogClient() = default;
+
+  // View that served the most recent successful checkTail. 0 where views do not apply
+  // (the eager baselines run a single static configuration). The chaos oracles use this
+  // to scope per-client durable-tail monotonicity per view: the durable tail may shrink
+  // across a view change (an uncommitted suffix is legally dropped), never within one.
+  virtual ViewId last_tail_view() const { return 0; }
 
   virtual void Append(std::string payload, AppendCallback cb) = 0;
   virtual void Read(LogPos from, uint64_t len, ReadCallback cb) = 0;

@@ -28,6 +28,7 @@ inline constexpr MethodId kSeqStartView = 205;     // controller -> replica
 inline constexpr MethodId kSeqCheckTail = 206;     // client -> leader
 inline constexpr MethodId kSeqGetConfig = 207;     // client -> any replica: view/config probe
 inline constexpr MethodId kSeqTrim = 208;          // client -> leader
+inline constexpr MethodId kSeqUpdateShards = 209;  // controller -> replica: shard membership
 
 // --- storage shards: 300 block ---
 inline constexpr MethodId kShardAppendBatch = 300;   // orderer -> primary: ordered records
@@ -43,6 +44,8 @@ inline constexpr MethodId kShardReplicateMeta = 309; // Erwin-st primary -> back
 inline constexpr MethodId kShardReplicateNoOp = 310; // Erwin-st primary -> backup no-op fix
 inline constexpr MethodId kShardFetchRecord = 311;   // Erwin-st backup -> primary repair
 inline constexpr MethodId kShardFetchState = 312;    // replacement replica -> live replica
+inline constexpr MethodId kShardSeal = 313;          // controller -> shard: fence old epochs
+inline constexpr MethodId kShardCopyState = 314;     // controller -> replacement: pull state
 
 // --- Corfu baseline: 400 block ---
 inline constexpr MethodId kCorfuNextPos = 400;   // sequencer: hand out next position

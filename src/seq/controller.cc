@@ -7,13 +7,26 @@
 
 namespace lazylog {
 
+namespace {
+// Bounded per-attempt timeouts for control-plane retry loops. Short enough that a
+// reconfiguration under an asymmetric partition makes progress as soon as the relevant
+// link heals, long enough to cover healthy RTTs with queueing.
+constexpr uint64_t kFenceAttemptTimeoutNs = 1 * kMs;
+constexpr uint64_t kFenceRetryNs = 500 * kUs;
+constexpr uint64_t kZkOpTimeoutNs = 10 * kMs;
+constexpr uint64_t kZkRetryNs = 2 * kMs;
+constexpr uint64_t kStartViewAttemptTimeoutNs = 5 * kMs;
+constexpr uint64_t kStartViewRetryNs = 1 * kMs;
+constexpr uint64_t kResealIntervalNs = 2 * kMs;
+}  // namespace
+
 Controller::Controller(Network* net, const SimParams& params, NodeId zk_node)
     : endpoint_(net), params_(params), zk_(&endpoint_, zk_node) {}
 
 void Controller::Start(std::vector<NodeId> seq_replicas, NodeId initial_leader,
-                       std::vector<NodeId> all_shard_servers) {
+                       std::vector<std::vector<NodeId>> shards) {
   seq_replicas_ = seq_replicas;
-  all_shard_servers_ = std::move(all_shard_servers);
+  shards_ = std::move(shards);
   // Initial config: leader first, then the rest in index order.
   config_.clear();
   config_.push_back(initial_leader);
@@ -27,6 +40,21 @@ void Controller::Start(std::vector<NodeId> seq_replicas, NodeId initial_leader,
       OnReplicaDown(path);
     }
   });
+  // Persist the initial shard membership so clients can resolve it from ZK.
+  WriteShardConfig(nullptr);
+  // Watch notifications are fire-and-forget and may be lost; poll as a backstop.
+  endpoint_.loop()->Schedule(2 * params_.control.session_heartbeat_ns,
+                             [this]() { ReconcilePoll(); });
+}
+
+std::vector<NodeId> Controller::AllShardServers() const {
+  std::vector<NodeId> ids;
+  for (const auto& shard : shards_) {
+    for (NodeId n : shard) {
+      ids.push_back(n);
+    }
+  }
+  return ids;
 }
 
 void Controller::OnReplicaDown(const std::string& path) {
@@ -50,52 +78,189 @@ void Controller::OnReplicaDown(const std::string& path) {
   RunReconfiguration();
 }
 
-void Controller::RunReconfiguration() { SealAll(); }
+void Controller::RunReconfiguration() { SealAll(0); }
 
-void Controller::SealAll() {
-  // Seal every replica of the current config; once a replica is sealed no new record
-  // can commit in the old view (clients need acks from *all* replicas in one view).
-  SeqSealReq seal{view_};
-  Encoder enc;
-  seal.Encode(enc);
-  const std::string body = enc.Take();
-  auto live = std::make_shared<std::vector<NodeId>>();
+void Controller::SealAll(uint32_t attempt) {
+  // Seal every reachable replica of the current config *and* fence every shard server
+  // into the next epoch, in parallel. Once a replica is sealed no new record can commit
+  // in the old view (clients need acks from *all* replicas in one view); once the
+  // shards are fenced a deposed-but-partitioned leader can neither bind positions nor
+  // advance stable-gp (STALE_VIEW), which is what makes recovery safe under asymmetric
+  // partitions where the old leader never sees a seal.
+  const ViewId fence_view = view_ + 1;
   std::vector<NodeId> targets;
   for (NodeId n : config_) {
     if (known_dead_.count(n) == 0) {
       targets.push_back(n);
     }
   }
-  auto gather = Gather::Create(targets.size(), [this, live, targets](const std::vector<Status>& ss) {
-    std::vector<NodeId> live_nodes;
-    for (size_t i = 0; i < ss.size(); ++i) {
-      if (ss[i].ok()) {
-        live_nodes.push_back(targets[i]);
-      }
+
+  auto join = std::make_shared<int>(2);
+  auto live_nodes = std::make_shared<std::vector<NodeId>>();
+  auto proceed = [this, join, live_nodes, attempt]() {
+    if (--*join > 0) {
+      return;
     }
-    if (live_nodes.empty()) {
-      LLOG(kError) << "controller: no live sequencing replicas; staying unavailable";
-      reconfiguring_ = false;
+    if (live_nodes->empty()) {
+      // Nobody sealed (every live member unreachable). Consistency is already protected
+      // by the shard fence; retry with backoff until a link heals or an ephemeral
+      // expires and updates known_dead_.
+      LLOG(kWarn) << "controller: seal round " << attempt << " reached no replica; retrying";
+      const uint64_t backoff = (1 + std::min<uint32_t>(attempt, 8)) * kMs;
+      endpoint_.loop()->Schedule(backoff, [this, attempt]() { SealAll(attempt + 1); });
       return;
     }
     timing_.sealed_at = endpoint_.loop()->Now();
     // Prefer the old leader as recovery replica when alive (its log already defines the
     // order in flight); otherwise any live replica is safe (§4.5 correctness sketch).
-    NodeId recovery = live_nodes[0];
-    for (NodeId n : live_nodes) {
+    NodeId recovery = (*live_nodes)[0];
+    for (NodeId n : *live_nodes) {
       if (n == config_[0]) {
         recovery = n;
         break;
       }
     }
-    FlushRecovery(std::move(live_nodes), recovery);
-  });
+    FlushRecovery(*live_nodes, recovery, 0);
+  };
+
+  // Fence the storage tier.
+  auto all_shards = AllShardServers();
+  auto pending = std::make_shared<std::set<NodeId>>(all_shards.begin(), all_shards.end());
+  FenceShards(fence_view, pending, proceed);
+
+  // Seal the sequencing tier.
+  if (targets.empty()) {
+    proceed();
+    return;
+  }
+  SeqSealReq seal{view_};
+  Encoder enc;
+  seal.Encode(enc);
+  const std::string body = enc.Take();
+  const ViewId sealed_view = view_;
+  auto gather = Gather::Create(
+      targets.size(),
+      [this, live_nodes, targets, sealed_view, proceed](const std::vector<Status>& ss) {
+        for (size_t i = 0; i < ss.size(); ++i) {
+          if (ss[i].ok()) {
+            live_nodes->push_back(targets[i]);
+            reseal_pending_.erase(targets[i]);
+          } else if (known_dead_.count(targets[i]) == 0) {
+            // Live but unreachable from here (asymmetric partition): keep trying to
+            // seal it in the background so it stops serving once a link heals. The
+            // shard fence keeps it harmless in the meantime.
+            reseal_pending_[targets[i]] = sealed_view;
+            ResealLoop();
+          }
+        }
+        proceed();
+      });
   for (size_t i = 0; i < targets.size(); ++i) {
     endpoint_.Call(targets[i], kSeqSeal, body, gather->Slot(i), 5 * kMs);
   }
 }
 
-void Controller::FlushRecovery(std::vector<NodeId> live, NodeId recovery) {
+void Controller::FenceShards(ViewId fence_view, std::shared_ptr<std::set<NodeId>> pending,
+                             std::function<void()> done) {
+  // Drop nodes that were replaced (no longer shard members) since the last round.
+  const std::vector<NodeId> current = AllShardServers();
+  for (auto it = pending->begin(); it != pending->end();) {
+    if (std::find(current.begin(), current.end(), *it) == current.end()) {
+      it = pending->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (pending->empty()) {
+    done();
+    return;
+  }
+  ShardSealReq req{fence_view};
+  Encoder enc;
+  req.Encode(enc);
+  const std::string body = enc.Take();
+  const std::vector<NodeId> round(pending->begin(), pending->end());
+  auto gather = Gather::Create(
+      round.size(),
+      [this, fence_view, pending, round, done = std::move(done)](const std::vector<Status>& ss) {
+        for (size_t i = 0; i < ss.size(); ++i) {
+          if (ss[i].ok()) {
+            pending->erase(round[i]);
+          }
+        }
+        if (pending->empty()) {
+          done();
+          return;
+        }
+        endpoint_.loop()->Schedule(kFenceRetryNs, [this, fence_view, pending, done]() {
+          FenceShards(fence_view, pending, done);
+        });
+      });
+  for (size_t i = 0; i < round.size(); ++i) {
+    endpoint_.Call(round[i], kShardSeal, body, gather->Slot(i), kFenceAttemptTimeoutNs);
+  }
+}
+
+void Controller::ResealLoop() {
+  if (reseal_armed_ || reseal_pending_.empty()) {
+    return;
+  }
+  reseal_armed_ = true;
+  endpoint_.loop()->Schedule(kResealIntervalNs, [this]() {
+    reseal_armed_ = false;
+    for (const auto& [node, sealed_view] : reseal_pending_) {
+      SeqSealReq seal{sealed_view};
+      Encoder enc;
+      seal.Encode(enc);
+      endpoint_.Call(node, kSeqSeal, enc.Take(),
+                     [this, node](Status s, const std::string&) {
+                       // WRONG_VIEW means the node already moved to a newer view (it was
+                       // started into the new config); either way it is no longer a
+                       // stale-serving risk.
+                       if (s.ok() || s.code() == StatusCode::kWrongView) {
+                         reseal_pending_.erase(node);
+                       }
+                     },
+                     kFenceAttemptTimeoutNs);
+    }
+    ResealLoop();
+  });
+}
+
+void Controller::ReconcilePoll() {
+  // ZK watch fires ride an unacknowledged one-shot message; a loss window can swallow
+  // the only notification of a replica's death. Reconcile by listing the ephemerals and
+  // synthesizing the missed deletion events. Paths are only trusted as "missing" if a
+  // previous poll saw them, so startup races (ephemerals still being created) are safe.
+  zk_.List(
+      "/seq/replicas/",
+      [this](Status s, std::vector<std::string> paths) {
+        if (s.ok() && !reconfiguring_) {
+          std::set<std::string> present(paths.begin(), paths.end());
+          for (const std::string& p : paths) {
+            seen_paths_.insert(p);
+          }
+          for (size_t i = 0; i < seq_replicas_.size(); ++i) {
+            const NodeId n = seq_replicas_[i];
+            if (known_dead_.count(n) > 0 ||
+                std::find(config_.begin(), config_.end(), n) == config_.end()) {
+              continue;
+            }
+            const std::string path = "/seq/replicas/" + std::to_string(i);
+            if (seen_paths_.count(path) > 0 && present.count(path) == 0) {
+              LLOG(kInfo) << "controller: poll found missed failure of " << path;
+              OnReplicaDown(path);
+              break;  // OnReplicaDown starts a reconfiguration; queue the rest
+            }
+          }
+        }
+        endpoint_.loop()->Schedule(2 * params_.control.session_heartbeat_ns,
+                                   [this]() { ReconcilePoll(); });
+      },
+      kZkOpTimeoutNs);
+}
+
+void Controller::FlushRecovery(std::vector<NodeId> live, NodeId recovery, uint32_t attempt) {
   const ViewId new_view = view_ + 1;
   SeqFlushReq req{new_view};
   Encoder enc;
@@ -108,84 +273,248 @@ void Controller::FlushRecovery(std::vector<NodeId> live, NodeId recovery) {
     }
   }
   endpoint_.Call(recovery, kSeqFetchLog, enc.Take(),
-                 [this, new_config](Status s, const std::string& body) mutable {
-                   if (!s.ok()) {
-                     LLOG(kError) << "controller: flush failed: " << s.ToString();
-                     reconfiguring_ = false;
-                     return;
-                   }
+                 [this, live = std::move(live), recovery, attempt,
+                  new_config = std::move(new_config)](Status s, const std::string& body) mutable {
                    SeqFlushResp resp;
                    Decoder d(body);
-                   if (!resp.Decode(d)) {
-                     reconfiguring_ = false;
+                   if (!s.ok() || !resp.Decode(d)) {
+                     LLOG(kError) << "controller: flush failed: " << s.ToString();
+                     if (attempt + 1 < 3) {
+                       endpoint_.loop()->Schedule(1 * kMs, [this, live = std::move(live),
+                                                            recovery, attempt]() mutable {
+                         FlushRecovery(std::move(live), recovery, attempt + 1);
+                       });
+                     } else {
+                       // The recovery replica is likely gone; restart from sealing with
+                       // whatever known_dead_ the watches have accumulated since.
+                       endpoint_.loop()->Schedule(1 * kMs, [this]() { SealAll(0); });
+                     }
                      return;
                    }
                    timing_.flushed_at = endpoint_.loop()->Now();
                    FinishView(std::move(new_config), resp.new_ordered_gp,
-                              std::move(resp.flushed_ids));
+                              std::move(resp.flushed_ids), 0);
                  },
                  params_.rpc_timeout_ns);
 }
 
 void Controller::FinishView(std::vector<NodeId> new_config, LogPos ordered_gp,
-                            std::vector<WireRecordId> flushed_ids) {
+                            std::vector<WireRecordId> flushed_ids, uint32_t attempt) {
   const ViewId new_view = view_ + 1;
   // Persist the new configuration *before* advancing stable-gp so a partitioned replica
-  // of the old view can never overwrite records exposed afterwards (§4.5).
+  // of the old view can never overwrite records exposed afterwards (§4.5). The write is
+  // retried: a controller<->ZK partition delays the view change but never aborts it.
   Encoder cfg;
   cfg.PutU64(new_view);
   cfg.PutU32(static_cast<uint32_t>(new_config.size()));
   for (NodeId n : new_config) {
     cfg.PutU32(n);
   }
-  zk_.SetData("/seq/config", cfg.Take(), UINT64_MAX,
-              [this, new_config = std::move(new_config), ordered_gp,
-               flushed_ids = std::move(flushed_ids), new_view](Status s) mutable {
+  zk_.SetData(
+      "/seq/config", cfg.Take(), UINT64_MAX,
+      [this, new_config = std::move(new_config), ordered_gp, flushed_ids = std::move(flushed_ids),
+       new_view, attempt](Status s) mutable {
+        if (!s.ok()) {
+          LLOG(kWarn) << "controller: zk config write failed (" << s.ToString()
+                      << "); retrying";
+          endpoint_.loop()->Schedule(
+              kZkRetryNs, [this, new_config = std::move(new_config), ordered_gp,
+                           flushed_ids = std::move(flushed_ids), attempt]() mutable {
+                FinishView(std::move(new_config), ordered_gp, std::move(flushed_ids),
+                           attempt + 1);
+              });
+          return;
+        }
+        timing_.view_written_at = endpoint_.loop()->Now();
+        // Advance stable-gp on the shards: everything flushed is now stable. Stamped
+        // with the new view so it passes the fence raised in SealAll.
+        StableGpMsg stable{new_view, ordered_gp};
+        Encoder se;
+        stable.Encode(se);
+        const std::string sbody = se.Take();
+        for (NodeId n : AllShardServers()) {
+          endpoint_.Call(n, kShardSetStableGp, sbody, nullptr, 0);
+        }
+        // Start the new view on every member, retrying per member until each one
+        // adopted it (a lost StartView would leave a member sealed forever).
+        SeqStartViewReq sv;
+        sv.view = new_view;
+        sv.config.assign(new_config.begin(), new_config.end());
+        sv.ordered_gp = ordered_gp;
+        sv.stable_gp = ordered_gp;
+        sv.flushed_ids = std::move(flushed_ids);
+        Encoder sve;
+        sv.Encode(sve);
+        auto body = std::make_shared<std::string>(sve.Take());
+        auto remaining = std::make_shared<size_t>(new_config.size());
+        for (NodeId member : new_config) {
+          StartViewMember(member, body, new_view,
+                          [this, remaining, new_config, new_view]() {
+                            if (--*remaining > 0) {
+                              return;
+                            }
+                            view_ = new_view;
+                            config_ = new_config;
+                            timing_.new_view_at = endpoint_.loop()->Now();
+                            timing_.complete = true;
+                            reconfiguring_ = false;
+                            LLOG(kInfo) << "controller: view " << new_view << " started";
+                            if (on_reconfigured_) {
+                              on_reconfigured_(timing_);
+                            }
+                            if (pending_failure_) {
+                              pending_failure_ = false;
+                              OnReplicaDown("(queued)");
+                            }
+                          });
+        }
+      },
+      kZkOpTimeoutNs);
+}
+
+void Controller::StartViewMember(NodeId member, std::shared_ptr<std::string> body,
+                                 ViewId new_view, std::function<void()> acked) {
+  endpoint_.Call(member, kSeqStartView, *body,
+                 [this, member, body, new_view, acked = std::move(acked)](
+                     Status s, const std::string&) mutable {
+                   if (s.ok() || s.code() == StatusCode::kWrongView) {
+                     // Adopted (or already past) this view: no longer a reseal target.
+                     reseal_pending_.erase(member);
+                     acked();
+                     return;
+                   }
+                   if (known_dead_.count(member) > 0) {
+                     // Died mid-reconfiguration; the queued failure event will remove it
+                     // from the config. Don't hold the new view hostage.
+                     acked();
+                     return;
+                   }
+                   endpoint_.loop()->Schedule(
+                       kStartViewRetryNs, [this, member, body, new_view,
+                                           acked = std::move(acked)]() mutable {
+                         StartViewMember(member, body, new_view, std::move(acked));
+                       });
+                 },
+                 kStartViewAttemptTimeoutNs);
+}
+
+// --- shard membership ------------------------------------------------------------------
+
+std::string Controller::EncodeShardConfig() const {
+  Encoder e;
+  e.PutU64(shard_epoch_);
+  e.PutU32(static_cast<uint32_t>(shards_.size()));
+  for (const auto& shard : shards_) {
+    e.PutU32(static_cast<uint32_t>(shard.size()));
+    for (NodeId n : shard) {
+      e.PutU32(n);
+    }
+  }
+  return e.Take();
+}
+
+void Controller::WriteShardConfig(std::function<void(Status)> done) {
+  zk_.SetData("/shards/config", EncodeShardConfig(), UINT64_MAX,
+              [this, done = std::move(done)](Status s) mutable {
                 if (!s.ok()) {
-                  LLOG(kError) << "controller: zk config write failed";
-                  reconfiguring_ = false;
+                  LLOG(kWarn) << "controller: shard config write failed; retrying";
+                  endpoint_.loop()->Schedule(kZkRetryNs, [this, done = std::move(done)]() mutable {
+                    WriteShardConfig(std::move(done));
+                  });
                   return;
                 }
-                timing_.view_written_at = endpoint_.loop()->Now();
-                // Advance stable-gp on the shards: everything flushed is now stable.
-                StableGpMsg stable{new_view, ordered_gp};
-                Encoder se;
-                stable.Encode(se);
-                const std::string sbody = se.Take();
-                for (NodeId n : all_shard_servers_) {
-                  endpoint_.Call(n, kShardSetStableGp, sbody, nullptr, 0);
+                if (done) {
+                  done(Status::Ok());
                 }
-                // Start the new view on every member.
-                SeqStartViewReq sv;
-                sv.view = new_view;
-                sv.config.assign(new_config.begin(), new_config.end());
-                sv.ordered_gp = ordered_gp;
-                sv.stable_gp = ordered_gp;
-                sv.flushed_ids = std::move(flushed_ids);
-                Encoder sve;
-                sv.Encode(sve);
-                const std::string svbody = sve.Take();
-                auto gather = Gather::Create(
-                    new_config.size(), [this, new_config, new_view](const std::vector<Status>&) {
-                      view_ = new_view;
-                      config_ = new_config;
-                      timing_.new_view_at = endpoint_.loop()->Now();
-                      timing_.complete = true;
-                      reconfiguring_ = false;
-                      LLOG(kInfo) << "controller: view " << new_view << " started";
-                      if (on_reconfigured_) {
-                        on_reconfigured_(timing_);
-                      }
-                      if (pending_failure_) {
-                        pending_failure_ = false;
-                        OnReplicaDown("(queued)");
-                      }
-                    });
-                for (size_t i = 0; i < new_config.size(); ++i) {
-                  endpoint_.Call(new_config[i], kSeqStartView, svbody, gather->Slot(i),
-                                 params_.rpc_timeout_ns);
-                }
-              });
+              },
+              kZkOpTimeoutNs);
+}
+
+void Controller::ReplaceShardReplica(uint32_t shard, uint32_t replica_index, NodeId new_node,
+                                     std::function<void(Status)> done) {
+  LL_CHECK(shard < shards_.size(), "bad shard index");
+  LL_CHECK(replica_index > 0 && replica_index < shards_[shard].size(),
+           "can only replace a non-primary replica");
+  const NodeId old_node = shards_[shard][replica_index];
+  const NodeId source = shards_[shard][0];
+  ShardCopyStateReq req{source};
+  Encoder enc;
+  req.Encode(enc);
+  auto body = std::make_shared<std::string>(enc.Take());
+  auto attempt_copy = std::make_shared<std::function<void(uint32_t)>>();
+  *attempt_copy = [this, shard, replica_index, old_node, new_node, body, attempt_copy,
+                   done = std::move(done)](uint32_t attempt) mutable {
+    endpoint_.Call(new_node, kShardCopyState, *body,
+                   [this, shard, replica_index, old_node, new_node, attempt, attempt_copy,
+                    done](Status s, const std::string&) mutable {
+                     if (!s.ok()) {
+                       if (attempt + 1 < 5) {
+                         endpoint_.loop()->Schedule(2 * kMs, [attempt_copy, attempt]() {
+                           (*attempt_copy)(attempt + 1);
+                         });
+                       } else if (done) {
+                         done(std::move(s));
+                       }
+                       return;
+                     }
+                     // State installed on the replacement: adopt + persist the new
+                     // membership, then re-wire the sequencing layer.
+                     shards_[shard][replica_index] = new_node;
+                     shard_epoch_++;
+                     WriteShardConfig([this, old_node, new_node, done](Status) mutable {
+                       UpdateSeqShards(old_node, new_node, std::move(done));
+                     });
+                   },
+                   params_.rpc_timeout_ns);
+  };
+  (*attempt_copy)(0);
+}
+
+void Controller::AddShard(std::vector<NodeId> replicas) {
+  shards_.push_back(std::move(replicas));
+  shard_epoch_++;
+  WriteShardConfig(nullptr);
+}
+
+void Controller::UpdateSeqShards(NodeId old_node, NodeId new_node,
+                                 std::function<void(Status)> done) {
+  std::vector<NodeId> targets;
+  for (NodeId n : seq_replicas_) {
+    if (known_dead_.count(n) == 0) {
+      targets.push_back(n);
+    }
+  }
+  if (targets.empty()) {
+    if (done) {
+      done(Status::Ok());
+    }
+    return;
+  }
+  SeqUpdateShardsReq req{old_node, new_node};
+  Encoder enc;
+  req.Encode(enc);
+  auto body = std::make_shared<std::string>(enc.Take());
+  auto remaining = std::make_shared<size_t>(targets.size());
+  auto finish = std::make_shared<std::function<void(Status)>>(std::move(done));
+  for (NodeId member : targets) {
+    auto send = std::make_shared<std::function<void(uint32_t)>>();
+    *send = [this, member, body, send, remaining, finish](uint32_t attempt) {
+      endpoint_.Call(member, kSeqUpdateShards, *body,
+                     [this, member, attempt, send, remaining, finish](Status s,
+                                                                     const std::string&) {
+                       if (!s.ok() && attempt + 1 < 10 && known_dead_.count(member) == 0) {
+                         endpoint_.loop()->Schedule(
+                             2 * kMs, [send, attempt]() { (*send)(attempt + 1); });
+                         return;
+                       }
+                       if (--*remaining == 0 && *finish) {
+                         (*finish)(Status::Ok());
+                       }
+                     },
+                     kStartViewAttemptTimeoutNs);
+    };
+    (*send)(0);
+  }
 }
 
 }  // namespace lazylog

@@ -1,13 +1,23 @@
 // The stateless controller of Erwin's control plane (§4.5). Watches the sequencing
 // replicas' liveness ephemerals in ZooKeeperLite; on a failure it seals the old view,
-// has a recovery replica flush its unordered log to the shards, persists the new
-// configuration to ZooKeeper, advances stable-gp, and starts the new view.
+// fences every storage shard into the new epoch, has a recovery replica flush its
+// unordered log to the shards, persists the new configuration to ZooKeeper, advances
+// stable-gp, and starts the new view. Every step retries under partitions: the
+// controller assumes links heal eventually and never trades consistency for progress
+// (a deposed leader is kept out by the shard fence, not by reachability).
+//
+// The controller also owns shard membership: the replica matrix is persisted to
+// ZooKeeper ("/shards/config", versioned by an epoch) and replica replacement flows
+// through ReplaceShardReplica — state copy over RPC, config write, then re-wiring the
+// sequencing replicas — instead of test-only direct object surgery.
 #ifndef SRC_SEQ_CONTROLLER_H_
 #define SRC_SEQ_CONTROLLER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/common/params.h"
@@ -22,7 +32,7 @@ namespace lazylog {
 struct ReconfigTiming {
   SimTime crash_at = 0;       // set by the test/bench at injection time
   SimTime detected_at = 0;    // ZK watch fired
-  SimTime sealed_at = 0;      // all live replicas sealed
+  SimTime sealed_at = 0;      // all live replicas sealed + all shards fenced
   SimTime flushed_at = 0;     // recovery replica finished flushing
   SimTime view_written_at = 0;  // new config durable in ZK
   SimTime new_view_at = 0;    // StartView delivered; appends can resume
@@ -35,10 +45,24 @@ class Controller {
 
   NodeId node_id() const { return endpoint_.node_id(); }
 
-  // `seq_replicas[i]` must own the ephemeral "/seq/replicas/<i>". The shard servers
-  // receive the stable-gp advance at the end of every reconfiguration.
+  // `seq_replicas[i]` must own the ephemeral "/seq/replicas/<i>". `shards[s]` is shard
+  // s's replica list with `shards[s][0]` the primary; the controller persists it to
+  // "/shards/config" and drives every later membership change through it.
   void Start(std::vector<NodeId> seq_replicas, NodeId initial_leader,
-             std::vector<NodeId> all_shard_servers);
+             std::vector<std::vector<NodeId>> shards);
+
+  // Controller-driven shard-membership change (§5.4 through the control plane): the
+  // replacement server (already reachable on the network) copies state from the shard's
+  // primary over RPC, the new membership is persisted to ZK under a bumped epoch, and
+  // the sequencing replicas re-wire their push/broadcast lists via kSeqUpdateShards.
+  // Clients learn by refreshing "/shards/config". `done` fires once the sequencing
+  // layer has adopted the change.
+  void ReplaceShardReplica(uint32_t shard, uint32_t replica_index, NodeId new_node,
+                           std::function<void(Status)> done = nullptr);
+
+  // Registers a runtime-added shard (Erwin-st §6.9) so fences cover it and clients can
+  // discover it from "/shards/config".
+  void AddShard(std::vector<NodeId> replicas);
 
   // Fired after each completed reconfiguration (tests and Fig 17 use this).
   void OnReconfigured(std::function<void(const ReconfigTiming&)> cb) {
@@ -46,28 +70,57 @@ class Controller {
   }
 
   ViewId view() const { return view_; }
+  uint64_t shard_epoch() const { return shard_epoch_; }
   const ReconfigTiming& last_timing() const { return timing_; }
   const std::vector<NodeId>& current_config() const { return config_; }
 
  private:
   void OnReplicaDown(const std::string& path);
   void RunReconfiguration();
-  void SealAll();
-  // Nodes known dead (their liveness ephemerals vanished); skipped when sealing.
-  std::set<NodeId> known_dead_;
-  void FlushRecovery(std::vector<NodeId> live, NodeId recovery);
+  // Seals the live old-view sequencing replicas and fences every shard server into
+  // view_+1, in parallel; retries with backoff until at least one replica is sealed and
+  // every (still-member) shard server acked the fence.
+  void SealAll(uint32_t attempt);
+  void FenceShards(ViewId fence_view, std::shared_ptr<std::set<NodeId>> pending,
+                   std::function<void()> done);
+  void FlushRecovery(std::vector<NodeId> live, NodeId recovery, uint32_t attempt);
   void FinishView(std::vector<NodeId> new_config, LogPos ordered_gp,
-                  std::vector<WireRecordId> flushed_ids);
+                  std::vector<WireRecordId> flushed_ids, uint32_t attempt);
+  // Per-member StartView with retries; a kWrongView reply means the member already
+  // adopted this (or a later) view and counts as success.
+  void StartViewMember(NodeId member, std::shared_ptr<std::string> body, ViewId new_view,
+                       std::function<void()> acked);
+  // Background re-seal of old-view members that did not ack the seal in time (e.g. a
+  // leader partitioned from the controller but not from clients). Uses the current
+  // view so the target's "stale seal" check passes.
+  void ResealLoop();
+  // ZK watch notifications are droppable; periodically reconcile the ephemeral listing
+  // against the current config and synthesize the missed failure events.
+  void ReconcilePoll();
+  void WriteShardConfig(std::function<void(Status)> done);
+  std::string EncodeShardConfig() const;
+  void UpdateSeqShards(NodeId old_node, NodeId new_node, std::function<void(Status)> done);
+  std::vector<NodeId> AllShardServers() const;
 
   RpcEndpoint endpoint_;
   SimParams params_;
   ZkClient zk_;
   std::vector<NodeId> seq_replicas_;  // all ever-registered replicas, by index
   std::vector<NodeId> config_;        // current view's config; config_[0] = leader
-  std::vector<NodeId> all_shard_servers_;
+  std::vector<std::vector<NodeId>> shards_;  // shard -> replica list, [0] = primary
+  uint64_t shard_epoch_ = 1;
   ViewId view_ = 0;
   bool reconfiguring_ = false;
   bool pending_failure_ = false;
+  // Nodes known dead (their liveness ephemerals vanished); skipped when sealing.
+  std::set<NodeId> known_dead_;
+  // Live old-view members that have not acked a seal yet (asymmetric partitions),
+  // mapped to the view they must be sealed out of.
+  std::map<NodeId, ViewId> reseal_pending_;
+  bool reseal_armed_ = false;
+  // Ephemeral paths ever observed by ReconcilePoll; a path is only treated as a missed
+  // failure once it has been seen and then vanished.
+  std::set<std::string> seen_paths_;
   ReconfigTiming timing_;
   std::function<void(const ReconfigTiming&)> on_reconfigured_;
 };

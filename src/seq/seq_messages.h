@@ -123,12 +123,29 @@ struct SeqStartViewReq {
 struct SeqCheckTailResp {
   LogPos durable = 0;  // number of durable records (ordered + not-yet-ordered)
   LogPos stable = 0;   // number of stable (readable) records
+  ViewId view = 0;     // view that served the tail (durable may shrink across views)
 
   void Encode(Encoder& e) const {
     e.PutU64(durable);
     e.PutU64(stable);
+    e.PutU64(view);
   }
-  bool Decode(Decoder& d) { return d.GetU64(&durable) && d.GetU64(&stable); }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&durable) && d.GetU64(&stable) && d.GetU64(&view);
+  }
+};
+
+// Controller -> sequencing replica: a shard replica was replaced; rewire orderer pushes
+// and stable-gp broadcasts from the failed server to its replacement.
+struct SeqUpdateShardsReq {
+  NodeId old_node = kInvalidNode;
+  NodeId new_node = kInvalidNode;
+
+  void Encode(Encoder& e) const {
+    e.PutU32(old_node);
+    e.PutU32(new_node);
+  }
+  bool Decode(Decoder& d) { return d.GetU32(&old_node) && d.GetU32(&new_node); }
 };
 
 // Any replica -> client: current sequencing configuration (clients probe this after

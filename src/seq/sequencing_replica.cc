@@ -37,6 +37,9 @@ SequencingReplica::SequencingReplica(Network* net, const SimParams& params, Erwi
   endpoint_.Register(kSeqTrim, [this](NodeId, Decoder d, Responder r) {
     HandleTrim(d, std::move(r));
   });
+  endpoint_.Register(kSeqUpdateShards, [this](NodeId, Decoder d, Responder r) {
+    HandleUpdateShards(d, std::move(r));
+  });
 }
 
 void SequencingReplica::Start(std::vector<NodeId> config, std::vector<NodeId> shard_primaries,
@@ -120,7 +123,9 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
     return;
   }
   if (req.view != view_) {
-    r.Send(Status::WrongView());
+    // Stale client view: fenced (the client must re-resolve the config). A view from
+    // the future means *we* missed a StartView; the client retries until it lands.
+    r.Send(req.view < view_ ? Status::StaleView() : Status::WrongView());
     return;
   }
   const uint64_t bytes =
@@ -176,9 +181,19 @@ void SequencingReplica::StartOrderingBatch() {
   const ViewId batch_view = view_;
   PushBatchToShards(std::move(batch), ordered_gp_, batch_view, /*overwrite=*/false,
                     params_.seq.order_push_timeout_ns,
-                    [this, k, ids = std::move(ids), batch_view](bool ok) mutable {
+                    [this, k, ids = std::move(ids), batch_view](bool ok, bool fenced) mutable {
                       if (sealed_ || view_ != batch_view || !is_leader()) {
                         return;  // reconfiguration owns the log now
+                      }
+                      if (fenced) {
+                        // A shard has been fenced into a newer epoch: this replica was
+                        // deposed without hearing its seal (asymmetric partition).
+                        // Self-seal so we stop acking appends and pushing orderings.
+                        LLOG(kInfo) << "t=" << endpoint_.loop()->Now() << " seq node="
+                                    << node_id() << " fenced out by shard; self-sealing view="
+                                    << view_;
+                        sealed_ = true;
+                        return;
                       }
                       if (!ok) {
                         LLOG(kInfo) << "t=" << endpoint_.loop()->Now()
@@ -201,12 +216,15 @@ void SequencingReplica::StartOrderingBatch() {
 
 void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_pos,
                                           ViewId view, bool overwrite, uint64_t timeout_ns,
-                                          std::function<void(bool ok)> done) {
+                                          std::function<void(bool ok, bool fenced)> done) {
   const size_t n_shards = shard_primaries_.size();
   LL_CHECK(n_shards > 0, "ordering without shards");
   auto gather = Gather::Create(n_shards, [done = std::move(done)](const std::vector<Status>& ss) {
     const bool ok = std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
-    done(ok);
+    const bool fenced = std::any_of(ss.begin(), ss.end(), [](const Status& s) {
+      return s.code() == StatusCode::kStaleView;
+    });
+    done(ok, fenced);
   });
   if (mode_ == ErwinMode::kM) {
     // Corfu-style placement: position p lives on shard p mod n (§4.3). Every primary
@@ -267,10 +285,6 @@ void SequencingReplica::OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids)
 
   // Instruct followers to GC and advance their last-ordered-gp; stable-gp may only
   // advance after *all* replicas have done so (§4.5 correctness argument).
-  SeqGcReq gc;
-  gc.view = view_;
-  gc.new_ordered_gp = ordered_gp_;
-  gc.ids = std::move(ids);
   const size_t followers = config_.size() - 1;
   const ViewId gc_view = view_;
   if (followers == 0) {
@@ -283,32 +297,117 @@ void SequencingReplica::OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids)
     }
     return;
   }
-  auto gather = Gather::Create(followers, [this, gc_view](const std::vector<Status>& ss) {
+  // Queue the freshly ordered ids for every follower. A failed GC send stays queued and
+  // is retried (ArmGcRetry) — a follower that silently kept an ordered entry would
+  // re-bind it at a new position if it later flushed as the recovery replica.
+  for (size_t i = 1; i < config_.size(); ++i) {
+    FollowerGc& f = follower_gc_[config_[i]];
+    f.pending.insert(f.pending.end(), ids.begin(), ids.end());
+  }
+  // The ordering pipeline waits for this round of GC sends to complete (acked or not)
+  // before the next batch, preserving the original batch cadence.
+  auto remaining = std::make_shared<size_t>(followers);
+  auto round_done = [this, gc_view, remaining]() {
+    if (--*remaining > 0) {
+      return;
+    }
     if (sealed_ || view_ != gc_view || !is_leader()) {
       return;
     }
-    const bool ok = std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
-    if (!ok) {
-      // A follower is unreachable; stable-gp must not advance. Stall until the control
-      // plane reconfigures (its flush re-establishes the invariant).
-      LLOG(kInfo) << "seq leader: follower gc failed; stalling stable-gp";
-      batch_in_flight_ = false;
-      return;
-    }
-    stable_gp_ = ordered_gp_;
-    NotifyGpObserver();
-    BroadcastStableGp();
     batch_in_flight_ = false;
     if (!log_.empty()) {
       StartOrderingBatch();
     }
-  });
+  };
+  for (size_t i = 1; i < config_.size(); ++i) {
+    SendFollowerGc(config_[i], round_done);
+  }
+}
+
+void SequencingReplica::SendFollowerGc(NodeId follower, std::function<void()> done) {
+  FollowerGc& f = follower_gc_[follower];
+  if (f.inflight || (f.pending.empty() && f.acked_gp >= ordered_gp_)) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  f.inflight = true;
+  SeqGcReq gc;
+  gc.view = view_;
+  gc.new_ordered_gp = ordered_gp_;
+  gc.ids = f.pending;
+  const ViewId gc_view = view_;
+  const LogPos sent_gp = ordered_gp_;
+  const size_t sent = f.pending.size();
   Encoder enc;
   gc.Encode(enc);
-  const std::string body = enc.Take();
-  for (size_t i = 1; i < config_.size(); ++i) {
-    endpoint_.Call(config_[i], kSeqGc, body, gather->Slot(i - 1), params_.rpc_timeout_ns);
+  endpoint_.Call(follower, kSeqGc, enc.Take(),
+                 [this, follower, gc_view, sent_gp, sent, done = std::move(done)](
+                     Status s, const std::string&) {
+                   OnFollowerGcDone(follower, gc_view, sent_gp, sent, s);
+                   if (done) {
+                     done();
+                   }
+                 },
+                 params_.seq.order_push_timeout_ns);
+}
+
+void SequencingReplica::OnFollowerGcDone(NodeId follower, ViewId gc_view, LogPos sent_gp,
+                                         size_t sent, const Status& s) {
+  auto it = follower_gc_.find(follower);
+  if (it == follower_gc_.end()) {
+    return;  // view changed; queues were reset
   }
+  FollowerGc& f = it->second;
+  f.inflight = false;
+  if (sealed_ || view_ != gc_view || !is_leader()) {
+    return;
+  }
+  if (!s.ok()) {
+    LLOG(kInfo) << "t=" << endpoint_.loop()->Now()
+                << " seq leader: follower gc failed (" << s.ToString()
+                << "); stable-gp held, retrying";
+    ArmGcRetry();
+    return;
+  }
+  // Acked: the follower dropped every id we sent (a prefix of the queue — new ids are
+  // only ever appended at the back).
+  f.pending.erase(f.pending.begin(), f.pending.begin() + static_cast<long>(sent));
+  f.acked_gp = std::max(f.acked_gp, sent_gp);
+  if (!f.pending.empty() || f.acked_gp < ordered_gp_) {
+    ArmGcRetry();  // more ids were ordered while this send was in flight
+  }
+  AdvanceStableFromGc();
+}
+
+void SequencingReplica::AdvanceStableFromGc() {
+  LogPos min_acked = ordered_gp_;
+  for (size_t i = 1; i < config_.size(); ++i) {
+    auto it = follower_gc_.find(config_[i]);
+    min_acked = std::min(min_acked, it == follower_gc_.end() ? LogPos{0} : it->second.acked_gp);
+  }
+  if (min_acked > stable_gp_) {
+    stable_gp_ = min_acked;
+    NotifyGpObserver();
+    BroadcastStableGp();
+  }
+}
+
+void SequencingReplica::ArmGcRetry() {
+  if (gc_retry_armed_ || sealed_ || !is_leader()) {
+    return;
+  }
+  gc_retry_armed_ = true;
+  endpoint_.loop()->Schedule(4 * params_.seq.ordering_interval_ns, [this]() {
+    gc_retry_armed_ = false;
+    if (sealed_ || !is_leader()) {
+      return;
+    }
+    for (size_t i = 1; i < config_.size(); ++i) {
+      SendFollowerGc(config_[i], nullptr);
+    }
+  });
 }
 
 void SequencingReplica::BroadcastStableGp() {
@@ -327,8 +426,12 @@ void SequencingReplica::HandleGc(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad gc"));
     return;
   }
-  if (req.view != view_ || sealed_) {
-    r.Send(Status::WrongView());
+  if (sealed_) {
+    r.Send(Status::Sealed());
+    return;
+  }
+  if (req.view != view_) {
+    r.Send(req.view < view_ ? Status::StaleView() : Status::WrongView());
     return;
   }
   cpu_.ExecuteFor(req.ids.size() * 16, [this, req = std::move(req), r]() mutable {
@@ -383,6 +486,13 @@ void SequencingReplica::HandleFlush(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad flush"));
     return;
   }
+  if (last_flush_view_ == req.new_view && !last_flush_resp_.empty()) {
+    // Retried flush (the controller's first response was lost). Return the cached
+    // result: re-running would hand out fresh positions for an empty log and lose the
+    // flushed-ids dedup seed, letting client retries bind the same record twice.
+    r.Send(Status::Ok(), last_flush_resp_);
+    return;
+  }
   LL_CHECK(sealed_, "flush on unsealed replica");
   // Flush this replica's unordered log to the shards, assigning positions from our
   // last-ordered-gp (§4.5). The push overwrites any unstable tail the dead leader wrote.
@@ -395,7 +505,8 @@ void SequencingReplica::HandleFlush(Decoder d, Responder r) {
   const uint64_t k = batch.size();
   PushBatchToShards(std::move(batch), ordered_gp_, req.new_view, /*overwrite=*/true,
                     params_.rpc_timeout_ns,
-                    [this, k, ids = std::move(ids), r](bool ok) mutable {
+                    [this, k, ids = std::move(ids), new_view = req.new_view, r](
+                        bool ok, bool /*fenced*/) mutable {
                       if (!ok) {
                         r.Send(Status::Unavailable("flush push failed"));
                         return;
@@ -412,6 +523,8 @@ void SequencingReplica::HandleFlush(Decoder d, Responder r) {
                       resp.flushed_ids = std::move(ids);
                       Encoder enc;
                       resp.Encode(enc);
+                      last_flush_view_ = new_view;
+                      last_flush_resp_ = enc.data();
                       r.Ok(enc);
                     });
 }
@@ -438,6 +551,8 @@ void SequencingReplica::HandleStartView(Decoder d, Responder r) {
   in_log_.clear();
   sealed_ = false;
   batch_in_flight_ = false;
+  // The flush emptied every new-member log; old-view GC debts are void.
+  follower_gc_.clear();
   NotifyGpObserver();
   if (is_leader() && !ordering_armed_) {
     ordering_armed_ = true;
@@ -453,8 +568,18 @@ void SequencingReplica::HandleCheckTail(Decoder d, Responder r) {
     r.Send(Status::NotLeader());
     return;
   }
+  if (sealed_) {
+    // A sealed (possibly deposed) leader must not serve tails: its durable count may
+    // include entries the new view will drop, and clients must re-resolve the config.
+    r.Send(Status::Sealed());
+    return;
+  }
   cpu_.Execute(cpu_.CostFor(0), [this, r]() mutable {
-    SeqCheckTailResp resp{ordered_gp_ + log_.size(), stable_gp_};
+    if (sealed_) {
+      r.Send(Status::Sealed());
+      return;
+    }
+    SeqCheckTailResp resp{ordered_gp_ + log_.size(), stable_gp_, view_};
     Encoder e;
     resp.Encode(e);
     r.Ok(e);
@@ -469,6 +594,16 @@ void SequencingReplica::HandleGetConfig(Decoder d, Responder r) {
   Encoder e;
   resp.Encode(e);
   r.Ok(e);
+}
+
+void SequencingReplica::HandleUpdateShards(Decoder d, Responder r) {
+  SeqUpdateShardsReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad shard update"));
+    return;
+  }
+  ReplaceShardServer(req.old_node, req.new_node);
+  r.Send(Status::Ok());
 }
 
 void SequencingReplica::HandleTrim(Decoder d, Responder r) {

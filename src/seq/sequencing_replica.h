@@ -90,6 +90,16 @@ class SequencingReplica {
     ShardId shard = 0;
   };
 
+  // Per-follower GC bookkeeping: ids ordered but not yet acknowledged-collected by the
+  // follower. Stable-gp advances only once every follower has drained its queue — a
+  // follower that keeps an already-ordered entry would re-bind it at a fresh position
+  // if it later becomes the recovery replica (§4.5).
+  struct FollowerGc {
+    std::vector<WireRecordId> pending;
+    LogPos acked_gp = 0;
+    bool inflight = false;
+  };
+
   // Handlers.
   void HandleAppend(Decoder d, Responder r);
   void HandleGc(Decoder d, Responder r);
@@ -99,14 +109,22 @@ class SequencingReplica {
   void HandleCheckTail(Decoder d, Responder r);
   void HandleGetConfig(Decoder d, Responder r);
   void HandleTrim(Decoder d, Responder r);
+  void HandleUpdateShards(Decoder d, Responder r);
 
   // Background ordering (leader only).
   void OrderingTick();
   void StartOrderingBatch();
+  // `done(ok, fenced)`: `fenced` is set when a shard rejected the push with STALE_VIEW —
+  // this replica has been sealed out of the current epoch and must stop ordering.
   void PushBatchToShards(std::vector<Entry> batch, LogPos base_pos, ViewId view,
                          bool overwrite, uint64_t timeout_ns,
-                         std::function<void(bool ok)> done);
+                         std::function<void(bool ok, bool fenced)> done);
   void OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids);
+  void SendFollowerGc(NodeId follower, std::function<void()> done);
+  void OnFollowerGcDone(NodeId follower, ViewId gc_view, LogPos sent_gp, size_t sent,
+                        const Status& s);
+  void AdvanceStableFromGc();
+  void ArmGcRetry();
   void BroadcastStableGp();
 
   void NotifyGpObserver() {
@@ -148,6 +166,15 @@ class SequencingReplica {
   bool batch_in_flight_ = false;
   uint64_t max_batch_ = 16384;
   GpObserver gp_observer_;
+
+  // Per-follower GC queues (see FollowerGc).
+  std::unordered_map<NodeId, FollowerGc> follower_gc_;
+  bool gc_retry_armed_ = false;
+
+  // Flush idempotency: a retried flush (lost response) must return the same positions
+  // and flushed ids, or client retries of the flushed records would bind twice.
+  ViewId last_flush_view_ = 0;
+  std::string last_flush_resp_;
 
   SeqStats stats_;
 };

@@ -152,6 +152,25 @@ struct StableGpMsg {
   bool Decode(Decoder& d) { return d.GetU64(&view) && d.GetU64(&stable_gp); }
 };
 
+// Controller -> shard server: fence the epoch. After this, any orderer/data-path message
+// stamped with a view < `new_view` is rejected with STALE_VIEW, so a deposed sequencing
+// leader can neither bind positions nor advance stable-gp on this shard (§4.5 seal).
+struct ShardSealReq {
+  ViewId new_view = 0;
+
+  void Encode(Encoder& e) const { e.PutU64(new_view); }
+  bool Decode(Decoder& d) { return d.GetU64(&new_view); }
+};
+
+// Controller -> replacement shard replica: pull ordered + unordered state from `source`
+// (the shard's primary) via the existing kShardFetchState path.
+struct ShardCopyStateReq {
+  NodeId source = kInvalidNode;
+
+  void Encode(Encoder& e) const { e.PutU32(source); }
+  bool Decode(Decoder& d) { return d.GetU32(&source); }
+};
+
 // Client -> shard: garbage-collect positions < up_to.
 struct TrimMsg {
   LogPos up_to = 0;

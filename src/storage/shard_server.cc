@@ -66,6 +66,12 @@ ShardServer::ShardServer(Network* net, const SimParams& params, ShardMode mode,
   endpoint_.Register(kShardFetchState, [this](NodeId, Decoder d, Responder r) {
     HandleFetchState(d, std::move(r));
   });
+  endpoint_.Register(kShardSeal, [this](NodeId, Decoder d, Responder r) {
+    HandleSeal(d, std::move(r));
+  });
+  endpoint_.Register(kShardCopyState, [this](NodeId, Decoder d, Responder r) {
+    HandleCopyState(d, std::move(r));
+  });
   endpoint_.Register(kShardFetchRecord, [this](NodeId, Decoder d, Responder r) {
     FetchRecordReq req;
     if (!req.Decode(d)) {
@@ -129,6 +135,9 @@ void ShardServer::StoreOrdered(LogPos pos, Record record, bool allow_existing) {
     log_.Overwrite(it->second, std::move(record));
     return;
   }
+  if (fencing_disabled_ && !local_pos_.empty() && pos < local_pos_.back()) {
+    return;  // unfenced split-brain interleaving can regress positions; drop (fixture only)
+  }
   LL_CHECK(local_pos_.empty() || pos > local_pos_.back(), "ordered positions must ascend");
   const uint64_t local = log_.Append(std::move(record));
   local_pos_.push_back(pos);
@@ -178,11 +187,11 @@ void ShardServer::HandleAppendBatch(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad append batch"));
     return;
   }
-  if (req->view < view_) {
-    r.Send(Status::WrongView("stale orderer view"));
+  if (FencedOff(req->view)) {
+    r.Send(Status::StaleView("fenced: stale orderer view"));
     return;
   }
-  view_ = req->view;
+  view_ = std::max(view_, req->view);
   uint64_t bytes = 0;
   for (const auto& pr : req->records) {
     bytes += pr.record.payload.size();
@@ -236,11 +245,11 @@ void ShardServer::HandleReplicate(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad replicate"));
     return;
   }
-  if (req->view < view_) {
-    r.Send(Status::WrongView("stale view"));
+  if (FencedOff(req->view)) {
+    r.Send(Status::StaleView("fenced: stale view"));
     return;
   }
-  view_ = req->view;
+  view_ = std::max(view_, req->view);
   uint64_t bytes = 0;
   for (const auto& pr : req->records) {
     bytes += pr.record.payload.size();
@@ -428,11 +437,11 @@ void ShardServer::HandleOrderMeta(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad order meta"));
     return;
   }
-  if (req->view < view_) {
-    r.Send(Status::WrongView("stale orderer view"));
+  if (FencedOff(req->view)) {
+    r.Send(Status::StaleView("fenced: stale orderer view"));
     return;
   }
-  view_ = req->view;
+  view_ = std::max(view_, req->view);
   cpu_.ExecuteFor(req->entries.size() * params_.seq.metadata_entry_bytes,
                   [this, req, r]() mutable { ProcessOrderMeta(*req, r, /*primary_path=*/true); });
 }
@@ -447,11 +456,11 @@ void ShardServer::HandleReplicateMeta(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad replicate meta"));
     return;
   }
-  if (req->view < view_) {
-    r.Send(Status::WrongView("stale view"));
+  if (FencedOff(req->view)) {
+    r.Send(Status::StaleView("fenced: stale view"));
     return;
   }
-  view_ = req->view;
+  view_ = std::max(view_, req->view);
   cpu_.ExecuteFor(req->entries.size() * params_.seq.metadata_entry_bytes,
                   [this, req, r]() mutable { ProcessOrderMeta(*req, r, /*primary_path=*/false); });
 }
@@ -607,14 +616,16 @@ void ShardServer::HandleSetStableGp(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad stable-gp"));
     return;
   }
-  if (msg.view >= view_) {
-    view_ = msg.view;
-    stable_gp_ = std::max(stable_gp_, msg.stable_gp);
-    if (stable_gp_observer_) {
-      stable_gp_observer_(view_, stable_gp_);
-    }
-    WakeWaiters();
+  if (FencedOff(msg.view)) {
+    r.Send(Status::StaleView("fenced: stale stable-gp"));
+    return;
   }
+  view_ = std::max(view_, msg.view);
+  stable_gp_ = std::max(stable_gp_, msg.stable_gp);
+  if (stable_gp_observer_) {
+    stable_gp_observer_(view_, stable_gp_);
+  }
+  WakeWaiters();
   r.Send(Status::Ok());
 }
 
@@ -675,7 +686,31 @@ void ShardServer::HandleTrim(Decoder d, Responder r) {
   r.Send(Status::Ok());
 }
 
+// --- epoch fencing (§4.5 seal) ---------------------------------------------------------
+
+void ShardServer::HandleSeal(Decoder d, Responder r) {
+  ShardSealReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad shard seal"));
+    return;
+  }
+  // Raise the fence to the new epoch: from now on any data-path message stamped with an
+  // older view gets STALE_VIEW, so a deposed leader can neither bind positions nor move
+  // stable-gp here. The recovery flush (stamped new_view) passes the fence.
+  view_ = std::max(view_, req.new_view);
+  r.Send(Status::Ok());
+}
+
 // --- shard-replica replacement (§5.4) --------------------------------------------------
+
+void ShardServer::HandleCopyState(Decoder d, Responder r) {
+  ShardCopyStateReq req;
+  if (!req.Decode(d) || req.source == kInvalidNode) {
+    r.Send(Status::InvalidArgument("bad copy state"));
+    return;
+  }
+  CopyStateFrom(req.source, [r](Status s) mutable { r.Send(std::move(s)); });
+}
 
 void ShardServer::HandleFetchState(Decoder d, Responder r) {
   // Serialize everything a replacement replica needs: the ordered log with positions,

@@ -79,6 +79,12 @@ class ShardServer {
   // read-gating oracle must catch it.
   void SetReadGateDisabledForTest(bool disabled) { read_gate_disabled_ = disabled; }
 
+  // Test hook (chaos weakened-invariant fixtures): ignore the epoch fence, accepting
+  // orderer pushes and stable-gp advances stamped with sealed-off views. Lets a deposed
+  // sequencing leader keep binding positions; the binding/exactly-once oracles must
+  // catch the resulting split-brain.
+  void SetFencingDisabledForTest(bool disabled) { fencing_disabled_ = disabled; }
+
  private:
   struct BatchAck;
 
@@ -117,6 +123,11 @@ class ShardServer {
   void HandlePosMap(Decoder d, Responder r);
   void HandleTrim(Decoder d, Responder r);
   void HandleFetchState(Decoder d, Responder r);
+  void HandleSeal(Decoder d, Responder r);        // controller -> shard: fence the epoch
+  void HandleCopyState(Decoder d, Responder r);   // controller -> replacement replica
+
+  // True if a message stamped `view` must be rejected as fenced-off.
+  bool FencedOff(ViewId view) const { return view < view_ && !fencing_disabled_; }
 
   // Stores one ordered record locally (append or recovery overwrite).
   void StoreOrdered(LogPos pos, Record record, bool overwrite_tail_done);
@@ -150,6 +161,7 @@ class ShardServer {
   LogPos stable_gp_ = 0;  // positions < stable_gp_ are readable (count semantics)
   bool loading_ = false;  // replacement replica: state copy still in flight
   bool read_gate_disabled_ = false;  // test hook; see SetReadGateDisabledForTest
+  bool fencing_disabled_ = false;    // test hook; see SetFencingDisabledForTest
   StableGpObserver stable_gp_observer_;
 
   // Ordered storage: dense local log + position bookkeeping. local_pos_[i] is the

@@ -190,7 +190,36 @@ TEST(ShardBlackBox, DuplicatePushIsIdempotent) {
 TEST(ShardBlackBox, StaleViewRejected) {
   ShardHarness h(ShardMode::kBlackBox);
   ASSERT_TRUE(h.AppendBatch(5, {PR(0, 1, "a")}).ok());
-  EXPECT_EQ(h.AppendBatch(3, {PR(1, 2, "b")}).code(), StatusCode::kWrongView);
+  // The shard's view doubles as the epoch fence: an older view is told STALE_VIEW so it
+  // re-resolves the configuration instead of treating the shard as misconfigured.
+  EXPECT_EQ(h.AppendBatch(3, {PR(1, 2, "b")}).code(), StatusCode::kStaleView);
+}
+
+TEST(ShardBlackBox, SealFencesOldViewUntilRecoveryFlush) {
+  ShardHarness h(ShardMode::kBlackBox);
+  ASSERT_TRUE(h.AppendBatch(1, {PR(0, 1, "a")}).ok());
+
+  // The controller seals the shard into view 2: the old leader's pushes must bounce
+  // with STALE_VIEW even though nothing in view 2 has arrived yet.
+  ShardSealReq seal{2};
+  Status sealed = Status::Internal("pending");
+  bool done = false;
+  h.client_->CallMsg(h.ids_[0], kShardSeal, seal,
+                     [&](Status s, const std::string&) {
+                       sealed = std::move(s);
+                       done = true;
+                     },
+                     kSec);
+  RunUntilDone(h.loop_, done);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(h.AppendBatch(1, {PR(1, 2, "b")}).code(), StatusCode::kStaleView);
+
+  // The new view's recovery flush passes the fence and serves reads.
+  ASSERT_TRUE(h.AppendBatch(2, {PR(1, 2, "b")}).ok());
+  h.SetStable(2, 2);
+  auto r = h.Read(0, 2, true);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 2u);
 }
 
 TEST(ShardBlackBox, RecoveryOverwriteRewritesTail) {
