@@ -5,6 +5,7 @@
 // unordered window — and hence slow-path waits — longer. Appends are unaffected either
 // way: that is the point of lazy ordering.
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "src/lazylog/erwin_cluster.h"
@@ -19,9 +20,11 @@ struct AblationResult {
   Histogram append;
   Histogram read;
   double avg_batch = 0;
+  OrdererStatsSnapshot orderer;
 };
 
-AblationResult Run(uint64_t interval_ns) {
+AblationResult Run(uint64_t interval_ns, uint64_t warmup_ns = kWarmup,
+                   uint64_t run_ns = kRun) {
   ErwinClusterOptions opt;
   opt.mode = ErwinMode::kM;
   opt.num_shards = 1;
@@ -33,10 +36,10 @@ AblationResult Run(uint64_t interval_ns) {
   for (size_t i = 0; i < 4; ++i) {
     clients.push_back(cluster.MakeMClient());
   }
-  AppenderFleet fleet(&cluster.loop(), std::move(clients), 20'000, 4096, kWarmup);
+  AppenderFleet fleet(&cluster.loop(), std::move(clients), 20'000, 4096, warmup_ns);
   auto reader_client = cluster.MakeMClient();
   SequentialReader::Options ropt;
-  ropt.warmup_ns = kWarmup;
+  ropt.warmup_ns = warmup_ns;
   SequentialReader reader(&cluster.loop(), reader_client.get(), ropt);
   uint64_t acked = 0;
   for (size_t i = 0; i < fleet.size(); ++i) {
@@ -44,21 +47,31 @@ AblationResult Run(uint64_t interval_ns) {
   }
   reader.Start();
   fleet.Start();
-  cluster.RunFor(kRun);
+  cluster.RunFor(run_ns);
   fleet.Stop();
   reader.Stop();
   AblationResult res;
   res.append = fleet.MergedLatency();
   res.read = reader.latency();
-  res.avg_batch = cluster.seq_replica(0).stats().AvgBatchSize();
+  res.orderer = cluster.seq_replica(0).StatsSnapshot();
+  res.avg_batch = res.orderer.counters.AvgBatchSize();
   return res;
 }
 
 }  // namespace
 }  // namespace lazylog
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazylog;
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    // CI smoke: one short run at the default interval; the JSON line is asserted on.
+    AblationResult r = Run(30 * kUs, /*warmup_ns=*/20 * kMs, /*run_ns=*/80 * kMs);
+    PrintStatsJson("orderer", r.orderer.Fields(),
+                   {{"ordering_interval_us", 30.0},
+                    {"append_mean_ns", r.append.Mean()},
+                    {"read_p99_ns", r.read.Percentile(0.99)}});
+    return 0;
+  }
   PrintHeader(
       "Ablation: background-ordering interval (Erwin-m, 20K appends/s, no-lag reader)");
   std::printf("  %-12s %-13s %-13s %-13s %-10s\n", "interval", "append mean", "read mean",

@@ -98,6 +98,22 @@ inline void PrintPaperNote(const std::string& note) {
   std::printf("  [paper] %s\n", note.c_str());
 }
 
+// Machine-parseable stats dump: one JSON object per line, built from a component
+// snapshot's Fields() (ShardStatsSnapshot, OrdererStatsSnapshot, ...). CI smoke steps
+// grep lines starting with '{' and assert specific fields parse; `extra` lets a bench
+// prepend run parameters (offered rate, knob values) next to the counters.
+inline void PrintStatsJson(const std::string& component, const StatsFields& fields,
+                           const StatsFields& extra = {}) {
+  std::printf("{\"component\":\"%s\"", component.c_str());
+  for (const auto& [k, v] : extra) {
+    std::printf(",\"%s\":%.6g", k.c_str(), v);
+  }
+  for (const auto& [k, v] : fields) {
+    std::printf(",\"%s\":%.6g", k.c_str(), v);
+  }
+  std::printf("}\n");
+}
+
 }  // namespace lazylog
 
 #endif  // BENCH_BENCH_UTIL_H_

@@ -65,8 +65,8 @@ Histogram RunErwinAppendSync(uint32_t shards, double rate) {
       return;
     }
     const SimTime start = cluster.loop().Now();
-    client->AppendSync(std::string(kRecordBytes, 'x'), [&, start](bool ok) {
-      if (ok) {
+    client->AppendSync(std::string(kRecordBytes, 'x'), [&, start](Status s) {
+      if (s.ok()) {
         h.Add(cluster.loop().Now() - start);
       }
       next();

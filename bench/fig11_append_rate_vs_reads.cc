@@ -53,11 +53,11 @@ RateResult Run(double rate) {
   reader.Stop();
   RateResult res;
   res.read = reader.latency();
-  res.avg_batch = cluster.seq_replica(0).stats().AvgBatchSize();
+  res.avg_batch = cluster.seq_replica(0).StatsSnapshot().counters.AvgBatchSize();
   res.read_rate = reader.MeasuredRate(cluster.loop().Now());
   res.append_rate = fleet.MeasuredRate(cluster.loop().Now());
   for (uint32_t r = 0; r < 3; ++r) {
-    res.slow_reads += cluster.shard(0, r).stats().slow_reads;
+    res.slow_reads += cluster.shard(0, r).StatsSnapshot().counters.slow_reads;
   }
   return res;
 }

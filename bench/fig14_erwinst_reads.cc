@@ -53,7 +53,7 @@ StReadResult Run(uint64_t lag_ns, uint64_t batch, bool cache_enabled, double rat
   res.read = reader.latency();
   for (uint32_t s = 0; s < cluster.num_shards(); ++s) {
     for (uint32_t r = 0; r < 2; ++r) {
-      res.slow_reads += cluster.shard(s, r).stats().slow_reads;
+      res.slow_reads += cluster.shard(s, r).StatsSnapshot().counters.slow_reads;
     }
   }
   return res;

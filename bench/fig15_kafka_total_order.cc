@@ -40,8 +40,8 @@ Histogram RunStandaloneKafka(uint32_t partitions, double rate) {
     auto issue = std::make_shared<std::function<void()>>();
     *issue = [&cluster, &h, prod, interval, issue]() {
       const SimTime start = cluster.loop().Now();
-      prod->Produce(std::string(kRecordBytes, 'k'), [&cluster, &h, start](bool ok) {
-        if (ok && start >= kWarmup) {
+      prod->Produce(std::string(kRecordBytes, 'k'), [&cluster, &h, start](Status s) {
+        if (s.ok() && start >= kWarmup) {
           h.Add(cluster.loop().Now() - start);
         }
       });

@@ -36,8 +36,8 @@ int main() {
   const std::string payload(kRecordBytes, 'x');
   // Closed-loop chains: each issues the next append as soon as the previous acks.
   std::function<void(int)> chain = [&](int i) {
-    clients[i % clients.size()]->Append(payload, [&, i](bool ok) {
-      if (ok) {
+    clients[i % clients.size()]->Append(payload, [&, i](Status s) {
+      if (s.ok()) {
         window_acked++;
       }
       chain(i);

@@ -55,7 +55,7 @@ ReadLagResult RunErwin(double rate, uint64_t lag_ns) {
   res.append = fleet.MergedLatency();
   res.read = reader.latency();
   for (uint32_t r = 0; r < 3; ++r) {
-    res.slow_reads += cluster.shard(0, r).stats().slow_reads;
+    res.slow_reads += cluster.shard(0, r).StatsSnapshot().counters.slow_reads;
   }
   return res;
 }

@@ -51,8 +51,8 @@ int main() {
   // backing Kafka shards take milliseconds to replicate.
   for (int i = 0; i < 6; ++i) {
     const SimTime start = loop.Now();
-    client.Append("msg-" + std::to_string(i), [&, i, start](bool ok) {
-      std::printf("append(msg-%d) -> %s in %.1f us\n", i, ok ? "durable" : "failed",
+    client.Append("msg-" + std::to_string(i), [&, i, start](Status s) {
+      std::printf("append(msg-%d) -> %s in %.1f us\n", i, s.ok() ? "durable" : "failed",
                   static_cast<double>(loop.Now() - start) / 1000.0);
     });
     loop.RunUntil(loop.Now() + 200 * kUs);

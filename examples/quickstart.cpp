@@ -21,8 +21,8 @@ int main() {
   // Append: completes in 1 RTT once durable on all sequencing replicas. No position is
   // returned — LazyLog binds records to positions lazily (§3.2).
   for (int i = 0; i < 5; ++i) {
-    log->Append("event-" + std::to_string(i), [i](bool durable) {
-      std::printf("append(event-%d) -> durable=%s\n", i, durable ? "true" : "false");
+    log->Append("event-" + std::to_string(i), [i](Status s) {
+      std::printf("append(event-%d) -> %s\n", i, s.ok() ? "durable" : s.message().c_str());
     });
     cluster.RunFor(100 * kUs);  // sequential appends: real-time order is preserved
   }

@@ -33,9 +33,9 @@ KvWriteServer::KvWriteServer(Network* net, const SimParams& params,
     // Validate + serialize, then append; the ack waits only for log durability — the
     // dominant cost of a put in this application (§6.11).
     cpu_.ExecuteFor(key.size() + value.size(), [this, key, value, r]() mutable {
-      log_->Append(EncodeKvUpdate(key, value), [this, r](bool ok) mutable {
+      log_->Append(EncodeKvUpdate(key, value), [this, r](Status s) mutable {
         puts_++;
-        r.Send(ok ? Status::Ok() : Status::Unavailable("log append failed"));
+        r.Send(s.ok() ? Status::Ok() : Status::Unavailable("log append failed"));
       });
     });
   });

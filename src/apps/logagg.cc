@@ -58,9 +58,9 @@ void TxnServer::HandleTxn(Decoder d, Responder r) {
     audit.PutU64(static_cast<uint64_t>(amount));
     std::string record = audit.Take();
     record.resize(128, 'a');  // audit records carry context; ~128 B on the wire
-    audit_log_->Append(std::move(record), [this, r](bool ok) mutable {
+    audit_log_->Append(std::move(record), [this, r](Status s) mutable {
       committed_++;
-      r.Send(ok ? Status::Ok() : Status::Unavailable("audit append failed"));
+      r.Send(s.ok() ? Status::Ok() : Status::Unavailable("audit append failed"));
     });
   });
 }

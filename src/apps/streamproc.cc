@@ -32,11 +32,11 @@ void WordCountWorker::RunBatch() {
   loop_->Schedule(compute_ns, [this, batch_read_at]() {
     // Checkpoint the produced state to the journal before emitting (exactly-once).
     std::string checkpoint(options_.checkpoint_bytes, 'c');
-    journal_->Append(std::move(checkpoint), [this, batch_read_at](bool ok) {
+    journal_->Append(std::move(checkpoint), [this, batch_read_at](Status s) {
       if (!running_) {
         return;
       }
-      if (ok) {
+      if (s.ok()) {
         // Emit: every record of the batch is now processed and emitted.
         const uint64_t latency = loop_->Now() - batch_read_at;
         for (uint64_t i = 0; i < options_.batch_size; ++i) {

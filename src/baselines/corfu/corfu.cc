@@ -119,7 +119,7 @@ CorfuClient::CorfuClient(Network* net, const SimParams& params, NodeId sequencer
       client_id_(client_id) {}
 
 void CorfuClient::Append(std::string payload, AppendCallback cb) {
-  AppendAt(std::move(payload), [cb](Status s, LogPos) { cb(s.ok()); });
+  AppendAt(std::move(payload), [cb](Status s, LogPos) { cb(std::move(s)); });
 }
 
 void CorfuClient::AppendAt(std::string payload, AppendPosCallback cb) {

@@ -209,7 +209,7 @@ void KafkaProducer::FlushLocked() {
                  [cbs](Status s, const std::string&) {
                    for (auto& cb : *cbs) {
                      if (cb) {
-                       cb(s.ok());
+                       cb(s);
                      }
                    }
                  },
@@ -265,6 +265,13 @@ KafkaShardAdapter::KafkaShardAdapter(Network* net, const SimParams& params, Shar
   });
 }
 
+void KafkaShardAdapter::SendWatermarkAck(Responder& r, const Status& s) {
+  ShardOrderAckResp resp{order_durable_};
+  Encoder e;
+  resp.Encode(e);
+  r.Send(s, e.Take());
+}
+
 void KafkaShardAdapter::HandleAppendBatch(Decoder d, Responder r) {
   auto req = std::make_shared<ShardAppendBatchReq>();
   if (!req->Decode(d)) {
@@ -272,52 +279,113 @@ void KafkaShardAdapter::HandleAppendBatch(Decoder d, Responder r) {
     return;
   }
   if (req->view < view_) {
-    r.Send(Status::WrongView());
+    SendWatermarkAck(r, Status::WrongView());
     return;
   }
   view_ = req->view;
   cpu_.Execute(cpu_.CostFor(0), [this, req, r]() mutable {
-    auto produce = [this, req, r]() mutable {
-      // Drop duplicates from orderer retries, then produce the rest to Kafka.
-      std::vector<WireRecord> wire;
-      for (auto& pr : req->records) {
-        if (pos_to_offset_.count(pr.pos) > 0) {
-          continue;
-        }
-        const uint64_t offset = offset_base_ + offset_pos_.size();
-        pos_to_offset_[pr.pos] = offset;
-        offset_pos_.push_back(pr.pos);
-        wire.push_back(WireRecord{std::move(pr.record)});
-      }
-      if (wire.empty()) {
-        r.Send(Status::Ok());
-        return;
-      }
-      Encoder e;
-      e.PutVector(wire);
-      endpoint_.Call(kafka_leader_, kKafkaProduce, e.Take(),
-                     [r](Status s, const std::string&) mutable { r.Send(s); },
-                     params_.rpc_timeout_ns);
-    };
     if (req->overwrite) {
-      // Recovery rewrite: "delete tail records and then append new entries" (§4.1).
-      uint64_t dropped = 0;
-      while (!offset_pos_.empty() && offset_pos_.back() >= req->truncate_from) {
-        pos_to_offset_.erase(offset_pos_.back());
-        offset_pos_.pop_back();
-        ++dropped;
+      // Recovery rewrite fences everything queued behind the old tail.
+      for (auto& [lo, w] : pending_) {
+        SendWatermarkAck(w.responder, Status::Unavailable("superseded by recovery flush"));
       }
-      if (dropped > 0) {
-        Encoder e;
-        e.PutU64(offset_base_ + offset_pos_.size());
-        endpoint_.Call(kafka_leader_, kKafkaTruncate, e.Take(),
-                       [produce](Status, const std::string&) mutable { produce(); },
-                       params_.rpc_timeout_ns);
-        return;
-      }
+      pending_.clear();
+      ApplyWindow(PendingWindow{req, std::move(r)});
+      return;
     }
-    produce();
+    // Fully durable retransmit (a lost ack): re-ack so the cursor resynchronizes.
+    if (req->range_hi != 0 && req->range_hi <= order_durable_) {
+      SendWatermarkAck(r, Status::Ok());
+      return;
+    }
+    auto [it, inserted] = pending_.try_emplace(req->range_lo);
+    if (!inserted) {
+      SendWatermarkAck(it->second.responder, Status::Unavailable("superseded by retransmit"));
+    }
+    it->second = PendingWindow{req, std::move(r)};
+    if (pending_.size() > 64) {
+      auto last = std::prev(pending_.end());
+      SendWatermarkAck(last->second.responder, Status::Unavailable("window queue overflow"));
+      pending_.erase(last);
+    }
+    DrainWindows();
   });
+}
+
+void KafkaShardAdapter::DrainWindows() {
+  // Apply strictly in position order, one Kafka produce at a time: the durable
+  // watermark then always covers a contiguous prefix. Windows ahead of the frontier
+  // wait for the ordering cursor to fill (or re-send) the gap.
+  while (!produce_inflight_ && !pending_.empty() &&
+         pending_.begin()->first <= order_durable_) {
+    PendingWindow w = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    ApplyWindow(std::move(w));
+  }
+}
+
+void KafkaShardAdapter::ApplyWindow(PendingWindow w) {
+  auto req = w.req;
+  auto r = std::move(w.responder);
+  auto produce = [this, req, r]() mutable {
+    // Drop duplicates from orderer retries, then produce the rest to Kafka.
+    std::vector<WireRecord> wire;
+    for (auto& pr : req->records) {
+      if (pos_to_offset_.count(pr.pos) > 0) {
+        continue;
+      }
+      const uint64_t offset = offset_base_ + offset_pos_.size();
+      pos_to_offset_[pr.pos] = offset;
+      offset_pos_.push_back(pr.pos);
+      wire.push_back(WireRecord{std::move(pr.record)});
+    }
+    auto complete = [this, req, r](Status s) mutable {
+      if (s.ok()) {
+        order_durable_ = std::max(order_durable_, req->range_hi);
+        if (req->overwrite) {
+          order_durable_ = std::max<LogPos>(order_durable_, req->truncate_from);
+        }
+      }
+      produce_inflight_ = false;
+      SendWatermarkAck(r, s);
+      DrainWindows();
+    };
+    if (wire.empty()) {
+      complete(Status::Ok());
+      return;
+    }
+    Encoder e;
+    e.PutVector(wire);
+    produce_inflight_ = true;
+    endpoint_.Call(kafka_leader_, kKafkaProduce, e.Take(),
+                   [complete](Status s, const std::string&) mutable {
+                     complete(std::move(s));
+                   },
+                   params_.rpc_timeout_ns);
+  };
+  if (req->overwrite) {
+    // Recovery rewrite: "delete tail records and then append new entries" (§4.1).
+    order_durable_ = std::min(order_durable_, req->truncate_from);
+    uint64_t dropped = 0;
+    while (!offset_pos_.empty() && offset_pos_.back() >= req->truncate_from) {
+      pos_to_offset_.erase(offset_pos_.back());
+      offset_pos_.pop_back();
+      ++dropped;
+    }
+    if (dropped > 0) {
+      Encoder e;
+      e.PutU64(offset_base_ + offset_pos_.size());
+      produce_inflight_ = true;
+      endpoint_.Call(kafka_leader_, kKafkaTruncate, e.Take(),
+                     [this, produce](Status, const std::string&) mutable {
+                       produce_inflight_ = false;
+                       produce();
+                     },
+                     params_.rpc_timeout_ns);
+      return;
+    }
+  }
+  produce();
 }
 
 void KafkaShardAdapter::HandleRead(Decoder d, Responder r) {

@@ -8,6 +8,7 @@
 #define SRC_BASELINES_KAFKALITE_KAFKALITE_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -54,7 +55,8 @@ class KafkaProducer {
  public:
   KafkaProducer(Network* net, const SimParams& params, NodeId leader, ClientId client_id);
 
-  using ProduceCallback = std::function<void(bool ok)>;
+  // Mirrors SharedLogClient::AppendCallback: OK once the batch is replicated.
+  using ProduceCallback = std::function<void(Status)>;
   // Buffers the record; the batch is flushed after `linger` or at 1 MB.
   void Produce(std::string payload, ProduceCallback cb);
   // Forces an immediate flush (tests).
@@ -107,6 +109,13 @@ class KafkaShardAdapter {
     ShardReadReq req;
     Responder responder;
   };
+  // An ordering window awaiting its turn; the adapter applies windows strictly in
+  // position order (one Kafka produce at a time), so the durable watermark it acks is
+  // always a contiguous prefix.
+  struct PendingWindow {
+    std::shared_ptr<ShardAppendBatchReq> req;
+    Responder responder;
+  };
 
   void HandleAppendBatch(Decoder d, Responder r);
   void HandleRead(Decoder d, Responder r);
@@ -114,6 +123,11 @@ class KafkaShardAdapter {
   void HandleTrim(Decoder d, Responder r);
   void ServeRead(const ShardReadReq& req, Responder r);
   void WakeWaiters();
+  // Sends `s` plus a ShardOrderAckResp carrying the durable watermark — on every
+  // outcome, so a retrying ordering cursor can resynchronize from any reply.
+  void SendWatermarkAck(Responder& r, const Status& s);
+  void DrainWindows();
+  void ApplyWindow(PendingWindow w);
 
   RpcEndpoint endpoint_;
   ServerCpu cpu_;
@@ -127,6 +141,12 @@ class KafkaShardAdapter {
   std::unordered_map<LogPos, uint64_t> pos_to_offset_;
   std::vector<Waiter> waiters_;
   uint64_t slow_reads_ = 0;
+  // Ordered-window frontier: positions < order_durable_ are produced to Kafka. Windows
+  // arriving ahead of the frontier (pipelined cursors + network reordering) park in
+  // pending_ keyed by range_lo until their predecessor lands.
+  LogPos order_durable_ = 0;
+  bool produce_inflight_ = false;
+  std::map<LogPos, PendingWindow> pending_;
 };
 
 // Standalone KafkaLite deployment: `partitions` partitions, each leader + `replication-1`

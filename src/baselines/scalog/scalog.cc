@@ -292,7 +292,7 @@ void ScalogClient::Append(std::string payload, AppendCallback cb) {
   EncodeRecord(e, rec);
   const NodeId target = shard_primaries_[rr_cursor_++ % shard_primaries_.size()];
   endpoint_.Call(target, kScalogAppend, e.Take(),
-                 [cb](Status s, const std::string&) { cb(s.ok()); }, params_.rpc_timeout_ns);
+                 [cb](Status s, const std::string&) { cb(std::move(s)); }, params_.rpc_timeout_ns);
 }
 
 void ScalogClient::ReadOne(LogPos pos, std::function<void(Status, PositionedRecord)> cb) {

@@ -134,8 +134,8 @@ void ChaosRunner::ScheduleWriterAppend(uint32_t w) {
   const uint64_t op = history_->BeginAppend(AppendOp::Kind::kNormal,
                                             payload.substr(0, 24), hash);
   pending_appends_++;
-  writers_[w].client->Append(std::move(payload), [this, op, w](bool durable) {
-    history_->EndAppend(op, durable);
+  writers_[w].client->Append(std::move(payload), [this, op, w](Status s) {
+    history_->EndAppend(op, std::move(s));
     pending_appends_--;
     const uint64_t think = 150 * kUs + writer_rngs_[w].Uniform(450 * kUs);
     cluster_->loop().Schedule(think, [this, w]() { ScheduleWriterAppend(w); });
@@ -215,7 +215,7 @@ void ChaosRunner::InjectHalfAppend() {
   const uint64_t op = history_->BeginAppend(
       meta_only ? AppendOp::Kind::kMetaOnly : AppendOp::Kind::kDataOnly, key.str(), 0);
   history_->SetAppendId(op, id);
-  auto cb = [this, op](bool durable) { history_->EndAppend(op, durable); };
+  auto cb = [this, op](Status s) { history_->EndAppend(op, std::move(s)); };
   if (meta_only) {
     injector_->AppendMetadataOnly(shard, cb);
   } else {
@@ -278,8 +278,8 @@ void ChaosRunner::SentinelPhase() {
         history_->BeginAppend(AppendOp::Kind::kNormal, payload, HashString(payload));
     pending_appends_++;
     driver_.client->Append(std::move(payload),
-                           [this, op](bool ok) {
-                             history_->EndAppend(op, ok);
+                           [this, op](Status s) {
+                             history_->EndAppend(op, std::move(s));
                              pending_appends_--;
                            });
     cluster_->RunFor(4 * kMs);

@@ -54,14 +54,16 @@ void ChaosHistory::SetAppendId(uint64_t op_id, RecordId id) {
   LL_CHECK(false, "SetAppendId on unknown op");
 }
 
-void ChaosHistory::EndAppend(uint64_t op_id, bool acked) {
+void ChaosHistory::EndAppend(uint64_t op_id, Status status) {
   for (AppendOp& op : appends_) {
     if (op.op_id == op_id) {
       LL_CHECK(!op.resolved, "append resolved twice");
       op.resolved = true;
-      op.acked = acked;
+      op.acked = status.ok();
+      op.status = status.code();
       op.acked_at = loop_->Now();
-      FoldEvent(kTagAppendAck, op_id, acked ? 1 : 0);
+      FoldEvent(kTagAppendAck, op_id, op.acked ? 1 : 0,
+                static_cast<uint64_t>(status.code()));
       return;
     }
   }

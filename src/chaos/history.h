@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/sim/event_loop.h"
 
@@ -39,7 +40,10 @@ struct AppendOp {
   uint64_t payload_hash = 0;
   SimTime invoked_at = 0;
   SimTime acked_at = 0;
-  bool acked = false;
+  bool acked = false;         // status == kOk (kept as a flag for the oracles)
+  // Completion status code: distinguishes a lost append (kRejected, must never
+  // surface in the log) from a merely-unacknowledged one (timeout — may surface).
+  StatusCode status = StatusCode::kUnavailable;
   bool resolved = false;      // completion callback fired (ack or give-up)
 };
 
@@ -100,7 +104,9 @@ class ChaosHistory {
   // For half-appends issued by dedicated injector clients the record id is predictable;
   // recording it lets the no-op oracle match the final log by id.
   void SetAppendId(uint64_t op_id, RecordId id);
-  void EndAppend(uint64_t op_id, bool acked);
+  // Records the append's completion status; the status code (not just ok/fail) is
+  // folded into the replay digest.
+  void EndAppend(uint64_t op_id, Status status);
 
   uint64_t BeginRead(LogPos from, uint64_t len);
   void RecordReadReturn(uint64_t op_id, const std::vector<ObservedRecord>& records);

@@ -50,6 +50,15 @@ struct SeqParams {
   // pipeline (30us cadence) until the retry fires, so waiting out a 50 ms timeout
   // turns one dropped packet into a 50 ms stable-gp stall.
   uint64_t order_push_timeout_ns = 5 * kMs;
+  // Per-shard ordering pipeline (§4.3 redesign): each shard cursor keeps up to this
+  // many ordering windows in flight independently of the other shards, so a slow shard
+  // no longer stalls the others and retries are per shard instead of whole-batch.
+  uint32_t order_pipeline_depth = 4;
+  // Maximum positions covered by one ordering window pushed to a shard.
+  uint64_t max_order_batch = 16384;
+  // Initial backoff before a failed shard cursor retries its window; doubles per
+  // consecutive failure up to order_push_timeout_ns.
+  uint64_t order_retry_backoff_ns = 60 * kUs;
   // Age after which unmatched data in the Erwin-st unordered pool is scrubbed as a
   // client-crash orphan (§5.4). Must dominate the worst-case ordering stall (chained
   // order-push retries): data of an acked-but-not-yet-ordered record that gets

@@ -146,8 +146,11 @@ std::vector<NodeId> ErwinCluster::AddShard() {
   }
   for (auto& rep : replicas) {
     rep->SetReplicaSet(ids);
-    // The new shard adopts the current stable prefix and metadata offset (§6.9).
-    rep->Bootstrap(leader().stable_gp(), leader().ordered_gp());
+    // The new shard adopts the current stable prefix and metadata offset (§6.9). The
+    // offset is the leader's *assignment* frontier: the new cursor starts there, so
+    // the first window it receives has range_lo == this value — bootstrapping at
+    // ordered_gp would leave the shard parked forever on positions it never gets.
+    rep->Bootstrap(leader().stable_gp(), leader().assigned_gp());
   }
   for (auto& seq : seq_replicas_) {
     seq->AddShard(ids[0], ids);

@@ -41,8 +41,14 @@ void ErwinMClient::SendAppend(std::shared_ptr<PendingAppend> p) {
         std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
     if (all_ok) {
       // Durable on all sequencing replicas: the append is complete (1 RTT).
-      p->cb(true);
+      p->cb(Status::Ok());
       return;
+    }
+    for (const Status& s : ss) {
+      if (!s.ok()) {
+        p->last_error = s;
+        break;
+      }
     }
     EnqueueRetry(p);
   });
@@ -55,7 +61,7 @@ void ErwinMClient::SendAppend(std::shared_ptr<PendingAppend> p) {
 void ErwinMClient::EnqueueRetry(std::shared_ptr<PendingAppend> p) {
   if (p->attempts > 50) {
     LLOG(kWarn) << "append giving up after " << p->attempts << " attempts";
-    p->cb(false);
+    p->cb(p->last_error.ok() ? Status::Timeout("append retries exhausted") : p->last_error);
     return;
   }
   retry_queue_.push_back(std::move(p));
@@ -271,16 +277,16 @@ void ErwinMClient::TrimAttempt(LogPos index, TrimCallback cb, int attempt) {
 // --- appendSync (§5.5 extension) ------------------------------------------------------------
 
 void ErwinMClient::AppendSync(std::string payload, AppendCallback cb) {
-  Append(std::move(payload), [this, cb](bool durable) {
-    if (!durable) {
-      cb(false);
+  Append(std::move(payload), [this, cb](Status st) {
+    if (!st.ok()) {
+      cb(std::move(st));
       return;
     }
     // The record is durable; now wait until the stable prefix has passed the durable
     // tail observed at ack time, i.e. the record's binding is final.
     CheckTail([this, cb](Status s, LogPos durable_count, LogPos) {
       if (!s.ok()) {
-        cb(false);
+        cb(std::move(s));
         return;
       }
       PollStable(durable_count, cb);
@@ -291,11 +297,11 @@ void ErwinMClient::AppendSync(std::string payload, AppendCallback cb) {
 void ErwinMClient::PollStable(LogPos target, AppendCallback cb) {
   CheckTail([this, target, cb](Status s, LogPos, LogPos stable) {
     if (!s.ok()) {
-      cb(false);
+      cb(std::move(s));
       return;
     }
     if (stable >= target) {
-      cb(true);
+      cb(Status::Ok());
       return;
     }
     endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns,

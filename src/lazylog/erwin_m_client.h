@@ -53,6 +53,8 @@ class ErwinMClient : public SharedLogClient {
     std::string payload;
     AppendCallback cb;
     int attempts = 0;
+    // Most recent failure seen for this append; reported if the retry budget runs out.
+    Status last_error = Status::Timeout("append retries exhausted");
   };
 
   void SendAppend(std::shared_ptr<PendingAppend> p);

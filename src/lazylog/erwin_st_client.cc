@@ -43,7 +43,7 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
         const bool all_ok =
             std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
         if (all_ok) {
-          p->cb(true);
+          p->cb(Status::Ok());
           return;
         }
         // A Rejected data write means the shard already no-op'ed this id after an
@@ -51,8 +51,14 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
         // under the same id.
         for (const Status& s : ss) {
           if (s.code() == StatusCode::kRejected) {
-            p->cb(false);
+            p->cb(s);
             return;
+          }
+        }
+        for (const Status& s : ss) {
+          if (!s.ok()) {
+            p->last_error = s;
+            break;
           }
         }
         EnqueueRetry(p);
@@ -83,7 +89,7 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
 
 void ErwinStClient::EnqueueRetry(std::shared_ptr<PendingAppend> p) {
   if (p->attempts > 50) {
-    p->cb(false);
+    p->cb(p->last_error.ok() ? Status::Timeout("append retries exhausted") : p->last_error);
     return;
   }
   retry_queue_.push_back(std::move(p));
@@ -369,7 +375,13 @@ void ErwinStClient::AppendMetadataOnly(ShardId shard, AppendCallback cb) {
   const std::string body = enc.Take();
   const size_t n = view_.seq_config.size();
   auto gather = Gather::Create(n, [cb](const std::vector<Status>& ss) {
-    cb(std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); }));
+    for (const Status& s : ss) {
+      if (!s.ok()) {
+        cb(s);
+        return;
+      }
+    }
+    cb(Status::Ok());
   });
   for (size_t i = 0; i < n; ++i) {
     endpoint_.Call(view_.seq_config[i], kSeqAppendMeta, body, gather->Slot(i),
@@ -387,7 +399,13 @@ void ErwinStClient::AppendDataOnly(ShardId shard, std::string payload, AppendCal
   const std::string body = enc.Take();
   const auto& replicas = view_.shards[shard];
   auto gather = Gather::Create(replicas.size(), [cb](const std::vector<Status>& ss) {
-    cb(std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); }));
+    for (const Status& s : ss) {
+      if (!s.ok()) {
+        cb(s);
+        return;
+      }
+    }
+    cb(Status::Ok());
   });
   for (size_t i = 0; i < replicas.size(); ++i) {
     endpoint_.Call(replicas[i], kShardPutData, body, gather->Slot(i),

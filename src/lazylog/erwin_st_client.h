@@ -59,6 +59,8 @@ class ErwinStClient : public SharedLogClient {
     ShardId shard = 0;
     AppendCallback cb;
     int attempts = 0;
+    // Most recent failure seen for this append; reported if the retry budget runs out.
+    Status last_error = Status::Timeout("append retries exhausted");
   };
   struct PendingRead {
     LogPos from = 0;

@@ -38,9 +38,13 @@ inline uint64_t RetryBackoffNs(uint32_t attempt, double jitter01) {
 
 class SharedLogClient {
  public:
-  // append: `durable` is true once the record is safely stored (LazyLog semantics: the
-  // position is assigned later; conventional logs have it bound already).
-  using AppendCallback = std::function<void(bool durable)>;
+  // append: OK once the record is safely stored (LazyLog semantics: the position is
+  // assigned later; conventional logs have it bound already). Error codes distinguish
+  // why an append was given up on: kSealed / kStaleView (reconfiguration fenced the
+  // view the client was writing into), kTimeout (no response within the retry budget),
+  // kRejected (Erwin-st data arrived after the no-op decision — the append is lost),
+  // or kUnavailable / kInternal for generic failure.
+  using AppendCallback = std::function<void(Status)>;
   // read: positioned records in ascending position order. No-op records (Erwin-st
   // client-failure resolutions) are delivered with no_op=true; applications skip them.
   using ReadCallback = std::function<void(Status, std::vector<PositionedRecord>)>;

@@ -62,6 +62,20 @@ void SequencingReplica::AddShard(NodeId primary, std::vector<NodeId> replicas) {
   for (NodeId n : replicas) {
     all_shard_servers_.push_back(n);
   }
+  if (is_leader() && cursors_.empty()) {
+    // Ordering has not started yet (cursors are created lazily); nothing has been
+    // assigned, so a full reset covers the new shard too.
+    ResetCursors(ordered_gp_);
+  } else if (!cursors_.empty()) {
+    // Mid-flight shard addition (§6.9): the new cursor starts at the assignment
+    // frontier — the shard bootstrapped with meta_base == assigned_gp, so earlier
+    // positions predate it and are resolved via long-lived shards.
+    ShardCursor c;
+    c.shard = static_cast<ShardId>(shard_primaries_.size() - 1);
+    c.next_pos = assigned_gp_;
+    c.acked_watermark = assigned_gp_;
+    cursors_.push_back(c);
+  }
 }
 
 void SequencingReplica::ReplaceShardServer(NodeId old_node, NodeId new_node) {
@@ -154,69 +168,233 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
   });
 }
 
-// --- background ordering (§4.3) ---------------------------------------------------------
+// --- background ordering (§4.3, per-shard cursor pipelines) ---------------------------
 
 void SequencingReplica::OrderingTick() {
   if (!is_leader() || sealed_) {
     ordering_armed_ = false;  // re-armed by StartView if we lead again
     return;
   }
-  if (!batch_in_flight_ && !log_.empty()) {
-    StartOrderingBatch();
+  AssignPositions();
+  for (size_t s = 0; s < cursors_.size(); ++s) {
+    PumpCursor(s);
   }
   endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns, [this]() { OrderingTick(); });
 }
 
-void SequencingReplica::StartOrderingBatch() {
-  batch_in_flight_ = true;
-  const uint64_t k = std::min<uint64_t>(log_.size(), max_batch_);
-  std::vector<Entry> batch(log_.begin(), log_.begin() + static_cast<long>(k));
+void SequencingReplica::AssignPositions() {
+  if (shard_primaries_.empty()) {
+    LL_CHECK(log_.empty(), "ordering without shards");
+    return;
+  }
+  if (cursors_.empty()) {
+    ResetCursors(ordered_gp_);
+  }
+  LL_CHECK(assigned_gp_ >= ordered_gp_, "assignment frontier behind durable frontier");
+  const uint64_t unassigned = log_.size() - (assigned_gp_ - ordered_gp_);
+  if (unassigned == 0) {
+    return;
+  }
+  const uint64_t k = std::min<uint64_t>(unassigned, params_.seq.max_order_batch);
+  if (mode_ == ErwinMode::kM) {
+    // Corfu-style placement: position p lives on shard p mod n (§4.3). Freeze the
+    // placement at assignment time so retried windows land on the same shard even if
+    // the shard count changes later.
+    const size_t n_shards = shard_primaries_.size();
+    LL_CHECK(n_shards > 0, "ordering without shards");
+    for (uint64_t i = 0; i < k; ++i) {
+      const LogPos pos = assigned_gp_ + i;
+      log_[pos - ordered_gp_].shard = static_cast<ShardId>(pos % n_shards);
+    }
+  }
+  assigned_gp_ += k;
+}
+
+void SequencingReplica::ResetCursors(LogPos start) {
+  cursors_.clear();
+  cursors_.resize(shard_primaries_.size());
+  for (size_t s = 0; s < cursors_.size(); ++s) {
+    cursors_[s].shard = static_cast<ShardId>(s);
+    cursors_[s].next_pos = start;
+    cursors_[s].acked_watermark = start;
+  }
+}
+
+void SequencingReplica::PumpCursor(size_t s) {
+  if (sealed_ || !is_leader() || s >= cursors_.size()) {
+    return;
+  }
+  ShardCursor& c = cursors_[s];
+  if (c.retry_armed) {
+    return;  // backing off after a failed window; the retry re-pumps
+  }
+  while (c.in_flight < params_.seq.order_pipeline_depth && c.next_pos < assigned_gp_) {
+    const LogPos lo = c.next_pos;
+    const LogPos hi = std::min<LogPos>(assigned_gp_, lo + params_.seq.max_order_batch);
+    Encoder enc;
+    MethodId method;
+    if (mode_ == ErwinMode::kM) {
+      ShardAppendBatchReq req;
+      req.view = view_;
+      req.range_lo = lo;
+      req.range_hi = hi;
+      for (LogPos p = lo; p < hi; ++p) {
+        const Entry& e = log_[p - ordered_gp_];
+        if (e.shard == c.shard) {
+          req.records.push_back(PositionedRecord{p, Record{e.id, e.payload, false}});
+        }
+      }
+      req.Encode(enc);
+      method = kShardAppendBatch;
+    } else {
+      // Erwin-st: every shard primary stores the full metadata window (§5.2).
+      ShardOrderMetaReq req;
+      req.view = view_;
+      req.range_lo = lo;
+      req.range_hi = hi;
+      req.entries.reserve(hi - lo);
+      for (LogPos p = lo; p < hi; ++p) {
+        const Entry& e = log_[p - ordered_gp_];
+        req.entries.push_back(MetaEntry{p, e.id, e.shard});
+      }
+      req.Encode(enc);
+      method = kShardOrderMeta;
+    }
+    c.next_pos = hi;
+    c.in_flight++;
+    c.pushes++;
+    const uint64_t epoch = c.window_epoch;
+    const ViewId window_view = view_;
+    endpoint_.Call(shard_primaries_[s], method, enc.Take(),
+                   [this, s, epoch, window_view](Status st, const std::string& body) {
+                     OnWindowAck(s, epoch, window_view, st, body);
+                   },
+                   params_.seq.order_push_timeout_ns);
+  }
+}
+
+void SequencingReplica::OnWindowAck(size_t s, uint64_t epoch, ViewId window_view,
+                                    const Status& status, const std::string& body) {
+  if (sealed_ || view_ != window_view || !is_leader() || s >= cursors_.size()) {
+    return;  // reconfiguration owns the log now
+  }
+  ShardCursor& c = cursors_[s];
+  if (epoch != c.window_epoch) {
+    return;  // ack from before a cursor reset; the retry re-covers this span
+  }
+  LL_CHECK(c.in_flight > 0, "window ack without an outstanding window");
+  c.in_flight--;
+  // Error acks carry the watermark too, so the cursor resyncs even from a refusal.
+  ShardOrderAckResp ack;
+  Decoder d(body);
+  if (!body.empty() && ack.Decode(d)) {
+    c.acked_watermark = std::max(c.acked_watermark, ack.applied_upto);
+  }
+  if (status.code() == StatusCode::kStaleView) {
+    // This shard has been fenced into a newer epoch: we were deposed without hearing
+    // our seal (asymmetric partition). Self-seal so we stop acking appends and
+    // pushing orderings.
+    LLOG(kInfo) << "t=" << endpoint_.loop()->Now() << " seq node=" << node_id()
+                << " fenced out by shard " << c.shard << "; self-sealing view=" << view_;
+    sealed_ = true;
+    return;
+  }
+  if (!status.ok()) {
+    LLOG(kInfo) << "t=" << endpoint_.loop()->Now() << " seq leader: window to shard "
+                << c.shard << " failed (" << status.ToString() << ") watermark="
+                << c.acked_watermark << "; backing off";
+    ArmCursorRetry(s);
+    return;
+  }
+  c.retry_attempts = 0;
+  AdvanceOrderedFromCursors();
+  PumpCursor(s);
+}
+
+void SequencingReplica::ArmCursorRetry(size_t s) {
+  ShardCursor& c = cursors_[s];
+  if (c.retry_armed || sealed_ || !is_leader()) {
+    return;
+  }
+  c.retry_armed = true;
+  // Doubling backoff, capped at the push timeout: a partitioned shard is re-probed
+  // with one window per timeout instead of a full pipeline of doomed sends. The other
+  // cursors keep pumping — that is the point of the per-shard redesign.
+  const uint64_t backoff = std::min<uint64_t>(
+      params_.seq.order_push_timeout_ns,
+      params_.seq.order_retry_backoff_ns << std::min<uint32_t>(c.retry_attempts, 16));
+  const ViewId armed_view = view_;
+  endpoint_.loop()->Schedule(backoff, [this, s, armed_view]() {
+    if (sealed_ || !is_leader() || view_ != armed_view || s >= cursors_.size()) {
+      return;
+    }
+    ShardCursor& c2 = cursors_[s];
+    c2.retry_armed = false;
+    c2.retry_attempts++;
+    c2.retries++;
+    // Orphan any still-in-flight windows and resync from the shard's durable
+    // watermark; the shard re-acks already-durable spans immediately.
+    c2.window_epoch++;
+    c2.in_flight = 0;
+    c2.next_pos = c2.acked_watermark;
+    PumpCursor(s);
+  });
+}
+
+void SequencingReplica::AdvanceOrderedFromCursors() {
+  LogPos min_wm = assigned_gp_;
+  for (const ShardCursor& c : cursors_) {
+    min_wm = std::min(min_wm, c.acked_watermark);
+  }
+  if (min_wm <= ordered_gp_) {
+    return;
+  }
+  const uint64_t k = min_wm - ordered_gp_;
+  LL_CHECK(log_.size() >= k, "durable watermark beyond the local log");
+  LLOG(kDebug) << "t=" << endpoint_.loop()->Now() << " seq leader: watermark advance base="
+               << ordered_gp_ << " k=" << k << " log=" << log_.size();
+  // Records are safe on every shard: GC the leader's log and advance last-ordered-gp.
   std::vector<WireRecordId> ids;
   ids.reserve(k);
-  for (const Entry& e : batch) {
-    ids.push_back(WireRecordId{e.id});
+  for (uint64_t i = 0; i < k; ++i) {
+    ids.push_back(WireRecordId{log_.front().id});
+    in_log_.erase(log_.front().id);
+    log_.pop_front();
   }
+  ordered_gp_ = min_wm;
+  RememberOrdered(ids);
+  // One "ordering batch" = the chunk of records that became globally ordered at once.
+  // The chunk is ack-gated (grows with the append rate at a fixed shard RTT), which is
+  // the quantity Fig 11 plots.
   stats_.batches++;
   stats_.batch_entries += k;
-  const ViewId batch_view = view_;
-  PushBatchToShards(std::move(batch), ordered_gp_, batch_view, /*overwrite=*/false,
-                    params_.seq.order_push_timeout_ns,
-                    [this, k, ids = std::move(ids), batch_view](bool ok, bool fenced) mutable {
-                      if (sealed_ || view_ != batch_view || !is_leader()) {
-                        return;  // reconfiguration owns the log now
-                      }
-                      if (fenced) {
-                        // A shard has been fenced into a newer epoch: this replica was
-                        // deposed without hearing its seal (asymmetric partition).
-                        // Self-seal so we stop acking appends and pushing orderings.
-                        LLOG(kInfo) << "t=" << endpoint_.loop()->Now() << " seq node="
-                                    << node_id() << " fenced out by shard; self-sealing view="
-                                    << view_;
-                        sealed_ = true;
-                        return;
-                      }
-                      if (!ok) {
-                        LLOG(kInfo) << "t=" << endpoint_.loop()->Now()
-                                    << " seq leader: batch push failed base=" << ordered_gp_
-                                    << " k=" << k << " log=" << log_.size() << "; retrying";
-                        // A shard missed the batch; retry the same positions (shards
-                        // apply idempotently).
-                        endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns,
-                                                   [this]() {
-                                                     batch_in_flight_ = false;
-                                                     if (!sealed_ && is_leader()) {
-                                                       StartOrderingBatch();
-                                                     }
-                                                   });
-                        return;
-                      }
-                      OnShardsAcked(k, std::move(ids));
-                    });
+  stats_.gc_rounds++;
+  NotifyGpObserver();
+
+  // Instruct followers to GC and advance their last-ordered-gp; stable-gp may only
+  // advance after *all* replicas have done so (§4.5 correctness argument).
+  if (config_.size() <= 1) {
+    stable_gp_ = ordered_gp_;
+    NotifyGpObserver();
+    BroadcastStableGp();
+    return;
+  }
+  // Queue the freshly ordered ids for every follower. A failed GC send stays queued and
+  // is retried (ArmGcRetry) — a follower that silently kept an ordered entry would
+  // re-bind it at a new position if it later flushed as the recovery replica.
+  for (size_t i = 1; i < config_.size(); ++i) {
+    FollowerGc& f = follower_gc_[config_[i]];
+    f.pending.insert(f.pending.end(), ids.begin(), ids.end());
+    SendFollowerGc(config_[i], nullptr);
+  }
 }
 
 void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_pos,
-                                          ViewId view, bool overwrite, uint64_t timeout_ns,
+                                          ViewId view, uint64_t timeout_ns,
                                           std::function<void(bool ok, bool fenced)> done) {
+  // Recovery-flush barrier: unlike the steady-state cursor pipeline this rewrites the
+  // unstable tail on *every* shard and must succeed everywhere before the new view
+  // starts, so a Gather barrier is the semantics we want here.
   const size_t n_shards = shard_primaries_.size();
   LL_CHECK(n_shards > 0, "ordering without shards");
   auto gather = Gather::Create(n_shards, [done = std::move(done)](const std::vector<Status>& ss) {
@@ -227,13 +405,13 @@ void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_
     done(ok, fenced);
   });
   if (mode_ == ErwinMode::kM) {
-    // Corfu-style placement: position p lives on shard p mod n (§4.3). Every primary
-    // gets a request (possibly empty) so recovery truncation reaches all shards.
     std::vector<ShardAppendBatchReq> reqs(n_shards);
     for (size_t s = 0; s < n_shards; ++s) {
       reqs[s].view = view;
-      reqs[s].overwrite = overwrite;
+      reqs[s].overwrite = true;
       reqs[s].truncate_from = base_pos;
+      reqs[s].range_lo = base_pos;
+      reqs[s].range_hi = base_pos + batch.size();
     }
     for (size_t i = 0; i < batch.size(); ++i) {
       const LogPos pos = base_pos + i;
@@ -242,11 +420,6 @@ void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_
           PositionedRecord{pos, Record{batch[i].id, std::move(batch[i].payload), false}});
     }
     for (size_t s = 0; s < n_shards; ++s) {
-      if (!overwrite && reqs[s].records.empty()) {
-        // Nothing for this shard and nothing to truncate: complete the slot locally.
-        gather->Slot(s)(Status::Ok(), "");
-        continue;
-      }
       endpoint_.CallMsg(shard_primaries_[s], kShardAppendBatch, reqs[s], gather->Slot(s),
                         timeout_ns);
     }
@@ -255,8 +428,10 @@ void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_
   // Erwin-st: push the full ordered metadata segment to every shard primary (§5.2).
   ShardOrderMetaReq req;
   req.view = view;
-  req.overwrite = overwrite;
+  req.overwrite = true;
   req.truncate_from = base_pos;
+  req.range_lo = base_pos;
+  req.range_hi = base_pos + batch.size();
   req.entries.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     req.entries.push_back(MetaEntry{base_pos + i, batch[i].id, batch[i].shard});
@@ -267,60 +442,6 @@ void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_
   for (size_t s = 0; s < n_shards; ++s) {
     endpoint_.Call(shard_primaries_[s], kShardOrderMeta, body, gather->Slot(s),
                    timeout_ns);
-  }
-}
-
-void SequencingReplica::OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids) {
-  LLOG(kDebug) << "t=" << endpoint_.loop()->Now() << " seq leader: batch acked base="
-               << ordered_gp_ << " k=" << k << " log=" << log_.size();
-  // Records are safe on the shards: GC the leader's log and advance last-ordered-gp.
-  for (uint64_t i = 0; i < k; ++i) {
-    in_log_.erase(log_.front().id);
-    log_.pop_front();
-  }
-  ordered_gp_ += k;
-  RememberOrdered(ids);
-  stats_.gc_rounds++;
-  NotifyGpObserver();
-
-  // Instruct followers to GC and advance their last-ordered-gp; stable-gp may only
-  // advance after *all* replicas have done so (§4.5 correctness argument).
-  const size_t followers = config_.size() - 1;
-  const ViewId gc_view = view_;
-  if (followers == 0) {
-    stable_gp_ = ordered_gp_;
-    NotifyGpObserver();
-    BroadcastStableGp();
-    batch_in_flight_ = false;
-    if (!log_.empty()) {
-      StartOrderingBatch();
-    }
-    return;
-  }
-  // Queue the freshly ordered ids for every follower. A failed GC send stays queued and
-  // is retried (ArmGcRetry) — a follower that silently kept an ordered entry would
-  // re-bind it at a new position if it later flushed as the recovery replica.
-  for (size_t i = 1; i < config_.size(); ++i) {
-    FollowerGc& f = follower_gc_[config_[i]];
-    f.pending.insert(f.pending.end(), ids.begin(), ids.end());
-  }
-  // The ordering pipeline waits for this round of GC sends to complete (acked or not)
-  // before the next batch, preserving the original batch cadence.
-  auto remaining = std::make_shared<size_t>(followers);
-  auto round_done = [this, gc_view, remaining]() {
-    if (--*remaining > 0) {
-      return;
-    }
-    if (sealed_ || view_ != gc_view || !is_leader()) {
-      return;
-    }
-    batch_in_flight_ = false;
-    if (!log_.empty()) {
-      StartOrderingBatch();
-    }
-  };
-  for (size_t i = 1; i < config_.size(); ++i) {
-    SendFollowerGc(config_[i], round_done);
   }
 }
 
@@ -375,10 +496,13 @@ void SequencingReplica::OnFollowerGcDone(NodeId follower, ViewId gc_view, LogPos
   // only ever appended at the back).
   f.pending.erase(f.pending.begin(), f.pending.begin() + static_cast<long>(sent));
   f.acked_gp = std::max(f.acked_gp, sent_gp);
-  if (!f.pending.empty() || f.acked_gp < ordered_gp_) {
-    ArmGcRetry();  // more ids were ordered while this send was in flight
-  }
   AdvanceStableFromGc();
+  if (!f.pending.empty() || f.acked_gp < ordered_gp_) {
+    // More ids were ordered while this send was in flight; drain immediately — the
+    // cursor pipeline keeps ordering continuously, so a delayed GC round would become
+    // the stable-gp bottleneck.
+    SendFollowerGc(follower, nullptr);
+  }
 }
 
 void SequencingReplica::AdvanceStableFromGc() {
@@ -503,8 +627,7 @@ void SequencingReplica::HandleFlush(Decoder d, Responder r) {
     ids.push_back(WireRecordId{e.id});
   }
   const uint64_t k = batch.size();
-  PushBatchToShards(std::move(batch), ordered_gp_, req.new_view, /*overwrite=*/true,
-                    params_.rpc_timeout_ns,
+  PushBatchToShards(std::move(batch), ordered_gp_, req.new_view, params_.rpc_timeout_ns,
                     [this, k, ids = std::move(ids), new_view = req.new_view, r](
                         bool ok, bool /*fenced*/) mutable {
                       if (!ok) {
@@ -512,6 +635,7 @@ void SequencingReplica::HandleFlush(Decoder d, Responder r) {
                         return;
                       }
                       ordered_gp_ += k;
+                      assigned_gp_ = std::max(assigned_gp_, ordered_gp_);
                       RememberOrdered(ids);
                       for (const Entry& e : log_) {
                         in_log_.erase(e.id);
@@ -550,7 +674,10 @@ void SequencingReplica::HandleStartView(Decoder d, Responder r) {
   log_.clear();
   in_log_.clear();
   sealed_ = false;
-  batch_in_flight_ = false;
+  // Epoch-fenced cursor reset: old-view windows still in flight are orphaned (their
+  // acks fail the view check) and the new view's cursors resync from the flush point.
+  assigned_gp_ = ordered_gp_;
+  ResetCursors(ordered_gp_);
   // The flush emptied every new-member log; old-view GC debts are void.
   follower_gc_.clear();
   NotifyGpObserver();
@@ -631,6 +758,66 @@ void SequencingReplica::HandleTrim(Decoder d, Responder r) {
     endpoint_.Call(all_shard_servers_[i], kShardTrim, body, gather->Slot(i),
                    params_.rpc_timeout_ns);
   }
+}
+
+// --- stats surface -----------------------------------------------------------------------
+
+OrdererStatsSnapshot SequencingReplica::StatsSnapshot() const {
+  OrdererStatsSnapshot snap;
+  snap.counters = stats_;
+  snap.view = view_;
+  snap.leader = is_leader();
+  snap.ordered_gp = ordered_gp_;
+  snap.assigned_gp = assigned_gp_;
+  snap.stable_gp = stable_gp_;
+  snap.unordered = log_.size();
+  snap.shards.reserve(cursors_.size());
+  for (const ShardCursor& c : cursors_) {
+    OrdererStats::PerShard ps;
+    ps.shard = c.shard;
+    ps.pushes = c.pushes;
+    ps.retries = c.retries;
+    ps.in_flight = c.in_flight;
+    ps.next_pos = c.next_pos;
+    ps.acked_watermark = c.acked_watermark;
+    ps.watermark_lag = assigned_gp_ > c.acked_watermark ? assigned_gp_ - c.acked_watermark : 0;
+    snap.shards.push_back(ps);
+  }
+  return snap;
+}
+
+StatsFields OrdererStatsSnapshot::Fields() const {
+  StatsFields f = {
+      {"appends", static_cast<double>(counters.appends)},
+      {"duplicates_filtered", static_cast<double>(counters.duplicates_filtered)},
+      {"batches", static_cast<double>(counters.batches)},
+      {"batch_entries", static_cast<double>(counters.batch_entries)},
+      {"avg_batch_size", counters.AvgBatchSize()},
+      {"gc_rounds", static_cast<double>(counters.gc_rounds)},
+      {"view", static_cast<double>(view)},
+      {"leader", leader ? 1.0 : 0.0},
+      {"ordered_gp", static_cast<double>(ordered_gp)},
+      {"assigned_gp", static_cast<double>(assigned_gp)},
+      {"stable_gp", static_cast<double>(stable_gp)},
+      {"unordered", static_cast<double>(unordered)},
+  };
+  LogPos max_lag = 0;
+  uint64_t retries = 0;
+  for (const OrdererStats::PerShard& ps : shards) {
+    const std::string p = "shard" + std::to_string(ps.shard) + "_";
+    f.emplace_back(p + "pushes", static_cast<double>(ps.pushes));
+    f.emplace_back(p + "retries", static_cast<double>(ps.retries));
+    f.emplace_back(p + "in_flight", static_cast<double>(ps.in_flight));
+    f.emplace_back(p + "acked_watermark", static_cast<double>(ps.acked_watermark));
+    f.emplace_back(p + "watermark_lag", static_cast<double>(ps.watermark_lag));
+    max_lag = std::max(max_lag, ps.watermark_lag);
+    retries += ps.retries;
+  }
+  f.emplace_back("max_watermark_lag", static_cast<double>(max_lag));
+  f.emplace_back("total_window_retries", static_cast<double>(retries));
+  // Stable-gp lag: how far the readable prefix trails the assignment frontier.
+  f.emplace_back("stable_gp_lag", static_cast<double>(assigned_gp - stable_gp));
+  return f;
 }
 
 }  // namespace lazylog

@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -28,16 +29,45 @@ namespace lazylog {
 // what the orderer pushes to shards.
 enum class ErwinMode { kM, kSt };
 
-// Orderer statistics for Fig 11 (ordering batch sizes) and Fig 17 (recovery timing).
-struct SeqStats {
+// Orderer statistics for Fig 11 (ordering batch sizes), Fig 13 (per-shard cursor
+// pipelines), and Fig 17 (recovery timing).
+struct OrdererStats {
   uint64_t appends = 0;
   uint64_t duplicates_filtered = 0;
-  uint64_t batches = 0;
-  uint64_t batch_entries = 0;  // sum of batch sizes
+  uint64_t batches = 0;        // ordering batches (one per ordered_gp advance)
+  uint64_t batch_entries = 0;  // records covered by those advances
   uint64_t gc_rounds = 0;
   double AvgBatchSize() const {
     return batches == 0 ? 0.0 : static_cast<double>(batch_entries) / static_cast<double>(batches);
   }
+
+  // Per-shard ordering-cursor counters (Fig 13 diagnosis: who is the straggler).
+  struct PerShard {
+    ShardId shard = 0;
+    uint64_t pushes = 0;          // windows sent
+    uint64_t retries = 0;         // cursor resets after a failed/timed-out window
+    uint64_t in_flight = 0;       // windows currently outstanding
+    LogPos next_pos = 0;          // next position this cursor will send
+    LogPos acked_watermark = 0;   // shard's durable frontier, from its acks
+    LogPos watermark_lag = 0;     // assigned_gp - acked_watermark
+  };
+};
+
+// Old name, kept for call sites that predate the per-shard cursor rewrite.
+using SeqStats = OrdererStats;
+
+// Point-in-time copy of the counters plus the ordering frontiers — the single stats
+// surface consumed by benches/tests (no friend/field poking).
+struct OrdererStatsSnapshot {
+  OrdererStats counters;
+  ViewId view = 0;
+  bool leader = false;
+  LogPos ordered_gp = 0;
+  LogPos assigned_gp = 0;
+  LogPos stable_gp = 0;
+  uint64_t unordered = 0;  // entries still in the local ring buffer
+  std::vector<OrdererStats::PerShard> shards;
+  StatsFields Fields() const;
 };
 
 class SequencingReplica {
@@ -70,9 +100,13 @@ class SequencingReplica {
   ViewId view() const { return view_; }
   bool sealed() const { return sealed_; }
   LogPos ordered_gp() const { return ordered_gp_; }
+  // Assignment frontier: positions < assigned_gp_ have been handed to shard cursors
+  // (but are not necessarily durable yet). Runtime-added shards bootstrap here.
+  LogPos assigned_gp() const { return assigned_gp_; }
   LogPos stable_gp() const { return stable_gp_; }
   uint64_t unordered_size() const { return log_.size(); }
-  const SeqStats& stats() const { return stats_; }
+  const OrdererStats& stats() const { return stats_; }
+  OrdererStatsSnapshot StatsSnapshot() const;
   const std::vector<NodeId>& config() const { return config_; }
   // Exposes the local log order for linearizability tests.
   std::vector<RecordId> LogIds() const;
@@ -111,15 +145,41 @@ class SequencingReplica {
   void HandleTrim(Decoder d, Responder r);
   void HandleUpdateShards(Decoder d, Responder r);
 
+  // One per-shard ordering pipeline (§4.3 cursor redesign). The cursor sends adjacent
+  // position windows [next_pos, …) with up to seq.order_pipeline_depth outstanding,
+  // tracks the shard's durable watermark from its acks, and retries independently of
+  // the other cursors with doubling backoff. window_epoch orphans in-flight acks when
+  // the cursor resets to its watermark.
+  struct ShardCursor {
+    ShardId shard = 0;
+    LogPos next_pos = 0;
+    LogPos acked_watermark = 0;
+    uint32_t in_flight = 0;
+    uint64_t window_epoch = 0;
+    uint32_t retry_attempts = 0;
+    bool retry_armed = false;
+    uint64_t pushes = 0;
+    uint64_t retries = 0;
+  };
+
   // Background ordering (leader only).
   void OrderingTick();
-  void StartOrderingBatch();
-  // `done(ok, fenced)`: `fenced` is set when a shard rejected the push with STALE_VIEW —
-  // this replica has been sealed out of the current epoch and must stop ordering.
+  // Stamps global positions onto unassigned log entries (m-mode also freezes their
+  // shard placement), advancing assigned_gp_.
+  void AssignPositions();
+  void PumpCursor(size_t s);
+  void OnWindowAck(size_t s, uint64_t epoch, ViewId window_view, const Status& status,
+                   const std::string& body);
+  void ArmCursorRetry(size_t s);
+  // Advances ordered_gp_ to the min durable watermark across cursors, GCs the covered
+  // entries locally, and queues follower GC.
+  void AdvanceOrderedFromCursors();
+  void ResetCursors(LogPos start);
+  // Recovery flush only: barrier-push `batch` (overwriting the unstable tail) to every
+  // shard primary. `done(ok, fenced)`: `fenced` is set when a shard rejected the push
+  // with STALE_VIEW — this replica has been sealed out of the current epoch.
   void PushBatchToShards(std::vector<Entry> batch, LogPos base_pos, ViewId view,
-                         bool overwrite, uint64_t timeout_ns,
-                         std::function<void(bool ok, bool fenced)> done);
-  void OnShardsAcked(uint64_t k, std::vector<WireRecordId> ids);
+                         uint64_t timeout_ns, std::function<void(bool ok, bool fenced)> done);
   void SendFollowerGc(NodeId follower, std::function<void()> done);
   void OnFollowerGcDone(NodeId follower, ViewId gc_view, LogPos sent_gp, size_t sent,
                         const Status& s);
@@ -152,10 +212,14 @@ class SequencingReplica {
   std::vector<NodeId> shard_primaries_;
   std::vector<NodeId> all_shard_servers_;
 
-  // The local log: the paper's ring buffer. Entries leave only via GC/flush.
+  // The local log: the paper's ring buffer. Entries leave only via GC/flush. On the
+  // leader, log_[i] holds position ordered_gp_ + i: positions in
+  // [ordered_gp_, assigned_gp_) are assigned to cursor windows but not yet durable on
+  // every shard, so their entries must stay resendable.
   std::deque<Entry> log_;
-  LogPos ordered_gp_ = 0;  // count of globally ordered records known here
-  LogPos stable_gp_ = 0;   // leader: count of stable records
+  LogPos ordered_gp_ = 0;   // count of globally ordered (min-watermark durable) records
+  LogPos assigned_gp_ = 0;  // leader: count of position-assigned records
+  LogPos stable_gp_ = 0;    // leader: count of stable records
 
   // Duplicate filtering (footnote in §4.3 and retry handling in §4.5).
   std::unordered_set<RecordId, RecordIdHash> in_log_;
@@ -163,8 +227,8 @@ class SequencingReplica {
   std::deque<std::pair<SimTime, RecordId>> ordered_expiry_;
 
   bool ordering_armed_ = false;
-  bool batch_in_flight_ = false;
-  uint64_t max_batch_ = 16384;
+  // One ordering cursor per shard primary (parallel to shard_primaries_).
+  std::vector<ShardCursor> cursors_;
   GpObserver gp_observer_;
 
   // Per-follower GC queues (see FollowerGc).
@@ -176,7 +240,7 @@ class SequencingReplica {
   ViewId last_flush_view_ = 0;
   std::string last_flush_resp_;
 
-  SeqStats stats_;
+  OrdererStats stats_;
 };
 
 }  // namespace lazylog

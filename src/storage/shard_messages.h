@@ -24,25 +24,44 @@ struct PositionedRecord {
   bool Decode(Decoder& d) { return d.GetU64(&pos) && DecodeRecord(d, &record); }
 };
 
-// Orderer -> shard primary: a batch of ordered records (Erwin-m). `overwrite` is set on
-// the recovery flush, where previously pushed (but unstable) tail entries may be
-// logically rewritten (§4.5).
+// Orderer -> shard primary: one ordering window of ordered records (Erwin-m).
+// `range_lo`/`range_hi` delimit the contiguous global-position span this window covers
+// (the shard stores only its owned subset but advances its applied watermark over the
+// whole span). Windows from one orderer cursor cover adjacent, non-overlapping spans;
+// the shard applies them in span order, parking any window that arrives ahead of a gap.
+// `overwrite` is set on the recovery flush, where previously pushed (but unstable) tail
+// entries may be logically rewritten (§4.5).
 struct ShardAppendBatchReq {
   ViewId view = 0;
   bool overwrite = false;
   LogPos truncate_from = 0;  // valid when overwrite: drop local entries with pos >= this
+  LogPos range_lo = 0;       // first global position covered by this window
+  LogPos range_hi = 0;       // one past the last global position covered
   std::vector<PositionedRecord> records;
 
   void Encode(Encoder& e) const {
     e.PutU64(view);
     e.PutBool(overwrite);
     e.PutU64(truncate_from);
+    e.PutU64(range_lo);
+    e.PutU64(range_hi);
     e.PutVector(records);
   }
   bool Decode(Decoder& d) {
     return d.GetU64(&view) && d.GetBool(&overwrite) && d.GetU64(&truncate_from) &&
-           d.GetVector(&records);
+           d.GetU64(&range_lo) && d.GetU64(&range_hi) && d.GetVector(&records);
   }
+};
+
+// Shard -> orderer: ack body for an ordering window (append batch or order meta).
+// `applied_upto` is the shard's contiguous applied watermark — every position below it
+// has been applied (stored, replicated, persisted). The orderer resyncs a cursor from
+// this value after a retry instead of re-sending the whole batch to every shard.
+struct ShardOrderAckResp {
+  LogPos applied_upto = 0;
+
+  void Encode(Encoder& e) const { e.PutU64(applied_upto); }
+  bool Decode(Decoder& d) { return d.GetU64(&applied_upto); }
 };
 
 // Client read request. `pos` is a global log position; the shard gates the response on
@@ -96,23 +115,29 @@ struct MetaEntry {
   }
 };
 
-// Orderer -> every shard primary (Erwin-st): the ordered metadata log segment. Each
-// primary stores the full position->shard map and binds the positions it owns.
+// Orderer -> every shard primary (Erwin-st): one ordering window of the metadata log.
+// Each primary stores the full position->shard map and binds the positions it owns.
+// Range semantics match ShardAppendBatchReq: windows cover adjacent spans and are
+// applied in span order (out-of-order arrivals park until the gap fills).
 struct ShardOrderMetaReq {
   ViewId view = 0;
   bool overwrite = false;
   LogPos truncate_from = 0;  // valid when overwrite
+  LogPos range_lo = 0;       // first global position covered by this window
+  LogPos range_hi = 0;       // one past the last global position covered
   std::vector<MetaEntry> entries;
 
   void Encode(Encoder& e) const {
     e.PutU64(view);
     e.PutBool(overwrite);
     e.PutU64(truncate_from);
+    e.PutU64(range_lo);
+    e.PutU64(range_hi);
     e.PutVector(entries);
   }
   bool Decode(Decoder& d) {
     return d.GetU64(&view) && d.GetBool(&overwrite) && d.GetU64(&truncate_from) &&
-           d.GetVector(&entries);
+           d.GetU64(&range_lo) && d.GetU64(&range_hi) && d.GetVector(&entries);
   }
 };
 

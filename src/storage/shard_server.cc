@@ -12,6 +12,10 @@ namespace {
 // critical path is memory, disk catches up in the background").
 constexpr uint64_t kDiskAdmissionHorizonNs = 2 * kMs;
 constexpr uint64_t kScrubIntervalNs = 50 * kMs;
+// Parked ordering windows are bounded: a cursor keeps at most order_pipeline_depth
+// windows in flight, so anything beyond a small multiple means the orderer is
+// misbehaving; overflow is refused (with the watermark) and the cursor retries.
+constexpr size_t kMaxParkedWindows = 64;
 }  // namespace
 
 void ShardServer::BatchAck::Complete(const Status& s) {
@@ -19,8 +23,79 @@ void ShardServer::BatchAck::Complete(const Status& s) {
     failed = true;
   }
   LL_CHECK(waits > 0, "BatchAck over-completed");
-  if (--waits == 0 && responder.valid()) {
-    responder.Send(failed ? Status::Internal("shard batch failed") : Status::Ok());
+  if (--waits != 0) {
+    return;
+  }
+  if (!failed && track_span && server != nullptr) {
+    server->OnWindowDurable(span_lo, span_hi);
+  }
+  if (responder.valid()) {
+    if (server != nullptr) {
+      server->SendWatermarkAck(std::move(responder),
+                               failed ? Status::Internal("shard batch failed") : Status::Ok());
+    } else {
+      responder.Send(failed ? Status::Internal("shard batch failed") : Status::Ok());
+    }
+  }
+}
+
+void ShardServer::SendWatermarkAck(Responder r, const Status& s) {
+  Encoder e;
+  ShardOrderAckResp{order_durable_}.Encode(e);
+  r.Send(s, e.Take());
+}
+
+void ShardServer::OnWindowDurable(LogPos lo, LogPos hi) {
+  if (hi <= order_durable_) {
+    return;  // already covered (retransmit completion)
+  }
+  lo = std::max(lo, order_durable_);
+  completed_spans_[lo] = std::max(completed_spans_[lo], hi);
+  // Advance the contiguous durable prefix.
+  auto it = completed_spans_.begin();
+  while (it != completed_spans_.end() && it->first <= order_durable_) {
+    order_durable_ = std::max(order_durable_, it->second);
+    it = completed_spans_.erase(it);
+  }
+}
+
+ShardServer::Admit ShardServer::DecideAdmit(LogPos lo, LogPos hi, bool overwrite) const {
+  if (overwrite) {
+    return Admit::kApply;  // recovery flush rewrites the tail and resets the frontiers
+  }
+  if (hi == 0) {
+    return Admit::kApply;  // legacy window without range info: apply, no span tracking
+  }
+  if (hi <= order_durable_) {
+    return Admit::kAckDurable;  // fully durable retransmit: re-ack, do not re-apply
+  }
+  if (lo > order_applied_) {
+    return parked_.size() >= kMaxParkedWindows ? Admit::kOverflow : Admit::kPark;
+  }
+  return Admit::kApply;
+}
+
+void ShardServer::ResetOrderFrontiersForOverwrite(LogPos truncate_from, LogPos range_hi) {
+  completed_spans_.clear();
+  for (auto& [lo, w] : parked_) {
+    SendWatermarkAck(std::move(w.responder), Status::StaleView("parked window pre-dates flush"));
+  }
+  parked_.clear();
+  // The flush rewrites [truncate_from, range_hi); everything it covers is applied once
+  // it lands, and durability restarts from the truncation point.
+  order_applied_ = std::max(range_hi, truncate_from);
+  order_durable_ = std::min(order_durable_, truncate_from);
+}
+
+void ShardServer::DrainParkedWindows() {
+  while (!parked_.empty() && parked_.begin()->first <= order_applied_) {
+    OrderedWindow w = std::move(parked_.begin()->second);
+    parked_.erase(parked_.begin());
+    if (w.batch) {
+      ApplyAppendWindow(std::move(w.batch), std::move(w.responder));
+    } else {
+      ApplyMetaWindow(std::move(w.meta), std::move(w.responder), w.primary_path);
+    }
   }
 }
 
@@ -111,6 +186,12 @@ void ShardServer::Bootstrap(LogPos stable_gp, LogPos meta_next_pos) {
   stable_gp_ = stable_gp;
   meta_base_ = meta_next_pos;
   trimmed_below_ = 0;
+  // A runtime-added shard starts its ordering stream at the leader's assignment
+  // frontier: the first window its cursor sends has range_lo == meta_next_pos, so the
+  // frontiers must start there or that window would park forever.
+  order_applied_ = meta_next_pos;
+  order_durable_ = meta_next_pos;
+  completed_spans_.clear();
   if (stable_gp_observer_) {
     stable_gp_observer_(view_, stable_gp_);
   }
@@ -197,45 +278,88 @@ void ShardServer::HandleAppendBatch(Decoder d, Responder r) {
     bytes += pr.record.payload.size();
   }
   cpu_.ExecuteFor(bytes, [this, req, r]() mutable {
-    auto batch = std::make_shared<BatchAck>();
-    batch->responder = r;
-    batch->waits = 1;  // guard until arming completes
-    if (req->overwrite) {
-      TruncateOrderedFrom(req->truncate_from);
-    }
-    uint64_t bytes2 = 0;
-    for (auto& pr : req->records) {
-      if (!req->overwrite && pos_to_local_.count(pr.pos) > 0) {
-        continue;  // duplicate push from an orderer retry; idempotent
-      }
-      StoreOrdered(pr.pos, pr.record, req->overwrite);
-      bytes2 += pr.record.payload.size();
-    }
-    // Replicate to backups; each ack releases one wait.
-    if (is_primary()) {
-      Encoder enc;
-      req->Encode(enc);
-      const std::string body = enc.Take();
-      for (size_t i = 1; i < replicas_.size(); ++i) {
-        batch->waits++;
-        endpoint_.Call(replicas_[i], kShardReplicate, body,
-                       [batch](Status s, const std::string&) { batch->Complete(s); },
-                       params_.rpc_timeout_ns);
-      }
-    }
-    // Shards are the long-term durable tier: the batch ack (and hence GC of the
-    // sequencing replicas and the stable-gp advance) waits for the disk write. This is
-    // off the append critical path — it only sets the background-ordering cycle length,
-    // which is what makes ordering batches grow with the append rate (Fig 11).
-    batch->waits++;
-    disk_.Write(bytes2 + req->records.size() * 32,
-                [batch]() { batch->Complete(Status::Ok()); });
-    batch->Complete(Status::Ok());  // release the arming guard
+    AdmitAppendWindow(std::move(req), std::move(r));
   });
 }
 
+void ShardServer::AdmitAppendWindow(std::shared_ptr<ShardAppendBatchReq> req, Responder r) {
+  switch (DecideAdmit(req->range_lo, req->range_hi, req->overwrite)) {
+    case Admit::kAckDurable:
+      stats_.windows_retransmitted++;
+      SendWatermarkAck(std::move(r), Status::Ok());
+      return;
+    case Admit::kPark: {
+      stats_.windows_parked++;
+      auto [it, inserted] = parked_.try_emplace(req->range_lo);
+      if (!inserted) {
+        SendWatermarkAck(std::move(it->second.responder),
+                         Status::Unavailable("superseded by a newer retry"));
+      }
+      it->second = OrderedWindow{std::move(req), nullptr, true, std::move(r)};
+      return;
+    }
+    case Admit::kOverflow:
+      SendWatermarkAck(std::move(r), Status::Unavailable("parked window overflow"));
+      return;
+    case Admit::kApply:
+      break;
+  }
+  ApplyAppendWindow(std::move(req), std::move(r));
+  DrainParkedWindows();
+}
+
+void ShardServer::ApplyAppendWindow(std::shared_ptr<ShardAppendBatchReq> req, Responder r) {
+  auto batch = std::make_shared<BatchAck>();
+  batch->server = this;
+  batch->responder = std::move(r);
+  batch->waits = 1;  // guard until arming completes
+  if (req->overwrite) {
+    TruncateOrderedFrom(req->truncate_from);
+    ResetOrderFrontiersForOverwrite(req->truncate_from, req->range_hi);
+    batch->track_span = true;
+    batch->span_lo = std::min(req->truncate_from, req->range_lo);
+    batch->span_hi = std::max(req->range_hi, req->truncate_from);
+  } else if (req->range_hi > req->range_lo) {
+    batch->track_span = true;
+    batch->span_lo = req->range_lo;
+    batch->span_hi = req->range_hi;
+    order_applied_ = std::max(order_applied_, req->range_hi);
+    stats_.windows_applied++;
+  }
+  uint64_t bytes2 = 0;
+  for (auto& pr : req->records) {
+    if (!req->overwrite && pos_to_local_.count(pr.pos) > 0) {
+      continue;  // duplicate push from an orderer retry; idempotent
+    }
+    StoreOrdered(pr.pos, pr.record, req->overwrite);
+    bytes2 += pr.record.payload.size();
+  }
+  // Replicate to backups; each ack releases one wait. Backups run the same admission,
+  // so a window reordered in flight parks there until its predecessor lands.
+  if (is_primary()) {
+    Encoder enc;
+    req->Encode(enc);
+    const std::string body = enc.Take();
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      batch->waits++;
+      endpoint_.Call(replicas_[i], kShardReplicate, body,
+                     [batch](Status s, const std::string&) { batch->Complete(s); },
+                     params_.rpc_timeout_ns);
+    }
+  }
+  // Shards are the long-term durable tier: the window ack (and hence GC of the
+  // sequencing replicas and the stable-gp advance) waits for the disk write. This is
+  // off the append critical path — it only sets the background-ordering cycle length,
+  // which is what makes ordering batches grow with the append rate (Fig 11).
+  batch->waits++;
+  disk_.Write(bytes2 + req->records.size() * 32,
+              [batch]() { batch->Complete(Status::Ok()); });
+  batch->Complete(Status::Ok());  // release the arming guard
+}
+
 void ShardServer::HandleReplicate(Decoder d, Responder r) {
-  // Backup side of HandleAppendBatch; identical storage path without re-replication.
+  // Backup side of HandleAppendBatch; same admission + storage path, but completion
+  // responds to the primary instead of arming replication of its own.
   if (loading_) {
     r.Send(Status::Unavailable("state copy in progress"));
     return;
@@ -255,19 +379,7 @@ void ShardServer::HandleReplicate(Decoder d, Responder r) {
     bytes += pr.record.payload.size();
   }
   cpu_.ExecuteFor(bytes, [this, req, r]() mutable {
-    if (req->overwrite) {
-      TruncateOrderedFrom(req->truncate_from);
-    }
-    uint64_t bytes2 = 0;
-    for (auto& pr : req->records) {
-      if (!req->overwrite && pos_to_local_.count(pr.pos) > 0) {
-        continue;  // duplicate push (retry); idempotent
-      }
-      StoreOrdered(pr.pos, pr.record, req->overwrite);
-      bytes2 += pr.record.payload.size();
-    }
-    disk_.Write(bytes2 + req->records.size() * 32,
-                [r]() mutable { r.Send(Status::Ok()); });
+    AdmitAppendWindow(std::move(req), std::move(r));
   });
 }
 
@@ -443,7 +555,9 @@ void ShardServer::HandleOrderMeta(Decoder d, Responder r) {
   }
   view_ = std::max(view_, req->view);
   cpu_.ExecuteFor(req->entries.size() * params_.seq.metadata_entry_bytes,
-                  [this, req, r]() mutable { ProcessOrderMeta(*req, r, /*primary_path=*/true); });
+                  [this, req, r]() mutable {
+                    AdmitMetaWindow(std::move(req), std::move(r), /*primary_path=*/true);
+                  });
 }
 
 void ShardServer::HandleReplicateMeta(Decoder d, Responder r) {
@@ -462,13 +576,44 @@ void ShardServer::HandleReplicateMeta(Decoder d, Responder r) {
   }
   view_ = std::max(view_, req->view);
   cpu_.ExecuteFor(req->entries.size() * params_.seq.metadata_entry_bytes,
-                  [this, req, r]() mutable { ProcessOrderMeta(*req, r, /*primary_path=*/false); });
+                  [this, req, r]() mutable {
+                    AdmitMetaWindow(std::move(req), std::move(r), /*primary_path=*/false);
+                  });
 }
 
-void ShardServer::ProcessOrderMeta(const ShardOrderMetaReq& req, Responder r,
-                                   bool primary_path) {
+void ShardServer::AdmitMetaWindow(std::shared_ptr<ShardOrderMetaReq> req, Responder r,
+                                  bool primary_path) {
+  switch (DecideAdmit(req->range_lo, req->range_hi, req->overwrite)) {
+    case Admit::kAckDurable:
+      stats_.windows_retransmitted++;
+      SendWatermarkAck(std::move(r), Status::Ok());
+      return;
+    case Admit::kPark: {
+      stats_.windows_parked++;
+      auto [it, inserted] = parked_.try_emplace(req->range_lo);
+      if (!inserted) {
+        SendWatermarkAck(std::move(it->second.responder),
+                         Status::Unavailable("superseded by a newer retry"));
+      }
+      it->second = OrderedWindow{nullptr, std::move(req), primary_path, std::move(r)};
+      return;
+    }
+    case Admit::kOverflow:
+      SendWatermarkAck(std::move(r), Status::Unavailable("parked window overflow"));
+      return;
+    case Admit::kApply:
+      break;
+  }
+  ApplyMetaWindow(std::move(req), std::move(r), primary_path);
+  DrainParkedWindows();
+}
+
+void ShardServer::ApplyMetaWindow(std::shared_ptr<ShardOrderMetaReq> req_ptr, Responder r,
+                                  bool primary_path) {
+  const ShardOrderMetaReq& req = *req_ptr;
   auto batch = std::make_shared<BatchAck>();
-  batch->responder = r;
+  batch->server = this;
+  batch->responder = std::move(r);
   batch->waits = 1;
   if (req.overwrite) {
     // Recovery flush: rewrite the unstable metadata tail and any bindings in it.
@@ -477,6 +622,16 @@ void ShardServer::ProcessOrderMeta(const ShardOrderMetaReq& req, Responder r,
       meta_log_.resize(req.truncate_from - meta_base_);
     }
     TruncateOrderedFrom(req.truncate_from);
+    ResetOrderFrontiersForOverwrite(req.truncate_from, req.range_hi);
+    batch->track_span = true;
+    batch->span_lo = std::min(req.truncate_from, req.range_lo);
+    batch->span_hi = std::max(req.range_hi, req.truncate_from);
+  } else if (req.range_hi > req.range_lo) {
+    batch->track_span = true;
+    batch->span_lo = req.range_lo;
+    batch->span_hi = req.range_hi;
+    order_applied_ = std::max(order_applied_, req.range_hi);
+    stats_.windows_applied++;
   }
   uint64_t bound_bytes = 0;
   for (const MetaEntry& entry : req.entries) {
@@ -698,6 +853,18 @@ void ShardServer::HandleSeal(Decoder d, Responder r) {
   // older view gets STALE_VIEW, so a deposed leader can neither bind positions nor move
   // stable-gp here. The recovery flush (stamped new_view) passes the fence.
   view_ = std::max(view_, req.new_view);
+  // Parked windows were stamped by the now-deposed orderer; reject them mid-pipeline so
+  // their cursors self-seal instead of waiting out a timeout against a dead leader.
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    const ViewId wv = it->second.batch ? it->second.batch->view : it->second.meta->view;
+    if (wv < view_) {
+      SendWatermarkAck(std::move(it->second.responder),
+                       Status::StaleView("fenced: parked window from sealed view"));
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   r.Send(Status::Ok());
 }
 
@@ -720,6 +887,11 @@ void ShardServer::HandleFetchState(Decoder d, Responder r) {
   e.PutU64(stable_gp_);
   e.PutU64(trimmed_below_);
   e.PutU64(meta_base_);
+  // Ordering frontiers: a replacement that starts at zero would park every window the
+  // cursor sends it (range_lo far ahead of an empty stream). completed_spans_ is not
+  // shipped — the orderer re-sends anything above order_durable_ after a retry anyway.
+  e.PutU64(order_applied_);
+  e.PutU64(order_durable_);
   // Ordered records in local order.
   e.PutU32(static_cast<uint32_t>(local_pos_.size()));
   for (size_t i = 0; i < local_pos_.size(); ++i) {
@@ -760,8 +932,10 @@ void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)>
         Decoder d(body);
         uint32_t n_ordered = 0;
         uint64_t view = 0, stable = 0, trimmed = 0, meta_base = 0;
+        uint64_t order_applied = 0, order_durable = 0;
         if (!d.GetU64(&view) || !d.GetU64(&stable) || !d.GetU64(&trimmed) ||
-            !d.GetU64(&meta_base) || !d.GetU32(&n_ordered)) {
+            !d.GetU64(&meta_base) || !d.GetU64(&order_applied) ||
+            !d.GetU64(&order_durable) || !d.GetU32(&n_ordered)) {
           done(Status::Internal("bad state snapshot"));
           return;
         }
@@ -771,6 +945,9 @@ void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)>
         stable_gp_ = std::max(stable_gp_, stable);
         trimmed_below_ = trimmed;
         meta_base_ = meta_base;
+        order_applied_ = std::max(order_applied_, order_applied);
+        order_durable_ = std::max(order_durable_, order_durable);
+        completed_spans_.clear();
         if (stable_gp_observer_) {
           stable_gp_observer_(view_, stable_gp_);
         }
@@ -844,6 +1021,38 @@ void ShardServer::ScrubOrphans() {
     }
   }
   endpoint_.loop()->Schedule(kScrubIntervalNs, [this]() { ScrubOrphans(); });
+}
+
+// --- stats surface --------------------------------------------------------------------
+
+ShardStatsSnapshot ShardServer::StatsSnapshot() const {
+  ShardStatsSnapshot snap;
+  snap.counters = stats_;
+  snap.shard_id = shard_id_;
+  snap.stable_gp = stable_gp_;
+  snap.order_applied = order_applied_;
+  snap.order_durable = order_durable_;
+  snap.parked_windows = parked_.size();
+  return snap;
+}
+
+StatsFields ShardStatsSnapshot::Fields() const {
+  return {
+      {"shard_id", static_cast<double>(shard_id)},
+      {"appends", static_cast<double>(counters.appends)},
+      {"data_puts", static_cast<double>(counters.data_puts)},
+      {"fast_reads", static_cast<double>(counters.fast_reads)},
+      {"slow_reads", static_cast<double>(counters.slow_reads)},
+      {"noops_created", static_cast<double>(counters.noops_created)},
+      {"rejected_puts", static_cast<double>(counters.rejected_puts)},
+      {"windows_applied", static_cast<double>(counters.windows_applied)},
+      {"windows_parked", static_cast<double>(counters.windows_parked)},
+      {"windows_retransmitted", static_cast<double>(counters.windows_retransmitted)},
+      {"stable_gp", static_cast<double>(stable_gp)},
+      {"order_applied", static_cast<double>(order_applied)},
+      {"order_durable", static_cast<double>(order_durable)},
+      {"parked_windows", static_cast<double>(parked_windows)},
+  };
 }
 
 }  // namespace lazylog

@@ -8,9 +8,12 @@
 #define SRC_STORAGE_SHARD_SERVER_H_
 
 #include <deque>
+#include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/params.h"
@@ -27,12 +30,27 @@ enum class ShardMode { kBlackBox, kStModified };
 
 // Runtime statistics exposed to benches and tests.
 struct ShardStats {
-  uint64_t appends = 0;        // ordered records stored
-  uint64_t data_puts = 0;      // Erwin-st unordered data writes
-  uint64_t fast_reads = 0;     // served immediately (pos <= stable-gp)
-  uint64_t slow_reads = 0;     // had to wait for stable-gp to advance
-  uint64_t noops_created = 0;  // Erwin-st missing-data resolutions
-  uint64_t rejected_puts = 0;  // late data after no-op
+  uint64_t appends = 0;         // ordered records stored
+  uint64_t data_puts = 0;       // Erwin-st unordered data writes
+  uint64_t fast_reads = 0;      // served immediately (pos <= stable-gp)
+  uint64_t slow_reads = 0;      // had to wait for stable-gp to advance
+  uint64_t noops_created = 0;   // Erwin-st missing-data resolutions
+  uint64_t rejected_puts = 0;   // late data after no-op
+  uint64_t windows_applied = 0; // ordering windows applied in span order
+  uint64_t windows_parked = 0;  // windows that arrived ahead of a gap and waited
+  uint64_t windows_retransmitted = 0;  // fully durable windows re-acked immediately
+};
+
+// Point-in-time copy of the counters plus the ordering-stream frontiers; the single
+// stats surface consumed by benches/tests (no friend/field poking).
+struct ShardStatsSnapshot {
+  ShardStats counters;
+  ShardId shard_id = 0;
+  LogPos stable_gp = 0;
+  LogPos order_applied = 0;  // contiguous apply frontier of the orderer stream
+  LogPos order_durable = 0;  // contiguous fully-durable frontier (reported in acks)
+  uint64_t parked_windows = 0;
+  StatsFields Fields() const;
 };
 
 class ShardServer {
@@ -59,6 +77,8 @@ class ShardServer {
 
   // --- introspection (tests / benches; no wire latency) ---
   LogPos stable_gp() const { return stable_gp_; }
+  LogPos order_durable() const { return order_durable_; }
+  ShardStatsSnapshot StatsSnapshot() const;
   const ShardStats& stats() const { return stats_; }
   uint64_t ordered_records() const { return log_.size(); }
   const Record* RecordAt(LogPos pos) const;
@@ -101,14 +121,30 @@ class ShardServer {
     std::shared_ptr<BatchAck> batch;  // primary: the orderer ack this gates
   };
 
-  // Tracks one in-flight ordered batch: responds to the orderer once replication,
-  // disk persistence, and (Erwin-st) all pending bindings resolve.
+  // Tracks one in-flight ordered window: responds to the orderer once replication,
+  // disk persistence, and (Erwin-st) all pending bindings resolve. On success the
+  // covered span [span_lo, span_hi) is folded into the durable frontier, and the ack
+  // body carries the shard's contiguous durable watermark (ShardOrderAckResp) so the
+  // orderer cursor can resync after retries.
   struct BatchAck {
+    ShardServer* server = nullptr;
     Responder responder;
     int waits = 0;
     bool failed = false;
+    bool track_span = false;
+    LogPos span_lo = 0;
+    LogPos span_hi = 0;
     void Arm(int n) { waits += n; }
     void Complete(const Status& s);
+  };
+
+  // An ordering window parked because it arrived ahead of a gap in the span stream
+  // (pipelined cursors can reorder in flight). Exactly one of batch/meta is set.
+  struct OrderedWindow {
+    std::shared_ptr<ShardAppendBatchReq> batch;  // Erwin-m payload
+    std::shared_ptr<ShardOrderMetaReq> meta;     // Erwin-st payload
+    bool primary_path = false;
+    Responder responder;
   };
 
   // Handlers.
@@ -129,6 +165,32 @@ class ShardServer {
   // True if a message stamped `view` must be rejected as fenced-off.
   bool FencedOff(ViewId view) const { return view < view_ && !fencing_disabled_; }
 
+  // --- ordering-window admission (per-shard cursor pipeline) ---
+  // Windows cover adjacent global-position spans and must be applied in span order
+  // (StoreOrdered requires ascending positions). Admission acks fully durable
+  // retransmits immediately, parks ahead-of-gap arrivals, applies in-order windows,
+  // and then drains any parked successors.
+  void AdmitAppendWindow(std::shared_ptr<ShardAppendBatchReq> req, Responder r);
+  void AdmitMetaWindow(std::shared_ptr<ShardOrderMetaReq> req, Responder r,
+                       bool primary_path);
+  void ApplyAppendWindow(std::shared_ptr<ShardAppendBatchReq> req, Responder r);
+  void ApplyMetaWindow(std::shared_ptr<ShardOrderMetaReq> req, Responder r,
+                       bool primary_path);
+  void DrainParkedWindows();
+  // Folds a durably completed span into completed_spans_ and advances order_durable_
+  // over the contiguous prefix.
+  void OnWindowDurable(LogPos lo, LogPos hi);
+  // Responds with `s` plus a ShardOrderAckResp carrying the durable watermark (error
+  // responses deliver the body too, so the orderer resyncs even on failure).
+  void SendWatermarkAck(Responder r, const Status& s);
+  // Shared admission decision for both window kinds. kApply also covers re-applies of
+  // applied-but-not-yet-durable retransmits (idempotent via pos_to_local_).
+  enum class Admit { kApply, kAckDurable, kPark, kOverflow };
+  Admit DecideAdmit(LogPos lo, LogPos hi, bool overwrite) const;
+  // Flush/overwrite windows reset the ordering frontiers: the unstable tail is being
+  // rewritten, so parked windows and completed spans from the old view are dropped.
+  void ResetOrderFrontiersForOverwrite(LogPos truncate_from, LogPos range_hi);
+
   // Stores one ordered record locally (append or recovery overwrite).
   void StoreOrdered(LogPos pos, Record record, bool overwrite_tail_done);
   // Truncates everything with position >= pos (recovery overwrite path).
@@ -138,8 +200,6 @@ class ShardServer {
   bool BindPosition(const MetaEntry& entry, const std::shared_ptr<BatchAck>& batch);
   void ResolvePendingWithData(const RecordId& id, const std::string& payload);
   void FinalizeNoOp(const RecordId& id);
-  // Shared body of HandleOrderMeta / HandleReplicateMeta.
-  void ProcessOrderMeta(const ShardOrderMetaReq& req, Responder r, bool primary_path);
   // Backup repair: applies a record fetched from the primary to a pending binding.
   void ApplyFetchedRecord(const RecordId& id, const Status& s, const std::string& body);
 
@@ -159,6 +219,15 @@ class ShardServer {
 
   ViewId view_ = 0;
   LogPos stable_gp_ = 0;  // positions < stable_gp_ are readable (count semantics)
+
+  // Ordering-stream frontiers (global positions, count semantics). order_applied_ is
+  // the contiguous span frontier of applied windows; order_durable_ is the contiguous
+  // frontier whose replication + disk persistence (+ st bindings) completed — this is
+  // what acks report. applied can run ahead of durable while windows are in flight.
+  LogPos order_applied_ = 0;
+  LogPos order_durable_ = 0;
+  std::map<LogPos, LogPos> completed_spans_;  // durably completed spans ahead of the frontier
+  std::map<LogPos, OrderedWindow> parked_;    // ahead-of-gap windows keyed by range_lo
   bool loading_ = false;  // replacement replica: state copy still in flight
   bool read_gate_disabled_ = false;  // test hook; see SetReadGateDisabledForTest
   bool fencing_disabled_ = false;    // test hook; see SetFencingDisabledForTest

@@ -61,8 +61,8 @@ void OpenLoopAppender::Tick() {
 void OpenLoopAppender::IssueOne() {
   const uint64_t index = issued_++;
   const SimTime start = loop_->Now();
-  client_->Append(payload_template_, [this, index, start](bool ok) {
-    if (!ok) {
+  client_->Append(payload_template_, [this, index, start](Status s) {
+    if (!s.ok()) {
       failed_++;
       return;
     }

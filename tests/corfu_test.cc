@@ -95,8 +95,8 @@ TEST(Corfu, ChainWriteCostsMoreRttsThanErwin) {
   bool done = false;
   SimTime start = cluster.loop().Now();
   SimTime end = 0;
-  client->Append(std::string(4096, 'x'), [&](bool ok) {
-    ASSERT_TRUE(ok);
+  client->Append(std::string(4096, 'x'), [&](Status s) {
+    ASSERT_TRUE(s.ok());
     end = cluster.loop().Now();
     done = true;
   });

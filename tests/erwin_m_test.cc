@@ -77,8 +77,8 @@ TEST(ErwinM, AppendSyncWaitsForStableBinding) {
   bool done = false;
   SimTime ack_at = 0;
   const SimTime start = cluster.loop().Now();
-  client->AppendSync("eager", [&](bool ok) {
-    ASSERT_TRUE(ok);
+  client->AppendSync("eager", [&](Status s) {
+    ASSERT_TRUE(s.ok());
     ack_at = cluster.loop().Now();
     done = true;
   });
@@ -97,7 +97,7 @@ TEST(ErwinM, ConcurrentAppendsAllBoundExactlyOnce) {
   int acked = 0;
   for (int i = 0; i < kN; ++i) {
     clients.push_back(cluster.MakeMClient());
-    clients.back()->Append("conc-" + std::to_string(i), [&](bool ok) { acked += ok; });
+    clients.back()->Append("conc-" + std::to_string(i), [&](Status s) { acked += s.ok(); });
   }
   cluster.RunFor(200 * kMs);
   ASSERT_EQ(acked, kN);

@@ -85,7 +85,7 @@ TEST(ErwinSmoke, SlowPathReadWaitsForOrdering) {
   // That read must have taken the slow path on some replica of shard 0.
   uint64_t slow = 0;
   for (uint32_t r = 0; r < 2; ++r) {
-    slow += cluster.shard(0, r).stats().slow_reads;
+    slow += cluster.shard(0, r).StatsSnapshot().counters.slow_reads;
   }
   EXPECT_GE(slow, 1u);
 }

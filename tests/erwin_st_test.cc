@@ -55,7 +55,7 @@ TEST(ErwinSt, MetadataOnlyAppendResolvesToNoOpVisibleToReaders) {
   ErwinCluster cluster(StOptions(2));
   auto client = cluster.MakeStClient();
   bool meta_acked = false;
-  client->AppendMetadataOnly(/*shard=*/0, [&](bool ok) { meta_acked = ok; });
+  client->AppendMetadataOnly(/*shard=*/0, [&](Status s) { meta_acked = s.ok(); });
   cluster.RunFor(1 * kMs);
   ASSERT_TRUE(meta_acked);
   ASSERT_TRUE(AppendSyncly(cluster.loop(), *client, "after-crash"));
@@ -74,7 +74,7 @@ TEST(ErwinSt, DataOnlyAppendIsScrubbedAsOrphan) {
   ErwinCluster cluster(StOptions(1));
   auto client = cluster.MakeStClient();
   bool data_acked = false;
-  client->AppendDataOnly(0, "orphan-data", [&](bool ok) { data_acked = ok; });
+  client->AppendDataOnly(0, "orphan-data", [&](Status s) { data_acked = s.ok(); });
   cluster.RunFor(1 * kMs);
   ASSERT_TRUE(data_acked);
   EXPECT_EQ(cluster.shard(0, 0).unordered_pool_size(), 1u);

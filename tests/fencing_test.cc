@@ -34,8 +34,8 @@ std::map<std::string, bool> AppendAll(ErwinCluster& c, ErwinMClient* client,
   std::map<std::string, bool> acked;
   size_t resolved = 0;
   for (const std::string& p : payloads) {
-    client->Append(p, [&acked, &resolved, p](bool durable) {
-      acked[p] = durable;
+    client->Append(p, [&acked, &resolved, p](Status s) {
+      acked[p] = s.ok();
       resolved++;
     });
   }
@@ -67,7 +67,7 @@ std::vector<PositionedRecord> ReadBackAll(ErwinCluster& c, ErwinMClient* client)
       break;
     }
     bool appended = false;
-    client->Append("sentinel" + std::to_string(round), [&](bool) { appended = true; });
+    client->Append("sentinel" + std::to_string(round), [&](Status) { appended = true; });
     RunUntilDone(c.loop(), appended, 100 * kMs);
     c.RunFor(2 * kMs);
   }
@@ -188,8 +188,8 @@ TEST(Fencing, InFlightAppendsSurviveViewChangeExactlyOnce) {
     payloads.push_back("inflight-" + std::to_string(i));
   }
   for (const std::string& p : payloads) {
-    client->Append(p, [&acked, &resolved, p](bool durable) {
-      acked[p] = durable;
+    client->Append(p, [&acked, &resolved, p](Status s) {
+      acked[p] = s.ok();
       resolved++;
     });
   }

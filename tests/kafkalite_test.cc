@@ -17,8 +17,8 @@ TEST(KafkaLite, ProduceWaitsForLinger) {
   auto producer = cluster.MakeProducer(0);
   bool acked = false;
   SimTime ack_time = 0;
-  producer->Produce("m1", [&](bool ok) {
-    acked = ok;
+  producer->Produce("m1", [&](Status s) {
+    acked = s.ok();
     ack_time = cluster.loop().Now();
   });
   cluster.RunFor(params.kafka.linger_ns / 2);
@@ -34,7 +34,7 @@ TEST(KafkaLite, BatchSharesOneProduceRpc) {
   auto producer = cluster.MakeProducer(0);
   int acks = 0;
   for (int i = 0; i < 10; ++i) {
-    producer->Produce("m" + std::to_string(i), [&](bool ok) { acks += ok ? 1 : 0; });
+    producer->Produce("m" + std::to_string(i), [&](Status s) { acks += s.ok() ? 1 : 0; });
   }
   cluster.RunFor(params.kafka.linger_ns + 20 * kMs);
   EXPECT_EQ(acks, 10);
@@ -46,7 +46,7 @@ TEST(KafkaLite, AcksAllReplicates) {
   KafkaCluster cluster(1, 3, params);
   auto producer = cluster.MakeProducer(0);
   bool acked = false;
-  producer->Produce("replicated", [&](bool ok) { acked = ok; });
+  producer->Produce("replicated", [&](Status s) { acked = s.ok(); });
   producer->Flush();
   cluster.RunFor(50 * kMs);
   ASSERT_TRUE(acked);
@@ -147,8 +147,8 @@ TEST(ErwinOnKafkaTest, AppendIsMicrosecondScaleDespiteKafkaBackend) {
   bool done = false;
   const SimTime start = h.loop_.Now();
   SimTime end = 0;
-  h.client_->Append("fast", [&](bool ok) {
-    ASSERT_TRUE(ok);
+  h.client_->Append("fast", [&](Status s) {
+    ASSERT_TRUE(s.ok());
     end = h.loop_.Now();
     done = true;
   });

@@ -62,10 +62,10 @@ TEST_P(LinearizabilityTest, RealTimeOrderRespected) {
     AppendTrace& trace = traces[payload];
     trace.invoked_at = cluster.loop().Now();
     in_flight++;
-    clients[c]->Append(payload, [&, payload, c, n](bool ok) {
+    clients[c]->Append(payload, [&, payload, c, n](Status s) {
       in_flight--;
       AppendTrace& t = traces[payload];
-      t.acked = ok;
+      t.acked = s.ok();
       t.acked_at = cluster.loop().Now();
       // Random think time before the next append from this client.
       cluster.loop().Schedule(rng.Uniform(200 * kUs) + 1, [&, c, n]() { issue(c, n + 1); });

@@ -1,0 +1,193 @@
+// Per-shard ordering-cursor pipeline tests (§4.3 cursor redesign): a partitioned shard
+// must not stall the other shards' cursors, ordered-gp must track the minimum durable
+// watermark across cursors under message loss, a leader crash mid-pipeline must not
+// lose or duplicate acknowledged records, and a shard added mid-flight must bootstrap
+// its cursor at the assignment frontier.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/lazylog/erwin_cluster.h"
+#include "tests/test_util.h"
+
+namespace lazylog {
+namespace {
+
+ErwinClusterOptions PipelineOptions(ErwinMode mode, uint32_t shards,
+                                    bool control_plane = false) {
+  ErwinClusterOptions opt;
+  opt.mode = mode;
+  opt.num_shards = shards;
+  opt.shard_replication = 2;
+  opt.with_control_plane = control_plane;
+  return opt;
+}
+
+// Issues `n` appends paced `gap_ns` apart, running the loop in between. Returns how
+// many were acked.
+uint64_t PacedAppends(ErwinCluster& c, SharedLogClient& client, int n, uint64_t gap_ns,
+                      const std::string& prefix) {
+  auto acked = std::make_shared<uint64_t>(0);
+  for (int i = 0; i < n; ++i) {
+    client.Append(prefix + std::to_string(i), [acked](Status s) {
+      if (s.ok()) {
+        (*acked)++;
+      }
+    });
+    c.RunFor(gap_ns);
+  }
+  return *acked;
+}
+
+TEST(OrdererPipeline, PartitionedShardDoesNotStallOtherCursors) {
+  ErwinCluster c(PipelineOptions(ErwinMode::kM, 3));
+  auto client = c.MakeMClient();
+  ASSERT_EQ(PacedAppends(c, *client, 30, 200 * kUs, "warm-"), 30u);
+  c.RunFor(20 * kMs);
+
+  // Cut the sequencing leader off from shard 1's primary only. Appends still complete
+  // (the sequencing layer is unaffected); only shard 1's ordering cursor stalls.
+  const NodeId leader = c.seq_replica(0).node_id();
+  const NodeId victim = c.shard(1, 0).node_id();
+  c.network().SetPartitioned(leader, victim, true);
+  c.RunFor(20 * kMs);  // let the in-flight window to shard 1 time out
+
+  auto mid = c.seq_replica(0).StatsSnapshot();
+  ASSERT_EQ(mid.shards.size(), 3u);
+  const LogPos stalled = mid.shards[1].acked_watermark;
+
+  ASSERT_EQ(PacedAppends(c, *client, 120, 200 * kUs, "during-"), 120u);
+  c.RunFor(20 * kMs);
+
+  auto snap = c.seq_replica(0).StatsSnapshot();
+  // The healthy cursors kept pushing windows and advanced their watermarks to the
+  // assignment frontier; the partitioned cursor stayed put and accumulated retries.
+  EXPECT_EQ(snap.shards[1].acked_watermark, stalled);
+  EXPECT_GT(snap.shards[0].acked_watermark, stalled + 60);
+  EXPECT_GT(snap.shards[2].acked_watermark, stalled + 60);
+  EXPECT_GT(snap.shards[1].retries, 0u);
+  // Global ordering is correctly gated on the minimum watermark.
+  EXPECT_EQ(snap.ordered_gp, stalled);
+  EXPECT_GT(snap.assigned_gp, snap.ordered_gp);
+  // The healthy shards' servers really persisted their windows (durable frontier).
+  EXPECT_GT(c.shard(0, 0).order_durable(), stalled);
+  EXPECT_GT(c.shard(2, 0).order_durable(), stalled);
+
+  // Heal: the stalled cursor resynchronizes from its watermark and the whole log
+  // becomes ordered and stable.
+  c.network().SetPartitioned(leader, victim, false);
+  c.RunFor(300 * kMs);
+  auto healed = c.seq_replica(0).StatsSnapshot();
+  EXPECT_EQ(healed.ordered_gp, 150u);
+  EXPECT_EQ(healed.assigned_gp, 150u);
+  EXPECT_EQ(healed.stable_gp, 150u);
+  auto records = ReadSyncly(c.loop(), *client, 0, 150, 5 * kSec);
+  ASSERT_TRUE(records.has_value());
+  EXPECT_EQ(records->size(), 150u);
+}
+
+TEST(OrdererPipeline, OrderedGpIsMinCursorWatermarkUnderLoss) {
+  ErwinCluster c(PipelineOptions(ErwinMode::kM, 2));
+  auto client = c.MakeMClient();
+  c.network().SetLossProbability(0.02);
+
+  auto acked = std::make_shared<uint64_t>(0);
+  auto resolved = std::make_shared<uint64_t>(0);
+  for (int i = 0; i < 100; ++i) {
+    client->Append("lossy-" + std::to_string(i), [acked, resolved](Status s) {
+      (*resolved)++;
+      if (s.ok()) {
+        (*acked)++;
+      }
+    });
+    c.RunFor(300 * kUs);
+    // The pipeline invariant: stable <= ordered <= every cursor's durable watermark,
+    // and assignment never falls behind ordering.
+    auto s = c.seq_replica(0).StatsSnapshot();
+    EXPECT_LE(s.stable_gp, s.ordered_gp);
+    EXPECT_LE(s.ordered_gp, s.assigned_gp);
+    for (const auto& ps : s.shards) {
+      EXPECT_LE(s.ordered_gp, ps.acked_watermark) << "shard " << ps.shard;
+    }
+  }
+  // Let lost-append retries (client timeout + config probe + resend) drain.
+  const SimTime resolve_deadline = c.loop().Now() + 10 * kSec;
+  while (*resolved < 100 && c.loop().Now() < resolve_deadline) {
+    c.RunFor(5 * kMs);
+  }
+  EXPECT_EQ(*resolved, 100u);
+  EXPECT_EQ(*acked, 100u);  // retries absorb the loss
+
+  c.network().SetLossProbability(0.0);
+  c.RunFor(500 * kMs);
+  auto final_snap = c.seq_replica(0).StatsSnapshot();
+  EXPECT_EQ(final_snap.ordered_gp, final_snap.assigned_gp);
+  EXPECT_EQ(final_snap.stable_gp, final_snap.ordered_gp);
+  auto records = ReadSyncly(c.loop(), *client, 0, final_snap.ordered_gp, 5 * kSec);
+  ASSERT_TRUE(records.has_value());
+  EXPECT_EQ(records->size(), final_snap.ordered_gp);
+}
+
+TEST(OrdererPipeline, LeaderCrashMidPipelineKeepsAckedRecordsOnce) {
+  ErwinCluster c(PipelineOptions(ErwinMode::kM, 2, /*control_plane=*/true));
+  auto client = c.MakeMClient();
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 24; ++i) {
+    payloads.push_back("acked-" + std::to_string(i));
+    ASSERT_TRUE(AppendSyncly(c.loop(), *client, payloads.back()));
+  }
+  // One ordering tick: windows are pushed (deep in the pipeline) but not all acked.
+  c.RunFor(c.params().seq.ordering_interval_ns);
+  c.CrashSeqReplica(0);
+
+  bool reconfigured = false;
+  c.controller()->OnReconfigured([&](const ReconfigTiming&) { reconfigured = true; });
+  const SimTime deadline = c.loop().Now() + 2 * kSec;
+  while (!reconfigured && c.loop().Now() < deadline) {
+    c.RunFor(1 * kMs);
+  }
+  ASSERT_TRUE(reconfigured);
+  c.RunFor(200 * kMs);
+
+  // Every acknowledged record survives, exactly once, in real-time append order.
+  auto records = ReadSyncly(c.loop(), *client, 0, 24, 5 * kSec);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 24u);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ((*records)[i].record.payload, payloads[i]) << "position " << i;
+  }
+}
+
+TEST(OrdererPipeline, AddShardMidFlightBootstrapsCursorAtAssignedGp) {
+  ErwinCluster c(PipelineOptions(ErwinMode::kSt, 1));
+  auto client = c.MakeStClient();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(AppendSyncly(c.loop(), *client, "pre-" + std::to_string(i)));
+  }
+  // Add the shard while ordering of the first batch may still be in flight.
+  const LogPos frontier_at_add = c.seq_replica(0).assigned_gp();
+  std::vector<NodeId> replicas = c.AddShard();
+  client->AddShard(replicas);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(AppendSyncly(c.loop(), *client, "post-" + std::to_string(i)));
+  }
+  c.RunFor(300 * kMs);
+
+  auto snap = c.seq_replica(0).StatsSnapshot();
+  ASSERT_EQ(snap.shards.size(), 2u);
+  // The new cursor joined at the assignment frontier (it owes nothing below it) and
+  // has made progress of its own since.
+  EXPECT_GE(snap.shards[1].acked_watermark, frontier_at_add);
+  EXPECT_GT(snap.shards[1].pushes, 0u);
+  EXPECT_EQ(snap.ordered_gp, 40u);
+  EXPECT_EQ(snap.stable_gp, 40u);
+  auto records = ReadSyncly(c.loop(), *client, 0, 40, 10 * kSec);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 40u);
+  // Both shards hold part of the post-add traffic (round-robin placement).
+  EXPECT_GT(c.shard(1, 0).ordered_records(), 0u);
+}
+
+}  // namespace
+}  // namespace lazylog

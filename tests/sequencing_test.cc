@@ -50,7 +50,7 @@ TEST(Sequencing, StableGpNeverExceedsOrderedGp) {
   ErwinCluster cluster(MOptions());
   auto client = cluster.MakeMClient();
   for (int i = 0; i < 50; ++i) {
-    client->Append("x", [](bool) {});
+    client->Append("x", [](Status) {});
     cluster.RunFor(100 * kUs);
     EXPECT_LE(cluster.leader().stable_gp(), cluster.leader().ordered_gp());
   }
@@ -71,8 +71,8 @@ TEST(Sequencing, DuplicateAppendFiltered) {
   }
   cluster.RunFor(5 * kMs);
   EXPECT_EQ(acks, 2);  // both report success (idempotent)
-  EXPECT_EQ(cluster.seq_replica(0).stats().appends, 1u);
-  EXPECT_EQ(cluster.seq_replica(0).stats().duplicates_filtered, 1u);
+  EXPECT_EQ(cluster.seq_replica(0).StatsSnapshot().counters.appends, 1u);
+  EXPECT_EQ(cluster.seq_replica(0).StatsSnapshot().counters.duplicates_filtered, 1u);
 }
 
 TEST(Sequencing, DuplicateFilteredEvenAfterGc) {
@@ -95,7 +95,7 @@ TEST(Sequencing, DuplicateFilteredEvenAfterGc) {
   cluster.RunFor(5 * kMs);
   EXPECT_TRUE(status.ok());
   EXPECT_EQ(cluster.seq_replica(1).unordered_size(), 0u);  // filtered, not re-appended
-  EXPECT_GE(cluster.seq_replica(1).stats().duplicates_filtered, 1u);
+  EXPECT_GE(cluster.seq_replica(1).StatsSnapshot().counters.duplicates_filtered, 1u);
 }
 
 TEST(Sequencing, CheckTailCountsDurableAndStable) {
@@ -169,7 +169,7 @@ TEST(Sequencing, BatchSizeGrowsWithRate) {
     appender.Start();
     cluster.RunFor(200 * kMs);
     appender.Stop();
-    return cluster.seq_replica(0).stats().AvgBatchSize();
+    return cluster.seq_replica(0).StatsSnapshot().counters.AvgBatchSize();
   };
   const double low = avg_batch_at(5'000);
   const double high = avg_batch_at(50'000);

@@ -73,7 +73,7 @@ TEST(ShardReplacement, StCopiesUnorderedPoolAndMetaLog) {
   cluster.RunFor(100 * kMs);
   // Park some unordered data on shard 0 (data written, metadata withheld).
   bool data_acked = false;
-  client->AppendDataOnly(0, "parked", [&](bool ok) { data_acked = ok; });
+  client->AppendDataOnly(0, "parked", [&](Status s) { data_acked = s.ok(); });
   cluster.RunFor(2 * kMs);
   ASSERT_TRUE(data_acked);
   ASSERT_EQ(cluster.shard(0, 1).unordered_pool_size(), 1u);

@@ -23,15 +23,28 @@ inline bool RunUntilDone(EventLoop& loop, const bool& done, uint64_t budget_ns =
   return done;
 }
 
-// Appends and waits for the durability ack. Returns the ack value.
+// Appends and waits for the durability ack. Returns whether the append succeeded.
 inline bool AppendSyncly(EventLoop& loop, SharedLogClient& client, std::string payload) {
   bool done = false;
-  bool result = false;
-  client.Append(std::move(payload), [&](bool ok) {
-    result = ok;
+  Status result = Status::Internal("never completed");
+  client.Append(std::move(payload), [&](Status s) {
+    result = std::move(s);
     done = true;
   });
   RunUntilDone(loop, done);
+  return done && result.ok();
+}
+
+// Appends and waits, returning the full completion Status (kRejected vs kTimeout etc.).
+inline Status AppendSynclyStatus(EventLoop& loop, SharedLogClient& client,
+                                 std::string payload, uint64_t budget_ns = kSec) {
+  bool done = false;
+  Status result = Status::Internal("never completed");
+  client.Append(std::move(payload), [&](Status s) {
+    result = std::move(s);
+    done = true;
+  });
+  RunUntilDone(loop, done, budget_ns);
   return result;
 }
 

@@ -85,7 +85,7 @@ TEST(SequentialReader, RespectsLag) {
   // With a 5ms lag, everything is ordered by read time: fast path only.
   uint64_t slow = 0;
   for (uint32_t r = 0; r < 2; ++r) {
-    slow += cluster.shard(0, r).stats().slow_reads;
+    slow += cluster.shard(0, r).StatsSnapshot().counters.slow_reads;
   }
   EXPECT_EQ(slow, 0u);
 }
