@@ -64,7 +64,7 @@ int main() {
     std::printf("total order across 2 Kafka shards (%s):\n", s.ToString().c_str());
     for (const auto& pr : records) {
       std::printf("  pos %llu: %s (kafka shard %llu)\n",
-                  static_cast<unsigned long long>(pr.pos), pr.record.payload.c_str(),
+                  static_cast<unsigned long long>(pr.pos), pr.record.payload.ToString().c_str(),
                   static_cast<unsigned long long>(pr.pos % 2));
     }
   });

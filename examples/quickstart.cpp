@@ -41,7 +41,7 @@ int main() {
     std::printf("read(0,5) -> %s\n", s.ToString().c_str());
     for (const auto& pr : records) {
       std::printf("  pos %llu: %s\n", static_cast<unsigned long long>(pr.pos),
-                  pr.record.payload.c_str());
+                  pr.record.payload.ToString().c_str());
     }
   });
   cluster.RunFor(5 * kMs);

@@ -17,6 +17,11 @@ bool DecodeKvUpdate(const std::string& record, std::string* key, std::string* va
   return d.GetBytes(key) && d.GetBytes(value);
 }
 
+bool DecodeKvUpdate(const Buf& record, std::string* key, std::string* value) {
+  Decoder d(record.data(), record.size());
+  return d.GetBytes(key) && d.GetBytes(value);
+}
+
 // --- write server ---------------------------------------------------------------------
 
 KvWriteServer::KvWriteServer(Network* net, const SimParams& params,
@@ -112,7 +117,7 @@ void KvClient::Put(const std::string& key, const std::string& value, PutCallback
   e.PutBytes(key);
   e.PutBytes(value);
   endpoint_.Call(write_server_, kKvPut, e.Take(),
-                 [cb](Status s, const std::string&) {
+                 [cb](Status s, Decoder) {
                    if (cb) {
                      cb(s.ok());
                    }
@@ -124,10 +129,9 @@ void KvClient::Get(const std::string& key, GetCallback cb) {
   Encoder e;
   e.PutBytes(key);
   endpoint_.Call(read_server_, kKvGet, e.Take(),
-                 [cb](Status s, const std::string& body) {
+                 [cb](Status s, Decoder d) {
                    std::string value;
                    if (s.ok()) {
-                     Decoder d(body);
                      d.GetBytes(&value);
                    }
                    cb(std::move(s), std::move(value));

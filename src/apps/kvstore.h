@@ -20,6 +20,7 @@ namespace lazylog {
 // Serialization of one KV update as a log record.
 std::string EncodeKvUpdate(const std::string& key, const std::string& value);
 bool DecodeKvUpdate(const std::string& record, std::string* key, std::string* value);
+bool DecodeKvUpdate(const Buf& record, std::string* key, std::string* value);
 
 // Accepts Put requests, appends them to the shared log, acks once durable.
 class KvWriteServer {

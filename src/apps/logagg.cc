@@ -74,7 +74,7 @@ void TxnClient::Execute(TxnType type, uint64_t account, int64_t amount, TxnCallb
   e.PutU64(account);
   e.PutU64(static_cast<uint64_t>(amount));
   endpoint_.Call(server_, kTxnExecute, e.Take(),
-                 [cb](Status s, const std::string&) { cb(s.ok()); }, params_.rpc_timeout_ns);
+                 [cb](Status s, Decoder) { cb(s.ok()); }, params_.rpc_timeout_ns);
 }
 
 }  // namespace lazylog

@@ -50,7 +50,11 @@ void CorfuStorageUnit::HandleWrite(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad corfu write"));
     return;
   }
-  cpu_.ExecuteFor(rec.payload.size(), [this, pos, rec = std::move(rec), r]() mutable {
+  // Admission charges the fixed per-request CPU cost only; the payload's transfer cost
+  // is charged once, at the disk write below (the unit acks from memory/NVRAM). Keeping
+  // the byte count out of the ExecuteFor argument also avoids reading `rec` in the same
+  // call that moves it into the capture (unspecified evaluation order).
+  cpu_.ExecuteFor(0, [this, pos, rec = std::move(rec), r]() mutable {
     auto it = store_.find(pos);
     if (it != store_.end()) {
       // Write-once: a duplicate identical write (client retry) is fine; a conflicting
@@ -118,22 +122,21 @@ CorfuClient::CorfuClient(Network* net, const SimParams& params, NodeId sequencer
     : endpoint_(net), params_(params), sequencer_(sequencer), chains_(std::move(chains)),
       client_id_(client_id) {}
 
-void CorfuClient::Append(std::string payload, AppendCallback cb) {
+void CorfuClient::Append(Buf payload, AppendCallback cb) {
   AppendAt(std::move(payload), [cb](Status s, LogPos) { cb(std::move(s)); });
 }
 
-void CorfuClient::AppendAt(std::string payload, AppendPosCallback cb) {
+void CorfuClient::AppendAt(Buf payload, AppendPosCallback cb) {
   // RTT 1: obtain a position from the sequencer (not yet binding, §2.2).
   auto record = std::make_shared<Record>();
   record->id = RecordId{client_id_, next_request_id_++};
   record->payload = std::move(payload);
   endpoint_.Call(sequencer_, kCorfuNextPos, "",
-                 [this, record, cb](Status s, const std::string& body) {
+                 [this, record, cb](Status s, Decoder d) {
                    if (!s.ok()) {
                      cb(std::move(s), kInvalidLogPos);
                      return;
                    }
-                   Decoder d(body);
                    uint64_t pos = 0;
                    d.GetU64(&pos);
                    // RTTs 2..1+k: client-driven chain write binds the record.
@@ -157,15 +160,16 @@ void CorfuClient::ChainWrite(LogPos pos, std::shared_ptr<Record> record, size_t 
   Encoder e;
   e.PutU64(pos);
   EncodeRecord(e, *record);
-  endpoint_.Call(chain[hop], kCorfuWrite, e.Take(),
-                 [this, pos, record, hop, cb](Status s, const std::string&) {
+  std::vector<Buf> atts = e.TakeAtts();
+  endpoint_.Call(chain[hop], kCorfuWrite, e.TakeBuf(),
+                 [this, pos, record, hop, cb](Status s, Decoder) {
                    if (!s.ok()) {
                      cb(std::move(s), kInvalidLogPos);
                      return;
                    }
                    ChainWrite(pos, record, hop + 1, cb);
                  },
-                 params_.rpc_timeout_ns);
+                 params_.rpc_timeout_ns, std::move(atts));
 }
 
 void CorfuClient::ReadOne(LogPos pos, std::function<void(Status, PositionedRecord)> cb) {
@@ -175,11 +179,10 @@ void CorfuClient::ReadOne(LogPos pos, std::function<void(Status, PositionedRecor
   e.PutU64(pos);
   e.PutBool(false);
   endpoint_.Call(chain.back(), kCorfuRead, e.Take(),
-                 [pos, cb](Status s, const std::string& body) {
+                 [pos, cb](Status s, Decoder d) {
                    PositionedRecord pr;
                    pr.pos = pos;
                    if (s.ok()) {
-                     Decoder d(body);
                      if (!DecodeRecord(d, &pr.record)) {
                        s = Status::Internal("bad corfu read response");
                      }
@@ -216,19 +219,18 @@ void CorfuClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
       if (s.ok()) {
         state->records.push_back(std::move(pr));
       }
-      slot(std::move(s), "");
+      slot(std::move(s), Decoder());
     });
   }
 }
 
 void CorfuClient::CheckTail(TailCallback cb) {
   endpoint_.Call(sequencer_, kCorfuTail, "",
-                 [cb](Status s, const std::string& body) {
+                 [cb](Status s, Decoder d) {
                    if (!s.ok()) {
                      cb(std::move(s), 0, 0);
                      return;
                    }
-                   Decoder d(body);
                    uint64_t next = 0, committed = 0;
                    d.GetU64(&next);
                    d.GetU64(&committed);

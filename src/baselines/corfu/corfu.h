@@ -66,14 +66,14 @@ class CorfuClient : public SharedLogClient {
   CorfuClient(Network* net, const SimParams& params, NodeId sequencer,
               std::vector<std::vector<NodeId>> chains, ClientId client_id);
 
-  void Append(std::string payload, AppendCallback cb) override;
+  void Append(Buf payload, AppendCallback cb) override;
   void Read(LogPos from, uint64_t len, ReadCallback cb) override;
   void CheckTail(TailCallback cb) override;
   void Trim(LogPos index, TrimCallback cb) override;
 
   // Appends and reports the eagerly bound position (Corfu's native interface).
   using AppendPosCallback = std::function<void(Status, LogPos)>;
-  void AppendAt(std::string payload, AppendPosCallback cb);
+  void AppendAt(Buf payload, AppendPosCallback cb);
 
  private:
   void ChainWrite(LogPos pos, std::shared_ptr<Record> record, size_t hop,

@@ -47,14 +47,17 @@ void KafkaBroker::HandleProduce(Decoder d, Responder r) {
   }
   cpu_.ExecuteFor(bytes, [this, batch = std::move(batch), bytes, r]() mutable {
     // Build the replication frame before the records are moved into the local log.
-    std::string replicate_body;
+    // Payloads ride as attachments, so followers share the producer's backing.
+    Buf replicate_body;
+    std::vector<Buf> replicate_atts;
     if (!followers_.empty()) {
       Encoder e;
       e.PutU32(static_cast<uint32_t>(batch.size()));
       for (const WireRecord& w : batch) {
         EncodeRecord(e, w.rec);
       }
-      replicate_body = e.Take();
+      replicate_atts = e.TakeAtts();
+      replicate_body = e.TakeBuf();
     }
     for (WireRecord& w : batch) {
       log_.Append(std::move(w.rec));
@@ -79,8 +82,8 @@ void KafkaBroker::HandleProduce(Decoder d, Responder r) {
     ack->waits = static_cast<int>(followers_.size()) + 2;  // followers + own disk + guard
     for (NodeId f : followers_) {
       endpoint_.Call(f, kKafkaReplicate, replicate_body,
-                     [ack](Status s, const std::string&) { ack->Done(s); },
-                     params_.rpc_timeout_ns);
+                     [ack](Status s, Decoder) { ack->Done(s); },
+                     params_.rpc_timeout_ns, replicate_atts);
     }
     disk_.Write(bytes, [ack]() { ack->Done(Status::Ok()); });
     ack->Done(Status::Ok());  // guard release
@@ -172,7 +175,7 @@ KafkaProducer::KafkaProducer(Network* net, const SimParams& params, NodeId leade
                              ClientId client_id)
     : endpoint_(net), params_(params), leader_(leader), client_id_(client_id) {}
 
-void KafkaProducer::Produce(std::string payload, ProduceCallback cb) {
+void KafkaProducer::Produce(Buf payload, ProduceCallback cb) {
   buffered_bytes_ += payload.size();
   buffer_.push_back(Record{RecordId{client_id_, next_request_id_++}, std::move(payload), false});
   callbacks_.push_back(std::move(cb));
@@ -205,15 +208,16 @@ void KafkaProducer::FlushLocked() {
   buffer_.clear();
   callbacks_.clear();
   buffered_bytes_ = 0;
-  endpoint_.Call(leader_, kKafkaProduce, e.Take(),
-                 [cbs](Status s, const std::string&) {
+  std::vector<Buf> atts = e.TakeAtts();
+  endpoint_.Call(leader_, kKafkaProduce, e.TakeBuf(),
+                 [cbs](Status s, Decoder) {
                    for (auto& cb : *cbs) {
                      if (cb) {
                        cb(s);
                      }
                    }
                  },
-                 params_.rpc_timeout_ns);
+                 params_.rpc_timeout_ns, std::move(atts));
 }
 
 // --- consumer -------------------------------------------------------------------------------
@@ -226,10 +230,9 @@ void KafkaConsumer::Fetch(uint64_t offset, uint32_t max_records, FetchCallback c
   e.PutU64(offset);
   e.PutU32(max_records);
   endpoint_.Call(leader_, kKafkaFetch, e.Take(),
-                 [cb](Status s, const std::string& body) {
+                 [cb](Status s, Decoder d) {
                    std::vector<Record> records;
                    if (s.ok()) {
-                     Decoder d(body);
                      std::vector<WireRecord> wire;
                      if (d.GetVector(&wire)) {
                        for (WireRecord& w : wire) {
@@ -357,11 +360,12 @@ void KafkaShardAdapter::ApplyWindow(PendingWindow w) {
     Encoder e;
     e.PutVector(wire);
     produce_inflight_ = true;
-    endpoint_.Call(kafka_leader_, kKafkaProduce, e.Take(),
-                   [complete](Status s, const std::string&) mutable {
+    std::vector<Buf> atts = e.TakeAtts();
+    endpoint_.Call(kafka_leader_, kKafkaProduce, e.TakeBuf(),
+                   [complete](Status s, Decoder) mutable {
                      complete(std::move(s));
                    },
-                   params_.rpc_timeout_ns);
+                   params_.rpc_timeout_ns, std::move(atts));
   };
   if (req->overwrite) {
     // Recovery rewrite: "delete tail records and then append new entries" (§4.1).
@@ -377,7 +381,7 @@ void KafkaShardAdapter::ApplyWindow(PendingWindow w) {
       e.PutU64(offset_base_ + offset_pos_.size());
       produce_inflight_ = true;
       endpoint_.Call(kafka_leader_, kKafkaTruncate, e.Take(),
-                     [this, produce](Status, const std::string&) mutable {
+                     [this, produce](Status, Decoder) mutable {
                        produce_inflight_ = false;
                        produce();
                      },
@@ -418,12 +422,11 @@ void KafkaShardAdapter::ServeRead(const ShardReadReq& req, Responder r) {
   e.PutU32(req.len);
   const LogPos stable = stable_gp_;
   endpoint_.Call(kafka_leader_, kKafkaFetch, e.Take(),
-                 [this, offset, stable, r](Status s, const std::string& body) mutable {
+                 [this, offset, stable, r](Status s, Decoder d) mutable {
                    if (!s.ok()) {
                      r.Send(std::move(s));
                      return;
                    }
-                   Decoder d(body);
                    std::vector<WireRecord> wire;
                    if (!d.GetVector(&wire)) {
                      r.Send(Status::Internal("bad fetch"));

@@ -58,7 +58,7 @@ class KafkaProducer {
   // Mirrors SharedLogClient::AppendCallback: OK once the batch is replicated.
   using ProduceCallback = std::function<void(Status)>;
   // Buffers the record; the batch is flushed after `linger` or at 1 MB.
-  void Produce(std::string payload, ProduceCallback cb);
+  void Produce(Buf payload, ProduceCallback cb);
   // Forces an immediate flush (tests).
   void Flush();
 

@@ -33,7 +33,9 @@ PaxosAcceptor::PaxosAcceptor(Network* net)
       r.Send(Status::InvalidArgument("bad accept"));
       return;
     }
-    cpu_.ExecuteFor(value.size(), [this, ballot, slot, value = std::move(value), r]() mutable {
+    // Fixed admission cost only (the accepted value lands in memory); also avoids
+    // reading `value` in the same call that moves it into the capture.
+    cpu_.ExecuteFor(0, [this, ballot, slot, value = std::move(value), r]() mutable {
       SlotState& s = slots_[slot];
       if (ballot < s.promised) {
         r.Send(Status::Rejected("ballot too low"));
@@ -63,7 +65,7 @@ void PaxosProposer::Propose(uint64_t slot, std::string value, CommitCallback cb)
   auto state = std::make_shared<State>();
   for (size_t i = 0; i < n; ++i) {
     endpoint_->Call(acceptors_[i], kPaxosAccept, body,
-                    [state, majority, n, cb](Status s, const std::string&) {
+                    [state, majority, n, cb](Status s, Decoder) {
                       state->done++;
                       if (s.ok()) {
                         state->acks++;
@@ -99,11 +101,10 @@ void PaxosProposer::Prepare(uint64_t slot, RecoverCallback cb) {
   auto state = std::make_shared<State>();
   for (size_t i = 0; i < n; ++i) {
     endpoint_->Call(acceptors_[i], kPaxosPrepare, body,
-                    [state, majority, n, cb](Status s, const std::string& resp) {
+                    [state, majority, n, cb](Status s, Decoder d) {
                       state->done++;
                       if (s.ok()) {
                         state->acks++;
-                        Decoder d(resp);
                         uint64_t ab = 0;
                         std::string av;
                         if (d.GetU64(&ab) && d.GetBytes(&av) && ab > 0 &&

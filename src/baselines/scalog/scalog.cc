@@ -11,6 +11,7 @@ namespace {
 
 // Cut assignment entry disseminated with each committed cut.
 struct CutRange {
+  static constexpr size_t kMinEncodedSize = 32;  // four u64 fields
   uint64_t shard = 0;
   uint64_t global_start = 0;
   uint64_t local_start = 0;
@@ -79,7 +80,8 @@ void ScalogShardServer::HandleAppend(Decoder d, Responder r) {
         Encoder e;
         e.PutU64(local);
         EncodeRecord(e, rec);
-        endpoint_.Call(backup_, kScalogReplicate, e.Take(), nullptr, 0);
+        std::vector<Buf> atts = e.TakeAtts();
+        endpoint_.Call(backup_, kScalogReplicate, e.TakeBuf(), nullptr, 0, std::move(atts));
       }
     });
   });
@@ -92,7 +94,9 @@ void ScalogShardServer::HandleReplicate(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad replicate"));
     return;
   }
-  cpu_.ExecuteFor(rec.payload.size(), [this, local, rec = std::move(rec), r]() mutable {
+  // Fixed admission cost only; the payload is charged at the disk write below. Also
+  // avoids reading `rec` in the same call that moves it into the capture.
+  cpu_.ExecuteFor(0, [this, local, rec = std::move(rec), r]() mutable {
     // Jitter can reorder wire deliveries; restore FIFO by buffering and applying the
     // contiguous prefix.
     reorder_buf_.emplace(local, std::move(rec));
@@ -284,27 +288,28 @@ ScalogClient::ScalogClient(Network* net, const SimParams& params, NodeId orderin
   rr_cursor_ = client_id;
 }
 
-void ScalogClient::Append(std::string payload, AppendCallback cb) {
+void ScalogClient::Append(Buf payload, AppendCallback cb) {
   Record rec;
   rec.id = RecordId{client_id_, next_request_id_++};
   rec.payload = std::move(payload);
   Encoder e;
   EncodeRecord(e, rec);
+  std::vector<Buf> atts = e.TakeAtts();
   const NodeId target = shard_primaries_[rr_cursor_++ % shard_primaries_.size()];
-  endpoint_.Call(target, kScalogAppend, e.Take(),
-                 [cb](Status s, const std::string&) { cb(std::move(s)); }, params_.rpc_timeout_ns);
+  endpoint_.Call(target, kScalogAppend, e.TakeBuf(),
+                 [cb](Status s, Decoder) { cb(std::move(s)); }, params_.rpc_timeout_ns,
+                 std::move(atts));
 }
 
 void ScalogClient::ReadOne(LogPos pos, std::function<void(Status, PositionedRecord)> cb) {
   Encoder e;
   e.PutU64(pos);
   endpoint_.Call(ordering_leader_, kScalogLocate, e.Take(),
-                 [this, pos, cb](Status s, const std::string& body) {
+                 [this, pos, cb](Status s, Decoder d) {
                    if (!s.ok()) {
                      cb(std::move(s), {});
                      return;
                    }
-                   Decoder d(body);
                    uint32_t shard = 0;
                    uint64_t local = 0;
                    d.GetU32(&shard);
@@ -313,10 +318,9 @@ void ScalogClient::ReadOne(LogPos pos, std::function<void(Status, PositionedReco
                    re.PutU64(local);
                    re.PutU64(pos);
                    endpoint_.Call(shard_primaries_[shard], kScalogRead, re.Take(),
-                                  [cb](Status s2, const std::string& rbody) {
+                                  [cb](Status s2, Decoder rd) {
                                     PositionedRecord pr;
                                     if (s2.ok()) {
-                                      Decoder rd(rbody);
                                       if (!pr.Decode(rd)) {
                                         s2 = Status::Internal("bad read response");
                                       }
@@ -354,19 +358,18 @@ void ScalogClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
       if (s.ok()) {
         state->records.push_back(std::move(pr));
       }
-      slot(std::move(s), "");
+      slot(std::move(s), Decoder());
     });
   }
 }
 
 void ScalogClient::CheckTail(TailCallback cb) {
   endpoint_.Call(ordering_leader_, kScalogTail, "",
-                 [cb](Status s, const std::string& body) {
+                 [cb](Status s, Decoder d) {
                    if (!s.ok()) {
                      cb(std::move(s), 0, 0);
                      return;
                    }
-                   Decoder d(body);
                    uint64_t total = 0;
                    d.GetU64(&total);
                    cb(Status::Ok(), total, total);

@@ -104,7 +104,7 @@ class ScalogClient : public SharedLogClient {
   ScalogClient(Network* net, const SimParams& params, NodeId ordering_leader,
                std::vector<NodeId> shard_primaries, ClientId client_id);
 
-  void Append(std::string payload, AppendCallback cb) override;
+  void Append(Buf payload, AppendCallback cb) override;
   void Read(LogPos from, uint64_t len, ReadCallback cb) override;
   void CheckTail(TailCallback cb) override;
   void Trim(LogPos index, TrimCallback cb) override;

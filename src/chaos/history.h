@@ -94,6 +94,7 @@ inline uint64_t HashBytes(const void* data, size_t n, uint64_t h = 0xcbf29ce4842
   return h;
 }
 inline uint64_t HashString(const std::string& s) { return HashBytes(s.data(), s.size()); }
+inline uint64_t HashString(const Buf& b) { return HashBytes(b.data(), b.size()); }
 
 class ChaosHistory {
  public:

@@ -1,0 +1,17 @@
+#include "src/common/buf.h"
+
+namespace lazylog {
+
+BufStats& GlobalBufStats() {
+  static BufStats stats;
+  return stats;
+}
+
+namespace {
+bool g_force_copy = false;
+}  // namespace
+
+void SetBufForceCopy(bool on) { g_force_copy = on; }
+bool BufForceCopy() { return g_force_copy; }
+
+}  // namespace lazylog

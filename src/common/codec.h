@@ -2,14 +2,25 @@
 // length-prefixed strings and vectors. Every RPC message type implements
 // Encode(Encoder&) / Decode(Decoder&); Decode returns false on malformed input
 // instead of aborting so fuzz-style tests can exercise it.
+//
+// Record payloads travel as *attachments* (eRPC/RDMA-style scatter-gather segments):
+// PutAttached writes only the 4-byte length marker inline and hands the Buf to the
+// message's attachment list; GetAttached pops the matching Buf on decode. The inline
+// byte layout is identical to the old PutBytes framing (marker + bytes appear at the
+// same offsets on the simulated wire, and NetMessage charges attachment bytes to the
+// NIC), but no payload byte is memcpy'd — the decoded message aliases the sender's
+// backing buffer. PutBuf/GetBufView are the inline variants for blobs that must stay
+// in the frame: GetBufView aliases the decoder's backing when it has one.
 #ifndef SRC_COMMON_CODEC_H_
 #define SRC_COMMON_CODEC_H_
 
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/buf.h"
 #include "src/common/types.h"
 
 namespace lazylog {
@@ -24,6 +35,34 @@ class Encoder {
   void PutBytes(const std::string& s) {
     PutU32(static_cast<uint32_t>(s.size()));
     buf_.append(s);
+  }
+  void PutBytes(const char* p, size_t n) {
+    PutU32(static_cast<uint32_t>(n));
+    buf_.append(p, n);
+  }
+
+  // Inline Buf: length prefix + bytes copied into the frame (counted). Use only for
+  // blobs that must stay in the frame; record payloads go through PutAttached.
+  void PutBuf(const Buf& b) {
+    GlobalBufStats().payload_bytes_copied += b.size();
+    PutBytes(b.data(), b.size());
+  }
+
+  // Zero-copy Buf: writes the 4-byte length marker inline and appends the handle to
+  // the attachment list (the bytes ride the message as a separate segment). In
+  // force-copy mode the segment is deep-copied instead, modelling the old
+  // copy-per-hop path with an identical wire format.
+  void PutAttached(const Buf& b) {
+    PutU32(static_cast<uint32_t>(b.size()));
+    if (b.empty()) {
+      return;
+    }
+    if (BufForceCopy()) {
+      atts_.push_back(b.DeepCopy());  // Copy() counts the bytes
+    } else {
+      GlobalBufStats().payload_bytes_aliased += b.size();
+      atts_.push_back(b);
+    }
   }
 
   template <typename T>
@@ -42,7 +81,20 @@ class Encoder {
 
   const std::string& data() const { return buf_; }
   std::string Take() { return std::move(buf_); }
+  // Moves the frame bytes into a Buf backing (no byte copy) for zero-copy delivery.
+  Buf TakeBuf() { return Buf::FromString(std::move(buf_)); }
+  std::vector<Buf> TakeAtts() { return std::move(atts_); }
+  bool has_atts() const { return !atts_.empty(); }
   size_t size() const { return buf_.size(); }
+  // Total attachment bytes. size() + atts_size() equals the old inline encoding size,
+  // so CPU/disk charges based on encoded size stay byte-identical.
+  size_t atts_size() const {
+    size_t n = 0;
+    for (const Buf& a : atts_) {
+      n += a.size();
+    }
+    return n;
+  }
 
  private:
   void PutFixed(const void* p, size_t n) {
@@ -53,14 +105,26 @@ class Encoder {
   }
 
   std::string buf_;
+  std::vector<Buf> atts_;
 };
 
 // Cursor over an encoded buffer. All getters return false (and leave the output untouched)
 // once the buffer is exhausted or a length prefix is inconsistent.
+//
+// A Decoder built from a Buf *owns* its backing (and the message's attachments): it and
+// any Buf it hands out stay valid after the original message is destroyed. The
+// string/pointer constructors are unowned views for local decode; GetBufView falls back
+// to copying there, and GetAttached fails (no attachment list).
 class Decoder {
  public:
+  Decoder() = default;
   explicit Decoder(const std::string& data) : data_(data.data()), size_(data.size()) {}
   Decoder(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(Buf body, std::vector<Buf> atts = {})
+      : body_(std::move(body)), atts_(std::move(atts)) {
+    data_ = body_.data();
+    size_ = body_.size();
+  }
 
   bool GetU8(uint8_t* v) { return GetFixed(v, sizeof(*v)); }
   bool GetU32(uint32_t* v) { return GetFixed(v, sizeof(*v)); }
@@ -83,6 +147,47 @@ class Decoder {
     return true;
   }
 
+  // Inline Buf: when this decoder owns a backing, the result is a slice of it (no
+  // copy, keeps the backing alive past the decoder); otherwise the bytes are copied.
+  bool GetBufView(Buf* out) {
+    uint32_t n = 0;
+    if (!GetU32(&n) || n > Remaining()) {
+      return false;
+    }
+    if (body_.empty() || BufForceCopy()) {
+      *out = Buf::Copy(data_ + pos_, n);  // counted
+    } else {
+      GlobalBufStats().payload_bytes_aliased += n;
+      *out = body_.Slice(pos_, n);
+    }
+    pos_ += n;
+    return true;
+  }
+
+  // Counterpart of Encoder::PutAttached: reads the inline length marker and pops the
+  // next attachment, which must match it exactly. Returns false on a marker with no
+  // matching attachment (malformed or non-attachment input).
+  bool GetAttached(Buf* out) {
+    uint32_t n = 0;
+    if (!GetU32(&n)) {
+      return false;
+    }
+    if (n == 0) {
+      *out = Buf();
+      return true;
+    }
+    if (att_pos_ >= atts_.size() || atts_[att_pos_].size() != n) {
+      return false;
+    }
+    if (BufForceCopy()) {
+      *out = atts_[att_pos_++].DeepCopy();  // counted
+    } else {
+      GlobalBufStats().payload_bytes_aliased += n;
+      *out = atts_[att_pos_++];
+    }
+    return true;
+  }
+
   template <typename T>
   bool GetVector(std::vector<T>* v) {
     uint32_t n = 0;
@@ -90,7 +195,10 @@ class Decoder {
       return false;
     }
     v->clear();
-    v->reserve(std::min<size_t>(n, Remaining()));
+    // Clamp the reserve by the smallest possible element encoding so a malformed
+    // length prefix cannot force an over-reservation (n is still trusted for the
+    // loop; Decode fails fast when the bytes run out).
+    v->reserve(std::min<size_t>(n, Remaining() / T::kMinEncodedSize));
     for (uint32_t i = 0; i < n; ++i) {
       T e;
       if (!e.Decode(*this)) {
@@ -107,13 +215,21 @@ class Decoder {
     }
     v->resize(n);
     for (uint32_t i = 0; i < n; ++i) {
-      GetU64(&(*v)[i]);
+      if (!GetU64(&(*v)[i])) {
+        v->clear();
+        return false;
+      }
     }
     return true;
   }
 
   size_t Remaining() const { return size_ - pos_; }
+  // Raw remaining bytes, copied out as a string (opaque passthrough / tests).
+  std::string RemainingString() const {
+    return Remaining() ? std::string(data_ + pos_, Remaining()) : std::string();
+  }
   bool Done() const { return pos_ == size_; }
+  size_t remaining_atts() const { return atts_.size() - att_pos_; }
 
  private:
   bool GetFixed(void* p, size_t n) {
@@ -125,8 +241,11 @@ class Decoder {
     return true;
   }
 
-  const char* data_;
-  size_t size_;
+  Buf body_;                // owned backing (empty for the unowned-view constructors)
+  std::vector<Buf> atts_;   // message attachments, consumed in encode order
+  size_t att_pos_ = 0;
+  const char* data_ = nullptr;
+  size_t size_ = 0;
   size_t pos_ = 0;
 };
 
@@ -142,15 +261,18 @@ inline bool DecodeRecordId(Decoder& d, RecordId* id) {
 
 inline void EncodeRecord(Encoder& e, const Record& r) {
   EncodeRecordId(e, r.id);
-  e.PutBytes(r.payload);
+  e.PutAttached(r.payload);
   e.PutBool(r.no_op);
 }
 inline bool DecodeRecord(Decoder& d, Record* r) {
-  return DecodeRecordId(d, &r->id) && d.GetBytes(&r->payload) && d.GetBool(&r->no_op);
+  return DecodeRecordId(d, &r->id) && d.GetAttached(&r->payload) && d.GetBool(&r->no_op);
 }
 
 // A record wrapper with member Encode/Decode so PutVector/GetVector apply.
 struct WireRecord {
+  // id (16) + payload length marker (4) + no_op (1); the payload bytes themselves
+  // ride as an attachment, so the smallest inline footprint is fixed.
+  static constexpr size_t kMinEncodedSize = 21;
   Record rec;
   void Encode(Encoder& e) const { EncodeRecord(e, rec); }
   bool Decode(Decoder& d) { return DecodeRecord(d, &rec); }

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/buf.h"
+
 namespace lazylog {
 
 // Flattened (name, value) pairs emitted by component stats snapshots and consumed by
@@ -51,10 +53,12 @@ struct RecordId {
 };
 
 // A record as stored in the shared log. `no_op` records are produced by Erwin-st's
-// client-failure resolution (§5.4) and are skipped by readers.
+// client-failure resolution (§5.4) and are skipped by readers. The payload is a
+// refcounted handle: every layer that stores or forwards a Record shares the backing
+// bytes the client allocated at append time (see buf.h).
 struct Record {
   RecordId id;
-  std::string payload;
+  Buf payload;
   bool no_op = false;
 
   friend bool operator==(const Record&, const Record&) = default;

@@ -243,12 +243,11 @@ ZkSession::ZkSession(RpcEndpoint* endpoint, NodeId zk_node, const ControlParams&
 void ZkSession::Start(const std::string& ephemeral_path, std::function<void()> on_ready) {
   endpoint_->Call(
       zk_node_, kZkCreateSession, "",
-      [this, ephemeral_path, on_ready](Status s, const std::string& body) {
+      [this, ephemeral_path, on_ready](Status s, Decoder d) {
         if (!s.ok()) {
           LLOG(kWarn) << "zk session create failed: " << s.ToString();
           return;
         }
-        Decoder d(body);
         d.GetU64(&session_id_);
         HeartbeatLoop();
         if (ephemeral_path.empty()) {
@@ -262,7 +261,7 @@ void ZkSession::Start(const std::string& ephemeral_path, std::function<void()> o
         e.PutBytes("");
         e.PutU64(session_id_);
         endpoint_->Call(zk_node_, kZkCreate, e.Take(),
-                        [on_ready](Status s2, const std::string&) {
+                        [on_ready](Status s2, Decoder) {
                           if (on_ready && s2.ok()) {
                             on_ready();
                           }
@@ -297,7 +296,7 @@ void ZkClient::Create(const std::string& path, const std::string& data,
   e.PutBytes(data);
   e.PutU64(ephemeral_session);
   endpoint_->Call(zk_node_, kZkCreate, e.Take(),
-                  [cb](Status s, const std::string&) {
+                  [cb](Status s, Decoder) {
                     if (cb) {
                       cb(std::move(s));
                     }
@@ -312,7 +311,7 @@ void ZkClient::SetData(const std::string& path, const std::string& data,
   e.PutBytes(data);
   e.PutU64(expected_version);
   endpoint_->Call(zk_node_, kZkSetData, e.Take(),
-                  [cb](Status s, const std::string&) {
+                  [cb](Status s, Decoder) {
                     if (cb) {
                       cb(std::move(s));
                     }
@@ -324,11 +323,10 @@ void ZkClient::GetData(const std::string& path, DataCallback cb, uint64_t timeou
   Encoder e;
   e.PutBytes(path);
   endpoint_->Call(zk_node_, kZkGetData, e.Take(),
-                  [cb](Status s, const std::string& body) {
+                  [cb](Status s, Decoder d) {
                     std::string data;
                     uint64_t version = 0;
                     if (s.ok()) {
-                      Decoder d(body);
                       d.GetBytes(&data);
                       d.GetU64(&version);
                     }
@@ -341,7 +339,7 @@ void ZkClient::Delete(const std::string& path, DoneCallback cb, uint64_t timeout
   Encoder e;
   e.PutBytes(path);
   endpoint_->Call(zk_node_, kZkDelete, e.Take(),
-                  [cb](Status s, const std::string&) {
+                  [cb](Status s, Decoder) {
                     if (cb) {
                       cb(std::move(s));
                     }
@@ -353,10 +351,9 @@ void ZkClient::List(const std::string& prefix, ListCallback cb, uint64_t timeout
   Encoder e;
   e.PutBytes(prefix);
   endpoint_->Call(zk_node_, kZkList, e.Take(),
-                  [cb](Status s, const std::string& body) {
+                  [cb](Status s, Decoder d) {
                     std::vector<std::string> paths;
                     if (s.ok()) {
-                      Decoder d(body);
                       uint32_t n = 0;
                       d.GetU32(&n);
                       for (uint32_t i = 0; i < n; ++i) {

@@ -17,7 +17,7 @@ ErwinMClient::ErwinMClient(Network* net, const SimParams& params, ClusterView vi
 
 // --- append ------------------------------------------------------------------------------
 
-void ErwinMClient::Append(std::string payload, AppendCallback cb) {
+void ErwinMClient::Append(Buf payload, AppendCallback cb) {
   auto p = std::make_shared<PendingAppend>();
   p->id = RecordId{client_id_, next_request_id_++};
   p->payload = std::move(payload);
@@ -32,9 +32,12 @@ void ErwinMClient::SendAppend(std::shared_ptr<PendingAppend> p) {
   req.id = p->id;
   req.payload = p->payload;
   req.is_meta = false;
+  // Encoded once; every sequencing replica shares the frame and the payload
+  // attachment, so an n-way append fans out refcounts rather than bytes.
   Encoder enc;
   req.Encode(enc);
-  const std::string body = enc.Take();
+  const std::vector<Buf> atts = enc.TakeAtts();
+  const Buf body = enc.TakeBuf();
   const size_t n = view_.seq_config.size();
   auto gather = Gather::Create(n, [this, p](const std::vector<Status>& ss) {
     const bool all_ok =
@@ -54,7 +57,7 @@ void ErwinMClient::SendAppend(std::shared_ptr<PendingAppend> p) {
   });
   for (size_t i = 0; i < n; ++i) {
     endpoint_.Call(view_.seq_config[i], kSeqAppend, body, gather->Slot(i),
-                   params_.client_append_timeout_ns);
+                   params_.client_append_timeout_ns, atts);
   }
 }
 
@@ -79,11 +82,10 @@ void ErwinMClient::ProbeThen(std::function<void()> then, int attempt) {
   const NodeId target = view_.seq_config[probe_cursor_++ % view_.seq_config.size()];
   endpoint_.Call(
       target, kSeqGetConfig, "",
-      [this, then = std::move(then), attempt](Status s, const std::string& body) mutable {
+      [this, then = std::move(then), attempt](Status s, Decoder d) mutable {
         SeqConfigResp resp;
         bool usable = false;
         if (s.ok()) {
-          Decoder d(body);
           // Only adopt views at least as new as ours: a partitioned straggler still in
           // an older (fenced-off) view must not drag the client backwards.
           usable = resp.Decode(d) && !resp.sealed && !resp.config.empty() &&
@@ -211,10 +213,11 @@ void ErwinMClient::ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int a
     const NodeId target = replicas[client_id_ % replicas.size()];
     auto slot = gather->Slot(i);
     endpoint_.CallMsg(target, kShardRead, req,
-                      [state, slot](Status s, const std::string& body) {
+                      [state, slot](Status s, Decoder d) {
                         if (s.ok()) {
                           ShardReadResp resp;
-                          Decoder d(body);
+                          // Record payloads alias the reply's attachments: they stay
+                          // valid in state->all after the decoder is gone.
                           if (resp.Decode(d)) {
                             for (auto& pr : resp.records) {
                               state->all.push_back(std::move(pr));
@@ -223,7 +226,7 @@ void ErwinMClient::ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int a
                             state->failure = Status::Internal("bad read response");
                           }
                         }
-                        slot(std::move(s), "");
+                        slot(std::move(s), Decoder());
                       },
                       params_.rpc_timeout_ns);
   }
@@ -235,7 +238,7 @@ void ErwinMClient::CheckTail(TailCallback cb) { CheckTailAttempt(std::move(cb), 
 
 void ErwinMClient::CheckTailAttempt(TailCallback cb, int attempt) {
   endpoint_.Call(view_.seq_config[0], kSeqCheckTail, "",
-                 [this, cb, attempt](Status s, const std::string& body) {
+                 [this, cb, attempt](Status s, Decoder d) {
                    if (!s.ok()) {
                      if (attempt >= 20) {
                        cb(std::move(s), 0, 0);
@@ -246,7 +249,6 @@ void ErwinMClient::CheckTailAttempt(TailCallback cb, int attempt) {
                      return;
                    }
                    SeqCheckTailResp resp;
-                   Decoder d(body);
                    if (!resp.Decode(d)) {
                      cb(Status::Internal("bad tail response"), 0, 0);
                      return;
@@ -262,7 +264,7 @@ void ErwinMClient::Trim(LogPos index, TrimCallback cb) { TrimAttempt(index, std:
 void ErwinMClient::TrimAttempt(LogPos index, TrimCallback cb, int attempt) {
   TrimMsg msg{index};
   endpoint_.CallMsg(view_.seq_config[0], kSeqTrim, msg,
-                    [this, index, cb, attempt](Status s, const std::string&) {
+                    [this, index, cb, attempt](Status s, Decoder) {
                       if (!s.ok() && attempt < 20) {
                         ProbeThen([this, index, cb, attempt]() {
                           TrimAttempt(index, cb, attempt + 1);
@@ -276,7 +278,7 @@ void ErwinMClient::TrimAttempt(LogPos index, TrimCallback cb, int attempt) {
 
 // --- appendSync (§5.5 extension) ------------------------------------------------------------
 
-void ErwinMClient::AppendSync(std::string payload, AppendCallback cb) {
+void ErwinMClient::AppendSync(Buf payload, AppendCallback cb) {
   Append(std::move(payload), [this, cb](Status st) {
     if (!st.ok()) {
       cb(std::move(st));

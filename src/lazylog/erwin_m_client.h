@@ -26,14 +26,14 @@ class ErwinMClient : public SharedLogClient {
   NodeId node_id() const { return endpoint_.node_id(); }
 
   // --- SharedLogClient ---
-  void Append(std::string payload, AppendCallback cb) override;
+  void Append(Buf payload, AppendCallback cb) override;
   void Read(LogPos from, uint64_t len, ReadCallback cb) override;
   void CheckTail(TailCallback cb) override;
   void Trim(LogPos index, TrimCallback cb) override;
 
   // appendSync extension (§5.5): completes only after the record is bound to its final
   // position (eager ordering at the cost of latency).
-  void AppendSync(std::string payload, AppendCallback cb);
+  void AppendSync(Buf payload, AppendCallback cb);
 
   // Number of view changes this client has observed (tests).
   uint64_t view_changes() const { return view_changes_; }
@@ -50,7 +50,7 @@ class ErwinMClient : public SharedLogClient {
  private:
   struct PendingAppend {
     RecordId id;
-    std::string payload;
+    Buf payload;
     AppendCallback cb;
     int attempts = 0;
     // Most recent failure seen for this append; reported if the retry budget runs out.

@@ -24,7 +24,7 @@ void ErwinStClient::AddShard(std::vector<NodeId> replicas) {
 // --- append (§5.1): data to the shard replicas + metadata to the sequencing replicas,
 // all in parallel, 1 RTT -------------------------------------------------------------------
 
-void ErwinStClient::Append(std::string payload, AppendCallback cb) {
+void ErwinStClient::Append(Buf payload, AppendCallback cb) {
   auto p = std::make_shared<PendingAppend>();
   p->id = RecordId{client_id_, next_request_id_++};
   p->payload = std::move(payload);
@@ -63,14 +63,16 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
         }
         EnqueueRetry(p);
       });
-  // Data writes to every replica of the chosen shard (no coordination, §5.1).
+  // Data writes to every replica of the chosen shard (no coordination, §5.1). The
+  // request is encoded once; replicas share the frame and the payload attachment.
   ShardPutDataReq data{p->id, p->payload};
   Encoder denc;
   data.Encode(denc);
-  const std::string dbody = denc.Take();
+  const std::vector<Buf> datts = denc.TakeAtts();
+  const Buf dbody = denc.TakeBuf();
   for (size_t i = 0; i < n_data; ++i) {
     endpoint_.Call(shard_replicas[i], kShardPutData, dbody, gather->Slot(i),
-                   params_.client_append_timeout_ns);
+                   params_.client_append_timeout_ns, datts);
   }
   // Metadata to every sequencing replica, same RTT.
   SeqAppendReq meta;
@@ -80,7 +82,7 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
   meta.is_meta = true;
   Encoder menc;
   meta.Encode(menc);
-  const std::string mbody = menc.Take();
+  const Buf mbody = menc.TakeBuf();
   for (size_t i = 0; i < n_meta; ++i) {
     endpoint_.Call(view_.seq_config[i], kSeqAppendMeta, mbody, gather->Slot(n_data + i),
                    params_.client_append_timeout_ns);
@@ -107,11 +109,10 @@ void ErwinStClient::ProbeThen(std::function<void()> then, int attempt) {
   const NodeId target = view_.seq_config[probe_cursor_++ % view_.seq_config.size()];
   endpoint_.Call(
       target, kSeqGetConfig, "",
-      [this, then = std::move(then), attempt](Status s, const std::string& body) mutable {
+      [this, then = std::move(then), attempt](Status s, Decoder d) mutable {
         SeqConfigResp resp;
         bool usable = false;
         if (s.ok()) {
-          Decoder d(body);
           // Only adopt views at least as new as ours: a partitioned straggler still in
           // an older (fenced-off) view must not drag the client backwards.
           usable = resp.Decode(d) && !resp.sealed && !resp.config.empty() &&
@@ -216,10 +217,9 @@ void ErwinStClient::FetchPosMap(LogPos needed_end, std::function<void()> then) {
   const auto& replicas = view_.shards[0];
   const NodeId target = replicas[client_id_ % replicas.size()];
   endpoint_.CallMsg(target, kShardPosMap, req,
-                    [this, then = std::move(then)](Status s, const std::string& body) mutable {
+                    [this, then = std::move(then)](Status s, Decoder d) mutable {
                       if (s.ok()) {
                         ShardPosMapResp resp;
-                        Decoder d(body);
                         if (resp.Decode(d) && resp.from == posmap_.size()) {
                           for (uint64_t sid : resp.shard_ids) {
                             posmap_.push_back(static_cast<uint32_t>(sid));
@@ -295,10 +295,11 @@ void ErwinStClient::DoRead(std::shared_ptr<PendingRead> rd) {
   for (size_t i = 0; i < subs.size(); ++i) {
     auto slot = gather->Slot(i);
     endpoint_.CallMsg(subs[i].first, kShardRead, subs[i].second,
-                      [state, slot](Status s, const std::string& body) {
+                      [state, slot](Status s, Decoder d) {
                         if (s.ok()) {
                           ShardReadResp resp;
-                          Decoder d(body);
+                          // Record payloads alias the reply's attachments: they stay
+                          // valid in state->all after the decoder is gone.
                           if (resp.Decode(d)) {
                             for (auto& pr : resp.records) {
                               state->all.push_back(std::move(pr));
@@ -307,7 +308,7 @@ void ErwinStClient::DoRead(std::shared_ptr<PendingRead> rd) {
                             state->failure = Status::Internal("bad read response");
                           }
                         }
-                        slot(std::move(s), "");
+                        slot(std::move(s), Decoder());
                       },
                       params_.rpc_timeout_ns);
   }
@@ -319,7 +320,7 @@ void ErwinStClient::CheckTail(TailCallback cb) { CheckTailAttempt(std::move(cb),
 
 void ErwinStClient::CheckTailAttempt(TailCallback cb, int attempt) {
   endpoint_.Call(view_.seq_config[0], kSeqCheckTail, "",
-                 [this, cb, attempt](Status s, const std::string& body) {
+                 [this, cb, attempt](Status s, Decoder d) {
                    if (!s.ok()) {
                      if (attempt >= 20) {
                        cb(std::move(s), 0, 0);
@@ -329,7 +330,6 @@ void ErwinStClient::CheckTailAttempt(TailCallback cb, int attempt) {
                      return;
                    }
                    SeqCheckTailResp resp;
-                   Decoder d(body);
                    if (!resp.Decode(d)) {
                      cb(Status::Internal("bad tail response"), 0, 0);
                      return;
@@ -347,7 +347,7 @@ void ErwinStClient::Trim(LogPos index, TrimCallback cb) {
 void ErwinStClient::TrimAttempt(LogPos index, TrimCallback cb, int attempt) {
   TrimMsg msg{index};
   endpoint_.CallMsg(view_.seq_config[0], kSeqTrim, msg,
-                    [this, index, cb, attempt](Status s, const std::string&) {
+                    [this, index, cb, attempt](Status s, Decoder) {
                       if (!s.ok() && attempt < 20) {
                         ProbeThen([this, index, cb, attempt]() {
                           TrimAttempt(index, cb, attempt + 1);
@@ -372,7 +372,7 @@ void ErwinStClient::AppendMetadataOnly(ShardId shard, AppendCallback cb) {
   meta.is_meta = true;
   Encoder enc;
   meta.Encode(enc);
-  const std::string body = enc.Take();
+  const Buf body = enc.TakeBuf();
   const size_t n = view_.seq_config.size();
   auto gather = Gather::Create(n, [cb](const std::vector<Status>& ss) {
     for (const Status& s : ss) {
@@ -389,14 +389,15 @@ void ErwinStClient::AppendMetadataOnly(ShardId shard, AppendCallback cb) {
   }
 }
 
-void ErwinStClient::AppendDataOnly(ShardId shard, std::string payload, AppendCallback cb) {
+void ErwinStClient::AppendDataOnly(ShardId shard, Buf payload, AppendCallback cb) {
   // Simulates a crash after the data write but before the metadata write: the data is
   // orphaned on the shard and must be garbage-collected by scrubbing.
   const RecordId id{client_id_, next_request_id_++};
   ShardPutDataReq data{id, std::move(payload)};
   Encoder enc;
   data.Encode(enc);
-  const std::string body = enc.Take();
+  const std::vector<Buf> atts = enc.TakeAtts();
+  const Buf body = enc.TakeBuf();
   const auto& replicas = view_.shards[shard];
   auto gather = Gather::Create(replicas.size(), [cb](const std::vector<Status>& ss) {
     for (const Status& s : ss) {
@@ -409,7 +410,7 @@ void ErwinStClient::AppendDataOnly(ShardId shard, std::string payload, AppendCal
   });
   for (size_t i = 0; i < replicas.size(); ++i) {
     endpoint_.Call(replicas[i], kShardPutData, body, gather->Slot(i),
-                   params_.client_append_timeout_ns);
+                   params_.client_append_timeout_ns, atts);
   }
 }
 

@@ -26,7 +26,7 @@ class ErwinStClient : public SharedLogClient {
   NodeId node_id() const { return endpoint_.node_id(); }
 
   // --- SharedLogClient ---
-  void Append(std::string payload, AppendCallback cb) override;
+  void Append(Buf payload, AppendCallback cb) override;
   void Read(LogPos from, uint64_t len, ReadCallback cb) override;
   void CheckTail(TailCallback cb) override;
   void Trim(LogPos index, TrimCallback cb) override;
@@ -41,7 +41,7 @@ class ErwinStClient : public SharedLogClient {
 
   // Test hooks for the client-failure protocol (§5.4): write only one half of an append.
   void AppendMetadataOnly(ShardId shard, AppendCallback cb);
-  void AppendDataOnly(ShardId shard, std::string payload, AppendCallback cb);
+  void AppendDataOnly(ShardId shard, Buf payload, AppendCallback cb);
 
   uint64_t posmap_fetches() const { return posmap_fetches_; }
   ClientId client_id() const { return client_id_; }
@@ -55,7 +55,7 @@ class ErwinStClient : public SharedLogClient {
  private:
   struct PendingAppend {
     RecordId id;
-    std::string payload;
+    Buf payload;
     ShardId shard = 0;
     AppendCallback cb;
     int attempts = 0;

@@ -61,7 +61,9 @@ class SharedLogClient {
   // across a view change (an uncommitted suffix is legally dropped), never within one.
   virtual ViewId last_tail_view() const { return 0; }
 
-  virtual void Append(std::string payload, AppendCallback cb) = 0;
+  // The payload is a refcounted Buf handle; implementations thread it through to the
+  // wire without copying the bytes. std::string arguments convert implicitly.
+  virtual void Append(Buf payload, AppendCallback cb) = 0;
   virtual void Read(LogPos from, uint64_t len, ReadCallback cb) = 0;
   virtual void CheckTail(TailCallback cb) = 0;
   virtual void Trim(LogPos index, TrimCallback cb) = 0;

@@ -9,10 +9,11 @@ constexpr uint8_t kKindRequest = 1;
 constexpr uint8_t kKindResponse = 2;
 }  // namespace
 
-void Responder::Send(const Status& status, std::string body) {
+void Responder::Send(const Status& status, Buf body, std::vector<Buf> atts) {
   LL_CHECK(inner_ != nullptr && inner_->endpoint != nullptr,
            "responding twice or with an empty Responder");
-  inner_->endpoint->SendResponse(inner_->caller, inner_->rpc_id, status, std::move(body));
+  inner_->endpoint->SendResponse(inner_->caller, inner_->rpc_id, status, std::move(body),
+                                 std::move(atts));
   inner_->endpoint = nullptr;
 }
 
@@ -24,15 +25,19 @@ void RpcEndpoint::Register(MethodId method, Handler handler) {
   handlers_[method] = std::move(handler);
 }
 
-void RpcEndpoint::Call(NodeId dest, MethodId method, std::string body, ResponseCallback cb,
-                       uint64_t timeout_ns) {
+void RpcEndpoint::Call(NodeId dest, MethodId method, Buf body, ResponseCallback cb,
+                       uint64_t timeout_ns, std::vector<Buf> atts) {
   const uint64_t rpc_id = next_rpc_id_++;
   stats_.calls_issued++;
+  // The frame holds only the header and the (attachment-stripped) body; payload bytes
+  // ride as separate segments, so framing never re-touches record data. The NIC still
+  // charges frame + attachment bytes (Network::Send default), which equals the old
+  // inline encoding byte-for-byte.
   Encoder enc;
   enc.PutU8(kKindRequest);
   enc.PutU32(method);
   enc.PutU64(rpc_id);
-  enc.PutBytes(body);
+  enc.PutBytes(body.data(), body.size());
 
   Pending pending;
   pending.cb = std::move(cb);
@@ -46,12 +51,12 @@ void RpcEndpoint::Call(NodeId dest, MethodId method, std::string body, ResponseC
       pending_.erase(it);
       stats_.timeouts++;
       if (cb2) {
-        cb2(Status::Timeout(), "");
+        cb2(Status::Timeout(), Decoder());
       }
     });
   }
   pending_.emplace(rpc_id, std::move(pending));
-  net_->Send(node_id_, dest, enc.Take());
+  net_->Send(node_id_, dest, enc.TakeBuf(), 0, std::move(atts));
 }
 
 void RpcEndpoint::CancelAll() {
@@ -61,24 +66,26 @@ void RpcEndpoint::CancelAll() {
     p.timeout.Cancel();
     stats_.cancelled++;
     if (p.cb) {
-      p.cb(Status::Unavailable("call cancelled"), "");
+      p.cb(Status::Unavailable("call cancelled"), Decoder());
     }
   }
 }
 
-void RpcEndpoint::SendResponse(NodeId dest, uint64_t rpc_id, const Status& status,
-                               std::string body) {
+void RpcEndpoint::SendResponse(NodeId dest, uint64_t rpc_id, const Status& status, Buf body,
+                               std::vector<Buf> atts) {
   Encoder enc;
   enc.PutU8(kKindResponse);
   enc.PutU64(rpc_id);
   enc.PutU8(static_cast<uint8_t>(status.code()));
   enc.PutBytes(status.message());
-  enc.PutBytes(body);
-  net_->Send(node_id_, dest, enc.Take());
+  enc.PutBytes(body.data(), body.size());
+  net_->Send(node_id_, dest, enc.TakeBuf(), 0, std::move(atts));
 }
 
 void RpcEndpoint::OnMessage(NetMessage&& msg) {
-  Decoder d(msg.payload);
+  // The frame decoder owns the message backing; the body is sliced out of it (no copy)
+  // and handed to the handler/callback together with the attachment handles.
+  Decoder d(std::move(msg.payload));
   uint8_t kind = 0;
   if (!d.GetU8(&kind)) {
     LLOG(kWarn) << "malformed rpc frame from node " << msg.from;
@@ -87,8 +94,8 @@ void RpcEndpoint::OnMessage(NetMessage&& msg) {
   if (kind == kKindRequest) {
     uint32_t method = 0;
     uint64_t rpc_id = 0;
-    std::string body;
-    if (!d.GetU32(&method) || !d.GetU64(&rpc_id) || !d.GetBytes(&body)) {
+    Buf body;
+    if (!d.GetU32(&method) || !d.GetU64(&rpc_id) || !d.GetBufView(&body)) {
       LLOG(kWarn) << "malformed rpc request from node " << msg.from;
       return;
     }
@@ -98,15 +105,15 @@ void RpcEndpoint::OnMessage(NetMessage&& msg) {
       responder.Send(Status::Unavailable("no handler for method"));
       return;
     }
-    it->second(msg.from, Decoder(body), std::move(responder));
+    it->second(msg.from, Decoder(std::move(body), std::move(msg.atts)), std::move(responder));
     return;
   }
   if (kind == kKindResponse) {
     uint64_t rpc_id = 0;
     uint8_t code = 0;
     std::string message;
-    std::string body;
-    if (!d.GetU64(&rpc_id) || !d.GetU8(&code) || !d.GetBytes(&message) || !d.GetBytes(&body)) {
+    Buf body;
+    if (!d.GetU64(&rpc_id) || !d.GetU8(&code) || !d.GetBytes(&message) || !d.GetBufView(&body)) {
       LLOG(kWarn) << "malformed rpc response from node " << msg.from;
       return;
     }
@@ -119,7 +126,8 @@ void RpcEndpoint::OnMessage(NetMessage&& msg) {
     pending_.erase(it);
     stats_.responses_received++;
     if (cb) {
-      cb(Status(static_cast<StatusCode>(code), std::move(message)), body);
+      cb(Status(static_cast<StatusCode>(code), std::move(message)),
+         Decoder(std::move(body), std::move(msg.atts)));
     }
     return;
   }

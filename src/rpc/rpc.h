@@ -30,10 +30,14 @@ class Responder {
  public:
   Responder() = default;
 
-  // Sends the response. `body` is the encoded reply payload (empty allowed).
-  void Send(const Status& status, std::string body = "");
-  // Convenience for OK + encoded body.
-  void Ok(Encoder& enc) { Send(Status::Ok(), enc.Take()); }
+  // Sends the response. `body` is the encoded reply payload (empty allowed); `atts`
+  // are zero-copy payload segments produced by Encoder::PutAttached.
+  void Send(const Status& status, Buf body = {}, std::vector<Buf> atts = {});
+  // Convenience for OK + encoded body (collects the encoder's attachments).
+  void Ok(Encoder& enc) {
+    auto atts = enc.TakeAtts();
+    Send(Status::Ok(), enc.TakeBuf(), std::move(atts));
+  }
 
   bool valid() const { return inner_ != nullptr && inner_->endpoint != nullptr; }
   NodeId caller() const { return inner_ ? inner_->caller : kInvalidNode; }
@@ -64,11 +68,12 @@ struct RpcStats {
 class RpcEndpoint {
  public:
   // Handler receives the caller id, a decoder over the request body, and the responder.
-  // The decoder (and the buffer behind it) is valid only for the duration of the handler
-  // call: decode the request before deferring work to the event loop.
+  // The decoder owns its backing buffer and the message attachments, so it (and any Buf
+  // decoded out of it) stays valid if the handler defers work to the event loop.
   using Handler = std::function<void(NodeId caller, Decoder body, Responder responder)>;
-  // Client completion: status (OK / Timeout / server-provided error) and reply body.
-  using ResponseCallback = std::function<void(Status, const std::string& body)>;
+  // Client completion: status (OK / Timeout / server-provided error) and a decoder over
+  // the reply body (owning the backing + attachments; empty on timeout/cancel).
+  using ResponseCallback = std::function<void(Status, Decoder body)>;
 
   explicit RpcEndpoint(Network* net);
 
@@ -81,8 +86,9 @@ class RpcEndpoint {
 
   // Issues a call. `timeout_ns` == 0 means no timeout (the callback may never fire if
   // the destination is down — callers that pass 0 must handle that themselves).
-  void Call(NodeId dest, MethodId method, std::string body, ResponseCallback cb,
-            uint64_t timeout_ns);
+  // `atts` are zero-copy payload segments referenced by length markers in `body`.
+  void Call(NodeId dest, MethodId method, Buf body, ResponseCallback cb,
+            uint64_t timeout_ns, std::vector<Buf> atts = {});
 
   // Encodes `req` (must provide Encode(Encoder&)) and issues the call.
   template <typename Req>
@@ -90,7 +96,8 @@ class RpcEndpoint {
                uint64_t timeout_ns) {
     Encoder enc;
     req.Encode(enc);
-    Call(dest, method, enc.Take(), std::move(cb), timeout_ns);
+    auto atts = enc.TakeAtts();
+    Call(dest, method, enc.TakeBuf(), std::move(cb), timeout_ns, std::move(atts));
   }
 
   // Cancels all outstanding calls with Status::Unavailable (client teardown).
@@ -107,7 +114,8 @@ class RpcEndpoint {
   };
 
   void OnMessage(NetMessage&& msg);
-  void SendResponse(NodeId dest, uint64_t rpc_id, const Status& status, std::string body);
+  void SendResponse(NodeId dest, uint64_t rpc_id, const Status& status, Buf body,
+                    std::vector<Buf> atts);
 
   Network* net_;
   NodeId node_id_;
@@ -132,7 +140,7 @@ class Gather : public std::enable_shared_from_this<Gather> {
   // otherwise be destroyed because the shared_ptr is captured.
   RpcEndpoint::ResponseCallback Slot(size_t i) {
     auto self = shared_from_this();
-    return [self, i](Status s, const std::string&) { self->Complete(i, std::move(s)); };
+    return [self, i](Status s, Decoder) { self->Complete(i, std::move(s)); };
   }
 
  private:

@@ -213,7 +213,7 @@ void Controller::ResealLoop() {
       Encoder enc;
       seal.Encode(enc);
       endpoint_.Call(node, kSeqSeal, enc.Take(),
-                     [this, node](Status s, const std::string&) {
+                     [this, node](Status s, Decoder) {
                        // WRONG_VIEW means the node already moved to a newer view (it was
                        // started into the new config); either way it is no longer a
                        // stale-serving risk.
@@ -274,9 +274,8 @@ void Controller::FlushRecovery(std::vector<NodeId> live, NodeId recovery, uint32
   }
   endpoint_.Call(recovery, kSeqFetchLog, enc.Take(),
                  [this, live = std::move(live), recovery, attempt,
-                  new_config = std::move(new_config)](Status s, const std::string& body) mutable {
+                  new_config = std::move(new_config)](Status s, Decoder d) mutable {
                    SeqFlushResp resp;
-                   Decoder d(body);
                    if (!s.ok() || !resp.Decode(d)) {
                      LLOG(kError) << "controller: flush failed: " << s.ToString();
                      if (attempt + 1 < 3) {
@@ -376,7 +375,7 @@ void Controller::StartViewMember(NodeId member, std::shared_ptr<std::string> bod
                                  ViewId new_view, std::function<void()> acked) {
   endpoint_.Call(member, kSeqStartView, *body,
                  [this, member, body, new_view, acked = std::move(acked)](
-                     Status s, const std::string&) mutable {
+                     Status s, Decoder) mutable {
                    if (s.ok() || s.code() == StatusCode::kWrongView) {
                      // Adopted (or already past) this view: no longer a reseal target.
                      reseal_pending_.erase(member);
@@ -446,7 +445,7 @@ void Controller::ReplaceShardReplica(uint32_t shard, uint32_t replica_index, Nod
                    done = std::move(done)](uint32_t attempt) mutable {
     endpoint_.Call(new_node, kShardCopyState, *body,
                    [this, shard, replica_index, old_node, new_node, attempt, attempt_copy,
-                    done](Status s, const std::string&) mutable {
+                    done](Status s, Decoder) mutable {
                      if (!s.ok()) {
                        if (attempt + 1 < 5) {
                          endpoint_.loop()->Schedule(2 * kMs, [attempt_copy, attempt]() {
@@ -500,8 +499,7 @@ void Controller::UpdateSeqShards(NodeId old_node, NodeId new_node,
     auto send = std::make_shared<std::function<void(uint32_t)>>();
     *send = [this, member, body, send, remaining, finish](uint32_t attempt) {
       endpoint_.Call(member, kSeqUpdateShards, *body,
-                     [this, member, attempt, send, remaining, finish](Status s,
-                                                                     const std::string&) {
+                     [this, member, attempt, send, remaining, finish](Status s, Decoder) {
                        if (!s.ok() && attempt + 1 < 10 && known_dead_.count(member) == 0) {
                          endpoint_.loop()->Schedule(
                              2 * kMs, [send, attempt]() { (*send)(attempt + 1); });

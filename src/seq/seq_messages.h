@@ -13,6 +13,7 @@ namespace lazylog {
 
 // Wire-encodable RecordId wrapper (for PutVector/GetVector).
 struct WireRecordId {
+  static constexpr size_t kMinEncodedSize = 16;  // client_id + request_id
   RecordId id;
   void Encode(Encoder& e) const { EncodeRecordId(e, id); }
   bool Decode(Decoder& d) { return DecodeRecordId(d, &id); }
@@ -24,19 +25,19 @@ struct WireRecordId {
 struct SeqAppendReq {
   ViewId view = 0;
   RecordId id;
-  std::string payload;
+  Buf payload;  // rides as an attachment; the replica's ring buffer aliases it
   ShardId target_shard = 0;
   bool is_meta = false;
 
   void Encode(Encoder& e) const {
     e.PutU64(view);
     EncodeRecordId(e, id);
-    e.PutBytes(payload);
+    e.PutAttached(payload);
     e.PutU32(target_shard);
     e.PutBool(is_meta);
   }
   bool Decode(Decoder& d) {
-    return d.GetU64(&view) && DecodeRecordId(d, &id) && d.GetBytes(&payload) &&
+    return d.GetU64(&view) && DecodeRecordId(d, &id) && d.GetAttached(&payload) &&
            d.GetU32(&target_shard) && d.GetBool(&is_meta);
   }
 };

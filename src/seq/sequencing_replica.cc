@@ -265,16 +265,19 @@ void SequencingReplica::PumpCursor(size_t s) {
     c.pushes++;
     const uint64_t epoch = c.window_epoch;
     const ViewId window_view = view_;
-    endpoint_.Call(shard_primaries_[s], method, enc.Take(),
-                   [this, s, epoch, window_view](Status st, const std::string& body) {
-                     OnWindowAck(s, epoch, window_view, st, body);
+    // m-mode windows carry the record payloads as attachments: the push shares the
+    // ring buffer's backing, it does not re-copy record bytes.
+    std::vector<Buf> atts = enc.TakeAtts();
+    endpoint_.Call(shard_primaries_[s], method, enc.TakeBuf(),
+                   [this, s, epoch, window_view](Status st, Decoder body) {
+                     OnWindowAck(s, epoch, window_view, st, std::move(body));
                    },
-                   params_.seq.order_push_timeout_ns);
+                   params_.seq.order_push_timeout_ns, std::move(atts));
   }
 }
 
 void SequencingReplica::OnWindowAck(size_t s, uint64_t epoch, ViewId window_view,
-                                    const Status& status, const std::string& body) {
+                                    const Status& status, Decoder body) {
   if (sealed_ || view_ != window_view || !is_leader() || s >= cursors_.size()) {
     return;  // reconfiguration owns the log now
   }
@@ -286,8 +289,7 @@ void SequencingReplica::OnWindowAck(size_t s, uint64_t epoch, ViewId window_view
   c.in_flight--;
   // Error acks carry the watermark too, so the cursor resyncs even from a refusal.
   ShardOrderAckResp ack;
-  Decoder d(body);
-  if (!body.empty() && ack.Decode(d)) {
+  if (body.Remaining() > 0 && ack.Decode(body)) {
     c.acked_watermark = std::max(c.acked_watermark, ack.applied_upto);
   }
   if (status.code() == StatusCode::kStaleView) {
@@ -438,7 +440,7 @@ void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_
   }
   Encoder enc;
   req.Encode(enc);
-  const std::string body = enc.Take();
+  const Buf body = enc.TakeBuf();
   for (size_t s = 0; s < n_shards; ++s) {
     endpoint_.Call(shard_primaries_[s], kShardOrderMeta, body, gather->Slot(s),
                    timeout_ns);
@@ -465,7 +467,7 @@ void SequencingReplica::SendFollowerGc(NodeId follower, std::function<void()> do
   gc.Encode(enc);
   endpoint_.Call(follower, kSeqGc, enc.Take(),
                  [this, follower, gc_view, sent_gp, sent, done = std::move(done)](
-                     Status s, const std::string&) {
+                     Status s, Decoder) {
                    OnFollowerGcDone(follower, gc_view, sent_gp, sent, s);
                    if (done) {
                      done();
@@ -538,7 +540,8 @@ void SequencingReplica::BroadcastStableGp() {
   StableGpMsg msg{view_, stable_gp_};
   Encoder enc;
   msg.Encode(enc);
-  const std::string body = enc.Take();
+  // One backing shared across the broadcast; each Call copies a handle.
+  const Buf body = enc.TakeBuf();
   for (NodeId n : all_shard_servers_) {
     endpoint_.Call(n, kShardSetStableGp, body, nullptr, 0);
   }
@@ -747,7 +750,7 @@ void SequencingReplica::HandleTrim(Decoder d, Responder r) {
   msg.up_to = std::min<LogPos>(msg.up_to, stable_gp_);
   Encoder enc;
   msg.Encode(enc);
-  const std::string body = enc.Take();
+  const Buf body = enc.TakeBuf();
   auto gather = Gather::Create(all_shard_servers_.size(),
                                [r](const std::vector<Status>& ss) mutable {
                                  const bool ok = std::all_of(
@@ -783,6 +786,7 @@ OrdererStatsSnapshot SequencingReplica::StatsSnapshot() const {
     ps.watermark_lag = assigned_gp_ > c.acked_watermark ? assigned_gp_ - c.acked_watermark : 0;
     snap.shards.push_back(ps);
   }
+  snap.buf = GlobalBufStats();
   return snap;
 }
 
@@ -800,6 +804,9 @@ StatsFields OrdererStatsSnapshot::Fields() const {
       {"assigned_gp", static_cast<double>(assigned_gp)},
       {"stable_gp", static_cast<double>(stable_gp)},
       {"unordered", static_cast<double>(unordered)},
+      {"payload_bytes_copied", static_cast<double>(buf.payload_bytes_copied)},
+      {"payload_bytes_aliased", static_cast<double>(buf.payload_bytes_aliased)},
+      {"buf_allocations", static_cast<double>(buf.allocations)},
   };
   LogPos max_lag = 0;
   uint64_t retries = 0;

@@ -67,6 +67,7 @@ struct OrdererStatsSnapshot {
   LogPos stable_gp = 0;
   uint64_t unordered = 0;  // entries still in the local ring buffer
   std::vector<OrdererStats::PerShard> shards;
+  BufStats buf;  // global record-path copy/alias counters at capture time
   StatsFields Fields() const;
 };
 
@@ -120,7 +121,7 @@ class SequencingReplica {
  private:
   struct Entry {
     RecordId id;
-    std::string payload;
+    Buf payload;  // shares the backing of the client's append message
     ShardId shard = 0;
   };
 
@@ -169,7 +170,7 @@ class SequencingReplica {
   void AssignPositions();
   void PumpCursor(size_t s);
   void OnWindowAck(size_t s, uint64_t epoch, ViewId window_view, const Status& status,
-                   const std::string& body);
+                   Decoder body);
   void ArmCursorRetry(size_t s);
   // Advances ordered_gp_ to the min durable watermark across cursors, GCs the covered
   // entries locally, and queues follower GC.

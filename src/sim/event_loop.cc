@@ -34,6 +34,7 @@ bool EventLoop::RunOne() {
     now_ = e.at;
     auto fn = std::move(e.state->fn);
     e.state->fn = nullptr;
+    ++events_run_;
     fn();
     return true;
   }

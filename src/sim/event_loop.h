@@ -64,6 +64,10 @@ class EventLoop {
   // this returns the queue size including cancelled tombstones.
   size_t QueuedEvents() const { return queue_.size(); }
 
+  // Total events executed since construction (cancelled tombstones excluded). The
+  // harness-throughput bench divides this by wall-clock time to measure simulator speed.
+  uint64_t events_run() const { return events_run_; }
+
  private:
   struct QueueEntry {
     SimTime at;
@@ -76,6 +80,7 @@ class EventLoop {
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t events_run_ = 0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
 };
 

@@ -18,7 +18,8 @@ void Network::SetHandler(NodeId id, Handler handler) {
   handlers_[id] = std::move(handler);
 }
 
-void Network::Send(NodeId from, NodeId to, std::string payload, uint64_t wire_bytes) {
+void Network::Send(NodeId from, NodeId to, Buf payload, uint64_t wire_bytes,
+                   std::vector<Buf> atts) {
   LL_CHECK(from < handlers_.size() && to < handlers_.size(), "Send between unknown nodes");
   ++messages_sent_;
   if (!IsUp(from) || Partitioned(from, to)) {
@@ -29,6 +30,9 @@ void Network::Send(NodeId from, NodeId to, std::string payload, uint64_t wire_by
   }
   if (wire_bytes == 0) {
     wire_bytes = payload.size();
+    for (const Buf& a : atts) {
+      wire_bytes += a.size();
+    }
   }
   const uint64_t bytes = wire_bytes + params_.per_message_overhead_bytes;
   bytes_sent_ += bytes;
@@ -46,13 +50,15 @@ void Network::Send(NodeId from, NodeId to, std::string payload, uint64_t wire_by
   const uint64_t jitter = params_.jitter_ns > 0 ? rng_.Uniform(params_.jitter_ns) : 0;
   const SimTime deliver_at = lane[from] + params_.propagation_ns + jitter + extra_delay_ns_;
 
-  loop_->ScheduleAt(deliver_at, [this, from, to, wire_bytes, p = std::move(payload)]() mutable {
+  // Delivery moves the Buf handles; no payload byte is copied on the loopback path.
+  loop_->ScheduleAt(deliver_at, [this, from, to, wire_bytes, p = std::move(payload),
+                                 a = std::move(atts)]() mutable {
     if (!IsUp(to) || Partitioned(from, to)) {
       return;  // destination died or link cut while in flight
     }
     ++messages_delivered_;
     if (handlers_[to]) {
-      handlers_[to](NetMessage{from, to, std::move(p), wire_bytes});
+      handlers_[to](NetMessage{from, to, std::move(p), std::move(a), wire_bytes});
     }
   });
 }

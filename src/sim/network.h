@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/buf.h"
 #include "src/common/params.h"
 #include "src/common/random.h"
 #include "src/common/types.h"
@@ -19,14 +20,17 @@
 
 namespace lazylog {
 
-// One message on the wire. `payload` is the RPC-encoded body; `wire_bytes` is the size
-// charged to the NIC (defaults to payload size; Erwin-st uses it to model data that in a
-// real deployment would be scattered via RDMA without an extra copy).
+// One message on the wire. `payload` is the RPC-encoded frame; `atts` are scatter-gather
+// payload segments (refcounted Buf handles — delivery moves handles, never bytes, the
+// way eRPC/RDMA scatter record data without an extra copy). `wire_bytes` is the size
+// charged to the NIC (defaults to frame + attachment bytes; Erwin-st overrides it to
+// model data that a real deployment scatters via RDMA).
 struct NetMessage {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
-  std::string payload;
-  uint64_t wire_bytes = 0;  // bytes charged to the NIC; 0 means payload.size()
+  Buf payload;
+  std::vector<Buf> atts;
+  uint64_t wire_bytes = 0;  // bytes charged to the NIC; 0 means payload + atts size
 };
 
 // The network fabric shared by all nodes of a simulated cluster.
@@ -42,11 +46,13 @@ class Network {
   // Replaces the handler of an existing node (used when a server object is rebuilt).
   void SetHandler(NodeId id, Handler handler);
 
-  // Sends `payload` from -> to. Delivery is dropped if either end is down at send or the
-  // destination is down/partitioned at delivery time (messages in flight to a node that
-  // crashes are lost, as on a real network). `wire_bytes` overrides the NIC-charged size
-  // (0 = payload size); Erwin-st uses it to model data scattered via RDMA.
-  void Send(NodeId from, NodeId to, std::string payload, uint64_t wire_bytes = 0);
+  // Sends `payload` (+ attachment segments) from -> to. Delivery is dropped if either
+  // end is down at send or the destination is down/partitioned at delivery time
+  // (messages in flight to a node that crashes are lost, as on a real network).
+  // `wire_bytes` overrides the NIC-charged size (0 = frame + attachment bytes);
+  // Erwin-st uses it to model data scattered via RDMA.
+  void Send(NodeId from, NodeId to, Buf payload, uint64_t wire_bytes = 0,
+            std::vector<Buf> atts = {});
 
   // --- failure injection -----------------------------------------------------------
   // Crashing a node drops its queued deliveries and all future traffic to/from it.

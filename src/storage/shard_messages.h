@@ -14,6 +14,7 @@ namespace lazylog {
 // One globally positioned record, as pushed by the background orderer (Erwin-m) or
 // replicated primary->backup.
 struct PositionedRecord {
+  static constexpr size_t kMinEncodedSize = 8 + WireRecord::kMinEncodedSize;
   LogPos pos = 0;
   Record record;
 
@@ -87,20 +88,23 @@ struct ShardReadResp {
   bool Decode(Decoder& d) { return d.GetVector(&records); }
 };
 
-// Erwin-st client data write: durable-on-arrival record data, not yet ordered.
+// Erwin-st client data write: durable-on-arrival record data, not yet ordered. The
+// payload attachment is the one allocation the record ever gets: the shard's unordered
+// pool, the bound log entry, and read replies all alias it.
 struct ShardPutDataReq {
   RecordId id;
-  std::string payload;
+  Buf payload;
 
   void Encode(Encoder& e) const {
     EncodeRecordId(e, id);
-    e.PutBytes(payload);
+    e.PutAttached(payload);
   }
-  bool Decode(Decoder& d) { return DecodeRecordId(d, &id) && d.GetBytes(&payload); }
+  bool Decode(Decoder& d) { return DecodeRecordId(d, &id) && d.GetAttached(&payload); }
 };
 
 // One metadata entry: global position -> (record id, shard that holds the data).
 struct MetaEntry {
+  static constexpr size_t kMinEncodedSize = 28;  // pos + record id + shard
   LogPos pos = 0;
   RecordId id;
   ShardId shard = 0;

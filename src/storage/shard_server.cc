@@ -337,14 +337,17 @@ void ShardServer::ApplyAppendWindow(std::shared_ptr<ShardAppendBatchReq> req, Re
   // Replicate to backups; each ack releases one wait. Backups run the same admission,
   // so a window reordered in flight parks there until its predecessor lands.
   if (is_primary()) {
+    // Re-encoding for backups re-attaches the same payload handles the orderer sent;
+    // replication fans out refcounts, not bytes.
     Encoder enc;
     req->Encode(enc);
-    const std::string body = enc.Take();
+    const std::vector<Buf> atts = enc.TakeAtts();
+    const Buf body = enc.TakeBuf();
     for (size_t i = 1; i < replicas_.size(); ++i) {
       batch->waits++;
       endpoint_.Call(replicas_[i], kShardReplicate, body,
-                     [batch](Status s, const std::string&) { batch->Complete(s); },
-                     params_.rpc_timeout_ns);
+                     [batch](Status s, Decoder) { batch->Complete(s); },
+                     params_.rpc_timeout_ns, atts);
     }
   }
   // Shards are the long-term durable tier: the window ack (and hence GC of the
@@ -398,7 +401,7 @@ void ShardServer::HandlePutData(Decoder d, Responder r) {
   }
   stats_.data_puts++;
   const uint64_t bytes = req.payload.size();
-  cpu_.ExecuteFor(bytes, [this, req = std::move(req), r]() mutable {
+  cpu_.ExecuteFor(bytes, [this, bytes, req = std::move(req), r]() mutable {
     if (rejected_.count(req.id) > 0) {
       stats_.rejected_puts++;
       r.Send(Status::Rejected("record resolved as no-op"));
@@ -407,14 +410,14 @@ void ShardServer::HandlePutData(Decoder d, Responder r) {
     auto pending_it = pending_.find(req.id);
     if (pending_it != pending_.end()) {
       // The metadata beat the data here; resolve the parked binding.
-      ResolvePendingWithData(req.id, req.payload);
+      ResolvePendingWithData(req.id, std::move(req.payload));
     } else {
-      pool_[req.id] = req.payload;
+      pool_[req.id] = std::move(req.payload);
       pool_arrival_[req.id] = endpoint_.loop()->Now();
     }
     // Memory on all replicas is the critical-path durability; disk catches up in the
     // background but exerts backpressure once its queue exceeds the admission horizon.
-    disk_.Write(req.payload.size());
+    disk_.Write(bytes);
     const uint64_t delay = DiskAdmissionDelay();
     if (delay == 0) {
       r.Send(Status::Ok());
@@ -460,7 +463,7 @@ bool ShardServer::BindPosition(const MetaEntry& entry, const std::shared_ptr<Bat
       freq.Encode(e);
       endpoint_.Call(replicas_.empty() ? kInvalidNode : replicas_[0], kShardFetchRecord,
                      e.Take(),
-                     [this, id](Status s, const std::string& body) {
+                     [this, id](Status s, Decoder body) {
                        auto it = pending_.find(id);
                        if (it == pending_.end()) {
                          return;  // resolved meanwhile
@@ -473,14 +476,14 @@ bool ShardServer::BindPosition(const MetaEntry& entry, const std::shared_ptr<Bat
                                Encoder e2;
                                FetchRecordReq{p2}.Encode(e2);
                                endpoint_.Call(replicas_[0], kShardFetchRecord, e2.Take(),
-                                              [this, id](Status s2, const std::string& b2) {
-                                                ApplyFetchedRecord(id, s2, b2);
+                                              [this, id](Status s2, Decoder b2) {
+                                                ApplyFetchedRecord(id, s2, std::move(b2));
                                               },
                                               params_.rpc_timeout_ns);
                              });
                          return;
                        }
-                       ApplyFetchedRecord(id, s, body);
+                       ApplyFetchedRecord(id, s, std::move(body));
                      },
                      params_.rpc_timeout_ns);
     });
@@ -489,13 +492,11 @@ bool ShardServer::BindPosition(const MetaEntry& entry, const std::shared_ptr<Bat
   return false;
 }
 
-void ShardServer::ApplyFetchedRecord(const RecordId& id, const Status& s,
-                                     const std::string& body) {
+void ShardServer::ApplyFetchedRecord(const RecordId& id, const Status& s, Decoder d) {
   auto it = pending_.find(id);
   if (it == pending_.end() || !s.ok()) {
     return;
   }
-  Decoder d(body);
   Record rec;
   if (!DecodeRecord(d, &rec)) {
     return;
@@ -504,14 +505,14 @@ void ShardServer::ApplyFetchedRecord(const RecordId& id, const Status& s,
     FinalizeNoOp(id);
     return;
   }
-  ResolvePendingWithData(id, rec.payload);
+  ResolvePendingWithData(id, std::move(rec.payload));
 }
 
-void ShardServer::ResolvePendingWithData(const RecordId& id, const std::string& payload) {
+void ShardServer::ResolvePendingWithData(const RecordId& id, Buf payload) {
   auto it = pending_.find(id);
   LL_CHECK(it != pending_.end(), "resolving non-pending binding");
   it->second.timeout.Cancel();
-  log_.Overwrite(it->second.local_index, Record{id, payload, false});
+  log_.Overwrite(it->second.local_index, Record{id, std::move(payload), false});
   if (it->second.batch) {
     it->second.batch->Complete(Status::Ok());
   }
@@ -664,11 +665,11 @@ void ShardServer::ApplyMetaWindow(std::shared_ptr<ShardOrderMetaReq> req_ptr, Re
   if (primary_path && is_primary()) {
     Encoder enc;
     req.Encode(enc);
-    const std::string body = enc.Take();
+    const Buf body = enc.TakeBuf();
     for (size_t i = 1; i < replicas_.size(); ++i) {
       batch->waits++;
       endpoint_.Call(replicas_[i], kShardReplicateMeta, body,
-                     [batch](Status s, const std::string&) { batch->Complete(s); },
+                     [batch](Status s, Decoder) { batch->Complete(s); },
                      params_.rpc_timeout_ns);
     }
   }
@@ -904,7 +905,7 @@ void ShardServer::HandleFetchState(Decoder d, Responder r) {
   e.PutU32(static_cast<uint32_t>(pool_.size()));
   for (const auto& [id, payload] : pool_) {
     EncodeRecordId(e, id);
-    e.PutBytes(payload);
+    e.PutAttached(payload);
   }
   // No-op decisions (so late data writes stay rejected on the new replica).
   e.PutU32(static_cast<uint32_t>(rejected_.size()));
@@ -914,7 +915,9 @@ void ShardServer::HandleFetchState(Decoder d, Responder r) {
   // Metadata log.
   std::vector<uint64_t> meta(meta_log_.begin(), meta_log_.end());
   e.PutU64Vector(meta);
-  const uint64_t bytes = e.size();
+  // Charge for the full snapshot including attachment bytes, matching the old
+  // inline encoding size.
+  const uint64_t bytes = e.size() + e.atts_size();
   cpu_.ExecuteFor(bytes, [e = std::move(e), r]() mutable { r.Ok(e); });
 }
 
@@ -924,12 +927,11 @@ void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)>
   loading_ = true;
   endpoint_.Call(
       live_replica, kShardFetchState, "",
-      [this, done = std::move(done)](Status s, const std::string& body) {
+      [this, done = std::move(done)](Status s, Decoder d) {
         if (!s.ok()) {
           done(std::move(s));
           return;
         }
-        Decoder d(body);
         uint32_t n_ordered = 0;
         uint64_t view = 0, stable = 0, trimmed = 0, meta_base = 0;
         uint64_t order_applied = 0, order_durable = 0;
@@ -968,8 +970,8 @@ void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)>
         }
         for (uint32_t i = 0; i < n_pool; ++i) {
           RecordId id;
-          std::string payload;
-          if (!DecodeRecordId(d, &id) || !d.GetBytes(&payload)) {
+          Buf payload;
+          if (!DecodeRecordId(d, &id) || !d.GetAttached(&payload)) {
             done(Status::Internal("bad state snapshot pool entry"));
             return;
           }
@@ -1033,6 +1035,7 @@ ShardStatsSnapshot ShardServer::StatsSnapshot() const {
   snap.order_applied = order_applied_;
   snap.order_durable = order_durable_;
   snap.parked_windows = parked_.size();
+  snap.buf = GlobalBufStats();
   return snap;
 }
 
@@ -1052,6 +1055,9 @@ StatsFields ShardStatsSnapshot::Fields() const {
       {"order_applied", static_cast<double>(order_applied)},
       {"order_durable", static_cast<double>(order_durable)},
       {"parked_windows", static_cast<double>(parked_windows)},
+      {"payload_bytes_copied", static_cast<double>(buf.payload_bytes_copied)},
+      {"payload_bytes_aliased", static_cast<double>(buf.payload_bytes_aliased)},
+      {"buf_allocations", static_cast<double>(buf.allocations)},
   };
 }
 

@@ -50,6 +50,7 @@ struct ShardStatsSnapshot {
   LogPos order_applied = 0;  // contiguous apply frontier of the orderer stream
   LogPos order_durable = 0;  // contiguous fully-durable frontier (reported in acks)
   uint64_t parked_windows = 0;
+  BufStats buf;  // global record-path copy/alias counters at capture time
   StatsFields Fields() const;
 };
 
@@ -198,10 +199,10 @@ class ShardServer {
   // Erwin-st: binds position -> record data from the unordered pool, or parks a
   // PendingBinding. Returns true if immediately resolved.
   bool BindPosition(const MetaEntry& entry, const std::shared_ptr<BatchAck>& batch);
-  void ResolvePendingWithData(const RecordId& id, const std::string& payload);
+  void ResolvePendingWithData(const RecordId& id, Buf payload);
   void FinalizeNoOp(const RecordId& id);
   // Backup repair: applies a record fetched from the primary to a pending binding.
-  void ApplyFetchedRecord(const RecordId& id, const Status& s, const std::string& body);
+  void ApplyFetchedRecord(const RecordId& id, const Status& s, Decoder d);
 
   void ServeRead(const ShardReadReq& req, Responder r);
   void WakeWaiters();
@@ -241,8 +242,9 @@ class ShardServer {
   std::unordered_map<LogPos, uint64_t> pos_to_local_;  // global pos -> local index
   LogPos trimmed_below_ = 0;
 
-  // Erwin-st state.
-  std::unordered_map<RecordId, std::string, RecordIdHash> pool_;  // unordered durable data
+  // Erwin-st state. Pool entries are handles onto the client's payload backing (the
+  // PutData attachment); binding moves the handle into the log, never the bytes.
+  std::unordered_map<RecordId, Buf, RecordIdHash> pool_;  // unordered durable data
   std::unordered_map<RecordId, SimTime, RecordIdHash> pool_arrival_;
   std::unordered_map<RecordId, PendingBinding, RecordIdHash> pending_;
   std::unordered_set<RecordId, RecordIdHash> rejected_;  // no-op'ed ids

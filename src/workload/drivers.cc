@@ -11,7 +11,7 @@ namespace lazylog {
 OpenLoopAppender::OpenLoopAppender(EventLoop* loop, SharedLogClient* client, Options options,
                                    uint64_t seed)
     : loop_(loop), client_(client), options_(options), rng_(seed) {
-  payload_template_.assign(options_.record_bytes, 'x');
+  payload_template_ = Buf::FromString(std::string(options_.record_bytes, 'x'));
 }
 
 void OpenLoopAppender::Start() {

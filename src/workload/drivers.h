@@ -56,7 +56,7 @@ class OpenLoopAppender {
   SharedLogClient* client_;
   Options options_;
   Rng rng_;
-  std::string payload_template_;
+  Buf payload_template_;  // one backing for the whole run; each append shares it
   bool running_ = false;
   SimTime started_at_ = 0;
   SimTime next_issue_ = 0;

@@ -26,7 +26,7 @@ TEST(KvStore, UpdateCodecRoundTrip) {
   ASSERT_TRUE(DecodeKvUpdate(rec, &k, &v));
   EXPECT_EQ(k, "key");
   EXPECT_EQ(v, "value");
-  EXPECT_FALSE(DecodeKvUpdate("junk", &k, &v));
+  EXPECT_FALSE(DecodeKvUpdate(std::string("junk"), &k, &v));
 }
 
 TEST(KvStore, PutThenGetAfterReaderCatchesUp) {

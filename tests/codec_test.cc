@@ -84,7 +84,8 @@ TEST(Codec, RecordRoundTrip) {
   Record r{RecordId{7, 9}, "payload", true};
   Encoder e;
   EncodeRecord(e, r);
-  Decoder d(e.data());
+  // The payload travels as an attachment; the decoder must receive both parts.
+  Decoder d(e.TakeBuf(), e.TakeAtts());
   Record out;
   ASSERT_TRUE(DecodeRecord(d, &out));
   EXPECT_EQ(out, r);
@@ -94,12 +95,21 @@ template <typename T>
 void ExpectRoundTrip(const T& msg) {
   Encoder e;
   msg.Encode(e);
-  Decoder d(e.data());
+  std::vector<Buf> atts = e.TakeAtts();
+  const Buf body = e.TakeBuf();
+  Decoder d(body, atts);
   T out;
   ASSERT_TRUE(out.Decode(d));
+  // Re-encoding the decoded message must reproduce the inline bytes and every
+  // attachment byte-for-byte.
   Encoder e2;
   out.Encode(e2);
-  EXPECT_EQ(e.data(), e2.data());
+  std::vector<Buf> atts2 = e2.TakeAtts();
+  EXPECT_EQ(body.ToString(), e2.TakeBuf().ToString());
+  ASSERT_EQ(atts2.size(), atts.size());
+  for (size_t i = 0; i < atts.size(); ++i) {
+    EXPECT_EQ(atts[i].ToString(), atts2[i].ToString());
+  }
   EXPECT_TRUE(d.Done());
 }
 
@@ -198,7 +208,7 @@ TEST_P(CodecFuzz, RandomBatchRoundTrip) {
   }
   Encoder e;
   batch.Encode(e);
-  Decoder d(e.data());
+  Decoder d(e.TakeBuf(), e.TakeAtts());
   ShardAppendBatchReq out;
   ASSERT_TRUE(out.Decode(d));
   ASSERT_EQ(out.records.size(), batch.records.size());

@@ -107,7 +107,8 @@ TEST(ErwinM, ConcurrentAppendsAllBoundExactlyOnce) {
   ASSERT_EQ(records->size(), static_cast<size_t>(kN));
   std::set<std::string> seen;
   for (const auto& pr : *records) {
-    EXPECT_TRUE(seen.insert(pr.record.payload).second) << "duplicate " << pr.record.payload;
+    EXPECT_TRUE(seen.insert(pr.record.payload.ToString()).second)
+        << "duplicate " << pr.record.payload.ToString();
   }
   EXPECT_EQ(seen.size(), static_cast<size_t>(kN));
 }

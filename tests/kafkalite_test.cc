@@ -93,7 +93,7 @@ TEST(KafkaLite, TruncatePropagatesToFollowers) {
   e.PutU64(2);
   bool done = false;
   raw.Call(cluster.leader(0), kKafkaTruncate, e.Take(),
-           [&](Status s, const std::string&) {
+           [&](Status s, Decoder) {
              EXPECT_TRUE(s.ok());
              done = true;
            },

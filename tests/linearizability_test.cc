@@ -107,8 +107,8 @@ TEST_P(LinearizabilityTest, RealTimeOrderRespected) {
     if (pr.record.no_op) {
       continue;
     }
-    auto [it, inserted] = position_of.emplace(pr.record.payload, pr.pos);
-    EXPECT_TRUE(inserted) << "record bound twice: " << pr.record.payload;
+    auto [it, inserted] = position_of.emplace(pr.record.payload.ToString(), pr.pos);
+    EXPECT_TRUE(inserted) << "record bound twice: " << pr.record.payload.ToString();
   }
 
   // (2) every acked record present exactly once.

@@ -42,9 +42,8 @@ TEST_F(RpcTest, EchoRoundTrip) {
   Status status = Status::Internal("unset");
   std::string reply;
   client_.Call(server_.node_id(), kEcho, e.Take(),
-               [&](Status s, const std::string& body) {
+               [&](Status s, Decoder d) {
                  status = std::move(s);
-                 Decoder d(body);
                  d.GetBytes(&reply);
                },
                kSec);
@@ -55,7 +54,7 @@ TEST_F(RpcTest, EchoRoundTrip) {
 
 TEST_F(RpcTest, UnknownMethodReturnsError) {
   Status status;
-  client_.Call(server_.node_id(), 999, "", [&](Status s, const std::string&) { status = s; },
+  client_.Call(server_.node_id(), 999, "", [&](Status s, Decoder) { status = s; },
                kSec);
   loop_.RunUntilIdle();
   EXPECT_EQ(status.code(), StatusCode::kUnavailable);
@@ -63,7 +62,7 @@ TEST_F(RpcTest, UnknownMethodReturnsError) {
 
 TEST_F(RpcTest, TimeoutFiresWhenServerSilent) {
   Status status;
-  client_.Call(server_.node_id(), kNever, "", [&](Status s, const std::string&) { status = s; },
+  client_.Call(server_.node_id(), kNever, "", [&](Status s, Decoder) { status = s; },
                10 * kMs);
   loop_.RunUntilIdle();
   EXPECT_EQ(status.code(), StatusCode::kTimeout);
@@ -72,7 +71,7 @@ TEST_F(RpcTest, TimeoutFiresWhenServerSilent) {
 TEST_F(RpcTest, LateResponseAfterTimeoutIsDropped) {
   int calls = 0;
   client_.Call(server_.node_id(), kNever, "",
-               [&](Status, const std::string&) { calls++; }, 10 * kMs);
+               [&](Status, Decoder) { calls++; }, 10 * kMs);
   loop_.RunUntil(20 * kMs);
   EXPECT_EQ(calls, 1);
   // Server finally responds; the client must not invoke the callback again.
@@ -88,9 +87,9 @@ TEST_F(RpcTest, DeferredResponderWorks) {
   Status status = Status::Internal("unset");
   std::string body_out;
   client_.Call(server_.node_id(), kDeferred, "",
-               [&](Status s, const std::string& body) {
+               [&](Status s, Decoder d) {
                  status = std::move(s);
-                 body_out = body;
+                 body_out = d.RemainingString();
                },
                kSec);
   loop_.RunUntilIdle();
@@ -103,7 +102,7 @@ TEST_F(RpcTest, ErrorStatusPropagates) {
     r.Send(Status::Sealed("try later"));
   });
   Status status;
-  client_.Call(server_.node_id(), kEcho, "", [&](Status s, const std::string&) { status = s; },
+  client_.Call(server_.node_id(), kEcho, "", [&](Status s, Decoder) { status = s; },
                kSec);
   loop_.RunUntilIdle();
   EXPECT_EQ(status.code(), StatusCode::kSealed);
@@ -112,7 +111,7 @@ TEST_F(RpcTest, ErrorStatusPropagates) {
 
 TEST_F(RpcTest, CancelAllFailsOutstanding) {
   Status status;
-  client_.Call(server_.node_id(), kNever, "", [&](Status s, const std::string&) { status = s; },
+  client_.Call(server_.node_id(), kNever, "", [&](Status s, Decoder) { status = s; },
                0);
   client_.CancelAll();
   EXPECT_EQ(status.code(), StatusCode::kUnavailable);
@@ -121,7 +120,7 @@ TEST_F(RpcTest, CancelAllFailsOutstanding) {
 TEST_F(RpcTest, CallToCrashedServerTimesOut) {
   net_.Crash(server_.node_id());
   Status status;
-  client_.Call(server_.node_id(), kEcho, "", [&](Status s, const std::string&) { status = s; },
+  client_.Call(server_.node_id(), kEcho, "", [&](Status s, Decoder) { status = s; },
                5 * kMs);
   loop_.RunUntilIdle();
   EXPECT_EQ(status.code(), StatusCode::kTimeout);
@@ -134,8 +133,7 @@ TEST_F(RpcTest, ManyConcurrentCallsMatchResponses) {
     e.PutBytes("m" + std::to_string(i));
     const std::string want = "m" + std::to_string(i);
     client_.Call(server_.node_id(), kEcho, e.Take(),
-                 [&ok, want](Status s, const std::string& body) {
-                   Decoder d(body);
+                 [&ok, want](Status s, Decoder d) {
                    std::string got;
                    d.GetBytes(&got);
                    if (s.ok() && got == want) {
@@ -158,11 +156,11 @@ TEST(Gather, CompletesOnceAllSlotsDone) {
   auto s0 = gather->Slot(0);
   auto s1 = gather->Slot(1);
   auto s2 = gather->Slot(2);
-  s1(Status::Ok(), "");
+  s1(Status::Ok(), Decoder());
   EXPECT_FALSE(done);
-  s0(Status::Timeout(), "");
+  s0(Status::Timeout(), Decoder());
   EXPECT_FALSE(done);
-  s2(Status::Ok(), "");
+  s2(Status::Ok(), Decoder());
   ASSERT_TRUE(done);
   EXPECT_TRUE(result[0].code() == StatusCode::kTimeout);
   EXPECT_TRUE(result[1].ok());
@@ -176,7 +174,7 @@ TEST(Gather, SurvivesCallerRelease) {
     auto gather = Gather::Create(1, [&](const std::vector<Status>&) { done = true; });
     cb = gather->Slot(0);
   }  // gather's shared_ptr released; the slot keeps it alive
-  cb(Status::Ok(), "");
+  cb(Status::Ok(), Decoder());
   EXPECT_TRUE(done);
 }
 

@@ -67,7 +67,7 @@ TEST(Sequencing, DuplicateAppendFiltered) {
   int acks = 0;
   for (int i = 0; i < 2; ++i) {
     client.CallMsg(cluster.seq_replica(0).node_id(), kSeqAppend, req,
-                   [&](Status s, const std::string&) { acks += s.ok() ? 1 : 0; }, kSec);
+                   [&](Status s, Decoder) { acks += s.ok() ? 1 : 0; }, kSec);
   }
   cluster.RunFor(5 * kMs);
   EXPECT_EQ(acks, 2);  // both report success (idempotent)
@@ -91,7 +91,7 @@ TEST(Sequencing, DuplicateFilteredEvenAfterGc) {
   req.payload = "first";
   Status status;
   raw.CallMsg(cluster.seq_replica(1).node_id(), kSeqAppend, req,
-              [&](Status s, const std::string&) { status = s; }, kSec);
+              [&](Status s, Decoder) { status = s; }, kSec);
   cluster.RunFor(5 * kMs);
   EXPECT_TRUE(status.ok());
   EXPECT_EQ(cluster.seq_replica(1).unordered_size(), 0u);  // filtered, not re-appended
@@ -118,7 +118,7 @@ TEST(Sequencing, SealedReplicaRejectsAppends) {
   SeqSealReq seal{0};
   bool sealed = false;
   raw.CallMsg(cluster.seq_replica(0).node_id(), kSeqSeal, seal,
-              [&](Status s, const std::string&) { sealed = s.ok(); }, kSec);
+              [&](Status s, Decoder) { sealed = s.ok(); }, kSec);
   cluster.RunFor(2 * kMs);
   ASSERT_TRUE(sealed);
   EXPECT_TRUE(cluster.seq_replica(0).sealed());
@@ -128,7 +128,7 @@ TEST(Sequencing, SealedReplicaRejectsAppends) {
   req.payload = "rejected";
   Status status;
   raw.CallMsg(cluster.seq_replica(0).node_id(), kSeqAppend, req,
-              [&](Status s, const std::string&) { status = s; }, kSec);
+              [&](Status s, Decoder) { status = s; }, kSec);
   cluster.RunFor(2 * kMs);
   EXPECT_EQ(status.code(), StatusCode::kSealed);
 }
@@ -142,7 +142,7 @@ TEST(Sequencing, WrongViewAppendRejected) {
   req.payload = "x";
   Status status;
   raw.CallMsg(cluster.seq_replica(0).node_id(), kSeqAppend, req,
-              [&](Status s, const std::string&) { status = s; }, kSec);
+              [&](Status s, Decoder) { status = s; }, kSec);
   cluster.RunFor(2 * kMs);
   EXPECT_EQ(status.code(), StatusCode::kWrongView);
 }
@@ -152,7 +152,7 @@ TEST(Sequencing, CheckTailOnFollowerSaysNotLeader) {
   RpcEndpoint raw(&cluster.network());
   Status status;
   raw.Call(cluster.seq_replica(1).node_id(), kSeqCheckTail, "",
-           [&](Status s, const std::string&) { status = s; }, kSec);
+           [&](Status s, Decoder) { status = s; }, kSec);
   cluster.RunFor(2 * kMs);
   EXPECT_EQ(status.code(), StatusCode::kNotLeader);
 }

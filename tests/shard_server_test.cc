@@ -36,7 +36,7 @@ class ShardHarness {
     Status out = Status::Internal("pending");
     bool done = false;
     client_->CallMsg(ids_[0], kShardAppendBatch, req,
-                     [&](Status s, const std::string&) {
+                     [&](Status s, Decoder) {
                        out = std::move(s);
                        done = true;
                      },
@@ -55,7 +55,7 @@ class ShardHarness {
     Status out = Status::Internal("pending");
     bool done = false;
     client_->CallMsg(ids_[0], kShardOrderMeta, req,
-                     [&](Status s, const std::string&) {
+                     [&](Status s, Decoder) {
                        out = std::move(s);
                        done = true;
                      },
@@ -69,7 +69,7 @@ class ShardHarness {
     Status out = Status::Internal("pending");
     bool done = false;
     client_->CallMsg(ids_[replica], kShardPutData, req,
-                     [&](Status s, const std::string&) {
+                     [&](Status s, Decoder) {
                        out = std::move(s);
                        done = true;
                      },
@@ -96,10 +96,9 @@ class ShardHarness {
     std::optional<std::vector<PositionedRecord>> out;
     bool done = false;
     client_->CallMsg(ids_[replica], kShardRead, req,
-                     [&](Status s, const std::string& body) {
+                     [&](Status s, Decoder d) {
                        if (s.ok()) {
                          ShardReadResp resp;
-                         Decoder d(body);
                          if (resp.Decode(d)) {
                            out = std::move(resp.records);
                          }
@@ -153,10 +152,9 @@ TEST(ShardBlackBox, SlowPathWokenByStableAdvance) {
   std::vector<PositionedRecord> records;
   ShardReadReq req{0, 1, false};
   h.client_->CallMsg(h.ids_[0], kShardRead, req,
-                     [&](Status s, const std::string& body) {
+                     [&](Status s, Decoder d) {
                        ASSERT_TRUE(s.ok());
                        ShardReadResp resp;
-                       Decoder d(body);
                        ASSERT_TRUE(resp.Decode(d));
                        records = std::move(resp.records);
                        done = true;
@@ -205,7 +203,7 @@ TEST(ShardBlackBox, SealFencesOldViewUntilRecoveryFlush) {
   Status sealed = Status::Internal("pending");
   bool done = false;
   h.client_->CallMsg(h.ids_[0], kShardSeal, seal,
-                     [&](Status s, const std::string&) {
+                     [&](Status s, Decoder) {
                        sealed = std::move(s);
                        done = true;
                      },
@@ -253,7 +251,7 @@ TEST(ShardBlackBox, TrimMakesPrefixUnreadable) {
   trim.Encode(e);
   bool done = false;
   h.client_->Call(h.ids_[0], kShardTrim, e.Take(),
-                  [&](Status s, const std::string&) {
+                  [&](Status s, Decoder) {
                     EXPECT_TRUE(s.ok());
                     done = true;
                   },
@@ -313,7 +311,7 @@ TEST(ShardSt, DataArrivingBeforeTimeoutResolvesBinding) {
   req.view = 1;
   req.entries = {MetaEntry{0, RecordId{9, 1}, 0}};
   h.client_->CallMsg(h.ids_[0], kShardOrderMeta, req,
-                     [&](Status s, const std::string&) {
+                     [&](Status s, Decoder) {
                        EXPECT_TRUE(s.ok());
                        meta_done = true;
                      },
@@ -360,10 +358,9 @@ TEST(ShardSt, PosMapServedUpToStable) {
   std::vector<uint64_t> ids;
   bool done = false;
   h.client_->CallMsg(h.ids_[0], kShardPosMap, req,
-                     [&](Status s, const std::string& body) {
+                     [&](Status s, Decoder d) {
                        ASSERT_TRUE(s.ok());
                        ShardPosMapResp resp;
-                       Decoder d(body);
                        ASSERT_TRUE(resp.Decode(d));
                        ids = resp.shard_ids;
                        done = true;
