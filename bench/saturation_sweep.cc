@@ -1,0 +1,204 @@
+// Saturation sweep: goodput, tail latency, and reject rate of Erwin-st as open-loop
+// offered load sweeps 0.25x..4x of the measured saturation knee. The point of the
+// bench is the overload regime: with the adaptive orderer + admission control (the
+// defaults) goodput holds at the knee under 4x overload and admitted appends keep a
+// bounded tail, while the static-knob configuration (admission off, fixed cadence)
+// collapses — the unordered ring's CPU queueing delay blows through the 8ms append
+// timeout, every ack arrives dead, and client retries amplify the overload.
+//
+// --smoke runs the knee probe plus the 4x adaptive/static A/B and asserts the
+// adaptive side holds >= 90% of knee goodput with a bounded admitted-append p99 and
+// real rejects, and that the static side collapses. One JSON line per run for CI.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/lazylog/erwin_cluster.h"
+
+namespace lazylog {
+namespace {
+
+constexpr uint32_t kShards = 16;
+constexpr size_t kRecordBytes = 512;
+constexpr size_t kClients = 24;
+constexpr uint64_t kWarmup = 20 * kMs;
+constexpr uint64_t kRun = 80 * kMs;
+
+// Bench-local CPU slowdown: raising the sequencer's per-record cost pulls the
+// saturation knee from ~1M/s down to ~260K/s, so a full overload point (and the 4x
+// retry storm of the static A/B) fits in well under a second of wall clock. The
+// mechanics under study — ring occupancy, queueing delay vs the append timeout,
+// AIMD cadence — are unchanged; only the scale shrinks.
+constexpr uint64_t kSeqFixedNs = 3800;
+// Watermarks scale with the per-record cost so that worst-case append latency — ring
+// queueing (high watermark x fixed_ns ~= 2ms) plus a couple of post-reject retry
+// backoffs — stays safely inside the 8ms append timeout. If it does not, acks start
+// arriving after the client's timeout fired and every such append goes through the
+// timeout-retry path (config probe + resend), a second overload of pure waste on the
+// same saturated core. Same sizing rule as the defaults at the default CPU cost.
+constexpr uint64_t kRingHigh = 512;
+constexpr uint64_t kRingLow = 256;
+
+struct Measurement {
+  double offered = 0;
+  double goodput = 0;     // acked appends/s over the measured window
+  double shed_per_sec = 0;  // appends that gave up client-side (overload/timeout)
+  Histogram latency;      // acked (admitted) appends only
+  OrdererStatsSnapshot orderer;
+};
+
+Measurement MeasureAt(double offered, bool adaptive, uint64_t run_ns = kRun,
+                      uint64_t warmup_ns = kWarmup) {
+  ErwinClusterOptions opt;
+  opt.mode = ErwinMode::kSt;
+  opt.num_shards = kShards;
+  opt.shard_replication = 2;
+  opt.with_control_plane = false;
+  opt.params.seq_cpu.fixed_ns = kSeqFixedNs;
+  opt.params.seq.ring_high_watermark = kRingHigh;
+  opt.params.seq.ring_low_watermark = kRingLow;
+  if (!adaptive) {
+    // The static arm of the A/B: fixed ordering knobs and no admission gate — the
+    // pre-overload-control configuration.
+    opt.params.seq.adaptive_ordering = false;
+    opt.params.seq.admission_control = false;
+  }
+  ErwinCluster cluster(opt);
+  std::vector<std::unique_ptr<SharedLogClient>> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.push_back(cluster.MakeClient());
+  }
+  AppenderFleet fleet(&cluster.loop(), std::move(clients), offered, kRecordBytes,
+                      warmup_ns);
+  fleet.Start();
+  cluster.RunFor(run_ns);
+  fleet.Stop();
+
+  Measurement m;
+  m.offered = offered;
+  m.goodput = fleet.MeasuredRate(cluster.loop().Now());
+  m.latency = fleet.MergedLatency();
+  m.orderer = cluster.seq_replica(0).StatsSnapshot();
+  uint64_t failed = 0;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    failed += fleet.appender(i).failed();
+  }
+  m.shed_per_sec = static_cast<double>(failed) / (static_cast<double>(run_ns) / 1e9);
+  return m;
+}
+
+// The knee is the measured saturated goodput: probe upward from the analytic
+// sequencing capacity until offered load outruns acked throughput, keep the best.
+double MeasureKnee() {
+  const SimParams params;
+  const double capacity =
+      1e9 / (kSeqFixedNs + params.seq.metadata_entry_bytes /
+                               params.seq_cpu.copy_bandwidth_bytes_per_sec * 1e9);
+  double offered = 0.7 * capacity;
+  double best = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Measurement m = MeasureAt(offered, /*adaptive=*/true);
+    best = std::max(best, m.goodput);
+    if (m.goodput < offered * 0.95) {
+      break;
+    }
+    offered *= 1.3;
+  }
+  return best;
+}
+
+void PrintRow(const Measurement& m, double knee, bool adaptive) {
+  PrintStatsJson("saturation", m.orderer.Fields(),
+                 {{"offered", m.offered},
+                  {"multiplier", m.offered / knee},
+                  {"adaptive", adaptive ? 1.0 : 0.0},
+                  {"goodput", m.goodput},
+                  {"append_p50_ns", m.latency.Percentile(0.5)},
+                  {"append_p99_ns", m.latency.Percentile(0.99)},
+                  {"shed_per_sec", m.shed_per_sec}});
+}
+
+int Smoke() {
+  const double knee = MeasureKnee();
+  const Measurement adaptive = MeasureAt(4.0 * knee, /*adaptive=*/true);
+  const Measurement fixed = MeasureAt(4.0 * knee, /*adaptive=*/false);
+  std::printf("{\"component\":\"saturation\",\"knee\":%.6g}\n", knee);
+  PrintRow(adaptive, knee, true);
+  PrintRow(fixed, knee, false);
+
+  int rc = 0;
+  auto expect = [&rc](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "SMOKE FAIL: %s\n", what);
+      rc = 1;
+    }
+  };
+  expect(knee > 100e3, "saturation knee is implausibly low");
+  // Overload control holds goodput at the knee under 4x overload...
+  expect(adaptive.goodput >= 0.9 * knee, "adaptive goodput at 4x fell below 90% of knee");
+  // ...with a bounded tail for the appends it admits (ring queueing is capped by the
+  // high watermark; the slack on top covers post-reject retry backoff)...
+  expect(adaptive.latency.Percentile(0.99) < 30 * kMs,
+         "adaptive admitted-append p99 unbounded at 4x");
+  // ...and the gate is genuinely shedding, not idling.
+  uint64_t rejected = 0;
+  for (const auto& [k, v] : adaptive.orderer.Fields()) {
+    if (k == "overload_rejected") rejected = static_cast<uint64_t>(v);
+  }
+  expect(rejected > 0, "admission gate never fired at 4x overload");
+  // The static configuration must show the collapse the controller prevents.
+  expect(fixed.goodput < 0.5 * knee, "static knobs did not collapse at 4x (A/B vacuous)");
+  if (rc == 0) {
+    std::printf("saturation smoke OK: knee=%.0f/s adaptive@4x=%.0f/s static@4x=%.0f/s\n",
+                knee, adaptive.goodput, fixed.goodput);
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace lazylog
+
+int main(int argc, char** argv) {
+  using namespace lazylog;
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return Smoke();
+  }
+
+  PrintHeader("Saturation sweep (Erwin-st, 16 shards, 512B, adaptive orderer)");
+  const double knee = MeasureKnee();
+  std::printf("  measured knee: %.0f appends/s\n", knee);
+  std::printf("  %-6s %-14s %-14s %-10s %-10s %-12s %-12s\n", "x", "offered (K/s)",
+              "goodput (K/s)", "p50", "p99", "rejects/s", "shed/s");
+  for (double mult : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0}) {
+    const Measurement m = MeasureAt(mult * knee, /*adaptive=*/true);
+    double rejected = 0;
+    for (const auto& [k, v] : m.orderer.Fields()) {
+      if (k == "overload_rejected") rejected = v;
+    }
+    std::printf("  %-6.2f %-14.0f %-14.0f %-10s %-10s %-12.0f %-12.0f\n", mult,
+                m.offered / 1e3, m.goodput / 1e3,
+                FormatNanos(m.latency.Percentile(0.5)).c_str(),
+                FormatNanos(m.latency.Percentile(0.99)).c_str(),
+                rejected / (static_cast<double>(kRun) / 1e9), m.shed_per_sec);
+    PrintRow(m, knee, true);
+  }
+  PrintPaperNote("Admission control sheds load at the ring's high watermark, so goodput");
+  PrintPaperNote("plateaus at the knee and the admitted tail stays bounded by ring");
+  PrintPaperNote("queueing + retry backoff instead of growing with the overload.");
+
+  PrintHeader("Static-knob A/B (admission off, fixed cadence)");
+  std::printf("  %-6s %-10s %-16s %-16s\n", "x", "arm", "goodput (K/s)", "p99");
+  for (double mult : {2.0, 4.0}) {
+    for (bool adaptive : {true, false}) {
+      const Measurement m = MeasureAt(mult * knee, adaptive);
+      std::printf("  %-6.2f %-10s %-16.0f %-16s\n", mult,
+                  adaptive ? "adaptive" : "static", m.goodput / 1e3,
+                  FormatNanos(m.latency.Percentile(0.99)).c_str());
+      PrintRow(m, knee, adaptive);
+    }
+  }
+  PrintPaperNote("Without the gate, the unordered ring's FIFO CPU queue outgrows the 8ms");
+  PrintPaperNote("append timeout: acks arrive after their RPC deadlines, clients retry");
+  PrintPaperNote("into the same queue, and goodput collapses instead of plateauing.");
+  return 0;
+}

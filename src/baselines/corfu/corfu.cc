@@ -123,6 +123,8 @@ CorfuClient::CorfuClient(Network* net, const SimParams& params, NodeId sequencer
       client_id_(client_id) {}
 
 void CorfuClient::Append(Buf payload, AppendCallback cb) {
+  // Any non-OK status (including kOverloaded, should the sequencer ever gain admission
+  // control) passes through unmapped: Corfu has no client-side shed/retry tier.
   AppendAt(std::move(payload), [cb](Status s, LogPos) { cb(std::move(s)); });
 }
 

@@ -296,6 +296,8 @@ void ScalogClient::Append(Buf payload, AppendCallback cb) {
   EncodeRecord(e, rec);
   std::vector<Buf> atts = e.TakeAtts();
   const NodeId target = shard_primaries_[rr_cursor_++ % shard_primaries_.size()];
+  // Statuses pass through unmapped (kOverloaded included, if a shard ever sheds load):
+  // the Scalog baseline models no admission control or client-side overload retry.
   endpoint_.Call(target, kScalogAppend, e.TakeBuf(),
                  [cb](Status s, Decoder) { cb(std::move(s)); }, params_.rpc_timeout_ns,
                  std::move(atts));

@@ -36,8 +36,8 @@ void Usage() {
                "  --faults=LIST                  all|none|comma list of seq-crash,\n"
                "                                 shard-replace,partition,loss,delay,\n"
                "                                 disk-slow,client-crash,seq-zk-partition,\n"
-               "                                 ctrl-zk-partition,server-partition\n"
-               "                                 (default all)\n"
+               "                                 ctrl-zk-partition,server-partition,\n"
+               "                                 overload-burst (default all)\n"
                "  --shards=N --replication=N     cluster shape (default 2, 3)\n"
                "  --writers=N --readers=N        workload shape (default 4, 2)\n"
                "  --fault-phase-ms=N             nemesis-active window (default 120)\n"

@@ -1,6 +1,7 @@
 #include "src/chaos/chaos_runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "src/common/logging.h"
@@ -70,6 +71,7 @@ class ChaosRunner {
   Rng reader_rng_;
 
   SimTime write_end_ = 0;
+  double burst_factor_ = 1.0;  // nemesis overload-burst arrival multiplier (1.0 = calm)
   uint64_t pending_appends_ = 0;
   uint64_t injector_reqs_ = 0;
   uint64_t write_counts_[64] = {};
@@ -128,18 +130,30 @@ void ChaosRunner::ScheduleWriterAppend(uint32_t w) {
   if (loop.Now() >= write_end_) {
     return;
   }
-  const uint64_t n = write_counts_[w]++;
-  std::string payload = WriterPayload(w, n);
-  const uint64_t hash = HashString(payload);
-  const uint64_t op = history_->BeginAppend(AppendOp::Kind::kNormal,
-                                            payload.substr(0, 24), hash);
-  pending_appends_++;
-  writers_[w].client->Append(std::move(payload), [this, op, w](Status s) {
-    history_->EndAppend(op, std::move(s));
-    pending_appends_--;
-    const uint64_t think = 150 * kUs + writer_rngs_[w].Uniform(450 * kUs);
-    cluster_->loop().Schedule(think, [this, w]() { ScheduleWriterAppend(w); });
-  });
+  // During an overload burst the nemesis multiplies the arrival rate: the round issues
+  // ceil(factor) appends back to back and the think time shrinks by the factor, so even
+  // this closed-loop workload genuinely pressures the admission gate.
+  const uint32_t k = static_cast<uint32_t>(std::ceil(burst_factor_));
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint64_t n = write_counts_[w]++;
+    std::string payload = WriterPayload(w, n);
+    const uint64_t hash = HashString(payload);
+    const uint64_t op = history_->BeginAppend(AppendOp::Kind::kNormal,
+                                              payload.substr(0, 24), hash);
+    pending_appends_++;
+    const bool drives_next = i == 0;  // exactly one continuation per round
+    writers_[w].client->Append(std::move(payload), [this, op, w, drives_next](Status s) {
+      history_->EndAppend(op, std::move(s));
+      pending_appends_--;
+      if (!drives_next) {
+        return;
+      }
+      const uint64_t base = 150 * kUs + writer_rngs_[w].Uniform(450 * kUs);
+      const uint64_t think =
+          std::max<uint64_t>(1, static_cast<uint64_t>(base / burst_factor_));
+      cluster_->loop().Schedule(think, [this, w]() { ScheduleWriterAppend(w); });
+    });
+  }
 }
 
 void ChaosRunner::ScheduleReaderOp(uint32_t r) {
@@ -363,6 +377,12 @@ ChaosReport ChaosRunner::Run() {
   copts.shard_replication = options_.shard_replication;
   copts.with_control_plane = true;
   copts.params.seed = options_.seed;
+  // The default watermarks (thousands of records) are sized for open-loop benchmark
+  // load; 4 closed-loop writers can never fill them. Chaos-scale watermarks make the
+  // nemesis's overload bursts genuinely trip the admission gate, so the overload
+  // oracle exercises real rejects and real post-reject retries.
+  copts.params.seq.ring_high_watermark = 48;
+  copts.params.seq.ring_low_watermark = 24;
   cluster_ = std::make_unique<ErwinCluster>(copts);
   history_ = std::make_unique<ChaosHistory>(&cluster_->loop());
   AttachObservers();
@@ -400,6 +420,7 @@ ChaosReport ChaosRunner::Run() {
         AttachShardObserver(shard, replica);
       });
   nemesis_->SetClientCrashHook([this]() { InjectHalfAppend(); });
+  nemesis_->SetOverloadHook([this](double factor) { burst_factor_ = factor; });
 
   // --- timeline ---------------------------------------------------------------------
   EventLoop& loop = cluster_->loop();

@@ -18,6 +18,7 @@ constexpr uint8_t kTagNemesis = 9;
 constexpr uint8_t kTagFinalRecord = 10;
 constexpr uint8_t kTagNote = 11;
 constexpr uint8_t kTagAppendId = 12;
+constexpr uint8_t kTagAppendExtraCompletion = 13;
 }  // namespace
 
 void ChaosHistory::FoldEvent(uint8_t tag, uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
@@ -57,7 +58,14 @@ void ChaosHistory::SetAppendId(uint64_t op_id, RecordId id) {
 void ChaosHistory::EndAppend(uint64_t op_id, Status status) {
   for (AppendOp& op : appends_) {
     if (op.op_id == op_id) {
-      LL_CHECK(!op.resolved, "append resolved twice");
+      if (op.resolved) {
+        // A double completion is a client bug, not a harness bug: record it (digest
+        // included) and let the overload oracle judge it — e.g. an ack followed by a
+        // kOverloaded refusal for the same op must fail the run, not crash it.
+        op.extra_completions.push_back(status.code());
+        FoldEvent(kTagAppendExtraCompletion, op_id, static_cast<uint64_t>(status.code()));
+        return;
+      }
       op.resolved = true;
       op.acked = status.ok();
       op.status = status.code();

@@ -45,6 +45,10 @@ struct AppendOp {
   // surface in the log) from a merely-unacknowledged one (timeout — may surface).
   StatusCode status = StatusCode::kUnavailable;
   bool resolved = false;      // completion callback fired (ack or give-up)
+  // Completions recorded *after* the op already resolved. A correct client never
+  // double-completes, but recording (instead of crashing the harness) is what lets the
+  // overload oracle flag an acked append later refused with kOverloaded.
+  std::vector<StatusCode> extra_completions;
 };
 
 // One (read operation, returned record) pair, flattened for the oracles.

@@ -23,12 +23,13 @@ const char* KindName(FaultKind k) {
     case FaultKind::kSeqZkPartition: return "seq-zk-partition";
     case FaultKind::kCtrlZkPartition: return "ctrl-zk-partition";
     case FaultKind::kServerPartition: return "server-partition";
+    case FaultKind::kOverloadBurst: return "overload-burst";
   }
   return "?";
 }
 
 bool KindFromName(const std::string& name, FaultKind* out) {
-  for (uint8_t k = 0; k <= static_cast<uint8_t>(FaultKind::kServerPartition); ++k) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(FaultKind::kOverloadBurst); ++k) {
     if (name == KindName(static_cast<FaultKind>(k))) {
       *out = static_cast<FaultKind>(k);
       return true;
@@ -43,7 +44,7 @@ std::string NemesisPolicy::ToFlag() const {
   const NemesisPolicy all;
   if (seq_crash && shard_replace && partition && loss && delay && disk_slow &&
       client_crash && seq_zk_partition && ctrl_zk_partition && server_partition &&
-      max_seq_crashes == all.max_seq_crashes) {
+      overload_burst && max_seq_crashes == all.max_seq_crashes) {
     return "all";
   }
   std::string out;
@@ -63,6 +64,7 @@ std::string NemesisPolicy::ToFlag() const {
   add(seq_zk_partition, "seq-zk-partition");
   add(ctrl_zk_partition, "ctrl-zk-partition");
   add(server_partition, "server-partition");
+  add(overload_burst, "overload-burst");
   return out.empty() ? "none" : out;
 }
 
@@ -74,7 +76,7 @@ bool NemesisPolicy::FromFlag(const std::string& flag, NemesisPolicy* out) {
   NemesisPolicy p;
   p.seq_crash = p.shard_replace = p.partition = p.loss = p.delay = p.disk_slow =
       p.client_crash = p.seq_zk_partition = p.ctrl_zk_partition = p.server_partition =
-          false;
+          p.overload_burst = false;
   if (flag != "none") {
     size_t pos = 0;
     while (pos <= flag.size()) {
@@ -101,6 +103,8 @@ bool NemesisPolicy::FromFlag(const std::string& flag, NemesisPolicy* out) {
         p.ctrl_zk_partition = true;
       } else if (name == "server-partition") {
         p.server_partition = true;
+      } else if (name == "overload-burst") {
+        p.overload_burst = true;
       } else {
         return false;
       }
@@ -151,6 +155,9 @@ std::string FaultAction::Describe() const {
     case FaultKind::kServerPartition:
       os << " server-slot=" << target << " <-> server-slot=" << target2 << " for "
          << duration_ns / kUs << "us";
+      break;
+    case FaultKind::kOverloadBurst:
+      os << " x" << magnitude << " arrival rate for " << duration_ns / kUs << "us";
       break;
   }
   return os.str();
@@ -332,6 +339,9 @@ std::vector<FaultKind> Nemesis::DrawableKinds() const {
       NumServerSlots() >= 2) {
     kinds.push_back(FaultKind::kServerPartition);
   }
+  if (policy_.overload_burst && overload_hook_) {
+    kinds.push_back(FaultKind::kOverloadBurst);
+  }
   return kinds;
 }
 
@@ -428,6 +438,14 @@ void Nemesis::Plan(SimTime start, SimTime end) {
         cursor += a.duration_ns + 12 * kMs;
         break;
       }
+      case FaultKind::kOverloadBurst:
+        // 4-16x the steady arrival rate: far past the chaos-scale admission watermarks,
+        // so the reject + in-place-backoff path genuinely runs. The settle gap lets the
+        // shed retries drain before the next fault compounds them.
+        a.magnitude = 4.0 + 12.0 * rng_.NextDouble();
+        a.duration_ns = 10 * kMs + rng_.Uniform(15 * kMs);
+        cursor += a.duration_ns + 10 * kMs;
+        break;
     }
     schedule_.push_back(a);
   }
@@ -524,6 +542,11 @@ void Nemesis::Execute(const FaultAction& a) {
     case FaultKind::kServerPartition:
       cut(ResolveServerSlot(a.target), ResolveServerSlot(a.target2));
       break;
+    case FaultKind::kOverloadBurst:
+      if (overload_hook_) {
+        overload_hook_(a.magnitude);
+      }
+      break;
   }
 }
 
@@ -549,6 +572,11 @@ void Nemesis::Heal(const FaultAction& a) {
     case FaultKind::kDiskSlowdown:
       cluster_->shard(a.target, a.target2).disk().SetSlowdownFactor(1.0);
       break;
+    case FaultKind::kOverloadBurst:
+      if (overload_hook_) {
+        overload_hook_(1.0);
+      }
+      break;
     default:
       break;
   }
@@ -566,6 +594,9 @@ void Nemesis::HealAll() {
     for (uint32_t r = 0; r < cluster_->shard_replication(); ++r) {
       cluster_->shard(s, r).disk().SetSlowdownFactor(1.0);
     }
+  }
+  if (overload_hook_) {
+    overload_hook_(1.0);
   }
 }
 

@@ -38,6 +38,8 @@ enum class FaultKind : uint8_t {
                      // deposed while still serving clients (consumes the <= f budget)
   kCtrlZkPartition,  // the controller loses ZK for a window (blind, must catch up)
   kServerPartition,  // one server<->server link cut for a window (seq/shard/controller)
+  kOverloadBurst,    // writer arrival-rate multiplier for a window (admission control
+                     // under fire); runner hook scales the workload
 };
 
 // Which fault kinds the nemesis may draw from. Serializes to/from the repro line's
@@ -53,6 +55,7 @@ struct NemesisPolicy {
   bool seq_zk_partition = true;
   bool ctrl_zk_partition = true;
   bool server_partition = true;
+  bool overload_burst = true;
 
   // Upper bound on sequencing-replica depositions (crashes + ZK partitions); always
   // additionally clamped to f.
@@ -96,6 +99,10 @@ class Nemesis {
   // Called to inject an Erwin-st half-append (the runner owns the injector client).
   using ClientCrashHook = std::function<void()>;
   void SetClientCrashHook(ClientCrashHook hook) { client_crash_hook_ = std::move(hook); }
+  // Called with the burst arrival multiplier when an overload burst starts, and with
+  // 1.0 when it heals (the runner scales its writers' issue rate by the factor).
+  using OverloadHook = std::function<void(double factor)>;
+  void SetOverloadHook(OverloadHook hook) { overload_hook_ = std::move(hook); }
 
   // Plans the fault schedule for [start, end) and arms it on the cluster's event loop.
   void Arm(SimTime start, SimTime end, std::vector<NodeId> client_nodes);
@@ -129,6 +136,7 @@ class Nemesis {
   NemesisPolicy policy_;
   ReplaceHook replace_hook_;
   ClientCrashHook client_crash_hook_;
+  OverloadHook overload_hook_;
   std::vector<NodeId> client_nodes_;
   std::vector<std::pair<NodeId, NodeId>> partitioned_pairs_;  // live link cuts
   std::vector<FaultAction> schedule_;

@@ -326,6 +326,45 @@ std::vector<ChaosViolation> CheckMonotonicity(const ChaosHistory& h) {
   return out;
 }
 
+std::vector<ChaosViolation> CheckOverloadRule(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  FinalIndex index(h);
+  for (const AppendOp& op : h.appends()) {
+    if (!op.resolved) {
+      continue;
+    }
+    // Refusal-after-ack: once an append is acknowledged the admission gate must be
+    // behind it (retries of an admitted record bypass the gate via the dup-filter), so
+    // a kOverloaded arriving after an ack — necessarily a double completion — means the
+    // gate refused something it had already promised.
+    if (op.acked) {
+      for (StatusCode code : op.extra_completions) {
+        if (code == StatusCode::kOverloaded) {
+          std::ostringstream os;
+          os << "append '" << op.payload_key << "' was acked at " << op.acked_at
+             << "ns and later refused with OVERLOADED (admission refusals are pre-ack only)";
+          out.push_back(ChaosViolation{"overload-rule", os.str()});
+        }
+      }
+    }
+    // No-lost-admitted-record: an acked normal append survived admission, so
+    // backpressure + faults together must still bind it exactly once. (A shed append —
+    // resolved kOverloaded — carries no such promise and may even surface legally if
+    // the leader admitted an attempt that a later retry saw refused.)
+    if (op.kind == AppendOp::Kind::kNormal && op.acked) {
+      auto it = index.by_payload.find(op.payload_hash);
+      const size_t copies = it == index.by_payload.end() ? 0 : it->second.size();
+      if (copies != 1) {
+        std::ostringstream os;
+        os << "admitted append '" << op.payload_key << "' (acked " << op.acked_at
+           << "ns) appears " << copies << " times in the final log (want exactly 1)";
+        out.push_back(ChaosViolation{"overload-rule", os.str()});
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode mode) {
   std::vector<ChaosViolation> all;
   auto append = [&all](std::vector<ChaosViolation> v) {
@@ -339,6 +378,7 @@ std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode 
     append(CheckNoOpRule(h));
   }
   append(CheckMonotonicity(h));
+  append(CheckOverloadRule(h));
   return all;
 }
 

@@ -50,6 +50,12 @@ std::vector<ChaosViolation> CheckNoOpRule(const ChaosHistory& h);
 // regresses *within* a view (a view change may legally drop an uncommitted suffix).
 std::vector<ChaosViolation> CheckMonotonicity(const ChaosHistory& h);
 
+// (7) Overload rule: admission refusals are pre-ack only — kOverloaded is never
+// delivered (initially or as a late double-completion) for an append that was already
+// acknowledged — and backpressure plus faults never lose an admitted record: every
+// acked normal append appears exactly once in the final log.
+std::vector<ChaosViolation> CheckOverloadRule(const ChaosHistory& h);
+
 // Runs every oracle applicable to `mode` and concatenates the violations.
 std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode mode);
 

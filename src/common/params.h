@@ -64,6 +64,34 @@ struct SeqParams {
   // order-push retries): data of an acked-but-not-yet-ordered record that gets
   // scrubbed here is later no-op'ed at bind time — losing an acknowledged append.
   uint64_t st_orphan_scrub_age_ns = 400 * kMs;
+
+  // --- Adaptive group commit (AIMD controller over the ordering cadence) ---
+  // When enabled, the leader scales the effective ordering interval, per-window batch
+  // size, and pipeline depth with backlog: coalescing grows proportionally to ring
+  // occupancy on the way up, and the interval halves back toward the floor once the
+  // ring drains. Disabled = the static knobs above are used verbatim.
+  bool adaptive_ordering = true;
+  // Ceiling for the adaptive ordering interval. 16x the 30us floor: wide enough that
+  // per-tick batches amortize orderer overhead deep into overload, narrow enough that
+  // admitted appends still order well inside the 8ms client append timeout.
+  uint64_t max_ordering_interval_ns = 480 * kUs;
+  // Floor for the adaptive per-window batch size (ceiling is max_order_batch). Keeps
+  // windows large enough that shard pushes stay amortized even when the ring is empty.
+  uint64_t min_order_batch = 2048;
+  // Ceiling for the adaptive per-shard pipeline depth (floor is order_pipeline_depth).
+  uint32_t max_order_pipeline_depth = 8;
+
+  // --- Admission control (bounded unordered ring) ---
+  // When enabled, appends arriving while ring occupancy (unordered entries + appends
+  // queued for the sequencer CPU) is at or above the high watermark are refused with
+  // kOverloaded before they consume sequencer CPU; admission resumes only once the
+  // ring drains below the low watermark (hysteresis, so the gate does not flap).
+  bool admission_control = true;
+  // High watermark: at ~1us of sequencer CPU per metadata append, a full ring adds
+  // ~4ms of queueing delay — safely under the 8ms client append timeout, so admitted
+  // appends never time out merely because they queued behind a full ring.
+  uint64_t ring_high_watermark = 4096;
+  uint64_t ring_low_watermark = 2048;
 };
 
 // Control plane (ZooKeeperLite + controller). The paper attributes most of the ~15 ms
@@ -105,6 +133,13 @@ struct SimParams {
   // Client append timeout: short enough that a sequencing-replica crash pushes clients
   // into config re-resolution on the same timescale as the control plane's recovery.
   uint64_t client_append_timeout_ns = 8 * kMs;
+  // Overload retry budget: how many times a client re-sends an append that admission
+  // control refused before surfacing kOverloaded. Deliberately small — under sustained
+  // overload admission is a lottery, and a long retry ladder both stretches the acked
+  // tail (winners accumulate the same backoffs as losers) and multiplies attempt load
+  // on the already-saturated sequencer. Failing fast keeps acked latency near the ring
+  // residence bound; the caller decides whether to re-submit.
+  uint32_t client_overload_retry_limit = 3;
   // Erwin-st read path: position-map poll cadence while a position is not yet ordered.
   uint64_t posmap_poll_interval_ns = 100 * kUs;
   uint64_t seed = 1;

@@ -24,6 +24,7 @@ enum class StatusCode {
   kStaleView,      // fenced: the receiver has sealed into a newer epoch
   kInternal,       // invariant violation or unexpected state
   kInvalidArgument,
+  kOverloaded,     // admission control refused the append; retry after backoff
 };
 
 // Human-readable name for a StatusCode (for logs and test failure messages).
@@ -41,6 +42,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kStaleView: return "STALE_VIEW";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -76,6 +78,9 @@ class Status {
     return {StatusCode::kStaleView, std::move(m)};
   }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status Overloaded(std::string m = "overloaded") {
+    return {StatusCode::kOverloaded, std::move(m)};
+  }
   static Status InvalidArgument(std::string m) {
     return {StatusCode::kInvalidArgument, std::move(m)};
   }

@@ -47,6 +47,15 @@ void ErwinMClient::SendAppend(std::shared_ptr<PendingAppend> p) {
       p->cb(Status::Ok());
       return;
     }
+    // The leader's verdict (slot 0: seq_config[0]) decides the retry budget; once the
+    // leader admits, it dup-acks every resend, so the flag is sticky across attempts
+    // without storing it.
+    for (const Status& s : ss) {
+      if (s.code() == StatusCode::kOverloaded) {
+        EnqueueOverloadRetry(p, /*leader_admitted=*/ss[0].ok());
+        return;
+      }
+    }
     for (const Status& s : ss) {
       if (!s.ok()) {
         p->last_error = s;
@@ -72,6 +81,36 @@ void ErwinMClient::EnqueueRetry(std::shared_ptr<PendingAppend> p) {
     resolving_config_ = true;
     ResolveConfig();
   }
+}
+
+// An overloaded replica refused the append *before* doing any work. That is not a view
+// problem: probing the config would succeed immediately and resend straight into the
+// same full ring, so back off in place on the shared jittered schedule instead. The
+// budget is deliberately small — under sustained saturation, surfacing kOverloaded to
+// the application beats parking an unbounded queue of doomed retries. Replicas that
+// did admit an earlier attempt dup-filter the resend, so the id never binds twice.
+void ErwinMClient::EnqueueOverloadRetry(std::shared_ptr<PendingAppend> p,
+                                        bool leader_admitted) {
+  p->overload_attempts++;
+  // Leader-refused: shed after the small budget. Leader-admitted: a follower's gate
+  // refused it, but the entry already occupies an ordering slot — keep retrying (the
+  // followers' retry-priority band and shed-entry scrub guarantee progress), with a
+  // hard cap diverting pathological cases to the slow config-probing path.
+  if (!leader_admitted &&
+      p->overload_attempts > static_cast<int>(params_.client_overload_retry_limit)) {
+    p->cb(Status::Overloaded("append shed after overload retries"));
+    return;
+  }
+  if (p->overload_attempts > 64) {
+    EnqueueRetry(p);
+    return;
+  }
+  p->last_error = Status::Overloaded();
+  // Computed before the capture moves from p (argument evaluation is unsequenced).
+  const uint64_t backoff =
+      OverloadBackoffNs(static_cast<uint32_t>(p->overload_attempts), rng_.NextDouble());
+  endpoint_.loop()->Schedule(backoff,
+                             [this, p = std::move(p)]() mutable { SendAppend(std::move(p)); });
 }
 
 void ErwinMClient::ProbeThen(std::function<void()> then, int attempt) {

@@ -36,10 +36,19 @@ void ErwinStClient::Append(Buf payload, AppendCallback cb) {
 void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
   p->attempts++;
   const auto& shard_replicas = view_.shards[p->shard];
-  const size_t n_data = shard_replicas.size();
+  // Once every data replica has acked the payload, resends skip the data writes: an
+  // overload refusal is a metadata-tier event, and re-sending the (already durable)
+  // payload would multiply shard disk load by the retry count exactly when the system
+  // is saturated. The shard dup-filters stale re-puts anyway, so this is purely a
+  // load optimization, not a correctness hinge.
+  const size_t n_data = p->data_durable ? 0 : shard_replicas.size();
   const size_t n_meta = view_.seq_config.size();
   auto gather =
-      Gather::Create(n_data + n_meta, [this, p](const std::vector<Status>& ss) {
+      Gather::Create(n_data + n_meta, [this, p, n_data](const std::vector<Status>& ss) {
+        if (n_data > 0 && std::all_of(ss.begin(), ss.begin() + n_data,
+                                      [](const Status& s) { return s.ok(); })) {
+          p->data_durable = true;
+        }
         const bool all_ok =
             std::all_of(ss.begin(), ss.end(), [](const Status& s) { return s.ok(); });
         if (all_ok) {
@@ -55,6 +64,17 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
             return;
           }
         }
+        // A refused metadata append (admission control): the sequencing tier is
+        // shedding load, not reconfiguring — retry in place with backoff. The leader's
+        // verdict (slot n_data: seq_config[0]) decides the retry budget; once the
+        // leader admits, it dup-acks every resend, so the flag is sticky across
+        // attempts without storing it.
+        for (const Status& s : ss) {
+          if (s.code() == StatusCode::kOverloaded) {
+            EnqueueOverloadRetry(p, /*leader_admitted=*/ss[n_data].ok());
+            return;
+          }
+        }
         for (const Status& s : ss) {
           if (!s.ok()) {
             p->last_error = s;
@@ -65,14 +85,16 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
       });
   // Data writes to every replica of the chosen shard (no coordination, §5.1). The
   // request is encoded once; replicas share the frame and the payload attachment.
-  ShardPutDataReq data{p->id, p->payload};
-  Encoder denc;
-  data.Encode(denc);
-  const std::vector<Buf> datts = denc.TakeAtts();
-  const Buf dbody = denc.TakeBuf();
-  for (size_t i = 0; i < n_data; ++i) {
-    endpoint_.Call(shard_replicas[i], kShardPutData, dbody, gather->Slot(i),
-                   params_.client_append_timeout_ns, datts);
+  if (n_data > 0) {
+    ShardPutDataReq data{p->id, p->payload};
+    Encoder denc;
+    data.Encode(denc);
+    const std::vector<Buf> datts = denc.TakeAtts();
+    const Buf dbody = denc.TakeBuf();
+    for (size_t i = 0; i < n_data; ++i) {
+      endpoint_.Call(shard_replicas[i], kShardPutData, dbody, gather->Slot(i),
+                     params_.client_append_timeout_ns, datts);
+    }
   }
   // Metadata to every sequencing replica, same RTT.
   SeqAppendReq meta;
@@ -99,6 +121,38 @@ void ErwinStClient::EnqueueRetry(std::shared_ptr<PendingAppend> p) {
     resolving_config_ = true;
     ResolveConfig();
   }
+}
+
+// See ErwinMClient::EnqueueOverloadRetry: overload is shed in place (no config probe —
+// a probe is CPU-free and would succeed instantly, turning backoff into a retry storm),
+// with a small budget so saturation surfaces as kOverloaded instead of queueing forever.
+// The data writes of earlier attempts are harmless orphans if the budget runs out: the
+// shard scrubs unmatched data by age (st_orphan_scrub_age_ns), and replicas that did
+// admit the metadata dup-filter the resend, so the id never binds twice.
+void ErwinStClient::EnqueueOverloadRetry(std::shared_ptr<PendingAppend> p,
+                                         bool leader_admitted) {
+  p->overload_attempts++;
+  // A leader-refused append holds no ordering resources: shed it after the small
+  // budget so saturation surfaces fast. A leader-admitted one is already in the
+  // ordering pipeline — a follower's gate refused it, and abandoning it now would
+  // waste the ordered slot — so it keeps retrying (the followers' retry-priority band
+  // and shed-entry scrub guarantee progress), with a hard cap diverting pathological
+  // cases to the slow config-probing path instead of looping forever.
+  if (!leader_admitted &&
+      p->overload_attempts > static_cast<int>(params_.client_overload_retry_limit)) {
+    p->cb(Status::Overloaded("append shed after overload retries"));
+    return;
+  }
+  if (p->overload_attempts > 64) {
+    EnqueueRetry(p);
+    return;
+  }
+  p->last_error = Status::Overloaded();
+  // Computed before the capture moves from p (argument evaluation is unsequenced).
+  const uint64_t backoff =
+      OverloadBackoffNs(static_cast<uint32_t>(p->overload_attempts), rng_.NextDouble());
+  endpoint_.loop()->Schedule(backoff,
+                             [this, p = std::move(p)]() mutable { SendAppend(std::move(p)); });
 }
 
 void ErwinStClient::ProbeThen(std::function<void()> then, int attempt) {

@@ -59,6 +59,9 @@ class ErwinStClient : public SharedLogClient {
     ShardId shard = 0;
     AppendCallback cb;
     int attempts = 0;
+    int overload_attempts = 0;
+    // Every data replica acked some attempt's payload write: resends go metadata-only.
+    bool data_durable = false;
     // Most recent failure seen for this append; reported if the retry budget runs out.
     Status last_error = Status::Timeout("append retries exhausted");
   };
@@ -71,6 +74,10 @@ class ErwinStClient : public SharedLogClient {
 
   void SendAppend(std::shared_ptr<PendingAppend> p);
   void EnqueueRetry(std::shared_ptr<PendingAppend> p);
+  // kOverloaded resend: in-place jittered backoff, no config probe (overload is not a
+  // view problem). The shed budget applies only when the leader itself refused;
+  // leader-admitted appends persist until the follower gates let them through.
+  void EnqueueOverloadRetry(std::shared_ptr<PendingAppend> p, bool leader_admitted);
   void ResolveConfig();
   // Probes replicas until an unsealed view at least as new as ours is found; retries
   // use jittered exponential backoff (RetryBackoffNs) to avoid a thundering herd.

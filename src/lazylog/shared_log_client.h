@@ -36,6 +36,18 @@ inline uint64_t RetryBackoffNs(uint32_t attempt, double jitter01) {
   return base / 2 + static_cast<uint64_t>(static_cast<double>(base / 2) * jitter01);
 }
 
+// Jittered backoff for admission-control refusals, much shorter than RetryBackoffNs.
+// A rejection is served in microseconds (before the sequencer's CPU charge), and the
+// gate opens and closes in cycles a few hundred microseconds long as the ring drains;
+// retries must return within one cycle or the freed slots sit idle on a core that has
+// work waiting — client backoff becomes server idle time. The attempt still doubles
+// the base so persistent overload thins the retry herd instead of hammering the gate.
+inline uint64_t OverloadBackoffNs(uint32_t attempt, double jitter01) {
+  const uint64_t base =
+      std::min<uint64_t>(1 * kMs, (50 * kUs) << std::min<uint32_t>(attempt, 4u));
+  return base / 2 + static_cast<uint64_t>(static_cast<double>(base / 2) * jitter01);
+}
+
 class SharedLogClient {
  public:
   // append: OK once the record is safely stored (LazyLog semantics: the position is
@@ -43,6 +55,8 @@ class SharedLogClient {
   // why an append was given up on: kSealed / kStaleView (reconfiguration fenced the
   // view the client was writing into), kTimeout (no response within the retry budget),
   // kRejected (Erwin-st data arrived after the no-op decision — the append is lost),
+  // kOverloaded (admission control shed the append and the in-place backoff budget ran
+  // out — never returned for an append that was already acked; safe to retry later),
   // or kUnavailable / kInternal for generic failure.
   using AppendCallback = std::function<void(Status)>;
   // read: positioned records in ascending position order. No-op records (Erwin-st

@@ -441,15 +441,23 @@ void Controller::ReplaceShardReplica(uint32_t shard, uint32_t replica_index, Nod
   req.Encode(enc);
   auto body = std::make_shared<std::string>(enc.Take());
   auto attempt_copy = std::make_shared<std::function<void(uint32_t)>>();
-  *attempt_copy = [this, shard, replica_index, old_node, new_node, body, attempt_copy,
+  // The stored closure holds only a weak self-reference: the in-flight RPC callback
+  // and the scheduled retry own the strong one, so the chain frees itself once the
+  // retries stop instead of leaking a shared_ptr cycle.
+  std::weak_ptr<std::function<void(uint32_t)>> weak_copy = attempt_copy;
+  *attempt_copy = [this, shard, replica_index, old_node, new_node, body, weak_copy,
                    done = std::move(done)](uint32_t attempt) mutable {
+    auto self = weak_copy.lock();
+    if (!self) {
+      return;
+    }
     endpoint_.Call(new_node, kShardCopyState, *body,
-                   [this, shard, replica_index, old_node, new_node, attempt, attempt_copy,
+                   [this, shard, replica_index, old_node, new_node, attempt, self,
                     done](Status s, Decoder) mutable {
                      if (!s.ok()) {
                        if (attempt + 1 < 5) {
-                         endpoint_.loop()->Schedule(2 * kMs, [attempt_copy, attempt]() {
-                           (*attempt_copy)(attempt + 1);
+                         endpoint_.loop()->Schedule(2 * kMs, [self, attempt]() {
+                           (*self)(attempt + 1);
                          });
                        } else if (done) {
                          done(std::move(s));
@@ -497,12 +505,19 @@ void Controller::UpdateSeqShards(NodeId old_node, NodeId new_node,
   auto finish = std::make_shared<std::function<void(Status)>>(std::move(done));
   for (NodeId member : targets) {
     auto send = std::make_shared<std::function<void(uint32_t)>>();
-    *send = [this, member, body, send, remaining, finish](uint32_t attempt) {
+    // Weak self-reference for the same reason as in ReplaceShardReplica: the RPC
+    // callback / scheduled retry keep the closure alive, not the closure itself.
+    std::weak_ptr<std::function<void(uint32_t)>> weak_send = send;
+    *send = [this, member, body, weak_send, remaining, finish](uint32_t attempt) {
+      auto self = weak_send.lock();
+      if (!self) {
+        return;
+      }
       endpoint_.Call(member, kSeqUpdateShards, *body,
-                     [this, member, attempt, send, remaining, finish](Status s, Decoder) {
+                     [this, member, attempt, self, remaining, finish](Status s, Decoder) {
                        if (!s.ok() && attempt + 1 < 10 && known_dead_.count(member) == 0) {
                          endpoint_.loop()->Schedule(
-                             2 * kMs, [send, attempt]() { (*send)(attempt + 1); });
+                             2 * kMs, [self, attempt]() { (*self)(attempt + 1); });
                          return;
                        }
                        if (--*remaining == 0 && *finish) {

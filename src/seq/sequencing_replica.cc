@@ -9,7 +9,8 @@ namespace lazylog {
 SequencingReplica::SequencingReplica(Network* net, const SimParams& params, ErwinMode mode,
                                      uint32_t index, NodeId zk)
     : endpoint_(net), cpu_(net->loop(), params.seq_cpu), params_(params), mode_(mode),
-      index_(index), zk_node_(zk) {
+      index_(index), zk_node_(zk), eff_interval_ns_(params.seq.ordering_interval_ns),
+      eff_batch_(params.seq.max_order_batch), eff_depth_(params.seq.order_pipeline_depth) {
   endpoint_.Register(kSeqAppend, [this](NodeId, Decoder d, Responder r) {
     HandleAppend(d, std::move(r));
   });
@@ -53,7 +54,7 @@ void SequencingReplica::Start(std::vector<NodeId> config, std::vector<NodeId> sh
   }
   if (is_leader() && !ordering_armed_) {
     ordering_armed_ = true;
-    endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns, [this]() { OrderingTick(); });
+    ScheduleOrderingTick();
   }
 }
 
@@ -126,6 +127,86 @@ void SequencingReplica::PruneRemembered() {
   }
 }
 
+bool SequencingReplica::AdmitAppend(const RecordId& id) {
+  if (!params_.seq.admission_control) {
+    return true;
+  }
+  // Retries of already-admitted appends bypass the gate: the dup filter acks them, so
+  // an acked append can never observe kOverloaded (the overload-chaos oracle).
+  if (IsDuplicate(id)) {
+    return true;
+  }
+  const uint64_t occupancy = ring_occupancy();
+  stats_.ring_high_water = std::max(stats_.ring_high_water, occupancy);
+  if (admitting_) {
+    if (occupancy >= params_.seq.ring_high_watermark) {
+      admitting_ = false;
+      LLOG(kInfo) << "t=" << endpoint_.loop()->Now() << " seq node=" << node_id()
+                  << " overloaded: ring=" << occupancy << " >= high watermark "
+                  << params_.seq.ring_high_watermark << "; shedding appends";
+    }
+  } else if (occupancy <= params_.seq.ring_low_watermark) {
+    admitting_ = true;
+    LLOG(kInfo) << "t=" << endpoint_.loop()->Now() << " seq node=" << node_id()
+                << " ring drained to " << occupancy << "; admitting again";
+  }
+  if (admitting_) {
+    return true;
+  }
+  // Retry priority: a retry of an append this replica previously shed may use the
+  // hysteresis band (low..high) that fresh appends cannot. A partially-admitted append
+  // (some replicas took it, this one refused) already consumes ordering capacity at the
+  // leader; re-shedding its retry wastes that work and multiplies the client's backoff,
+  // so retries drain ahead of new arrivals. The ring bound is unchanged — retries still
+  // stop at the high watermark.
+  if (occupancy < params_.seq.ring_high_watermark && recently_rejected_.count(id) > 0) {
+    return true;
+  }
+  return admitting_;
+}
+
+// Followers: evict ring entries the leader's admission gate shed. Such an entry was
+// admitted here but refused at the leader, so it is never ordered and GC never
+// collects it; left alone, dead entries accumulate until they pin ring occupancy at
+// the high watermark and the gate wedges shut. The leader orders its ring in arrival
+// order, so once local ordered-gp has advanced several ring-sizes past the entry's
+// admission point (plus a real-time floor giving client retries time to land at the
+// leader), the leader provably does not hold it and the local copy is dead weight.
+// An ordering stall leaves entries untouched — ordered-gp is not advancing — so an
+// acked append never loses follower copies to this scrub.
+void SequencingReplica::ScrubShedEntries() {
+  if (!params_.seq.admission_control || is_leader()) {
+    return;
+  }
+  const SimTime now = endpoint_.loop()->Now();
+  const uint64_t gp_slack = 4 * params_.seq.ring_high_watermark;
+  while (!log_.empty() &&
+         ordered_gp_ - log_.front().gp_at_admit > gp_slack &&
+         now - log_.front().admitted_at > params_.client_append_timeout_ns) {
+    in_log_.erase(log_.front().id);
+    log_.pop_front();
+    stats_.shed_scrubbed++;
+  }
+}
+
+void SequencingReplica::RememberRejected(const RecordId& id) {
+  if (recently_rejected_.insert(id).second) {
+    rejected_expiry_.emplace_back(endpoint_.loop()->Now(), id);
+  }
+  PruneRejected();
+}
+
+void SequencingReplica::PruneRejected() {
+  // Overload retries come back within a few client backoffs (capped well under the
+  // append timeout); a multiple of that timeout bounds the set without losing counts.
+  const uint64_t window = 8 * params_.client_append_timeout_ns;
+  const SimTime now = endpoint_.loop()->Now();
+  while (!rejected_expiry_.empty() && now - rejected_expiry_.front().first > window) {
+    recently_rejected_.erase(rejected_expiry_.front().second);
+    rejected_expiry_.pop_front();
+  }
+}
+
 void SequencingReplica::HandleAppend(Decoder d, Responder r) {
   SeqAppendReq req;
   if (!req.Decode(d)) {
@@ -142,9 +223,33 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
     r.Send(req.view < view_ ? Status::StaleView() : Status::WrongView());
     return;
   }
+  // Admission gate, checked before the CPU charge: a refusal must stay cheap (no core
+  // time) or the reject path itself would saturate under the very overload it sheds.
+  if (!AdmitAppend(req.id)) {
+    stats_.overload_rejected++;
+    RememberRejected(req.id);
+    r.Send(Status::Overloaded());
+    return;
+  }
+  stats_.admitted++;
+  if (recently_rejected_.erase(req.id) > 0) {
+    stats_.overload_retried++;
+  }
+  // Dup fast path, also ahead of the CPU charge: a retry of an already-durable append
+  // is a set lookup, not a record insert — charging it full append cost would let a
+  // burst of retries (the usual overload aftermath) saturate the core with no-ops.
+  // Races where the original is still queued on the CPU fall through to the slow
+  // path's dup check below.
+  if (IsDuplicate(req.id)) {
+    stats_.duplicates_filtered++;
+    r.Send(Status::Ok());
+    return;
+  }
   const uint64_t bytes =
       req.is_meta ? params_.seq.metadata_entry_bytes : req.payload.size();
+  pending_cpu_appends_++;
   cpu_.ExecuteFor(bytes, [this, req = std::move(req), r]() mutable {
+    pending_cpu_appends_--;
     if (sealed_) {
       r.Send(Status::Sealed());
       return;
@@ -158,7 +263,8 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
       r.Send(Status::Ok());
       return;
     }
-    log_.push_back(Entry{req.id, std::move(req.payload), req.target_shard});
+    log_.push_back(Entry{req.id, std::move(req.payload), req.target_shard, ordered_gp_,
+                         endpoint_.loop()->Now()});
     in_log_.insert(req.id);
     LLOG(kDebug) << "t=" << endpoint_.loop()->Now() << " seq node=" << node_id()
                  << " insert id={" << req.id.client_id << "," << req.id.request_id
@@ -170,16 +276,70 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
 
 // --- background ordering (§4.3, per-shard cursor pipelines) ---------------------------
 
+void SequencingReplica::ScheduleOrderingTick() {
+  endpoint_.loop()->Schedule(eff_interval_ns_, [this]() { OrderingTick(); });
+}
+
 void SequencingReplica::OrderingTick() {
   if (!is_leader() || sealed_) {
     ordering_armed_ = false;  // re-armed by StartView if we lead again
     return;
   }
+  UpdateController();
   AssignPositions();
   for (size_t s = 0; s < cursors_.size(); ++s) {
     PumpCursor(s);
   }
-  endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns, [this]() { OrderingTick(); });
+  ScheduleOrderingTick();
+}
+
+void SequencingReplica::RecordAckRtt(uint64_t rtt_ns) {
+  // EWMA with 1/8 gain: smooth enough to ignore one slow ack, fast enough to track a
+  // genuinely slower shard round trip within a handful of windows.
+  ack_rtt_ewma_ns_ = ack_rtt_ewma_ns_ == 0
+                         ? static_cast<double>(rtt_ns)
+                         : ack_rtt_ewma_ns_ + (static_cast<double>(rtt_ns) - ack_rtt_ewma_ns_) / 8.0;
+}
+
+void SequencingReplica::UpdateController() {
+  if (!params_.seq.adaptive_ordering) {
+    return;  // eff_* stay pinned to the static knobs
+  }
+  const SeqParams& sp = params_.seq;
+  const uint64_t occupancy = ring_occupancy();
+  // Window size covers the backlog (one window drains what is queued) between the
+  // amortization floor and the configured ceiling.
+  eff_batch_ = std::clamp<uint64_t>(occupancy, sp.min_order_batch, sp.max_order_batch);
+  // Pipeline depth: enough outstanding windows to cover the laggiest shard without
+  // idling, but never unboundedly deep — retries resend whole windows.
+  LogPos max_lag = 0;
+  for (const ShardCursor& c : cursors_) {
+    max_lag = std::max(max_lag,
+                       assigned_gp_ > c.acked_watermark ? assigned_gp_ - c.acked_watermark : 0);
+  }
+  const uint64_t want_depth = (max_lag + eff_batch_ - 1) / eff_batch_;
+  eff_depth_ = static_cast<uint32_t>(std::clamp<uint64_t>(
+      want_depth, sp.order_pipeline_depth, sp.max_order_pipeline_depth));
+  // Cadence AIMD: the target interval grows proportionally with ring occupancy (group
+  // commit coalesces harder as load rises) and never ticks much faster than acks can
+  // return; the climb is additive (one floor-interval per tick), and once the ring
+  // drains below the low watermark the interval halves back toward the floor.
+  const uint64_t floor_ns = sp.ordering_interval_ns;
+  uint64_t target = floor_ns + static_cast<uint64_t>(
+      4.0 * static_cast<double>(floor_ns) * static_cast<double>(occupancy) /
+      static_cast<double>(std::max<uint64_t>(1, sp.ring_high_watermark)));
+  // Under real backlog there is no point ticking much faster than window acks return
+  // (the pipeline is already full); at light load the RTT — dominated by the shards'
+  // persistence latency — must NOT set the pace, or idle ordering would slow down.
+  if (ack_rtt_ewma_ns_ > 0 && occupancy >= sp.ring_low_watermark) {
+    target = std::max<uint64_t>(target, static_cast<uint64_t>(ack_rtt_ewma_ns_) / 2);
+  }
+  target = std::clamp(target, floor_ns, sp.max_ordering_interval_ns);
+  if (target > eff_interval_ns_) {
+    eff_interval_ns_ = std::min(eff_interval_ns_ + floor_ns, target);
+  } else if (occupancy <= sp.ring_low_watermark) {
+    eff_interval_ns_ = std::max(floor_ns, eff_interval_ns_ / 2);
+  }
 }
 
 void SequencingReplica::AssignPositions() {
@@ -195,7 +355,7 @@ void SequencingReplica::AssignPositions() {
   if (unassigned == 0) {
     return;
   }
-  const uint64_t k = std::min<uint64_t>(unassigned, params_.seq.max_order_batch);
+  const uint64_t k = std::min<uint64_t>(unassigned, eff_batch_);
   if (mode_ == ErwinMode::kM) {
     // Corfu-style placement: position p lives on shard p mod n (§4.3). Freeze the
     // placement at assignment time so retried windows land on the same shard even if
@@ -228,9 +388,9 @@ void SequencingReplica::PumpCursor(size_t s) {
   if (c.retry_armed) {
     return;  // backing off after a failed window; the retry re-pumps
   }
-  while (c.in_flight < params_.seq.order_pipeline_depth && c.next_pos < assigned_gp_) {
+  while (c.in_flight < eff_depth_ && c.next_pos < assigned_gp_) {
     const LogPos lo = c.next_pos;
-    const LogPos hi = std::min<LogPos>(assigned_gp_, lo + params_.seq.max_order_batch);
+    const LogPos hi = std::min<LogPos>(assigned_gp_, lo + eff_batch_);
     Encoder enc;
     MethodId method;
     if (mode_ == ErwinMode::kM) {
@@ -265,19 +425,20 @@ void SequencingReplica::PumpCursor(size_t s) {
     c.pushes++;
     const uint64_t epoch = c.window_epoch;
     const ViewId window_view = view_;
+    const SimTime sent_at = endpoint_.loop()->Now();
     // m-mode windows carry the record payloads as attachments: the push shares the
     // ring buffer's backing, it does not re-copy record bytes.
     std::vector<Buf> atts = enc.TakeAtts();
     endpoint_.Call(shard_primaries_[s], method, enc.TakeBuf(),
-                   [this, s, epoch, window_view](Status st, Decoder body) {
-                     OnWindowAck(s, epoch, window_view, st, std::move(body));
+                   [this, s, epoch, window_view, sent_at](Status st, Decoder body) {
+                     OnWindowAck(s, epoch, window_view, sent_at, st, std::move(body));
                    },
                    params_.seq.order_push_timeout_ns, std::move(atts));
   }
 }
 
 void SequencingReplica::OnWindowAck(size_t s, uint64_t epoch, ViewId window_view,
-                                    const Status& status, Decoder body) {
+                                    SimTime sent_at, const Status& status, Decoder body) {
   if (sealed_ || view_ != window_view || !is_leader() || s >= cursors_.size()) {
     return;  // reconfiguration owns the log now
   }
@@ -309,6 +470,7 @@ void SequencingReplica::OnWindowAck(size_t s, uint64_t epoch, ViewId window_view
     return;
   }
   c.retry_attempts = 0;
+  RecordAckRtt(endpoint_.loop()->Now() - sent_at);
   AdvanceOrderedFromCursors();
   PumpCursor(s);
 }
@@ -525,7 +687,9 @@ void SequencingReplica::ArmGcRetry() {
     return;
   }
   gc_retry_armed_ = true;
-  endpoint_.loop()->Schedule(4 * params_.seq.ordering_interval_ns, [this]() {
+  // Tracks the live cadence: when the controller has widened the ordering interval
+  // under load, pounding a struggling follower 30x per widened tick helps nobody.
+  endpoint_.loop()->Schedule(4 * eff_interval_ns_, [this]() {
     gc_retry_armed_ = false;
     if (sealed_ || !is_leader()) {
       return;
@@ -582,6 +746,7 @@ void SequencingReplica::HandleGc(Decoder d, Responder r) {
     log_ = std::move(kept);
     ordered_gp_ = std::max(ordered_gp_, req.new_ordered_gp);
     RememberOrdered(req.ids);
+    ScrubShedEntries();
     stats_.gc_rounds++;
     NotifyGpObserver();
     r.Send(Status::Ok());
@@ -686,7 +851,7 @@ void SequencingReplica::HandleStartView(Decoder d, Responder r) {
   NotifyGpObserver();
   if (is_leader() && !ordering_armed_) {
     ordering_armed_ = true;
-    endpoint_.loop()->Schedule(params_.seq.ordering_interval_ns, [this]() { OrderingTick(); });
+    ScheduleOrderingTick();
   }
   r.Send(Status::Ok());
 }
@@ -774,6 +939,12 @@ OrdererStatsSnapshot SequencingReplica::StatsSnapshot() const {
   snap.assigned_gp = assigned_gp_;
   snap.stable_gp = stable_gp_;
   snap.unordered = log_.size();
+  snap.eff_ordering_interval_ns = eff_interval_ns_;
+  snap.eff_order_batch = eff_batch_;
+  snap.eff_pipeline_depth = eff_depth_;
+  snap.ack_rtt_ewma_ns = ack_rtt_ewma_ns_;
+  snap.admitting = admitting_;
+  snap.ring_occupancy = ring_occupancy();
   snap.shards.reserve(cursors_.size());
   for (const ShardCursor& c : cursors_) {
     OrdererStats::PerShard ps;
@@ -804,6 +975,17 @@ StatsFields OrdererStatsSnapshot::Fields() const {
       {"assigned_gp", static_cast<double>(assigned_gp)},
       {"stable_gp", static_cast<double>(stable_gp)},
       {"unordered", static_cast<double>(unordered)},
+      {"admitted", static_cast<double>(counters.admitted)},
+      {"overload_rejected", static_cast<double>(counters.overload_rejected)},
+      {"overload_retried", static_cast<double>(counters.overload_retried)},
+      {"ring_high_water", static_cast<double>(counters.ring_high_water)},
+      {"shed_scrubbed", static_cast<double>(counters.shed_scrubbed)},
+      {"ring_occupancy", static_cast<double>(ring_occupancy)},
+      {"admitting", admitting ? 1.0 : 0.0},
+      {"eff_ordering_interval_ns", static_cast<double>(eff_ordering_interval_ns)},
+      {"eff_order_batch", static_cast<double>(eff_order_batch)},
+      {"eff_pipeline_depth", static_cast<double>(eff_pipeline_depth)},
+      {"ack_rtt_ewma_ns", ack_rtt_ewma_ns},
       {"payload_bytes_copied", static_cast<double>(buf.payload_bytes_copied)},
       {"payload_bytes_aliased", static_cast<double>(buf.payload_bytes_aliased)},
       {"buf_allocations", static_cast<double>(buf.allocations)},

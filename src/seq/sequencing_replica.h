@@ -37,6 +37,12 @@ struct OrdererStats {
   uint64_t batches = 0;        // ordering batches (one per ordered_gp advance)
   uint64_t batch_entries = 0;  // records covered by those advances
   uint64_t gc_rounds = 0;
+  // Admission-control counters (overload behavior; see DESIGN.md overload section).
+  uint64_t admitted = 0;           // appends accepted past the admission gate
+  uint64_t overload_rejected = 0;  // appends refused with kOverloaded
+  uint64_t overload_retried = 0;   // admitted appends previously refused (client retries)
+  uint64_t ring_high_water = 0;    // max ring occupancy observed at admission time
+  uint64_t shed_scrubbed = 0;      // follower ring entries evicted as leader-shed
   double AvgBatchSize() const {
     return batches == 0 ? 0.0 : static_cast<double>(batch_entries) / static_cast<double>(batches);
   }
@@ -66,6 +72,14 @@ struct OrdererStatsSnapshot {
   LogPos assigned_gp = 0;
   LogPos stable_gp = 0;
   uint64_t unordered = 0;  // entries still in the local ring buffer
+  // Live adaptive-controller knob values at capture time (equal to the static params
+  // when seq.adaptive_ordering is off).
+  uint64_t eff_ordering_interval_ns = 0;
+  uint64_t eff_order_batch = 0;
+  uint32_t eff_pipeline_depth = 0;
+  double ack_rtt_ewma_ns = 0;
+  bool admitting = true;        // admission gate state (false = shedding load)
+  uint64_t ring_occupancy = 0;  // unordered entries + appends queued for the CPU
   std::vector<OrdererStats::PerShard> shards;
   BufStats buf;  // global record-path copy/alias counters at capture time
   StatsFields Fields() const;
@@ -106,6 +120,14 @@ class SequencingReplica {
   LogPos assigned_gp() const { return assigned_gp_; }
   LogPos stable_gp() const { return stable_gp_; }
   uint64_t unordered_size() const { return log_.size(); }
+  // Ring occupancy as seen by the admission gate: unordered entries plus appends
+  // already accepted but still queued for the sequencer CPU.
+  uint64_t ring_occupancy() const { return log_.size() + pending_cpu_appends_; }
+  bool admitting() const { return admitting_; }
+  // Live adaptive-controller values (== the static knobs when adaptivity is off).
+  uint64_t effective_ordering_interval_ns() const { return eff_interval_ns_; }
+  uint64_t effective_order_batch() const { return eff_batch_; }
+  uint32_t effective_pipeline_depth() const { return eff_depth_; }
   const OrdererStats& stats() const { return stats_; }
   OrdererStatsSnapshot StatsSnapshot() const;
   const std::vector<NodeId>& config() const { return config_; }
@@ -123,6 +145,10 @@ class SequencingReplica {
     RecordId id;
     Buf payload;  // shares the backing of the client's append message
     ShardId shard = 0;
+    // Admission point (local ordered-gp + wall clock), for the follower scrub: an
+    // entry the leader's gate shed is never ordered, so GC never collects it here.
+    LogPos gp_at_admit = 0;
+    SimTime admitted_at = 0;
   };
 
   // Per-follower GC bookkeeping: ids ordered but not yet acknowledged-collected by the
@@ -164,13 +190,26 @@ class SequencingReplica {
   };
 
   // Background ordering (leader only).
+  // The single cadence authority: every (re-)arm of the ordering timer goes through
+  // here so all call sites read the controller's live interval.
+  void ScheduleOrderingTick();
   void OrderingTick();
+  // Adaptive group commit (AIMD): rescales eff_interval_ns_/eff_batch_/eff_depth_ from
+  // ring occupancy, per-shard watermark lag, and the window-ack RTT EWMA.
+  void UpdateController();
+  void RecordAckRtt(uint64_t rtt_ns);
+  // Admission gate with hysteresis; returns false when the append must be refused.
+  bool AdmitAppend(const RecordId& id);
+  void RememberRejected(const RecordId& id);
+  void PruneRejected();
+  // Follower-only: evict ring entries provably shed by the leader's gate (see .cc).
+  void ScrubShedEntries();
   // Stamps global positions onto unassigned log entries (m-mode also freezes their
   // shard placement), advancing assigned_gp_.
   void AssignPositions();
   void PumpCursor(size_t s);
-  void OnWindowAck(size_t s, uint64_t epoch, ViewId window_view, const Status& status,
-                   Decoder body);
+  void OnWindowAck(size_t s, uint64_t epoch, ViewId window_view, SimTime sent_at,
+                   const Status& status, Decoder body);
   void ArmCursorRetry(size_t s);
   // Advances ordered_gp_ to the min durable watermark across cursors, GCs the covered
   // entries locally, and queues follower GC.
@@ -226,6 +265,21 @@ class SequencingReplica {
   std::unordered_set<RecordId, RecordIdHash> in_log_;
   std::unordered_set<RecordId, RecordIdHash> recently_ordered_;
   std::deque<std::pair<SimTime, RecordId>> ordered_expiry_;
+
+  // Admission control: appends accepted but still queued for the sequencer CPU (they
+  // occupy the ring the moment they are admitted, not when the core reaches them).
+  uint64_t pending_cpu_appends_ = 0;
+  bool admitting_ = true;
+  // Recently refused ids, time-pruned; an admitted id found here is a client overload
+  // retry (the overload_retried counter).
+  std::unordered_set<RecordId, RecordIdHash> recently_rejected_;
+  std::deque<std::pair<SimTime, RecordId>> rejected_expiry_;
+
+  // Adaptive group-commit state (pinned to the static knobs when adaptivity is off).
+  uint64_t eff_interval_ns_;
+  uint64_t eff_batch_;
+  uint32_t eff_depth_;
+  double ack_rtt_ewma_ns_ = 0;
 
   bool ordering_armed_ = false;
   // One ordering cursor per shard primary (parallel to shard_primaries_).

@@ -535,13 +535,35 @@ void ShardServer::FinalizeNoOp(const RecordId& id) {
   pending_.erase(it);
   if (is_primary()) {
     // Instruct backups to replace their copy with a no-op (§5.4).
-    NoOpMsg msg{pos, id};
-    Encoder e;
-    msg.Encode(e);
     for (size_t i = 1; i < replicas_.size(); ++i) {
-      endpoint_.Call(replicas_[i], kShardReplicateNoOp, e.data(), nullptr, 0);
+      SendReplicateNoOp(replicas_[i], NoOpMsg{pos, id});
     }
   }
+}
+
+void ShardServer::SendReplicateNoOp(NodeId backup, NoOpMsg msg) {
+  Encoder e;
+  msg.Encode(e);
+  endpoint_.Call(backup, kShardReplicateNoOp, e.Take(),
+                 [this, backup, msg](Status s, Decoder) {
+                   if (s.ok()) {
+                     return;
+                   }
+                   // Lost or timed out. The backup may hold the record's data and have
+                   // bound it for real; keep retrying (the overwrite is idempotent)
+                   // until it confirms the primary's decision, for as long as this
+                   // replica remains the primary and the backup is still in the set.
+                   endpoint_.loop()->Schedule(
+                       params_.seq.order_retry_backoff_ns, [this, backup, msg]() {
+                         if (!is_primary() ||
+                             std::find(replicas_.begin(), replicas_.end(), backup) ==
+                                 replicas_.end()) {
+                           return;
+                         }
+                         SendReplicateNoOp(backup, msg);
+                       });
+                 },
+                 params_.rpc_timeout_ns);
 }
 
 void ShardServer::HandleOrderMeta(Decoder d, Responder r) {
@@ -705,7 +727,12 @@ void ShardServer::HandleReplicateNoOp(Decoder d, Responder r) {
   } else {
     auto bound = pos_to_local_.find(msg.pos);
     if (bound != pos_to_local_.end()) {
-      log_.Overwrite(bound->second, Record{msg.id, "", true});
+      // A retried no-op can arrive after a recovery flush rebound this position to a
+      // different record; the primary's decision only covers its own id.
+      const Record* cur = log_.Get(bound->second);
+      if (cur != nullptr && cur->id == msg.id) {
+        log_.Overwrite(bound->second, Record{msg.id, "", true});
+      }
     }
   }
   r.Send(Status::Ok());

@@ -201,6 +201,10 @@ class ShardServer {
   bool BindPosition(const MetaEntry& entry, const std::shared_ptr<BatchAck>& batch);
   void ResolvePendingWithData(const RecordId& id, Buf payload);
   void FinalizeNoOp(const RecordId& id);
+  // Replicates a primary no-op decision to one backup, retrying until acked: a backup
+  // whose data copy arrived binds the real record, and a dropped no-op would leave the
+  // replicas permanently disagreeing on the binding.
+  void SendReplicateNoOp(NodeId backup, NoOpMsg msg);
   // Backup repair: applies a record fetched from the primary to a pending binding.
   void ApplyFetchedRecord(const RecordId& id, const Status& s, Decoder d);
 

@@ -4,6 +4,7 @@
 
 #include "src/common/codec.h"
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/seq/seq_messages.h"
 #include "src/storage/shard_messages.h"
 
@@ -54,6 +55,24 @@ TEST(Codec, U64VectorRoundTrip) {
   std::vector<uint64_t> v;
   ASSERT_TRUE(d.GetU64Vector(&v));
   EXPECT_EQ(v, (std::vector<uint64_t>{1, 2, 3, UINT64_MAX}));
+}
+
+// Status codes cross the wire as a single u8 (rpc.cc response header); every code —
+// including the newest, kOverloaded — must survive the cast round-trip unchanged.
+TEST(Codec, StatusCodeWireRoundTrip) {
+  for (StatusCode code : {StatusCode::kOk, StatusCode::kTimeout, StatusCode::kUnavailable,
+                          StatusCode::kWrongView, StatusCode::kSealed,
+                          StatusCode::kOutOfRange, StatusCode::kDuplicate,
+                          StatusCode::kRejected, StatusCode::kNotLeader,
+                          StatusCode::kStaleView, StatusCode::kInternal,
+                          StatusCode::kInvalidArgument, StatusCode::kOverloaded}) {
+    Encoder e;
+    e.PutU8(static_cast<uint8_t>(code));
+    Decoder d(e.data());
+    uint8_t raw = 0xff;
+    ASSERT_TRUE(d.GetU8(&raw));
+    EXPECT_EQ(static_cast<StatusCode>(raw), code) << StatusCodeName(code);
+  }
 }
 
 TEST(Codec, TruncatedInputFailsCleanly) {

@@ -25,6 +25,7 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::Duplicate().code(), StatusCode::kDuplicate);
   EXPECT_EQ(Status::Rejected().code(), StatusCode::kRejected);
   EXPECT_EQ(Status::NotLeader().code(), StatusCode::kNotLeader);
+  EXPECT_EQ(Status::Overloaded().code(), StatusCode::kOverloaded);
   EXPECT_EQ(Status::Internal("boom").message(), "boom");
   EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(Status::Timeout().ok());
@@ -33,6 +34,8 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
 TEST(Status, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::Timeout("t").ToString(), "TIMEOUT: t");
   EXPECT_EQ(Status::Internal("x").ToString(), "INTERNAL: x");
+  EXPECT_EQ(Status::Overloaded().ToString(), "OVERLOADED: overloaded");
+  EXPECT_EQ(Status::Overloaded("shed").ToString(), "OVERLOADED: shed");
 }
 
 TEST(Status, EqualityComparesCodeOnly) {

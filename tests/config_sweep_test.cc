@@ -89,5 +89,84 @@ std::string Name(const ::testing::TestParamInfo<SweepParams>& info) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ConfigSweepTest, ::testing::ValuesIn(AllConfigs()), Name);
 
+// Second sweep axis: the adaptive group-commit and admission-control knobs. The
+// protocols must stay correct at the extremes of the controller's operating range —
+// interval pinned at its floor or its ceiling, batch floor of one, the controller or
+// the gate disabled outright, and a toy watermark band. (Overload *dynamics* are
+// covered by overload_test.cc; this guards bare correctness of the knob space.)
+struct KnobParams {
+  const char* name;
+  bool adaptive;
+  bool admission;
+  uint64_t interval_floor_ns;
+  uint64_t interval_ceiling_ns;
+  uint64_t min_batch;
+  uint64_t ring_high;
+  uint64_t ring_low;
+};
+
+class OrderingKnobSweepTest : public ::testing::TestWithParam<KnobParams> {};
+
+TEST_P(OrderingKnobSweepTest, SequentialWorkloadIsCorrect) {
+  const KnobParams k = GetParam();
+  for (ErwinMode mode : {ErwinMode::kM, ErwinMode::kSt}) {
+    ErwinClusterOptions opt;
+    opt.mode = mode;
+    opt.num_shards = 2;
+    opt.shard_replication = 2;
+    opt.with_control_plane = false;
+    opt.params.seq.adaptive_ordering = k.adaptive;
+    opt.params.seq.admission_control = k.admission;
+    opt.params.seq.ordering_interval_ns = k.interval_floor_ns;
+    opt.params.seq.max_ordering_interval_ns = k.interval_ceiling_ns;
+    opt.params.seq.min_order_batch = k.min_batch;
+    opt.params.seq.ring_high_watermark = k.ring_high;
+    opt.params.seq.ring_low_watermark = k.ring_low;
+    ErwinCluster cluster(opt);
+    auto client = cluster.MakeClient();
+
+    constexpr int kN = 12;
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_TRUE(AppendSyncly(cluster.loop(), *client, "r" + std::to_string(i)));
+    }
+    cluster.RunFor(100 * kMs);
+
+    auto records = ReadSyncly(cluster.loop(), *client, 0, kN, 10 * kSec);
+    ASSERT_TRUE(records.has_value()) << k.name;
+    ASSERT_EQ(records->size(), static_cast<size_t>(kN)) << k.name;
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ((*records)[i].pos, static_cast<LogPos>(i));
+      EXPECT_EQ((*records)[i].record.payload, "r" + std::to_string(i));
+    }
+    for (uint32_t i = 0; i < cluster.num_seq_replicas(); ++i) {
+      EXPECT_EQ(cluster.seq_replica(i).unordered_size(), 0u) << k.name;
+      EXPECT_EQ(cluster.seq_replica(i).ordered_gp(), static_cast<LogPos>(kN)) << k.name;
+    }
+    // With roomy watermarks a sequential workload must never trip the gate. (The
+    // tiny_band row legitimately can: the ring holds entries until shards ack the
+    // ordered windows, so even one-outstanding-append occupancy tracks that RTT.)
+    if (k.ring_high >= 64) {
+      EXPECT_EQ(cluster.seq_replica(0).StatsSnapshot().counters.overload_rejected, 0u) << k.name;
+    }
+  }
+}
+
+std::vector<KnobParams> AllKnobs() {
+  return {
+      {"tight_floor", true, true, 5 * kUs, 480 * kUs, 1, 4096, 2048},
+      {"pinned_ceiling", true, true, 200 * kUs, 200 * kUs, 2048, 4096, 2048},
+      {"static_arm", false, true, 30 * kUs, 480 * kUs, 2048, 4096, 2048},
+      {"gate_off", true, false, 30 * kUs, 480 * kUs, 2048, 4096, 2048},
+      {"tiny_band", true, true, 30 * kUs, 480 * kUs, 2048, 8, 4},
+  };
+}
+
+std::string KnobName(const ::testing::TestParamInfo<KnobParams>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Knobs, OrderingKnobSweepTest, ::testing::ValuesIn(AllKnobs()),
+                         KnobName);
+
 }  // namespace
 }  // namespace lazylog
