@@ -20,8 +20,11 @@ namespace lazylog {
 // producing `total_rate` appends/s — mirroring the paper's multi-machine load generators.
 class AppenderFleet {
  public:
+  // num_streams > 0 makes every appender publish round-robin across that many tagged
+  // streams (selective-read benches); 0 keeps the legacy untagged workload.
   AppenderFleet(EventLoop* loop, std::vector<std::unique_ptr<SharedLogClient>> clients,
-                double total_rate, size_t record_bytes, uint64_t warmup_ns) {
+                double total_rate, size_t record_bytes, uint64_t warmup_ns,
+                uint64_t num_streams = 0) {
     const double per = total_rate / static_cast<double>(clients.size());
     clients_ = std::move(clients);
     for (size_t i = 0; i < clients_.size(); ++i) {
@@ -29,6 +32,7 @@ class AppenderFleet {
       opt.rate_per_sec = per;
       opt.record_bytes = record_bytes;
       opt.warmup_ns = warmup_ns;
+      opt.num_streams = num_streams;
       appenders_.push_back(
           std::make_unique<OpenLoopAppender>(loop, clients_[i].get(), opt, 100 + i));
     }
@@ -73,6 +77,30 @@ class AppenderFleet {
   std::vector<std::unique_ptr<SharedLogClient>> clients_;
   std::vector<std::unique_ptr<OpenLoopAppender>> appenders_;
 };
+
+// Feeds every appender's acks into one merged durable-record stream for a sequential
+// reader. The counter outlives this call (the hooks fire during the run), so it lives
+// on the heap, shared by all hooks.
+inline void WireAckStream(AppenderFleet& fleet, SequentialReader& reader) {
+  auto acked = std::make_shared<uint64_t>(0);
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    fleet.appender(i).OnAck(
+        [&reader, acked](uint64_t, SimTime t) { reader.NotifyAcked((*acked)++, t); });
+  }
+}
+
+// The matched append+read measurement loop shared by the read benches (Figures 8, 9,
+// 10 and selective_reads): start the reader and the load, run the cluster for `run_ns`,
+// and tear down in reverse order so no new work is issued into a stopped reader.
+template <typename Cluster, typename Reader>
+void DriveAppendRead(Cluster& cluster, AppenderFleet& fleet, Reader& reader,
+                     uint64_t run_ns) {
+  reader.Start();
+  fleet.Start();
+  cluster.RunFor(run_ns);
+  fleet.Stop();
+  reader.Stop();
+}
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");

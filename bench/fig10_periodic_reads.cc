@@ -32,11 +32,7 @@ Histogram Run(double rate, uint64_t period_ns) {
   ropt.period_ns = period_ns;
   ropt.warmup_ns = kWarmup;
   PeriodicTailReader reader(&cluster.loop(), reader_client.get(), ropt);
-  fleet.Start();
-  reader.Start();
-  cluster.RunFor(kRun);
-  fleet.Stop();
-  reader.Stop();
+  DriveAppendRead(cluster, fleet, reader, kRun);
   return reader.latency();
 }
 

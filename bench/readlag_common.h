@@ -42,15 +42,8 @@ ReadLagResult RunErwin(double rate, uint64_t lag_ns) {
   SequentialReader reader(&cluster.loop(), reader_client.get(), ropt);
   // All appenders feed one global ack stream; with one appender per fleet slot the
   // index order approximates position order well enough for a sequential reader.
-  uint64_t acked = 0;
-  for (size_t i = 0; i < fleet.size(); ++i) {
-    fleet.appender(i).OnAck([&](uint64_t, SimTime t) { reader.NotifyAcked(acked++, t); });
-  }
-  reader.Start();
-  fleet.Start();
-  cluster.RunFor(kRun);
-  fleet.Stop();
-  reader.Stop();
+  WireAckStream(fleet, reader);
+  DriveAppendRead(cluster, fleet, reader, kRun);
   ReadLagResult res;
   res.append = fleet.MergedLatency();
   res.read = reader.latency();
@@ -74,15 +67,8 @@ ReadLagResult RunCorfu(double rate, uint64_t lag_ns) {
   ropt.lag_ns = lag_ns;
   ropt.warmup_ns = kWarmup;
   SequentialReader reader(&cluster.loop(), reader_client.get(), ropt);
-  uint64_t acked = 0;
-  for (size_t i = 0; i < fleet.size(); ++i) {
-    fleet.appender(i).OnAck([&](uint64_t, SimTime t) { reader.NotifyAcked(acked++, t); });
-  }
-  reader.Start();
-  fleet.Start();
-  cluster.RunFor(kRun);
-  fleet.Stop();
-  reader.Stop();
+  WireAckStream(fleet, reader);
+  DriveAppendRead(cluster, fleet, reader, kRun);
   ReadLagResult res;
   res.append = fleet.MergedLatency();
   res.read = reader.latency();

@@ -128,11 +128,20 @@ void CorfuClient::Append(Buf payload, AppendCallback cb) {
   AppendAt(std::move(payload), [cb](Status s, LogPos) { cb(std::move(s)); });
 }
 
+void CorfuClient::Append(StreamTag tag, Buf payload, AppendCallback cb) {
+  AppendAt(tag, std::move(payload), [cb](Status s, LogPos) { cb(std::move(s)); });
+}
+
 void CorfuClient::AppendAt(Buf payload, AppendPosCallback cb) {
+  AppendAt(kNoTag, std::move(payload), std::move(cb));
+}
+
+void CorfuClient::AppendAt(StreamTag tag, Buf payload, AppendPosCallback cb) {
   // RTT 1: obtain a position from the sequencer (not yet binding, §2.2).
   auto record = std::make_shared<Record>();
   record->id = RecordId{client_id_, next_request_id_++};
   record->payload = std::move(payload);
+  record->tag = tag;
   endpoint_.Call(sequencer_, kCorfuNextPos, "",
                  [this, record, cb](Status s, Decoder d) {
                    if (!s.ok()) {

@@ -67,6 +67,9 @@ class CorfuClient : public SharedLogClient {
               std::vector<std::vector<NodeId>> chains, ClientId client_id);
 
   void Append(Buf payload, AppendCallback cb) override;
+  // Tagged append: the tag rides inside the record, so ScanReadNext (the base-class
+  // selective-read fallback — Corfu has no index tier) can project the stream.
+  void Append(StreamTag tag, Buf payload, AppendCallback cb) override;
   void Read(LogPos from, uint64_t len, ReadCallback cb) override;
   void CheckTail(TailCallback cb) override;
   void Trim(LogPos index, TrimCallback cb) override;
@@ -74,6 +77,7 @@ class CorfuClient : public SharedLogClient {
   // Appends and reports the eagerly bound position (Corfu's native interface).
   using AppendPosCallback = std::function<void(Status, LogPos)>;
   void AppendAt(Buf payload, AppendPosCallback cb);
+  void AppendAt(StreamTag tag, Buf payload, AppendPosCallback cb);
 
  private:
   void ChainWrite(LogPos pos, std::shared_ptr<Record> record, size_t hop,

@@ -176,10 +176,15 @@ KafkaProducer::KafkaProducer(Network* net, const SimParams& params, NodeId leade
     : endpoint_(net), params_(params), leader_(leader), client_id_(client_id) {}
 
 void KafkaProducer::Produce(Buf payload, ProduceCallback cb) {
+  Produce(kNoTag, std::move(payload), std::move(cb));
+}
+
+void KafkaProducer::Produce(StreamTag tag, Buf payload, ProduceCallback cb) {
   // Broker statuses reach the callback unmapped (kOverloaded included, if the broker
   // ever sheds load); the linger buffer itself applies no admission control.
   buffered_bytes_ += payload.size();
-  buffer_.push_back(Record{RecordId{client_id_, next_request_id_++}, std::move(payload), false});
+  buffer_.push_back(
+      Record{RecordId{client_id_, next_request_id_++}, std::move(payload), false, tag});
   callbacks_.push_back(std::move(cb));
   if (buffered_bytes_ >= 1 << 20) {
     FlushLocked();

@@ -59,6 +59,8 @@ class KafkaProducer {
   using ProduceCallback = std::function<void(Status)>;
   // Buffers the record; the batch is flushed after `linger` or at 1 MB.
   void Produce(Buf payload, ProduceCallback cb);
+  // Tagged variant: the tag is stored with the record and returned by Fetch.
+  void Produce(StreamTag tag, Buf payload, ProduceCallback cb);
   // Forces an immediate flush (tests).
   void Flush();
 

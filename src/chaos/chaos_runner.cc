@@ -138,11 +138,15 @@ void ChaosRunner::ScheduleWriterAppend(uint32_t w) {
     const uint64_t n = write_counts_[w]++;
     std::string payload = WriterPayload(w, n);
     const uint64_t hash = HashString(payload);
+    // Each writer publishes to one of three streams, so tagged records interleave with
+    // untagged sentinel/half-append traffic and the stream-projection oracle has real
+    // multi-stream windows to replay.
+    const StreamTag tag = static_cast<StreamTag>((w % 3) + 1);
     const uint64_t op = history_->BeginAppend(AppendOp::Kind::kNormal,
-                                              payload.substr(0, 24), hash);
+                                              payload.substr(0, 24), hash, tag);
     pending_appends_++;
     const bool drives_next = i == 0;  // exactly one continuation per round
-    writers_[w].client->Append(std::move(payload), [this, op, w, drives_next](Status s) {
+    writers_[w].client->Append(tag, std::move(payload), [this, op, w, drives_next](Status s) {
       history_->EndAppend(op, std::move(s));
       pending_appends_--;
       if (!drives_next) {
@@ -172,6 +176,47 @@ void ChaosRunner::ScheduleReaderOp(uint32_t r) {
       return;
     }
     history_->RecordTail(client, durable, stable, readers_[r].client->last_tail_view());
+    // A third of the ops are selective reads: pick a stream and a start cursor and let
+    // the client route through the index tier (or fall back to a scan under faults).
+    if (stable > 0 && reader_rng_.Chance(0.35)) {
+      const StreamTag tag = static_cast<StreamTag>(1 + reader_rng_.Uniform(3));
+      const LogPos from = reader_rng_.Uniform(stable + 1);
+      const uint32_t max = 1 + static_cast<uint32_t>(reader_rng_.Uniform(4));
+      const uint64_t op = history_->BeginReadNext(tag, from, max);
+      auto done = std::make_shared<bool>(false);
+      readers_[r].client->ReadNext(
+          tag, from, max,
+          [this, op, tag, from, done, next](Status rs, std::vector<PositionedRecord> recs,
+                                            LogPos next_from) {
+            if (*done) {
+              return;
+            }
+            *done = true;
+            if (!rs.ok()) {
+              history_->RecordReadNextError(op);
+            } else {
+              std::vector<ObservedRecord> obs;
+              for (const PositionedRecord& pr : recs) {
+                obs.push_back(ObservedRecord{pr.pos, pr.record.id,
+                                             HashString(pr.record.payload),
+                                             pr.record.no_op, pr.record.tag});
+              }
+              history_->RecordReadNextReturn(op, tag, from, std::move(obs), next_from);
+            }
+            next();
+          });
+      // Same watchdog as plain reads: a selective read stuck behind a crashed index
+      // node's RPC timeout must not wedge the reader loop.
+      cluster_->loop().Schedule(60 * kMs, [this, op, done, next]() {
+        if (*done) {
+          return;
+        }
+        *done = true;
+        history_->RecordReadNextError(op);
+        next();
+      });
+      return;
+    }
     // Pick a target: mostly stable-prefix reads; sometimes a gate-stress read just at
     // or past the stable frontier (legal — the shard parks it until stable passes).
     LogPos from = 0;
@@ -198,7 +243,8 @@ void ChaosRunner::ScheduleReaderOp(uint32_t r) {
             std::vector<ObservedRecord> obs;
             for (const PositionedRecord& pr : recs) {
               obs.push_back(ObservedRecord{pr.pos, pr.record.id,
-                                           HashString(pr.record.payload), pr.record.no_op});
+                                           HashString(pr.record.payload), pr.record.no_op,
+                                           pr.record.tag});
             }
             history_->RecordReadReturn(op, obs);
           }
@@ -335,7 +381,8 @@ void ChaosRunner::FinalReadback() {
                                for (const PositionedRecord& pr : recs) {
                                  got->push_back(ObservedRecord{pr.pos, pr.record.id,
                                                                HashString(pr.record.payload),
-                                                               pr.record.no_op});
+                                                               pr.record.no_op,
+                                                               pr.record.tag});
                                }
                                history_->RecordReadReturn(op, *got);
                                *ok = true;
@@ -383,6 +430,9 @@ ChaosReport ChaosRunner::Run() {
   // oracle exercises real rejects and real post-reject retries.
   copts.params.seq.ring_high_watermark = 48;
   copts.params.seq.ring_low_watermark = 24;
+  // Two index aggregators: the nemesis can crash one (clients routed to it fall back
+  // to scans) while selective reads keep exercising the surviving one.
+  copts.num_index_nodes = 2;
   cluster_ = std::make_unique<ErwinCluster>(copts);
   history_ = std::make_unique<ChaosHistory>(&cluster_->loop());
   AttachObservers();

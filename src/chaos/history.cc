@@ -19,6 +19,13 @@ constexpr uint8_t kTagFinalRecord = 10;
 constexpr uint8_t kTagNote = 11;
 constexpr uint8_t kTagAppendId = 12;
 constexpr uint8_t kTagAppendExtraCompletion = 13;
+// Stream index tier (tags >= 14). Tagged data folds *extra* events rather than changing
+// the existing ones, so untagged runs keep their historical digests.
+constexpr uint8_t kTagAppendStream = 14;
+constexpr uint8_t kTagReadNextInvoke = 15;
+constexpr uint8_t kTagReadNextRecord = 16;
+constexpr uint8_t kTagReadNextDone = 17;
+constexpr uint8_t kTagRecordStream = 18;
 }  // namespace
 
 void ChaosHistory::FoldEvent(uint8_t tag, uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
@@ -31,14 +38,18 @@ void ChaosHistory::FoldEvent(uint8_t tag, uint64_t a, uint64_t b, uint64_t c, ui
 }
 
 uint64_t ChaosHistory::BeginAppend(AppendOp::Kind kind, std::string payload_key,
-                                   uint64_t payload_hash) {
+                                   uint64_t payload_hash, StreamTag tag) {
   AppendOp op;
   op.op_id = next_op_id_++;
   op.kind = kind;
+  op.tag = tag;
   op.payload_key = std::move(payload_key);
   op.payload_hash = payload_hash;
   op.invoked_at = loop_->Now();
   FoldEvent(kTagAppendInvoke, op.op_id, static_cast<uint64_t>(kind), payload_hash);
+  if (tag != kNoTag) {
+    FoldEvent(kTagAppendStream, op.op_id, tag);
+  }
   appends_.push_back(std::move(op));
   return appends_.back().op_id;
 }
@@ -91,8 +102,36 @@ void ChaosHistory::RecordReadReturn(uint64_t op_id,
     FoldEvent(kTagReadRecord, op_id, rec.pos,
               rec.id.client_id ^ (rec.id.request_id << 20),
               rec.payload_hash ^ (rec.no_op ? 1 : 0));
+    if (rec.tag != kNoTag) {
+      FoldEvent(kTagRecordStream, op_id, rec.pos, rec.tag);
+    }
     read_obs_.push_back(ReadObservation{op_id, loop_->Now(), rec});
   }
+}
+
+uint64_t ChaosHistory::BeginReadNext(StreamTag tag, LogPos from, uint32_t max) {
+  const uint64_t op_id = next_op_id_++;
+  reads_issued_++;
+  FoldEvent(kTagReadNextInvoke, op_id, tag, from, max);
+  return op_id;
+}
+
+void ChaosHistory::RecordReadNextReturn(uint64_t op_id, StreamTag tag, LogPos from,
+                                        std::vector<ObservedRecord> records,
+                                        LogPos next_from) {
+  for (const ObservedRecord& rec : records) {
+    FoldEvent(kTagReadNextRecord, op_id, rec.pos,
+              rec.id.client_id ^ (rec.id.request_id << 20),
+              rec.payload_hash ^ (rec.no_op ? 1 : 0) ^ rec.tag);
+  }
+  FoldEvent(kTagReadNextDone, op_id, next_from, records.size());
+  read_next_obs_.push_back(
+      ReadNextObservation{op_id, tag, from, next_from, loop_->Now(), std::move(records)});
+}
+
+void ChaosHistory::RecordReadNextError(uint64_t op_id) {
+  reads_failed_++;
+  FoldEvent(kTagReadError, op_id);
 }
 
 void ChaosHistory::RecordReadError(uint64_t op_id) {
@@ -125,6 +164,9 @@ void ChaosHistory::RecordFinalLog(std::vector<ObservedRecord> final_log) {
   for (const ObservedRecord& rec : final_log) {
     FoldEvent(kTagFinalRecord, rec.pos, rec.id.client_id ^ (rec.id.request_id << 20),
               rec.payload_hash, rec.no_op ? 1 : 0);
+    if (rec.tag != kNoTag) {
+      FoldEvent(kTagRecordStream, 0, rec.pos, rec.tag);
+    }
   }
   final_log_ = std::move(final_log);
 }

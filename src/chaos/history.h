@@ -24,6 +24,7 @@ struct ObservedRecord {
   RecordId id;
   uint64_t payload_hash = 0;
   bool no_op = false;
+  StreamTag tag = kNoTag;  // stream membership (index tier); kNoTag for plain records
 };
 
 // A workload append operation and its real-time interval.
@@ -34,6 +35,7 @@ struct AppendOp {
 
   uint64_t op_id = 0;
   Kind kind = Kind::kNormal;
+  StreamTag tag = kNoTag;     // stream this append targeted (kNoTag = untagged)
   RecordId id;                // known for half-appends (dedicated injector clients)
   bool id_known = false;
   std::string payload_key;    // unique payload (normal appends); used for matching
@@ -56,6 +58,18 @@ struct ReadObservation {
   uint64_t op_id = 0;
   SimTime returned_at = 0;
   ObservedRecord rec;
+};
+
+// One completed ReadNext(tag, from) window. The stream-projection oracle replays it
+// against the final log: the records must be exactly the stream's records over
+// [from, next_from), gap-free.
+struct ReadNextObservation {
+  uint64_t op_id = 0;
+  StreamTag tag = kNoTag;
+  LogPos from = 0;
+  LogPos next_from = 0;
+  SimTime returned_at = 0;
+  std::vector<ObservedRecord> records;
 };
 
 // A checkTail result as seen by one client. `view` is the view that served the sample:
@@ -105,7 +119,8 @@ class ChaosHistory {
   explicit ChaosHistory(EventLoop* loop) : loop_(loop) {}
 
   // --- workload-side recording ------------------------------------------------------
-  uint64_t BeginAppend(AppendOp::Kind kind, std::string payload_key, uint64_t payload_hash);
+  uint64_t BeginAppend(AppendOp::Kind kind, std::string payload_key, uint64_t payload_hash,
+                       StreamTag tag = kNoTag);
   // For half-appends issued by dedicated injector clients the record id is predictable;
   // recording it lets the no-op oracle match the final log by id.
   void SetAppendId(uint64_t op_id, RecordId id);
@@ -116,6 +131,12 @@ class ChaosHistory {
   uint64_t BeginRead(LogPos from, uint64_t len);
   void RecordReadReturn(uint64_t op_id, const std::vector<ObservedRecord>& records);
   void RecordReadError(uint64_t op_id);
+
+  // Selective reads (stream index tier).
+  uint64_t BeginReadNext(StreamTag tag, LogPos from, uint32_t max);
+  void RecordReadNextReturn(uint64_t op_id, StreamTag tag, LogPos from,
+                            std::vector<ObservedRecord> records, LogPos next_from);
+  void RecordReadNextError(uint64_t op_id);
 
   void RecordTail(uint32_t client, LogPos durable, LogPos stable, ViewId view);
 
@@ -131,6 +152,9 @@ class ChaosHistory {
   // --- accessors for the oracles ----------------------------------------------------
   const std::vector<AppendOp>& appends() const { return appends_; }
   const std::vector<ReadObservation>& read_observations() const { return read_obs_; }
+  const std::vector<ReadNextObservation>& read_next_observations() const {
+    return read_next_obs_;
+  }
   const std::vector<TailSample>& tail_samples() const { return tail_samples_; }
   const std::vector<SeqGpSample>& seq_gp_samples() const { return seq_gp_samples_; }
   const std::vector<ShardGpSample>& shard_gp_samples() const { return shard_gp_samples_; }
@@ -158,6 +182,7 @@ class ChaosHistory {
 
   std::vector<AppendOp> appends_;
   std::vector<ReadObservation> read_obs_;
+  std::vector<ReadNextObservation> read_next_obs_;
   std::vector<TailSample> tail_samples_;
   std::vector<SeqGpSample> seq_gp_samples_;
   std::vector<ShardGpSample> shard_gp_samples_;

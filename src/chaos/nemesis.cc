@@ -24,12 +24,14 @@ const char* KindName(FaultKind k) {
     case FaultKind::kCtrlZkPartition: return "ctrl-zk-partition";
     case FaultKind::kServerPartition: return "server-partition";
     case FaultKind::kOverloadBurst: return "overload-burst";
+    case FaultKind::kCrashIndexNode: return "index-crash";
+    case FaultKind::kIndexPartition: return "index-partition";
   }
   return "?";
 }
 
 bool KindFromName(const std::string& name, FaultKind* out) {
-  for (uint8_t k = 0; k <= static_cast<uint8_t>(FaultKind::kOverloadBurst); ++k) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(FaultKind::kIndexPartition); ++k) {
     if (name == KindName(static_cast<FaultKind>(k))) {
       *out = static_cast<FaultKind>(k);
       return true;
@@ -44,7 +46,8 @@ std::string NemesisPolicy::ToFlag() const {
   const NemesisPolicy all;
   if (seq_crash && shard_replace && partition && loss && delay && disk_slow &&
       client_crash && seq_zk_partition && ctrl_zk_partition && server_partition &&
-      overload_burst && max_seq_crashes == all.max_seq_crashes) {
+      overload_burst && index_crash && index_partition &&
+      max_seq_crashes == all.max_seq_crashes) {
     return "all";
   }
   std::string out;
@@ -65,6 +68,8 @@ std::string NemesisPolicy::ToFlag() const {
   add(ctrl_zk_partition, "ctrl-zk-partition");
   add(server_partition, "server-partition");
   add(overload_burst, "overload-burst");
+  add(index_crash, "index-crash");
+  add(index_partition, "index-partition");
   return out.empty() ? "none" : out;
 }
 
@@ -76,7 +81,7 @@ bool NemesisPolicy::FromFlag(const std::string& flag, NemesisPolicy* out) {
   NemesisPolicy p;
   p.seq_crash = p.shard_replace = p.partition = p.loss = p.delay = p.disk_slow =
       p.client_crash = p.seq_zk_partition = p.ctrl_zk_partition = p.server_partition =
-          p.overload_burst = false;
+          p.overload_burst = p.index_crash = p.index_partition = false;
   if (flag != "none") {
     size_t pos = 0;
     while (pos <= flag.size()) {
@@ -105,6 +110,10 @@ bool NemesisPolicy::FromFlag(const std::string& flag, NemesisPolicy* out) {
         p.server_partition = true;
       } else if (name == "overload-burst") {
         p.overload_burst = true;
+      } else if (name == "index-crash") {
+        p.index_crash = true;
+      } else if (name == "index-partition") {
+        p.index_partition = true;
       } else {
         return false;
       }
@@ -158,6 +167,13 @@ std::string FaultAction::Describe() const {
       break;
     case FaultKind::kOverloadBurst:
       os << " x" << magnitude << " arrival rate for " << duration_ns / kUs << "us";
+      break;
+    case FaultKind::kCrashIndexNode:
+      os << " index-node=" << target;
+      break;
+    case FaultKind::kIndexPartition:
+      os << " index-node=" << target << " cut from shard primaries for "
+         << duration_ns / kUs << "us";
       break;
   }
   return os.str();
@@ -263,6 +279,20 @@ Nemesis::Nemesis(ErwinCluster* cluster, ChaosHistory* history, uint64_t seed,
   seq_crash_budget_ = std::min(policy_.max_seq_crashes, f);
 }
 
+std::vector<uint32_t> Nemesis::UncrashedIndexNodes() const {
+  std::vector<uint32_t> alive;
+  for (uint32_t i = 0; i < cluster_->num_index_nodes(); ++i) {
+    bool crashed = false;
+    for (const FaultAction& prev : schedule_) {
+      crashed |= prev.kind == FaultKind::kCrashIndexNode && prev.target == i;
+    }
+    if (!crashed) {
+      alive.push_back(i);
+    }
+  }
+  return alive;
+}
+
 std::vector<uint32_t> Nemesis::UndeposedSeqReplicas() const {
   std::vector<uint32_t> alive;
   for (uint32_t i = 0; i < cluster_->num_seq_replicas(); ++i) {
@@ -341,6 +371,14 @@ std::vector<FaultKind> Nemesis::DrawableKinds() const {
   }
   if (policy_.overload_burst && overload_hook_) {
     kinds.push_back(FaultKind::kOverloadBurst);
+  }
+  // Keep at least one index aggregator alive so selective reads are exercised against
+  // the index tier (not only the scan fallback) for the whole run.
+  if (policy_.index_crash && UncrashedIndexNodes().size() >= 2) {
+    kinds.push_back(FaultKind::kCrashIndexNode);
+  }
+  if (policy_.index_partition && cluster_->num_index_nodes() > 0) {
+    kinds.push_back(FaultKind::kIndexPartition);
   }
   return kinds;
 }
@@ -446,6 +484,18 @@ void Nemesis::Plan(SimTime start, SimTime end) {
         a.duration_ns = 10 * kMs + rng_.Uniform(15 * kMs);
         cursor += a.duration_ns + 10 * kMs;
         break;
+      case FaultKind::kCrashIndexNode: {
+        const std::vector<uint32_t> alive = UncrashedIndexNodes();
+        LL_CHECK(alive.size() >= 2, "index crash would take the last aggregator");
+        a.target = alive[rng_.Uniform(alive.size())];
+        cursor += 10 * kMs;  // routed ReadNexts time out and fall back to scans
+        break;
+      }
+      case FaultKind::kIndexPartition:
+        a.target = static_cast<uint32_t>(rng_.Uniform(cluster_->num_index_nodes()));
+        a.duration_ns = 8 * kMs + rng_.Uniform(12 * kMs);
+        cursor += a.duration_ns + 8 * kMs;  // let stalled delta pulls catch back up
+        break;
     }
     schedule_.push_back(a);
   }
@@ -547,6 +597,24 @@ void Nemesis::Execute(const FaultAction& a) {
         overload_hook_(a.magnitude);
       }
       break;
+    case FaultKind::kCrashIndexNode:
+      if (a.target < cluster_->num_index_nodes()) {
+        cluster_->CrashIndexNode(a.target);
+      }
+      break;
+    case FaultKind::kIndexPartition: {
+      if (a.target >= cluster_->num_index_nodes()) {
+        return;
+      }
+      const NodeId ix = cluster_->index_node(a.target).node_id();
+      if (!net.IsUp(ix)) {
+        return;  // already crashed by an earlier action
+      }
+      for (uint32_t s = 0; s < cluster_->num_shards(); ++s) {
+        cut(ix, cluster_->shard(s, 0).node_id());
+      }
+      break;
+    }
   }
 }
 
@@ -557,6 +625,7 @@ void Nemesis::Heal(const FaultAction& a) {
     case FaultKind::kSeqZkPartition:
     case FaultKind::kCtrlZkPartition:
     case FaultKind::kServerPartition:
+    case FaultKind::kIndexPartition:
       // Actions are laid out sequentially, so every live cut belongs to this window.
       for (const auto& [x, y] : partitioned_pairs_) {
         net.SetPartitioned(x, y, false);

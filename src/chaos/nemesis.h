@@ -40,6 +40,10 @@ enum class FaultKind : uint8_t {
   kServerPartition,  // one server<->server link cut for a window (seq/shard/controller)
   kOverloadBurst,    // writer arrival-rate multiplier for a window (admission control
                      // under fire); runner hook scales the workload
+  kCrashIndexNode,   // permanent crash of one index aggregator (>= 1 kept alive);
+                     // selective reads routed to it fall back to scans
+  kIndexPartition,   // one index node cut from every shard primary for a window: its
+                     // delta pulls stall, so indexed_upto freezes while the log grows
 };
 
 // Which fault kinds the nemesis may draw from. Serializes to/from the repro line's
@@ -56,6 +60,8 @@ struct NemesisPolicy {
   bool ctrl_zk_partition = true;
   bool server_partition = true;
   bool overload_burst = true;
+  bool index_crash = true;      // only drawn with >= 2 index nodes still standing
+  bool index_partition = true;  // only drawn on clusters with index nodes
 
   // Upper bound on sequencing-replica depositions (crashes + ZK partitions); always
   // additionally clamped to f.
@@ -125,6 +131,8 @@ class Nemesis {
   std::vector<FaultKind> DrawableKinds() const;
   // Seq replica indexes not yet deposed (crashed or ZK-partitioned) by the schedule.
   std::vector<uint32_t> UndeposedSeqReplicas() const;
+  // Index node indexes not yet crashed by the schedule (>= 1 must stay alive).
+  std::vector<uint32_t> UncrashedIndexNodes() const;
   // Resolves a virtual server slot (seq replicas first, then shard (s, r) slots, then
   // the controller) to the node currently occupying it; kInvalidNode if out of range.
   NodeId ResolveServerSlot(uint32_t slot) const;

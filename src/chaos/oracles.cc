@@ -365,6 +365,88 @@ std::vector<ChaosViolation> CheckOverloadRule(const ChaosHistory& h) {
   return out;
 }
 
+std::vector<ChaosViolation> CheckStreamProjection(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  FinalIndex index(h);
+  const LogPos final_tail = h.final_log().size();
+  uint64_t reported = 0;
+  auto report = [&](uint64_t op_id, std::string detail) {
+    if (reported++ >= 16) {
+      return;
+    }
+    std::ostringstream os;
+    os << "ReadNext op " << op_id << ": " << detail;
+    out.push_back(ChaosViolation{"stream-projection", os.str()});
+  };
+  for (const ReadNextObservation& obs : h.read_next_observations()) {
+    // Chaos runs never trim, so the final read-back is authoritative for the whole
+    // window. Coverage past the final stable tail means the index claimed positions
+    // that were never bound.
+    if (obs.next_from > final_tail) {
+      std::ostringstream os;
+      os << "claims coverage up to " << obs.next_from << " but the final log ends at "
+         << final_tail;
+      report(obs.op_id, os.str());
+      continue;
+    }
+    LogPos prev = obs.from;
+    bool window_ok = true;
+    for (size_t i = 0; i < obs.records.size(); ++i) {
+      const ObservedRecord& rec = obs.records[i];
+      if (rec.pos < obs.from || rec.pos >= obs.next_from || (i > 0 && rec.pos <= prev)) {
+        std::ostringstream os;
+        os << "record at position " << rec.pos << " is outside or out of order in the "
+           << "window [" << obs.from << ", " << obs.next_from << ")";
+        report(obs.op_id, os.str());
+        window_ok = false;
+        break;
+      }
+      prev = rec.pos;
+      if (rec.tag != obs.tag || rec.no_op) {
+        std::ostringstream os;
+        os << "position " << rec.pos << " returned for stream " << obs.tag
+           << (rec.no_op ? " is a no-op" : " belongs to a different stream");
+        report(obs.op_id, os.str());
+        window_ok = false;
+        break;
+      }
+      auto it = index.by_pos.find(rec.pos);
+      if (it == index.by_pos.end() || it->second->id != rec.id ||
+          it->second->payload_hash != rec.payload_hash || it->second->tag != rec.tag) {
+        std::ostringstream os;
+        os << "record " << DescribeId(rec.id) << " at position " << rec.pos
+           << " disagrees with the final read-back binding";
+        report(obs.op_id, os.str());
+        window_ok = false;
+        break;
+      }
+    }
+    if (!window_ok) {
+      continue;
+    }
+    // Completeness: every stream record in the covered window must have been returned.
+    size_t next_returned = 0;
+    for (LogPos pos = obs.from; pos < obs.next_from; ++pos) {
+      auto it = index.by_pos.find(pos);
+      if (it == index.by_pos.end() || it->second->no_op || it->second->tag != obs.tag) {
+        continue;
+      }
+      if (next_returned >= obs.records.size() || obs.records[next_returned].pos != pos) {
+        std::ostringstream os;
+        os << "stream " << obs.tag << " record at position " << pos
+           << " is missing from the window [" << obs.from << ", " << obs.next_from << ")";
+        report(obs.op_id, os.str());
+        break;
+      }
+      ++next_returned;
+    }
+  }
+  if (reported > 16) {
+    out.push_back(ChaosViolation{"stream-projection", "... further violations elided"});
+  }
+  return out;
+}
+
 std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode mode) {
   std::vector<ChaosViolation> all;
   auto append = [&all](std::vector<ChaosViolation> v) {
@@ -379,6 +461,7 @@ std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode 
   }
   append(CheckMonotonicity(h));
   append(CheckOverloadRule(h));
+  append(CheckStreamProjection(h));
   return all;
 }
 

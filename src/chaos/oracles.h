@@ -56,6 +56,13 @@ std::vector<ChaosViolation> CheckMonotonicity(const ChaosHistory& h);
 // acked normal append appears exactly once in the final log.
 std::vector<ChaosViolation> CheckOverloadRule(const ChaosHistory& h);
 
+// (8) Stream projection: every completed ReadNext(tag, from) window [from, next_from)
+// returned exactly the stream's records over that range — gap-free (no tagged record in
+// the window missing), in ascending position order, each binding matching the final
+// log, and with no foreign-stream or no-op record included. next_from never exceeds
+// the final stable tail.
+std::vector<ChaosViolation> CheckStreamProjection(const ChaosHistory& h);
+
 // Runs every oracle applicable to `mode` and concatenates the violations.
 std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode mode);
 

@@ -259,19 +259,43 @@ inline bool DecodeRecordId(Decoder& d, RecordId* id) {
   return d.GetU64(&id->client_id) && d.GetU64(&id->request_id);
 }
 
+// Record flags byte. Bit 0 is the no_op marker (so a legacy encoder's trailing
+// PutBool(no_op) byte decodes unchanged, with tag = kNoTag); bit 1 says a u64 stream
+// tag follows. Untagged records therefore stay byte-identical to the pre-tag format.
+inline constexpr uint8_t kRecordFlagNoOp = 0x1;
+inline constexpr uint8_t kRecordFlagHasTag = 0x2;
+
 inline void EncodeRecord(Encoder& e, const Record& r) {
   EncodeRecordId(e, r.id);
   e.PutAttached(r.payload);
-  e.PutBool(r.no_op);
+  uint8_t flags = (r.no_op ? kRecordFlagNoOp : 0) |
+                  (r.tag != kNoTag ? kRecordFlagHasTag : 0);
+  e.PutU8(flags);
+  if (r.tag != kNoTag) {
+    e.PutU64(r.tag);
+  }
 }
 inline bool DecodeRecord(Decoder& d, Record* r) {
-  return DecodeRecordId(d, &r->id) && d.GetAttached(&r->payload) && d.GetBool(&r->no_op);
+  if (!DecodeRecordId(d, &r->id) || !d.GetAttached(&r->payload)) {
+    return false;
+  }
+  uint8_t flags = 0;
+  if (!d.GetU8(&flags) || (flags & ~(kRecordFlagNoOp | kRecordFlagHasTag)) != 0) {
+    return false;  // unknown flag bits: malformed, bail like GetU64Vector does
+  }
+  r->no_op = (flags & kRecordFlagNoOp) != 0;
+  r->tag = kNoTag;
+  if ((flags & kRecordFlagHasTag) != 0 && !d.GetU64(&r->tag)) {
+    return false;
+  }
+  return true;
 }
 
 // A record wrapper with member Encode/Decode so PutVector/GetVector apply.
 struct WireRecord {
-  // id (16) + payload length marker (4) + no_op (1); the payload bytes themselves
-  // ride as an attachment, so the smallest inline footprint is fixed.
+  // id (16) + payload length marker (4) + flags (1); the payload bytes ride as an
+  // attachment and the u64 tag only appears when tagged, so the smallest inline
+  // footprint is fixed.
   static constexpr size_t kMinEncodedSize = 21;
   Record rec;
   void Encode(Encoder& e) const { EncodeRecord(e, rec); }

@@ -94,6 +94,13 @@ struct SeqParams {
   uint64_t ring_low_watermark = 2048;
 };
 
+// Index tier (selective reads): aggregator index nodes pull per-shard tag-index deltas
+// and merge them into per-tag global position lists, gated on stable-gp.
+struct IndexParams {
+  uint64_t delta_pull_interval_ns = 200 * kUs;  // per-shard delta poll cadence
+  uint32_t max_delta_entries = 4096;            // entries per pull (pagination)
+};
+
 // Control plane (ZooKeeperLite + controller). The paper attributes most of the ~15 ms
 // reconfiguration outage to ZK-based detection and new-view persistence (Fig 17b).
 struct ControlParams {
@@ -126,6 +133,7 @@ struct SimParams {
   CpuParams shard_cpu{.fixed_ns = 3'000, .copy_bandwidth_bytes_per_sec = 2.0e9};
   DiskParams disk;
   SeqParams seq;
+  IndexParams index;
   ControlParams control;
   ScalogParams scalog;
   KafkaParams kafka;

@@ -42,6 +42,13 @@ using ShardId = uint32_t;
 // Simulated time in nanoseconds since simulation start.
 using SimTime = uint64_t;
 
+// Stream tag: names the logical stream a record belongs to. The shared log stays a
+// single totally-ordered sequence; tags are an access path layered on top (the index
+// tier maintains tag -> sorted global-position lists). kNoTag marks untagged records
+// (the legacy default) and is also used for no-op filler records.
+using StreamTag = uint64_t;
+inline constexpr StreamTag kNoTag = 0;
+
 // Identity of a record as chosen by the appending client. Used directly as the Erwin-st
 // metadata identifier (the paper's <record-id> = <client-id, request-id>).
 struct RecordId {
@@ -60,6 +67,7 @@ struct Record {
   RecordId id;
   Buf payload;
   bool no_op = false;
+  StreamTag tag = kNoTag;
 
   friend bool operator==(const Record&, const Record&) = default;
 };

@@ -90,6 +90,14 @@ void ZooKeeperLite::HandleCreate(NodeId caller, Decoder d, Responder r) {
       r.Send(Status::Duplicate("znode exists"));
       return;
     }
+    // An ephemeral create races with its session's expiry across the write queue: if
+    // the session died first the znode must not be born (it would be a zombie nothing
+    // ever deletes, so its deletion watch would never fire). Real ZooKeeper fails the
+    // create the same way; the session owner re-establishes and retries.
+    if (req.arg != 0 && sessions_.count(req.arg) == 0) {
+      r.Send(Status::Unavailable("session expired"));
+      return;
+    }
     znodes_[req.path] = Znode{req.data, 0, req.arg};
     FireWatches(req.path, ZkEvent::kCreated);
     r.Send(Status::Ok());
@@ -261,10 +269,27 @@ void ZkSession::Start(const std::string& ephemeral_path, std::function<void()> o
         e.PutBytes("");
         e.PutU64(session_id_);
         endpoint_->Call(zk_node_, kZkCreate, e.Take(),
-                        [on_ready](Status s2, Decoder) {
-                          if (on_ready && s2.ok()) {
-                            on_ready();
+                        [this, ephemeral_path, on_ready](Status s2, Decoder) {
+                          if (s2.ok()) {
+                            if (on_ready) {
+                              on_ready();
+                            }
+                            return;
                           }
+                          // The session can expire under ZK's write queue before the
+                          // ephemeral lands (the create is then refused). Start over
+                          // with a fresh session so liveness registration eventually
+                          // sticks.
+                          LLOG(kWarn) << "zk ephemeral create failed (" << s2.ToString()
+                                      << "); re-establishing session";
+                          heartbeat_event_.Cancel();
+                          endpoint_->loop()->Schedule(
+                              params_.session_heartbeat_ns,
+                              [this, ephemeral_path, on_ready]() {
+                                if (!stopped_) {
+                                  Start(ephemeral_path, on_ready);
+                                }
+                              });
                         },
                         0);
       },

@@ -1,0 +1,52 @@
+// Wire messages for the index tier (client <-> index node). The shard-side delta pull
+// messages live in shard_messages.h next to the server that implements them.
+#ifndef SRC_INDEX_INDEX_MESSAGES_H_
+#define SRC_INDEX_INDEX_MESSAGES_H_
+
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/types.h"
+
+namespace lazylog {
+
+// Client -> index node: positions of the next records of stream `tag` at or after
+// global position `from`, capped at `max` entries.
+struct IndexReadNextReq {
+  StreamTag tag = kNoTag;
+  LogPos from = 0;
+  uint32_t max = 64;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(tag);
+    e.PutU64(from);
+    e.PutU32(max);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&tag) && d.GetU64(&from) && d.GetU32(&max); }
+};
+
+// Index node -> client. `positions`/`shard_ids` are parallel vectors: positions[i]
+// lives on shard shard_ids[i], so the client can fetch records shard-directly without
+// a position-map lookup. `indexed_upto` is the contiguous frontier this node has
+// merged (and is always <= the node's stable-gp): every position below it is covered,
+// so an empty result with from < indexed_upto means the stream truly has no records
+// there — absence is distinguishable from index lag.
+struct IndexReadNextResp {
+  std::vector<uint64_t> positions;
+  std::vector<uint64_t> shard_ids;
+  LogPos indexed_upto = 0;
+
+  void Encode(Encoder& e) const {
+    e.PutU64Vector(positions);
+    e.PutU64Vector(shard_ids);
+    e.PutU64(indexed_upto);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64Vector(&positions) && d.GetU64Vector(&shard_ids) &&
+           d.GetU64(&indexed_upto) && positions.size() == shard_ids.size();
+  }
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_INDEX_INDEX_MESSAGES_H_

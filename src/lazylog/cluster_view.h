@@ -19,6 +19,9 @@ struct ClusterView {
   // Epoch of `shards` (bumped by the controller on every membership change). Clients
   // adopt a refreshed matrix only when its epoch is newer.
   uint64_t shard_epoch = 0;
+  // Index-tier nodes (selective reads). Empty = no index tier; ReadNext falls back to
+  // scanning. Clients spread lookups over these round-robin by client id.
+  std::vector<NodeId> index_nodes;
   // ZooKeeperLite node for config refresh; kInvalidNode when there is no control plane
   // (clients then keep their construction-time shard membership).
   NodeId zk = kInvalidNode;

@@ -28,8 +28,17 @@ ErwinCluster::ErwinCluster(const ErwinClusterOptions& options) : options_(option
     shards_.push_back(std::move(replicas));
   }
 
-  // Sequencing replicas; replica 0 starts as leader.
+  // Index tier: aggregator nodes pulling per-shard tag-index deltas.
   const NodeId zk_node = zk_ ? zk_->node_id() : kInvalidNode;
+  for (uint32_t i = 0; i < options_.num_index_nodes; ++i) {
+    index_nodes_.push_back(
+        std::make_unique<IndexNode>(net_.get(), options_.params, i, zk_node));
+  }
+  for (auto& ix : index_nodes_) {
+    ix->Start(ShardPrimaries());
+  }
+
+  // Sequencing replicas; replica 0 starts as leader.
   std::vector<NodeId> seq_config;
   for (int i = 0; i < options_.params.seq.num_replicas; ++i) {
     seq_replicas_.push_back(std::make_unique<SequencingReplica>(
@@ -37,7 +46,7 @@ ErwinCluster::ErwinCluster(const ErwinClusterOptions& options) : options_(option
     seq_config.push_back(seq_replicas_.back()->node_id());
   }
   for (auto& rep : seq_replicas_) {
-    rep->Start(seq_config, ShardPrimaries(), AllShardServers());
+    rep->Start(seq_config, ShardPrimaries(), AllShardServers(), IndexNodeIds());
   }
 
   if (options_.with_control_plane) {
@@ -50,6 +59,7 @@ ErwinCluster::ErwinCluster(const ErwinClusterOptions& options) : options_(option
       }
       shard_matrix.push_back(std::move(ids));
     }
+    controller_->SetIndexNodes(IndexNodeIds());
     controller_->Start(seq_config, seq_config[0], std::move(shard_matrix));
     // Let sessions/ephemerals establish before traffic starts.
     loop_.RunUntil(loop_.Now() + 2 * options_.params.control.session_heartbeat_ns);
@@ -72,6 +82,14 @@ std::vector<NodeId> ErwinCluster::ShardPrimaries() const {
   std::vector<NodeId> ids;
   for (const auto& shard : shards_) {
     ids.push_back(shard[0]->node_id());
+  }
+  return ids;
+}
+
+std::vector<NodeId> ErwinCluster::IndexNodeIds() const {
+  std::vector<NodeId> ids;
+  for (const auto& ix : index_nodes_) {
+    ids.push_back(ix->node_id());
   }
   return ids;
 }
@@ -100,6 +118,13 @@ ClusterView ErwinCluster::MakeView() const {
       ids.push_back(rep->node_id());
     }
     view.shards.push_back(std::move(ids));
+  }
+  // Only live index nodes are handed out: a crashed aggregator would turn every
+  // ReadNext routed to it into a timeout-then-scan.
+  for (const auto& ix : index_nodes_) {
+    if (net_->IsUp(ix->node_id())) {
+      view.index_nodes.push_back(ix->node_id());
+    }
   }
   if (controller_) {
     view.zk = zk_->node_id();
@@ -133,6 +158,12 @@ void ErwinCluster::CrashSeqReplica(uint32_t index) {
   seq_replicas_[index]->StopHeartbeats();
 }
 
+void ErwinCluster::CrashIndexNode(uint32_t index) {
+  LL_CHECK(index < index_nodes_.size(), "bad index-node index");
+  net_->Crash(index_nodes_[index]->node_id());
+  index_nodes_[index]->StopHeartbeats();
+}
+
 std::vector<NodeId> ErwinCluster::AddShard() {
   LL_CHECK(options_.mode == ErwinMode::kSt, "runtime shard add requires Erwin-st");
   const ShardId s = static_cast<ShardId>(shards_.size());
@@ -154,6 +185,9 @@ std::vector<NodeId> ErwinCluster::AddShard() {
   }
   for (auto& seq : seq_replicas_) {
     seq->AddShard(ids[0], ids);
+  }
+  for (auto& ix : index_nodes_) {
+    ix->AddShard(ids[0]);
   }
   shards_.push_back(std::move(replicas));
   if (controller_) {

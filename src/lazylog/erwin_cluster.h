@@ -13,6 +13,7 @@
 #include "src/lazylog/cluster_view.h"
 #include "src/lazylog/erwin_m_client.h"
 #include "src/lazylog/erwin_st_client.h"
+#include "src/index/index_node.h"
 #include "src/seq/controller.h"
 #include "src/seq/sequencing_replica.h"
 #include "src/sim/network.h"
@@ -24,6 +25,9 @@ struct ErwinClusterOptions {
   ErwinMode mode = ErwinMode::kM;
   uint32_t num_shards = 1;
   uint32_t shard_replication = 3;  // replicas per shard (paper: 2 or 3)
+  // Index-tier aggregators (selective reads). 1 by default so ReadNext works out of
+  // the box; 0 disables the tier (clients scan-fall-back).
+  uint32_t num_index_nodes = 1;
   bool with_control_plane = true;  // ZooKeeperLite + controller (needed for §4.5 tests)
   SimParams params;
 };
@@ -54,6 +58,9 @@ class ErwinCluster {
   // Crashes sequencing replica `index` (network drop + heartbeat stop). The control
   // plane detects and reconfigures; watch via controller().
   void CrashSeqReplica(uint32_t index);
+  // Crashes index node `index` (network drop + heartbeat stop). Selective reads routed
+  // to it fail over to the scan fallback; the log itself is unaffected.
+  void CrashIndexNode(uint32_t index);
   // Adds a shard at runtime (Erwin-st). Returns its replica node ids; existing
   // ErwinStClients must be told via AddShard().
   std::vector<NodeId> AddShard();
@@ -71,6 +78,8 @@ class ErwinCluster {
   ShardServer& shard(uint32_t s, uint32_t r) { return *shards_[s][r]; }
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   uint32_t shard_replication() const { return options_.shard_replication; }
+  IndexNode& index_node(uint32_t i) { return *index_nodes_[i]; }
+  uint32_t num_index_nodes() const { return static_cast<uint32_t>(index_nodes_.size()); }
   Controller* controller() { return controller_.get(); }
   ZooKeeperLite* zookeeper() { return zk_.get(); }
   // The sequencing leader in the *current* view (asks the controller if present).
@@ -83,6 +92,7 @@ class ErwinCluster {
  private:
   std::vector<NodeId> AllShardServers() const;
   std::vector<NodeId> ShardPrimaries() const;
+  std::vector<NodeId> IndexNodeIds() const;
 
   ErwinClusterOptions options_;
   EventLoop loop_;
@@ -91,6 +101,7 @@ class ErwinCluster {
   std::unique_ptr<Controller> controller_;
   std::vector<std::unique_ptr<SequencingReplica>> seq_replicas_;
   std::vector<std::vector<std::unique_ptr<ShardServer>>> shards_;
+  std::vector<std::unique_ptr<IndexNode>> index_nodes_;
   // Replaced shard servers are kept alive (crashed, inert) because their periodic
   // timers may still be scheduled on the event loop.
   std::vector<std::unique_ptr<ShardServer>> retired_shards_;

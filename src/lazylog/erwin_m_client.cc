@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/control/zookeeper.h"
+#include "src/lazylog/index_read.h"
 
 namespace lazylog {
 
@@ -18,9 +19,14 @@ ErwinMClient::ErwinMClient(Network* net, const SimParams& params, ClusterView vi
 // --- append ------------------------------------------------------------------------------
 
 void ErwinMClient::Append(Buf payload, AppendCallback cb) {
+  Append(kNoTag, std::move(payload), std::move(cb));
+}
+
+void ErwinMClient::Append(StreamTag tag, Buf payload, AppendCallback cb) {
   auto p = std::make_shared<PendingAppend>();
   p->id = RecordId{client_id_, next_request_id_++};
   p->payload = std::move(payload);
+  p->tag = tag;
   p->cb = std::move(cb);
   SendAppend(std::move(p));
 }
@@ -32,6 +38,7 @@ void ErwinMClient::SendAppend(std::shared_ptr<PendingAppend> p) {
   req.id = p->id;
   req.payload = p->payload;
   req.is_meta = false;
+  req.tag = p->tag;
   // Encoded once; every sequencing replica shares the frame and the payload
   // attachment, so an n-way append fans out refcounts rather than bytes.
   Encoder enc;
@@ -269,6 +276,21 @@ void ErwinMClient::ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int a
                       },
                       params_.rpc_timeout_ns);
   }
+}
+
+// --- readNext (index tier, §index) ---------------------------------------------------------
+
+void ErwinMClient::ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb) {
+  if (tag == kNoTag) {
+    cb(Status::InvalidArgument("read-next requires a stream tag"), {}, from);
+    return;
+  }
+  if (view_.index_nodes.empty()) {
+    ScanReadNext(tag, from, max, std::move(cb));
+    return;
+  }
+  IndexSelectiveRead(&endpoint_, &params_, &view_, client_id_, tag, from, max, cb,
+                     [this, tag, from, max, cb]() { ScanReadNext(tag, from, max, cb); });
 }
 
 // --- tail / trim ---------------------------------------------------------------------------

@@ -27,9 +27,13 @@ class ErwinMClient : public SharedLogClient {
 
   // --- SharedLogClient ---
   void Append(Buf payload, AppendCallback cb) override;
+  void Append(StreamTag tag, Buf payload, AppendCallback cb) override;
   void Read(LogPos from, uint64_t len, ReadCallback cb) override;
   void CheckTail(TailCallback cb) override;
   void Trim(LogPos index, TrimCallback cb) override;
+  // Selective read via the index tier (falls back to the base-class scan when the
+  // view has no index nodes or the index path fails mid-flight).
+  void ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb) override;
 
   // appendSync extension (§5.5): completes only after the record is bound to its final
   // position (eager ordering at the cost of latency).
@@ -51,6 +55,7 @@ class ErwinMClient : public SharedLogClient {
   struct PendingAppend {
     RecordId id;
     Buf payload;
+    StreamTag tag = kNoTag;
     AppendCallback cb;
     int attempts = 0;
     int overload_attempts = 0;

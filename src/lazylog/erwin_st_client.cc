@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/control/zookeeper.h"
+#include "src/lazylog/index_read.h"
 
 namespace lazylog {
 
@@ -25,9 +26,14 @@ void ErwinStClient::AddShard(std::vector<NodeId> replicas) {
 // all in parallel, 1 RTT -------------------------------------------------------------------
 
 void ErwinStClient::Append(Buf payload, AppendCallback cb) {
+  Append(kNoTag, std::move(payload), std::move(cb));
+}
+
+void ErwinStClient::Append(StreamTag tag, Buf payload, AppendCallback cb) {
   auto p = std::make_shared<PendingAppend>();
   p->id = RecordId{client_id_, next_request_id_++};
   p->payload = std::move(payload);
+  p->tag = tag;
   p->shard = static_cast<ShardId>(rr_cursor_++ % view_.num_shards());
   p->cb = std::move(cb);
   SendAppend(std::move(p));
@@ -86,7 +92,7 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
   // Data writes to every replica of the chosen shard (no coordination, §5.1). The
   // request is encoded once; replicas share the frame and the payload attachment.
   if (n_data > 0) {
-    ShardPutDataReq data{p->id, p->payload};
+    ShardPutDataReq data{p->id, p->payload, p->tag};
     Encoder denc;
     data.Encode(denc);
     const std::vector<Buf> datts = denc.TakeAtts();
@@ -366,6 +372,21 @@ void ErwinStClient::DoRead(std::shared_ptr<PendingRead> rd) {
                       },
                       params_.rpc_timeout_ns);
   }
+}
+
+// --- readNext (index tier) ------------------------------------------------------------------
+
+void ErwinStClient::ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb) {
+  if (tag == kNoTag) {
+    cb(Status::InvalidArgument("read-next requires a stream tag"), {}, from);
+    return;
+  }
+  if (view_.index_nodes.empty()) {
+    ScanReadNext(tag, from, max, std::move(cb));
+    return;
+  }
+  IndexSelectiveRead(&endpoint_, &params_, &view_, client_id_, tag, from, max, cb,
+                     [this, tag, from, max, cb]() { ScanReadNext(tag, from, max, cb); });
 }
 
 // --- tail / trim ----------------------------------------------------------------------------

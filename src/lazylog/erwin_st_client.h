@@ -27,9 +27,13 @@ class ErwinStClient : public SharedLogClient {
 
   // --- SharedLogClient ---
   void Append(Buf payload, AppendCallback cb) override;
+  void Append(StreamTag tag, Buf payload, AppendCallback cb) override;
   void Read(LogPos from, uint64_t len, ReadCallback cb) override;
   void CheckTail(TailCallback cb) override;
   void Trim(LogPos index, TrimCallback cb) override;
+  // Selective read via the index tier (falls back to the base-class scan when the
+  // view has no index nodes or the index path fails mid-flight).
+  void ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb) override;
 
   // Seamless shard addition (§6.9): subsequent appends include the new shard in the
   // placement choice immediately.
@@ -56,6 +60,7 @@ class ErwinStClient : public SharedLogClient {
   struct PendingAppend {
     RecordId id;
     Buf payload;
+    StreamTag tag = kNoTag;
     ShardId shard = 0;
     AppendCallback cb;
     int attempts = 0;

@@ -1,0 +1,143 @@
+// Client-side selective-read path shared by the Erwin clients: one position lookup at
+// an index node (kIndexReadNext), then shard-direct record fetches (kShardMultiRead)
+// grouped by owning shard — no position-map resolution, no scan. Falls back to the
+// caller-supplied scan on index unavailability, and clamps the resume cursor at the
+// first position a shard replica could not serve yet, so the returned window is always
+// a gap-free projection of the stream.
+#ifndef SRC_LAZYLOG_INDEX_READ_H_
+#define SRC_LAZYLOG_INDEX_READ_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/params.h"
+#include "src/index/index_messages.h"
+#include "src/lazylog/cluster_view.h"
+#include "src/lazylog/shared_log_client.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/rpc_methods.h"
+#include "src/storage/shard_messages.h"
+
+namespace lazylog {
+
+// Runs one ReadNext(tag, from) against the index tier. `fallback` is invoked (instead
+// of `cb`) when the index path cannot serve — index node unreachable, stale shard ids,
+// or a failed shard fetch; the caller supplies its scan there.
+inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
+                               const ClusterView* view, ClientId client_id, StreamTag tag,
+                               LogPos from, uint32_t max,
+                               SharedLogClient::ReadNextCallback cb,
+                               std::function<void()> fallback) {
+  const NodeId index_node = view->index_nodes[client_id % view->index_nodes.size()];
+  IndexReadNextReq req;
+  req.tag = tag;
+  req.from = from;
+  req.max = max;
+  endpoint->CallMsg(
+      index_node, kIndexReadNext, req,
+      [endpoint, params, view, client_id, from, max, cb = std::move(cb),
+       fallback = std::move(fallback)](Status s, Decoder d) mutable {
+        if (s.code() == StatusCode::kInvalidArgument) {
+          cb(std::move(s), {}, from);
+          return;
+        }
+        IndexReadNextResp resp;
+        if (!s.ok() || !resp.Decode(d)) {
+          fallback();
+          return;
+        }
+        if (resp.positions.empty()) {
+          // Covered-but-empty: the stream truly has no records in
+          // [from, indexed_upto). indexed_upto <= from means the index has not
+          // caught up past `from` yet — no progress, the caller polls.
+          cb(Status::Ok(), {}, std::max<LogPos>(from, resp.indexed_upto));
+          return;
+        }
+        // Group the positions by owning shard for one multi-read per shard.
+        std::unordered_map<uint64_t, ShardMultiReadReq> per_shard;
+        for (size_t i = 0; i < resp.positions.size(); ++i) {
+          if (resp.shard_ids[i] >= view->shards.size()) {
+            fallback();  // stale view: a shard this client has not discovered yet
+            return;
+          }
+          per_shard[resp.shard_ids[i]].positions.push_back(resp.positions[i]);
+        }
+        struct FetchState {
+          std::unordered_map<uint64_t, Record> by_pos;
+          bool decode_failed = false;
+        };
+        auto state = std::make_shared<FetchState>();
+        std::vector<std::pair<NodeId, ShardMultiReadReq>> subs;
+        for (auto& [shard, sreq] : per_shard) {
+          const auto& replicas = view->shards[shard];
+          subs.emplace_back(replicas[client_id % replicas.size()], std::move(sreq));
+        }
+        auto gather = Gather::Create(
+            subs.size(), [state, resp = std::move(resp), from, max, cb = std::move(cb),
+                          fallback = std::move(fallback)](const std::vector<Status>& ss) {
+              for (const Status& st : ss) {
+                if (!st.ok()) {
+                  fallback();
+                  return;
+                }
+              }
+              if (state->decode_failed) {
+                fallback();
+                return;
+              }
+              // Assemble the stream window in index order, stopping at the first
+              // position a replica could not serve yet (its stable frontier may trail
+              // the index node's): the cursor resumes exactly there, so nothing is
+              // skipped.
+              std::vector<PositionedRecord> out;
+              LogPos next_from = resp.indexed_upto;
+              bool clipped = false;
+              for (uint64_t p : resp.positions) {
+                auto it = state->by_pos.find(p);
+                if (it == state->by_pos.end()) {
+                  next_from = p;
+                  clipped = true;
+                  break;
+                }
+                out.push_back(PositionedRecord{p, std::move(it->second)});
+              }
+              if (!clipped) {
+                // A full window (max entries) may have more stream records between its
+                // last position and the index frontier, so it only covers up to
+                // last+1; an unfilled window covers the whole indexed range.
+                const LogPos last = resp.positions.back() + 1;
+                next_from = resp.positions.size() < max ? std::max(resp.indexed_upto, last)
+                                                        : last;
+              }
+              next_from = std::max<LogPos>(next_from, from);
+              cb(Status::Ok(), std::move(out), next_from);
+            });
+        for (size_t i = 0; i < subs.size(); ++i) {
+          auto slot = gather->Slot(i);
+          endpoint->CallMsg(subs[i].first, kShardMultiRead, subs[i].second,
+                            [state, slot](Status st, Decoder rd) {
+                              if (st.ok()) {
+                                ShardReadResp rresp;
+                                if (rresp.Decode(rd)) {
+                                  for (auto& pr : rresp.records) {
+                                    state->by_pos.emplace(pr.pos, std::move(pr.record));
+                                  }
+                                } else {
+                                  state->decode_failed = true;
+                                }
+                              }
+                              slot(std::move(st), Decoder());
+                            },
+                            params->rpc_timeout_ns);
+        }
+      },
+      params->rpc_timeout_ns);
+}
+
+}  // namespace lazylog
+
+#endif  // SRC_LAZYLOG_INDEX_READ_H_

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,14 @@ class SharedLogClient {
   // to final positions (stable == durable in eager-ordering logs).
   using TailCallback = std::function<void(Status, LogPos durable, LogPos stable)>;
   using TrimCallback = std::function<void(Status)>;
+  // readNext: the stream-tag selective read. `records` are the records of the
+  // requested stream in [from, next_from), in ascending position order — an exact,
+  // gap-free projection of the global order over that range: every record of the
+  // stream in [from, next_from) is included, none from outside it. `next_from` is the
+  // resume cursor; next_from == from means no progress was possible yet (the index is
+  // still catching up, or the stream has no stable records past `from`).
+  using ReadNextCallback =
+      std::function<void(Status, std::vector<PositionedRecord> records, LogPos next_from)>;
 
   virtual ~SharedLogClient() = default;
 
@@ -81,7 +90,131 @@ class SharedLogClient {
   virtual void Read(LogPos from, uint64_t len, ReadCallback cb) = 0;
   virtual void CheckTail(TailCallback cb) = 0;
   virtual void Trim(LogPos index, TrimCallback cb) = 0;
+
+  // Tagged append: the record carries `tag` as its stream name through the wire format
+  // and into the log, where the index tier picks it up. kNoTag appends identically to
+  // the untagged overload. The default delegates untagged (for implementations that
+  // predate tags); every real client overrides it to thread the tag.
+  virtual void Append(StreamTag tag, Buf payload, AppendCallback cb) {
+    (void)tag;
+    Append(std::move(payload), std::move(cb));
+  }
+
+  // Selective read: up to `max` records of stream `tag` at or after global position
+  // `from`. The default scans — CheckTail, then ranged Reads filtered by tag — which
+  // works on any implementation whose records carry tags (the eager baselines
+  // included) but costs reads proportional to the whole log. The Erwin clients
+  // override it with an index-node position lookup + shard-direct fetches.
+  virtual void ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb) {
+    ScanReadNext(tag, from, max, std::move(cb));
+  }
+
+  // Point read of one record of stream `tag` at position `pos`. Served by the plain
+  // read path; fails with kInvalidArgument if the record at `pos` belongs to a
+  // different stream (or is untagged/no-op filler).
+  virtual void ReadTag(StreamTag tag, LogPos pos, ReadCallback cb);
+
+ protected:
+  // The scan fallback behind the default ReadNext; overrides use it when the index
+  // tier is unreachable or absent.
+  void ScanReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb);
+
+ private:
+  struct ScanState;
+  void ScanStep(std::shared_ptr<ScanState> st);
 };
+
+// --- scan fallback ---------------------------------------------------------------------
+
+struct SharedLogClient::ScanState {
+  StreamTag tag = kNoTag;
+  LogPos cursor = 0;    // next unscanned position
+  LogPos stable = 0;    // scan ceiling (stable prefix at CheckTail time)
+  uint32_t max = 0;
+  std::vector<PositionedRecord> out;
+  ReadNextCallback cb;
+};
+
+inline void SharedLogClient::ScanReadNext(StreamTag tag, LogPos from, uint32_t max,
+                                          ReadNextCallback cb) {
+  if (tag == kNoTag) {
+    cb(Status::InvalidArgument("read-next requires a stream tag"), {}, from);
+    return;
+  }
+  if (max == 0) {
+    cb(Status::Ok(), {}, from);
+    return;
+  }
+  auto st = std::make_shared<ScanState>();
+  st->tag = tag;
+  st->cursor = from;
+  st->max = max;
+  st->cb = std::move(cb);
+  CheckTail([this, st](Status s, LogPos, LogPos stable) {
+    if (!s.ok()) {
+      st->cb(std::move(s), {}, st->cursor);
+      return;
+    }
+    st->stable = stable;
+    ScanStep(std::move(st));
+  });
+}
+
+inline void SharedLogClient::ScanStep(std::shared_ptr<ScanState> st) {
+  constexpr uint64_t kScanChunk = 64;
+  if (st->cursor >= st->stable || st->out.size() >= st->max) {
+    st->cb(Status::Ok(), std::move(st->out), st->cursor);
+    return;
+  }
+  const uint64_t len = std::min<uint64_t>(kScanChunk, st->stable - st->cursor);
+  const LogPos chunk_start = st->cursor;
+  Read(chunk_start, len,
+       [this, st, chunk_start, len](Status s, std::vector<PositionedRecord> recs) {
+         if (!s.ok()) {
+           st->cb(std::move(s), {}, chunk_start);
+           return;
+         }
+         bool truncated = false;
+         for (PositionedRecord& pr : recs) {
+           if (st->out.size() >= st->max) {
+             // max reached mid-chunk: the cursor stops after the last consumed
+             // position, so the uninspected tail is not claimed as covered.
+             truncated = true;
+             break;
+           }
+           st->cursor = pr.pos + 1;
+           if (!pr.record.no_op && pr.record.tag == st->tag) {
+             st->out.push_back(std::move(pr));
+           }
+         }
+         if (!truncated) {
+           st->cursor = chunk_start + len;  // whole chunk inspected
+         }
+         ScanStep(std::move(st));
+       });
+}
+
+inline void SharedLogClient::ReadTag(StreamTag tag, LogPos pos, ReadCallback cb) {
+  if (tag == kNoTag) {
+    cb(Status::InvalidArgument("read-tag requires a stream tag"), {});
+    return;
+  }
+  Read(pos, 1, [tag, pos, cb = std::move(cb)](Status s, std::vector<PositionedRecord> recs) {
+    if (!s.ok()) {
+      cb(std::move(s), {});
+      return;
+    }
+    if (recs.size() != 1 || recs[0].pos != pos) {
+      cb(Status::Internal("point read returned wrong record"), {});
+      return;
+    }
+    if (recs[0].record.no_op || recs[0].record.tag != tag) {
+      cb(Status::InvalidArgument("record at position belongs to a different stream"), {});
+      return;
+    }
+    cb(Status::Ok(), std::move(recs));
+  });
+}
 
 }  // namespace lazylog
 

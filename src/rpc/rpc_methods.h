@@ -46,6 +46,11 @@ inline constexpr MethodId kShardFetchRecord = 311;   // Erwin-st backup -> prima
 inline constexpr MethodId kShardFetchState = 312;    // replacement replica -> live replica
 inline constexpr MethodId kShardSeal = 313;          // controller -> shard: fence old epochs
 inline constexpr MethodId kShardCopyState = 314;     // controller -> replacement: pull state
+inline constexpr MethodId kShardIndexDelta = 315;    // index node -> primary: pull tag index
+inline constexpr MethodId kShardMultiRead = 316;     // client -> shard: sparse position batch
+
+// --- index tier: 800 block ---
+inline constexpr MethodId kIndexReadNext = 800;      // client -> index node: tag position scan
 
 // --- Corfu baseline: 400 block ---
 inline constexpr MethodId kCorfuNextPos = 400;   // sequencer: hand out next position

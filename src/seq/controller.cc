@@ -18,6 +18,10 @@ constexpr uint64_t kZkRetryNs = 2 * kMs;
 constexpr uint64_t kStartViewAttemptTimeoutNs = 5 * kMs;
 constexpr uint64_t kStartViewRetryNs = 1 * kMs;
 constexpr uint64_t kResealIntervalNs = 2 * kMs;
+// Polls a configured replica may stay unregistered (no liveness ephemeral ever seen)
+// before the controller declares it failed. Polls run every 2 session heartbeats, so
+// this is a multi-timeout grace window for slow registrations under queued ZK writes.
+constexpr uint32_t kUnregisteredPollLimit = 4;
 }  // namespace
 
 Controller::Controller(Network* net, const SimParams& params, NodeId zk_node)
@@ -127,6 +131,19 @@ void Controller::SealAll(uint32_t attempt) {
   auto all_shards = AllShardServers();
   auto pending = std::make_shared<std::set<NodeId>>(all_shards.begin(), all_shards.end());
   FenceShards(fence_view, pending, proceed);
+
+  // Fence the index tier fire-and-forget: an index node that misses the fence can at
+  // worst accept a deposed leader's stable-gp stat update — its served coverage comes
+  // from the (acked-fenced) shards' exports, so consistency never depends on this.
+  if (!index_nodes_.empty()) {
+    ShardSealReq ireq{fence_view};
+    Encoder ienc;
+    ireq.Encode(ienc);
+    const Buf ibody = ienc.TakeBuf();
+    for (NodeId n : index_nodes_) {
+      endpoint_.Call(n, kShardSeal, ibody, nullptr, 0);
+    }
+  }
 
   // Seal the sequencing tier.
   if (targets.empty()) {
@@ -252,6 +269,19 @@ void Controller::ReconcilePoll() {
               OnReplicaDown(path);
               break;  // OnReplicaDown starts a reconfiguration; queue the rest
             }
+            // A replica that dies before its ephemeral ever lands (the registration
+            // is refused once its session expired) leaves nothing to delete, so no
+            // watch will ever fire for it. After a registration grace period, a
+            // configured replica that still has no ephemeral is declared failed.
+            if (present.count(path) == 0 &&
+                ++unregistered_polls_[path] >= kUnregisteredPollLimit) {
+              LLOG(kInfo) << "controller: " << path << " never registered; declaring failed";
+              OnReplicaDown(path);
+              break;
+            }
+            if (present.count(path) > 0) {
+              unregistered_polls_.erase(path);
+            }
           }
         }
         endpoint_.loop()->Schedule(2 * params_.control.session_heartbeat_ns,
@@ -332,6 +362,9 @@ void Controller::FinishView(std::vector<NodeId> new_config, LogPos ordered_gp,
         stable.Encode(se);
         const std::string sbody = se.Take();
         for (NodeId n : AllShardServers()) {
+          endpoint_.Call(n, kShardSetStableGp, sbody, nullptr, 0);
+        }
+        for (NodeId n : index_nodes_) {
           endpoint_.Call(n, kShardSetStableGp, sbody, nullptr, 0);
         }
         // Start the new view on every member, retrying per member until each one

@@ -64,6 +64,12 @@ class Controller {
   // discover it from "/shards/config".
   void AddShard(std::vector<NodeId> replicas);
 
+  // Registers the index tier. Index nodes are fenced and given the recovery stable-gp
+  // fire-and-forget: the index serves nothing a stale leader could corrupt (its
+  // coverage frontier is driven by the — properly fenced — shards' exports), so
+  // reconfiguration must not block on an unreachable index node.
+  void SetIndexNodes(std::vector<NodeId> nodes) { index_nodes_ = std::move(nodes); }
+
   // Fired after each completed reconfiguration (tests and Fig 17 use this).
   void OnReconfigured(std::function<void(const ReconfigTiming&)> cb) {
     on_reconfigured_ = std::move(cb);
@@ -108,6 +114,7 @@ class Controller {
   std::vector<NodeId> seq_replicas_;  // all ever-registered replicas, by index
   std::vector<NodeId> config_;        // current view's config; config_[0] = leader
   std::vector<std::vector<NodeId>> shards_;  // shard -> replica list, [0] = primary
+  std::vector<NodeId> index_nodes_;          // index tier (fenced fire-and-forget)
   uint64_t shard_epoch_ = 1;
   ViewId view_ = 0;
   bool reconfiguring_ = false;
@@ -121,6 +128,9 @@ class Controller {
   // Ephemeral paths ever observed by ReconcilePoll; a path is only treated as a missed
   // failure once it has been seen and then vanished.
   std::set<std::string> seen_paths_;
+  // Consecutive polls each configured replica has spent with no ephemeral ever seen;
+  // past a grace limit the replica is declared failed (it died before registering).
+  std::map<std::string, uint32_t> unregistered_polls_;
   ReconfigTiming timing_;
   std::function<void(const ReconfigTiming&)> on_reconfigured_;
 };

@@ -28,17 +28,34 @@ struct SeqAppendReq {
   Buf payload;  // rides as an attachment; the replica's ring buffer aliases it
   ShardId target_shard = 0;
   bool is_meta = false;
+  StreamTag tag = kNoTag;  // logical stream this record belongs to (index tier)
+
+  // The old trailing PutBool(is_meta) byte is reinterpreted as a flags byte: bit 0 is
+  // is_meta (so untagged legacy frames decode unchanged), bit 1 says a u64 tag follows.
+  static constexpr uint8_t kFlagIsMeta = 0x1;
+  static constexpr uint8_t kFlagHasTag = 0x2;
 
   void Encode(Encoder& e) const {
     e.PutU64(view);
     EncodeRecordId(e, id);
     e.PutAttached(payload);
     e.PutU32(target_shard);
-    e.PutBool(is_meta);
+    uint8_t flags = (is_meta ? kFlagIsMeta : 0) | (tag != kNoTag ? kFlagHasTag : 0);
+    e.PutU8(flags);
+    if (tag != kNoTag) {
+      e.PutU64(tag);
+    }
   }
   bool Decode(Decoder& d) {
-    return d.GetU64(&view) && DecodeRecordId(d, &id) && d.GetAttached(&payload) &&
-           d.GetU32(&target_shard) && d.GetBool(&is_meta);
+    uint8_t flags = 0;
+    if (!d.GetU64(&view) || !DecodeRecordId(d, &id) || !d.GetAttached(&payload) ||
+        !d.GetU32(&target_shard) || !d.GetU8(&flags) ||
+        (flags & ~(kFlagIsMeta | kFlagHasTag)) != 0) {
+      return false;
+    }
+    is_meta = (flags & kFlagIsMeta) != 0;
+    tag = kNoTag;
+    return (flags & kFlagHasTag) == 0 || d.GetU64(&tag);
   }
 };
 

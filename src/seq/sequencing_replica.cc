@@ -44,10 +44,12 @@ SequencingReplica::SequencingReplica(Network* net, const SimParams& params, Erwi
 }
 
 void SequencingReplica::Start(std::vector<NodeId> config, std::vector<NodeId> shard_primaries,
-                              std::vector<NodeId> all_shard_servers) {
+                              std::vector<NodeId> all_shard_servers,
+                              std::vector<NodeId> index_nodes) {
   config_ = std::move(config);
   shard_primaries_ = std::move(shard_primaries);
   all_shard_servers_ = std::move(all_shard_servers);
+  index_nodes_ = std::move(index_nodes);
   if (zk_node_ != kInvalidNode) {
     zk_session_ = std::make_unique<ZkSession>(&endpoint_, zk_node_, params_.control);
     zk_session_->Start("/seq/replicas/" + std::to_string(index_));
@@ -264,7 +266,7 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
       return;
     }
     log_.push_back(Entry{req.id, std::move(req.payload), req.target_shard, ordered_gp_,
-                         endpoint_.loop()->Now()});
+                         endpoint_.loop()->Now(), req.tag});
     in_log_.insert(req.id);
     LLOG(kDebug) << "t=" << endpoint_.loop()->Now() << " seq node=" << node_id()
                  << " insert id={" << req.id.client_id << "," << req.id.request_id
@@ -401,7 +403,7 @@ void SequencingReplica::PumpCursor(size_t s) {
       for (LogPos p = lo; p < hi; ++p) {
         const Entry& e = log_[p - ordered_gp_];
         if (e.shard == c.shard) {
-          req.records.push_back(PositionedRecord{p, Record{e.id, e.payload, false}});
+          req.records.push_back(PositionedRecord{p, Record{e.id, e.payload, false, e.tag}});
         }
       }
       req.Encode(enc);
@@ -580,8 +582,8 @@ void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_
     for (size_t i = 0; i < batch.size(); ++i) {
       const LogPos pos = base_pos + i;
       auto& req = reqs[pos % n_shards];
-      req.records.push_back(
-          PositionedRecord{pos, Record{batch[i].id, std::move(batch[i].payload), false}});
+      req.records.push_back(PositionedRecord{
+          pos, Record{batch[i].id, std::move(batch[i].payload), false, batch[i].tag}});
     }
     for (size_t s = 0; s < n_shards; ++s) {
       endpoint_.CallMsg(shard_primaries_[s], kShardAppendBatch, reqs[s], gather->Slot(s),
@@ -707,6 +709,9 @@ void SequencingReplica::BroadcastStableGp() {
   // One backing shared across the broadcast; each Call copies a handle.
   const Buf body = enc.TakeBuf();
   for (NodeId n : all_shard_servers_) {
+    endpoint_.Call(n, kShardSetStableGp, body, nullptr, 0);
+  }
+  for (NodeId n : index_nodes_) {
     endpoint_.Call(n, kShardSetStableGp, body, nullptr, 0);
   }
 }
@@ -925,6 +930,11 @@ void SequencingReplica::HandleTrim(Decoder d, Responder r) {
   for (size_t i = 0; i < all_shard_servers_.size(); ++i) {
     endpoint_.Call(all_shard_servers_[i], kShardTrim, body, gather->Slot(i),
                    params_.rpc_timeout_ns);
+  }
+  // Index nodes drop their per-tag entries below up_to too, but fire-and-forget: the
+  // index is advisory GC here, never part of the trim ack.
+  for (NodeId n : index_nodes_) {
+    endpoint_.Call(n, kShardTrim, body, nullptr, 0);
   }
 }
 

@@ -96,8 +96,10 @@ class SequencingReplica {
 
   // Wires the replica set (config[0] = leader) and the storage tier, then starts the
   // leader's background-ordering timer and the ZK liveness session.
+  // `index_nodes` (index tier, optional) receive stable-gp broadcasts and trims
+  // fire-and-forget: the index is an access path, never an ack dependency.
   void Start(std::vector<NodeId> config, std::vector<NodeId> shard_primaries,
-             std::vector<NodeId> all_shard_servers);
+             std::vector<NodeId> all_shard_servers, std::vector<NodeId> index_nodes = {});
 
   // Runtime shard addition (Erwin-st §6.9): the orderer starts including the new
   // primary in metadata pushes.
@@ -149,6 +151,7 @@ class SequencingReplica {
     // entry the leader's gate shed is never ordered, so GC never collects it here.
     LogPos gp_at_admit = 0;
     SimTime admitted_at = 0;
+    StreamTag tag = kNoTag;  // stream tag carried into the ordered record (Erwin-m)
   };
 
   // Per-follower GC bookkeeping: ids ordered but not yet acknowledged-collected by the
@@ -251,6 +254,8 @@ class SequencingReplica {
   std::vector<NodeId> config_;
   std::vector<NodeId> shard_primaries_;
   std::vector<NodeId> all_shard_servers_;
+  // Index-tier nodes: mirrored on stable-gp broadcasts and trims, fire-and-forget.
+  std::vector<NodeId> index_nodes_;
 
   // The local log: the paper's ring buffer. Entries leave only via GC/flush. On the
   // leader, log_[i] holds position ordered_gp_ + i: positions in

@@ -94,12 +94,29 @@ struct ShardReadResp {
 struct ShardPutDataReq {
   RecordId id;
   Buf payload;
+  StreamTag tag = kNoTag;  // carried with the data so the bound record keeps its stream
+
+  // Trailing flags byte mirroring the record codec: bit 1 says a u64 tag follows.
+  // Untagged frames stay byte-identical to the pre-tag format plus one zero byte.
+  static constexpr uint8_t kFlagHasTag = 0x2;
 
   void Encode(Encoder& e) const {
     EncodeRecordId(e, id);
     e.PutAttached(payload);
+    e.PutU8(tag != kNoTag ? kFlagHasTag : 0);
+    if (tag != kNoTag) {
+      e.PutU64(tag);
+    }
   }
-  bool Decode(Decoder& d) { return DecodeRecordId(d, &id) && d.GetAttached(&payload); }
+  bool Decode(Decoder& d) {
+    uint8_t flags = 0;
+    if (!DecodeRecordId(d, &id) || !d.GetAttached(&payload) || !d.GetU8(&flags) ||
+        (flags & ~kFlagHasTag) != 0) {
+      return false;
+    }
+    tag = kNoTag;
+    return (flags & kFlagHasTag) == 0 || d.GetU64(&tag);
+  }
 };
 
 // One metadata entry: global position -> (record id, shard that holds the data).
@@ -166,6 +183,64 @@ struct ShardPosMapResp {
     e.PutU64Vector(shard_ids);
   }
   bool Decode(Decoder& d) { return d.GetU64(&from) && d.GetU64Vector(&shard_ids); }
+};
+
+// One (tag, global position) pair exported by a shard's tag index.
+struct TagIndexEntry {
+  static constexpr size_t kMinEncodedSize = 16;  // tag + pos
+  StreamTag tag = kNoTag;
+  LogPos pos = 0;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(tag);
+    e.PutU64(pos);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&tag) && d.GetU64(&pos); }
+};
+
+// Index node -> shard primary: pull tag-index entries starting at shard-local export
+// sequence `from_seq`. The export sequence numbers this shard's stable positions in
+// local order, so a crashed/restarted index node resumes exactly where it left off.
+struct ShardIndexDeltaReq {
+  uint64_t from_seq = 0;
+  uint32_t max_entries = 4096;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(from_seq);
+    e.PutU32(max_entries);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&from_seq) && d.GetU32(&max_entries); }
+};
+
+struct ShardIndexDeltaResp {
+  uint64_t from_seq = 0;      // echo of the request cursor
+  uint64_t next_seq = 0;      // cursor for the next pull (from_seq + entries.size())
+  LogPos stable_gp = 0;       // shard's stable frontier at export time (lag accounting)
+  LogPos exported_below = 0;  // every position this shard owns below here is covered by
+                              // the returned prefix (journal entries ascend in pos)
+  std::vector<TagIndexEntry> entries;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(from_seq);
+    e.PutU64(next_seq);
+    e.PutU64(stable_gp);
+    e.PutU64(exported_below);
+    e.PutVector(entries);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&from_seq) && d.GetU64(&next_seq) && d.GetU64(&stable_gp) &&
+           d.GetU64(&exported_below) && d.GetVector(&entries);
+  }
+};
+
+// Client -> shard server: read a sparse batch of global positions (all owned by this
+// shard). Unlike ShardReadReq this never waits: positions at or above stable-gp are
+// simply omitted from the response. Used by selective readers after an index lookup.
+struct ShardMultiReadReq {
+  std::vector<uint64_t> positions;
+
+  void Encode(Encoder& e) const { e.PutU64Vector(positions); }
+  bool Decode(Decoder& d) { return d.GetU64Vector(&positions); }
 };
 
 // Orderer/controller -> shard server: advance the stable global position. `stable_gp`

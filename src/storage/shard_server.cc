@@ -135,6 +135,12 @@ ShardServer::ShardServer(Network* net, const SimParams& params, ShardMode mode,
   endpoint_.Register(kShardPosMap, [this](NodeId, Decoder d, Responder r) {
     HandlePosMap(d, std::move(r));
   });
+  endpoint_.Register(kShardIndexDelta, [this](NodeId, Decoder d, Responder r) {
+    HandleIndexDelta(d, std::move(r));
+  });
+  endpoint_.Register(kShardMultiRead, [this](NodeId, Decoder d, Responder r) {
+    HandleMultiRead(d, std::move(r));
+  });
   endpoint_.Register(kShardTrim, [this](NodeId, Decoder d, Responder r) {
     HandleTrim(d, std::move(r));
   });
@@ -192,6 +198,9 @@ void ShardServer::Bootstrap(LogPos stable_gp, LogPos meta_next_pos) {
   order_applied_ = meta_next_pos;
   order_durable_ = meta_next_pos;
   completed_spans_.clear();
+  // A runtime-added shard owns nothing below the bootstrap frontier; start the tag
+  // index there so delta pulls report full coverage immediately.
+  index_pos_frontier_ = std::max(index_pos_frontier_, stable_gp);
   if (stable_gp_observer_) {
     stable_gp_observer_(view_, stable_gp_);
   }
@@ -235,7 +244,7 @@ void ShardServer::TruncateOrderedFrom(LogPos pos) {
       // record data back so it is not lost (it was moved out of the pool at bind time).
       const Record* rec = log_.Get(local);
       if (rec != nullptr && !rec->no_op && pending_.count(rec->id) == 0) {
-        pool_[rec->id] = rec->payload;
+        pool_[rec->id] = PoolEntry{rec->payload, rec->tag};
         pool_arrival_[rec->id] = endpoint_.loop()->Now();
       }
     }
@@ -410,9 +419,9 @@ void ShardServer::HandlePutData(Decoder d, Responder r) {
     auto pending_it = pending_.find(req.id);
     if (pending_it != pending_.end()) {
       // The metadata beat the data here; resolve the parked binding.
-      ResolvePendingWithData(req.id, std::move(req.payload));
+      ResolvePendingWithData(req.id, std::move(req.payload), req.tag);
     } else {
-      pool_[req.id] = std::move(req.payload);
+      pool_[req.id] = PoolEntry{std::move(req.payload), req.tag};
       pool_arrival_[req.id] = endpoint_.loop()->Now();
     }
     // Memory on all replicas is the critical-path durability; disk catches up in the
@@ -430,7 +439,10 @@ void ShardServer::HandlePutData(Decoder d, Responder r) {
 bool ShardServer::BindPosition(const MetaEntry& entry, const std::shared_ptr<BatchAck>& batch) {
   auto pool_it = pool_.find(entry.id);
   if (pool_it != pool_.end()) {
-    StoreOrdered(entry.pos, Record{entry.id, std::move(pool_it->second), false}, false);
+    StoreOrdered(entry.pos,
+                 Record{entry.id, std::move(pool_it->second.payload), false,
+                        pool_it->second.tag},
+                 false);
     pool_.erase(pool_it);
     pool_arrival_.erase(entry.id);
     return true;
@@ -505,18 +517,19 @@ void ShardServer::ApplyFetchedRecord(const RecordId& id, const Status& s, Decode
     FinalizeNoOp(id);
     return;
   }
-  ResolvePendingWithData(id, std::move(rec.payload));
+  ResolvePendingWithData(id, std::move(rec.payload), rec.tag);
 }
 
-void ShardServer::ResolvePendingWithData(const RecordId& id, Buf payload) {
+void ShardServer::ResolvePendingWithData(const RecordId& id, Buf payload, StreamTag tag) {
   auto it = pending_.find(id);
   LL_CHECK(it != pending_.end(), "resolving non-pending binding");
   it->second.timeout.Cancel();
-  log_.Overwrite(it->second.local_index, Record{id, std::move(payload), false});
+  log_.Overwrite(it->second.local_index, Record{id, std::move(payload), false, tag});
   if (it->second.batch) {
     it->second.batch->Complete(Status::Ok());
   }
   pending_.erase(it);
+  AdvanceTagIndex();  // a pending binding may have been capping the journal frontier
 }
 
 void ShardServer::FinalizeNoOp(const RecordId& id) {
@@ -533,6 +546,7 @@ void ShardServer::FinalizeNoOp(const RecordId& id) {
     it->second.batch->Complete(Status::Ok());
   }
   pending_.erase(it);
+  AdvanceTagIndex();
   if (is_primary()) {
     // Instruct backups to replace their copy with a no-op (§5.4).
     for (size_t i = 1; i < replicas_.size(); ++i) {
@@ -724,6 +738,7 @@ void ShardServer::HandleReplicateNoOp(Decoder d, Responder r) {
     }
     pending_.erase(pending_it);
     stats_.noops_created++;
+    AdvanceTagIndex();
   } else {
     auto bound = pos_to_local_.find(msg.pos);
     if (bound != pos_to_local_.end()) {
@@ -808,6 +823,7 @@ void ShardServer::HandleSetStableGp(Decoder d, Responder r) {
   if (stable_gp_observer_) {
     stable_gp_observer_(view_, stable_gp_);
   }
+  AdvanceTagIndex();
   WakeWaiters();
   r.Send(Status::Ok());
 }
@@ -845,6 +861,91 @@ void ShardServer::HandlePosMap(Decoder d, Responder r) {
     resp.shard_ids.push_back(meta_log_[p - meta_base_]);
   }
   cpu_.ExecuteFor(resp.shard_ids.size() * 8, [resp = std::move(resp), r]() mutable {
+    Encoder e;
+    resp.Encode(e);
+    r.Ok(e);
+  });
+}
+
+// --- tag index (index tier) -----------------------------------------------------------
+
+void ShardServer::AdvanceTagIndex() {
+  // Journal every owned position in [index_pos_frontier_, target): stable, and past any
+  // still-pending Erwin-st binding, so the tag recorded here can never change. No-ops
+  // and untagged records advance the frontier without a journal entry.
+  LogPos target = stable_gp_;
+  for (const auto& [id, pb] : pending_) {
+    target = std::min(target, pb.pos);
+  }
+  if (target <= index_pos_frontier_) {
+    return;
+  }
+  auto it = std::lower_bound(local_pos_.begin(), local_pos_.end(), index_pos_frontier_);
+  for (; it != local_pos_.end() && *it < target; ++it) {
+    const uint64_t local = local_pos_base_ + static_cast<uint64_t>(it - local_pos_.begin());
+    const Record* rec = log_.Get(local);
+    if (rec != nullptr && !rec->no_op && rec->tag != kNoTag) {
+      index_journal_.push_back(TagIndexEntry{rec->tag, *it});
+    }
+  }
+  index_pos_frontier_ = target;
+}
+
+void ShardServer::HandleIndexDelta(Decoder d, Responder r) {
+  ShardIndexDeltaReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad index delta"));
+    return;
+  }
+  AdvanceTagIndex();
+  ShardIndexDeltaResp resp;
+  resp.from_seq = std::min<uint64_t>(req.from_seq, index_journal_.size());
+  const uint64_t end =
+      std::min<uint64_t>(index_journal_.size(), resp.from_seq + req.max_entries);
+  for (uint64_t i = resp.from_seq; i < end; ++i) {
+    resp.entries.push_back(index_journal_[i]);
+  }
+  resp.next_seq = end;
+  resp.stable_gp = stable_gp_;
+  // Coverage only extends over the prefix actually returned: if the pull was capped by
+  // max_entries, the first unreturned entry bounds what the puller may claim covered.
+  resp.exported_below = end < index_journal_.size() ? index_journal_[end].pos
+                                                    : index_pos_frontier_;
+  cpu_.ExecuteFor(resp.entries.size() * sizeof(TagIndexEntry),
+                  [resp = std::move(resp), r]() mutable {
+                    Encoder e;
+                    resp.Encode(e);
+                    r.Ok(e);
+                  });
+}
+
+void ShardServer::HandleMultiRead(Decoder d, Responder r) {
+  ShardMultiReadReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad multi read"));
+    return;
+  }
+  // Never waits: unstable / trimmed / foreign positions are silently omitted, the
+  // selective reader already knows what is stable from the index node's frontier.
+  ShardReadResp resp;
+  uint64_t bytes = 0;
+  for (uint64_t p : req.positions) {
+    if (p < trimmed_below_ || (p >= stable_gp_ && !read_gate_disabled_)) {
+      continue;
+    }
+    auto it = pos_to_local_.find(p);
+    if (it == pos_to_local_.end()) {
+      continue;
+    }
+    const Record* rec = log_.Get(it->second);
+    if (rec == nullptr) {
+      continue;
+    }
+    resp.records.push_back(PositionedRecord{p, *rec});
+    bytes += rec->payload.size();
+  }
+  stats_.fast_reads++;
+  cpu_.ExecuteFor(bytes, [resp = std::move(resp), r]() mutable {
     Encoder e;
     resp.Encode(e);
     r.Ok(e);
@@ -928,11 +1029,12 @@ void ShardServer::HandleFetchState(Decoder d, Responder r) {
     PositionedRecord pr{local_pos_[i], *rec};
     pr.Encode(e);
   }
-  // Unordered pool.
+  // Unordered pool (payload handle + stream tag).
   e.PutU32(static_cast<uint32_t>(pool_.size()));
-  for (const auto& [id, payload] : pool_) {
+  for (const auto& [id, entry] : pool_) {
     EncodeRecordId(e, id);
-    e.PutAttached(payload);
+    e.PutAttached(entry.payload);
+    e.PutU64(entry.tag);
   }
   // No-op decisions (so late data writes stay rejected on the new replica).
   e.PutU32(static_cast<uint32_t>(rejected_.size()));
@@ -998,12 +1100,13 @@ void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)>
         for (uint32_t i = 0; i < n_pool; ++i) {
           RecordId id;
           Buf payload;
-          if (!DecodeRecordId(d, &id) || !d.GetAttached(&payload)) {
+          StreamTag tag = kNoTag;
+          if (!DecodeRecordId(d, &id) || !d.GetAttached(&payload) || !d.GetU64(&tag)) {
             done(Status::Internal("bad state snapshot pool entry"));
             return;
           }
           bytes += payload.size();
-          pool_.emplace(id, std::move(payload));
+          pool_.emplace(id, PoolEntry{std::move(payload), tag});
           pool_arrival_[id] = endpoint_.loop()->Now();
         }
         uint32_t n_rejected = 0;
@@ -1026,6 +1129,7 @@ void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)>
         }
         meta_log_.assign(meta.begin(), meta.end());
         loading_ = false;
+        AdvanceTagIndex();  // rebuild the tag journal over the copied stable prefix
         // Persist the copied state; completion waits for the disk like any bulk load.
         disk_.Write(bytes, [done = std::move(done)]() { done(Status::Ok()); });
       },

@@ -158,6 +158,8 @@ class ShardServer {
   void HandleReplicateMeta(Decoder d, Responder r); // primary -> backup (Erwin-st)
   void HandleReplicateNoOp(Decoder d, Responder r); // primary -> backup (late no-op fix)
   void HandlePosMap(Decoder d, Responder r);
+  void HandleIndexDelta(Decoder d, Responder r);  // index node -> primary: tag index pull
+  void HandleMultiRead(Decoder d, Responder r);   // client sparse position batch read
   void HandleTrim(Decoder d, Responder r);
   void HandleFetchState(Decoder d, Responder r);
   void HandleSeal(Decoder d, Responder r);        // controller -> shard: fence the epoch
@@ -199,7 +201,7 @@ class ShardServer {
   // Erwin-st: binds position -> record data from the unordered pool, or parks a
   // PendingBinding. Returns true if immediately resolved.
   bool BindPosition(const MetaEntry& entry, const std::shared_ptr<BatchAck>& batch);
-  void ResolvePendingWithData(const RecordId& id, Buf payload);
+  void ResolvePendingWithData(const RecordId& id, Buf payload, StreamTag tag);
   void FinalizeNoOp(const RecordId& id);
   // Replicates a primary no-op decision to one backup, retrying until acked: a backup
   // whose data copy arrived binds the real record, and a dropped no-op would leave the
@@ -212,6 +214,9 @@ class ShardServer {
   void WakeWaiters();
   uint64_t DiskAdmissionDelay() const;
   void ScrubOrphans();
+  // Appends (tag, pos) journal entries for owned positions that became stable since the
+  // last advance. Stops short of any still-pending binding so a journaled tag is final.
+  void AdvanceTagIndex();
 
   RpcEndpoint endpoint_;
   ServerCpu cpu_;
@@ -247,13 +252,27 @@ class ShardServer {
   LogPos trimmed_below_ = 0;
 
   // Erwin-st state. Pool entries are handles onto the client's payload backing (the
-  // PutData attachment); binding moves the handle into the log, never the bytes.
-  std::unordered_map<RecordId, Buf, RecordIdHash> pool_;  // unordered durable data
+  // PutData attachment); binding moves the handle into the log, never the bytes. The
+  // stream tag rides alongside so the bound record keeps its stream.
+  struct PoolEntry {
+    Buf payload;
+    StreamTag tag = kNoTag;
+  };
+  std::unordered_map<RecordId, PoolEntry, RecordIdHash> pool_;  // unordered durable data
   std::unordered_map<RecordId, SimTime, RecordIdHash> pool_arrival_;
   std::unordered_map<RecordId, PendingBinding, RecordIdHash> pending_;
   std::unordered_set<RecordId, RecordIdHash> rejected_;  // no-op'ed ids
   std::vector<uint64_t> meta_log_;                       // pos -> shard id (dense)
   LogPos meta_base_ = 0;                                 // position of meta_log_[0]
+
+  // Tag index (index tier). The journal lists (tag, pos) for tagged records this shard
+  // owns, appended in ascending position order as positions become stable; index nodes
+  // pull it by sequence number (kShardIndexDelta). index_pos_frontier_ is the coverage
+  // mark: every owned position below it is journaled (no-ops and untagged records are
+  // covered but not listed). Segment rollover/trim never disturbs the journal — it is
+  // keyed by export sequence, not local index.
+  std::deque<TagIndexEntry> index_journal_;
+  LogPos index_pos_frontier_ = 0;
 
   std::vector<Waiter> waiters_;
   ShardStats stats_;

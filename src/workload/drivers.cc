@@ -61,7 +61,7 @@ void OpenLoopAppender::Tick() {
 void OpenLoopAppender::IssueOne() {
   const uint64_t index = issued_++;
   const SimTime start = loop_->Now();
-  client_->Append(payload_template_, [this, index, start](Status s) {
+  auto cb = [this, index, start](Status s) {
     if (!s.ok()) {
       failed_++;
       return;
@@ -75,7 +75,13 @@ void OpenLoopAppender::IssueOne() {
     if (on_ack_) {
       on_ack_(index, now);
     }
-  });
+  };
+  if (options_.num_streams > 0) {
+    const StreamTag tag = static_cast<StreamTag>(1 + index % options_.num_streams);
+    client_->Append(tag, payload_template_, std::move(cb));
+  } else {
+    client_->Append(payload_template_, std::move(cb));
+  }
 }
 
 // --- SequentialReader -----------------------------------------------------------------------

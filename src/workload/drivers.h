@@ -26,6 +26,9 @@ class OpenLoopAppender {
     bool poisson = false;
     uint64_t max_appends = UINT64_MAX;
     uint64_t warmup_ns = 0;  // samples before start+warmup are not recorded
+    // > 0: append i is published to stream 1 + (i % num_streams), round-robin, so the
+    // log interleaves that many tagged streams (selective-read benches). 0 = untagged.
+    uint64_t num_streams = 0;
   };
 
   OpenLoopAppender(EventLoop* loop, SharedLogClient* client, Options options,

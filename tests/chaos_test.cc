@@ -59,6 +59,22 @@ TEST(ChaosSweep, ErwinStSmoke) {
   }
 }
 
+// Index-tier fault focus: with the nemesis restricted to index-node crashes and
+// index<->shard partitions (plus loss to stress the delta pulls), selective reads keep
+// flowing — through the surviving aggregator or the scan fallback — and every ReadNext
+// window passes the stream-projection oracle.
+TEST(ChaosSweep, IndexFaultsSmoke) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    ChaosOptions opts = QuickOptions(ErwinMode::kM, seed);
+    ASSERT_TRUE(
+        NemesisPolicy::FromFlag("index-crash,index-partition,loss", &opts.faults));
+    const ChaosReport report = RunChaos(opts);
+    EXPECT_TRUE(report.ok()) << Explain(report);
+    EXPECT_GT(report.appends_acked, 0u);
+    EXPECT_GT(report.reads_issued, 0u);
+  }
+}
+
 // The oracle self-test: with the shard-side stable-gp read gate switched off, readers
 // receive ordered-but-unstable records, and the read-gating oracle must flag the run.
 // The repro options must then replay the identical violating execution.
@@ -200,6 +216,11 @@ TEST(ChaosNemesis, FaultsFlagRoundTrips) {
   EXPECT_FALSE(parsed.disk_slow);
   EXPECT_FALSE(parsed.client_crash);
   EXPECT_EQ(parsed.ToFlag(), "seq-crash,loss,delay");
+  ASSERT_TRUE(NemesisPolicy::FromFlag("index-crash,index-partition", &parsed));
+  EXPECT_TRUE(parsed.index_crash);
+  EXPECT_TRUE(parsed.index_partition);
+  EXPECT_FALSE(parsed.seq_crash);
+  EXPECT_EQ(parsed.ToFlag(), "index-crash,index-partition");
   ASSERT_TRUE(NemesisPolicy::FromFlag("none", &parsed));
   EXPECT_EQ(parsed.ToFlag(), "none");
   EXPECT_FALSE(NemesisPolicy::FromFlag("bogus", &parsed));

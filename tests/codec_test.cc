@@ -5,6 +5,7 @@
 #include "src/common/codec.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/index/index_messages.h"
 #include "src/seq/seq_messages.h"
 #include "src/storage/shard_messages.h"
 
@@ -99,17 +100,6 @@ TEST(Codec, LengthPrefixBeyondBufferRejected) {
   EXPECT_FALSE(d.GetBytes(&s));
 }
 
-TEST(Codec, RecordRoundTrip) {
-  Record r{RecordId{7, 9}, "payload", true};
-  Encoder e;
-  EncodeRecord(e, r);
-  // The payload travels as an attachment; the decoder must receive both parts.
-  Decoder d(e.TakeBuf(), e.TakeAtts());
-  Record out;
-  ASSERT_TRUE(DecodeRecord(d, &out));
-  EXPECT_EQ(out, r);
-}
-
 template <typename T>
 void ExpectRoundTrip(const T& msg) {
   Encoder e;
@@ -130,6 +120,151 @@ void ExpectRoundTrip(const T& msg) {
     EXPECT_EQ(atts[i].ToString(), atts2[i].ToString());
   }
   EXPECT_TRUE(d.Done());
+}
+
+TEST(Codec, RecordRoundTrip) {
+  Record r{RecordId{7, 9}, "payload", true};
+  Encoder e;
+  EncodeRecord(e, r);
+  // The payload travels as an attachment; the decoder must receive both parts.
+  Decoder d(e.TakeBuf(), e.TakeAtts());
+  Record out;
+  ASSERT_TRUE(DecodeRecord(d, &out));
+  EXPECT_EQ(out, r);
+}
+
+TEST(Codec, TaggedRecordRoundTrip) {
+  for (bool no_op : {false, true}) {
+    for (StreamTag tag : {kNoTag, StreamTag{1}, StreamTag{0xfeedfacecafebeefULL}}) {
+      Record r{RecordId{3, 4}, "pay", no_op, tag};
+      Encoder e;
+      EncodeRecord(e, r);
+      Decoder d(e.TakeBuf(), e.TakeAtts());
+      Record out;
+      ASSERT_TRUE(DecodeRecord(d, &out)) << "no_op=" << no_op << " tag=" << tag;
+      EXPECT_EQ(out, r);
+      EXPECT_TRUE(d.Done());
+    }
+  }
+}
+
+// Untagged records must stay byte-identical to the pre-tag wire format, whose trailing
+// byte was PutBool(no_op): old frames decode under the new codec and vice versa.
+TEST(Codec, UntaggedRecordIsLegacyByteCompatible) {
+  for (bool no_op : {false, true}) {
+    Record r{RecordId{11, 12}, "legacy", no_op};
+    Encoder now;
+    EncodeRecord(now, r);
+    Encoder legacy;  // the pre-tag encoder: id, attached payload, bool no_op
+    EncodeRecordId(legacy, r.id);
+    legacy.PutAttached(r.payload);
+    legacy.PutBool(r.no_op);
+    EXPECT_EQ(now.TakeBuf().ToString(), legacy.TakeBuf().ToString()) << "no_op=" << no_op;
+  }
+}
+
+// A flags byte with unknown bits set is malformed input, not a silent truncation; so is
+// a has-tag flag with no tag bytes behind it.
+TEST(Codec, MalformedRecordFlagsRejected) {
+  for (uint8_t flags : {uint8_t{0x4}, uint8_t{0x80}, uint8_t{0xff}}) {
+    Encoder e;
+    EncodeRecordId(e, RecordId{1, 1});
+    e.PutAttached(Buf("x"));
+    e.PutU8(flags);
+    Decoder d(e.TakeBuf(), e.TakeAtts());
+    Record out;
+    EXPECT_FALSE(DecodeRecord(d, &out)) << "flags=" << int{flags};
+  }
+  Encoder e;
+  EncodeRecordId(e, RecordId{1, 1});
+  e.PutAttached(Buf("x"));
+  e.PutU8(kRecordFlagHasTag);  // claims a u64 tag follows, but the frame ends here
+  Decoder d(e.TakeBuf(), e.TakeAtts());
+  Record out;
+  EXPECT_FALSE(DecodeRecord(d, &out));
+}
+
+TEST(Codec, TaggedSeqAppendLegacyByteCompatible) {
+  SeqAppendReq app;
+  app.view = 5;
+  app.id = RecordId{1, 2};
+  app.payload = "p";
+  app.target_shard = 7;
+  app.is_meta = true;
+  ExpectRoundTrip(app);
+  app.tag = 42;
+  ExpectRoundTrip(app);
+  // Untagged frame == the pre-tag encoding, whose trailing byte was PutBool(is_meta).
+  SeqAppendReq untagged = app;
+  untagged.tag = kNoTag;
+  Encoder now;
+  untagged.Encode(now);
+  Encoder legacy;
+  legacy.PutU64(untagged.view);
+  EncodeRecordId(legacy, untagged.id);
+  legacy.PutAttached(untagged.payload);
+  legacy.PutU32(untagged.target_shard);
+  legacy.PutBool(untagged.is_meta);
+  EXPECT_EQ(now.TakeBuf().ToString(), legacy.TakeBuf().ToString());
+  // Unknown flag bits bail out.
+  Encoder bad;
+  bad.PutU64(1);
+  EncodeRecordId(bad, RecordId{1, 1});
+  bad.PutAttached(Buf("x"));
+  bad.PutU32(0);
+  bad.PutU8(0x10);
+  Decoder d(bad.TakeBuf(), bad.TakeAtts());
+  SeqAppendReq out;
+  EXPECT_FALSE(out.Decode(d));
+}
+
+TEST(Codec, TaggedShardPutDataRoundTrip) {
+  ShardPutDataReq put{RecordId{9, 10}, "data", 1234};
+  ExpectRoundTrip(put);
+  // has-tag flag without the tag bytes is malformed.
+  Encoder e;
+  EncodeRecordId(e, put.id);
+  e.PutAttached(put.payload);
+  e.PutU8(ShardPutDataReq::kFlagHasTag);
+  Decoder d(e.TakeBuf(), e.TakeAtts());
+  ShardPutDataReq out;
+  EXPECT_FALSE(out.Decode(d));
+}
+
+TEST(Codec, IndexMessagesRoundTrip) {
+  ExpectRoundTrip(ShardIndexDeltaReq{17, 128});
+
+  ShardIndexDeltaResp delta;
+  delta.from_seq = 17;
+  delta.next_seq = 20;
+  delta.stable_gp = 99;
+  delta.exported_below = 95;
+  delta.entries = {TagIndexEntry{1, 3}, TagIndexEntry{1, 7}, TagIndexEntry{2, 5}};
+  ExpectRoundTrip(delta);
+
+  ShardMultiReadReq multi;
+  multi.positions = {3, 7, 11};
+  ExpectRoundTrip(multi);
+
+  ExpectRoundTrip(IndexReadNextReq{5, 100, 32});
+
+  IndexReadNextResp next;
+  next.positions = {4, 8};
+  next.shard_ids = {0, 1};
+  next.indexed_upto = 12;
+  ExpectRoundTrip(next);
+}
+
+// positions/shard_ids are parallel vectors; a response where they disagree in length
+// is malformed (a client walking them in lockstep would read out of bounds).
+TEST(Codec, IndexReadNextRespLengthMismatchRejected) {
+  Encoder e;
+  e.PutU64Vector({1, 2, 3});
+  e.PutU64Vector({0});
+  e.PutU64(10);
+  Decoder d(e.TakeBuf());
+  IndexReadNextResp out;
+  EXPECT_FALSE(out.Decode(d));
 }
 
 TEST(Codec, ShardMessagesRoundTrip) {
@@ -222,8 +357,10 @@ TEST_P(CodecFuzz, RandomBatchRoundTrip) {
   const size_t n = rng.Uniform(64);
   for (size_t i = 0; i < n; ++i) {
     std::string payload(rng.Uniform(512), static_cast<char>('a' + rng.Uniform(26)));
+    // ~half tagged: both flag-byte shapes must survive in the same batch.
+    const StreamTag tag = rng.Chance(0.5) ? rng.Next() : kNoTag;
     batch.records.push_back(PositionedRecord{
-        rng.Next(), Record{RecordId{rng.Next(), rng.Next()}, payload, rng.Chance(0.1)}});
+        rng.Next(), Record{RecordId{rng.Next(), rng.Next()}, payload, rng.Chance(0.1), tag}});
   }
   Encoder e;
   batch.Encode(e);
@@ -262,6 +399,16 @@ TEST_P(CodecFuzz, RandomBytesNeverCrashDecoders) {
   {
     Decoder d(junk);
     SeqAppendReq m;
+    (void)m.Decode(d);
+  }
+  {
+    Decoder d(junk);
+    ShardIndexDeltaResp m;
+    (void)m.Decode(d);
+  }
+  {
+    Decoder d(junk);
+    IndexReadNextResp m;
     (void)m.Decode(d);
   }
 }

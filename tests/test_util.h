@@ -35,6 +35,42 @@ inline bool AppendSyncly(EventLoop& loop, SharedLogClient& client, std::string p
   return done && result.ok();
 }
 
+// Tagged append (stream index tier): appends into stream `tag` and waits.
+inline bool AppendSyncly(EventLoop& loop, SharedLogClient& client, StreamTag tag,
+                         std::string payload) {
+  bool done = false;
+  Status result = Status::Internal("never completed");
+  client.Append(tag, std::move(payload), [&](Status s) {
+    result = std::move(s);
+    done = true;
+  });
+  RunUntilDone(loop, done);
+  return done && result.ok();
+}
+
+struct ReadNextResult {
+  Status status = Status::Internal("never completed");
+  std::vector<PositionedRecord> records;
+  LogPos next_from = 0;
+};
+
+// Selective read: one ReadNext(tag, from) window, waited for.
+inline ReadNextResult ReadNextSyncly(EventLoop& loop, SharedLogClient& client,
+                                     StreamTag tag, LogPos from, uint32_t max,
+                                     uint64_t budget_ns = kSec) {
+  bool done = false;
+  ReadNextResult result;
+  client.ReadNext(tag, from, max, [&](Status s, std::vector<PositionedRecord> recs,
+                                      LogPos next_from) {
+    result.status = std::move(s);
+    result.records = std::move(recs);
+    result.next_from = next_from;
+    done = true;
+  });
+  RunUntilDone(loop, done, budget_ns);
+  return result;
+}
+
 // Appends and waits, returning the full completion Status (kRejected vs kTimeout etc.).
 inline Status AppendSynclyStatus(EventLoop& loop, SharedLogClient& client,
                                  std::string payload, uint64_t budget_ns = kSec) {
