@@ -37,7 +37,9 @@ void Usage() {
                "                                 shard-replace,partition,loss,delay,\n"
                "                                 disk-slow,client-crash,seq-zk-partition,\n"
                "                                 ctrl-zk-partition,server-partition,\n"
-               "                                 overload-burst (default all)\n"
+               "                                 overload-burst,index-crash,\n"
+               "                                 index-partition,shard-primary-crash,\n"
+               "                                 primary-isolation (default all)\n"
                "  --shards=N --replication=N     cluster shape (default 2, 3)\n"
                "  --writers=N --readers=N        workload shape (default 4, 2)\n"
                "  --fault-phase-ms=N             nemesis-active window (default 120)\n"

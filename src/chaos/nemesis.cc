@@ -26,12 +26,14 @@ const char* KindName(FaultKind k) {
     case FaultKind::kOverloadBurst: return "overload-burst";
     case FaultKind::kCrashIndexNode: return "index-crash";
     case FaultKind::kIndexPartition: return "index-partition";
+    case FaultKind::kShardPrimaryCrash: return "shard-primary-crash";
+    case FaultKind::kPrimaryIsolation: return "primary-isolation";
   }
   return "?";
 }
 
 bool KindFromName(const std::string& name, FaultKind* out) {
-  for (uint8_t k = 0; k <= static_cast<uint8_t>(FaultKind::kIndexPartition); ++k) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(FaultKind::kPrimaryIsolation); ++k) {
     if (name == KindName(static_cast<FaultKind>(k))) {
       *out = static_cast<FaultKind>(k);
       return true;
@@ -46,8 +48,8 @@ std::string NemesisPolicy::ToFlag() const {
   const NemesisPolicy all;
   if (seq_crash && shard_replace && partition && loss && delay && disk_slow &&
       client_crash && seq_zk_partition && ctrl_zk_partition && server_partition &&
-      overload_burst && index_crash && index_partition &&
-      max_seq_crashes == all.max_seq_crashes) {
+      overload_burst && index_crash && index_partition && shard_primary_crash &&
+      primary_isolation && max_seq_crashes == all.max_seq_crashes) {
     return "all";
   }
   std::string out;
@@ -70,6 +72,8 @@ std::string NemesisPolicy::ToFlag() const {
   add(overload_burst, "overload-burst");
   add(index_crash, "index-crash");
   add(index_partition, "index-partition");
+  add(shard_primary_crash, "shard-primary-crash");
+  add(primary_isolation, "primary-isolation");
   return out.empty() ? "none" : out;
 }
 
@@ -81,7 +85,8 @@ bool NemesisPolicy::FromFlag(const std::string& flag, NemesisPolicy* out) {
   NemesisPolicy p;
   p.seq_crash = p.shard_replace = p.partition = p.loss = p.delay = p.disk_slow =
       p.client_crash = p.seq_zk_partition = p.ctrl_zk_partition = p.server_partition =
-          p.overload_burst = p.index_crash = p.index_partition = false;
+          p.overload_burst = p.index_crash = p.index_partition = p.shard_primary_crash =
+              p.primary_isolation = false;
   if (flag != "none") {
     size_t pos = 0;
     while (pos <= flag.size()) {
@@ -114,6 +119,10 @@ bool NemesisPolicy::FromFlag(const std::string& flag, NemesisPolicy* out) {
         p.index_crash = true;
       } else if (name == "index-partition") {
         p.index_partition = true;
+      } else if (name == "shard-primary-crash") {
+        p.shard_primary_crash = true;
+      } else if (name == "primary-isolation") {
+        p.primary_isolation = true;
       } else {
         return false;
       }
@@ -174,6 +183,12 @@ std::string FaultAction::Describe() const {
     case FaultKind::kIndexPartition:
       os << " index-node=" << target << " cut from shard primaries for "
          << duration_ns / kUs << "us";
+      break;
+    case FaultKind::kShardPrimaryCrash:
+      os << " shard=" << target << " (primary crashed; backup promotion)";
+      break;
+    case FaultKind::kPrimaryIsolation:
+      os << " shard=" << target << " (primary isolated; backup promotion)";
       break;
   }
   return os.str();
@@ -293,6 +308,24 @@ std::vector<uint32_t> Nemesis::UncrashedIndexNodes() const {
   return alive;
 }
 
+std::vector<uint32_t> Nemesis::PromotableShards() const {
+  std::vector<uint32_t> out;
+  for (uint32_t s = 0; s < cluster_->num_shards(); ++s) {
+    // Each planned primary deposition permanently drops one replica from the shard's
+    // committed order; keep planning only while a backup would remain to promote.
+    uint32_t killed = 0;
+    for (const FaultAction& prev : schedule_) {
+      killed += (prev.kind == FaultKind::kShardPrimaryCrash ||
+                 prev.kind == FaultKind::kPrimaryIsolation) &&
+                prev.target == s;
+    }
+    if (cluster_->shard_replication() - killed >= 2) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
 std::vector<uint32_t> Nemesis::UndeposedSeqReplicas() const {
   std::vector<uint32_t> alive;
   for (uint32_t i = 0; i < cluster_->num_seq_replicas(); ++i) {
@@ -323,9 +356,14 @@ NodeId Nemesis::ResolveServerSlot(uint32_t slot) const {
   slot -= num_seq;
   const uint32_t shard_slots = cluster_->num_shards() * cluster_->shard_replication();
   if (slot < shard_slots) {
-    return cluster_->shard(slot / cluster_->shard_replication(),
-                           slot % cluster_->shard_replication())
-        .node_id();
+    const uint32_t s = slot / cluster_->shard_replication();
+    const uint32_t r = slot % cluster_->shard_replication();
+    // A primary failover may have shrunk the shard below its initial replication; a
+    // slot pointing past the current set resolves to nothing.
+    if (r >= cluster_->shard_size(s)) {
+      return kInvalidNode;
+    }
+    return cluster_->shard(s, r).node_id();
   }
   slot -= shard_slots;
   if (slot == 0 && cluster_->controller() != nullptr) {
@@ -379,6 +417,14 @@ std::vector<FaultKind> Nemesis::DrawableKinds() const {
   }
   if (policy_.index_partition && cluster_->num_index_nodes() > 0) {
     kinds.push_back(FaultKind::kIndexPartition);
+  }
+  if (cluster_->controller() != nullptr && !PromotableShards().empty()) {
+    if (policy_.shard_primary_crash) {
+      kinds.push_back(FaultKind::kShardPrimaryCrash);
+    }
+    if (policy_.primary_isolation) {
+      kinds.push_back(FaultKind::kPrimaryIsolation);
+    }
   }
   return kinds;
 }
@@ -496,6 +542,16 @@ void Nemesis::Plan(SimTime start, SimTime end) {
         a.duration_ns = 8 * kMs + rng_.Uniform(12 * kMs);
         cursor += a.duration_ns + 8 * kMs;  // let stalled delta pulls catch back up
         break;
+      case FaultKind::kShardPrimaryCrash:
+      case FaultKind::kPrimaryIsolation: {
+        const std::vector<uint32_t> shards = PromotableShards();
+        LL_CHECK(!shards.empty(), "primary deposition planned with no backup left");
+        a.target = shards[rng_.Uniform(shards.size())];
+        // Detection (2 heartbeats of silence) + seal/promote rounds + handoff +
+        // config publish + client re-resolution, with generous settle slack.
+        cursor += 120 * kMs;
+        break;
+      }
     }
     schedule_.push_back(a);
   }
@@ -545,6 +601,9 @@ void Nemesis::Execute(const FaultAction& a) {
       cluster_->CrashSeqReplica(a.target);
       break;
     case FaultKind::kReplaceShardReplica: {
+      if (a.target2 >= cluster_->shard_size(a.target)) {
+        return;  // an earlier promotion shrank the shard below this replica slot
+      }
       const NodeId old_node = cluster_->shard(a.target, a.target2).node_id();
       const NodeId new_node = cluster_->ReplaceShardReplica(a.target, a.target2);
       if (replace_hook_) {
@@ -568,6 +627,9 @@ void Nemesis::Execute(const FaultAction& a) {
       net.SetExtraDelayNs(static_cast<uint64_t>(a.magnitude));
       break;
     case FaultKind::kDiskSlowdown:
+      if (a.target2 >= cluster_->shard_size(a.target)) {
+        return;
+      }
       cluster_->shard(a.target, a.target2).disk().SetSlowdownFactor(a.magnitude);
       break;
     case FaultKind::kClientCrashAppend:
@@ -615,6 +677,23 @@ void Nemesis::Execute(const FaultAction& a) {
       }
       break;
     }
+    case FaultKind::kShardPrimaryCrash:
+    case FaultKind::kPrimaryIsolation: {
+      // Re-check against live state: an earlier deposition (or a failed promotion)
+      // may have left the shard without a backup, and the slot-0 primary must still
+      // be up for the deposition to mean anything.
+      if (a.target >= cluster_->num_shards() || cluster_->shard_size(a.target) < 2 ||
+          cluster_->controller() == nullptr ||
+          !net.IsUp(cluster_->shard(a.target, 0).node_id())) {
+        return;
+      }
+      if (a.kind == FaultKind::kShardPrimaryCrash) {
+        cluster_->CrashShardPrimary(a.target);
+      } else {
+        cluster_->IsolateShardPrimary(a.target);
+      }
+      break;
+    }
   }
 }
 
@@ -639,6 +718,9 @@ void Nemesis::Heal(const FaultAction& a) {
       net.SetExtraDelayNs(0);
       break;
     case FaultKind::kDiskSlowdown:
+      if (a.target2 >= cluster_->shard_size(a.target)) {
+        return;
+      }
       cluster_->shard(a.target, a.target2).disk().SetSlowdownFactor(1.0);
       break;
     case FaultKind::kOverloadBurst:
@@ -660,7 +742,7 @@ void Nemesis::HealAll() {
   net.SetLossProbability(0.0);
   net.SetExtraDelayNs(0);
   for (uint32_t s = 0; s < cluster_->num_shards(); ++s) {
-    for (uint32_t r = 0; r < cluster_->shard_replication(); ++r) {
+    for (uint32_t r = 0; r < cluster_->shard_size(s); ++r) {
       cluster_->shard(s, r).disk().SetSlowdownFactor(1.0);
     }
   }

@@ -44,6 +44,12 @@ enum class FaultKind : uint8_t {
                      // selective reads routed to it fall back to scans
   kIndexPartition,   // one index node cut from every shard primary for a window: its
                      // delta pulls stall, so indexed_upto freezes while the log grows
+  // Shard-primary failover (promotion): both shrink the shard's replica set by one
+  // permanently (the deposed primary is dropped from the committed order).
+  kShardPrimaryCrash,  // crash a shard primary; the controller promotes a backup
+  kPrimaryIsolation,   // isolate a shard primary (server links cut, process alive):
+                       // the zombie keeps firing no-op timers into the partition,
+                       // which the promotion epoch + sender fence must render harmless
 };
 
 // Which fault kinds the nemesis may draw from. Serializes to/from the repro line's
@@ -62,6 +68,9 @@ struct NemesisPolicy {
   bool overload_burst = true;
   bool index_crash = true;      // only drawn with >= 2 index nodes still standing
   bool index_partition = true;  // only drawn on clusters with index nodes
+  // Only drawn while the planned shard still has a backup left to promote.
+  bool shard_primary_crash = true;
+  bool primary_isolation = true;
 
   // Upper bound on sequencing-replica depositions (crashes + ZK partitions); always
   // additionally clamped to f.
@@ -133,6 +142,9 @@ class Nemesis {
   std::vector<uint32_t> UndeposedSeqReplicas() const;
   // Index node indexes not yet crashed by the schedule (>= 1 must stay alive).
   std::vector<uint32_t> UncrashedIndexNodes() const;
+  // Shards that would still have a backup to promote after the already-planned
+  // primary depositions (each one permanently shrinks the replica set by one).
+  std::vector<uint32_t> PromotableShards() const;
   // Resolves a virtual server slot (seq replicas first, then shard (s, r) slots, then
   // the controller) to the node currently occupying it; kInvalidNode if out of range.
   NodeId ResolveServerSlot(uint32_t slot) const;

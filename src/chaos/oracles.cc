@@ -1,6 +1,8 @@
 #include "src/chaos/oracles.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <sstream>
 #include <unordered_map>
@@ -447,6 +449,66 @@ std::vector<ChaosViolation> CheckStreamProjection(const ChaosHistory& h) {
   return out;
 }
 
+std::vector<ChaosViolation> CheckPromotionSafety(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  // Earliest shard-primary deposition, parsed from the nemesis log ("<kind>@<t>us ...").
+  SimTime first_kill = UINT64_MAX;
+  for (const std::string& action : h.nemesis_actions()) {
+    for (const char* prefix : {"shard-primary-crash@", "primary-isolation@"}) {
+      if (action.rfind(prefix, 0) == 0) {
+        const uint64_t us = std::strtoull(action.c_str() + std::strlen(prefix), nullptr, 10);
+        first_kill = std::min<SimTime>(first_kill, us * kUs);
+      }
+    }
+  }
+  if (first_kill == UINT64_MAX) {
+    return out;  // no promotion in this run; nothing to scope to
+  }
+  FinalIndex index(h);
+
+  // (a) No append acked before the deposition is lost or duplicated by the promotion.
+  // CheckDurabilityExactlyOnce covers all acked appends; re-checking the pre-crash
+  // subset here attributes a promotion-window loss to the promotion machinery.
+  for (const AppendOp& op : h.appends()) {
+    if (op.kind != AppendOp::Kind::kNormal || !op.acked || op.acked_at >= first_kill) {
+      continue;
+    }
+    auto it = index.by_payload.find(op.payload_hash);
+    const size_t copies = it == index.by_payload.end() ? 0 : it->second.size();
+    if (copies != 1) {
+      std::ostringstream os;
+      os << "append '" << op.payload_key << "' acked at " << op.acked_at
+         << "ns, before the first primary deposition at " << first_kill << "ns, appears "
+         << copies << " times in the post-promotion log (want exactly 1)";
+      out.push_back(ChaosViolation{"promotion-safety", os.str()});
+    }
+  }
+
+  // (b) No pre-deposition binding moved: a position a read observed before the
+  // promotion must hold the identical record in the final log.
+  for (const ReadObservation& obs : h.read_observations()) {
+    if (obs.returned_at >= first_kill) {
+      continue;
+    }
+    auto it = index.by_pos.find(obs.rec.pos);
+    if (it == index.by_pos.end()) {
+      std::ostringstream os;
+      os << "position " << obs.rec.pos << " (record " << DescribeId(obs.rec.id)
+         << ") observed before the primary deposition is absent from the final log";
+      out.push_back(ChaosViolation{"promotion-safety", os.str()});
+    } else if (!(it->second->id == obs.rec.id) ||
+               it->second->payload_hash != obs.rec.payload_hash ||
+               it->second->no_op != obs.rec.no_op) {
+      std::ostringstream os;
+      os << "position " << obs.rec.pos << " held record " << DescribeId(obs.rec.id)
+         << " before the primary deposition but " << DescribeId(it->second->id)
+         << " after it (re-ordered across promotion)";
+      out.push_back(ChaosViolation{"promotion-safety", os.str()});
+    }
+  }
+  return out;
+}
+
 std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode mode) {
   std::vector<ChaosViolation> all;
   auto append = [&all](std::vector<ChaosViolation> v) {
@@ -462,6 +524,7 @@ std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode 
   append(CheckMonotonicity(h));
   append(CheckOverloadRule(h));
   append(CheckStreamProjection(h));
+  append(CheckPromotionSafety(h));
   return all;
 }
 

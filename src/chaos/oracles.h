@@ -63,6 +63,13 @@ std::vector<ChaosViolation> CheckOverloadRule(const ChaosHistory& h);
 // the final stable tail.
 std::vector<ChaosViolation> CheckStreamProjection(const ChaosHistory& h);
 
+// (9) Promotion safety: scoped to runs whose nemesis log contains a shard-primary
+// deposition (crash or isolation). Every append acked before the first deposition
+// appears exactly once in the final log, and every position observed by a read before
+// the first deposition holds the same record afterwards — no acked append is lost or
+// re-ordered across a promotion.
+std::vector<ChaosViolation> CheckPromotionSafety(const ChaosHistory& h);
+
 // Runs every oracle applicable to `mode` and concatenates the violations.
 std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode mode);
 

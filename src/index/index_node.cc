@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "src/seq/seq_messages.h"
+
 namespace lazylog {
 
 namespace {
@@ -29,6 +31,17 @@ IndexNode::IndexNode(Network* net, const SimParams& params, uint32_t index, Node
   });
   endpoint_.Register(kShardTrim, [this](NodeId, Decoder d, Responder r) {
     HandleTrim(d, std::move(r));
+  });
+  // Controller -> index: a shard's serving node changed (backup replacement or primary
+  // promotion); re-point the delta feed at the new node and re-pull from scratch.
+  endpoint_.Register(kSeqUpdateShards, [this](NodeId, Decoder d, Responder r) {
+    SeqUpdateShardsReq req;
+    if (!req.Decode(d)) {
+      r.Send(Status::InvalidArgument("bad shard update"));
+      return;
+    }
+    ReplaceShardServer(req.old_node, req.new_node);
+    r.Send(Status::Ok());
   });
 }
 

@@ -29,16 +29,21 @@ struct ClusterView {
   uint32_t num_shards() const { return static_cast<uint32_t>(shards.size()); }
 };
 
-// Parses the controller's "/shards/config" znode: epoch, then the replica matrix.
-// Returns false on a malformed blob.
+// Parses the controller's "/shards/config" znode: epoch, then the replica matrix. Each
+// shard's replica list is followed by its promotion epoch (bumped on every primary
+// failover). Returns false on a malformed blob.
 inline bool DecodeShardConfig(const std::string& blob, uint64_t* epoch,
-                              std::vector<std::vector<NodeId>>* shards) {
+                              std::vector<std::vector<NodeId>>* shards,
+                              std::vector<uint64_t>* promo_epochs = nullptr) {
   Decoder d(blob);
   uint32_t num_shards = 0;
   if (!d.GetU64(epoch) || !d.GetU32(&num_shards)) {
     return false;
   }
   shards->clear();
+  if (promo_epochs != nullptr) {
+    promo_epochs->clear();
+  }
   for (uint32_t s = 0; s < num_shards; ++s) {
     uint32_t count = 0;
     if (!d.GetU32(&count)) {
@@ -51,6 +56,13 @@ inline bool DecodeShardConfig(const std::string& blob, uint64_t* epoch,
         return false;
       }
       replicas.push_back(n);
+    }
+    uint64_t promo_epoch = 0;
+    if (!d.GetU64(&promo_epoch)) {
+      return false;
+    }
+    if (promo_epochs != nullptr) {
+      promo_epochs->push_back(promo_epoch);
     }
     shards->push_back(std::move(replicas));
   }

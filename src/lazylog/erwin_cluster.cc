@@ -240,6 +240,75 @@ NodeId ErwinCluster::ReplaceShardReplica(uint32_t shard, uint32_t replica_index)
   return new_node;
 }
 
+NodeId ErwinCluster::CrashShardPrimary(uint32_t shard) {
+  LL_CHECK(shard < shards_.size(), "bad shard index");
+  LL_CHECK(shards_[shard].size() > 1, "no backup to promote");
+  LL_CHECK(controller_ != nullptr, "shard primary failover requires the control plane");
+  const NodeId old_node = shards_[shard][0]->node_id();
+  net_->Crash(old_node);
+  DrivePromotion(shard);
+  return old_node;
+}
+
+NodeId ErwinCluster::IsolateShardPrimary(uint32_t shard) {
+  LL_CHECK(shard < shards_.size(), "bad shard index");
+  LL_CHECK(shards_[shard].size() > 1, "no backup to promote");
+  LL_CHECK(controller_ != nullptr, "shard primary failover requires the control plane");
+  const NodeId old_node = shards_[shard][0]->node_id();
+  // Sever every server-side link; client links stay up (a data write the zombie acks
+  // is still durable — the payload went to all replicas — so that is harmless).
+  for (NodeId n : AllShardServers()) {
+    if (n != old_node) {
+      net_->SetPartitioned(old_node, n, true);
+    }
+  }
+  for (const auto& rep : seq_replicas_) {
+    net_->SetPartitioned(old_node, rep->node_id(), true);
+  }
+  for (NodeId n : IndexNodeIds()) {
+    net_->SetPartitioned(old_node, n, true);
+  }
+  net_->SetPartitioned(old_node, zk_->node_id(), true);
+  net_->SetPartitioned(old_node, controller_->node_id(), true);
+  DrivePromotion(shard);
+  return old_node;
+}
+
+void ErwinCluster::DrivePromotion(uint32_t shard) {
+  // Shard servers keep no ZK ephemerals; model the failure detector as two session
+  // heartbeats of silence before the controller reacts.
+  const uint64_t delay = 2 * options_.params.control.session_heartbeat_ns;
+  loop_.Schedule(delay, [this, shard]() {
+    controller_->PromoteShardPrimary(shard, [this, shard](Status s) {
+      if (!s.ok()) {
+        LLOG(kError) << "shard " << shard << " primary promotion failed: " << s.ToString();
+        return;
+      }
+      AdoptPromotedOrder(shard);
+    });
+  });
+}
+
+void ErwinCluster::AdoptPromotedOrder(uint32_t shard) {
+  const std::vector<NodeId>& order = controller_->shards()[shard];
+  std::vector<std::unique_ptr<ShardServer>> new_reps;
+  for (NodeId n : order) {
+    for (auto& rep : shards_[shard]) {
+      if (rep && rep->node_id() == n) {
+        new_reps.push_back(std::move(rep));
+      }
+    }
+  }
+  // Whatever the controller dropped (the dead primary, pruned peers) is retired, not
+  // destroyed: its scheduled timers may still fire.
+  for (auto& rep : shards_[shard]) {
+    if (rep) {
+      retired_shards_.push_back(std::move(rep));
+    }
+  }
+  shards_[shard] = std::move(new_reps);
+}
+
 SequencingReplica& ErwinCluster::leader() {
   for (auto& rep : seq_replicas_) {
     if (rep->is_leader() && !rep->sealed() && net_->IsUp(rep->node_id())) {

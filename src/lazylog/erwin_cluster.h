@@ -71,6 +71,18 @@ class ErwinCluster {
   // membership in their view; Erwin-st writers must be given the new view (deployments
   // would push shard membership through the control plane).
   NodeId ReplaceShardReplica(uint32_t shard, uint32_t replica_index);
+  // Crashes shard `shard`'s primary and drives a controller-led promotion of the
+  // most-complete surviving backup (ordered handoff of the acked-but-unordered tail).
+  // Shard servers keep no liveness ephemerals, so detection is modelled as two session
+  // heartbeats of silence before the controller reacts — fig17 and the chaos oracles
+  // see a realistic detect->seal->handoff->open breakdown. Requires the control plane
+  // and at least one backup. Returns the crashed node id.
+  NodeId CrashShardPrimary(uint32_t shard);
+  // Same promotion, but the primary is isolated (all server-side links severed, the
+  // process keeps running) instead of crashed: the zombie keeps firing no-op timers
+  // and replication attempts, which the promotion epoch + sender fencing must render
+  // harmless. Returns the isolated node id.
+  NodeId IsolateShardPrimary(uint32_t shard);
 
   // --- accessors for tests/benches ------------------------------------------------------
   SequencingReplica& seq_replica(uint32_t i) { return *seq_replicas_[i]; }
@@ -78,6 +90,10 @@ class ErwinCluster {
   ShardServer& shard(uint32_t s, uint32_t r) { return *shards_[s][r]; }
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   uint32_t shard_replication() const { return options_.shard_replication; }
+  // Current replica count of shard `s`. Starts at shard_replication() but shrinks when
+  // a primary failover drops the deposed node (and any non-sealing survivor) from the
+  // committed order — callers gridding (shard, replica) slots must re-check this.
+  uint32_t shard_size(uint32_t s) const { return static_cast<uint32_t>(shards_[s].size()); }
   IndexNode& index_node(uint32_t i) { return *index_nodes_[i]; }
   uint32_t num_index_nodes() const { return static_cast<uint32_t>(index_nodes_.size()); }
   Controller* controller() { return controller_.get(); }
@@ -93,6 +109,11 @@ class ErwinCluster {
   std::vector<NodeId> AllShardServers() const;
   std::vector<NodeId> ShardPrimaries() const;
   std::vector<NodeId> IndexNodeIds() const;
+  // Schedules the detection delay + controller promotion after the primary failed.
+  void DrivePromotion(uint32_t shard);
+  // Mirrors the controller's committed post-promotion order in the harness's own
+  // matrix (accessors, MakeView) and retires servers dropped from the set.
+  void AdoptPromotedOrder(uint32_t shard);
 
   ErwinClusterOptions options_;
   EventLoop loop_;

@@ -289,8 +289,29 @@ void ErwinMClient::ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCa
     ScanReadNext(tag, from, max, std::move(cb));
     return;
   }
+  ReadNextViaIndex(tag, from, max, std::move(cb), 0);
+}
+
+void ErwinMClient::ReadNextViaIndex(StreamTag tag, LogPos from, uint32_t max,
+                                    ReadNextCallback cb, int attempt) {
   IndexSelectiveRead(&endpoint_, &params_, &view_, client_id_, tag, from, max, cb,
-                     [this, tag, from, max, cb]() { ScanReadNext(tag, from, max, cb); });
+                     [this, tag, from, max, cb, attempt]() {
+                       if (attempt >= 3) {
+                         ScanReadNext(tag, from, max, cb);
+                         return;
+                       }
+                       // The shard fetch (or the index pull itself) failed — likely a
+                       // stale replica set rather than a down index tier. Re-resolve
+                       // the shard membership and retry the selective path with the
+                       // shared jittered backoff before paying for a full scan.
+                       RefreshShardConfig([this, tag, from, max, cb, attempt]() {
+                         endpoint_.loop()->Schedule(
+                             RetryBackoffNs(static_cast<uint32_t>(attempt), rng_.NextDouble()),
+                             [this, tag, from, max, cb, attempt]() {
+                               ReadNextViaIndex(tag, from, max, cb, attempt + 1);
+                             });
+                       });
+                     });
 }
 
 // --- tail / trim ---------------------------------------------------------------------------

@@ -80,6 +80,11 @@ class ErwinMClient : public SharedLogClient {
   void ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int attempt);
   void CheckTailAttempt(TailCallback cb, int attempt);
   void TrimAttempt(LogPos index, TrimCallback cb, int attempt);
+  // Index-path ReadNext with re-resolution: a failed index pull or shard fetch (e.g. a
+  // promoted shard primary the cached view predates) refreshes "/shards/config" and
+  // retries on the shared jittered backoff before degrading to the scan fallback.
+  void ReadNextViaIndex(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb,
+                        int attempt);
   void PollStable(LogPos target, AppendCallback cb);
 
   RpcEndpoint endpoint_;

@@ -93,6 +93,11 @@ class ErwinStClient : public SharedLogClient {
   void CheckTailAttempt(TailCallback cb, int attempt);
   void TrimAttempt(LogPos index, TrimCallback cb, int attempt);
   void TryRead(std::shared_ptr<PendingRead> rd);
+  // Index-path ReadNext with re-resolution: a failed index pull or shard fetch (e.g. a
+  // promoted shard primary the cached view predates) refreshes "/shards/config" and
+  // retries on the shared jittered backoff before degrading to the scan fallback.
+  void ReadNextViaIndex(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb,
+                        int attempt);
   void DoRead(std::shared_ptr<PendingRead> rd);
   void FetchPosMap(LogPos needed_end, std::function<void()> then);
 

@@ -29,6 +29,8 @@ inline constexpr MethodId kSeqCheckTail = 206;     // client -> leader
 inline constexpr MethodId kSeqGetConfig = 207;     // client -> any replica: view/config probe
 inline constexpr MethodId kSeqTrim = 208;          // client -> leader
 inline constexpr MethodId kSeqUpdateShards = 209;  // controller -> replica: shard membership
+inline constexpr MethodId kSeqShardFailover = 210; // controller -> replica: primary promoted;
+                                                   // retarget pushes + reset the shard cursor
 
 // --- storage shards: 300 block ---
 inline constexpr MethodId kShardAppendBatch = 300;   // orderer -> primary: ordered records
@@ -48,6 +50,13 @@ inline constexpr MethodId kShardSeal = 313;          // controller -> shard: fen
 inline constexpr MethodId kShardCopyState = 314;     // controller -> replacement: pull state
 inline constexpr MethodId kShardIndexDelta = 315;    // index node -> primary: pull tag index
 inline constexpr MethodId kShardMultiRead = 316;     // client -> shard: sparse position batch
+inline constexpr MethodId kShardPromoSeal = 317;     // controller -> replica: fence for primary
+                                                     // promotion; resp = completeness report
+inline constexpr MethodId kShardPromote = 318;       // controller -> replica: adopt new replica
+                                                     // order (order[0] == self => role flip)
+inline constexpr MethodId kShardBackfill = 319;      // new primary -> peer backup: fetch the
+                                                     // record bound at a position (payload
+                                                     // back-fill during promotion handoff)
 
 // --- index tier: 800 block ---
 inline constexpr MethodId kIndexReadNext = 800;      // client -> index node: tag position scan

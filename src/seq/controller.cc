@@ -31,6 +31,7 @@ void Controller::Start(std::vector<NodeId> seq_replicas, NodeId initial_leader,
                        std::vector<std::vector<NodeId>> shards) {
   seq_replicas_ = seq_replicas;
   shards_ = std::move(shards);
+  shard_promo_epochs_.assign(shards_.size(), 0);
   // Initial config: leader first, then the rest in index order.
   config_.clear();
   config_.push_back(initial_leader);
@@ -179,10 +180,14 @@ void Controller::SealAll(uint32_t attempt) {
 
 void Controller::FenceShards(ViewId fence_view, std::shared_ptr<std::set<NodeId>> pending,
                              std::function<void()> done) {
-  // Drop nodes that were replaced (no longer shard members) since the last round.
+  // Drop nodes that were replaced (no longer shard members) since the last round, and
+  // nodes known dead (a crashed shard primary awaiting promotion): a sequencing
+  // reconfiguration that raced a shard-primary failure must not wait forever on the
+  // dead primary's fence ack.
   const std::vector<NodeId> current = AllShardServers();
   for (auto it = pending->begin(); it != pending->end();) {
-    if (std::find(current.begin(), current.end(), *it) == current.end()) {
+    if (std::find(current.begin(), current.end(), *it) == current.end() ||
+        dead_shard_servers_.count(*it) > 0) {
       it = pending->erase(it);
     } else {
       ++it;
@@ -389,6 +394,7 @@ void Controller::FinishView(std::vector<NodeId> new_config, LogPos ordered_gp,
                             config_ = new_config;
                             timing_.new_view_at = endpoint_.loop()->Now();
                             timing_.complete = true;
+                            reconfigurations_++;
                             reconfiguring_ = false;
                             LLOG(kInfo) << "controller: view " << new_view << " started";
                             if (on_reconfigured_) {
@@ -436,11 +442,14 @@ std::string Controller::EncodeShardConfig() const {
   Encoder e;
   e.PutU64(shard_epoch_);
   e.PutU32(static_cast<uint32_t>(shards_.size()));
-  for (const auto& shard : shards_) {
-    e.PutU32(static_cast<uint32_t>(shard.size()));
-    for (NodeId n : shard) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    e.PutU32(static_cast<uint32_t>(shards_[s].size()));
+    for (NodeId n : shards_[s]) {
       e.PutU32(n);
     }
+    // Per-shard promotion epoch: bumped on every primary failover so clients and the
+    // oracle can tell a reordered replica list from a mere backup replacement.
+    e.PutU64(s < shard_promo_epochs_.size() ? shard_promo_epochs_[s] : 0);
   }
   return e.Take();
 }
@@ -462,12 +471,49 @@ void Controller::WriteShardConfig(std::function<void(Status)> done) {
               kZkOpTimeoutNs);
 }
 
+void Controller::BeginShardOp(uint32_t shard, std::function<void()> op) {
+  if (shard_busy_.count(shard) > 0) {
+    shard_op_queue_[shard].push_back(std::move(op));
+    return;
+  }
+  shard_busy_.insert(shard);
+  op();
+}
+
+void Controller::EndShardOp(uint32_t shard) {
+  auto qit = shard_op_queue_.find(shard);
+  if (qit != shard_op_queue_.end() && !qit->second.empty()) {
+    auto next = std::move(qit->second.front());
+    qit->second.erase(qit->second.begin());
+    next();  // the shard stays busy; the queued op ends it in turn
+    return;
+  }
+  shard_busy_.erase(shard);
+}
+
 void Controller::ReplaceShardReplica(uint32_t shard, uint32_t replica_index, NodeId new_node,
                                      std::function<void(Status)> done) {
   LL_CHECK(shard < shards_.size(), "bad shard index");
-  LL_CHECK(replica_index > 0 && replica_index < shards_[shard].size(),
-           "can only replace a non-primary replica");
-  const NodeId old_node = shards_[shard][replica_index];
+  BeginShardOp(shard, [this, shard, replica_index, new_node, done = std::move(done)]() mutable {
+    auto finish = [this, shard, done = std::move(done)](Status s) {
+      EndShardOp(shard);
+      if (done) {
+        done(std::move(s));
+      }
+    };
+    // Membership may have changed while this op was queued behind another one on the
+    // same shard (a promotion reorders and shrinks the replica list); re-validate and
+    // re-resolve the victim at execution time rather than trusting the caller's index.
+    if (replica_index == 0 || replica_index >= shards_[shard].size()) {
+      finish(Status::Unavailable("replica index no longer valid (membership changed)"));
+      return;
+    }
+    DoReplaceShardReplica(shard, shards_[shard][replica_index], new_node, std::move(finish));
+  });
+}
+
+void Controller::DoReplaceShardReplica(uint32_t shard, NodeId old_node, NodeId new_node,
+                                       std::function<void(Status)> done) {
   const NodeId source = shards_[shard][0];
   ShardCopyStateReq req{source};
   Encoder enc;
@@ -478,28 +524,34 @@ void Controller::ReplaceShardReplica(uint32_t shard, uint32_t replica_index, Nod
   // and the scheduled retry own the strong one, so the chain frees itself once the
   // retries stop instead of leaking a shared_ptr cycle.
   std::weak_ptr<std::function<void(uint32_t)>> weak_copy = attempt_copy;
-  *attempt_copy = [this, shard, replica_index, old_node, new_node, body, weak_copy,
+  *attempt_copy = [this, shard, old_node, new_node, body, weak_copy,
                    done = std::move(done)](uint32_t attempt) mutable {
     auto self = weak_copy.lock();
     if (!self) {
       return;
     }
     endpoint_.Call(new_node, kShardCopyState, *body,
-                   [this, shard, replica_index, old_node, new_node, attempt, self,
+                   [this, shard, old_node, new_node, attempt, self,
                     done](Status s, Decoder) mutable {
                      if (!s.ok()) {
                        if (attempt + 1 < 5) {
                          endpoint_.loop()->Schedule(2 * kMs, [self, attempt]() {
                            (*self)(attempt + 1);
                          });
-                       } else if (done) {
+                       } else {
                          done(std::move(s));
                        }
                        return;
                      }
                      // State installed on the replacement: adopt + persist the new
-                     // membership, then re-wire the sequencing layer.
-                     shards_[shard][replica_index] = new_node;
+                     // membership, then re-wire the sequencing layer. Re-find the victim
+                     // by identity: its slot may have shifted while the copy ran.
+                     auto it = std::find(shards_[shard].begin(), shards_[shard].end(), old_node);
+                     if (it == shards_[shard].end()) {
+                       done(Status::Unavailable("old replica no longer a member"));
+                       return;
+                     }
+                     *it = new_node;
                      shard_epoch_++;
                      WriteShardConfig([this, old_node, new_node, done](Status) mutable {
                        UpdateSeqShards(old_node, new_node, std::move(done));
@@ -512,6 +564,7 @@ void Controller::ReplaceShardReplica(uint32_t shard, uint32_t replica_index, Nod
 
 void Controller::AddShard(std::vector<NodeId> replicas) {
   shards_.push_back(std::move(replicas));
+  shard_promo_epochs_.push_back(0);
   shard_epoch_++;
   WriteShardConfig(nullptr);
 }
@@ -561,6 +614,378 @@ void Controller::UpdateSeqShards(NodeId old_node, NodeId new_node,
     };
     (*send)(0);
   }
+}
+
+// --- shard primary failover ------------------------------------------------------------
+//
+// Promotion protocol (one shard, controller-driven):
+//   1. promo-seal every surviving replica under a bumped promotion epoch; the seal ack
+//      doubles as a completeness report (applied/durable frontiers, pending bindings),
+//      so fencing and candidate selection cost one RPC round;
+//   2. pick the survivor with the highest contiguous applied frontier;
+//   3. install the new replica order on the peers, then on the new primary — the
+//      primary's flip catches lagging peers up from its own log and converts its
+//      pending payload bindings into peer back-fills; its ack carries the frontier the
+//      orderer must resume from;
+//   4. kSeqShardFailover to the sequencing tier: the leader swaps push targets and
+//      resets the shard's ordering cursor to that frontier, re-pushing the
+//      acked-but-unordered metadata tail (the reconciliation handoff — safe because a
+//      window is acked only once every backup replicated it, so nothing at or above
+//      ordered-gp was lost with the primary);
+//   5. publish the shrunken replica order + promotion epoch to ZK "/shards/config" and
+//      re-point the index tier's delta feeds.
+
+namespace {
+// Rounds a promo-seal / promote RPC is retried before the target is presumed dead.
+constexpr uint32_t kPromoRoundLimit = 8;
+}  // namespace
+
+struct Controller::PromoState {
+  uint32_t shard = 0;
+  uint64_t promo_epoch = 0;
+  NodeId old_primary = kInvalidNode;
+  std::vector<NodeId> survivors;  // old order minus the primary and known-dead nodes
+  std::map<NodeId, ShardCompletenessResp> reports;
+  std::set<NodeId> pending;  // seal acks outstanding
+  NodeId new_primary = kInvalidNode;
+  std::vector<NodeId> new_order;  // new primary first
+  LogPos reset_upto = 0;
+  std::function<void(Status)> done;
+};
+
+void Controller::PromoteShardPrimary(uint32_t shard, std::function<void(Status)> done) {
+  BeginShardOp(shard, [this, shard, done = std::move(done)]() mutable {
+    auto finish = [this, shard, done = std::move(done)](Status s) {
+      EndShardOp(shard);
+      if (done) {
+        done(std::move(s));
+      }
+    };
+    DoPromoteShardPrimary(shard, std::move(finish));
+  });
+}
+
+void Controller::DoPromoteShardPrimary(uint32_t shard, std::function<void(Status)> done) {
+  if (shard >= shards_.size() || shards_[shard].empty()) {
+    done(Status::Unavailable("no such shard"));
+    return;
+  }
+  auto st = std::make_shared<PromoState>();
+  st->shard = shard;
+  st->old_primary = shards_[shard][0];
+  // Bump the in-memory epoch at attempt start (not at commit): a restarted promotion —
+  // the chosen candidate died mid-protocol — re-seals the survivors under a strictly
+  // higher epoch instead of finding them already unsealed at the stale one.
+  st->promo_epoch = ++shard_promo_epochs_[shard];
+  st->done = std::move(done);
+  dead_shard_servers_.insert(st->old_primary);
+  for (size_t i = 1; i < shards_[shard].size(); ++i) {
+    const NodeId n = shards_[shard][i];
+    if (dead_shard_servers_.count(n) == 0) {
+      st->survivors.push_back(n);
+    }
+  }
+  if (st->survivors.empty()) {
+    LLOG(kError) << "controller: shard " << shard << " has no surviving replica to promote";
+    st->done(Status::Unavailable("no surviving replica"));
+    return;
+  }
+  failover_timing_ = ShardFailoverTiming{};
+  failover_timing_.shard = shard;
+  failover_timing_.detected_at = endpoint_.loop()->Now();
+  failover_timing_.old_primary = st->old_primary;
+  st->pending.insert(st->survivors.begin(), st->survivors.end());
+  LLOG(kInfo) << "controller: promoting shard " << shard << " (old primary "
+              << st->old_primary << ", epoch " << st->promo_epoch << ")";
+  PromoSealRound(st, 0);
+}
+
+void Controller::PromoSealRound(std::shared_ptr<PromoState> st, uint32_t attempt) {
+  if (st->pending.empty()) {
+    SelectAndPromote(st);
+    return;
+  }
+  ShardPromoSealReq req{st->promo_epoch};
+  Encoder enc;
+  req.Encode(enc);
+  const std::string body = enc.Take();
+  const std::vector<NodeId> round(st->pending.begin(), st->pending.end());
+  auto remaining = std::make_shared<size_t>(round.size());
+  for (NodeId n : round) {
+    endpoint_.Call(n, kShardPromoSeal, body,
+                   [this, st, n, remaining, attempt](Status s, Decoder d) {
+                     ShardCompletenessResp resp;
+                     if (s.ok() && resp.Decode(d)) {
+                       st->reports[n] = resp;
+                       st->pending.erase(n);
+                     }
+                     if (--*remaining > 0) {
+                       return;
+                     }
+                     if (st->pending.empty()) {
+                       failover_timing_.sealed_at = endpoint_.loop()->Now();
+                       SelectAndPromote(st);
+                       return;
+                     }
+                     if (attempt + 1 >= kPromoRoundLimit) {
+                       // Non-responders are presumed dead too: drop them and promote
+                       // from the replicas that did seal — a failover cannot wait
+                       // forever on a second casualty.
+                       for (NodeId drop : st->pending) {
+                         LLOG(kWarn) << "controller: survivor " << drop
+                                     << " never promo-sealed; dropping from shard "
+                                     << st->shard;
+                         dead_shard_servers_.insert(drop);
+                       }
+                       st->pending.clear();
+                       if (st->reports.empty()) {
+                         st->done(Status::Unavailable("no survivor reachable for promotion"));
+                         return;
+                       }
+                       failover_timing_.sealed_at = endpoint_.loop()->Now();
+                       SelectAndPromote(st);
+                       return;
+                     }
+                     endpoint_.loop()->Schedule(kFenceRetryNs, [this, st, attempt]() {
+                       PromoSealRound(st, attempt + 1);
+                     });
+                   },
+                   kFenceAttemptTimeoutNs);
+  }
+}
+
+void Controller::SelectAndPromote(std::shared_ptr<PromoState> st) {
+  // Most-complete backup: highest contiguous applied frontier (ties broken by the
+  // durable frontier, then by position in the old order).
+  NodeId best = kInvalidNode;
+  LogPos best_applied = 0;
+  uint64_t best_durable = 0;
+  for (NodeId n : st->survivors) {
+    auto it = st->reports.find(n);
+    if (it == st->reports.end()) {
+      continue;
+    }
+    const ShardCompletenessResp& r = it->second;
+    if (best == kInvalidNode || r.order_applied > best_applied ||
+        (r.order_applied == best_applied && r.order_durable > best_durable)) {
+      best = n;
+      best_applied = r.order_applied;
+      best_durable = r.order_durable;
+    }
+  }
+  if (best == kInvalidNode) {
+    st->done(Status::Unavailable("no completeness report"));
+    return;
+  }
+  st->new_primary = best;
+  failover_timing_.new_primary = best;
+  st->new_order.clear();
+  st->new_order.push_back(best);
+  for (NodeId n : st->survivors) {
+    if (n != best && st->reports.count(n) > 0) {
+      st->new_order.push_back(n);
+    }
+  }
+
+  // Install the new order on the peers FIRST: by the time the new primary flips (and
+  // starts catching peers up / back-filling from them), every peer already points its
+  // repair path and fetch timers at it and accepts its replication traffic.
+  auto acked = std::make_shared<std::set<NodeId>>();
+  auto after_peers = [this, st, acked]() {
+    // Peers that never acked the promote are presumed dead: prune them from the order
+    // given to the new primary so its replication acks never gate on a corpse.
+    std::vector<NodeId> pruned{st->new_primary};
+    for (size_t i = 1; i < st->new_order.size(); ++i) {
+      const NodeId n = st->new_order[i];
+      if (acked->count(n) > 0) {
+        pruned.push_back(n);
+      } else {
+        LLOG(kWarn) << "controller: peer " << n << " never acked promote; dropping";
+        dead_shard_servers_.insert(n);
+      }
+    }
+    st->new_order = std::move(pruned);
+    SendPromote(st, st->new_primary, 0, [this, st](Status s, LogPos upto) {
+      if (!s.ok()) {
+        // The candidate died mid-promotion: mark it dead and restart the protocol;
+        // the next round seals the remaining survivors under a higher epoch.
+        LLOG(kWarn) << "controller: promote of candidate " << st->new_primary
+                    << " failed (" << s.ToString() << "); restarting promotion";
+        dead_shard_servers_.insert(st->new_primary);
+        endpoint_.loop()->Schedule(1 * kMs, [this, st]() {
+          DoPromoteShardPrimary(st->shard, std::move(st->done));
+        });
+        return;
+      }
+      st->reset_upto = upto;
+      failover_timing_.handoff_at = endpoint_.loop()->Now();
+      failover_timing_.reset_upto = upto;
+      FinishPromotion(st);
+    });
+  };
+  if (st->new_order.size() == 1) {
+    after_peers();
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(st->new_order.size() - 1);
+  for (size_t i = 1; i < st->new_order.size(); ++i) {
+    const NodeId peer = st->new_order[i];
+    SendPromote(st, peer, 0, [peer, acked, remaining, after_peers](Status s, LogPos) {
+      if (s.ok()) {
+        acked->insert(peer);
+      }
+      if (--*remaining == 0) {
+        after_peers();
+      }
+    });
+  }
+}
+
+void Controller::SendPromote(std::shared_ptr<PromoState> st, NodeId target, uint32_t attempt,
+                             std::function<void(Status, LogPos)> cb) {
+  ShardPromoteReq req;
+  req.promo_epoch = st->promo_epoch;
+  for (NodeId n : st->new_order) {
+    req.order.push_back(n);
+    auto it = st->reports.find(n);
+    req.peer_applied.push_back(it != st->reports.end() ? it->second.order_applied : 0);
+  }
+  Encoder enc;
+  req.Encode(enc);
+  endpoint_.Call(target, kShardPromote, enc.Take(),
+                 [this, st, target, attempt, cb = std::move(cb)](Status s, Decoder d) mutable {
+                   ShardOrderAckResp resp;
+                   if (s.ok() && resp.Decode(d)) {
+                     cb(Status::Ok(), resp.applied_upto);
+                     return;
+                   }
+                   if (attempt + 1 < kPromoRoundLimit) {
+                     endpoint_.loop()->Schedule(
+                         kFenceRetryNs, [this, st, target, attempt, cb = std::move(cb)]() mutable {
+                           SendPromote(st, target, attempt + 1, std::move(cb));
+                         });
+                     return;
+                   }
+                   cb(s.ok() ? Status::Unavailable("bad promote ack") : std::move(s), 0);
+                 },
+                 kFenceAttemptTimeoutNs);
+}
+
+void Controller::FinishPromotion(std::shared_ptr<PromoState> st) {
+  // Commit the new membership (survivors only, promoted primary first), then retarget
+  // the ordering pipeline BEFORE publishing the config: the leader's cursor reset +
+  // re-push is what fills the acked-but-unordered gap, and clients re-resolving the
+  // config will immediately append behind it.
+  shards_[st->shard] = st->new_order;
+  shard_epoch_++;
+  SeqShardFailoverReq req{st->shard, st->old_primary, st->new_primary, st->reset_upto};
+  SeqShardFailoverAll(req, [this, st]() {
+    WriteShardConfig([this, st](Status) {
+      UpdateIndexShards(st->old_primary, st->new_primary, 0);
+      promotions_++;
+      failover_timing_.opened_at = endpoint_.loop()->Now();
+      failover_timing_.complete = true;
+      LLOG(kInfo) << "controller: shard " << st->shard << " promoted " << st->new_primary
+                  << " (reset_upto " << st->reset_upto << ", epoch " << st->promo_epoch
+                  << ")";
+      if (on_shard_promoted_) {
+        on_shard_promoted_(failover_timing_);
+      }
+      st->done(Status::Ok());
+    });
+  });
+}
+
+void Controller::SeqShardFailoverAll(const SeqShardFailoverReq& req,
+                                     std::function<void()> done) {
+  std::vector<NodeId> targets;
+  for (NodeId n : seq_replicas_) {
+    if (known_dead_.count(n) == 0) {
+      targets.push_back(n);
+    }
+  }
+  if (targets.empty()) {
+    done();
+    return;
+  }
+  Encoder enc;
+  req.Encode(enc);
+  auto body = std::make_shared<std::string>(enc.Take());
+  auto remaining = std::make_shared<size_t>(targets.size());
+  auto finish = std::make_shared<std::function<void()>>(std::move(done));
+  for (NodeId member : targets) {
+    auto send = std::make_shared<std::function<void(uint32_t)>>();
+    // Weak self-reference, same idiom as UpdateSeqShards.
+    std::weak_ptr<std::function<void(uint32_t)>> weak_send = send;
+    *send = [this, member, body, weak_send, remaining, finish](uint32_t attempt) {
+      auto self = weak_send.lock();
+      if (!self) {
+        return;
+      }
+      endpoint_.Call(member, kSeqShardFailover, *body,
+                     [this, member, attempt, self, remaining, finish](Status s, Decoder) {
+                       if (!s.ok() && attempt + 1 < 10 && known_dead_.count(member) == 0) {
+                         endpoint_.loop()->Schedule(
+                             2 * kMs, [self, attempt]() { (*self)(attempt + 1); });
+                         return;
+                       }
+                       if (--*remaining == 0) {
+                         (*finish)();
+                       }
+                     },
+                     kStartViewAttemptTimeoutNs);
+    };
+    (*send)(0);
+  }
+}
+
+void Controller::UpdateIndexShards(NodeId old_node, NodeId new_node, uint32_t attempt) {
+  if (index_nodes_.empty()) {
+    return;
+  }
+  SeqUpdateShardsReq req{old_node, new_node};
+  Encoder enc;
+  req.Encode(enc);
+  const std::string body = enc.Take();
+  auto rearmed = std::make_shared<bool>(false);
+  for (NodeId n : index_nodes_) {
+    endpoint_.Call(n, kSeqUpdateShards, body,
+                   [this, old_node, new_node, attempt, rearmed](Status s, Decoder) {
+                     if (!s.ok() && attempt + 1 < 5 && !*rearmed) {
+                       *rearmed = true;
+                       endpoint_.loop()->Schedule(2 * kMs, [this, old_node, new_node, attempt]() {
+                         UpdateIndexShards(old_node, new_node, attempt + 1);
+                       });
+                     }
+                   },
+                   kFenceAttemptTimeoutNs);
+  }
+}
+
+// --- stats -----------------------------------------------------------------------------
+
+ControllerStatsSnapshot Controller::StatsSnapshot() const {
+  ControllerStatsSnapshot s;
+  s.view = view_;
+  s.shard_epoch = shard_epoch_;
+  s.reconfigurations = reconfigurations_;
+  s.promotions = promotions_;
+  if (failover_timing_.complete) {
+    s.last_seal_to_open_ns = failover_timing_.opened_at - failover_timing_.sealed_at;
+    s.last_detect_to_open_ns = failover_timing_.opened_at - failover_timing_.detected_at;
+  }
+  return s;
+}
+
+StatsFields ControllerStatsSnapshot::Fields() const {
+  return {
+      {"view", static_cast<double>(view)},
+      {"shard_epoch", static_cast<double>(shard_epoch)},
+      {"reconfigurations", static_cast<double>(reconfigurations)},
+      {"promotions", static_cast<double>(promotions)},
+      {"last_seal_to_open_ns", static_cast<double>(last_seal_to_open_ns)},
+      {"last_detect_to_open_ns", static_cast<double>(last_detect_to_open_ns)},
+  };
 }
 
 }  // namespace lazylog

@@ -39,6 +39,32 @@ struct ReconfigTiming {
   bool complete = false;
 };
 
+// Wall-clock breakdown of the last shard-primary failover (promotion protocol).
+struct ShardFailoverTiming {
+  uint32_t shard = 0;
+  SimTime crash_at = 0;     // set by the test/bench at injection time
+  SimTime detected_at = 0;  // PromoteShardPrimary entered
+  SimTime sealed_at = 0;    // every surviving replica promo-sealed + reported
+  SimTime handoff_at = 0;   // new primary flipped (catch-up + back-fill dispatched)
+  SimTime opened_at = 0;    // orderer retargeted + config published; appends resume
+  NodeId old_primary = kInvalidNode;
+  NodeId new_primary = kInvalidNode;
+  LogPos reset_upto = 0;    // orderer cursor reset point (new primary's applied frontier)
+  bool complete = false;
+};
+
+// Point-in-time control-plane counters; the single stats surface consumed by
+// benches/tests, mirroring the orderer and shard snapshots.
+struct ControllerStatsSnapshot {
+  ViewId view = 0;
+  uint64_t shard_epoch = 0;
+  uint64_t reconfigurations = 0;       // completed sequencing-view changes
+  uint64_t promotions = 0;             // completed shard-primary failovers
+  uint64_t last_seal_to_open_ns = 0;   // last promotion: sealed_at -> opened_at
+  uint64_t last_detect_to_open_ns = 0; // last promotion: detected_at -> opened_at
+  StatsFields Fields() const;
+};
+
 class Controller {
  public:
   Controller(Network* net, const SimParams& params, NodeId zk_node);
@@ -60,6 +86,18 @@ class Controller {
   void ReplaceShardReplica(uint32_t shard, uint32_t replica_index, NodeId new_node,
                            std::function<void(Status)> done = nullptr);
 
+  // Controller-driven shard *primary* failover: promote the most-complete surviving
+  // backup under a bumped promotion epoch. Protocol: promo-seal every survivor (the
+  // seal ack doubles as a completeness report), pick the highest contiguous applied
+  // frontier, install the new replica order on the peers and then the new primary
+  // (which catches lagging peers up and back-fills its pending payload bindings), reset
+  // the orderer's per-shard cursor to the new primary's frontier via kSeqShardFailover
+  // (the leader re-pushes the acked-but-unordered metadata tail — the reconciliation
+  // handoff), and finally publish the shrunken replica order + promotion epoch through
+  // ZK "/shards/config". Serialized per shard against ReplaceShardReplica: a promotion
+  // that races an in-flight backup replacement queues behind it.
+  void PromoteShardPrimary(uint32_t shard, std::function<void(Status)> done = nullptr);
+
   // Registers a runtime-added shard (Erwin-st §6.9) so fences cover it and clients can
   // discover it from "/shards/config".
   void AddShard(std::vector<NodeId> replicas);
@@ -75,10 +113,19 @@ class Controller {
     on_reconfigured_ = std::move(cb);
   }
 
+  // Fired after each completed shard-primary failover (tests and Fig 17 use this).
+  void OnShardPromoted(std::function<void(const ShardFailoverTiming&)> cb) {
+    on_shard_promoted_ = std::move(cb);
+  }
+
   ViewId view() const { return view_; }
   uint64_t shard_epoch() const { return shard_epoch_; }
   const ReconfigTiming& last_timing() const { return timing_; }
+  const ShardFailoverTiming& last_failover_timing() const { return failover_timing_; }
+  uint64_t shard_promotions() const { return promotions_; }
   const std::vector<NodeId>& current_config() const { return config_; }
+  const std::vector<std::vector<NodeId>>& shards() const { return shards_; }
+  ControllerStatsSnapshot StatsSnapshot() const;
 
  private:
   void OnReplicaDown(const std::string& path);
@@ -108,14 +155,43 @@ class Controller {
   void UpdateSeqShards(NodeId old_node, NodeId new_node, std::function<void(Status)> done);
   std::vector<NodeId> AllShardServers() const;
 
+  // Per-shard membership-op serialization: a promotion racing an in-flight backup
+  // replacement (or vice versa) queues until the earlier op finishes.
+  void BeginShardOp(uint32_t shard, std::function<void()> op);
+  void EndShardOp(uint32_t shard);
+  void DoReplaceShardReplica(uint32_t shard, NodeId old_node, NodeId new_node,
+                             std::function<void(Status)> done);
+  // Promotion state machine steps.
+  struct PromoState;
+  void DoPromoteShardPrimary(uint32_t shard, std::function<void(Status)> done);
+  void PromoSealRound(std::shared_ptr<PromoState> st, uint32_t attempt);
+  void SelectAndPromote(std::shared_ptr<PromoState> st);
+  void SendPromote(std::shared_ptr<PromoState> st, NodeId target, uint32_t attempt,
+                   std::function<void(Status, LogPos)> cb);
+  void FinishPromotion(std::shared_ptr<PromoState> st);
+  void SeqShardFailoverAll(const SeqShardFailoverReq& req, std::function<void()> done);
+  // Re-points the index tier's delta feeds at the promoted primary; fire-and-forget
+  // with bounded retries (the index is an access path, never an ack dependency).
+  void UpdateIndexShards(NodeId old_node, NodeId new_node, uint32_t attempt);
+
   RpcEndpoint endpoint_;
   SimParams params_;
   ZkClient zk_;
   std::vector<NodeId> seq_replicas_;  // all ever-registered replicas, by index
   std::vector<NodeId> config_;        // current view's config; config_[0] = leader
   std::vector<std::vector<NodeId>> shards_;  // shard -> replica list, [0] = primary
+  std::vector<uint64_t> shard_promo_epochs_; // shard -> promotion epoch (starts 0)
   std::vector<NodeId> index_nodes_;          // index tier (fenced fire-and-forget)
   uint64_t shard_epoch_ = 1;
+  // Shard servers known failed (a crashed primary awaiting/after promotion): the
+  // reconfiguration fence and membership ops stop waiting on their acks.
+  std::set<NodeId> dead_shard_servers_;
+  std::set<uint32_t> shard_busy_;
+  std::map<uint32_t, std::vector<std::function<void()>>> shard_op_queue_;
+  uint64_t promotions_ = 0;
+  uint64_t reconfigurations_ = 0;
+  ShardFailoverTiming failover_timing_;
+  std::function<void(const ShardFailoverTiming&)> on_shard_promoted_;
   ViewId view_ = 0;
   bool reconfiguring_ = false;
   bool pending_failure_ = false;

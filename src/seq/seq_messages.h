@@ -166,6 +166,31 @@ struct SeqUpdateShardsReq {
   bool Decode(Decoder& d) { return d.GetU32(&old_node) && d.GetU32(&new_node); }
 };
 
+// Controller -> sequencing replica: a shard backup was promoted to primary. Beyond the
+// node swap of kSeqUpdateShards, the leader resets that shard's ordering cursor to the
+// new primary's contiguous applied frontier (`reset_upto`) and re-pushes metadata from
+// there — the reconciliation handoff for acked-but-unordered Erwin-st ids the promoted
+// replica never saw. Safe because a window is acked to the orderer only after every
+// backup replicated it, so ordered_gp <= any survivor's frontier and everything above
+// `reset_upto` is still resendable from the leader's ring.
+struct SeqShardFailoverReq {
+  uint32_t shard = 0;
+  NodeId old_primary = kInvalidNode;
+  NodeId new_primary = kInvalidNode;
+  LogPos reset_upto = 0;
+
+  void Encode(Encoder& e) const {
+    e.PutU32(shard);
+    e.PutU32(old_primary);
+    e.PutU32(new_primary);
+    e.PutU64(reset_upto);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU32(&shard) && d.GetU32(&old_primary) && d.GetU32(&new_primary) &&
+           d.GetU64(&reset_upto);
+  }
+};
+
 // Any replica -> client: current sequencing configuration (clients probe this after
 // failed appends to discover the new view).
 struct SeqConfigResp {

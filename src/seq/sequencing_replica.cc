@@ -41,6 +41,9 @@ SequencingReplica::SequencingReplica(Network* net, const SimParams& params, Erwi
   endpoint_.Register(kSeqUpdateShards, [this](NodeId, Decoder d, Responder r) {
     HandleUpdateShards(d, std::move(r));
   });
+  endpoint_.Register(kSeqShardFailover, [this](NodeId, Decoder d, Responder r) {
+    HandleShardFailover(d, std::move(r));
+  });
 }
 
 void SequencingReplica::Start(std::vector<NodeId> config, std::vector<NodeId> shard_primaries,
@@ -903,6 +906,46 @@ void SequencingReplica::HandleUpdateShards(Decoder d, Responder r) {
     return;
   }
   ReplaceShardServer(req.old_node, req.new_node);
+  r.Send(Status::Ok());
+}
+
+void SequencingReplica::HandleShardFailover(Decoder d, Responder r) {
+  SeqShardFailoverReq req;
+  if (!req.Decode(d) || req.shard >= shard_primaries_.size()) {
+    r.Send(Status::InvalidArgument("bad shard failover"));
+    return;
+  }
+  // The membership swap applies on every replica — even sealed or non-leader ones — so
+  // a replica promoted to leader by a later view change pushes to the right primary.
+  shard_primaries_[req.shard] = req.new_primary;
+  // The promoted backup was already a member of the broadcast list; just drop the dead
+  // primary instead of substituting (which would duplicate the new one).
+  all_shard_servers_.erase(
+      std::remove(all_shard_servers_.begin(), all_shard_servers_.end(), req.old_primary),
+      all_shard_servers_.end());
+  if (std::find(all_shard_servers_.begin(), all_shard_servers_.end(), req.new_primary) ==
+      all_shard_servers_.end()) {
+    all_shard_servers_.push_back(req.new_primary);
+  }
+  // Leader: reset the shard's cursor to the new primary's contiguous applied frontier
+  // and re-push from there. Everything in [reset_upto, next_pos) that the dead primary
+  // acked but the promoted backup missed is still in the ring — a window is acked only
+  // once every backup replicated it, so ordered_gp <= reset_upto and the span is
+  // re-sendable. Re-delivered windows the backup did apply are deduplicated on receipt.
+  if (is_leader() && !sealed_ && req.shard < cursors_.size()) {
+    ShardCursor& c = cursors_[req.shard];
+    const LogPos resume = std::max(req.reset_upto, ordered_gp_);
+    LLOG(kInfo) << "t=" << endpoint_.loop()->Now() << " seq leader: shard " << req.shard
+                << " failover " << req.old_primary << "->" << req.new_primary
+                << "; cursor reset " << c.next_pos << "->" << resume;
+    c.window_epoch++;  // orphan in-flight windows addressed to the dead primary
+    c.in_flight = 0;
+    c.retry_armed = false;  // a stale backoff callback only re-pumps; harmless
+    c.retry_attempts = 0;
+    c.next_pos = resume;
+    c.acked_watermark = resume;
+    PumpCursor(req.shard);
+  }
   r.Send(Status::Ok());
 }
 

@@ -174,6 +174,11 @@ class SequencingReplica {
   void HandleGetConfig(Decoder d, Responder r);
   void HandleTrim(Decoder d, Responder r);
   void HandleUpdateShards(Decoder d, Responder r);
+  // Shard-primary failover (controller-driven promotion): beyond the node swap, the
+  // leader resets the shard's ordering cursor to the promoted backup's contiguous
+  // applied frontier and re-pushes from there — the reconciliation handoff that
+  // re-delivers acked-but-unordered metadata the new primary never saw.
+  void HandleShardFailover(Decoder d, Responder r);
 
   // One per-shard ordering pipeline (§4.3 cursor redesign). The cursor sends adjacent
   // position windows [next_pos, …) with up to seq.order_pipeline_depth outstanding,

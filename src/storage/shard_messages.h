@@ -283,6 +283,74 @@ struct TrimMsg {
   bool Decode(Decoder& d) { return d.GetU64(&up_to); }
 };
 
+// Controller -> surviving shard replica: fence the shard for primary promotion under a
+// bumped promotion epoch. While sealed-for-promotion the replica refuses
+// primary-originated traffic (replicate / replicate-meta / replicate-no-op), which keeps
+// an isolated-but-alive old primary from mutating survivors mid-handoff. The response is
+// the replica's completeness report, from which the controller picks the new primary.
+struct ShardPromoSealReq {
+  uint64_t promo_epoch = 0;
+
+  void Encode(Encoder& e) const { e.PutU64(promo_epoch); }
+  bool Decode(Decoder& d) { return d.GetU64(&promo_epoch); }
+};
+
+// Replica -> controller: how complete this replica's Erwin-st state is. `order_applied`
+// is the contiguous metadata frontier (the promotion comparison key — everything below
+// it is bound or mapped locally); `pending` counts owned positions whose payload is
+// still unresolved (back-fill work for the new primary).
+struct ShardCompletenessResp {
+  uint64_t promo_epoch = 0;
+  LogPos order_applied = 0;
+  LogPos order_durable = 0;
+  uint64_t meta_size = 0;
+  uint64_t pending = 0;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(promo_epoch);
+    e.PutU64(order_applied);
+    e.PutU64(order_durable);
+    e.PutU64(meta_size);
+    e.PutU64(pending);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&promo_epoch) && d.GetU64(&order_applied) && d.GetU64(&order_durable) &&
+           d.GetU64(&meta_size) && d.GetU64(&pending);
+  }
+};
+
+// Controller -> surviving shard replica: adopt the promoted replica order (order[0] is
+// the new primary). A receiver that finds itself at order[0] runs the full role flip:
+// meta catch-up of lagging peers (peer_applied[i] is order[i]'s contiguous frontier),
+// payload back-fill of its own pending bindings from peers, and conversion of its
+// backup fetch timers into primary no-op timers. Everyone else just installs the order,
+// which re-points their repair path at the new primary and un-seals them.
+struct ShardPromoteReq {
+  uint64_t promo_epoch = 0;
+  std::vector<uint64_t> order;         // replica node ids, order[0] = new primary
+  std::vector<uint64_t> peer_applied;  // parallel to order: each replica's order_applied
+
+  void Encode(Encoder& e) const {
+    e.PutU64(promo_epoch);
+    e.PutU64Vector(order);
+    e.PutU64Vector(peer_applied);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&promo_epoch) && d.GetU64Vector(&order) && d.GetU64Vector(&peer_applied);
+  }
+};
+
+// New primary -> peer backup (promotion handoff): fetch whatever the peer has bound at
+// `pos` — a real record or a no-op decision inherited from the dead primary. Unbound or
+// still-pending positions answer UNAVAILABLE and the new primary falls back to its
+// own no-op timer.
+struct ShardBackfillReq {
+  LogPos pos = 0;
+
+  void Encode(Encoder& e) const { e.PutU64(pos); }
+  bool Decode(Decoder& d) { return d.GetU64(&pos); }
+};
+
 // Backup -> primary (Erwin-st): fetch the resolved record bound at `pos` (repairs a
 // backup that never received the data for an unacknowledged append).
 struct FetchRecordReq {

@@ -111,8 +111,8 @@ ShardServer::ShardServer(Network* net, const SimParams& params, ShardMode mode,
   endpoint_.Register(kShardAppendBatch, [this](NodeId, Decoder d, Responder r) {
     HandleAppendBatch(d, std::move(r));
   });
-  endpoint_.Register(kShardReplicate, [this](NodeId, Decoder d, Responder r) {
-    HandleReplicate(d, std::move(r));
+  endpoint_.Register(kShardReplicate, [this](NodeId from, Decoder d, Responder r) {
+    HandleReplicate(from, d, std::move(r));
   });
   endpoint_.Register(kShardRead, [this](NodeId, Decoder d, Responder r) {
     HandleRead(d, std::move(r));
@@ -126,11 +126,11 @@ ShardServer::ShardServer(Network* net, const SimParams& params, ShardMode mode,
   endpoint_.Register(kShardOrderMeta, [this](NodeId, Decoder d, Responder r) {
     HandleOrderMeta(d, std::move(r));
   });
-  endpoint_.Register(kShardReplicateMeta, [this](NodeId, Decoder d, Responder r) {
-    HandleReplicateMeta(d, std::move(r));
+  endpoint_.Register(kShardReplicateMeta, [this](NodeId from, Decoder d, Responder r) {
+    HandleReplicateMeta(from, d, std::move(r));
   });
-  endpoint_.Register(kShardReplicateNoOp, [this](NodeId, Decoder d, Responder r) {
-    HandleReplicateNoOp(d, std::move(r));
+  endpoint_.Register(kShardReplicateNoOp, [this](NodeId from, Decoder d, Responder r) {
+    HandleReplicateNoOp(from, d, std::move(r));
   });
   endpoint_.Register(kShardPosMap, [this](NodeId, Decoder d, Responder r) {
     HandlePosMap(d, std::move(r));
@@ -152,6 +152,15 @@ ShardServer::ShardServer(Network* net, const SimParams& params, ShardMode mode,
   });
   endpoint_.Register(kShardCopyState, [this](NodeId, Decoder d, Responder r) {
     HandleCopyState(d, std::move(r));
+  });
+  endpoint_.Register(kShardPromoSeal, [this](NodeId, Decoder d, Responder r) {
+    HandlePromoSeal(d, std::move(r));
+  });
+  endpoint_.Register(kShardPromote, [this](NodeId, Decoder d, Responder r) {
+    HandlePromote(d, std::move(r));
+  });
+  endpoint_.Register(kShardBackfill, [this](NodeId, Decoder d, Responder r) {
+    HandleBackfill(d, std::move(r));
   });
   endpoint_.Register(kShardFetchRecord, [this](NodeId, Decoder d, Responder r) {
     FetchRecordReq req;
@@ -369,11 +378,15 @@ void ShardServer::ApplyAppendWindow(std::shared_ptr<ShardAppendBatchReq> req, Re
   batch->Complete(Status::Ok());  // release the arming guard
 }
 
-void ShardServer::HandleReplicate(Decoder d, Responder r) {
+void ShardServer::HandleReplicate(NodeId from, Decoder d, Responder r) {
   // Backup side of HandleAppendBatch; same admission + storage path, but completion
   // responds to the primary instead of arming replication of its own.
   if (loading_) {
     r.Send(Status::Unavailable("state copy in progress"));
+    return;
+  }
+  if (RejectPrimaryTraffic(from)) {
+    r.Send(Status::StaleView("fenced: not my primary"));
     return;
   }
   auto req = std::make_shared<ShardAppendBatchReq>();
@@ -597,9 +610,13 @@ void ShardServer::HandleOrderMeta(Decoder d, Responder r) {
                   });
 }
 
-void ShardServer::HandleReplicateMeta(Decoder d, Responder r) {
+void ShardServer::HandleReplicateMeta(NodeId from, Decoder d, Responder r) {
   if (loading_) {
     r.Send(Status::Unavailable("state copy in progress"));
+    return;
+  }
+  if (RejectPrimaryTraffic(from)) {
+    r.Send(Status::StaleView("fenced: not my primary"));
     return;
   }
   auto req = std::make_shared<ShardOrderMetaReq>();
@@ -718,9 +735,13 @@ void ShardServer::ApplyMetaWindow(std::shared_ptr<ShardOrderMetaReq> req_ptr, Re
 
 // --- reads, stable-gp, trim -----------------------------------------------------------
 
-void ShardServer::HandleReplicateNoOp(Decoder d, Responder r) {
+void ShardServer::HandleReplicateNoOp(NodeId from, Decoder d, Responder r) {
   // Primary resolved `pos` as a no-op; mirror that decision (§5.4). The data may have
   // arrived here (and even been bound) meanwhile — the primary's decision wins.
+  if (RejectPrimaryTraffic(from)) {
+    r.Send(Status::StaleView("fenced: not my primary"));
+    return;
+  }
   NoOpMsg msg;
   if (!msg.Decode(d)) {
     r.Send(Status::InvalidArgument("bad no-op"));
@@ -1156,6 +1177,245 @@ void ShardServer::ScrubOrphans() {
   endpoint_.loop()->Schedule(kScrubIntervalNs, [this]() { ScrubOrphans(); });
 }
 
+// --- primary promotion (controller-driven failover) ------------------------------------
+
+bool ShardServer::RejectPrimaryTraffic(NodeId from) const {
+  if (fencing_disabled_) {
+    return false;  // split-brain fixture: the oracles must catch what this lets through
+  }
+  if (sealed_for_promotion_) {
+    return true;
+  }
+  return !replicas_.empty() && from != replicas_[0];
+}
+
+void ShardServer::HandlePromoSeal(Decoder d, Responder r) {
+  ShardPromoSealReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad promo seal"));
+    return;
+  }
+  if (req.promo_epoch > promo_epoch_) {
+    promo_epoch_ = req.promo_epoch;
+    promo_sealed_at_ = endpoint_.loop()->Now();
+    // The current primary is never a seal target; guard anyway so a retried seal that
+    // lands after our own promotion cannot fence us against ourselves.
+    sealed_for_promotion_ = !is_primary();
+  }
+  ShardCompletenessResp resp;
+  resp.promo_epoch = promo_epoch_;
+  resp.order_applied = order_applied_;
+  resp.order_durable = order_durable_;
+  resp.meta_size = meta_log_.size();
+  resp.pending = pending_.size();
+  Encoder e;
+  resp.Encode(e);
+  r.Ok(e);
+}
+
+void ShardServer::HandlePromote(Decoder d, Responder r) {
+  ShardPromoteReq req;
+  if (!req.Decode(d) || req.order.empty() ||
+      req.peer_applied.size() != req.order.size()) {
+    r.Send(Status::InvalidArgument("bad promote"));
+    return;
+  }
+  if (req.promo_epoch < promo_epoch_) {
+    r.Send(Status::StaleView("stale promotion epoch"));
+    return;
+  }
+  promo_epoch_ = req.promo_epoch;
+  std::vector<NodeId> order;
+  order.reserve(req.order.size());
+  for (uint64_t n : req.order) {
+    order.push_back(static_cast<NodeId>(n));
+  }
+  // Compute the flip before installing the order so a retried promote (same epoch,
+  // order already installed) is idempotent.
+  const bool flip = order[0] == node_id() && !is_primary();
+  replicas_ = std::move(order);
+  sealed_for_promotion_ = false;
+  if (flip) {
+    PromoteToPrimary(req);
+  }
+  // The ack carries our contiguous applied frontier: the controller resets the
+  // orderer's cursor here, so the leader re-pushes everything we never saw.
+  Encoder e;
+  ShardOrderAckResp{order_applied_}.Encode(e);
+  r.Ok(e);
+}
+
+void ShardServer::PromoteToPrimary(const ShardPromoteReq& req) {
+  stats_.promotions++;
+  if (promo_sealed_at_ != 0) {
+    stats_.seal_to_open_ns = endpoint_.loop()->Now() - promo_sealed_at_;
+  }
+  // Catch lagging peers up to our applied frontier. The orderer resumes from a single
+  // reset point (our frontier); without this a peer whose frontier trails ours would
+  // park every re-pushed window behind a gap that nothing ever fills.
+  for (size_t i = 1; i < req.order.size() && i < req.peer_applied.size(); ++i) {
+    if (req.peer_applied[i] < order_applied_) {
+      CatchUpPeer(static_cast<NodeId>(req.order[i]), req.peer_applied[i], 0);
+    }
+  }
+  // Take over no-op timer ownership: our pending bindings still run backup fetch
+  // timers aimed at the dead primary. Cancel each, try peer back-fill first (a peer
+  // may hold the data, or the old primary's no-op decision may have reached it), and
+  // only then fall back to the primary-side no-op timeout.
+  std::vector<RecordId> pending_ids;
+  pending_ids.reserve(pending_.size());
+  for (const auto& [id, pb] : pending_) {
+    pending_ids.push_back(id);
+  }
+  for (const RecordId& id : pending_ids) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      continue;
+    }
+    it->second.timeout.Cancel();
+    BackfillPending(id, 1);
+  }
+}
+
+void ShardServer::CatchUpPeer(NodeId peer, LogPos from, uint32_t attempt) {
+  if (!is_primary() ||
+      std::find(replicas_.begin(), replicas_.end(), peer) == replicas_.end()) {
+    return;  // deposed again, or the membership changed while retrying
+  }
+  from = std::max(from, trimmed_below_);  // a peer never needs the trimmed prefix
+  if (from >= order_applied_) {
+    return;
+  }
+  Encoder e;
+  uint64_t entries = 0;
+  if (mode_ == ShardMode::kStModified) {
+    ShardOrderMetaReq w;
+    w.view = view_;
+    w.range_lo = from;
+    w.range_hi = order_applied_;
+    // Owned positions need their record ids (the peer binds them); still-pending ones
+    // are keyed by id on our side, so invert to pos -> id for the unresolved tail.
+    std::unordered_map<LogPos, RecordId> pending_by_pos;
+    for (const auto& [id, pb] : pending_) {
+      pending_by_pos[pb.pos] = id;
+    }
+    for (LogPos p = std::max(from, meta_base_); p < order_applied_; ++p) {
+      const uint64_t idx = p - meta_base_;
+      if (idx >= meta_log_.size()) {
+        break;
+      }
+      MetaEntry entry;
+      entry.pos = p;
+      entry.shard = static_cast<ShardId>(meta_log_[idx]);
+      if (entry.shard == shard_id_) {
+        const Record* rec = RecordAt(p);
+        if (rec != nullptr) {
+          entry.id = rec->id;
+        } else {
+          auto pit = pending_by_pos.find(p);
+          if (pit != pending_by_pos.end()) {
+            entry.id = pit->second;
+          }
+        }
+      }
+      w.entries.push_back(entry);
+    }
+    entries = w.entries.size();
+    w.Encode(e);
+  } else {
+    ShardAppendBatchReq w;
+    w.view = view_;
+    w.range_lo = from;
+    w.range_hi = order_applied_;
+    auto it = std::lower_bound(local_pos_.begin(), local_pos_.end(), from);
+    for (; it != local_pos_.end() && *it < order_applied_; ++it) {
+      const uint64_t local =
+          local_pos_base_ + static_cast<uint64_t>(it - local_pos_.begin());
+      const Record* rec = log_.Get(local);
+      if (rec != nullptr) {
+        w.records.push_back(PositionedRecord{*it, *rec});
+      }
+    }
+    entries = w.records.size();
+    w.Encode(e);
+  }
+  if (attempt == 0) {
+    stats_.handoff_records_refetched += entries;
+  }
+  const MethodId method =
+      mode_ == ShardMode::kStModified ? kShardReplicateMeta : kShardReplicate;
+  const std::vector<Buf> atts = e.TakeAtts();
+  const Buf body = e.TakeBuf();
+  endpoint_.Call(peer, method, body,
+                 [this, peer, from, attempt](Status s, Decoder) {
+                   if (s.ok() || attempt >= 4) {
+                     return;  // a peer that stays unreachable gets its own replacement
+                   }
+                   endpoint_.loop()->Schedule(params_.seq.order_retry_backoff_ns,
+                                              [this, peer, from, attempt]() {
+                                                CatchUpPeer(peer, from, attempt + 1);
+                                              });
+                 },
+                 params_.rpc_timeout_ns, atts);
+}
+
+void ShardServer::BackfillPending(RecordId id, size_t peer_index) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || !is_primary()) {
+    return;  // resolved meanwhile, or we were deposed again
+  }
+  if (peer_index >= replicas_.size()) {
+    // No peer had it bound; fall back to the normal primary decision timer.
+    it->second.timeout = endpoint_.loop()->Schedule(params_.seq.st_data_timeout_ns,
+                                                    [this, id]() { FinalizeNoOp(id); });
+    return;
+  }
+  Encoder e;
+  ShardBackfillReq{it->second.pos}.Encode(e);
+  endpoint_.Call(replicas_[peer_index], kShardBackfill, e.Take(),
+                 [this, id, peer_index](Status s, Decoder body) {
+                   if (pending_.find(id) == pending_.end()) {
+                     return;
+                   }
+                   Record rec;
+                   if (!s.ok() || !DecodeRecord(body, &rec)) {
+                     BackfillPending(id, peer_index + 1);
+                     return;
+                   }
+                   stats_.handoff_records_refetched++;
+                   if (rec.no_op) {
+                     FinalizeNoOp(id);  // adopt (and re-replicate) the peer's decision
+                   } else {
+                     ResolvePendingWithData(id, std::move(rec.payload), rec.tag);
+                   }
+                 },
+                 params_.rpc_timeout_ns);
+}
+
+void ShardServer::HandleBackfill(Decoder d, Responder r) {
+  ShardBackfillReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad backfill"));
+    return;
+  }
+  auto it = pos_to_local_.find(req.pos);
+  if (it == pos_to_local_.end()) {
+    r.Send(Status::Unavailable("position not bound here"));
+    return;
+  }
+  for (const auto& [id, pb] : pending_) {
+    if (pb.pos == req.pos) {
+      r.Send(Status::Unavailable("still pending here too"));
+      return;
+    }
+  }
+  const Record* rec = log_.Get(it->second);
+  LL_CHECK(rec != nullptr, "bound position missing from log");
+  Encoder e;
+  EncodeRecord(e, *rec);
+  r.Ok(e);
+}
+
 // --- stats surface --------------------------------------------------------------------
 
 ShardStatsSnapshot ShardServer::StatsSnapshot() const {
@@ -1182,6 +1442,9 @@ StatsFields ShardStatsSnapshot::Fields() const {
       {"windows_applied", static_cast<double>(counters.windows_applied)},
       {"windows_parked", static_cast<double>(counters.windows_parked)},
       {"windows_retransmitted", static_cast<double>(counters.windows_retransmitted)},
+      {"promotions", static_cast<double>(counters.promotions)},
+      {"handoff_records_refetched", static_cast<double>(counters.handoff_records_refetched)},
+      {"seal_to_open_ns", static_cast<double>(counters.seal_to_open_ns)},
       {"stable_gp", static_cast<double>(stable_gp)},
       {"order_applied", static_cast<double>(order_applied)},
       {"order_durable", static_cast<double>(order_durable)},

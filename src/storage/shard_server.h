@@ -39,6 +39,10 @@ struct ShardStats {
   uint64_t windows_applied = 0; // ordering windows applied in span order
   uint64_t windows_parked = 0;  // windows that arrived ahead of a gap and waited
   uint64_t windows_retransmitted = 0;  // fully durable windows re-acked immediately
+  // Primary-failover counters (promotion handoff).
+  uint64_t promotions = 0;                  // times this replica was promoted to primary
+  uint64_t handoff_records_refetched = 0;   // peer back-fills + catch-up entries shipped
+  uint64_t seal_to_open_ns = 0;             // last promotion: promo-seal -> role flip open
 };
 
 // Point-in-time copy of the counters plus the ordering-stream frontiers; the single
@@ -86,6 +90,8 @@ class ShardServer {
   size_t unordered_pool_size() const { return pool_.size(); }
   uint64_t meta_log_size() const { return meta_log_.size(); }
   ViewId view() const { return view_; }
+  uint64_t promo_epoch() const { return promo_epoch_; }
+  bool sealed_for_promotion() const { return sealed_for_promotion_; }
 
   // Observer fired whenever this shard's stable-gp advances (broadcast, bootstrap, or
   // state copy). The chaos oracles subscribe to check per-node monotonicity.
@@ -150,13 +156,13 @@ class ShardServer {
 
   // Handlers.
   void HandleAppendBatch(Decoder d, Responder r);   // orderer -> primary (Erwin-m)
-  void HandleReplicate(Decoder d, Responder r);     // primary -> backup
+  void HandleReplicate(NodeId from, Decoder d, Responder r);  // primary -> backup
   void HandleRead(Decoder d, Responder r);
   void HandleSetStableGp(Decoder d, Responder r);
   void HandlePutData(Decoder d, Responder r);       // client -> replica (Erwin-st)
   void HandleOrderMeta(Decoder d, Responder r);     // orderer -> primary (Erwin-st)
-  void HandleReplicateMeta(Decoder d, Responder r); // primary -> backup (Erwin-st)
-  void HandleReplicateNoOp(Decoder d, Responder r); // primary -> backup (late no-op fix)
+  void HandleReplicateMeta(NodeId from, Decoder d, Responder r);  // primary -> backup
+  void HandleReplicateNoOp(NodeId from, Decoder d, Responder r);  // primary -> backup
   void HandlePosMap(Decoder d, Responder r);
   void HandleIndexDelta(Decoder d, Responder r);  // index node -> primary: tag index pull
   void HandleMultiRead(Decoder d, Responder r);   // client sparse position batch read
@@ -164,6 +170,31 @@ class ShardServer {
   void HandleFetchState(Decoder d, Responder r);
   void HandleSeal(Decoder d, Responder r);        // controller -> shard: fence the epoch
   void HandleCopyState(Decoder d, Responder r);   // controller -> replacement replica
+
+  // --- primary promotion (controller-driven failover) ---
+  // Seal-for-promotion: record the bumped promotion epoch, refuse primary-originated
+  // replication traffic until the new order is installed, and answer with this
+  // replica's completeness report (the controller's selection input).
+  void HandlePromoSeal(Decoder d, Responder r);
+  // Adopt the promoted replica order; a receiver that finds itself first runs the full
+  // role flip (PromoteToPrimary), everyone else just re-points at the new primary.
+  void HandlePromote(Decoder d, Responder r);
+  // Peer back-fill: answer with whatever is bound at a position (record or no-op).
+  void HandleBackfill(Decoder d, Responder r);
+  // The backup -> primary role flip: catch lagging peers up to our contiguous applied
+  // frontier (metadata windows in st mode, record windows in m mode), convert our own
+  // backup fetch timers into primary no-op timers (after trying peer back-fill), and
+  // take over no-op timer ownership.
+  void PromoteToPrimary(const ShardPromoteReq& req);
+  // Ships [from, order_applied_) to one lagging peer as a replication window.
+  void CatchUpPeer(NodeId peer, LogPos from, uint32_t attempt);
+  // Tries to resolve one pending binding from peer backups (index into replicas_);
+  // exhausting the peers falls back to the primary no-op timeout.
+  void BackfillPending(RecordId id, size_t peer_index);
+  // True for primary-originated traffic that must be refused: we are sealed for an
+  // in-flight promotion, or the sender is not our current primary (a deposed, possibly
+  // isolated, old primary).
+  bool RejectPrimaryTraffic(NodeId from) const;
 
   // True if a message stamped `view` must be rejected as fenced-off.
   bool FencedOff(ViewId view) const { return view < view_ && !fencing_disabled_; }
@@ -239,6 +270,13 @@ class ShardServer {
   std::map<LogPos, LogPos> completed_spans_;  // durably completed spans ahead of the frontier
   std::map<LogPos, OrderedWindow> parked_;    // ahead-of-gap windows keyed by range_lo
   bool loading_ = false;  // replacement replica: state copy still in flight
+  // Primary-promotion fence (distinct from the ViewId fence: bumping view_ above the
+  // live sequencing view would stale-view the healthy leader's pushes and self-seal
+  // it). The promotion epoch versions promotion rounds; sealed_for_promotion_ refuses
+  // primary-originated replication between the promo-seal and the order install.
+  uint64_t promo_epoch_ = 0;
+  bool sealed_for_promotion_ = false;
+  SimTime promo_sealed_at_ = 0;
   bool read_gate_disabled_ = false;  // test hook; see SetReadGateDisabledForTest
   bool fencing_disabled_ = false;    // test hook; see SetFencingDisabledForTest
   StableGpObserver stable_gp_observer_;
