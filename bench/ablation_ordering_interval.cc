@@ -42,7 +42,7 @@ AblationResult Run(uint64_t interval_ns, uint64_t warmup_ns = kWarmup,
   auto reader_client = cluster.MakeMClient();
   SequentialReader::Options ropt;
   ropt.warmup_ns = warmup_ns;
-  SequentialReader reader(&cluster.loop(), reader_client.get(), ropt);
+  SequentialReader reader(&cluster.loop(), reader_client->log(), ropt);
   uint64_t acked = 0;
   for (size_t i = 0; i < fleet.size(); ++i) {
     fleet.appender(i).OnAck([&](uint64_t, SimTime t) { reader.NotifyAcked(acked++, t); });

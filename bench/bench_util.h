@@ -34,7 +34,7 @@ class AppenderFleet {
       opt.warmup_ns = warmup_ns;
       opt.num_streams = num_streams;
       appenders_.push_back(
-          std::make_unique<OpenLoopAppender>(loop, clients_[i].get(), opt, 100 + i));
+          std::make_unique<OpenLoopAppender>(loop, clients_[i]->log(), opt, 100 + i));
     }
   }
 

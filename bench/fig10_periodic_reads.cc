@@ -31,7 +31,7 @@ Histogram Run(double rate, uint64_t period_ns) {
   PeriodicTailReader::Options ropt;
   ropt.period_ns = period_ns;
   ropt.warmup_ns = kWarmup;
-  PeriodicTailReader reader(&cluster.loop(), reader_client.get(), ropt);
+  PeriodicTailReader reader(&cluster.loop(), reader_client->log(), ropt);
   DriveAppendRead(cluster, fleet, reader, kRun);
   return reader.latency();
 }

@@ -41,7 +41,7 @@ RateResult Run(double rate) {
   ropt.batch = 1;
   ropt.lag_ns = 0;
   ropt.warmup_ns = kWarmup;
-  SequentialReader reader(&cluster.loop(), reader_client.get(), ropt);
+  SequentialReader reader(&cluster.loop(), reader_client->log(), ropt);
   uint64_t acked = 0;
   for (size_t i = 0; i < fleet.size(); ++i) {
     fleet.appender(i).OnAck([&](uint64_t, SimTime t) { reader.NotifyAcked(acked++, t); });

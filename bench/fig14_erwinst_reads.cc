@@ -38,7 +38,7 @@ StReadResult Run(uint64_t lag_ns, uint64_t batch, bool cache_enabled, double rat
   ropt.batch = batch;
   ropt.lag_ns = lag_ns;
   ropt.warmup_ns = kWarmup;
-  SequentialReader reader(&cluster.loop(), reader_client.get(), ropt);
+  SequentialReader reader(&cluster.loop(), reader_client->log(), ropt);
   uint64_t acked = 0;
   for (size_t i = 0; i < fleet.size(); ++i) {
     fleet.appender(i).OnAck([&](uint64_t, SimTime t) { reader.NotifyAcked(acked++, t); });

@@ -36,7 +36,7 @@ int main() {
   const std::string payload(kRecordBytes, 'x');
   // Closed-loop chains: each issues the next append as soon as the previous acks.
   std::function<void(int)> chain = [&](int i) {
-    clients[i % clients.size()]->Append(payload, [&, i](Status s) {
+    clients[i % clients.size()]->log().Append(payload, [&, i](Status s) {
       if (s.ok()) {
         window_acked++;
       }

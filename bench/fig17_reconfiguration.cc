@@ -49,7 +49,7 @@ double RunStTimeline(const char* title, const std::function<void(ErwinCluster&)>
     aopt.rate_per_sec = offered / n_clients;
     aopt.record_bytes = kRecordBytes;
     appenders.push_back(std::make_unique<OpenLoopAppender>(&cluster.loop(),
-                                                           clients[i].get(), aopt, 40 + i));
+                                                           clients[i]->log(), aopt, 40 + i));
     appenders.back()->OnAck([&](uint64_t, SimTime) { window_acked++; });
     appenders.back()->Start();
   }
@@ -114,7 +114,7 @@ int main() {
     aopt.rate_per_sec = offered / n_clients;
     aopt.record_bytes = kRecordBytes;
     appenders.push_back(std::make_unique<OpenLoopAppender>(&cluster.loop(),
-                                                           clients[i].get(), aopt, 40 + i));
+                                                           clients[i]->log(), aopt, 40 + i));
     appenders.back()->OnAck([&](uint64_t, SimTime) { window_acked++; });
     appenders.back()->Start();
   }

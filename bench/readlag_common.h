@@ -39,7 +39,7 @@ ReadLagResult RunErwin(double rate, uint64_t lag_ns) {
   ropt.batch = 1;
   ropt.lag_ns = lag_ns;
   ropt.warmup_ns = kWarmup;
-  SequentialReader reader(&cluster.loop(), reader_client.get(), ropt);
+  SequentialReader reader(&cluster.loop(), reader_client->log(), ropt);
   // All appenders feed one global ack stream; with one appender per fleet slot the
   // index order approximates position order well enough for a sequential reader.
   WireAckStream(fleet, reader);
@@ -66,7 +66,7 @@ ReadLagResult RunCorfu(double rate, uint64_t lag_ns) {
   ropt.batch = 1;
   ropt.lag_ns = lag_ns;
   ropt.warmup_ns = kWarmup;
-  SequentialReader reader(&cluster.loop(), reader_client.get(), ropt);
+  SequentialReader reader(&cluster.loop(), reader_client->log(), ropt);
   WireAckStream(fleet, reader);
   DriveAppendRead(cluster, fleet, reader, kRun);
   ReadLagResult res;

@@ -33,8 +33,8 @@ class StreamDrainReader {
     uint32_t window = 32;
   };
 
-  StreamDrainReader(EventLoop* loop, SharedLogClient* client, Options options)
-      : loop_(loop), client_(client), options_(options) {}
+  StreamDrainReader(EventLoop* loop, LogHandle log, Options options)
+      : loop_(loop), log_(log), options_(options) {}
 
   void Start() {
     running_ = true;
@@ -62,7 +62,7 @@ class StreamDrainReader {
     if (!running_ || caught_up_) {
       return;
     }
-    client_->ReadNext(
+    log_.ReadNext(
         options_.tag, from_, options_.window,
         [this](Status s, std::vector<PositionedRecord> recs, LogPos next) {
           if (!running_) {
@@ -85,7 +85,7 @@ class StreamDrainReader {
   }
 
   EventLoop* loop_;
-  SharedLogClient* client_;
+  LogHandle log_;
   Options options_;
   bool running_ = false;
   bool caught_up_ = false;
@@ -119,7 +119,7 @@ RunResult Run(uint64_t streams, bool use_index, bool smoke_json) {
   StreamDrainReader::Options ropt;
   ropt.tag = 1;
   ropt.start_delay_ns = kPopulate;
-  StreamDrainReader reader(&cluster.loop(), reader_client.get(), ropt);
+  StreamDrainReader reader(&cluster.loop(), reader_client->log(), ropt);
   DriveAppendRead(cluster, fleet, reader, kPopulate + kDrainBudget);
 
   RunResult res;

@@ -46,12 +46,13 @@ int main() {
     view.shards.push_back({a});
   }
   ErwinMClient client(&net, params, view, /*client_id=*/1);
+  LogHandle log = client.log();
 
   // Appends complete at the sequencing layer in ~1 RTT (microseconds), even though the
   // backing Kafka shards take milliseconds to replicate.
   for (int i = 0; i < 6; ++i) {
     const SimTime start = loop.Now();
-    client.Append("msg-" + std::to_string(i), [&, i, start](Status s) {
+    log.Append("msg-" + std::to_string(i), [&, i, start](Status s) {
       std::printf("append(msg-%d) -> %s in %.1f us\n", i, s.ok() ? "durable" : "failed",
                   static_cast<double>(loop.Now() - start) / 1000.0);
     });
@@ -60,7 +61,7 @@ int main() {
 
   // Background ordering pushes to the Kafka shards; reads return the total order.
   loop.RunUntil(loop.Now() + 50 * kMs);
-  client.Read(0, 6, [](Status s, std::vector<PositionedRecord> records) {
+  log.Read(0, 6, [](Status s, std::vector<PositionedRecord> records) {
     std::printf("total order across 2 Kafka shards (%s):\n", s.ToString().c_str());
     for (const auto& pr : records) {
       std::printf("  pos %llu: %s (kafka shard %llu)\n",

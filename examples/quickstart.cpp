@@ -16,12 +16,15 @@ int main() {
   options.num_shards = 2;
   options.shard_replication = 2;
   ErwinCluster cluster(options);
-  auto log = cluster.MakeClient();
+  auto client = cluster.MakeClient();
+  // The default handle is the physical log; Open("name") would hand back a named
+  // virtual log sharing the same cluster (see examples/kv_store.cpp).
+  LogHandle log = client->log();
 
   // Append: completes in 1 RTT once durable on all sequencing replicas. No position is
   // returned — LazyLog binds records to positions lazily (§3.2).
   for (int i = 0; i < 5; ++i) {
-    log->Append("event-" + std::to_string(i), [i](Status s) {
+    log.Append("event-" + std::to_string(i), [i](Status s) {
       std::printf("append(event-%d) -> %s\n", i, s.ok() ? "durable" : s.message().c_str());
     });
     cluster.RunFor(100 * kUs);  // sequential appends: real-time order is preserved
@@ -29,7 +32,7 @@ int main() {
 
   // Give background ordering a moment, then inspect the tail.
   cluster.RunFor(5 * kMs);
-  log->CheckTail([](Status s, LogPos durable, LogPos stable) {
+  log.CheckTail([](Status s, LogPos durable, LogPos stable) {
     std::printf("checkTail -> durable=%llu stable=%llu (%s)\n",
                 static_cast<unsigned long long>(durable),
                 static_cast<unsigned long long>(stable), s.ToString().c_str());
@@ -37,7 +40,7 @@ int main() {
   cluster.RunFor(1 * kMs);
 
   // Read the whole log: records come back in their final linearizable order.
-  log->Read(0, 5, [](Status s, std::vector<PositionedRecord> records) {
+  log.Read(0, 5, [](Status s, std::vector<PositionedRecord> records) {
     std::printf("read(0,5) -> %s\n", s.ToString().c_str());
     for (const auto& pr : records) {
       std::printf("  pos %llu: %s\n", static_cast<unsigned long long>(pr.pos),
@@ -47,9 +50,9 @@ int main() {
   cluster.RunFor(5 * kMs);
 
   // Trim the consumed prefix.
-  log->Trim(3, [](Status s) { std::printf("trim(3) -> %s\n", s.ToString().c_str()); });
+  log.Trim(3, [](Status s) { std::printf("trim(3) -> %s\n", s.ToString().c_str()); });
   cluster.RunFor(5 * kMs);
-  log->Read(3, 2, [](Status s, std::vector<PositionedRecord> records) {
+  log.Read(3, 2, [](Status s, std::vector<PositionedRecord> records) {
     std::printf("read(3,2) after trim -> %s, %zu records\n", s.ToString().c_str(),
                 records.size());
   });

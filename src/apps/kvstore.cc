@@ -25,10 +25,11 @@ bool DecodeKvUpdate(const Buf& record, std::string* key, std::string* value) {
 // --- write server ---------------------------------------------------------------------
 
 KvWriteServer::KvWriteServer(Network* net, const SimParams& params,
-                             std::unique_ptr<SharedLogClient> log)
+                             std::unique_ptr<SharedLogClient> log, LogId log_id)
     : endpoint_(net),
       cpu_(net->loop(), CpuParams{.fixed_ns = 500, .copy_bandwidth_bytes_per_sec = 4e9}),
-      log_(std::move(log)) {
+      client_(std::move(log)),
+      handle_(client_->handle(log_id)) {
   endpoint_.Register(kKvPut, [this](NodeId, Decoder d, Responder r) {
     std::string key, value;
     if (!d.GetBytes(&key) || !d.GetBytes(&value)) {
@@ -38,7 +39,7 @@ KvWriteServer::KvWriteServer(Network* net, const SimParams& params,
     // Validate + serialize, then append; the ack waits only for log durability — the
     // dominant cost of a put in this application (§6.11).
     cpu_.ExecuteFor(key.size() + value.size(), [this, key, value, r]() mutable {
-      log_->Append(EncodeKvUpdate(key, value), [this, r](Status s) mutable {
+      handle_.Append(EncodeKvUpdate(key, value), [this, r](Status s) mutable {
         puts_++;
         r.Send(s.ok() ? Status::Ok() : Status::Unavailable("log append failed"));
       });
@@ -49,10 +50,12 @@ KvWriteServer::KvWriteServer(Network* net, const SimParams& params,
 // --- read server -----------------------------------------------------------------------
 
 KvReadServer::KvReadServer(Network* net, const SimParams& params,
-                           std::unique_ptr<SharedLogClient> log, uint64_t poll_interval_ns)
+                           std::unique_ptr<SharedLogClient> log, uint64_t poll_interval_ns,
+                           LogId log_id)
     : endpoint_(net),
       cpu_(net->loop(), CpuParams{.fixed_ns = 400, .copy_bandwidth_bytes_per_sec = 4e9}),
-      log_(std::move(log)),
+      client_(std::move(log)),
+      handle_(client_->handle(log_id)),
       poll_interval_ns_(poll_interval_ns) {
   endpoint_.Register(kKvGet, [this](NodeId, Decoder d, Responder r) {
     std::string key;
@@ -78,7 +81,7 @@ void KvReadServer::PollLoop() {
     return;
   }
   poll_busy_ = true;
-  log_->CheckTail([this](Status s, LogPos, LogPos stable) {
+  handle_.CheckTail([this](Status s, LogPos, LogPos stable) {
     if (!s.ok() || stable <= cursor_) {
       poll_busy_ = false;
       endpoint_.loop()->Schedule(poll_interval_ns_, [this]() { PollLoop(); });
@@ -87,7 +90,7 @@ void KvReadServer::PollLoop() {
     const LogPos from = cursor_;
     const uint64_t len = std::min<uint64_t>(stable - cursor_, 1024);
     cursor_ = from + len;
-    log_->Read(from, len, [this](Status rs, std::vector<PositionedRecord> records) {
+    handle_.Read(from, len, [this](Status rs, std::vector<PositionedRecord> records) {
       if (rs.ok()) {
         for (const PositionedRecord& pr : records) {
           if (pr.record.no_op) {

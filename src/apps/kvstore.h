@@ -25,7 +25,10 @@ bool DecodeKvUpdate(const Buf& record, std::string* key, std::string* value);
 // Accepts Put requests, appends them to the shared log, acks once durable.
 class KvWriteServer {
  public:
-  KvWriteServer(Network* net, const SimParams& params, std::unique_ptr<SharedLogClient> log);
+  // `log_id` binds the store to one virtual log (kDefaultLog = the physical log), so
+  // several tenants' stores can share a cluster without seeing each other's updates.
+  KvWriteServer(Network* net, const SimParams& params, std::unique_ptr<SharedLogClient> log,
+                LogId log_id = kDefaultLog);
 
   NodeId node_id() const { return endpoint_.node_id(); }
   uint64_t puts() const { return puts_; }
@@ -33,7 +36,8 @@ class KvWriteServer {
  private:
   RpcEndpoint endpoint_;
   ServerCpu cpu_;
-  std::unique_ptr<SharedLogClient> log_;
+  std::unique_ptr<SharedLogClient> client_;  // owns the connection; handle_ is the face
+  LogHandle handle_;
   uint64_t puts_ = 0;
 };
 
@@ -41,7 +45,7 @@ class KvWriteServer {
 class KvReadServer {
  public:
   KvReadServer(Network* net, const SimParams& params, std::unique_ptr<SharedLogClient> log,
-               uint64_t poll_interval_ns = 200 * kUs);
+               uint64_t poll_interval_ns = 200 * kUs, LogId log_id = kDefaultLog);
 
   NodeId node_id() const { return endpoint_.node_id(); }
   uint64_t applied() const { return applied_; }
@@ -52,7 +56,8 @@ class KvReadServer {
 
   RpcEndpoint endpoint_;
   ServerCpu cpu_;
-  std::unique_ptr<SharedLogClient> log_;
+  std::unique_ptr<SharedLogClient> client_;
+  LogHandle handle_;
   uint64_t poll_interval_ns_;
   LogPos cursor_ = 0;
   bool poll_busy_ = false;

@@ -9,10 +9,11 @@ TxnServer::TxnServer(Network* net, const SimParams& params,
     : TxnServer(net, params, std::move(audit_log), Costs()) {}
 
 TxnServer::TxnServer(Network* net, const SimParams& params,
-                     std::unique_ptr<SharedLogClient> audit_log, Costs costs)
+                     std::unique_ptr<SharedLogClient> audit_log, Costs costs, LogId log_id)
     : endpoint_(net),
       cpu_(net->loop(), CpuParams{.fixed_ns = 300, .copy_bandwidth_bytes_per_sec = 4e9}),
-      audit_log_(std::move(audit_log)),
+      client_(std::move(audit_log)),
+      audit_log_(client_->handle(log_id)),
       costs_(costs) {
   endpoint_.Register(kTxnExecute, [this](NodeId, Decoder d, Responder r) {
     HandleTxn(d, std::move(r));
@@ -58,7 +59,7 @@ void TxnServer::HandleTxn(Decoder d, Responder r) {
     audit.PutU64(static_cast<uint64_t>(amount));
     std::string record = audit.Take();
     record.resize(128, 'a');  // audit records carry context; ~128 B on the wire
-    audit_log_->Append(std::move(record), [this, r](Status s) mutable {
+    audit_log_.Append(std::move(record), [this, r](Status s) mutable {
       committed_++;
       r.Send(s.ok() ? Status::Ok() : Status::Unavailable("audit append failed"));
     });

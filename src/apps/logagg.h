@@ -40,8 +40,10 @@ class TxnServer {
     uint64_t read_exec_ns = 4 * kUs;
   };
 
+  // `log_id` selects the virtual log the audit records go to (kDefaultLog = the
+  // physical log); multi-tenant deployments give each application its own phylog.
   TxnServer(Network* net, const SimParams& params, std::unique_ptr<SharedLogClient> audit_log,
-            Costs costs);
+            Costs costs, LogId log_id = kDefaultLog);
   TxnServer(Network* net, const SimParams& params, std::unique_ptr<SharedLogClient> audit_log);
 
   NodeId node_id() const { return endpoint_.node_id(); }
@@ -52,7 +54,8 @@ class TxnServer {
 
   RpcEndpoint endpoint_;
   ServerCpu cpu_;
-  std::unique_ptr<SharedLogClient> audit_log_;
+  std::unique_ptr<SharedLogClient> client_;  // owns the connection; audit_log_ is the face
+  LogHandle audit_log_;
   Costs costs_;
   std::unordered_map<uint64_t, int64_t> balances_;  // the local "RocksDB"
   uint64_t committed_ = 0;

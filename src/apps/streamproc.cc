@@ -8,8 +8,12 @@ const char* const kWords[] = {"the", "quick", "brown", "fox", "jumps", "over",
 }  // namespace
 
 WordCountWorker::WordCountWorker(EventLoop* loop, std::unique_ptr<SharedLogClient> journal,
-                                 Options options, uint64_t seed)
-    : loop_(loop), journal_(std::move(journal)), options_(options), rng_(seed) {}
+                                 Options options, uint64_t seed, LogId log_id)
+    : loop_(loop),
+      client_(std::move(journal)),
+      journal_(client_->handle(log_id)),
+      options_(options),
+      rng_(seed) {}
 
 void WordCountWorker::Start() {
   running_ = true;
@@ -32,7 +36,7 @@ void WordCountWorker::RunBatch() {
   loop_->Schedule(compute_ns, [this, batch_read_at]() {
     // Checkpoint the produced state to the journal before emitting (exactly-once).
     std::string checkpoint(options_.checkpoint_bytes, 'c');
-    journal_->Append(std::move(checkpoint), [this, batch_read_at](Status s) {
+    journal_.Append(std::move(checkpoint), [this, batch_read_at](Status s) {
       if (!running_) {
         return;
       }

@@ -26,8 +26,10 @@ class WordCountWorker {
     uint64_t max_batches = UINT64_MAX;
   };
 
+  // `log_id` selects the virtual log the checkpoints journal into (kDefaultLog = the
+  // physical log); per-tenant pipelines pass their own phylog's id.
   WordCountWorker(EventLoop* loop, std::unique_ptr<SharedLogClient> journal, Options options,
-                  uint64_t seed = 3);
+                  uint64_t seed = 3, LogId log_id = kDefaultLog);
 
   // Starts the worker loop: it continuously pulls input batches (synthetically
   // generated), processes, checkpoints, and emits.
@@ -44,7 +46,8 @@ class WordCountWorker {
   void RunBatch();
 
   EventLoop* loop_;
-  std::unique_ptr<SharedLogClient> journal_;
+  std::unique_ptr<SharedLogClient> client_;  // owns the connection; journal_ is the face
+  LogHandle journal_;
   Options options_;
   Rng rng_;
   bool running_ = false;

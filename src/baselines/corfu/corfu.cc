@@ -122,26 +122,23 @@ CorfuClient::CorfuClient(Network* net, const SimParams& params, NodeId sequencer
     : endpoint_(net), params_(params), sequencer_(sequencer), chains_(std::move(chains)),
       client_id_(client_id) {}
 
-void CorfuClient::Append(Buf payload, AppendCallback cb) {
+void CorfuClient::Append(const AppendOptions& options, Buf payload, AppendCallback cb) {
   // Any non-OK status (including kOverloaded, should the sequencer ever gain admission
   // control) passes through unmapped: Corfu has no client-side shed/retry tier.
-  AppendAt(std::move(payload), [cb](Status s, LogPos) { cb(std::move(s)); });
-}
-
-void CorfuClient::Append(StreamTag tag, Buf payload, AppendCallback cb) {
-  AppendAt(tag, std::move(payload), [cb](Status s, LogPos) { cb(std::move(s)); });
+  AppendAt(options, std::move(payload), [cb](Status s, LogPos) { cb(std::move(s)); });
 }
 
 void CorfuClient::AppendAt(Buf payload, AppendPosCallback cb) {
-  AppendAt(kNoTag, std::move(payload), std::move(cb));
+  AppendAt(AppendOptions{}, std::move(payload), std::move(cb));
 }
 
-void CorfuClient::AppendAt(StreamTag tag, Buf payload, AppendPosCallback cb) {
+void CorfuClient::AppendAt(const AppendOptions& options, Buf payload, AppendPosCallback cb) {
   // RTT 1: obtain a position from the sequencer (not yet binding, §2.2).
   auto record = std::make_shared<Record>();
   record->id = RecordId{client_id_, next_request_id_++};
   record->payload = std::move(payload);
-  record->tag = tag;
+  record->tag = options.tag;
+  record->log = options.log;
   endpoint_.Call(sequencer_, kCorfuNextPos, "",
                  [this, record, cb](Status s, Decoder d) {
                    if (!s.ok()) {

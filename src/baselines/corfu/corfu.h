@@ -66,18 +66,22 @@ class CorfuClient : public SharedLogClient {
   CorfuClient(Network* net, const SimParams& params, NodeId sequencer,
               std::vector<std::vector<NodeId>> chains, ClientId client_id);
 
-  void Append(Buf payload, AppendCallback cb) override;
-  // Tagged append: the tag rides inside the record, so ScanReadNext (the base-class
-  // selective-read fallback — Corfu has no index tier) can project the stream.
-  void Append(StreamTag tag, Buf payload, AppendCallback cb) override;
-  void Read(LogPos from, uint64_t len, ReadCallback cb) override;
-  void CheckTail(TailCallback cb) override;
-  void Trim(LogPos index, TrimCallback cb) override;
-
   // Appends and reports the eagerly bound position (Corfu's native interface).
   using AppendPosCallback = std::function<void(Status, LogPos)>;
   void AppendAt(Buf payload, AppendPosCallback cb);
-  void AppendAt(StreamTag tag, Buf payload, AppendPosCallback cb);
+  void AppendAt(StreamTag tag, Buf payload, AppendPosCallback cb) {
+    AppendAt(AppendOptions{.tag = tag}, std::move(payload), std::move(cb));
+  }
+  void AppendAt(const AppendOptions& options, Buf payload, AppendPosCallback cb);
+
+ protected:
+  // --- SharedLogClient (reached through LogHandle). Tag and phylog id ride inside the
+  // record, so the base-class scan fallbacks (Corfu has no index tier) can project
+  // streams and per-log rank spaces.
+  void Append(const AppendOptions& options, Buf payload, AppendCallback cb) override;
+  void Read(LogPos from, uint64_t len, ReadCallback cb) override;
+  void CheckTail(TailCallback cb) override;
+  void Trim(LogPos index, TrimCallback cb) override;
 
  private:
   void ChainWrite(LogPos pos, std::shared_ptr<Record> record, size_t hop,

@@ -288,15 +288,12 @@ ScalogClient::ScalogClient(Network* net, const SimParams& params, NodeId orderin
   rr_cursor_ = client_id;
 }
 
-void ScalogClient::Append(Buf payload, AppendCallback cb) {
-  Append(kNoTag, std::move(payload), std::move(cb));
-}
-
-void ScalogClient::Append(StreamTag tag, Buf payload, AppendCallback cb) {
+void ScalogClient::Append(const AppendOptions& options, Buf payload, AppendCallback cb) {
   Record rec;
   rec.id = RecordId{client_id_, next_request_id_++};
   rec.payload = std::move(payload);
-  rec.tag = tag;
+  rec.tag = options.tag;
+  rec.log = options.log;
   Encoder e;
   EncodeRecord(e, rec);
   std::vector<Buf> atts = e.TakeAtts();

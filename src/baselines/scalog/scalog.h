@@ -104,10 +104,11 @@ class ScalogClient : public SharedLogClient {
   ScalogClient(Network* net, const SimParams& params, NodeId ordering_leader,
                std::vector<NodeId> shard_primaries, ClientId client_id);
 
-  void Append(Buf payload, AppendCallback cb) override;
-  // Tagged append: the tag rides inside the record so the base-class scan fallback can
-  // serve ReadNext (Scalog has no index tier).
-  void Append(StreamTag tag, Buf payload, AppendCallback cb) override;
+ protected:
+  // --- SharedLogClient (reached through LogHandle). Tag and phylog id ride inside the
+  // record so the base-class scan fallbacks can serve ReadNext and the named-log reads
+  // (Scalog has no index tier).
+  void Append(const AppendOptions& options, Buf payload, AppendCallback cb) override;
   void Read(LogPos from, uint64_t len, ReadCallback cb) override;
   void CheckTail(TailCallback cb) override;
   void Trim(LogPos index, TrimCallback cb) override;

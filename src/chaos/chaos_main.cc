@@ -44,6 +44,8 @@ void Usage() {
                "  --writers=N --readers=N        workload shape (default 4, 2)\n"
                "  --fault-phase-ms=N             nemesis-active window (default 120)\n"
                "  --payload=N                    append payload bytes (default 128)\n"
+               "  --multi-log                    register two named logs and spread the\n"
+               "                                 writers/readers across tenants\n"
                "  --disable-read-gate            fixture: weaken the read gate (the\n"
                "                                 read-gating oracle must then fire)\n"
                "  --disable-fencing              fixture: drop the shard epoch fence (a\n"
@@ -154,6 +156,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       }
     } else if (const char* sched = value("--schedule=")) {
       cli->base.forced_schedule = sched;
+    } else if (arg == "--multi-log") {
+      cli->base.multi_log = true;
     } else if (arg == "--disable-read-gate") {
       cli->base.disable_read_gate = true;
     } else if (arg == "--disable-fencing") {

@@ -28,6 +28,7 @@ class ChaosRunner {
  private:
   struct Workload {
     std::unique_ptr<SharedLogClient> client;
+    LogHandle log;  // the virtual log this workload targets (default = physical)
     NodeId node = kInvalidNode;
     ClientId id = 0;
   };
@@ -37,6 +38,7 @@ class ChaosRunner {
   void AttachShardObserver(uint32_t s, uint32_t r);
   void ScheduleWriterAppend(uint32_t w);
   void ScheduleReaderOp(uint32_t r);
+  void SchedulePerLogRead(uint32_t r, std::function<void()> next);
   void InjectHalfAppend();
   void SettlePhase();
   void SentinelPhase();
@@ -75,6 +77,7 @@ class ChaosRunner {
   uint64_t pending_appends_ = 0;
   uint64_t injector_reqs_ = 0;
   uint64_t write_counts_[64] = {};
+  std::vector<LogId> named_logs_;  // multi-log mode: the registered tenants' ids
   std::vector<ChaosViolation> harness_violations_;
 };
 
@@ -93,6 +96,7 @@ ChaosRunner::Workload ChaosRunner::MakeWorkloadClient() {
     st_clients_.push_back(c.get());
     w.client = std::move(c);
   }
+  w.log = w.client->log();
   return w;
 }
 
@@ -143,10 +147,11 @@ void ChaosRunner::ScheduleWriterAppend(uint32_t w) {
     // multi-stream windows to replay.
     const StreamTag tag = static_cast<StreamTag>((w % 3) + 1);
     const uint64_t op = history_->BeginAppend(AppendOp::Kind::kNormal,
-                                              payload.substr(0, 24), hash, tag);
+                                              payload.substr(0, 24), hash, tag,
+                                              writers_[w].log.id());
     pending_appends_++;
     const bool drives_next = i == 0;  // exactly one continuation per round
-    writers_[w].client->Append(tag, std::move(payload), [this, op, w, drives_next](Status s) {
+    writers_[w].log.Append(tag, std::move(payload), [this, op, w, drives_next](Status s) {
       history_->EndAppend(op, std::move(s));
       pending_appends_--;
       if (!drives_next) {
@@ -166,7 +171,7 @@ void ChaosRunner::ScheduleReaderOp(uint32_t r) {
     return;
   }
   const uint32_t client = static_cast<uint32_t>(readers_[r].id);
-  readers_[r].client->CheckTail([this, r, client](Status s, LogPos durable, LogPos stable) {
+  readers_[r].client->log().CheckTail([this, r, client](Status s, LogPos durable, LogPos stable) {
     auto next = [this, r]() {
       const uint64_t think = 300 * kUs + reader_rng_.Uniform(1500 * kUs);
       cluster_->loop().Schedule(think, [this, r]() { ScheduleReaderOp(r); });
@@ -176,18 +181,32 @@ void ChaosRunner::ScheduleReaderOp(uint32_t r) {
       return;
     }
     history_->RecordTail(client, durable, stable, readers_[r].client->last_tail_view());
+    // Multi-log mode: some ops read a named log in its own rank space — per-log
+    // CheckTail, then a ranked window the log-projection oracle replays.
+    if (options_.multi_log && !named_logs_.empty() && reader_rng_.Chance(0.3)) {
+      SchedulePerLogRead(r, next);
+      return;
+    }
     // A third of the ops are selective reads: pick a stream and a start cursor and let
     // the client route through the index tier (or fall back to a scan under faults).
     if (stable > 0 && reader_rng_.Chance(0.35)) {
       const StreamTag tag = static_cast<StreamTag>(1 + reader_rng_.Uniform(3));
       const LogPos from = reader_rng_.Uniform(stable + 1);
       const uint32_t max = 1 + static_cast<uint32_t>(reader_rng_.Uniform(4));
-      const uint64_t op = history_->BeginReadNext(tag, from, max);
+      // Stream spaces are per-phylog: in multi-log mode the read targets a random
+      // log's stream (ReadNext cursors stay in global position space on every log).
+      LogHandle stream_log = readers_[r].client->log();
+      if (options_.multi_log && !named_logs_.empty() && reader_rng_.Chance(0.5)) {
+        stream_log = readers_[r].client->handle(
+            named_logs_[reader_rng_.Uniform(named_logs_.size())]);
+      }
+      const uint64_t op = history_->BeginReadNext(tag, from, max, stream_log.id());
       auto done = std::make_shared<bool>(false);
-      readers_[r].client->ReadNext(
+      const LogId stream_log_id = stream_log.id();
+      stream_log.ReadNext(
           tag, from, max,
-          [this, op, tag, from, done, next](Status rs, std::vector<PositionedRecord> recs,
-                                            LogPos next_from) {
+          [this, op, tag, from, stream_log_id, done, next](
+              Status rs, std::vector<PositionedRecord> recs, LogPos next_from) {
             if (*done) {
               return;
             }
@@ -199,9 +218,11 @@ void ChaosRunner::ScheduleReaderOp(uint32_t r) {
               for (const PositionedRecord& pr : recs) {
                 obs.push_back(ObservedRecord{pr.pos, pr.record.id,
                                              HashString(pr.record.payload),
-                                             pr.record.no_op, pr.record.tag});
+                                             pr.record.no_op, pr.record.tag,
+                                             pr.record.log});
               }
-              history_->RecordReadNextReturn(op, tag, from, std::move(obs), next_from);
+              history_->RecordReadNextReturn(op, tag, from, std::move(obs), next_from,
+                                             stream_log_id);
             }
             next();
           });
@@ -231,7 +252,7 @@ void ChaosRunner::ScheduleReaderOp(uint32_t r) {
     const uint64_t len = 1 + reader_rng_.Uniform(3);
     const uint64_t op = history_->BeginRead(from, len);
     auto done = std::make_shared<bool>(false);
-    readers_[r].client->Read(
+    readers_[r].client->log().Read(
         from, len, [this, op, done, next](Status rs, std::vector<PositionedRecord> recs) {
           if (*done) {
             return;  // the watchdog already abandoned this read
@@ -244,7 +265,7 @@ void ChaosRunner::ScheduleReaderOp(uint32_t r) {
             for (const PositionedRecord& pr : recs) {
               obs.push_back(ObservedRecord{pr.pos, pr.record.id,
                                            HashString(pr.record.payload), pr.record.no_op,
-                                           pr.record.tag});
+                                           pr.record.tag, pr.record.log});
             }
             history_->RecordReadReturn(op, obs);
           }
@@ -258,6 +279,52 @@ void ChaosRunner::ScheduleReaderOp(uint32_t r) {
       }
       *done = true;
       history_->RecordReadError(op);
+      next();
+    });
+  });
+}
+
+void ChaosRunner::SchedulePerLogRead(uint32_t r, std::function<void()> next) {
+  const LogId log = named_logs_[reader_rng_.Uniform(named_logs_.size())];
+  LogHandle handle = readers_[r].client->handle(log);
+  handle.CheckTail([this, log, handle, next](Status s, LogPos, LogPos stable) mutable {
+    if (!s.ok() || stable == 0) {
+      next();
+      return;
+    }
+    // `stable` is the leader's per-log stable count (an upper bound under Erwin-st
+    // no-ops); short or empty windows are legal, over-claims are not.
+    const LogPos from = reader_rng_.Uniform(stable);
+    const uint64_t len = 1 + reader_rng_.Uniform(3);
+    const uint64_t op = history_->BeginLogRead(log, from, len);
+    auto done = std::make_shared<bool>(false);
+    handle.Read(from, len,
+                [this, op, log, from, done, next](Status rs,
+                                                  std::vector<PositionedRecord> recs) {
+                  if (*done) {
+                    return;
+                  }
+                  *done = true;
+                  if (!rs.ok()) {
+                    history_->RecordLogReadError(op);
+                  } else {
+                    std::vector<ObservedRecord> obs;
+                    for (const PositionedRecord& pr : recs) {
+                      obs.push_back(ObservedRecord{pr.pos, pr.record.id,
+                                                   HashString(pr.record.payload),
+                                                   pr.record.no_op, pr.record.tag,
+                                                   pr.record.log});
+                    }
+                    history_->RecordLogReadReturn(op, log, from, std::move(obs));
+                  }
+                  next();
+                });
+    cluster_->loop().Schedule(60 * kMs, [this, op, done, next]() {
+      if (*done) {
+        return;
+      }
+      *done = true;
+      history_->RecordLogReadError(op);
       next();
     });
   });
@@ -318,7 +385,7 @@ void ChaosRunner::SentinelPhase() {
     auto durable = std::make_shared<LogPos>(0);
     auto stable = std::make_shared<LogPos>(0);
     auto tail_ok = std::make_shared<bool>(false);
-    driver_.client->CheckTail([=, this](Status s, LogPos d, LogPos st) {
+    driver_.client->log().CheckTail([=, this](Status s, LogPos d, LogPos st) {
       if (s.ok()) {
         *durable = d;
         *stable = st;
@@ -337,7 +404,7 @@ void ChaosRunner::SentinelPhase() {
     const uint64_t op =
         history_->BeginAppend(AppendOp::Kind::kNormal, payload, HashString(payload));
     pending_appends_++;
-    driver_.client->Append(std::move(payload),
+    driver_.client->log().Append(std::move(payload),
                            [this, op](Status s) {
                              history_->EndAppend(op, std::move(s));
                              pending_appends_--;
@@ -353,7 +420,7 @@ void ChaosRunner::FinalReadback() {
   // Re-resolve the now-stable tail, then read the whole log back in chunks.
   auto done = std::make_shared<bool>(false);
   auto stable = std::make_shared<LogPos>(0);
-  driver_.client->CheckTail([=](Status s, LogPos, LogPos st) {
+  driver_.client->log().CheckTail([=](Status s, LogPos, LogPos st) {
     if (s.ok()) {
       *stable = st;
     }
@@ -371,7 +438,7 @@ void ChaosRunner::FinalReadback() {
       auto read_done = std::make_shared<bool>(false);
       auto got = std::make_shared<std::vector<ObservedRecord>>();
       auto ok = std::make_shared<bool>(false);
-      driver_.client->Read(pos, len,
+      driver_.client->log().Read(pos, len,
                            [=, this](Status s, std::vector<PositionedRecord> recs) {
                              if (*read_done) {
                                return;
@@ -382,7 +449,8 @@ void ChaosRunner::FinalReadback() {
                                  got->push_back(ObservedRecord{pr.pos, pr.record.id,
                                                                HashString(pr.record.payload),
                                                                pr.record.no_op,
-                                                               pr.record.tag});
+                                                               pr.record.tag,
+                                                               pr.record.log});
                                }
                                history_->RecordReadReturn(op, *got);
                                *ok = true;
@@ -437,9 +505,23 @@ ChaosReport ChaosRunner::Run() {
   history_ = std::make_unique<ChaosHistory>(&cluster_->loop());
   AttachObservers();
 
+  if (options_.multi_log) {
+    // Register the tenants' logs through the controller, then let the registry push
+    // (ZK "/logs/config" + kSeqUpdateLogs) land on the replicas before load starts.
+    named_logs_.push_back(cluster_->CreateLog("tenant-a"));
+    named_logs_.push_back(cluster_->CreateLog("tenant-b"));
+    history_->RecordNote("multi-log: tenant-a, tenant-b registered");
+    cluster_->RunFor(5 * kMs);
+  }
+
   for (uint32_t w = 0; w < options_.num_writers; ++w) {
     writers_.push_back(MakeWorkloadClient());
     writer_rngs_.emplace_back(options_.seed ^ (0x7772697465720000ULL + w));
+    if (options_.multi_log && w % 3 != 0) {
+      // Writers 1, 2 mod 3 publish into the named logs; 0 mod 3 stays on the physical
+      // log, so every run interleaves tenant and plain traffic in the shared order.
+      writers_[w].log = writers_[w].client->handle(named_logs_[w % 3 - 1]);
+    }
   }
   for (uint32_t r = 0; r < options_.num_readers; ++r) {
     readers_.push_back(MakeWorkloadClient());
@@ -534,6 +616,9 @@ std::string ChaosOptions::ToReproLine() const {
   }
   if (disable_fencing) {
     os << " --disable-fencing";
+  }
+  if (multi_log) {
+    os << " --multi-log";
   }
   if (!forced_schedule.empty()) {
     os << " --schedule=" << forced_schedule;

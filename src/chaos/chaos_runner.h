@@ -32,6 +32,10 @@ struct ChaosOptions {
   // Workload shape.
   uint32_t num_writers = 4;
   uint32_t num_readers = 2;
+  // Multi-tenant workload: registers two named logs ("tenant-a"/"tenant-b") and spreads
+  // the writers round-robin across {physical, tenant-a, tenant-b}; readers additionally
+  // issue per-log ranked reads checked by the log-projection oracle.
+  bool multi_log = false;
   uint64_t fault_phase_ns = 120 * kMs;  // nemesis-active window
   uint64_t payload_bytes = 128;
 

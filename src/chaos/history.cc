@@ -26,6 +26,14 @@ constexpr uint8_t kTagReadNextInvoke = 15;
 constexpr uint8_t kTagReadNextRecord = 16;
 constexpr uint8_t kTagReadNextDone = 17;
 constexpr uint8_t kTagRecordStream = 18;
+// Virtual logs (tags >= 19). Named-log data again folds *extra* events only, so
+// single-log runs (every record on kDefaultLog) keep their historical digests.
+constexpr uint8_t kTagAppendLog = 19;
+constexpr uint8_t kTagRecordLog = 20;
+constexpr uint8_t kTagLogReadInvoke = 21;
+constexpr uint8_t kTagLogReadRecord = 22;
+constexpr uint8_t kTagLogReadDone = 23;
+constexpr uint8_t kTagReadNextLog = 24;
 }  // namespace
 
 void ChaosHistory::FoldEvent(uint8_t tag, uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
@@ -38,17 +46,21 @@ void ChaosHistory::FoldEvent(uint8_t tag, uint64_t a, uint64_t b, uint64_t c, ui
 }
 
 uint64_t ChaosHistory::BeginAppend(AppendOp::Kind kind, std::string payload_key,
-                                   uint64_t payload_hash, StreamTag tag) {
+                                   uint64_t payload_hash, StreamTag tag, LogId log) {
   AppendOp op;
   op.op_id = next_op_id_++;
   op.kind = kind;
   op.tag = tag;
+  op.log = log;
   op.payload_key = std::move(payload_key);
   op.payload_hash = payload_hash;
   op.invoked_at = loop_->Now();
   FoldEvent(kTagAppendInvoke, op.op_id, static_cast<uint64_t>(kind), payload_hash);
   if (tag != kNoTag) {
     FoldEvent(kTagAppendStream, op.op_id, tag);
+  }
+  if (log != kDefaultLog) {
+    FoldEvent(kTagAppendLog, op.op_id, log);
   }
   appends_.push_back(std::move(op));
   return appends_.back().op_id;
@@ -105,31 +117,63 @@ void ChaosHistory::RecordReadReturn(uint64_t op_id,
     if (rec.tag != kNoTag) {
       FoldEvent(kTagRecordStream, op_id, rec.pos, rec.tag);
     }
+    if (rec.log != kDefaultLog) {
+      FoldEvent(kTagRecordLog, op_id, rec.pos, rec.log);
+    }
     read_obs_.push_back(ReadObservation{op_id, loop_->Now(), rec});
   }
 }
 
-uint64_t ChaosHistory::BeginReadNext(StreamTag tag, LogPos from, uint32_t max) {
+uint64_t ChaosHistory::BeginReadNext(StreamTag tag, LogPos from, uint32_t max,
+                                     LogId log) {
   const uint64_t op_id = next_op_id_++;
   reads_issued_++;
   FoldEvent(kTagReadNextInvoke, op_id, tag, from, max);
+  if (log != kDefaultLog) {
+    // Extra event only for named-log stream reads, so single-log digests are unchanged.
+    FoldEvent(kTagReadNextLog, op_id, log);
+  }
   return op_id;
 }
 
 void ChaosHistory::RecordReadNextReturn(uint64_t op_id, StreamTag tag, LogPos from,
                                         std::vector<ObservedRecord> records,
-                                        LogPos next_from) {
+                                        LogPos next_from, LogId log) {
   for (const ObservedRecord& rec : records) {
     FoldEvent(kTagReadNextRecord, op_id, rec.pos,
               rec.id.client_id ^ (rec.id.request_id << 20),
               rec.payload_hash ^ (rec.no_op ? 1 : 0) ^ rec.tag);
   }
   FoldEvent(kTagReadNextDone, op_id, next_from, records.size());
-  read_next_obs_.push_back(
-      ReadNextObservation{op_id, tag, from, next_from, loop_->Now(), std::move(records)});
+  read_next_obs_.push_back(ReadNextObservation{op_id, tag, from, next_from, loop_->Now(),
+                                               std::move(records), log});
 }
 
 void ChaosHistory::RecordReadNextError(uint64_t op_id) {
+  reads_failed_++;
+  FoldEvent(kTagReadError, op_id);
+}
+
+uint64_t ChaosHistory::BeginLogRead(LogId log, LogPos from, uint64_t len) {
+  const uint64_t op_id = next_op_id_++;
+  reads_issued_++;
+  FoldEvent(kTagLogReadInvoke, op_id, log, from, len);
+  return op_id;
+}
+
+void ChaosHistory::RecordLogReadReturn(uint64_t op_id, LogId log, LogPos from,
+                                       std::vector<ObservedRecord> records) {
+  for (const ObservedRecord& rec : records) {
+    FoldEvent(kTagLogReadRecord, op_id, rec.pos,
+              rec.id.client_id ^ (rec.id.request_id << 20),
+              rec.payload_hash ^ (rec.no_op ? 1 : 0) ^ log);
+  }
+  FoldEvent(kTagLogReadDone, op_id, records.size());
+  log_read_obs_.push_back(
+      LogReadObservation{op_id, log, from, loop_->Now(), std::move(records)});
+}
+
+void ChaosHistory::RecordLogReadError(uint64_t op_id) {
   reads_failed_++;
   FoldEvent(kTagReadError, op_id);
 }
@@ -166,6 +210,9 @@ void ChaosHistory::RecordFinalLog(std::vector<ObservedRecord> final_log) {
               rec.payload_hash, rec.no_op ? 1 : 0);
     if (rec.tag != kNoTag) {
       FoldEvent(kTagRecordStream, 0, rec.pos, rec.tag);
+    }
+    if (rec.log != kDefaultLog) {
+      FoldEvent(kTagRecordLog, 0, rec.pos, rec.log);
     }
   }
   final_log_ = std::move(final_log);

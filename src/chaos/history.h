@@ -25,6 +25,7 @@ struct ObservedRecord {
   uint64_t payload_hash = 0;
   bool no_op = false;
   StreamTag tag = kNoTag;  // stream membership (index tier); kNoTag for plain records
+  LogId log = kDefaultLog; // owning virtual log; kDefaultLog for plain records
 };
 
 // A workload append operation and its real-time interval.
@@ -36,6 +37,7 @@ struct AppendOp {
   uint64_t op_id = 0;
   Kind kind = Kind::kNormal;
   StreamTag tag = kNoTag;     // stream this append targeted (kNoTag = untagged)
+  LogId log = kDefaultLog;    // virtual log this append targeted
   RecordId id;                // known for half-appends (dedicated injector clients)
   bool id_known = false;
   std::string payload_key;    // unique payload (normal appends); used for matching
@@ -70,6 +72,21 @@ struct ReadNextObservation {
   LogPos next_from = 0;
   SimTime returned_at = 0;
   std::vector<ObservedRecord> records;
+  // Which log's stream was read: tag spaces are per-phylog, so a window on (log, tag)
+  // must contain exactly that log's records with that tag — no cross-log leakage.
+  LogId log = kDefaultLog;
+};
+
+// One completed per-log ranged read (LogHandle::Read on a named log). `from` is a
+// *rank* in the log's dense position space. The per-log projection oracle replays it
+// against the final log: the records must be exactly the log's non-no-op records
+// ranked [from, from+records.size()), in order, with matching payloads.
+struct LogReadObservation {
+  uint64_t op_id = 0;
+  LogId log = kDefaultLog;
+  LogPos from = 0;  // first rank read
+  SimTime returned_at = 0;
+  std::vector<ObservedRecord> records;  // pos = per-log rank, not global position
 };
 
 // A checkTail result as seen by one client. `view` is the view that served the sample:
@@ -120,7 +137,7 @@ class ChaosHistory {
 
   // --- workload-side recording ------------------------------------------------------
   uint64_t BeginAppend(AppendOp::Kind kind, std::string payload_key, uint64_t payload_hash,
-                       StreamTag tag = kNoTag);
+                       StreamTag tag = kNoTag, LogId log = kDefaultLog);
   // For half-appends issued by dedicated injector clients the record id is predictable;
   // recording it lets the no-op oracle match the final log by id.
   void SetAppendId(uint64_t op_id, RecordId id);
@@ -133,10 +150,18 @@ class ChaosHistory {
   void RecordReadError(uint64_t op_id);
 
   // Selective reads (stream index tier).
-  uint64_t BeginReadNext(StreamTag tag, LogPos from, uint32_t max);
+  uint64_t BeginReadNext(StreamTag tag, LogPos from, uint32_t max,
+                         LogId log = kDefaultLog);
   void RecordReadNextReturn(uint64_t op_id, StreamTag tag, LogPos from,
-                            std::vector<ObservedRecord> records, LogPos next_from);
+                            std::vector<ObservedRecord> records, LogPos next_from,
+                            LogId log = kDefaultLog);
   void RecordReadNextError(uint64_t op_id);
+
+  // Per-log ranged reads (virtual logs). `from` is a rank in the log's own space.
+  uint64_t BeginLogRead(LogId log, LogPos from, uint64_t len);
+  void RecordLogReadReturn(uint64_t op_id, LogId log, LogPos from,
+                           std::vector<ObservedRecord> records);
+  void RecordLogReadError(uint64_t op_id);
 
   void RecordTail(uint32_t client, LogPos durable, LogPos stable, ViewId view);
 
@@ -154,6 +179,9 @@ class ChaosHistory {
   const std::vector<ReadObservation>& read_observations() const { return read_obs_; }
   const std::vector<ReadNextObservation>& read_next_observations() const {
     return read_next_obs_;
+  }
+  const std::vector<LogReadObservation>& log_read_observations() const {
+    return log_read_obs_;
   }
   const std::vector<TailSample>& tail_samples() const { return tail_samples_; }
   const std::vector<SeqGpSample>& seq_gp_samples() const { return seq_gp_samples_; }
@@ -183,6 +211,7 @@ class ChaosHistory {
   std::vector<AppendOp> appends_;
   std::vector<ReadObservation> read_obs_;
   std::vector<ReadNextObservation> read_next_obs_;
+  std::vector<LogReadObservation> log_read_obs_;
   std::vector<TailSample> tail_samples_;
   std::vector<SeqGpSample> seq_gp_samples_;
   std::vector<ShardGpSample> shard_gp_samples_;

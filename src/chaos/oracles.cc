@@ -404,10 +404,13 @@ std::vector<ChaosViolation> CheckStreamProjection(const ChaosHistory& h) {
         break;
       }
       prev = rec.pos;
-      if (rec.tag != obs.tag || rec.no_op) {
+      if (rec.tag != obs.tag || rec.no_op || rec.log != obs.log) {
         std::ostringstream os;
-        os << "position " << rec.pos << " returned for stream " << obs.tag
-           << (rec.no_op ? " is a no-op" : " belongs to a different stream");
+        os << "position " << rec.pos << " returned for stream " << obs.tag << " of log "
+           << obs.log
+           << (rec.no_op ? " is a no-op"
+                         : (rec.tag != obs.tag ? " belongs to a different stream"
+                                               : " belongs to a different log"));
         report(obs.op_id, os.str());
         window_ok = false;
         break;
@@ -430,13 +433,16 @@ std::vector<ChaosViolation> CheckStreamProjection(const ChaosHistory& h) {
     size_t next_returned = 0;
     for (LogPos pos = obs.from; pos < obs.next_from; ++pos) {
       auto it = index.by_pos.find(pos);
-      if (it == index.by_pos.end() || it->second->no_op || it->second->tag != obs.tag) {
+      // Stream spaces are per-phylog: only this log's records with this tag belong.
+      if (it == index.by_pos.end() || it->second->no_op || it->second->tag != obs.tag ||
+          it->second->log != obs.log) {
         continue;
       }
       if (next_returned >= obs.records.size() || obs.records[next_returned].pos != pos) {
         std::ostringstream os;
-        os << "stream " << obs.tag << " record at position " << pos
-           << " is missing from the window [" << obs.from << ", " << obs.next_from << ")";
+        os << "stream " << obs.tag << " of log " << obs.log << " record at position "
+           << pos << " is missing from the window [" << obs.from << ", " << obs.next_from
+           << ")";
         report(obs.op_id, os.str());
         break;
       }
@@ -445,6 +451,76 @@ std::vector<ChaosViolation> CheckStreamProjection(const ChaosHistory& h) {
   }
   if (reported > 16) {
     out.push_back(ChaosViolation{"stream-projection", "... further violations elided"});
+  }
+  return out;
+}
+
+std::vector<ChaosViolation> CheckLogProjection(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  // The final read-back's per-log order: rank r of log L = the r-th non-no-op record
+  // with log == L, scanning the final log in position order (chaos runs never trim, so
+  // ranks are stable).
+  std::map<LogId, std::vector<const ObservedRecord*>> ranked;
+  for (const ObservedRecord& rec : h.final_log()) {
+    if (!rec.no_op && rec.log != kDefaultLog) {
+      ranked[rec.log].push_back(&rec);
+    }
+  }
+  uint64_t reported = 0;
+  auto report = [&](uint64_t op_id, std::string detail) {
+    if (reported++ >= 16) {
+      return;
+    }
+    std::ostringstream os;
+    os << "per-log read op " << op_id << ": " << detail;
+    out.push_back(ChaosViolation{"log-projection", os.str()});
+  };
+  for (const LogReadObservation& obs : h.log_read_observations()) {
+    if (obs.records.empty()) {
+      continue;  // an empty window claims no ranks (index lag / past the tail)
+    }
+    const std::vector<const ObservedRecord*>* list = nullptr;
+    if (auto it = ranked.find(obs.log); it != ranked.end()) {
+      list = &it->second;
+    }
+    const size_t log_size = list ? list->size() : 0;
+    if (obs.from + obs.records.size() > log_size) {
+      std::ostringstream os;
+      os << "claims ranks [" << obs.from << ", " << obs.from + obs.records.size()
+         << ") of log " << obs.log << " but the log's final size is " << log_size;
+      report(obs.op_id, os.str());
+      continue;
+    }
+    for (size_t i = 0; i < obs.records.size(); ++i) {
+      const ObservedRecord& rec = obs.records[i];
+      const LogPos rank = obs.from + i;
+      if (rec.pos != rank) {
+        std::ostringstream os;
+        os << "record " << i << " is labelled rank " << rec.pos << ", want " << rank
+           << " (per-log positions must be dense)";
+        report(obs.op_id, os.str());
+        break;
+      }
+      if (rec.no_op || rec.log != obs.log) {
+        std::ostringstream os;
+        os << "rank " << rank << " returned for log " << obs.log
+           << (rec.no_op ? " is a no-op" : " belongs to a different log");
+        report(obs.op_id, os.str());
+        break;
+      }
+      const ObservedRecord* want = (*list)[rank];
+      if (!(want->id == rec.id) || want->payload_hash != rec.payload_hash) {
+        std::ostringstream os;
+        os << "rank " << rank << " of log " << obs.log << " held record "
+           << DescribeId(rec.id) << " when read but " << DescribeId(want->id)
+           << " in the final read-back (per-log order moved)";
+        report(obs.op_id, os.str());
+        break;
+      }
+    }
+  }
+  if (reported > 16) {
+    out.push_back(ChaosViolation{"log-projection", "... further violations elided"});
   }
   return out;
 }
@@ -524,6 +600,7 @@ std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode 
   append(CheckMonotonicity(h));
   append(CheckOverloadRule(h));
   append(CheckStreamProjection(h));
+  append(CheckLogProjection(h));
   append(CheckPromotionSafety(h));
   return all;
 }

@@ -63,7 +63,14 @@ std::vector<ChaosViolation> CheckOverloadRule(const ChaosHistory& h);
 // the final stable tail.
 std::vector<ChaosViolation> CheckStreamProjection(const ChaosHistory& h);
 
-// (9) Promotion safety: scoped to runs whose nemesis log contains a shard-primary
+// (9) Per-log projection (virtual logs): every completed per-log ranged read returned
+// exactly the log's non-no-op records at ranks [from, from+count) of the final log's
+// per-log order — each labelled with its rank, in order, no foreign-log or no-op
+// record, each binding matching the final read-back. Ranks past the log's final size
+// must not be claimed.
+std::vector<ChaosViolation> CheckLogProjection(const ChaosHistory& h);
+
+// (10) Promotion safety: scoped to runs whose nemesis log contains a shard-primary
 // deposition (crash or isolation). Every append acked before the first deposition
 // appears exactly once in the final log, and every position observed by a read before
 // the first deposition holds the same record afterwards — no acked append is lost or

@@ -261,18 +261,24 @@ inline bool DecodeRecordId(Decoder& d, RecordId* id) {
 
 // Record flags byte. Bit 0 is the no_op marker (so a legacy encoder's trailing
 // PutBool(no_op) byte decodes unchanged, with tag = kNoTag); bit 1 says a u64 stream
-// tag follows. Untagged records therefore stay byte-identical to the pre-tag format.
+// tag follows; bit 2 says a u64 phylog id follows. Untagged default-log records
+// therefore stay byte-identical to the pre-tag, pre-virtual-log format.
 inline constexpr uint8_t kRecordFlagNoOp = 0x1;
 inline constexpr uint8_t kRecordFlagHasTag = 0x2;
+inline constexpr uint8_t kRecordFlagHasLog = 0x4;
 
 inline void EncodeRecord(Encoder& e, const Record& r) {
   EncodeRecordId(e, r.id);
   e.PutAttached(r.payload);
   uint8_t flags = (r.no_op ? kRecordFlagNoOp : 0) |
-                  (r.tag != kNoTag ? kRecordFlagHasTag : 0);
+                  (r.tag != kNoTag ? kRecordFlagHasTag : 0) |
+                  (r.log != kDefaultLog ? kRecordFlagHasLog : 0);
   e.PutU8(flags);
   if (r.tag != kNoTag) {
     e.PutU64(r.tag);
+  }
+  if (r.log != kDefaultLog) {
+    e.PutU64(r.log);
   }
 }
 inline bool DecodeRecord(Decoder& d, Record* r) {
@@ -280,12 +286,17 @@ inline bool DecodeRecord(Decoder& d, Record* r) {
     return false;
   }
   uint8_t flags = 0;
-  if (!d.GetU8(&flags) || (flags & ~(kRecordFlagNoOp | kRecordFlagHasTag)) != 0) {
+  if (!d.GetU8(&flags) ||
+      (flags & ~(kRecordFlagNoOp | kRecordFlagHasTag | kRecordFlagHasLog)) != 0) {
     return false;  // unknown flag bits: malformed, bail like GetU64Vector does
   }
   r->no_op = (flags & kRecordFlagNoOp) != 0;
   r->tag = kNoTag;
   if ((flags & kRecordFlagHasTag) != 0 && !d.GetU64(&r->tag)) {
+    return false;
+  }
+  r->log = kDefaultLog;
+  if ((flags & kRecordFlagHasLog) != 0 && !d.GetU64(&r->log)) {
     return false;
   }
   return true;

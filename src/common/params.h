@@ -1,6 +1,6 @@
 // Calibration constants for the simulated testbed. Values are derived from the paper's
 // CloudLab x1170 cluster (Intel E5-2640v4, 25 Gb ConnectX-4, SATA SSD) and from the
-// absolute numbers the paper reports; see DESIGN.md §5 for the derivations. Each
+// absolute numbers the paper reports; see DESIGN.md §7 for the derivations. Each
 // experiment copies and tweaks a SimParams, so nothing here is globally mutable.
 #ifndef SRC_COMMON_PARAMS_H_
 #define SRC_COMMON_PARAMS_H_
@@ -92,6 +92,21 @@ struct SeqParams {
   // appends never time out merely because they queued behind a full ring.
   uint64_t ring_high_watermark = 4096;
   uint64_t ring_low_watermark = 2048;
+
+  // --- Multi-tenant fairness + quotas (virtual-log layer) ---
+  // Deficit-round-robin fairness across phylogs inside the admission gate: each
+  // ordering tick replenishes every active log's deficit with an equal share of the
+  // tick's effective batch budget; once ring occupancy reaches the low watermark, an
+  // append from a log with no deficit left is refused kOverloaded while logs within
+  // their share keep being admitted. Disabled = admission stays log-blind.
+  bool tenant_fairness = true;
+  // Deficit accumulation cap, in multiples of the per-tick share: lets a trickling
+  // tenant bank a small burst allowance without hoarding unbounded credit.
+  uint32_t fairness_burst_quanta = 4;
+  // Per-log quota token buckets burst allowance, as a fraction of the per-second
+  // quota (clamped to [16, 1024] tokens). The quota itself comes from the log
+  // registry (LogRegistryEntry::quota_per_sec); 0 = unlimited.
+  double quota_burst_fraction = 0.1;
 };
 
 // Index tier (selective reads): aggregator index nodes pull per-shard tag-index deltas
@@ -148,6 +163,13 @@ struct SimParams {
   // on the already-saturated sequencer. Failing fast keeps acked latency near the ring
   // residence bound; the caller decides whether to re-submit.
   uint32_t client_overload_retry_limit = 3;
+  // Quota backpressure propagation: after the leader refuses an append with
+  // kQuotaExceeded, the client sheds *fresh* appends to that log locally (same status,
+  // no wire traffic) for this window. Without it, a tenant offering a multiple of its
+  // quota turns into a refusal/retry storm that loads every replica's NIC and CPU —
+  // the noisy-neighbor damage quotas exist to prevent. In-flight retries still go out
+  // (their small budget drains the bucket's refill smoothly). 0 disables.
+  uint64_t client_quota_mute_ns = 2 * kMs;
   // Erwin-st read path: position-map poll cadence while a position is not yet ordered.
   uint64_t posmap_poll_interval_ns = 100 * kUs;
   uint64_t seed = 1;

@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal,       // invariant violation or unexpected state
   kInvalidArgument,
   kOverloaded,     // admission control refused the append; retry after backoff
+  kQuotaExceeded,  // per-tenant rate limit refused the append; distinct from overload
 };
 
 // Human-readable name for a StatusCode (for logs and test failure messages).
@@ -43,6 +44,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kQuotaExceeded: return "QUOTA_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -80,6 +82,9 @@ class Status {
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
   static Status Overloaded(std::string m = "overloaded") {
     return {StatusCode::kOverloaded, std::move(m)};
+  }
+  static Status QuotaExceeded(std::string m = "quota exceeded") {
+    return {StatusCode::kQuotaExceeded, std::move(m)};
   }
   static Status InvalidArgument(std::string m) {
     return {StatusCode::kInvalidArgument, std::move(m)};

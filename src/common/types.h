@@ -49,6 +49,14 @@ using SimTime = uint64_t;
 using StreamTag = uint64_t;
 inline constexpr StreamTag kNoTag = 0;
 
+// Virtual-log ("phylog") identifier. Many named logs multiplex over one physical
+// sequencing/storage fleet; each phylog projects its own dense position space out of
+// the shared total order. kDefaultLog is the physical log itself: records appended to
+// it carry no log field on the wire and single-log deployments behave exactly as
+// before the virtual-log layer existed.
+using LogId = uint64_t;
+inline constexpr LogId kDefaultLog = 0;
+
 // Identity of a record as chosen by the appending client. Used directly as the Erwin-st
 // metadata identifier (the paper's <record-id> = <client-id, request-id>).
 struct RecordId {
@@ -68,6 +76,7 @@ struct Record {
   Buf payload;
   bool no_op = false;
   StreamTag tag = kNoTag;
+  LogId log = kDefaultLog;  // owning phylog; kDefaultLog = the physical log
 
   friend bool operator==(const Record&, const Record&) = default;
 };

@@ -10,19 +10,29 @@
 
 namespace lazylog {
 
-// Client -> index node: positions of the next records of stream `tag` at or after
-// global position `from`, capped at `max` entries.
+// Client -> index node: positions of the next records of stream (log, tag) at or
+// after `from`, capped at `max` entries. Two cursor modes:
+//   by_rank=false: `from` is a global position; the legacy ReadNext lookup.
+//   by_rank=true:  `from` is a rank into the (log, tag) list — the phylog's dense
+//                  position space when tag == kNoTag. Serves list[from..from+max).
 struct IndexReadNextReq {
   StreamTag tag = kNoTag;
   LogPos from = 0;
   uint32_t max = 64;
+  LogId log = kDefaultLog;
+  bool by_rank = false;
 
   void Encode(Encoder& e) const {
     e.PutU64(tag);
     e.PutU64(from);
     e.PutU32(max);
+    e.PutU64(log);
+    e.PutBool(by_rank);
   }
-  bool Decode(Decoder& d) { return d.GetU64(&tag) && d.GetU64(&from) && d.GetU32(&max); }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&tag) && d.GetU64(&from) && d.GetU32(&max) && d.GetU64(&log) &&
+           d.GetBool(&by_rank);
+  }
 };
 
 // Index node -> client. `positions`/`shard_ids` are parallel vectors: positions[i]

@@ -142,10 +142,13 @@ void IndexNode::OnDelta(size_t s, const Status& status, Decoder body) {
     ShardFeed& feed = feeds_[s];
     feed.next_seq = resp.next_seq;
     for (const TagIndexEntry& e : resp.entries) {
-      if (e.pos < trimmed_below_ || e.tag == kNoTag) {
+      // Default-log untagged records are never journaled, but a defensive skip keeps
+      // a buggy shard from polluting the map. Named-log (log, kNoTag) entries are the
+      // phylog rank lists and merge like any tagged stream.
+      if (e.pos < trimmed_below_ || (e.log == kDefaultLog && e.tag == kNoTag)) {
         continue;
       }
-      auto& list = tags_[e.tag];
+      auto& list = tags_[{e.log, e.tag}];
       if (list.empty() || e.pos > list.back().first) {
         list.emplace_back(e.pos, feed.shard);
       } else {
@@ -190,26 +193,40 @@ void IndexNode::HandleReadNext(Decoder d, Responder r) {
     r.Send(Status::InvalidArgument("bad index read-next"));
     return;
   }
-  if (req.tag == kNoTag) {
+  if (req.tag == kNoTag && req.log == kDefaultLog) {
+    // The physical log has no rank list; untagged default-log reads go through the
+    // shards' ordered stores directly.
     r.Send(Status::InvalidArgument("read-next requires a stream tag"));
     return;
   }
   IndexReadNextResp resp;
   resp.indexed_upto = indexed_upto_;
-  auto it = tags_.find(req.tag);
+  auto it = tags_.find({req.log, req.tag});
   if (it != tags_.end()) {
     const auto& list = it->second;
-    auto pos_it = std::lower_bound(list.begin(), list.end(), req.from,
-                                   [](const auto& a, LogPos p) { return a.first < p; });
     // Only serve below the contiguous coverage frontier: a position beyond it may be
     // ahead of a lagging shard's export, and returning it could skip that shard's
     // earlier records of the same stream (a gap in the projection).
-    for (; pos_it != list.end() && resp.positions.size() < req.max; ++pos_it) {
-      if (pos_it->first >= indexed_upto_) {
-        break;
+    if (req.by_rank) {
+      // Rank-cursor mode: `from` is an index into the list (the phylog's dense
+      // position space), not a global position. Serve list[from .. from+max).
+      for (size_t i = req.from; i < list.size() && resp.positions.size() < req.max; ++i) {
+        if (list[i].first >= indexed_upto_) {
+          break;
+        }
+        resp.positions.push_back(list[i].first);
+        resp.shard_ids.push_back(list[i].second);
       }
-      resp.positions.push_back(pos_it->first);
-      resp.shard_ids.push_back(pos_it->second);
+    } else {
+      auto pos_it = std::lower_bound(list.begin(), list.end(), req.from,
+                                     [](const auto& a, LogPos p) { return a.first < p; });
+      for (; pos_it != list.end() && resp.positions.size() < req.max; ++pos_it) {
+        if (pos_it->first >= indexed_upto_) {
+          break;
+        }
+        resp.positions.push_back(pos_it->first);
+        resp.shard_ids.push_back(pos_it->second);
+      }
     }
   }
   ++stats_.read_nexts;
@@ -270,8 +287,9 @@ void IndexNode::HandleTrim(Decoder d, Responder r) {
   r.Send(Status::Ok());
 }
 
-const std::vector<std::pair<LogPos, ShardId>>* IndexNode::TagPositions(StreamTag tag) const {
-  auto it = tags_.find(tag);
+const std::vector<std::pair<LogPos, ShardId>>* IndexNode::TagPositions(
+    LogId log, StreamTag tag) const {
+  auto it = tags_.find({log, tag});
   return it == tags_.end() ? nullptr : &it->second;
 }
 

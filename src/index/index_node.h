@@ -10,8 +10,8 @@
 #ifndef SRC_INDEX_INDEX_NODE_H_
 #define SRC_INDEX_INDEX_NODE_H_
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -78,8 +78,12 @@ class IndexNode {
   uint64_t tags_tracked() const { return tags_.size(); }
   const IndexStats& stats() const { return stats_; }
   IndexStatsSnapshot StatsSnapshot() const;
-  // Test hook: the merged (pos, shard) list for one tag (nullptr if untracked).
-  const std::vector<std::pair<LogPos, ShardId>>* TagPositions(StreamTag tag) const;
+  // Test hook: the merged (pos, shard) list for one stream (nullptr if untracked).
+  // The (log, kNoTag) list is the phylog's rank list.
+  const std::vector<std::pair<LogPos, ShardId>>* TagPositions(LogId log, StreamTag tag) const;
+  const std::vector<std::pair<LogPos, ShardId>>* TagPositions(StreamTag tag) const {
+    return TagPositions(kDefaultLog, tag);
+  }
 
  private:
   // One pull feed per shard primary. next_seq is the shard-local journal cursor;
@@ -121,9 +125,11 @@ class IndexNode {
   bool pulling_armed_ = false;
 
   std::vector<ShardFeed> feeds_;
-  // tag -> ascending (global position, owning shard). Per-feed deltas arrive in
+  // (log, tag) -> ascending (global position, owning shard). Per-feed deltas arrive in
   // ascending position order; cross-shard interleaving occasionally inserts mid-list.
-  std::unordered_map<StreamTag, std::vector<std::pair<LogPos, ShardId>>> tags_;
+  // tag == kNoTag entries (valid only for named logs) are the per-phylog rank lists.
+  // Ordered map so iteration (trim sweeps, snapshots) is deterministic.
+  std::map<std::pair<LogId, StreamTag>, std::vector<std::pair<LogPos, ShardId>>> tags_;
 
   IndexStats stats_;
 };

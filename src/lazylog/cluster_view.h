@@ -7,6 +7,7 @@
 
 #include "src/common/codec.h"
 #include "src/common/types.h"
+#include "src/seq/seq_messages.h"
 
 namespace lazylog {
 
@@ -25,6 +26,11 @@ struct ClusterView {
   // ZooKeeperLite node for config refresh; kInvalidNode when there is no control plane
   // (clients then keep their construction-time shard membership).
   NodeId zk = kInvalidNode;
+  // Log registry snapshot (named phylogs) at view construction time; clients refresh
+  // from "/logs/config" when a name is missing. Empty = single-log deployment.
+  std::vector<LogRegistryEntry> logs;
+  // Epoch of `logs` (bumped by the controller on every create/delete).
+  uint64_t log_epoch = 0;
 
   uint32_t num_shards() const { return static_cast<uint32_t>(shards.size()); }
 };
@@ -66,6 +72,20 @@ inline bool DecodeShardConfig(const std::string& blob, uint64_t* epoch,
     }
     shards->push_back(std::move(replicas));
   }
+  return true;
+}
+
+// Parses the controller's "/logs/config" znode (the SeqUpdateLogsReq wire format):
+// registry epoch, then the full entry list including deletion tombstones.
+inline bool DecodeLogConfig(const std::string& blob, uint64_t* epoch,
+                            std::vector<LogRegistryEntry>* entries) {
+  Decoder d(blob);
+  SeqUpdateLogsReq req;
+  if (!req.Decode(d)) {
+    return false;
+  }
+  *epoch = req.epoch;
+  *entries = std::move(req.entries);
   return true;
 }
 

@@ -129,8 +129,63 @@ ClusterView ErwinCluster::MakeView() const {
   if (controller_) {
     view.zk = zk_->node_id();
     view.shard_epoch = controller_->shard_epoch();
+    view.logs = controller_->log_registry();
+    view.log_epoch = controller_->log_epoch();
+  } else {
+    view.logs = log_registry_;
+    view.log_epoch = log_epoch_;
   }
   return view;
+}
+
+// --- virtual logs ------------------------------------------------------------------------
+
+LogId ErwinCluster::CreateLog(const std::string& name, uint64_t quota_per_sec) {
+  if (controller_) {
+    // Id assignment is synchronous; the "/logs/config" write and the replica push
+    // propagate on the event loop (run the sim to let quota enforcement take effect).
+    return controller_->CreateLog(name, quota_per_sec);
+  }
+  for (const LogRegistryEntry& entry : log_registry_) {
+    if (entry.name == name && !entry.deleted) {
+      return entry.id;
+    }
+  }
+  LogRegistryEntry entry;
+  entry.id = next_log_id_++;
+  entry.name = name;
+  entry.quota_per_sec = quota_per_sec;
+  log_registry_.push_back(std::move(entry));
+  log_epoch_++;
+  InstallLogRegistryOnReplicas();
+  return log_registry_.back().id;
+}
+
+void ErwinCluster::DeleteLog(const std::string& name) {
+  if (controller_) {
+    controller_->DeleteLog(name);
+    return;
+  }
+  for (LogRegistryEntry& entry : log_registry_) {
+    if (entry.name == name && !entry.deleted) {
+      entry.deleted = true;
+      log_epoch_++;
+      InstallLogRegistryOnReplicas();
+      return;
+    }
+  }
+}
+
+const std::vector<LogRegistryEntry>& ErwinCluster::log_registry() const {
+  return controller_ ? controller_->log_registry() : log_registry_;
+}
+
+void ErwinCluster::InstallLogRegistryOnReplicas() {
+  // No control plane to push through: install the table directly (test-only surgery,
+  // like the pre-controller shard wiring).
+  for (auto& rep : seq_replicas_) {
+    rep->InstallLogRegistry(log_epoch_, log_registry_);
+  }
 }
 
 std::unique_ptr<ErwinMClient> ErwinCluster::MakeMClient() {

@@ -54,6 +54,18 @@ class ErwinCluster {
   // Current topology for hand-built clients.
   ClusterView MakeView() const;
 
+  // --- virtual logs ---------------------------------------------------------------------
+  // Registers a named log (id assigned synchronously, never reused) with an optional
+  // per-tenant quota (admitted appends/s at the leader; 0 = unlimited). With a control
+  // plane the registry propagates through the controller (ZK "/logs/config" +
+  // kSeqUpdateLogs) on the event loop; without one it is installed on the replicas
+  // directly. Clients built afterwards see it in their view; earlier clients resolve
+  // names via Open()'s ZK fallback or an explicit InstallLogRegistry.
+  LogId CreateLog(const std::string& name, uint64_t quota_per_sec = 0);
+  // Tombstones the named log: the id stays reserved and the leader refuses new appends.
+  void DeleteLog(const std::string& name);
+  const std::vector<LogRegistryEntry>& log_registry() const;
+
   // --- runtime operations -------------------------------------------------------------
   // Crashes sequencing replica `index` (network drop + heartbeat stop). The control
   // plane detects and reconfigures; watch via controller().
@@ -111,6 +123,8 @@ class ErwinCluster {
   std::vector<NodeId> IndexNodeIds() const;
   // Schedules the detection delay + controller promotion after the primary failed.
   void DrivePromotion(uint32_t shard);
+  // Direct registry install for control-plane-less clusters.
+  void InstallLogRegistryOnReplicas();
   // Mirrors the controller's committed post-promotion order in the harness's own
   // matrix (accessors, MakeView) and retires servers dropped from the set.
   void AdoptPromotedOrder(uint32_t shard);
@@ -126,6 +140,11 @@ class ErwinCluster {
   // Replaced shard servers are kept alive (crashed, inert) because their periodic
   // timers may still be scheduled on the event loop.
   std::vector<std::unique_ptr<ShardServer>> retired_shards_;
+  // Named-log registry for clusters without a control plane (the controller owns it
+  // otherwise); ids count up from 1 (0 = physical log).
+  std::vector<LogRegistryEntry> log_registry_;
+  uint64_t log_epoch_ = 0;
+  LogId next_log_id_ = 1;
   ClientId next_client_id_ = 1;
 };
 

@@ -14,19 +14,21 @@ ErwinMClient::ErwinMClient(Network* net, const SimParams& params, ClusterView vi
       params_(params),
       view_(std::move(view)),
       client_id_(client_id),
-      rng_(params.seed ^ (0xc11e47a5ULL + client_id)) {}
+      rng_(params.seed ^ (0xc11e47a5ULL + client_id)) {
+  InstallLogRegistry(view_.logs);
+}
 
 // --- append ------------------------------------------------------------------------------
 
-void ErwinMClient::Append(Buf payload, AppendCallback cb) {
-  Append(kNoTag, std::move(payload), std::move(cb));
-}
-
-void ErwinMClient::Append(StreamTag tag, Buf payload, AppendCallback cb) {
+void ErwinMClient::Append(const AppendOptions& options, Buf payload, AppendCallback cb) {
+  if (QuotaMuted(options.log, cb)) {
+    return;
+  }
   auto p = std::make_shared<PendingAppend>();
   p->id = RecordId{client_id_, next_request_id_++};
   p->payload = std::move(payload);
-  p->tag = tag;
+  p->tag = options.tag;
+  p->log = options.log;
   p->cb = std::move(cb);
   SendAppend(std::move(p));
 }
@@ -39,6 +41,7 @@ void ErwinMClient::SendAppend(std::shared_ptr<PendingAppend> p) {
   req.payload = p->payload;
   req.is_meta = false;
   req.tag = p->tag;
+  req.log = p->log;
   // Encoded once; every sequencing replica shares the frame and the payload
   // attachment, so an n-way append fans out refcounts rather than bytes.
   Encoder enc;
@@ -62,6 +65,18 @@ void ErwinMClient::SendAppend(std::shared_ptr<PendingAppend> p) {
         EnqueueOverloadRetry(p, /*leader_admitted=*/ss[0].ok());
         return;
       }
+    }
+    // Leader-only verdicts on the virtual-log control state: a quota refusal gets the
+    // short in-place backoff (the bucket refills in milliseconds); a deleted-log
+    // refusal is permanent and surfaces immediately.
+    if (ss[0].code() == StatusCode::kQuotaExceeded) {
+      MuteQuota(p->log);
+      EnqueueQuotaRetry(std::move(p));
+      return;
+    }
+    if (ss[0].code() == StatusCode::kInvalidArgument) {
+      p->cb(ss[0]);
+      return;
     }
     for (const Status& s : ss) {
       if (!s.ok()) {
@@ -114,6 +129,48 @@ void ErwinMClient::EnqueueOverloadRetry(std::shared_ptr<PendingAppend> p,
   }
   p->last_error = Status::Overloaded();
   // Computed before the capture moves from p (argument evaluation is unsequenced).
+  const uint64_t backoff =
+      OverloadBackoffNs(static_cast<uint32_t>(p->overload_attempts), rng_.NextDouble());
+  endpoint_.loop()->Schedule(backoff,
+                             [this, p = std::move(p)]() mutable { SendAppend(std::move(p)); });
+}
+
+// A quota refusal is the tenant's own doing, not the cluster's: the ring has room, the
+// bucket is empty. Retry on the short overload schedule (one refill period away), but
+// surface kQuotaExceeded — not kOverloaded — when the budget runs out so the
+// application can tell throttling from congestion.
+// The leader said this log's bucket is empty: shed fresh appends locally for the mute
+// window so an over-quota tenant stops flooding every replica with doomed RPCs.
+// In-flight retries bypass the mute — their budget is what smoothly drains the
+// bucket's refill back to admitted appends.
+bool ErwinMClient::QuotaMuted(LogId log, AppendCallback& cb) {
+  if (log == kDefaultLog || params_.client_quota_mute_ns == 0) {
+    return false;
+  }
+  auto it = quota_muted_until_.find(log);
+  if (it == quota_muted_until_.end() || endpoint_.loop()->Now() >= it->second) {
+    return false;
+  }
+  endpoint_.loop()->Schedule(0, [cb = std::move(cb)]() {
+    cb(Status::QuotaExceeded("append shed by tenant quota (client-side)"));
+  });
+  return true;
+}
+
+void ErwinMClient::MuteQuota(LogId log) {
+  if (log == kDefaultLog || params_.client_quota_mute_ns == 0) {
+    return;
+  }
+  quota_muted_until_[log] = endpoint_.loop()->Now() + params_.client_quota_mute_ns;
+}
+
+void ErwinMClient::EnqueueQuotaRetry(std::shared_ptr<PendingAppend> p) {
+  p->overload_attempts++;
+  if (p->overload_attempts > static_cast<int>(params_.client_overload_retry_limit)) {
+    p->cb(Status::QuotaExceeded("append shed by tenant quota"));
+    return;
+  }
+  p->last_error = Status::QuotaExceeded();
   const uint64_t backoff =
       OverloadBackoffNs(static_cast<uint32_t>(p->overload_attempts), rng_.NextDouble());
   endpoint_.loop()->Schedule(backoff,
@@ -280,38 +337,80 @@ void ErwinMClient::ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int a
 
 // --- readNext (index tier, §index) ---------------------------------------------------------
 
-void ErwinMClient::ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb) {
+void ErwinMClient::ReadNext(LogId log, StreamTag tag, LogPos from, uint32_t max,
+                            ReadNextCallback cb) {
   if (tag == kNoTag) {
     cb(Status::InvalidArgument("read-next requires a stream tag"), {}, from);
     return;
   }
   if (view_.index_nodes.empty()) {
-    ScanReadNext(tag, from, max, std::move(cb));
+    ScanReadNext(log, tag, from, max, std::move(cb));
     return;
   }
-  ReadNextViaIndex(tag, from, max, std::move(cb), 0);
+  ReadNextViaIndex(log, tag, from, max, std::move(cb), 0);
 }
 
-void ErwinMClient::ReadNextViaIndex(StreamTag tag, LogPos from, uint32_t max,
+void ErwinMClient::ReadNextViaIndex(LogId log, StreamTag tag, LogPos from, uint32_t max,
                                     ReadNextCallback cb, int attempt) {
-  IndexSelectiveRead(&endpoint_, &params_, &view_, client_id_, tag, from, max, cb,
-                     [this, tag, from, max, cb, attempt]() {
+  IndexSelectiveRead(&endpoint_, &params_, &view_, client_id_, log, tag, from, max,
+                     /*by_rank=*/false, cb,
+                     [this, log, tag, from, max, cb, attempt]() {
                        if (attempt >= 3) {
-                         ScanReadNext(tag, from, max, cb);
+                         ScanReadNext(log, tag, from, max, cb);
                          return;
                        }
                        // The shard fetch (or the index pull itself) failed — likely a
                        // stale replica set rather than a down index tier. Re-resolve
                        // the shard membership and retry the selective path with the
                        // shared jittered backoff before paying for a full scan.
-                       RefreshShardConfig([this, tag, from, max, cb, attempt]() {
+                       RefreshShardConfig([this, log, tag, from, max, cb, attempt]() {
                          endpoint_.loop()->Schedule(
                              RetryBackoffNs(static_cast<uint32_t>(attempt), rng_.NextDouble()),
-                             [this, tag, from, max, cb, attempt]() {
-                               ReadNextViaIndex(tag, from, max, cb, attempt + 1);
+                             [this, log, tag, from, max, cb, attempt]() {
+                               ReadNextViaIndex(log, tag, from, max, cb, attempt + 1);
                              });
                        });
                      });
+}
+
+// --- named-log read / tail (virtual logs) --------------------------------------------------
+
+void ErwinMClient::ReadLog(LogId log, LogPos from, uint64_t len, ReadCallback cb) {
+  if (len == 0) {
+    cb(Status::Ok(), {});
+    return;
+  }
+  if (view_.index_nodes.empty()) {
+    ScanReadLog(log, from, len, std::move(cb));
+    return;
+  }
+  ReadLogViaIndex(log, from, len, std::move(cb), 0);
+}
+
+void ErwinMClient::ReadLogViaIndex(LogId log, LogPos from, uint64_t len, ReadCallback cb,
+                                   int attempt) {
+  // The phylog's positions are ranks in its (log, kNoTag) index list; a by_rank lookup
+  // serves [from, from+len) directly and the helper re-labels the records with ranks.
+  const uint32_t max = static_cast<uint32_t>(std::min<uint64_t>(len, 1u << 20));
+  IndexSelectiveRead(
+      &endpoint_, &params_, &view_, client_id_, log, kNoTag, from, max,
+      /*by_rank=*/true,
+      [cb](Status s, std::vector<PositionedRecord> recs, LogPos) {
+        cb(std::move(s), std::move(recs));
+      },
+      [this, log, from, len, cb, attempt]() {
+        if (attempt >= 3) {
+          ScanReadLog(log, from, len, cb);
+          return;
+        }
+        RefreshShardConfig([this, log, from, len, cb, attempt]() {
+          endpoint_.loop()->Schedule(
+              RetryBackoffNs(static_cast<uint32_t>(attempt), rng_.NextDouble()),
+              [this, log, from, len, cb, attempt]() {
+                ReadLogViaIndex(log, from, len, cb, attempt + 1);
+              });
+        });
+      });
 }
 
 // --- tail / trim ---------------------------------------------------------------------------
@@ -341,6 +440,66 @@ void ErwinMClient::CheckTailAttempt(TailCallback cb, int attempt) {
                  5 * kMs);
 }
 
+void ErwinMClient::CheckTailOfLog(LogId log, TailCallback cb) {
+  CheckTailOfLogAttempt(log, std::move(cb), 0);
+}
+
+void ErwinMClient::CheckTailOfLogAttempt(LogId log, TailCallback cb, int attempt) {
+  SeqCheckTailReq req;
+  req.log = log;
+  endpoint_.CallMsg(view_.seq_config[0], kSeqCheckTail, req,
+                    [this, log, cb, attempt](Status s, Decoder d) {
+                      if (!s.ok()) {
+                        if (attempt >= 20) {
+                          cb(std::move(s), 0, 0);
+                          return;
+                        }
+                        ProbeThen([this, log, cb, attempt]() {
+                          CheckTailOfLogAttempt(log, cb, attempt + 1);
+                        });
+                        return;
+                      }
+                      SeqCheckTailResp resp;
+                      if (!resp.Decode(d)) {
+                        cb(Status::Internal("bad tail response"), 0, 0);
+                        return;
+                      }
+                      cb(Status::Ok(), resp.durable, resp.stable);
+                    },
+                    5 * kMs);
+}
+
+void ErwinMClient::ResolveLog(const std::string& name,
+                              std::function<void(Status, LogId)> cb) {
+  if (view_.zk == kInvalidNode) {
+    cb(Status::InvalidArgument("unknown log: " + name), kDefaultLog);
+    return;
+  }
+  // Refresh the registry from "/logs/config" and retry the lookup: Open() falls
+  // through to here exactly when the installed snapshot predates the log's creation.
+  ZkClient zk(&endpoint_, view_.zk);
+  zk.GetData("/logs/config",
+             [this, name, cb = std::move(cb)](Status s, std::string data, uint64_t) mutable {
+               if (s.ok()) {
+                 uint64_t epoch = 0;
+                 std::vector<LogRegistryEntry> entries;
+                 if (DecodeLogConfig(data, &epoch, &entries) && epoch > view_.log_epoch) {
+                   view_.log_epoch = epoch;
+                   view_.logs = entries;
+                   InstallLogRegistry(std::move(entries));
+                 }
+               }
+               for (const LogRegistryEntry& entry : log_registry()) {
+                 if (entry.name == name && !entry.deleted) {
+                   cb(Status::Ok(), entry.id);
+                   return;
+                 }
+               }
+               cb(Status::InvalidArgument("unknown log: " + name), kDefaultLog);
+             },
+             5 * kMs);
+}
+
 void ErwinMClient::Trim(LogPos index, TrimCallback cb) { TrimAttempt(index, std::move(cb), 0); }
 
 void ErwinMClient::TrimAttempt(LogPos index, TrimCallback cb, int attempt) {
@@ -361,7 +520,7 @@ void ErwinMClient::TrimAttempt(LogPos index, TrimCallback cb, int attempt) {
 // --- appendSync (§5.5 extension) ------------------------------------------------------------
 
 void ErwinMClient::AppendSync(Buf payload, AppendCallback cb) {
-  Append(std::move(payload), [this, cb](Status st) {
+  Append(AppendOptions{}, std::move(payload), [this, cb](Status st) {
     if (!st.ok()) {
       cb(std::move(st));
       return;

@@ -7,6 +7,7 @@
 #define SRC_LAZYLOG_ERWIN_M_CLIENT_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 
 #include "src/common/params.h"
@@ -25,16 +26,6 @@ class ErwinMClient : public SharedLogClient {
 
   NodeId node_id() const { return endpoint_.node_id(); }
 
-  // --- SharedLogClient ---
-  void Append(Buf payload, AppendCallback cb) override;
-  void Append(StreamTag tag, Buf payload, AppendCallback cb) override;
-  void Read(LogPos from, uint64_t len, ReadCallback cb) override;
-  void CheckTail(TailCallback cb) override;
-  void Trim(LogPos index, TrimCallback cb) override;
-  // Selective read via the index tier (falls back to the base-class scan when the
-  // view has no index nodes or the index path fails mid-flight).
-  void ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb) override;
-
   // appendSync extension (§5.5): completes only after the record is bound to its final
   // position (eager ordering at the cost of latency).
   void AppendSync(Buf payload, AppendCallback cb);
@@ -51,11 +42,30 @@ class ErwinMClient : public SharedLogClient {
   // RPC outcome counters (chaos reports: how much of a run hit timeouts/retries).
   const RpcStats& rpc_stats() const { return endpoint_.stats(); }
 
+ protected:
+  // --- SharedLogClient (reached through LogHandle) ---
+  void Append(const AppendOptions& options, Buf payload, AppendCallback cb) override;
+  void Read(LogPos from, uint64_t len, ReadCallback cb) override;
+  void CheckTail(TailCallback cb) override;
+  void Trim(LogPos index, TrimCallback cb) override;
+  // Selective read via the index tier (falls back to the base-class scan when the
+  // view has no index nodes or the index path fails mid-flight).
+  void ReadNext(LogId log, StreamTag tag, LogPos from, uint32_t max,
+                ReadNextCallback cb) override;
+  // Named-log ranged read via the index tier's rank lists (scan fallback as above).
+  void ReadLog(LogId log, LogPos from, uint64_t len, ReadCallback cb) override;
+  // Per-phylog tail from the leader's log cursors (SeqCheckTailReq body).
+  void CheckTailOfLog(LogId log, TailCallback cb) override;
+  // Name resolution against "/logs/config" in ZooKeeper.
+  void ResolveLog(const std::string& name,
+                  std::function<void(Status, LogId)> cb) override;
+
  private:
   struct PendingAppend {
     RecordId id;
     Buf payload;
     StreamTag tag = kNoTag;
+    LogId log = kDefaultLog;
     AppendCallback cb;
     int attempts = 0;
     int overload_attempts = 0;
@@ -69,6 +79,13 @@ class ErwinMClient : public SharedLogClient {
   // view problem). The shed budget applies only when the leader itself refused;
   // leader-admitted appends persist until the follower gates let them through.
   void EnqueueOverloadRetry(std::shared_ptr<PendingAppend> p, bool leader_admitted);
+  // kQuotaExceeded resend: same in-place backoff; always leader-refused (quotas are
+  // enforced at the leader only), so the small shed budget always applies.
+  void EnqueueQuotaRetry(std::shared_ptr<PendingAppend> p);
+  // True (and sheds the append locally with kQuotaExceeded) while `log` is muted by a
+  // recent quota refusal; MuteQuota starts/extends the window.
+  bool QuotaMuted(LogId log, AppendCallback& cb);
+  void MuteQuota(LogId log);
   void ResolveConfig();
   // Probes replicas until an unsealed view at least as new as ours is found, adopts it,
   // then runs `then`. Retries use jittered exponential backoff (RetryBackoffNs) so a
@@ -79,12 +96,17 @@ class ErwinMClient : public SharedLogClient {
   void RefreshShardConfig(std::function<void()> then);
   void ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int attempt);
   void CheckTailAttempt(TailCallback cb, int attempt);
+  void CheckTailOfLogAttempt(LogId log, TailCallback cb, int attempt);
   void TrimAttempt(LogPos index, TrimCallback cb, int attempt);
   // Index-path ReadNext with re-resolution: a failed index pull or shard fetch (e.g. a
   // promoted shard primary the cached view predates) refreshes "/shards/config" and
   // retries on the shared jittered backoff before degrading to the scan fallback.
-  void ReadNextViaIndex(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb,
-                        int attempt);
+  void ReadNextViaIndex(LogId log, StreamTag tag, LogPos from, uint32_t max,
+                        ReadNextCallback cb, int attempt);
+  // Same machinery for the named-log rank read (by_rank lookup on the (log, kNoTag)
+  // list, ScanReadLog as the degraded path).
+  void ReadLogViaIndex(LogId log, LogPos from, uint64_t len, ReadCallback cb,
+                       int attempt);
   void PollStable(LogPos target, AppendCallback cb);
 
   RpcEndpoint endpoint_;
@@ -98,6 +120,8 @@ class ErwinMClient : public SharedLogClient {
   uint64_t view_changes_ = 0;
   ViewId last_tail_view_ = 0;
   std::deque<std::shared_ptr<PendingAppend>> retry_queue_;
+  // Per-log client-side quota mute (see SimParams::client_quota_mute_ns).
+  std::map<LogId, SimTime> quota_muted_until_;
 };
 
 }  // namespace lazylog

@@ -16,6 +16,7 @@ ErwinStClient::ErwinStClient(Network* net, const SimParams& params, ClusterView 
       client_id_(client_id),
       rng_(params.seed ^ (0xc11e47a5ULL + client_id)) {
   rr_cursor_ = client_id;  // decorrelate shard choice across clients
+  InstallLogRegistry(view_.logs);
 }
 
 void ErwinStClient::AddShard(std::vector<NodeId> replicas) {
@@ -25,15 +26,15 @@ void ErwinStClient::AddShard(std::vector<NodeId> replicas) {
 // --- append (§5.1): data to the shard replicas + metadata to the sequencing replicas,
 // all in parallel, 1 RTT -------------------------------------------------------------------
 
-void ErwinStClient::Append(Buf payload, AppendCallback cb) {
-  Append(kNoTag, std::move(payload), std::move(cb));
-}
-
-void ErwinStClient::Append(StreamTag tag, Buf payload, AppendCallback cb) {
+void ErwinStClient::Append(const AppendOptions& options, Buf payload, AppendCallback cb) {
+  if (QuotaMuted(options.log, cb)) {
+    return;
+  }
   auto p = std::make_shared<PendingAppend>();
   p->id = RecordId{client_id_, next_request_id_++};
   p->payload = std::move(payload);
-  p->tag = tag;
+  p->tag = options.tag;
+  p->log = options.log;
   p->shard = static_cast<ShardId>(rr_cursor_++ % view_.num_shards());
   p->cb = std::move(cb);
   SendAppend(std::move(p));
@@ -81,6 +82,18 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
             return;
           }
         }
+        // Leader-only verdicts on the virtual-log control state (the leader's slot is
+        // n_data): a quota refusal gets the short in-place backoff; a deleted-log
+        // refusal is permanent and surfaces immediately.
+        if (ss[n_data].code() == StatusCode::kQuotaExceeded) {
+          MuteQuota(p->log);
+          EnqueueQuotaRetry(std::move(p));
+          return;
+        }
+        if (ss[n_data].code() == StatusCode::kInvalidArgument) {
+          p->cb(ss[n_data]);
+          return;
+        }
         for (const Status& s : ss) {
           if (!s.ok()) {
             p->last_error = s;
@@ -92,7 +105,7 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
   // Data writes to every replica of the chosen shard (no coordination, §5.1). The
   // request is encoded once; replicas share the frame and the payload attachment.
   if (n_data > 0) {
-    ShardPutDataReq data{p->id, p->payload, p->tag};
+    ShardPutDataReq data{p->id, p->payload, p->tag, p->log};
     Encoder denc;
     data.Encode(denc);
     const std::vector<Buf> datts = denc.TakeAtts();
@@ -108,6 +121,9 @@ void ErwinStClient::SendAppend(std::shared_ptr<PendingAppend> p) {
   meta.id = p->id;
   meta.target_shard = p->shard;
   meta.is_meta = true;
+  // The record's tag rides the data write; the log id must also reach the sequencing
+  // leader (quota gate + per-log cursors). Flag-gated: default-log frames unchanged.
+  meta.log = p->log;
   Encoder menc;
   meta.Encode(menc);
   const Buf mbody = menc.TakeBuf();
@@ -155,6 +171,45 @@ void ErwinStClient::EnqueueOverloadRetry(std::shared_ptr<PendingAppend> p,
   }
   p->last_error = Status::Overloaded();
   // Computed before the capture moves from p (argument evaluation is unsequenced).
+  const uint64_t backoff =
+      OverloadBackoffNs(static_cast<uint32_t>(p->overload_attempts), rng_.NextDouble());
+  endpoint_.loop()->Schedule(backoff,
+                             [this, p = std::move(p)]() mutable { SendAppend(std::move(p)); });
+}
+
+// See ErwinMClient::QuotaMuted: shed fresh appends locally while a recent leader
+// refusal says the log's bucket is empty; in-flight retries bypass the mute.
+bool ErwinStClient::QuotaMuted(LogId log, AppendCallback& cb) {
+  if (log == kDefaultLog || params_.client_quota_mute_ns == 0) {
+    return false;
+  }
+  auto it = quota_muted_until_.find(log);
+  if (it == quota_muted_until_.end() || endpoint_.loop()->Now() >= it->second) {
+    return false;
+  }
+  endpoint_.loop()->Schedule(0, [cb = std::move(cb)]() {
+    cb(Status::QuotaExceeded("append shed by tenant quota (client-side)"));
+  });
+  return true;
+}
+
+void ErwinStClient::MuteQuota(LogId log) {
+  if (log == kDefaultLog || params_.client_quota_mute_ns == 0) {
+    return;
+  }
+  quota_muted_until_[log] = endpoint_.loop()->Now() + params_.client_quota_mute_ns;
+}
+
+// See ErwinMClient::EnqueueQuotaRetry: one refill period away, but surfaces
+// kQuotaExceeded — not kOverloaded — so the application can tell throttling from
+// congestion. Earlier attempts' data writes are harmless orphans (age-scrubbed).
+void ErwinStClient::EnqueueQuotaRetry(std::shared_ptr<PendingAppend> p) {
+  p->overload_attempts++;
+  if (p->overload_attempts > static_cast<int>(params_.client_overload_retry_limit)) {
+    p->cb(Status::QuotaExceeded("append shed by tenant quota"));
+    return;
+  }
+  p->last_error = Status::QuotaExceeded();
   const uint64_t backoff =
       OverloadBackoffNs(static_cast<uint32_t>(p->overload_attempts), rng_.NextDouble());
   endpoint_.loop()->Schedule(backoff,
@@ -376,38 +431,80 @@ void ErwinStClient::DoRead(std::shared_ptr<PendingRead> rd) {
 
 // --- readNext (index tier) ------------------------------------------------------------------
 
-void ErwinStClient::ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb) {
+void ErwinStClient::ReadNext(LogId log, StreamTag tag, LogPos from, uint32_t max,
+                             ReadNextCallback cb) {
   if (tag == kNoTag) {
     cb(Status::InvalidArgument("read-next requires a stream tag"), {}, from);
     return;
   }
   if (view_.index_nodes.empty()) {
-    ScanReadNext(tag, from, max, std::move(cb));
+    ScanReadNext(log, tag, from, max, std::move(cb));
     return;
   }
-  ReadNextViaIndex(tag, from, max, std::move(cb), 0);
+  ReadNextViaIndex(log, tag, from, max, std::move(cb), 0);
 }
 
-void ErwinStClient::ReadNextViaIndex(StreamTag tag, LogPos from, uint32_t max,
+void ErwinStClient::ReadNextViaIndex(LogId log, StreamTag tag, LogPos from, uint32_t max,
                                      ReadNextCallback cb, int attempt) {
-  IndexSelectiveRead(&endpoint_, &params_, &view_, client_id_, tag, from, max, cb,
-                     [this, tag, from, max, cb, attempt]() {
+  IndexSelectiveRead(&endpoint_, &params_, &view_, client_id_, log, tag, from, max,
+                     /*by_rank=*/false, cb,
+                     [this, log, tag, from, max, cb, attempt]() {
                        if (attempt >= 3) {
-                         ScanReadNext(tag, from, max, cb);
+                         ScanReadNext(log, tag, from, max, cb);
                          return;
                        }
                        // The shard fetch (or the index pull itself) failed — likely a
                        // stale replica set rather than a down index tier. Re-resolve
                        // the shard membership and retry the selective path with the
                        // shared jittered backoff before paying for a full scan.
-                       RefreshShardConfig([this, tag, from, max, cb, attempt]() {
+                       RefreshShardConfig([this, log, tag, from, max, cb, attempt]() {
                          endpoint_.loop()->Schedule(
                              RetryBackoffNs(static_cast<uint32_t>(attempt), rng_.NextDouble()),
-                             [this, tag, from, max, cb, attempt]() {
-                               ReadNextViaIndex(tag, from, max, cb, attempt + 1);
+                             [this, log, tag, from, max, cb, attempt]() {
+                               ReadNextViaIndex(log, tag, from, max, cb, attempt + 1);
                              });
                        });
                      });
+}
+
+// --- named-log read / tail (virtual logs) ---------------------------------------------------
+
+void ErwinStClient::ReadLog(LogId log, LogPos from, uint64_t len, ReadCallback cb) {
+  if (len == 0) {
+    cb(Status::Ok(), {});
+    return;
+  }
+  if (view_.index_nodes.empty()) {
+    ScanReadLog(log, from, len, std::move(cb));
+    return;
+  }
+  ReadLogViaIndex(log, from, len, std::move(cb), 0);
+}
+
+void ErwinStClient::ReadLogViaIndex(LogId log, LogPos from, uint64_t len, ReadCallback cb,
+                                    int attempt) {
+  // The phylog's positions are ranks in its (log, kNoTag) index list; a by_rank lookup
+  // serves [from, from+len) directly and the helper re-labels the records with ranks.
+  const uint32_t max = static_cast<uint32_t>(std::min<uint64_t>(len, 1u << 20));
+  IndexSelectiveRead(
+      &endpoint_, &params_, &view_, client_id_, log, kNoTag, from, max,
+      /*by_rank=*/true,
+      [cb](Status s, std::vector<PositionedRecord> recs, LogPos) {
+        cb(std::move(s), std::move(recs));
+      },
+      [this, log, from, len, cb, attempt]() {
+        if (attempt >= 3) {
+          ScanReadLog(log, from, len, cb);
+          return;
+        }
+        RefreshShardConfig([this, log, from, len, cb, attempt]() {
+          endpoint_.loop()->Schedule(
+              RetryBackoffNs(static_cast<uint32_t>(attempt), rng_.NextDouble()),
+              [this, log, from, len, cb, attempt]() {
+                ReadLogViaIndex(log, from, len, cb, attempt + 1);
+              });
+        });
+      });
 }
 
 // --- tail / trim ----------------------------------------------------------------------------
@@ -434,6 +531,66 @@ void ErwinStClient::CheckTailAttempt(TailCallback cb, int attempt) {
                    cb(Status::Ok(), resp.durable, resp.stable);
                  },
                  5 * kMs);
+}
+
+void ErwinStClient::CheckTailOfLog(LogId log, TailCallback cb) {
+  CheckTailOfLogAttempt(log, std::move(cb), 0);
+}
+
+void ErwinStClient::CheckTailOfLogAttempt(LogId log, TailCallback cb, int attempt) {
+  SeqCheckTailReq req;
+  req.log = log;
+  endpoint_.CallMsg(view_.seq_config[0], kSeqCheckTail, req,
+                    [this, log, cb, attempt](Status s, Decoder d) {
+                      if (!s.ok()) {
+                        if (attempt >= 20) {
+                          cb(std::move(s), 0, 0);
+                          return;
+                        }
+                        ProbeThen([this, log, cb, attempt]() {
+                          CheckTailOfLogAttempt(log, cb, attempt + 1);
+                        });
+                        return;
+                      }
+                      SeqCheckTailResp resp;
+                      if (!resp.Decode(d)) {
+                        cb(Status::Internal("bad tail response"), 0, 0);
+                        return;
+                      }
+                      cb(Status::Ok(), resp.durable, resp.stable);
+                    },
+                    5 * kMs);
+}
+
+void ErwinStClient::ResolveLog(const std::string& name,
+                               std::function<void(Status, LogId)> cb) {
+  if (view_.zk == kInvalidNode) {
+    cb(Status::InvalidArgument("unknown log: " + name), kDefaultLog);
+    return;
+  }
+  // Refresh the registry from "/logs/config" and retry the lookup: Open() falls
+  // through to here exactly when the installed snapshot predates the log's creation.
+  ZkClient zk(&endpoint_, view_.zk);
+  zk.GetData("/logs/config",
+             [this, name, cb = std::move(cb)](Status s, std::string data, uint64_t) mutable {
+               if (s.ok()) {
+                 uint64_t epoch = 0;
+                 std::vector<LogRegistryEntry> entries;
+                 if (DecodeLogConfig(data, &epoch, &entries) && epoch > view_.log_epoch) {
+                   view_.log_epoch = epoch;
+                   view_.logs = entries;
+                   InstallLogRegistry(std::move(entries));
+                 }
+               }
+               for (const LogRegistryEntry& entry : log_registry()) {
+                 if (entry.name == name && !entry.deleted) {
+                   cb(Status::Ok(), entry.id);
+                   return;
+                 }
+               }
+               cb(Status::InvalidArgument("unknown log: " + name), kDefaultLog);
+             },
+             5 * kMs);
 }
 
 void ErwinStClient::Trim(LogPos index, TrimCallback cb) {

@@ -24,12 +24,16 @@
 
 namespace lazylog {
 
-// Runs one ReadNext(tag, from) against the index tier. `fallback` is invoked (instead
-// of `cb`) when the index path cannot serve — index node unreachable, stale shard ids,
-// or a failed shard fetch; the caller supplies its scan there.
+// Runs one ReadNext against the index tier for stream (log, tag). In the default
+// (position-cursor) mode `from`/`next_from` are global positions. With `by_rank` set,
+// `from` is an index into the stream's merged list — the phylog rank cursor — and the
+// returned records are re-labelled with their ranks (`pos` = from + i); this is the
+// named-log Read path (tag == kNoTag selects the per-log rank list). `fallback` is
+// invoked (instead of `cb`) when the index path cannot serve — index node unreachable,
+// stale shard ids, or a failed shard fetch; the caller supplies its scan there.
 inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
-                               const ClusterView* view, ClientId client_id, StreamTag tag,
-                               LogPos from, uint32_t max,
+                               const ClusterView* view, ClientId client_id, LogId log,
+                               StreamTag tag, LogPos from, uint32_t max, bool by_rank,
                                SharedLogClient::ReadNextCallback cb,
                                std::function<void()> fallback) {
   const NodeId index_node = view->index_nodes[client_id % view->index_nodes.size()];
@@ -37,9 +41,11 @@ inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
   req.tag = tag;
   req.from = from;
   req.max = max;
+  req.log = log;
+  req.by_rank = by_rank;
   endpoint->CallMsg(
       index_node, kIndexReadNext, req,
-      [endpoint, params, view, client_id, from, max, cb = std::move(cb),
+      [endpoint, params, view, client_id, from, max, by_rank, cb = std::move(cb),
        fallback = std::move(fallback)](Status s, Decoder d) mutable {
         if (s.code() == StatusCode::kInvalidArgument) {
           cb(std::move(s), {}, from);
@@ -51,10 +57,13 @@ inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
           return;
         }
         if (resp.positions.empty()) {
-          // Covered-but-empty: the stream truly has no records in
-          // [from, indexed_upto). indexed_upto <= from means the index has not
-          // caught up past `from` yet — no progress, the caller polls.
-          cb(Status::Ok(), {}, std::max<LogPos>(from, resp.indexed_upto));
+          // Covered-but-empty. Position mode: the stream truly has no records in
+          // [from, indexed_upto); indexed_upto <= from means the index has not caught
+          // up past `from` yet — no progress, the caller polls. Rank mode: the rank
+          // space is dense, so an empty page always means "not indexed yet".
+          const LogPos next =
+              by_rank ? from : std::max<LogPos>(from, resp.indexed_upto);
+          cb(Status::Ok(), {}, next);
           return;
         }
         // Group the positions by owning shard for one multi-read per shard.
@@ -77,7 +86,8 @@ inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
           subs.emplace_back(replicas[client_id % replicas.size()], std::move(sreq));
         }
         auto gather = Gather::Create(
-            subs.size(), [state, resp = std::move(resp), from, max, cb = std::move(cb),
+            subs.size(), [state, resp = std::move(resp), from, max, by_rank,
+                          cb = std::move(cb),
                           fallback = std::move(fallback)](const std::vector<Status>& ss) {
               for (const Status& st : ss) {
                 if (!st.ok()) {
@@ -103,7 +113,14 @@ inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
                   clipped = true;
                   break;
                 }
-                out.push_back(PositionedRecord{p, std::move(it->second)});
+                const LogPos label = by_rank ? from + out.size() : p;
+                out.push_back(PositionedRecord{label, std::move(it->second)});
+              }
+              if (by_rank) {
+                // Ranks are dense: whatever was assembled is exactly
+                // [from, from + out.size()), clipped or not.
+                cb(Status::Ok(), std::move(out), from + out.size());
+                return;
               }
               if (!clipped) {
                 // A full window (max entries) may have more stream records between its

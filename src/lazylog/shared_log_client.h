@@ -1,13 +1,24 @@
-// The shared-log client interface (the paper's Figure 2). Erwin-m, Erwin-st, and the
-// eager-ordering baselines (Corfu, Scalog, KafkaLite) all implement it, so the example
-// applications and benches run unchanged on any of them.
+// The shared-log client interface (the paper's Figure 2, extended with virtual logs).
+// Erwin-m, Erwin-st, and the eager-ordering baselines (Corfu, Scalog, KafkaLite) all
+// implement it, so the example applications and benches run unchanged on any of them.
+//
+// Applications talk to *logs*, not to the client object: `Open(name)` resolves a named
+// virtual log ("phylog") to a LogHandle, and `log()` returns the default handle — the
+// physical log itself, which preserves single-log behaviour exactly. All data-path
+// operations (Append / Read / CheckTail / ReadNext / ReadTag / Trim) live on the
+// handle:
 //
 //   append    - make the record durable; with LazyLog it is *not* yet bound to a
 //               position (returns only a durability flag).
-//   read      - records at positions [from, from+len); enforced to be the final,
-//               linearizable binding before it is served.
-//   checkTail - number of durable records in the log.
-//   trim      - garbage-collect positions below `index`.
+//   read      - records at positions [from, from+len) of *this log's* position space;
+//               enforced to be the final, linearizable binding before it is served.
+//   checkTail - number of durable records in this log.
+//   trim      - garbage-collect positions below `index` (default log only).
+//
+// A named log's position space is dense and private to it: position i of phylog L is
+// the i-th record of L in the shared total order (the rank in the index tier's per-log
+// position list). ReadNext/ReadTag cursors stay in the shared substrate's global
+// position space for every log — streams are an access path over the total order.
 //
 // All calls are asynchronous (the simulator is event-driven); completion callbacks fire
 // on the simulated event loop.
@@ -18,14 +29,18 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/params.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/seq/seq_messages.h"
 #include "src/storage/shard_messages.h"
 
 namespace lazylog {
+
+class LogHandle;
 
 // Jittered exponential backoff for client config re-resolution (STALE_VIEW / sealed /
 // unreachable-leader retries). Pure so tests can assert the spread: `attempt` doubles
@@ -49,6 +64,15 @@ inline uint64_t OverloadBackoffNs(uint32_t attempt, double jitter01) {
   return base / 2 + static_cast<uint64_t>(static_cast<double>(base / 2) * jitter01);
 }
 
+// Per-append options. The single Append entry point takes this instead of the old
+// tagged/untagged overload pair; future per-append knobs slot in here without touching
+// every implementation again. `log` is normally stamped by the LogHandle the append
+// goes through.
+struct AppendOptions {
+  StreamTag tag = kNoTag;
+  LogId log = kDefaultLog;
+};
+
 class SharedLogClient {
  public:
   // append: OK once the record is safely stored (LazyLog semantics: the position is
@@ -58,10 +82,15 @@ class SharedLogClient {
   // kRejected (Erwin-st data arrived after the no-op decision — the append is lost),
   // kOverloaded (admission control shed the append and the in-place backoff budget ran
   // out — never returned for an append that was already acked; safe to retry later),
-  // or kUnavailable / kInternal for generic failure.
+  // kQuotaExceeded (this log's per-tenant rate limit refused the append — the cluster
+  // is healthy, the tenant is over its quota; retry after its bucket refills),
+  // kInvalidArgument (append to a deleted log), or kUnavailable / kInternal for
+  // generic failure.
   using AppendCallback = std::function<void(Status)>;
-  // read: positioned records in ascending position order. No-op records (Erwin-st
-  // client-failure resolutions) are delivered with no_op=true; applications skip them.
+  // read: positioned records in ascending position order. For the default log the
+  // positions are global; for a named log they are the log's own dense positions.
+  // No-op records (Erwin-st client-failure resolutions) are delivered with no_op=true
+  // on the default log; named-log reads never surface them (they own no rank).
   using ReadCallback = std::function<void(Status, std::vector<PositionedRecord>)>;
   // checkTail: `durable` = number of durable records; `stable` = prefix already bound
   // to final positions (stable == durable in eager-ordering logs).
@@ -75,6 +104,9 @@ class SharedLogClient {
   // still catching up, or the stream has no stable records past `from`).
   using ReadNextCallback =
       std::function<void(Status, std::vector<PositionedRecord> records, LogPos next_from)>;
+  // open: resolves a log name against the cluster's log registry. The handle is a
+  // value; it stays valid as long as the client it came from.
+  using OpenCallback = std::function<void(Status, LogHandle)>;
 
   virtual ~SharedLogClient() = default;
 
@@ -84,49 +116,192 @@ class SharedLogClient {
   // across a view change (an uncommitted suffix is legally dropped), never within one.
   virtual ViewId last_tail_view() const { return 0; }
 
+  // Resolves `name` in the installed log registry (falling back to the
+  // implementation's control-plane lookup) and hands back a bound LogHandle.
+  void Open(const std::string& name, OpenCallback cb);
+
+  // The default handle: the physical log itself. Single-log callers route everything
+  // through this and observe exactly the pre-virtual-log behaviour (byte-identical
+  // wire frames for untagged appends).
+  LogHandle log();
+
+  // Handle for an already-known log id (tests and benches that created the log through
+  // the cluster/controller and hold its id).
+  LogHandle handle(LogId id, std::string name = "");
+
+  // Installs the registry snapshot used by Open() and quota-free name resolution.
+  // Clients wired through a control plane refresh this from "/logs/config" on demand.
+  void InstallLogRegistry(std::vector<LogRegistryEntry> entries) {
+    log_registry_ = std::move(entries);
+  }
+  const std::vector<LogRegistryEntry>& log_registry() const { return log_registry_; }
+
+ protected:
+  friend class LogHandle;
+
+  // --- the per-implementation surface (reached through LogHandle) --------------------
   // The payload is a refcounted Buf handle; implementations thread it through to the
-  // wire without copying the bytes. std::string arguments convert implicitly.
-  virtual void Append(Buf payload, AppendCallback cb) = 0;
+  // wire without copying the bytes. std::string arguments convert implicitly. The
+  // options carry the stream tag and owning phylog (kNoTag / kDefaultLog appends are
+  // byte-identical to the pre-options wire format).
+  virtual void Append(const AppendOptions& options, Buf payload, AppendCallback cb) = 0;
+  // Substrate (global position space) operations; the default log's data path.
   virtual void Read(LogPos from, uint64_t len, ReadCallback cb) = 0;
   virtual void CheckTail(TailCallback cb) = 0;
   virtual void Trim(LogPos index, TrimCallback cb) = 0;
 
-  // Tagged append: the record carries `tag` as its stream name through the wire format
-  // and into the log, where the index tier picks it up. kNoTag appends identically to
-  // the untagged overload. The default delegates untagged (for implementations that
-  // predate tags); every real client overrides it to thread the tag.
-  virtual void Append(StreamTag tag, Buf payload, AppendCallback cb) {
-    (void)tag;
-    Append(std::move(payload), std::move(cb));
+  // Selective read: up to `max` records of stream (log, tag) at or after global
+  // position `from`. The default scans — CheckTail, then ranged Reads filtered by
+  // (log, tag) — which works on any implementation whose records carry the fields
+  // (the eager baselines included) but costs reads proportional to the whole log. The
+  // Erwin clients override it with an index-node position lookup + shard-direct
+  // fetches.
+  virtual void ReadNext(LogId log, StreamTag tag, LogPos from, uint32_t max,
+                        ReadNextCallback cb) {
+    ScanReadNext(log, tag, from, max, std::move(cb));
   }
 
-  // Selective read: up to `max` records of stream `tag` at or after global position
-  // `from`. The default scans — CheckTail, then ranged Reads filtered by tag — which
-  // works on any implementation whose records carry tags (the eager baselines
-  // included) but costs reads proportional to the whole log. The Erwin clients
-  // override it with an index-node position lookup + shard-direct fetches.
-  virtual void ReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb) {
-    ScanReadNext(tag, from, max, std::move(cb));
-  }
+  // Point read of one record of stream (log, tag) at global position `pos`. Served by
+  // the plain read path; fails with kInvalidArgument if the record at `pos` belongs to
+  // a different stream or log (or is untagged/no-op filler).
+  virtual void ReadTag(LogId log, StreamTag tag, LogPos pos, ReadCallback cb);
 
-  // Point read of one record of stream `tag` at position `pos`. Served by the plain
-  // read path; fails with kInvalidArgument if the record at `pos` belongs to a
-  // different stream (or is untagged/no-op filler).
-  virtual void ReadTag(StreamTag tag, LogPos pos, ReadCallback cb);
+  // Named-log ranged read: records at the log's own positions [from, from+len). The
+  // default scans the stable prefix of the shared log and ranks log-owned records;
+  // the Erwin clients override it with an index-tier rank lookup. Incompatible with
+  // Trim (trimming shifts ranks); deployments that trim keep per-log read state in
+  // the app, like the paper's single-log apps do.
+  virtual void ReadLog(LogId log, LogPos from, uint64_t len, ReadCallback cb);
 
- protected:
+  // Named-log tail: durable/stable counts of this log's records. The scan default
+  // only sees the stable prefix, so it reports durable == stable == stable-rank-count;
+  // the Erwin clients override it with the leader's per-log cursors.
+  virtual void CheckTailOfLog(LogId log, TailCallback cb);
+
   // The scan fallback behind the default ReadNext; overrides use it when the index
   // tier is unreachable or absent.
-  void ScanReadNext(StreamTag tag, LogPos from, uint32_t max, ReadNextCallback cb);
+  void ScanReadNext(LogId log, StreamTag tag, LogPos from, uint32_t max,
+                    ReadNextCallback cb);
+  // Scan fallbacks behind the named-log defaults (also used by the Erwin clients when
+  // no index node is live).
+  void ScanReadLog(LogId log, LogPos from, uint64_t len, ReadCallback cb);
+  void ScanCheckTailOfLog(LogId log, TailCallback cb);
+
+  // Fallback name resolution when the installed registry has no entry: the Erwin
+  // clients fetch "/logs/config" from ZooKeeper here; the default fails.
+  virtual void ResolveLog(const std::string& name,
+                          std::function<void(Status, LogId)> cb) {
+    cb(Status::InvalidArgument("unknown log: " + name), kDefaultLog);
+  }
 
  private:
   struct ScanState;
   void ScanStep(std::shared_ptr<ScanState> st);
+  struct LogScanState;
+  void LogScanStep(std::shared_ptr<LogScanState> st);
+
+  std::vector<LogRegistryEntry> log_registry_;
 };
 
-// --- scan fallback ---------------------------------------------------------------------
+// A bound (client, log) pair: the application-facing face of one virtual log. Cheap
+// value type — copy freely, but never outlive the client it came from. The default
+// handle (id kDefaultLog) is the physical log; named handles project their own dense
+// position space out of the shared order.
+class LogHandle {
+ public:
+  LogHandle() = default;
+  LogHandle(SharedLogClient* client, LogId id, std::string name)
+      : client_(client), id_(id), name_(std::move(name)) {}
+
+  bool valid() const { return client_ != nullptr; }
+  LogId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  SharedLogClient* client() const { return client_; }
+
+  // Appends to this log. The options' `log` field is stamped with this handle's id;
+  // the tag passes through (streams compose with virtual logs).
+  void Append(AppendOptions options, Buf payload, SharedLogClient::AppendCallback cb) {
+    options.log = id_;
+    client_->Append(options, std::move(payload), std::move(cb));
+  }
+  void Append(Buf payload, SharedLogClient::AppendCallback cb) {
+    Append(AppendOptions{}, std::move(payload), std::move(cb));
+  }
+  void Append(StreamTag tag, Buf payload, SharedLogClient::AppendCallback cb) {
+    Append(AppendOptions{.tag = tag}, std::move(payload), std::move(cb));
+  }
+
+  // Records at this log's positions [from, from+len).
+  void Read(LogPos from, uint64_t len, SharedLogClient::ReadCallback cb) {
+    if (id_ == kDefaultLog) {
+      client_->Read(from, len, std::move(cb));
+    } else {
+      client_->ReadLog(id_, from, len, std::move(cb));
+    }
+  }
+
+  void CheckTail(SharedLogClient::TailCallback cb) {
+    if (id_ == kDefaultLog) {
+      client_->CheckTail(std::move(cb));
+    } else {
+      client_->CheckTailOfLog(id_, std::move(cb));
+    }
+  }
+
+  // Selective read over this log's stream `tag`; cursors are global positions on
+  // every log (see the header comment).
+  void ReadNext(StreamTag tag, LogPos from, uint32_t max,
+                SharedLogClient::ReadNextCallback cb) {
+    client_->ReadNext(id_, tag, from, max, std::move(cb));
+  }
+
+  void ReadTag(StreamTag tag, LogPos pos, SharedLogClient::ReadCallback cb) {
+    client_->ReadTag(id_, tag, pos, std::move(cb));
+  }
+
+  // Garbage-collection below `index`. Defined for the default log only: a named log's
+  // rank space would shift under substrate truncation (per-tenant retention is the
+  // ROADMAP's cold-tiering item).
+  void Trim(LogPos index, SharedLogClient::TrimCallback cb) {
+    if (id_ != kDefaultLog) {
+      cb(Status::InvalidArgument("per-log trim not supported"));
+      return;
+    }
+    client_->Trim(index, std::move(cb));
+  }
+
+ private:
+  SharedLogClient* client_ = nullptr;
+  LogId id_ = kDefaultLog;
+  std::string name_;
+};
+
+inline LogHandle SharedLogClient::log() { return LogHandle(this, kDefaultLog, ""); }
+
+inline LogHandle SharedLogClient::handle(LogId id, std::string name) {
+  return LogHandle(this, id, std::move(name));
+}
+
+inline void SharedLogClient::Open(const std::string& name, OpenCallback cb) {
+  for (const LogRegistryEntry& entry : log_registry_) {
+    if (entry.name == name && !entry.deleted) {
+      cb(Status::Ok(), LogHandle(this, entry.id, name));
+      return;
+    }
+  }
+  ResolveLog(name, [this, name, cb = std::move(cb)](Status s, LogId id) {
+    if (!s.ok()) {
+      cb(std::move(s), LogHandle());
+      return;
+    }
+    cb(Status::Ok(), LogHandle(this, id, name));
+  });
+}
+
+// --- scan fallbacks --------------------------------------------------------------------
 
 struct SharedLogClient::ScanState {
+  LogId log = kDefaultLog;
   StreamTag tag = kNoTag;
   LogPos cursor = 0;    // next unscanned position
   LogPos stable = 0;    // scan ceiling (stable prefix at CheckTail time)
@@ -135,8 +310,8 @@ struct SharedLogClient::ScanState {
   ReadNextCallback cb;
 };
 
-inline void SharedLogClient::ScanReadNext(StreamTag tag, LogPos from, uint32_t max,
-                                          ReadNextCallback cb) {
+inline void SharedLogClient::ScanReadNext(LogId log, StreamTag tag, LogPos from,
+                                          uint32_t max, ReadNextCallback cb) {
   if (tag == kNoTag) {
     cb(Status::InvalidArgument("read-next requires a stream tag"), {}, from);
     return;
@@ -146,6 +321,7 @@ inline void SharedLogClient::ScanReadNext(StreamTag tag, LogPos from, uint32_t m
     return;
   }
   auto st = std::make_shared<ScanState>();
+  st->log = log;
   st->tag = tag;
   st->cursor = from;
   st->max = max;
@@ -183,7 +359,7 @@ inline void SharedLogClient::ScanStep(std::shared_ptr<ScanState> st) {
              break;
            }
            st->cursor = pr.pos + 1;
-           if (!pr.record.no_op && pr.record.tag == st->tag) {
+           if (!pr.record.no_op && pr.record.tag == st->tag && pr.record.log == st->log) {
              st->out.push_back(std::move(pr));
            }
          }
@@ -194,26 +370,127 @@ inline void SharedLogClient::ScanStep(std::shared_ptr<ScanState> st) {
        });
 }
 
-inline void SharedLogClient::ReadTag(StreamTag tag, LogPos pos, ReadCallback cb) {
+inline void SharedLogClient::ReadTag(LogId log, StreamTag tag, LogPos pos, ReadCallback cb) {
   if (tag == kNoTag) {
     cb(Status::InvalidArgument("read-tag requires a stream tag"), {});
     return;
   }
-  Read(pos, 1, [tag, pos, cb = std::move(cb)](Status s, std::vector<PositionedRecord> recs) {
+  Read(pos, 1,
+       [log, tag, pos, cb = std::move(cb)](Status s, std::vector<PositionedRecord> recs) {
+         if (!s.ok()) {
+           cb(std::move(s), {});
+           return;
+         }
+         if (recs.size() != 1 || recs[0].pos != pos) {
+           cb(Status::Internal("point read returned wrong record"), {});
+           return;
+         }
+         if (recs[0].record.no_op || recs[0].record.tag != tag ||
+             recs[0].record.log != log) {
+           cb(Status::InvalidArgument("record at position belongs to a different stream"),
+              {});
+           return;
+         }
+         cb(Status::Ok(), std::move(recs));
+       });
+}
+
+// Shared machinery behind the named-log scan defaults: walk the stable prefix of the
+// substrate, rank this log's (non-no-op) records, and either collect a rank window or
+// just count. PositionedRecords are re-labelled with per-log positions (ranks).
+struct SharedLogClient::LogScanState {
+  LogId log = kDefaultLog;
+  LogPos cursor = 0;   // next unscanned global position
+  LogPos stable = 0;   // scan ceiling
+  LogPos rank = 0;     // per-log position of the next log-owned record found
+  LogPos from = 0;     // first wanted rank (read mode)
+  uint64_t want = 0;   // ranks wanted (read mode; 0 = count-only)
+  std::vector<PositionedRecord> out;
+  ReadCallback read_cb;
+  TailCallback tail_cb;
+};
+
+inline void SharedLogClient::ScanReadLog(LogId log, LogPos from, uint64_t len,
+                                         ReadCallback cb) {
+  if (len == 0) {
+    cb(Status::Ok(), {});
+    return;
+  }
+  auto st = std::make_shared<LogScanState>();
+  st->log = log;
+  st->from = from;
+  st->want = len;
+  st->read_cb = std::move(cb);
+  CheckTail([this, st](Status s, LogPos, LogPos stable) {
     if (!s.ok()) {
-      cb(std::move(s), {});
+      st->read_cb(std::move(s), {});
       return;
     }
-    if (recs.size() != 1 || recs[0].pos != pos) {
-      cb(Status::Internal("point read returned wrong record"), {});
-      return;
-    }
-    if (recs[0].record.no_op || recs[0].record.tag != tag) {
-      cb(Status::InvalidArgument("record at position belongs to a different stream"), {});
-      return;
-    }
-    cb(Status::Ok(), std::move(recs));
+    st->stable = stable;
+    LogScanStep(std::move(st));
   });
+}
+
+inline void SharedLogClient::ScanCheckTailOfLog(LogId log, TailCallback cb) {
+  auto st = std::make_shared<LogScanState>();
+  st->log = log;
+  st->tail_cb = std::move(cb);
+  CheckTail([this, st](Status s, LogPos, LogPos stable) {
+    if (!s.ok()) {
+      st->tail_cb(std::move(s), 0, 0);
+      return;
+    }
+    st->stable = stable;
+    LogScanStep(std::move(st));
+  });
+}
+
+inline void SharedLogClient::LogScanStep(std::shared_ptr<LogScanState> st) {
+  constexpr uint64_t kScanChunk = 64;
+  const bool read_mode = st->want > 0;
+  const bool done_reading = read_mode && st->out.size() >= st->want;
+  if (st->cursor >= st->stable || done_reading) {
+    if (read_mode) {
+      st->read_cb(Status::Ok(), std::move(st->out));
+    } else {
+      // The scan only sees the stable prefix, so durable == stable == the rank count.
+      st->tail_cb(Status::Ok(), st->rank, st->rank);
+    }
+    return;
+  }
+  const uint64_t len = std::min<uint64_t>(kScanChunk, st->stable - st->cursor);
+  const LogPos chunk_start = st->cursor;
+  Read(chunk_start, len,
+       [this, st, chunk_start, len](Status s, std::vector<PositionedRecord> recs) {
+         if (!s.ok()) {
+           if (st->want > 0) {
+             st->read_cb(std::move(s), {});
+           } else {
+             st->tail_cb(std::move(s), 0, 0);
+           }
+           return;
+         }
+         for (PositionedRecord& pr : recs) {
+           if (!pr.record.no_op && pr.record.log == st->log) {
+             if (st->want > 0 && st->rank >= st->from && st->out.size() < st->want) {
+               pr.pos = st->rank;  // re-label with the per-log position
+               st->out.push_back(std::move(pr));
+             }
+             ++st->rank;
+           }
+         }
+         st->cursor = chunk_start + len;
+         LogScanStep(std::move(st));
+       });
+}
+
+inline void SharedLogClient::ReadLog(LogId log, LogPos from, uint64_t len,
+                                     ReadCallback cb) {
+  ScanReadLog(log, from, len, std::move(cb));
+}
+
+inline void SharedLogClient::CheckTailOfLog(LogId log, TailCallback cb) {
+  ScanCheckTailOfLog(log, std::move(cb));
 }
 
 }  // namespace lazylog

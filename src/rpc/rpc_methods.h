@@ -31,6 +31,8 @@ inline constexpr MethodId kSeqTrim = 208;          // client -> leader
 inline constexpr MethodId kSeqUpdateShards = 209;  // controller -> replica: shard membership
 inline constexpr MethodId kSeqShardFailover = 210; // controller -> replica: primary promoted;
                                                    // retarget pushes + reset the shard cursor
+inline constexpr MethodId kSeqUpdateLogs = 211;    // controller -> replica: log registry
+                                                   // (phylog quota table + tombstones)
 
 // --- storage shards: 300 block ---
 inline constexpr MethodId kShardAppendBatch = 300;   // orderer -> primary: ordered records

@@ -569,6 +569,106 @@ void Controller::AddShard(std::vector<NodeId> replicas) {
   WriteShardConfig(nullptr);
 }
 
+// --- virtual-log registry ----------------------------------------------------------------
+
+LogId Controller::CreateLog(const std::string& name, uint64_t quota_per_sec,
+                            std::function<void(Status)> done) {
+  for (const LogRegistryEntry& entry : log_registry_) {
+    if (entry.name == name && !entry.deleted) {
+      if (done) {
+        done(Status::Ok());
+      }
+      return entry.id;
+    }
+  }
+  LogRegistryEntry entry;
+  entry.id = next_log_id_++;
+  entry.name = name;
+  entry.quota_per_sec = quota_per_sec;
+  log_registry_.push_back(std::move(entry));
+  log_epoch_++;
+  WriteLogConfig();
+  PushLogRegistry(std::move(done));
+  return log_registry_.back().id;
+}
+
+void Controller::DeleteLog(const std::string& name, std::function<void(Status)> done) {
+  for (LogRegistryEntry& entry : log_registry_) {
+    if (entry.name == name && !entry.deleted) {
+      entry.deleted = true;
+      log_epoch_++;
+      WriteLogConfig();
+      PushLogRegistry(std::move(done));
+      return;
+    }
+  }
+  if (done) {
+    done(Status::InvalidArgument("unknown log: " + name));
+  }
+}
+
+void Controller::WriteLogConfig() {
+  SeqUpdateLogsReq req{log_epoch_, log_registry_};
+  Encoder enc;
+  req.Encode(enc);
+  zk_.SetData("/logs/config", enc.Take(), UINT64_MAX,
+              [this](Status s) {
+                if (!s.ok()) {
+                  LLOG(kWarn) << "controller: log config write failed; retrying";
+                  // Re-encode at retry time: a newer epoch may have superseded this
+                  // write, and persisting the latest table is always correct.
+                  endpoint_.loop()->Schedule(kZkRetryNs, [this]() { WriteLogConfig(); });
+                }
+              },
+              kZkOpTimeoutNs);
+}
+
+void Controller::PushLogRegistry(std::function<void(Status)> done) {
+  std::vector<NodeId> targets;
+  for (NodeId n : seq_replicas_) {
+    if (known_dead_.count(n) == 0) {
+      targets.push_back(n);
+    }
+  }
+  if (targets.empty()) {
+    if (done) {
+      done(Status::Ok());
+    }
+    return;
+  }
+  SeqUpdateLogsReq req{log_epoch_, log_registry_};
+  Encoder enc;
+  req.Encode(enc);
+  auto body = std::make_shared<std::string>(enc.Take());
+  auto remaining = std::make_shared<size_t>(targets.size());
+  auto finish = std::make_shared<std::function<void(Status)>>(std::move(done));
+  for (NodeId member : targets) {
+    auto send = std::make_shared<std::function<void(uint32_t)>>();
+    // Weak self-reference, as in UpdateSeqShards: the RPC callback / scheduled retry
+    // keep the closure alive, not the closure itself.
+    std::weak_ptr<std::function<void(uint32_t)>> weak_send = send;
+    *send = [this, member, body, weak_send, remaining, finish](uint32_t attempt) {
+      auto self = weak_send.lock();
+      if (!self) {
+        return;
+      }
+      endpoint_.Call(member, kSeqUpdateLogs, *body,
+                     [this, member, attempt, self, remaining, finish](Status s, Decoder) {
+                       if (!s.ok() && attempt + 1 < 10 && known_dead_.count(member) == 0) {
+                         endpoint_.loop()->Schedule(
+                             2 * kMs, [self, attempt]() { (*self)(attempt + 1); });
+                         return;
+                       }
+                       if (--*remaining == 0 && *finish) {
+                         (*finish)(Status::Ok());
+                       }
+                     },
+                     kStartViewAttemptTimeoutNs);
+    };
+    (*send)(0);
+  }
+}
+
 void Controller::UpdateSeqShards(NodeId old_node, NodeId new_node,
                                  std::function<void(Status)> done) {
   std::vector<NodeId> targets;

@@ -108,6 +108,21 @@ class Controller {
   // reconfiguration must not block on an unreachable index node.
   void SetIndexNodes(std::vector<NodeId> nodes) { index_nodes_ = std::move(nodes); }
 
+  // --- virtual-log registry (phylogs) -----------------------------------------------
+  // Registers a named log and returns its id immediately (ids are assigned
+  // synchronously and never reused); the registry write to ZK "/logs/config" and the
+  // kSeqUpdateLogs push to the sequencing replicas proceed asynchronously, and `done`
+  // fires once every live replica has adopted the new table (quota enforcement is
+  // leader-only, so appends admitted before adoption are merely unthrottled, never
+  // unsafe). Re-creating a live name returns the existing id. `quota_per_sec` caps the
+  // log's admitted appends/s at the leader; 0 = unlimited.
+  LogId CreateLog(const std::string& name, uint64_t quota_per_sec = 0,
+                  std::function<void(Status)> done = nullptr);
+  // Tombstones the named log: the id stays reserved, the leader refuses new appends.
+  void DeleteLog(const std::string& name, std::function<void(Status)> done = nullptr);
+  const std::vector<LogRegistryEntry>& log_registry() const { return log_registry_; }
+  uint64_t log_epoch() const { return log_epoch_; }
+
   // Fired after each completed reconfiguration (tests and Fig 17 use this).
   void OnReconfigured(std::function<void(const ReconfigTiming&)> cb) {
     on_reconfigured_ = std::move(cb);
@@ -152,6 +167,10 @@ class Controller {
   void ReconcilePoll();
   void WriteShardConfig(std::function<void(Status)> done);
   std::string EncodeShardConfig() const;
+  // Persists the log registry to "/logs/config" (retrying like WriteShardConfig) and
+  // pushes it to every live sequencing replica via kSeqUpdateLogs.
+  void WriteLogConfig();
+  void PushLogRegistry(std::function<void(Status)> done);
   void UpdateSeqShards(NodeId old_node, NodeId new_node, std::function<void(Status)> done);
   std::vector<NodeId> AllShardServers() const;
 
@@ -183,6 +202,10 @@ class Controller {
   std::vector<uint64_t> shard_promo_epochs_; // shard -> promotion epoch (starts 0)
   std::vector<NodeId> index_nodes_;          // index tier (fenced fire-and-forget)
   uint64_t shard_epoch_ = 1;
+  // Named-log registry (tombstones included); ids count up from 1 (0 = physical log).
+  std::vector<LogRegistryEntry> log_registry_;
+  uint64_t log_epoch_ = 0;
+  LogId next_log_id_ = 1;
   // Shard servers known failed (a crashed primary awaiting/after promotion): the
   // reconfiguration fence and membership ops stop waiting on their acks.
   std::set<NodeId> dead_shard_servers_;

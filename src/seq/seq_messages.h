@@ -29,33 +29,44 @@ struct SeqAppendReq {
   ShardId target_shard = 0;
   bool is_meta = false;
   StreamTag tag = kNoTag;  // logical stream this record belongs to (index tier)
+  LogId log = kDefaultLog;  // phylog this record belongs to (virtual-log layer)
 
   // The old trailing PutBool(is_meta) byte is reinterpreted as a flags byte: bit 0 is
-  // is_meta (so untagged legacy frames decode unchanged), bit 1 says a u64 tag follows.
+  // is_meta (so untagged legacy frames decode unchanged), bit 1 says a u64 tag
+  // follows, bit 2 says a u64 phylog id follows.
   static constexpr uint8_t kFlagIsMeta = 0x1;
   static constexpr uint8_t kFlagHasTag = 0x2;
+  static constexpr uint8_t kFlagHasLog = 0x4;
 
   void Encode(Encoder& e) const {
     e.PutU64(view);
     EncodeRecordId(e, id);
     e.PutAttached(payload);
     e.PutU32(target_shard);
-    uint8_t flags = (is_meta ? kFlagIsMeta : 0) | (tag != kNoTag ? kFlagHasTag : 0);
+    uint8_t flags = (is_meta ? kFlagIsMeta : 0) | (tag != kNoTag ? kFlagHasTag : 0) |
+                    (log != kDefaultLog ? kFlagHasLog : 0);
     e.PutU8(flags);
     if (tag != kNoTag) {
       e.PutU64(tag);
+    }
+    if (log != kDefaultLog) {
+      e.PutU64(log);
     }
   }
   bool Decode(Decoder& d) {
     uint8_t flags = 0;
     if (!d.GetU64(&view) || !DecodeRecordId(d, &id) || !d.GetAttached(&payload) ||
         !d.GetU32(&target_shard) || !d.GetU8(&flags) ||
-        (flags & ~(kFlagIsMeta | kFlagHasTag)) != 0) {
+        (flags & ~(kFlagIsMeta | kFlagHasTag | kFlagHasLog)) != 0) {
       return false;
     }
     is_meta = (flags & kFlagIsMeta) != 0;
     tag = kNoTag;
-    return (flags & kFlagHasTag) == 0 || d.GetU64(&tag);
+    if ((flags & kFlagHasTag) != 0 && !d.GetU64(&tag)) {
+      return false;
+    }
+    log = kDefaultLog;
+    return (flags & kFlagHasLog) == 0 || d.GetU64(&log);
   }
 };
 
@@ -189,6 +200,58 @@ struct SeqShardFailoverReq {
     return d.GetU32(&shard) && d.GetU32(&old_primary) && d.GetU32(&new_primary) &&
            d.GetU64(&reset_upto);
   }
+};
+
+// One named virtual log ("phylog") in the cluster's log registry. The registry is
+// owned by the controller, persisted to ZooKeeper under "/logs/config" (versioned by
+// an epoch like "/shards/config"), and pushed to the sequencing replicas so the
+// leader can enforce per-tenant quotas. Deleted logs stay as tombstones: the id is
+// never reused and the leader refuses new appends to it.
+struct LogRegistryEntry {
+  static constexpr size_t kMinEncodedSize = 8 + 4 + 8 + 1;  // id + name marker + quota + flags
+  LogId id = kDefaultLog;
+  std::string name;
+  uint64_t quota_per_sec = 0;  // admitted appends/s for this phylog; 0 = unlimited
+  bool deleted = false;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(id);
+    e.PutBytes(name);
+    e.PutU64(quota_per_sec);
+    e.PutU8(deleted ? 1 : 0);
+  }
+  bool Decode(Decoder& d) {
+    uint8_t flags = 0;
+    if (!d.GetU64(&id) || !d.GetBytes(&name) || !d.GetU64(&quota_per_sec) ||
+        !d.GetU8(&flags)) {
+      return false;
+    }
+    deleted = (flags & 1) != 0;
+    return true;
+  }
+};
+
+// Controller -> sequencing replica: install the current log registry (quota table +
+// deletion tombstones). Also the payload persisted at "/logs/config".
+struct SeqUpdateLogsReq {
+  uint64_t epoch = 0;
+  std::vector<LogRegistryEntry> entries;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(epoch);
+    e.PutVector(entries);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&epoch) && d.GetVector(&entries); }
+};
+
+// Client -> leader: per-phylog tail query. The physical-log CheckTail keeps its
+// legacy empty request body (byte-identical for single-log deployments); a non-empty
+// body carries the phylog id and the response counts that log's records only.
+struct SeqCheckTailReq {
+  LogId log = kDefaultLog;
+
+  void Encode(Encoder& e) const { e.PutU64(log); }
+  bool Decode(Decoder& d) { return d.GetU64(&log); }
 };
 
 // Any replica -> client: current sequencing configuration (clients probe this after

@@ -44,6 +44,9 @@ SequencingReplica::SequencingReplica(Network* net, const SimParams& params, Erwi
   endpoint_.Register(kSeqShardFailover, [this](NodeId, Decoder d, Responder r) {
     HandleShardFailover(d, std::move(r));
   });
+  endpoint_.Register(kSeqUpdateLogs, [this](NodeId, Decoder d, Responder r) {
+    HandleUpdateLogs(d, std::move(r));
+  });
 }
 
 void SequencingReplica::Start(std::vector<NodeId> config, std::vector<NodeId> shard_primaries,
@@ -132,7 +135,92 @@ void SequencingReplica::PruneRemembered() {
   }
 }
 
-bool SequencingReplica::AdmitAppend(const RecordId& id) {
+SequencingReplica::LogCursor& SequencingReplica::Cursor(LogId log) {
+  auto [it, inserted] = log_cursors_.try_emplace(log);
+  if (inserted) {
+    // A log appearing mid-tick gets one tick's share so its first append is not shed
+    // merely because the replenisher has not seen it yet.
+    it->second.deficit = std::max<uint64_t>(drr_quantum_, 1);
+  }
+  return it->second;
+}
+
+void SequencingReplica::InstallLogRegistry(uint64_t epoch, std::vector<LogRegistryEntry> entries) {
+  if (epoch < log_epoch_) {
+    return;  // stale push (reordered controller retries)
+  }
+  log_epoch_ = epoch;
+  log_registry_.clear();
+  for (LogRegistryEntry& e : entries) {
+    log_registry_.emplace(e.id, std::move(e));
+  }
+}
+
+void SequencingReplica::HandleUpdateLogs(Decoder d, Responder r) {
+  SeqUpdateLogsReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad log update"));
+    return;
+  }
+  InstallLogRegistry(req.epoch, std::move(req.entries));
+  r.Send(Status::Ok());
+}
+
+bool SequencingReplica::AdmitQuota(const SeqAppendReq& req) {
+  // Enforced at the leader only: every append needs the leader's ack to count as
+  // durable, so the leader's verdict is decisive, and followers with a lagging
+  // registry can never falsely refuse. Follower copies of leader-refused appends are
+  // reclaimed by the shed scrub like any other gate refusal.
+  if (!is_leader() || req.log == kDefaultLog) {
+    return true;
+  }
+  auto rit = log_registry_.find(req.log);
+  if (rit == log_registry_.end() || rit->second.quota_per_sec == 0) {
+    return true;  // unknown or unlimited log: quota does not apply
+  }
+  // Retries of already-durable appends always ack (the dup fast path), never charge.
+  if (IsDuplicate(req.id)) {
+    return true;
+  }
+  const double quota = static_cast<double>(rit->second.quota_per_sec);
+  const double burst =
+      std::clamp(quota * params_.seq.quota_burst_fraction, 16.0, 1024.0);
+  const SimTime now = endpoint_.loop()->Now();
+  LogCursor& lc = Cursor(req.log);
+  if (lc.tokens_at == 0) {
+    lc.tokens = burst;  // first sighting: start with a full bucket
+  } else {
+    lc.tokens = std::min(
+        burst, lc.tokens + quota * static_cast<double>(now - lc.tokens_at) / 1e9);
+  }
+  lc.tokens_at = now;
+  if (lc.tokens < 1.0) {
+    lc.quota_rejected++;
+    stats_.quota_rejected++;
+    return false;
+  }
+  lc.tokens -= 1.0;
+  return true;
+}
+
+void SequencingReplica::ReplenishDeficits() {
+  if (!params_.seq.tenant_fairness || !is_leader()) {
+    return;
+  }
+  uint64_t active = 0;
+  for (const auto& [log, lc] : log_cursors_) {
+    active += lc.unordered > 0 ? 1 : 0;
+  }
+  const uint64_t quantum =
+      std::max<uint64_t>(1, eff_batch_ / std::max<uint64_t>(1, active));
+  drr_quantum_ = quantum;
+  const uint64_t cap = std::max<uint64_t>(1, params_.seq.fairness_burst_quanta) * quantum;
+  for (auto& [log, lc] : log_cursors_) {
+    lc.deficit = std::min(lc.deficit + quantum, cap);
+  }
+}
+
+bool SequencingReplica::AdmitAppend(const RecordId& id, LogId log) {
   if (!params_.seq.admission_control) {
     return true;
   }
@@ -155,19 +243,42 @@ bool SequencingReplica::AdmitAppend(const RecordId& id) {
     LLOG(kInfo) << "t=" << endpoint_.loop()->Now() << " seq node=" << node_id()
                 << " ring drained to " << occupancy << "; admitting again";
   }
-  if (admitting_) {
-    return true;
-  }
   // Retry priority: a retry of an append this replica previously shed may use the
   // hysteresis band (low..high) that fresh appends cannot. A partially-admitted append
   // (some replicas took it, this one refused) already consumes ordering capacity at the
   // leader; re-shedding its retry wastes that work and multiplies the client's backoff,
   // so retries drain ahead of new arrivals. The ring bound is unchanged — retries still
   // stop at the high watermark.
-  if (occupancy < params_.seq.ring_high_watermark && recently_rejected_.count(id) > 0) {
-    return true;
+  bool pass = admitting_;
+  if (!pass && occupancy < params_.seq.ring_high_watermark &&
+      recently_rejected_.count(id) > 0) {
+    pass = true;
   }
-  return admitting_;
+  if (!pass) {
+    return false;
+  }
+  // DRR fairness stage (leader only): once the ring is congested enough that admission
+  // is a contended resource, each phylog spends one deficit credit per admitted append;
+  // a log past its share is refused while logs within theirs keep being admitted. Below
+  // the low watermark admission is uncontended and stays log-blind, and a log that owns
+  // the whole ring (unordered == occupancy) has no one to be fair to, so a lone tenant
+  // is never throttled by fairness — it gets the full hysteresis band, like pre-phylog.
+  if (params_.seq.tenant_fairness && is_leader() &&
+      occupancy >= params_.seq.ring_low_watermark) {
+    LogCursor& lc = Cursor(log);
+    // unordered counts ring entries, pending_cpu the admitted appends still queued for
+    // the CPU charge — together, this log's share of ring_occupancy().
+    if (lc.unordered + lc.pending_cpu >= occupancy) {
+      return true;  // sole occupant: no one to be fair to
+    }
+    if (lc.deficit == 0) {
+      lc.drr_rejected++;
+      stats_.drr_rejected++;
+      return false;
+    }
+    lc.deficit--;
+  }
+  return true;
 }
 
 // Followers: evict ring entries the leader's admission gate shed. Such an entry was
@@ -188,6 +299,8 @@ void SequencingReplica::ScrubShedEntries() {
   while (!log_.empty() &&
          ordered_gp_ - log_.front().gp_at_admit > gp_slack &&
          now - log_.front().admitted_at > params_.client_append_timeout_ns) {
+    LogCursor& lc = Cursor(log_.front().log);
+    lc.unordered -= std::min<uint64_t>(lc.unordered, 1);
     in_log_.erase(log_.front().id);
     log_.pop_front();
     stats_.shed_scrubbed++;
@@ -228,15 +341,32 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
     r.Send(req.view < view_ ? Status::StaleView() : Status::WrongView());
     return;
   }
-  // Admission gate, checked before the CPU charge: a refusal must stay cheap (no core
-  // time) or the reject path itself would saturate under the very overload it sheds.
-  if (!AdmitAppend(req.id)) {
+  // Deleted phylog: refused outright (leader verdict; see AdmitQuota on why the
+  // leader's word is decisive). Retries of appends that landed before the deletion
+  // still dup-ack below — the record is durable.
+  if (is_leader() && req.log != kDefaultLog && !IsDuplicate(req.id)) {
+    auto rit = log_registry_.find(req.log);
+    if (rit != log_registry_.end() && rit->second.deleted) {
+      r.Send(Status::InvalidArgument("log deleted"));
+      return;
+    }
+  }
+  // Per-tenant quota, then the occupancy gate — both before the CPU charge: a refusal
+  // must stay cheap (no core time) or the reject path itself would saturate under the
+  // very overload it sheds. Quota refusals are tenant-scoped (the cluster may be
+  // idle), so they get their own status instead of kOverloaded.
+  if (!AdmitQuota(req)) {
+    r.Send(Status::QuotaExceeded());
+    return;
+  }
+  if (!AdmitAppend(req.id, req.log)) {
     stats_.overload_rejected++;
     RememberRejected(req.id);
     r.Send(Status::Overloaded());
     return;
   }
   stats_.admitted++;
+  Cursor(req.log).admitted++;
   if (recently_rejected_.erase(req.id) > 0) {
     stats_.overload_retried++;
   }
@@ -253,8 +383,11 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
   const uint64_t bytes =
       req.is_meta ? params_.seq.metadata_entry_bytes : req.payload.size();
   pending_cpu_appends_++;
+  Cursor(req.log).pending_cpu++;
   cpu_.ExecuteFor(bytes, [this, req = std::move(req), r]() mutable {
     pending_cpu_appends_--;
+    LogCursor& cpu_lc = Cursor(req.log);
+    cpu_lc.pending_cpu -= std::min<uint64_t>(cpu_lc.pending_cpu, 1);
     if (sealed_) {
       r.Send(Status::Sealed());
       return;
@@ -269,8 +402,9 @@ void SequencingReplica::HandleAppend(Decoder d, Responder r) {
       return;
     }
     log_.push_back(Entry{req.id, std::move(req.payload), req.target_shard, ordered_gp_,
-                         endpoint_.loop()->Now(), req.tag});
+                         endpoint_.loop()->Now(), req.tag, req.log});
     in_log_.insert(req.id);
+    Cursor(req.log).unordered++;
     LLOG(kDebug) << "t=" << endpoint_.loop()->Now() << " seq node=" << node_id()
                  << " insert id={" << req.id.client_id << "," << req.id.request_id
                  << "} log=" << log_.size();
@@ -291,6 +425,7 @@ void SequencingReplica::OrderingTick() {
     return;
   }
   UpdateController();
+  ReplenishDeficits();
   AssignPositions();
   for (size_t s = 0; s < cursors_.size(); ++s) {
     PumpCursor(s);
@@ -406,7 +541,8 @@ void SequencingReplica::PumpCursor(size_t s) {
       for (LogPos p = lo; p < hi; ++p) {
         const Entry& e = log_[p - ordered_gp_];
         if (e.shard == c.shard) {
-          req.records.push_back(PositionedRecord{p, Record{e.id, e.payload, false, e.tag}});
+          req.records.push_back(
+              PositionedRecord{p, Record{e.id, e.payload, false, e.tag, e.log}});
         }
       }
       req.Encode(enc);
@@ -525,12 +661,23 @@ void SequencingReplica::AdvanceOrderedFromCursors() {
   // Records are safe on every shard: GC the leader's log and advance last-ordered-gp.
   std::vector<WireRecordId> ids;
   ids.reserve(k);
+  std::map<LogId, uint64_t> per_log;
   for (uint64_t i = 0; i < k; ++i) {
     ids.push_back(WireRecordId{log_.front().id});
+    per_log[log_.front().log]++;
     in_log_.erase(log_.front().id);
     log_.pop_front();
   }
   ordered_gp_ = min_wm;
+  for (const auto& [log, n] : per_log) {
+    LogCursor& lc = Cursor(log);
+    lc.ordered += n;
+    lc.unordered -= std::min(lc.unordered, n);
+  }
+  // Checkpoint the per-log delta at this ordered-gp; the cursors' stable counts adopt
+  // it once stable-gp passes (per-log stable must trail stable-gp exactly, not
+  // ordered-gp, or per-log reads would outrun the read gate).
+  stable_checkpoints_.emplace_back(ordered_gp_, std::move(per_log));
   RememberOrdered(ids);
   // One "ordering batch" = the chunk of records that became globally ordered at once.
   // The chunk is ack-gated (grows with the append rate at a fixed shard RTT), which is
@@ -544,6 +691,7 @@ void SequencingReplica::AdvanceOrderedFromCursors() {
   // advance after *all* replicas have done so (§4.5 correctness argument).
   if (config_.size() <= 1) {
     stable_gp_ = ordered_gp_;
+    DrainStableCheckpoints();
     NotifyGpObserver();
     BroadcastStableGp();
     return;
@@ -586,7 +734,8 @@ void SequencingReplica::PushBatchToShards(std::vector<Entry> batch, LogPos base_
       const LogPos pos = base_pos + i;
       auto& req = reqs[pos % n_shards];
       req.records.push_back(PositionedRecord{
-          pos, Record{batch[i].id, std::move(batch[i].payload), false, batch[i].tag}});
+          pos,
+          Record{batch[i].id, std::move(batch[i].payload), false, batch[i].tag, batch[i].log}});
     }
     for (size_t s = 0; s < n_shards; ++s) {
       endpoint_.CallMsg(shard_primaries_[s], kShardAppendBatch, reqs[s], gather->Slot(s),
@@ -682,8 +831,18 @@ void SequencingReplica::AdvanceStableFromGc() {
   }
   if (min_acked > stable_gp_) {
     stable_gp_ = min_acked;
+    DrainStableCheckpoints();
     NotifyGpObserver();
     BroadcastStableGp();
+  }
+}
+
+void SequencingReplica::DrainStableCheckpoints() {
+  while (!stable_checkpoints_.empty() && stable_checkpoints_.front().first <= stable_gp_) {
+    for (const auto& [log, n] : stable_checkpoints_.front().second) {
+      Cursor(log).stable += n;
+    }
+    stable_checkpoints_.pop_front();
   }
 }
 
@@ -747,6 +906,10 @@ void SequencingReplica::HandleGc(Decoder d, Responder r) {
     for (Entry& e : log_) {
       if (gone.count(e.id) > 0) {
         in_log_.erase(e.id);
+        // Follower per-log accounting: a GC'd entry is ordered at the leader.
+        LogCursor& lc = Cursor(e.log);
+        lc.ordered++;
+        lc.unordered -= std::min<uint64_t>(lc.unordered, 1);
       } else {
         kept.push_back(std::move(e));
       }
@@ -815,6 +978,10 @@ void SequencingReplica::HandleFlush(Decoder d, Responder r) {
                       RememberOrdered(ids);
                       for (const Entry& e : log_) {
                         in_log_.erase(e.id);
+                        Cursor(e.log).ordered++;
+                      }
+                      for (auto& [log, lc] : log_cursors_) {
+                        lc.unordered = 0;
                       }
                       log_.clear();
                       NotifyGpObserver();
@@ -850,6 +1017,16 @@ void SequencingReplica::HandleStartView(Decoder d, Responder r) {
   log_.clear();
   in_log_.clear();
   sealed_ = false;
+  // Per-log cursors across a view change: the ring emptied (flush or discard), so
+  // unordered resets; stable snaps to ordered (stable_gp == ordered_gp in a fresh
+  // view). A replica whose unordered suffix was dropped undercounts its logs' ordered
+  // totals relative to the flush winner — safe: per-log tails may shrink across
+  // views exactly like the physical durable tail.
+  stable_checkpoints_.clear();
+  for (auto& [log, lc] : log_cursors_) {
+    lc.unordered = 0;
+    lc.stable = lc.ordered;
+  }
   // Epoch-fenced cursor reset: old-view windows still in flight are orphaned (their
   // acks fail the view check) and the new view's cursors resync from the flush point.
   assigned_gp_ = ordered_gp_;
@@ -867,6 +1044,13 @@ void SequencingReplica::HandleStartView(Decoder d, Responder r) {
 // --- misc client calls -------------------------------------------------------------------
 
 void SequencingReplica::HandleCheckTail(Decoder d, Responder r) {
+  // Legacy empty body = physical tail (byte-identical for single-log deployments);
+  // a non-empty body names the phylog whose record counts are wanted.
+  SeqCheckTailReq req;
+  if (d.Remaining() > 0 && !req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad check tail"));
+    return;
+  }
   if (!is_leader()) {
     r.Send(Status::NotLeader());
     return;
@@ -877,12 +1061,20 @@ void SequencingReplica::HandleCheckTail(Decoder d, Responder r) {
     r.Send(Status::Sealed());
     return;
   }
-  cpu_.Execute(cpu_.CostFor(0), [this, r]() mutable {
+  cpu_.Execute(cpu_.CostFor(0), [this, log = req.log, r]() mutable {
     if (sealed_) {
       r.Send(Status::Sealed());
       return;
     }
     SeqCheckTailResp resp{ordered_gp_ + log_.size(), stable_gp_, view_};
+    if (log != kDefaultLog) {
+      // Per-phylog counts. `durable` includes ring entries and Erwin-st metadata whose
+      // data may yet no-op, so it upper-bounds the log's eventual rank count; `stable`
+      // likewise upper-bounds the readable ranks (never undercounts them).
+      auto it = log_cursors_.find(log);
+      resp.durable = it == log_cursors_.end() ? 0 : it->second.ordered + it->second.unordered;
+      resp.stable = it == log_cursors_.end() ? 0 : it->second.stable;
+    }
     Encoder e;
     resp.Encode(e);
     r.Ok(e);
@@ -1010,6 +1202,19 @@ OrdererStatsSnapshot SequencingReplica::StatsSnapshot() const {
     ps.watermark_lag = assigned_gp_ > c.acked_watermark ? assigned_gp_ - c.acked_watermark : 0;
     snap.shards.push_back(ps);
   }
+  for (const auto& [log, lc] : log_cursors_) {
+    OrdererStats::PerLog pl;
+    pl.log = log;
+    pl.unordered = lc.unordered;
+    pl.ordered = lc.ordered;
+    pl.stable = lc.stable;
+    pl.admitted = lc.admitted;
+    pl.quota_rejected = lc.quota_rejected;
+    pl.drr_rejected = lc.drr_rejected;
+    pl.deficit = lc.deficit;
+    pl.quota_tokens = lc.tokens;
+    snap.logs.push_back(pl);
+  }
   snap.buf = GlobalBufStats();
   return snap;
 }
@@ -1033,6 +1238,8 @@ StatsFields OrdererStatsSnapshot::Fields() const {
       {"overload_retried", static_cast<double>(counters.overload_retried)},
       {"ring_high_water", static_cast<double>(counters.ring_high_water)},
       {"shed_scrubbed", static_cast<double>(counters.shed_scrubbed)},
+      {"quota_rejected", static_cast<double>(counters.quota_rejected)},
+      {"drr_rejected", static_cast<double>(counters.drr_rejected)},
       {"ring_occupancy", static_cast<double>(ring_occupancy)},
       {"admitting", admitting ? 1.0 : 0.0},
       {"eff_ordering_interval_ns", static_cast<double>(eff_ordering_interval_ns)},
@@ -1059,6 +1266,17 @@ StatsFields OrdererStatsSnapshot::Fields() const {
   f.emplace_back("total_window_retries", static_cast<double>(retries));
   // Stable-gp lag: how far the readable prefix trails the assignment frontier.
   f.emplace_back("stable_gp_lag", static_cast<double>(assigned_gp - stable_gp));
+  // Per-phylog tenant counters (noisy-neighbor diagnosis: who was throttled and why).
+  f.emplace_back("num_logs", static_cast<double>(logs.size()));
+  for (const OrdererStats::PerLog& pl : logs) {
+    const std::string p = "log" + std::to_string(pl.log) + "_";
+    f.emplace_back(p + "unordered", static_cast<double>(pl.unordered));
+    f.emplace_back(p + "ordered", static_cast<double>(pl.ordered));
+    f.emplace_back(p + "stable", static_cast<double>(pl.stable));
+    f.emplace_back(p + "admitted", static_cast<double>(pl.admitted));
+    f.emplace_back(p + "quota_rejected", static_cast<double>(pl.quota_rejected));
+    f.emplace_back(p + "drr_rejected", static_cast<double>(pl.drr_rejected));
+  }
   return f;
 }
 

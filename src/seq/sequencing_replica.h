@@ -9,6 +9,7 @@
 #define SRC_SEQ_SEQUENCING_REPLICA_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -43,6 +44,9 @@ struct OrdererStats {
   uint64_t overload_retried = 0;   // admitted appends previously refused (client retries)
   uint64_t ring_high_water = 0;    // max ring occupancy observed at admission time
   uint64_t shed_scrubbed = 0;      // follower ring entries evicted as leader-shed
+  // Multi-tenant counters (virtual-log layer).
+  uint64_t quota_rejected = 0;  // appends refused kQuotaExceeded (per-log token bucket)
+  uint64_t drr_rejected = 0;    // appends refused kOverloaded by the DRR fairness stage
   double AvgBatchSize() const {
     return batches == 0 ? 0.0 : static_cast<double>(batch_entries) / static_cast<double>(batches);
   }
@@ -56,6 +60,20 @@ struct OrdererStats {
     LogPos next_pos = 0;          // next position this cursor will send
     LogPos acked_watermark = 0;   // shard's durable frontier, from its acks
     LogPos watermark_lag = 0;     // assigned_gp - acked_watermark
+  };
+
+  // Per-phylog counters + frontiers (leader truth; followers track ordered/unordered
+  // only). Counts are in *records of that log*, not global positions.
+  struct PerLog {
+    LogId log = kDefaultLog;
+    uint64_t unordered = 0;       // ring entries of this log
+    LogPos ordered = 0;           // this log's records below ordered-gp
+    LogPos stable = 0;            // this log's records below stable-gp
+    uint64_t admitted = 0;
+    uint64_t quota_rejected = 0;
+    uint64_t drr_rejected = 0;
+    uint64_t deficit = 0;         // DRR credit left this tick
+    double quota_tokens = 0;      // token-bucket level at capture time
   };
 };
 
@@ -81,6 +99,8 @@ struct OrdererStatsSnapshot {
   bool admitting = true;        // admission gate state (false = shedding load)
   uint64_t ring_occupancy = 0;  // unordered entries + appends queued for the CPU
   std::vector<OrdererStats::PerShard> shards;
+  // One entry per phylog with traffic (id-ordered; includes the default log).
+  std::vector<OrdererStats::PerLog> logs;
   BufStats buf;  // global record-path copy/alias counters at capture time
   StatsFields Fields() const;
 };
@@ -112,6 +132,10 @@ class SequencingReplica {
   // Simulates a crash: stop heartbeats (the network-level crash is done by the caller).
   void StopHeartbeats() { zk_session_ ? zk_session_->Stop() : void(); }
 
+  // Installs the phylog registry (quota table + deletion tombstones); also reached via
+  // the controller's kSeqUpdateLogs push. Stale epochs are ignored.
+  void InstallLogRegistry(uint64_t epoch, std::vector<LogRegistryEntry> entries);
+
   // --- introspection ---
   bool is_leader() const { return !config_.empty() && config_[0] == node_id(); }
   ViewId view() const { return view_; }
@@ -132,6 +156,8 @@ class SequencingReplica {
   uint32_t effective_pipeline_depth() const { return eff_depth_; }
   const OrdererStats& stats() const { return stats_; }
   OrdererStatsSnapshot StatsSnapshot() const;
+  uint64_t log_epoch() const { return log_epoch_; }
+  const std::map<LogId, LogRegistryEntry>& log_registry() const { return log_registry_; }
   const std::vector<NodeId>& config() const { return config_; }
   // Exposes the local log order for linearizability tests.
   std::vector<RecordId> LogIds() const;
@@ -152,6 +178,7 @@ class SequencingReplica {
     LogPos gp_at_admit = 0;
     SimTime admitted_at = 0;
     StreamTag tag = kNoTag;  // stream tag carried into the ordered record (Erwin-m)
+    LogId log = kDefaultLog;  // owning phylog (per-log cursors + fairness accounting)
   };
 
   // Per-follower GC bookkeeping: ids ordered but not yet acknowledged-collected by the
@@ -162,6 +189,22 @@ class SequencingReplica {
     std::vector<WireRecordId> pending;
     LogPos acked_gp = 0;
     bool inflight = false;
+  };
+
+  // Per-phylog state: record-count frontiers (this log's records below ordered-gp /
+  // stable-gp), tenant counters, the quota token bucket, and the DRR deficit. Kept in
+  // an ordered map so every iteration (deficit replenish, snapshots) is deterministic.
+  struct LogCursor {
+    uint64_t unordered = 0;
+    LogPos ordered = 0;
+    LogPos stable = 0;
+    uint64_t admitted = 0;
+    uint64_t quota_rejected = 0;
+    uint64_t drr_rejected = 0;
+    double tokens = 0;       // quota bucket (appends); refilled lazily on admission
+    SimTime tokens_at = 0;   // last refill time (0 = bucket not initialized yet)
+    uint64_t deficit = 0;    // DRR credit; replenished each ordering tick
+    uint64_t pending_cpu = 0;  // admitted appends still queued for the CPU charge
   };
 
   // Handlers.
@@ -179,6 +222,7 @@ class SequencingReplica {
   // applied frontier and re-pushes from there — the reconciliation handoff that
   // re-delivers acked-but-unordered metadata the new primary never saw.
   void HandleShardFailover(Decoder d, Responder r);
+  void HandleUpdateLogs(Decoder d, Responder r);
 
   // One per-shard ordering pipeline (§4.3 cursor redesign). The cursor sends adjacent
   // position windows [next_pos, …) with up to seq.order_pipeline_depth outstanding,
@@ -206,8 +250,19 @@ class SequencingReplica {
   // ring occupancy, per-shard watermark lag, and the window-ack RTT EWMA.
   void UpdateController();
   void RecordAckRtt(uint64_t rtt_ns);
-  // Admission gate with hysteresis; returns false when the append must be refused.
-  bool AdmitAppend(const RecordId& id);
+  // Admission gate with hysteresis + the leader's DRR fairness stage; returns false
+  // when the append must be refused with kOverloaded.
+  bool AdmitAppend(const RecordId& id, LogId log);
+  // Leader-only per-phylog token bucket, checked before the occupancy gate; returns
+  // false when the append must be refused with kQuotaExceeded.
+  bool AdmitQuota(const SeqAppendReq& req);
+  // Leader-only, each ordering tick: every phylog's DRR deficit gains an equal share
+  // of the tick's effective batch budget (capped at fairness_burst_quanta shares).
+  void ReplenishDeficits();
+  // Cursor accessor; a freshly created log starts with one tick's deficit share.
+  LogCursor& Cursor(LogId log);
+  // Applies per-log ordered/stable-count checkpoints the stable frontier has passed.
+  void DrainStableCheckpoints();
   void RememberRejected(const RecordId& id);
   void PruneRejected();
   // Follower-only: evict ring entries provably shed by the leader's gate (see .cc).
@@ -299,6 +354,18 @@ class SequencingReplica {
   // Per-follower GC queues (see FollowerGc).
   std::unordered_map<NodeId, FollowerGc> follower_gc_;
   bool gc_retry_armed_ = false;
+
+  // --- virtual-log layer ---
+  // Phylog registry (controller-pushed quota table + tombstones), keyed by log id.
+  std::map<LogId, LogRegistryEntry> log_registry_;
+  uint64_t log_epoch_ = 0;
+  // Per-phylog cursors (created lazily on first traffic; log 0 = the default log).
+  std::map<LogId, LogCursor> log_cursors_;
+  // Per-log ordered-count deltas at each ordered-gp advance, applied to the cursors'
+  // stable counts once stable-gp passes the checkpointed position.
+  std::deque<std::pair<LogPos, std::map<LogId, uint64_t>>> stable_checkpoints_;
+  // Last computed DRR share (seeds the deficit of logs that appear mid-tick).
+  uint64_t drr_quantum_ = 0;
 
   // Flush idempotency: a retried flush (lost response) must return the same positions
   // and flushed ids, or client retries of the flushed records would bind twice.

@@ -95,27 +95,37 @@ struct ShardPutDataReq {
   RecordId id;
   Buf payload;
   StreamTag tag = kNoTag;  // carried with the data so the bound record keeps its stream
+  LogId log = kDefaultLog;  // carried with the data so the bound record keeps its phylog
 
-  // Trailing flags byte mirroring the record codec: bit 1 says a u64 tag follows.
-  // Untagged frames stay byte-identical to the pre-tag format plus one zero byte.
+  // Trailing flags byte mirroring the record codec: bit 1 says a u64 tag follows, bit 2
+  // a u64 phylog id. Untagged default-log frames stay byte-identical to the pre-tag
+  // format plus one zero byte.
   static constexpr uint8_t kFlagHasTag = 0x2;
+  static constexpr uint8_t kFlagHasLog = 0x4;
 
   void Encode(Encoder& e) const {
     EncodeRecordId(e, id);
     e.PutAttached(payload);
-    e.PutU8(tag != kNoTag ? kFlagHasTag : 0);
+    e.PutU8((tag != kNoTag ? kFlagHasTag : 0) | (log != kDefaultLog ? kFlagHasLog : 0));
     if (tag != kNoTag) {
       e.PutU64(tag);
+    }
+    if (log != kDefaultLog) {
+      e.PutU64(log);
     }
   }
   bool Decode(Decoder& d) {
     uint8_t flags = 0;
     if (!DecodeRecordId(d, &id) || !d.GetAttached(&payload) || !d.GetU8(&flags) ||
-        (flags & ~kFlagHasTag) != 0) {
+        (flags & ~(kFlagHasTag | kFlagHasLog)) != 0) {
       return false;
     }
     tag = kNoTag;
-    return (flags & kFlagHasTag) == 0 || d.GetU64(&tag);
+    if ((flags & kFlagHasTag) != 0 && !d.GetU64(&tag)) {
+      return false;
+    }
+    log = kDefaultLog;
+    return (flags & kFlagHasLog) == 0 || d.GetU64(&log);
   }
 };
 
@@ -185,17 +195,24 @@ struct ShardPosMapResp {
   bool Decode(Decoder& d) { return d.GetU64(&from) && d.GetU64Vector(&shard_ids); }
 };
 
-// One (tag, global position) pair exported by a shard's tag index.
+// One (log, tag, global position) entry exported by a shard's stream/phylog index
+// journal. Tagged records journal under their (log, tag); every named-log record
+// additionally journals under (log, kNoTag) — that list, sorted by position, IS the
+// phylog's dense position space (rank i = per-log position i). Default-log untagged
+// records are never journaled, so single-log untagged runs export nothing, exactly as
+// before the virtual-log layer.
 struct TagIndexEntry {
-  static constexpr size_t kMinEncodedSize = 16;  // tag + pos
+  static constexpr size_t kMinEncodedSize = 24;  // log + tag + pos
+  LogId log = kDefaultLog;
   StreamTag tag = kNoTag;
   LogPos pos = 0;
 
   void Encode(Encoder& e) const {
+    e.PutU64(log);
     e.PutU64(tag);
     e.PutU64(pos);
   }
-  bool Decode(Decoder& d) { return d.GetU64(&tag) && d.GetU64(&pos); }
+  bool Decode(Decoder& d) { return d.GetU64(&log) && d.GetU64(&tag) && d.GetU64(&pos); }
 };
 
 // Index node -> shard primary: pull tag-index entries starting at shard-local export

@@ -253,7 +253,7 @@ void ShardServer::TruncateOrderedFrom(LogPos pos) {
       // record data back so it is not lost (it was moved out of the pool at bind time).
       const Record* rec = log_.Get(local);
       if (rec != nullptr && !rec->no_op && pending_.count(rec->id) == 0) {
-        pool_[rec->id] = PoolEntry{rec->payload, rec->tag};
+        pool_[rec->id] = PoolEntry{rec->payload, rec->tag, rec->log};
         pool_arrival_[rec->id] = endpoint_.loop()->Now();
       }
     }
@@ -432,9 +432,9 @@ void ShardServer::HandlePutData(Decoder d, Responder r) {
     auto pending_it = pending_.find(req.id);
     if (pending_it != pending_.end()) {
       // The metadata beat the data here; resolve the parked binding.
-      ResolvePendingWithData(req.id, std::move(req.payload), req.tag);
+      ResolvePendingWithData(req.id, std::move(req.payload), req.tag, req.log);
     } else {
-      pool_[req.id] = PoolEntry{std::move(req.payload), req.tag};
+      pool_[req.id] = PoolEntry{std::move(req.payload), req.tag, req.log};
       pool_arrival_[req.id] = endpoint_.loop()->Now();
     }
     // Memory on all replicas is the critical-path durability; disk catches up in the
@@ -454,7 +454,7 @@ bool ShardServer::BindPosition(const MetaEntry& entry, const std::shared_ptr<Bat
   if (pool_it != pool_.end()) {
     StoreOrdered(entry.pos,
                  Record{entry.id, std::move(pool_it->second.payload), false,
-                        pool_it->second.tag},
+                        pool_it->second.tag, pool_it->second.log},
                  false);
     pool_.erase(pool_it);
     pool_arrival_.erase(entry.id);
@@ -530,14 +530,15 @@ void ShardServer::ApplyFetchedRecord(const RecordId& id, const Status& s, Decode
     FinalizeNoOp(id);
     return;
   }
-  ResolvePendingWithData(id, std::move(rec.payload), rec.tag);
+  ResolvePendingWithData(id, std::move(rec.payload), rec.tag, rec.log);
 }
 
-void ShardServer::ResolvePendingWithData(const RecordId& id, Buf payload, StreamTag tag) {
+void ShardServer::ResolvePendingWithData(const RecordId& id, Buf payload, StreamTag tag,
+                                         LogId log) {
   auto it = pending_.find(id);
   LL_CHECK(it != pending_.end(), "resolving non-pending binding");
   it->second.timeout.Cancel();
-  log_.Overwrite(it->second.local_index, Record{id, std::move(payload), false, tag});
+  log_.Overwrite(it->second.local_index, Record{id, std::move(payload), false, tag, log});
   if (it->second.batch) {
     it->second.batch->Complete(Status::Ok());
   }
@@ -905,8 +906,15 @@ void ShardServer::AdvanceTagIndex() {
   for (; it != local_pos_.end() && *it < target; ++it) {
     const uint64_t local = local_pos_base_ + static_cast<uint64_t>(it - local_pos_.begin());
     const Record* rec = log_.Get(local);
-    if (rec != nullptr && !rec->no_op && rec->tag != kNoTag) {
-      index_journal_.push_back(TagIndexEntry{rec->tag, *it});
+    if (rec != nullptr && !rec->no_op) {
+      if (rec->tag != kNoTag) {
+        index_journal_.push_back(TagIndexEntry{rec->log, rec->tag, *it});
+      }
+      // Named-log records are also journaled under (log, kNoTag): the per-phylog rank
+      // list whose i-th entry is the log's position-i record.
+      if (rec->log != kDefaultLog) {
+        index_journal_.push_back(TagIndexEntry{rec->log, kNoTag, *it});
+      }
     }
   }
   index_pos_frontier_ = target;
@@ -1050,12 +1058,13 @@ void ShardServer::HandleFetchState(Decoder d, Responder r) {
     PositionedRecord pr{local_pos_[i], *rec};
     pr.Encode(e);
   }
-  // Unordered pool (payload handle + stream tag).
+  // Unordered pool (payload handle + stream tag + phylog).
   e.PutU32(static_cast<uint32_t>(pool_.size()));
   for (const auto& [id, entry] : pool_) {
     EncodeRecordId(e, id);
     e.PutAttached(entry.payload);
     e.PutU64(entry.tag);
+    e.PutU64(entry.log);
   }
   // No-op decisions (so late data writes stay rejected on the new replica).
   e.PutU32(static_cast<uint32_t>(rejected_.size()));
@@ -1122,12 +1131,14 @@ void ShardServer::CopyStateFrom(NodeId live_replica, std::function<void(Status)>
           RecordId id;
           Buf payload;
           StreamTag tag = kNoTag;
-          if (!DecodeRecordId(d, &id) || !d.GetAttached(&payload) || !d.GetU64(&tag)) {
+          LogId log = kDefaultLog;
+          if (!DecodeRecordId(d, &id) || !d.GetAttached(&payload) || !d.GetU64(&tag) ||
+              !d.GetU64(&log)) {
             done(Status::Internal("bad state snapshot pool entry"));
             return;
           }
           bytes += payload.size();
-          pool_.emplace(id, PoolEntry{std::move(payload), tag});
+          pool_.emplace(id, PoolEntry{std::move(payload), tag, log});
           pool_arrival_[id] = endpoint_.loop()->Now();
         }
         uint32_t n_rejected = 0;
@@ -1386,7 +1397,7 @@ void ShardServer::BackfillPending(RecordId id, size_t peer_index) {
                    if (rec.no_op) {
                      FinalizeNoOp(id);  // adopt (and re-replicate) the peer's decision
                    } else {
-                     ResolvePendingWithData(id, std::move(rec.payload), rec.tag);
+                     ResolvePendingWithData(id, std::move(rec.payload), rec.tag, rec.log);
                    }
                  },
                  params_.rpc_timeout_ns);

@@ -232,7 +232,7 @@ class ShardServer {
   // Erwin-st: binds position -> record data from the unordered pool, or parks a
   // PendingBinding. Returns true if immediately resolved.
   bool BindPosition(const MetaEntry& entry, const std::shared_ptr<BatchAck>& batch);
-  void ResolvePendingWithData(const RecordId& id, Buf payload, StreamTag tag);
+  void ResolvePendingWithData(const RecordId& id, Buf payload, StreamTag tag, LogId log);
   void FinalizeNoOp(const RecordId& id);
   // Replicates a primary no-op decision to one backup, retrying until acked: a backup
   // whose data copy arrived binds the real record, and a dropped no-op would leave the
@@ -295,6 +295,7 @@ class ShardServer {
   struct PoolEntry {
     Buf payload;
     StreamTag tag = kNoTag;
+    LogId log = kDefaultLog;
   };
   std::unordered_map<RecordId, PoolEntry, RecordIdHash> pool_;  // unordered durable data
   std::unordered_map<RecordId, SimTime, RecordIdHash> pool_arrival_;
@@ -303,12 +304,14 @@ class ShardServer {
   std::vector<uint64_t> meta_log_;                       // pos -> shard id (dense)
   LogPos meta_base_ = 0;                                 // position of meta_log_[0]
 
-  // Tag index (index tier). The journal lists (tag, pos) for tagged records this shard
-  // owns, appended in ascending position order as positions become stable; index nodes
-  // pull it by sequence number (kShardIndexDelta). index_pos_frontier_ is the coverage
-  // mark: every owned position below it is journaled (no-ops and untagged records are
-  // covered but not listed). Segment rollover/trim never disturbs the journal — it is
-  // keyed by export sequence, not local index.
+  // Tag index (index tier). The journal lists (log, tag, pos) for tagged records this
+  // shard owns, appended in ascending position order as positions become stable; index
+  // nodes pull it by sequence number (kShardIndexDelta). A named-log record is
+  // additionally journaled under (log, kNoTag) — the per-phylog rank list that backs
+  // per-log reads. index_pos_frontier_ is the coverage mark: every owned position below
+  // it is journaled (no-ops and default-log untagged records are covered but not
+  // listed). Segment rollover/trim never disturbs the journal — it is keyed by export
+  // sequence, not local index.
   std::deque<TagIndexEntry> index_journal_;
   LogPos index_pos_frontier_ = 0;
 

@@ -8,9 +8,9 @@ namespace lazylog {
 
 // --- OpenLoopAppender ----------------------------------------------------------------------
 
-OpenLoopAppender::OpenLoopAppender(EventLoop* loop, SharedLogClient* client, Options options,
+OpenLoopAppender::OpenLoopAppender(EventLoop* loop, LogHandle log, Options options,
                                    uint64_t seed)
-    : loop_(loop), client_(client), options_(options), rng_(seed) {
+    : loop_(loop), log_(log), options_(options), rng_(seed) {
   payload_template_ = Buf::FromString(std::string(options_.record_bytes, 'x'));
 }
 
@@ -78,16 +78,16 @@ void OpenLoopAppender::IssueOne() {
   };
   if (options_.num_streams > 0) {
     const StreamTag tag = static_cast<StreamTag>(1 + index % options_.num_streams);
-    client_->Append(tag, payload_template_, std::move(cb));
+    log_.Append(tag, payload_template_, std::move(cb));
   } else {
-    client_->Append(payload_template_, std::move(cb));
+    log_.Append(payload_template_, std::move(cb));
   }
 }
 
 // --- SequentialReader -----------------------------------------------------------------------
 
-SequentialReader::SequentialReader(EventLoop* loop, SharedLogClient* client, Options options)
-    : loop_(loop), client_(client), options_(options) {}
+SequentialReader::SequentialReader(EventLoop* loop, LogHandle log, Options options)
+    : loop_(loop), log_(log), options_(options) {}
 
 void SequentialReader::Start() {
   running_ = true;
@@ -135,7 +135,7 @@ void SequentialReader::MaybeIssue() {
   }
   next_pos_ += batch;
   const SimTime start = loop_->Now();
-  client_->Read(from, batch, [this, start, batch](Status s, std::vector<PositionedRecord>) {
+  log_.Read(from, batch, [this, start, batch](Status s, std::vector<PositionedRecord>) {
     read_in_flight_ = false;
     if (s.ok()) {
       reads_done_++;
@@ -151,8 +151,8 @@ void SequentialReader::MaybeIssue() {
 
 // --- PeriodicTailReader -----------------------------------------------------------------------
 
-PeriodicTailReader::PeriodicTailReader(EventLoop* loop, SharedLogClient* client, Options options)
-    : loop_(loop), client_(client), options_(options) {}
+PeriodicTailReader::PeriodicTailReader(EventLoop* loop, LogHandle log, Options options)
+    : loop_(loop), log_(log), options_(options) {}
 
 void PeriodicTailReader::Start() {
   running_ = true;
@@ -171,7 +171,7 @@ void PeriodicTailReader::Tick() {
     return;
   }
   busy_ = true;
-  client_->CheckTail([this](Status s, LogPos durable, LogPos) {
+  log_.CheckTail([this](Status s, LogPos durable, LogPos) {
     if (!s.ok() || durable <= cursor_) {
       busy_ = false;
       loop_->Schedule(options_.period_ns, [this]() { Tick(); });
@@ -191,7 +191,7 @@ void PeriodicTailReader::ReadNext(LogPos until) {
     return;
   }
   const SimTime start = loop_->Now();
-  client_->Read(cursor_, 1, [this, start, until](Status rs, std::vector<PositionedRecord>) {
+  log_.Read(cursor_, 1, [this, start, until](Status rs, std::vector<PositionedRecord>) {
     if (rs.ok()) {
       records_read_++;
       if (start >= started_at_ + options_.warmup_ns) {

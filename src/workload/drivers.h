@@ -31,7 +31,9 @@ class OpenLoopAppender {
     uint64_t num_streams = 0;
   };
 
-  OpenLoopAppender(EventLoop* loop, SharedLogClient* client, Options options,
+  // `log` is the handle the appends go to — the default handle for the physical log,
+  // or a named phylog's handle (multi-tenant benches).
+  OpenLoopAppender(EventLoop* loop, LogHandle log, Options options,
                    uint64_t seed = 7);
 
   void Start();
@@ -56,7 +58,7 @@ class OpenLoopAppender {
   void IssueOne();
 
   EventLoop* loop_;
-  SharedLogClient* client_;
+  LogHandle log_;
   Options options_;
   Rng rng_;
   Buf payload_template_;  // one backing for the whole run; each append shares it
@@ -84,7 +86,7 @@ class SequentialReader {
     uint64_t warmup_ns = 0;
   };
 
-  SequentialReader(EventLoop* loop, SharedLogClient* client, Options options);
+  SequentialReader(EventLoop* loop, LogHandle log, Options options);
 
   // Wire into the appender: reader learns of durable records through this.
   void NotifyAcked(uint64_t index, SimTime ack_time);
@@ -101,7 +103,7 @@ class SequentialReader {
   void MaybeIssue();
 
   EventLoop* loop_;
-  SharedLogClient* client_;
+  LogHandle log_;
   Options options_;
   bool running_ = false;
   bool read_in_flight_ = false;
@@ -124,7 +126,7 @@ class PeriodicTailReader {
     uint64_t warmup_ns = 0;
   };
 
-  PeriodicTailReader(EventLoop* loop, SharedLogClient* client, Options options);
+  PeriodicTailReader(EventLoop* loop, LogHandle log, Options options);
 
   void Start();
   void Stop();
@@ -137,7 +139,7 @@ class PeriodicTailReader {
   void ReadNext(LogPos until);
 
   EventLoop* loop_;
-  SharedLogClient* client_;
+  LogHandle log_;
   Options options_;
   bool running_ = false;
   bool busy_ = false;

@@ -57,7 +57,7 @@ TEST(Corfu, ReadOfUnwrittenPositionWaitsForWrite) {
   CorfuCluster cluster(1, 2, params);
   auto client = cluster.MakeClient();
   bool read_done = false;
-  client->Read(0, 1, [&](Status s, std::vector<PositionedRecord> recs) {
+  client->log().Read(0, 1, [&](Status s, std::vector<PositionedRecord> recs) {
     ASSERT_TRUE(s.ok());
     ASSERT_EQ(recs.size(), 1u);
     EXPECT_EQ(recs[0].record.payload, "eventually");
@@ -95,7 +95,7 @@ TEST(Corfu, ChainWriteCostsMoreRttsThanErwin) {
   bool done = false;
   SimTime start = cluster.loop().Now();
   SimTime end = 0;
-  client->Append(std::string(4096, 'x'), [&](Status s) {
+  client->log().Append(std::string(4096, 'x'), [&](Status s) {
     ASSERT_TRUE(s.ok());
     end = cluster.loop().Now();
     done = true;

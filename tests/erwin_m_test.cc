@@ -97,7 +97,7 @@ TEST(ErwinM, ConcurrentAppendsAllBoundExactlyOnce) {
   int acked = 0;
   for (int i = 0; i < kN; ++i) {
     clients.push_back(cluster.MakeMClient());
-    clients.back()->Append("conc-" + std::to_string(i), [&](Status s) { acked += s.ok(); });
+    clients.back()->log().Append("conc-" + std::to_string(i), [&](Status s) { acked += s.ok(); });
   }
   cluster.RunFor(200 * kMs);
   ASSERT_EQ(acked, kN);

@@ -73,7 +73,7 @@ TEST(ErwinSmoke, SlowPathReadWaitsForOrdering) {
   // Read before ordering had a chance to run.
   bool done = false;
   std::vector<PositionedRecord> records;
-  client->Read(0, 1, [&](Status s, std::vector<PositionedRecord> recs) {
+  client->log().Read(0, 1, [&](Status s, std::vector<PositionedRecord> recs) {
     ASSERT_TRUE(s.ok());
     records = std::move(recs);
     done = true;

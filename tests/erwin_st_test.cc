@@ -135,7 +135,7 @@ TEST(ErwinSt, SlowPathReadWaitsForPosMap) {
   auto client = cluster.MakeStClient();
   // Issue a read for a position that is not even appended yet.
   bool done = false;
-  client->Read(0, 1, [&](Status s, std::vector<PositionedRecord> recs) {
+  client->log().Read(0, 1, [&](Status s, std::vector<PositionedRecord> recs) {
     ASSERT_TRUE(s.ok());
     ASSERT_EQ(recs.size(), 1u);
     EXPECT_EQ(recs[0].record.payload, "arrives-later");

@@ -34,7 +34,7 @@ std::map<std::string, bool> AppendAll(ErwinCluster& c, ErwinMClient* client,
   std::map<std::string, bool> acked;
   size_t resolved = 0;
   for (const std::string& p : payloads) {
-    client->Append(p, [&acked, &resolved, p](Status s) {
+    client->log().Append(p, [&acked, &resolved, p](Status s) {
       acked[p] = s.ok();
       resolved++;
     });
@@ -56,7 +56,7 @@ std::vector<PositionedRecord> ReadBackAll(ErwinCluster& c, ErwinMClient* client)
     bool done = false;
     LogPos durable = 0;
     bool ok = false;
-    client->CheckTail([&](Status s, LogPos d, LogPos st) {
+    client->log().CheckTail([&](Status s, LogPos d, LogPos st) {
       ok = s.ok();
       durable = d;
       stable = st;
@@ -67,13 +67,13 @@ std::vector<PositionedRecord> ReadBackAll(ErwinCluster& c, ErwinMClient* client)
       break;
     }
     bool appended = false;
-    client->Append("sentinel" + std::to_string(round), [&](Status) { appended = true; });
+    client->log().Append("sentinel" + std::to_string(round), [&](Status) { appended = true; });
     RunUntilDone(c.loop(), appended, 100 * kMs);
     c.RunFor(2 * kMs);
   }
   std::vector<PositionedRecord> out;
   bool done = false;
-  client->Read(0, stable, [&](Status s, std::vector<PositionedRecord> recs) {
+  client->log().Read(0, stable, [&](Status s, std::vector<PositionedRecord> recs) {
     if (s.ok()) {
       out = std::move(recs);
     }
@@ -188,7 +188,7 @@ TEST(Fencing, InFlightAppendsSurviveViewChangeExactlyOnce) {
     payloads.push_back("inflight-" + std::to_string(i));
   }
   for (const std::string& p : payloads) {
-    client->Append(p, [&acked, &resolved, p](Status s) {
+    client->log().Append(p, [&acked, &resolved, p](Status s) {
       acked[p] = s.ok();
       resolved++;
     });

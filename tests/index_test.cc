@@ -214,7 +214,7 @@ TEST(IndexTier, ReadTagChecksStreamMembership) {
   bool done = false;
   Status status = Status::Internal("pending");
   std::vector<PositionedRecord> recs;
-  client->ReadTag(1, 0, [&](Status s, std::vector<PositionedRecord> r) {
+  client->log().ReadTag(1, 0, [&](Status s, std::vector<PositionedRecord> r) {
     status = std::move(s);
     recs = std::move(r);
     done = true;
@@ -226,7 +226,7 @@ TEST(IndexTier, ReadTagChecksStreamMembership) {
 
   // Position 0 belongs to stream 1; asking for it under stream 2 must fail.
   done = false;
-  client->ReadTag(2, 0, [&](Status s, std::vector<PositionedRecord>) {
+  client->log().ReadTag(2, 0, [&](Status s, std::vector<PositionedRecord>) {
     status = std::move(s);
     done = true;
   });

@@ -147,7 +147,7 @@ TEST(ErwinOnKafkaTest, AppendIsMicrosecondScaleDespiteKafkaBackend) {
   bool done = false;
   const SimTime start = h.loop_.Now();
   SimTime end = 0;
-  h.client_->Append("fast", [&](Status s) {
+  h.client_->log().Append("fast", [&](Status s) {
     ASSERT_TRUE(s.ok());
     end = h.loop_.Now();
     done = true;
@@ -178,7 +178,7 @@ TEST(ErwinOnKafkaTest, AdapterGatesReadsOnStableGp) {
   ASSERT_TRUE(AppendSyncly(h.loop_, *h.client_, "gated"));
   // Immediately read: must take the slow path until ordering + stable-gp.
   bool done = false;
-  h.client_->Read(0, 1, [&](Status s, std::vector<PositionedRecord> recs) {
+  h.client_->log().Read(0, 1, [&](Status s, std::vector<PositionedRecord> recs) {
     ASSERT_TRUE(s.ok());
     ASSERT_EQ(recs.size(), 1u);
     EXPECT_EQ(recs[0].record.payload, "gated");

@@ -62,7 +62,7 @@ TEST_P(LinearizabilityTest, RealTimeOrderRespected) {
     AppendTrace& trace = traces[payload];
     trace.invoked_at = cluster.loop().Now();
     in_flight++;
-    clients[c]->Append(payload, [&, payload, c, n](Status s) {
+    clients[c]->log().Append(payload, [&, payload, c, n](Status s) {
       in_flight--;
       AppendTrace& t = traces[payload];
       t.acked = s.ok();

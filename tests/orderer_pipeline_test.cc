@@ -30,7 +30,7 @@ uint64_t PacedAppends(ErwinCluster& c, SharedLogClient& client, int n, uint64_t 
                       const std::string& prefix) {
   auto acked = std::make_shared<uint64_t>(0);
   for (int i = 0; i < n; ++i) {
-    client.Append(prefix + std::to_string(i), [acked](Status s) {
+    client.log().Append(prefix + std::to_string(i), [acked](Status s) {
       if (s.ok()) {
         (*acked)++;
       }
@@ -95,7 +95,7 @@ TEST(OrdererPipeline, OrderedGpIsMinCursorWatermarkUnderLoss) {
   auto acked = std::make_shared<uint64_t>(0);
   auto resolved = std::make_shared<uint64_t>(0);
   for (int i = 0; i < 100; ++i) {
-    client->Append("lossy-" + std::to_string(i), [acked, resolved](Status s) {
+    client->log().Append("lossy-" + std::to_string(i), [acked, resolved](Status s) {
       (*resolved)++;
       if (s.ok()) {
         (*acked)++;

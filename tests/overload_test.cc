@@ -141,7 +141,7 @@ TEST(Overload, AdaptiveIntervalWidensUnderBacklogAndRecovers) {
   auto client = cluster.MakeMClient();
   // Open-loop ~2M appends/s against a ~1M/s sequencer core for 15ms.
   for (uint64_t i = 0; i < 30000; ++i) {
-    cluster.loop().Schedule(i * 500, [&client]() { client->Append("x", [](Status) {}); });
+    cluster.loop().Schedule(i * 500, [&client]() { client->log().Append("x", [](Status) {}); });
   }
   cluster.RunFor(15 * kMs);
   OrdererStatsSnapshot snap = cluster.seq_replica(0).StatsSnapshot();
@@ -177,7 +177,7 @@ TEST(Overload, ClientSurfacesOverloadedAfterShedBudget) {
   // arrival order and admits the same first 8.
   for (uint64_t i = 0; i < 50; ++i) {
     cluster.loop().Schedule(i * 20 * kUs, [&]() {
-      client->Append("x", [&](Status s) {
+      client->log().Append("x", [&](Status s) {
         resolved++;
         if (s.ok()) {
           ok++;
@@ -224,13 +224,13 @@ TEST(Overload, FollowerScrubEvictsLeaderShedEntries) {
   int acked = 0, failed = 0;
   auto cb = [&](Status s) { (s.ok() ? acked : failed)++; };
   for (uint64_t i = 0; i < 40; ++i) {
-    cluster.loop().Schedule(i * 250 * kUs, [&client, cb]() { client->Append("x", cb); });
+    cluster.loop().Schedule(i * 250 * kUs, [&client, cb]() { client->log().Append("x", cb); });
   }
   cluster.RunFor(25 * kMs);
   // A second wave keeps GC rounds (the scrub trigger) coming after the dead entries
   // have aged past the append timeout.
   for (uint64_t i = 0; i < 10; ++i) {
-    cluster.loop().Schedule(i * 250 * kUs, [&client, cb]() { client->Append("y", cb); });
+    cluster.loop().Schedule(i * 250 * kUs, [&client, cb]() { client->log().Append("y", cb); });
   }
   cluster.RunFor(30 * kMs);
 

@@ -124,7 +124,7 @@ TEST(Recovery, ClientRetryAcrossViewIsNotDuplicated) {
   }
   // Issue an append and crash the leader while it is in flight.
   bool acked = false;
-  client->Append("racer", [&](Status s) { acked = s.ok(); });
+  client->log().Append("racer", [&](Status s) { acked = s.ok(); });
   cluster.RunFor(2 * kUs);  // in flight
   cluster.CrashSeqReplica(0);
   ASSERT_TRUE(AwaitReconfig(cluster, 5 * kSec));

@@ -110,7 +110,7 @@ TEST(Scalog, AppendAckedAfterCutCommit) {
   bool acked = false;
   SimTime ack_time = 0;
   const SimTime start = cluster.loop().Now();
-  client->Append(std::string(1024, 'x'), [&](Status s) {
+  client->log().Append(std::string(1024, 'x'), [&](Status s) {
     acked = s.ok();
     ack_time = cluster.loop().Now();
   });
@@ -129,7 +129,7 @@ TEST(Scalog, TotalOrderAssignsDensePositions) {
   auto client = cluster.MakeClient();
   int acks = 0;
   for (int i = 0; i < 30; ++i) {
-    client->Append("rec-" + std::to_string(i), [&](Status s) { acks += s.ok() ? 1 : 0; });
+    client->log().Append("rec-" + std::to_string(i), [&](Status s) { acks += s.ok() ? 1 : 0; });
   }
   cluster.RunFor(100 * kMs);
   EXPECT_EQ(acks, 30);
@@ -177,7 +177,7 @@ TEST(Scalog, CutsRespectSlowestReplica) {
   ScalogCluster cluster(1, params);
   auto client = cluster.MakeClient();
   bool acked = false;
-  client->Append("solo", [&](Status) { acked = true; });
+  client->log().Append("solo", [&](Status) { acked = true; });
   cluster.RunFor(300 * kUs);  // less than a disk write; backup cannot have persisted
   EXPECT_FALSE(acked);
   cluster.RunFor(50 * kMs);

@@ -50,7 +50,7 @@ TEST(Sequencing, StableGpNeverExceedsOrderedGp) {
   ErwinCluster cluster(MOptions());
   auto client = cluster.MakeMClient();
   for (int i = 0; i < 50; ++i) {
-    client->Append("x", [](Status) {});
+    client->log().Append("x", [](Status) {});
     cluster.RunFor(100 * kUs);
     EXPECT_LE(cluster.leader().stable_gp(), cluster.leader().ordered_gp());
   }
@@ -165,7 +165,7 @@ TEST(Sequencing, BatchSizeGrowsWithRate) {
     OpenLoopAppender::Options opt;
     opt.rate_per_sec = rate;
     opt.record_bytes = 512;
-    OpenLoopAppender appender(&cluster.loop(), client.get(), opt);
+    OpenLoopAppender appender(&cluster.loop(), client->log(), opt);
     appender.Start();
     cluster.RunFor(200 * kMs);
     appender.Stop();

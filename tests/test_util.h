@@ -1,5 +1,7 @@
 // Helpers for driving the simulated cluster synchronously from tests: each helper
 // issues one async operation and runs the event loop until its callback fires.
+// The primary overloads take a LogHandle (any virtual log); the SharedLogClient&
+// overloads forward to the client's default handle for the single-log tests.
 #ifndef TESTS_TEST_UTIL_H_
 #define TESTS_TEST_UTIL_H_
 
@@ -24,28 +26,35 @@ inline bool RunUntilDone(EventLoop& loop, const bool& done, uint64_t budget_ns =
 }
 
 // Appends and waits for the durability ack. Returns whether the append succeeded.
-inline bool AppendSyncly(EventLoop& loop, SharedLogClient& client, std::string payload) {
+inline bool AppendSyncly(EventLoop& loop, LogHandle log, std::string payload) {
   bool done = false;
   Status result = Status::Internal("never completed");
-  client.Append(std::move(payload), [&](Status s) {
+  log.Append(std::move(payload), [&](Status s) {
     result = std::move(s);
     done = true;
   });
   RunUntilDone(loop, done);
   return done && result.ok();
 }
+inline bool AppendSyncly(EventLoop& loop, SharedLogClient& client, std::string payload) {
+  return AppendSyncly(loop, client.log(), std::move(payload));
+}
 
 // Tagged append (stream index tier): appends into stream `tag` and waits.
-inline bool AppendSyncly(EventLoop& loop, SharedLogClient& client, StreamTag tag,
+inline bool AppendSyncly(EventLoop& loop, LogHandle log, StreamTag tag,
                          std::string payload) {
   bool done = false;
   Status result = Status::Internal("never completed");
-  client.Append(tag, std::move(payload), [&](Status s) {
+  log.Append(tag, std::move(payload), [&](Status s) {
     result = std::move(s);
     done = true;
   });
   RunUntilDone(loop, done);
   return done && result.ok();
+}
+inline bool AppendSyncly(EventLoop& loop, SharedLogClient& client, StreamTag tag,
+                         std::string payload) {
+  return AppendSyncly(loop, client.log(), tag, std::move(payload));
 }
 
 struct ReadNextResult {
@@ -55,13 +64,13 @@ struct ReadNextResult {
 };
 
 // Selective read: one ReadNext(tag, from) window, waited for.
-inline ReadNextResult ReadNextSyncly(EventLoop& loop, SharedLogClient& client,
-                                     StreamTag tag, LogPos from, uint32_t max,
+inline ReadNextResult ReadNextSyncly(EventLoop& loop, LogHandle log, StreamTag tag,
+                                     LogPos from, uint32_t max,
                                      uint64_t budget_ns = kSec) {
   bool done = false;
   ReadNextResult result;
-  client.ReadNext(tag, from, max, [&](Status s, std::vector<PositionedRecord> recs,
-                                      LogPos next_from) {
+  log.ReadNext(tag, from, max, [&](Status s, std::vector<PositionedRecord> recs,
+                                   LogPos next_from) {
     result.status = std::move(s);
     result.records = std::move(recs);
     result.next_from = next_from;
@@ -70,29 +79,38 @@ inline ReadNextResult ReadNextSyncly(EventLoop& loop, SharedLogClient& client,
   RunUntilDone(loop, done, budget_ns);
   return result;
 }
+inline ReadNextResult ReadNextSyncly(EventLoop& loop, SharedLogClient& client,
+                                     StreamTag tag, LogPos from, uint32_t max,
+                                     uint64_t budget_ns = kSec) {
+  return ReadNextSyncly(loop, client.log(), tag, from, max, budget_ns);
+}
 
 // Appends and waits, returning the full completion Status (kRejected vs kTimeout etc.).
-inline Status AppendSynclyStatus(EventLoop& loop, SharedLogClient& client,
-                                 std::string payload, uint64_t budget_ns = kSec) {
+inline Status AppendSynclyStatus(EventLoop& loop, LogHandle log, std::string payload,
+                                 uint64_t budget_ns = kSec) {
   bool done = false;
   Status result = Status::Internal("never completed");
-  client.Append(std::move(payload), [&](Status s) {
+  log.Append(std::move(payload), [&](Status s) {
     result = std::move(s);
     done = true;
   });
   RunUntilDone(loop, done, budget_ns);
   return result;
 }
+inline Status AppendSynclyStatus(EventLoop& loop, SharedLogClient& client,
+                                 std::string payload, uint64_t budget_ns = kSec) {
+  return AppendSynclyStatus(loop, client.log(), std::move(payload), budget_ns);
+}
 
 // Reads [from, from+len) and waits. Returns records or nullopt on error/timeout.
 inline std::optional<std::vector<PositionedRecord>> ReadSyncly(EventLoop& loop,
-                                                               SharedLogClient& client,
+                                                               LogHandle log,
                                                                LogPos from, uint64_t len,
                                                                uint64_t budget_ns = kSec) {
   bool done = false;
   Status status = Status::Internal("never completed");
   std::vector<PositionedRecord> records;
-  client.Read(from, len, [&](Status s, std::vector<PositionedRecord> recs) {
+  log.Read(from, len, [&](Status s, std::vector<PositionedRecord> recs) {
     status = std::move(s);
     records = std::move(recs);
     done = true;
@@ -103,6 +121,12 @@ inline std::optional<std::vector<PositionedRecord>> ReadSyncly(EventLoop& loop,
   }
   return records;
 }
+inline std::optional<std::vector<PositionedRecord>> ReadSyncly(EventLoop& loop,
+                                                               SharedLogClient& client,
+                                                               LogPos from, uint64_t len,
+                                                               uint64_t budget_ns = kSec) {
+  return ReadSyncly(loop, client.log(), from, len, budget_ns);
+}
 
 struct TailResult {
   Status status = Status::Internal("never completed");
@@ -110,10 +134,10 @@ struct TailResult {
   LogPos stable = 0;
 };
 
-inline TailResult TailSyncly(EventLoop& loop, SharedLogClient& client) {
+inline TailResult TailSyncly(EventLoop& loop, LogHandle log) {
   bool done = false;
   TailResult result;
-  client.CheckTail([&](Status s, LogPos d, LogPos st) {
+  log.CheckTail([&](Status s, LogPos d, LogPos st) {
     result.status = std::move(s);
     result.durable = d;
     result.stable = st;
@@ -122,16 +146,37 @@ inline TailResult TailSyncly(EventLoop& loop, SharedLogClient& client) {
   RunUntilDone(loop, done);
   return result;
 }
+inline TailResult TailSyncly(EventLoop& loop, SharedLogClient& client) {
+  return TailSyncly(loop, client.log());
+}
 
-inline Status TrimSyncly(EventLoop& loop, SharedLogClient& client, LogPos index) {
+inline Status TrimSyncly(EventLoop& loop, LogHandle log, LogPos index) {
   bool done = false;
   Status status = Status::Internal("never completed");
-  client.Trim(index, [&](Status s) {
+  log.Trim(index, [&](Status s) {
     status = std::move(s);
     done = true;
   });
   RunUntilDone(loop, done);
   return status;
+}
+inline Status TrimSyncly(EventLoop& loop, SharedLogClient& client, LogPos index) {
+  return TrimSyncly(loop, client.log(), index);
+}
+
+// Opens a named log and waits for the handle.
+inline LogHandle OpenSyncly(EventLoop& loop, SharedLogClient& client,
+                            const std::string& name) {
+  bool done = false;
+  LogHandle handle;
+  Status status = Status::Internal("never completed");
+  client.Open(name, [&](Status s, LogHandle h) {
+    status = std::move(s);
+    handle = h;
+    done = true;
+  });
+  RunUntilDone(loop, done);
+  return status.ok() ? handle : LogHandle();
 }
 
 }  // namespace lazylog

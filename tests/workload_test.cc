@@ -24,7 +24,7 @@ TEST(OpenLoopAppender, HitsTargetRate) {
   OpenLoopAppender::Options opt;
   opt.rate_per_sec = 20'000;
   opt.record_bytes = 256;
-  OpenLoopAppender appender(&cluster.loop(), client.get(), opt);
+  OpenLoopAppender appender(&cluster.loop(), client->log(), opt);
   appender.Start();
   cluster.RunFor(500 * kMs);
   appender.Stop();
@@ -40,7 +40,7 @@ TEST(OpenLoopAppender, WarmupExcludedFromHistogram) {
   opt.rate_per_sec = 10'000;
   opt.record_bytes = 128;
   opt.warmup_ns = 100 * kMs;
-  OpenLoopAppender appender(&cluster.loop(), client.get(), opt);
+  OpenLoopAppender appender(&cluster.loop(), client->log(), opt);
   appender.Start();
   cluster.RunFor(200 * kMs);
   appender.Stop();
@@ -57,7 +57,7 @@ TEST(OpenLoopAppender, MaxAppendsStops) {
   opt.rate_per_sec = 50'000;
   opt.record_bytes = 64;
   opt.max_appends = 123;
-  OpenLoopAppender appender(&cluster.loop(), client.get(), opt);
+  OpenLoopAppender appender(&cluster.loop(), client->log(), opt);
   appender.Start();
   cluster.RunFor(kSec);
   EXPECT_EQ(appender.issued(), 123u);
@@ -71,10 +71,10 @@ TEST(SequentialReader, RespectsLag) {
   OpenLoopAppender::Options aopt;
   aopt.rate_per_sec = 5'000;
   aopt.record_bytes = 128;
-  OpenLoopAppender appender(&cluster.loop(), wclient.get(), aopt);
+  OpenLoopAppender appender(&cluster.loop(), wclient->log(), aopt);
   SequentialReader::Options ropt;
   ropt.lag_ns = 5 * kMs;
-  SequentialReader reader(&cluster.loop(), rclient.get(), ropt);
+  SequentialReader reader(&cluster.loop(), rclient->log(), ropt);
   appender.OnAck([&](uint64_t i, SimTime t) { reader.NotifyAcked(i, t); });
   reader.Start();
   appender.Start();
@@ -98,11 +98,11 @@ TEST(SequentialReader, BatchedReadsConsumeInOrder) {
   aopt.rate_per_sec = 10'000;
   aopt.record_bytes = 64;
   aopt.max_appends = 100;
-  OpenLoopAppender appender(&cluster.loop(), wclient.get(), aopt);
+  OpenLoopAppender appender(&cluster.loop(), wclient->log(), aopt);
   SequentialReader::Options ropt;
   ropt.batch = 10;
   ropt.lag_ns = 1 * kMs;
-  SequentialReader reader(&cluster.loop(), rclient.get(), ropt);
+  SequentialReader reader(&cluster.loop(), rclient->log(), ropt);
   appender.OnAck([&](uint64_t i, SimTime t) { reader.NotifyAcked(i, t); });
   reader.Start();
   appender.Start();
@@ -118,10 +118,10 @@ TEST(PeriodicTailReader, DrainsToTailEachPeriod) {
   OpenLoopAppender::Options aopt;
   aopt.rate_per_sec = 20'000;
   aopt.record_bytes = 64;
-  OpenLoopAppender appender(&cluster.loop(), wclient.get(), aopt);
+  OpenLoopAppender appender(&cluster.loop(), wclient->log(), aopt);
   PeriodicTailReader::Options ropt;
   ropt.period_ns = 2 * kMs;
-  PeriodicTailReader reader(&cluster.loop(), rclient.get(), ropt);
+  PeriodicTailReader reader(&cluster.loop(), rclient->log(), ropt);
   appender.Start();
   reader.Start();
   cluster.RunFor(200 * kMs);
@@ -139,7 +139,7 @@ TEST(PoissonAppender, ApproximatesRate) {
   opt.rate_per_sec = 10'000;
   opt.record_bytes = 64;
   opt.poisson = true;
-  OpenLoopAppender appender(&cluster.loop(), client.get(), opt);
+  OpenLoopAppender appender(&cluster.loop(), client->log(), opt);
   appender.Start();
   cluster.RunFor(kSec);
   appender.Stop();
