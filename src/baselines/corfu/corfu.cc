@@ -182,6 +182,7 @@ void CorfuClient::ChainWrite(LogPos pos, std::shared_ptr<Record> record, size_t 
 
 void CorfuClient::ReadOne(LogPos pos, std::function<void(Status, PositionedRecord)> cb) {
   // Committed data is read from the chain tail.
+  read_stats_.primary_reads++;
   const auto& chain = chains_[pos % chains_.size()];
   Encoder e;
   e.PutU64(pos);
@@ -234,7 +235,7 @@ void CorfuClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
 
 void CorfuClient::CheckTail(TailCallback cb) {
   endpoint_.Call(sequencer_, kCorfuTail, "",
-                 [cb](Status s, Decoder d) {
+                 [this, cb](Status s, Decoder d) {
                    if (!s.ok()) {
                      cb(std::move(s), 0, 0);
                      return;
@@ -243,9 +244,19 @@ void CorfuClient::CheckTail(TailCallback cb) {
                    d.GetU64(&next);
                    d.GetU64(&committed);
                    // Corfu binds eagerly: every committed record is stable.
+                   tails_.Note(endpoint_.loop()->Now(), committed, committed);
                    cb(Status::Ok(), committed, committed);
                  },
                  params_.rpc_timeout_ns);
+}
+
+bool CorfuClient::CachedTail(LogPos* durable, LogPos* stable) {
+  if (!tails_.Get(endpoint_.loop()->Now(), params_.client_read.tail_cache_ttl_ns, durable,
+                  stable)) {
+    return false;
+  }
+  read_stats_.tail_cache_hits++;
+  return true;
 }
 
 void CorfuClient::Trim(LogPos index, TrimCallback cb) {

@@ -11,6 +11,7 @@
 
 #include "src/common/params.h"
 #include "src/lazylog/cluster_view.h"
+#include "src/lazylog/read_path.h"
 #include "src/lazylog/shared_log_client.h"
 #include "src/rpc/rpc.h"
 #include "src/rpc/rpc_methods.h"
@@ -74,6 +75,10 @@ class CorfuClient : public SharedLogClient {
   }
   void AppendAt(const AppendOptions& options, Buf payload, AppendPosCallback cb);
 
+  // Most recent committed tail heard from CheckTail; fresher than
+  // client_read.tail_cache_ttl_ns only (Corfu binds eagerly, so durable == stable).
+  bool CachedTail(LogPos* durable, LogPos* stable) override;
+
  protected:
   // --- SharedLogClient (reached through LogHandle). Tag and phylog id ride inside the
   // record, so the base-class scan fallbacks (Corfu has no index tier) can project
@@ -94,6 +99,7 @@ class CorfuClient : public SharedLogClient {
   std::vector<std::vector<NodeId>> chains_;
   ClientId client_id_;
   RequestId next_request_id_ = 1;
+  TailCache tails_;
 };
 
 // Whole-cluster assembly for tests/benches.

@@ -135,9 +135,13 @@ void KafkaBroker::HandleFetch(Decoder d, Responder r) {
     out.push_back(WireRecord{*rec});
     bytes += rec->payload.size();
   }
-  cpu_.ExecuteFor(bytes, [out = std::move(out), r]() mutable {
+  const uint64_t leo = log_.end_index();
+  cpu_.ExecuteFor(bytes, [out = std::move(out), leo, r]() mutable {
     Encoder e2;
     e2.PutVector(out);
+    // Trailing log-end-offset piggyback: lets pollers learn the tail without a
+    // separate metadata round trip. Decoders that stop after the vector still parse.
+    e2.PutU64(leo);
     r.Ok(e2);
   });
 }
@@ -237,13 +241,17 @@ void KafkaConsumer::Fetch(uint64_t offset, uint32_t max_records, FetchCallback c
   e.PutU64(offset);
   e.PutU32(max_records);
   endpoint_.Call(leader_, kKafkaFetch, e.Take(),
-                 [cb](Status s, Decoder d) {
+                 [this, cb](Status s, Decoder d) {
                    std::vector<Record> records;
                    if (s.ok()) {
                      std::vector<WireRecord> wire;
                      if (d.GetVector(&wire)) {
                        for (WireRecord& w : wire) {
                          records.push_back(std::move(w.rec));
+                       }
+                       uint64_t leo = 0;
+                       if (d.GetU64(&leo)) {
+                         last_known_leo_ = std::max(last_known_leo_, leo);
                        }
                      } else {
                        s = Status::Internal("bad fetch response");
@@ -266,6 +274,9 @@ KafkaShardAdapter::KafkaShardAdapter(Network* net, const SimParams& params, Shar
   });
   endpoint_.Register(kShardRead, [this](NodeId, Decoder d, Responder r) {
     HandleRead(d, std::move(r));
+  });
+  endpoint_.Register(kShardMultiRangeRead, [this](NodeId, Decoder d, Responder r) {
+    HandleMultiRangeRead(d, std::move(r));
   });
   endpoint_.Register(kShardSetStableGp, [this](NodeId, Decoder d, Responder r) {
     HandleSetStableGp(d, std::move(r));
@@ -451,9 +462,71 @@ void KafkaShardAdapter::ServeRead(const ShardReadReq& req, Responder r) {
                      }
                      resp.records.push_back(PositionedRecord{pos, std::move(wire[i].rec)});
                    }
+                   resp.stable_gp = stable_gp_;
+                   resp.durable_tail = std::max(durable_hint_, stable_gp_);
                    Encoder e2;
                    resp.Encode(e2);
                    r.Ok(e2);
+                 },
+                 params_.rpc_timeout_ns);
+}
+
+void KafkaShardAdapter::HandleMultiRangeRead(Decoder d, Responder r) {
+  auto req = std::make_shared<ShardMultiRangeReadReq>();
+  if (!req->Decode(d)) {
+    r.Send(Status::InvalidArgument("bad multi-range read"));
+    return;
+  }
+  ServeNextRange(std::move(req), 0, std::make_shared<ShardMultiRangeReadResp>(),
+                 std::move(r));
+}
+
+void KafkaShardAdapter::ServeNextRange(std::shared_ptr<ShardMultiRangeReadReq> req, size_t i,
+                                       std::shared_ptr<ShardMultiRangeReadResp> resp,
+                                       Responder r) {
+  // Skip unstable/unknown range starts (count 0); the client re-issues those via the
+  // classic waiting read against this adapter.
+  while (i < req->ranges.size() &&
+         (req->ranges[i].pos >= stable_gp_ ||
+          pos_to_offset_.find(req->ranges[i].pos) == pos_to_offset_.end())) {
+    resp->counts.push_back(0);
+    ++i;
+  }
+  if (i == req->ranges.size()) {
+    resp->stable_gp = stable_gp_;
+    resp->durable_tail = std::max(durable_hint_, stable_gp_);
+    Encoder e;
+    resp->Encode(e);
+    r.Ok(e);
+    return;
+  }
+  const ReadRange range = req->ranges[i];
+  const uint64_t offset = pos_to_offset_[range.pos];
+  Encoder e;
+  e.PutU64(offset);
+  e.PutU32(range.len);
+  const LogPos stable = stable_gp_;
+  endpoint_.Call(kafka_leader_, kKafkaFetch, e.Take(),
+                 [this, req = std::move(req), i, resp, offset, stable, r](Status s,
+                                                                          Decoder d) mutable {
+                   uint32_t served = 0;
+                   std::vector<WireRecord> wire;
+                   if (s.ok() && d.GetVector(&wire)) {
+                     for (size_t k = 0; k < wire.size(); ++k) {
+                       const uint64_t o = offset + k;
+                       if (o - offset_base_ >= offset_pos_.size()) {
+                         break;
+                       }
+                       const LogPos pos = offset_pos_[o - offset_base_];
+                       if (pos >= stable) {
+                         break;
+                       }
+                       resp->records.push_back(PositionedRecord{pos, std::move(wire[k].rec)});
+                       ++served;
+                     }
+                   }
+                   resp->counts.push_back(served);
+                   ServeNextRange(std::move(req), i + 1, std::move(resp), std::move(r));
                  },
                  params_.rpc_timeout_ns);
 }
@@ -467,6 +540,7 @@ void KafkaShardAdapter::HandleSetStableGp(Decoder d, Responder r) {
   if (msg.view >= view_) {
     view_ = msg.view;
     stable_gp_ = std::max(stable_gp_, msg.stable_gp);
+    durable_hint_ = std::max(durable_hint_, msg.durable_tail);
     WakeWaiters();
   }
   r.Send(Status::Ok());

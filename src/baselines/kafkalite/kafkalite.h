@@ -86,10 +86,15 @@ class KafkaConsumer {
   using FetchCallback = std::function<void(Status, std::vector<Record>)>;
   void Fetch(uint64_t offset, uint32_t max_records, FetchCallback cb);
 
+  // Log-end-offset piggybacked on the last fetch reply; a poller can skip a metadata
+  // round trip by fetching from its cursor and reading this instead.
+  uint64_t last_known_leo() const { return last_known_leo_; }
+
  private:
   RpcEndpoint endpoint_;
   SimParams params_;
   NodeId leader_;
+  uint64_t last_known_leo_ = 0;
 };
 
 // Black-box shard adapter: speaks the Erwin-m shard protocol (ordered append batches,
@@ -121,9 +126,14 @@ class KafkaShardAdapter {
 
   void HandleAppendBatch(Decoder d, Responder r);
   void HandleRead(Decoder d, Responder r);
+  void HandleMultiRangeRead(Decoder d, Responder r);
   void HandleSetStableGp(Decoder d, Responder r);
   void HandleTrim(Decoder d, Responder r);
   void ServeRead(const ShardReadReq& req, Responder r);
+  // Serves ranges[i..] of a multi-range read one Kafka fetch at a time, accumulating
+  // into `resp`; unstable/unknown ranges are skipped (the client re-issues them).
+  void ServeNextRange(std::shared_ptr<ShardMultiRangeReadReq> req, size_t i,
+                      std::shared_ptr<ShardMultiRangeReadResp> resp, Responder r);
   void WakeWaiters();
   // Sends `s` plus a ShardOrderAckResp carrying the durable watermark — on every
   // outcome, so a retrying ordering cursor can resynchronize from any reply.
@@ -138,6 +148,7 @@ class KafkaShardAdapter {
   NodeId kafka_leader_;
   ViewId view_ = 0;
   LogPos stable_gp_ = 0;
+  LogPos durable_hint_ = 0;  // last durable tail heard from stable-gp broadcasts
   std::deque<LogPos> offset_pos_;  // kafka offset -> global pos (dense from offset_base_)
   uint64_t offset_base_ = 0;
   std::unordered_map<LogPos, uint64_t> pos_to_offset_;

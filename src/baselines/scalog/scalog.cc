@@ -306,6 +306,7 @@ void ScalogClient::Append(const AppendOptions& options, Buf payload, AppendCallb
 }
 
 void ScalogClient::ReadOne(LogPos pos, std::function<void(Status, PositionedRecord)> cb) {
+  read_stats_.primary_reads++;
   Encoder e;
   e.PutU64(pos);
   endpoint_.Call(ordering_leader_, kScalogLocate, e.Take(),
@@ -369,16 +370,26 @@ void ScalogClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
 
 void ScalogClient::CheckTail(TailCallback cb) {
   endpoint_.Call(ordering_leader_, kScalogTail, "",
-                 [cb](Status s, Decoder d) {
+                 [this, cb](Status s, Decoder d) {
                    if (!s.ok()) {
                      cb(std::move(s), 0, 0);
                      return;
                    }
                    uint64_t total = 0;
                    d.GetU64(&total);
+                   tails_.Note(endpoint_.loop()->Now(), total, total);
                    cb(Status::Ok(), total, total);
                  },
                  params_.rpc_timeout_ns);
+}
+
+bool ScalogClient::CachedTail(LogPos* durable, LogPos* stable) {
+  if (!tails_.Get(endpoint_.loop()->Now(), params_.client_read.tail_cache_ttl_ns, durable,
+                  stable)) {
+    return false;
+  }
+  read_stats_.tail_cache_hits++;
+  return true;
 }
 
 void ScalogClient::Trim(LogPos index, TrimCallback cb) { cb(Status::Ok()); }

@@ -15,6 +15,7 @@
 
 #include "src/baselines/scalog/paxos.h"
 #include "src/common/params.h"
+#include "src/lazylog/read_path.h"
 #include "src/lazylog/shared_log_client.h"
 #include "src/sim/resources.h"
 #include "src/storage/segmented_log.h"
@@ -104,6 +105,10 @@ class ScalogClient : public SharedLogClient {
   ScalogClient(Network* net, const SimParams& params, NodeId ordering_leader,
                std::vector<NodeId> shard_primaries, ClientId client_id);
 
+  // Most recent committed tail heard from CheckTail; fresher than
+  // client_read.tail_cache_ttl_ns only (Scalog acks post-cut, so durable == stable).
+  bool CachedTail(LogPos* durable, LogPos* stable) override;
+
  protected:
   // --- SharedLogClient (reached through LogHandle). Tag and phylog id ride inside the
   // record so the base-class scan fallbacks can serve ReadNext and the named-log reads
@@ -123,6 +128,7 @@ class ScalogClient : public SharedLogClient {
   ClientId client_id_;
   RequestId next_request_id_ = 1;
   uint64_t rr_cursor_ = 0;
+  TailCache tails_;
 };
 
 // Whole-cluster assembly: shards (primary+backup), 3 Paxos acceptors, ordering leader.

@@ -83,16 +83,29 @@ class ChaosRunner {
 
 ChaosRunner::Workload ChaosRunner::MakeWorkloadClient() {
   Workload w;
+  // Every ranged-read reply (routed backup reads included) feeds the read-staleness
+  // oracle: the serving replica, the stable-gp it advertised, and the records served.
+  auto serve_observer = [this](NodeId server, LogPos advertised_stable,
+                               const std::vector<PositionedRecord>& records) {
+    LogPos max_pos = 0;
+    for (const PositionedRecord& rec : records) {
+      max_pos = std::max(max_pos, rec.pos);
+    }
+    history_->RecordReadServe(server, advertised_stable,
+                              static_cast<uint32_t>(records.size()), max_pos);
+  };
   if (options_.mode == ErwinMode::kM) {
     auto c = cluster_->MakeMClient();
     w.node = c->node_id();
     w.id = c->client_id();
+    c->SetReadReplyObserver(serve_observer);
     m_clients_.push_back(c.get());
     w.client = std::move(c);
   } else {
     auto c = cluster_->MakeStClient();
     w.node = c->node_id();
     w.id = c->client_id();
+    c->SetReadReplyObserver(serve_observer);
     st_clients_.push_back(c.get());
     w.client = std::move(c);
   }

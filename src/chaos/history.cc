@@ -34,6 +34,9 @@ constexpr uint8_t kTagLogReadInvoke = 21;
 constexpr uint8_t kTagLogReadRecord = 22;
 constexpr uint8_t kTagLogReadDone = 23;
 constexpr uint8_t kTagReadNextLog = 24;
+// Read scale-out (tag 25): replica-served read replies with their advertised
+// stable-gp. Again an *extra* event, so runs without the observer keep their digests.
+constexpr uint8_t kTagReadServe = 25;
 }  // namespace
 
 void ChaosHistory::FoldEvent(uint8_t tag, uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
@@ -186,6 +189,13 @@ void ChaosHistory::RecordReadError(uint64_t op_id) {
 void ChaosHistory::RecordTail(uint32_t client, LogPos durable, LogPos stable, ViewId view) {
   FoldEvent(kTagTail, client, durable, stable, view);
   tail_samples_.push_back(TailSample{client, loop_->Now(), durable, stable, view});
+}
+
+void ChaosHistory::RecordReadServe(NodeId server, LogPos advertised_stable, uint32_t count,
+                                   LogPos max_pos) {
+  FoldEvent(kTagReadServe, server, advertised_stable, count, max_pos);
+  read_serve_samples_.push_back(
+      ReadServeSample{server, loop_->Now(), advertised_stable, count, max_pos});
 }
 
 void ChaosHistory::RecordSeqGp(NodeId node, ViewId view, LogPos ordered_gp,

@@ -101,6 +101,17 @@ struct TailSample {
   ViewId view = 0;
 };
 
+// One read reply as served by a shard replica (routed reads may land on backups). The
+// reply piggybacks the stable-gp the serving replica advertised at serve time; the
+// read-staleness oracle asserts every returned record position is below it.
+struct ReadServeSample {
+  NodeId server = kInvalidNode;
+  SimTime at = 0;
+  LogPos advertised_stable = 0;
+  uint32_t count = 0;   // records in the reply
+  LogPos max_pos = 0;   // highest record position in the reply (valid when count > 0)
+};
+
 // Sequencing-replica state transition (from SequencingReplica::SetGpObserver).
 struct SeqGpSample {
   NodeId node = kInvalidNode;
@@ -165,6 +176,11 @@ class ChaosHistory {
 
   void RecordTail(uint32_t client, LogPos durable, LogPos stable, ViewId view);
 
+  // One read reply from a shard replica, with the stable-gp it advertised (from the
+  // clients' read-reply observers; covers routed, coalesced, and classic reads).
+  void RecordReadServe(NodeId server, LogPos advertised_stable, uint32_t count,
+                       LogPos max_pos);
+
   // --- cluster-side recording (observer hooks) --------------------------------------
   void RecordSeqGp(NodeId node, ViewId view, LogPos ordered_gp, LogPos stable_gp);
   void RecordShardGp(NodeId node, ShardId shard, ViewId view, LogPos stable_gp);
@@ -184,6 +200,9 @@ class ChaosHistory {
     return log_read_obs_;
   }
   const std::vector<TailSample>& tail_samples() const { return tail_samples_; }
+  const std::vector<ReadServeSample>& read_serve_samples() const {
+    return read_serve_samples_;
+  }
   const std::vector<SeqGpSample>& seq_gp_samples() const { return seq_gp_samples_; }
   const std::vector<ShardGpSample>& shard_gp_samples() const { return shard_gp_samples_; }
   const std::vector<ObservedRecord>& final_log() const { return final_log_; }
@@ -213,6 +232,7 @@ class ChaosHistory {
   std::vector<ReadNextObservation> read_next_obs_;
   std::vector<LogReadObservation> log_read_obs_;
   std::vector<TailSample> tail_samples_;
+  std::vector<ReadServeSample> read_serve_samples_;
   std::vector<SeqGpSample> seq_gp_samples_;
   std::vector<ShardGpSample> shard_gp_samples_;
   std::vector<ObservedRecord> final_log_;

@@ -196,6 +196,29 @@ std::vector<ChaosViolation> CheckReadGating(const ChaosHistory& h) {
   return out;
 }
 
+std::vector<ChaosViolation> CheckReadStaleness(const ChaosHistory& h) {
+  std::vector<ChaosViolation> out;
+  uint64_t reported = 0;
+  for (const ReadServeSample& s : h.read_serve_samples()) {
+    if (s.count == 0) {
+      continue;
+    }
+    // stable is a count: positions < advertised_stable are readable from this replica.
+    if (s.max_pos >= s.advertised_stable) {
+      std::ostringstream os;
+      os << "node " << s.server << " served a read at " << s.at << "ns containing position "
+         << s.max_pos << " while advertising stable-gp " << s.advertised_stable
+         << " in the same reply (record above the replica's own stable prefix)";
+      out.push_back(ChaosViolation{"read-staleness", os.str()});
+      if (++reported >= 16) {
+        out.push_back(ChaosViolation{"read-staleness", "... further violations elided"});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<ChaosViolation> CheckNoOpRule(const ChaosHistory& h) {
   std::vector<ChaosViolation> out;
   FinalIndex index(h);
@@ -594,6 +617,7 @@ std::vector<ChaosViolation> CheckAllInvariants(const ChaosHistory& h, ErwinMode 
   append(CheckBindingImmutability(h));
   append(CheckDurabilityExactlyOnce(h));
   append(CheckReadGating(h));
+  append(CheckReadStaleness(h));
   if (mode == ErwinMode::kSt) {
     append(CheckNoOpRule(h));
   }

@@ -70,6 +70,12 @@ std::vector<ChaosViolation> CheckStreamProjection(const ChaosHistory& h);
 // must not be claimed.
 std::vector<ChaosViolation> CheckLogProjection(const ChaosHistory& h);
 
+// (11) Read staleness (read scale-out): no shard replica — primary or routed-to
+// backup — ever serves a record at or above the stable-gp it advertised in the same
+// reply. The advertised value is the serving replica's own gate at serve time, so a
+// violation means the replica returned data it had not yet learned was stable.
+std::vector<ChaosViolation> CheckReadStaleness(const ChaosHistory& h);
+
 // (10) Promotion safety: scoped to runs whose nemesis log contains a shard-primary
 // deposition (crash or isolation). Every append acked before the first deposition
 // appears exactly once in the final log, and every position observed by a read before

@@ -1,6 +1,6 @@
 // Calibration constants for the simulated testbed. Values are derived from the paper's
 // CloudLab x1170 cluster (Intel E5-2640v4, 25 Gb ConnectX-4, SATA SSD) and from the
-// absolute numbers the paper reports; see DESIGN.md §7 for the derivations. Each
+// absolute numbers the paper reports; see DESIGN.md §8 for the derivations. Each
 // experiment copies and tweaks a SimParams, so nothing here is globally mutable.
 #ifndef SRC_COMMON_PARAMS_H_
 #define SRC_COMMON_PARAMS_H_
@@ -139,6 +139,37 @@ struct KafkaParams {
   uint64_t broker_fixed_ns = 20 * kUs;  // JVM-ish per-batch handling cost
 };
 
+// Client read path (§5.3 read scale-out): replica routing, request coalescing,
+// and tail readahead. Stable reads (strictly below the client's cached stable-gp)
+// may be served by any replica of a shard because every replica gates ServeRead on
+// its own stable-gp broadcast; reads at/above stable still go to the primary, whose
+// waiter queue provides the wait-for-stability semantics.
+struct ClientReadParams {
+  // 0 = always primary (pinned baseline), 1 = legacy static client-modulo pin,
+  // 2 = load-aware power-of-two-choices over per-replica EWMA of observed read
+  //     RTT plus server-piggybacked CPU queue depth (default).
+  uint32_t read_routing_mode = 2;
+  // EWMA smoothing for per-replica cost estimates fed by read replies.
+  double route_ewma_alpha = 0.3;
+  // Aggregation window for coalescing concurrent same-shard read sub-requests into
+  // one multi-range RPC. 0 = coalesce only sub-requests issued at the same simulated
+  // instant (fan-out of a single Read call and exactly-concurrent callers), which
+  // adds zero latency; >0 buffers sub-requests for that long before flushing.
+  uint64_t read_coalesce_window_ns = 0;
+  // Max records packed into one multi-range read RPC; larger ranges are split into
+  // chunks issued as independent pipelined RPCs so shard-side response serialization
+  // CPU overlaps NIC transmission of earlier chunks.
+  uint32_t read_chunk_records = 256;
+  // Sequential-reader speculative prefetch: on a fully-served read, fetch up to this
+  // many records of the stable region past the cursor into a client cache. 0 = off.
+  uint32_t readahead_records = 64;
+  // How long a piggybacked/CheckTail-learned tail stays fresh enough for
+  // CachedTail() to satisfy a poll without an RPC.
+  uint64_t tail_cache_ttl_ns = 1 * kMs;
+  // Erwin-st position-map prefetch span per kShardPosMap fetch (was a hardcoded 1024).
+  uint64_t posmap_readahead = 1024;
+};
+
 // Everything bundled; experiments copy one of these and override fields.
 struct SimParams {
   NetworkParams net;
@@ -172,6 +203,7 @@ struct SimParams {
   uint64_t client_quota_mute_ns = 2 * kMs;
   // Erwin-st read path: position-map poll cadence while a position is not yet ordered.
   uint64_t posmap_poll_interval_ns = 100 * kUs;
+  ClientReadParams client_read;
   uint64_t seed = 1;
 };
 

@@ -14,7 +14,9 @@ ErwinMClient::ErwinMClient(Network* net, const SimParams& params, ClusterView vi
       params_(params),
       view_(std::move(view)),
       client_id_(client_id),
-      rng_(params.seed ^ (0xc11e47a5ULL + client_id)) {
+      rng_(params.seed ^ (0xc11e47a5ULL + client_id)),
+      router_(&params_, &rng_, client_id, &read_stats_),
+      coalescer_(&endpoint_, &params_, &router_, &tails_, &read_stats_) {
   InstallLogRegistry(view_.logs);
 }
 
@@ -257,27 +259,84 @@ void ErwinMClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
     cb(Status::Ok(), {});
     return;
   }
-  ReadAttempt(from, len, std::move(cb), 0);
+  // Serve whatever contiguous prefix the readahead cache holds, fetch the rest.
+  auto cached = std::make_shared<std::vector<PositionedRecord>>();
+  const uint64_t hit = readahead_.TakePrefix(from, len, cached.get());
+  read_stats_.readahead_hits += hit;
+  if (hit == len) {
+    endpoint_.loop()->Schedule(0, [cached, cb = std::move(cb)]() {
+      cb(Status::Ok(), std::move(*cached));
+    });
+    MaybePrefetch(from + len);
+    return;
+  }
+  ReadCallback wrapped = [this, from, len, cached, cb = std::move(cb)](
+                             Status s, std::vector<PositionedRecord> recs) {
+    if (!s.ok()) {
+      cb(std::move(s), {});
+      return;
+    }
+    if (cached->empty()) {
+      cached->swap(recs);
+    } else {
+      for (PositionedRecord& pr : recs) {
+        cached->push_back(std::move(pr));
+      }
+    }
+    MaybePrefetch(from + len);
+    cb(Status::Ok(), std::move(*cached));
+  };
+  ReadAttempt(from + hit, len - hit, std::move(wrapped), 0);
+}
+
+void ErwinMClient::MaybePrefetch(LogPos next) {
+  const auto& cr = params_.client_read;
+  if (cr.readahead_records == 0 || readahead_inflight_) {
+    return;
+  }
+  // Only the stable region is prefetched: those bindings are final, so cached entries
+  // never need revalidation.
+  const LogPos stable = tails_.stable();
+  if (next >= stable || readahead_.Covers(next)) {
+    return;
+  }
+  const uint32_t n =
+      static_cast<uint32_t>(std::min<uint64_t>(cr.readahead_records, stable - next));
+  readahead_inflight_ = true;
+  read_stats_.readahead_fetched += n;
+  ReadAttempt(next, n,
+              [this](Status s, std::vector<PositionedRecord> recs) {
+                readahead_inflight_ = false;
+                if (s.ok()) {
+                  readahead_.Insert(
+                      std::move(recs),
+                      std::max<size_t>(4 * params_.client_read.readahead_records, 1024));
+                }
+              },
+              0);
 }
 
 void ErwinMClient::ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int attempt) {
   const uint32_t n = view_.num_shards();
   struct MergeState {
     std::vector<PositionedRecord> all;
-    Status failure = Status::Ok();
   };
   auto state = std::make_shared<MergeState>();
-  // One sub-read per shard that owns at least one position in [from, from+len).
-  std::vector<std::pair<ShardId, ShardReadReq>> subs;
+  // One sub-read per shard that owns at least one position in [from, from+len): the
+  // shard's positions are from+offset, from+offset+n, ... (p mod n placement).
+  struct Sub {
+    ShardId shard = 0;
+    LogPos first = 0;
+    uint32_t count = 0;
+  };
+  std::vector<Sub> subs;
   for (ShardId s = 0; s < n; ++s) {
     const uint64_t offset = (s + n - static_cast<uint32_t>(from % n)) % n;
     if (offset >= len) {
       continue;
     }
-    ShardReadReq req;
-    req.pos = from + offset;
-    req.len = static_cast<uint32_t>((len - offset + n - 1) / n);
-    subs.emplace_back(s, req);
+    subs.push_back(Sub{s, from + offset,
+                       static_cast<uint32_t>((len - offset + n - 1) / n)});
   }
   auto gather = Gather::Create(
       subs.size(), [this, state, from, len, cb, attempt](const std::vector<Status>& ss) {
@@ -300,38 +359,45 @@ void ErwinMClient::ReadAttempt(LogPos from, uint64_t len, ReadCallback cb, int a
             return;
           }
         }
-        if (!state->failure.ok()) {
-          cb(state->failure, {});
-          return;
-        }
         std::sort(
             state->all.begin(), state->all.end(),
             [](const PositionedRecord& a, const PositionedRecord& b) { return a.pos < b.pos; });
         cb(Status::Ok(), std::move(state->all));
       });
+  const uint32_t chunk = std::max<uint32_t>(1, params_.client_read.read_chunk_records);
+  const LogPos known_stable = tails_.stable();
   for (size_t i = 0; i < subs.size(); ++i) {
-    const auto& [shard, req] = subs[i];
-    // Spread reads over the shard's replicas.
-    const auto& replicas = view_.shards[shard];
-    const NodeId target = replicas[client_id_ % replicas.size()];
+    const Sub& sub = subs[i];
+    const auto& replicas = view_.shards[sub.shard];
     auto slot = gather->Slot(i);
-    endpoint_.CallMsg(target, kShardRead, req,
-                      [state, slot](Status s, Decoder d) {
-                        if (s.ok()) {
-                          ShardReadResp resp;
-                          // Record payloads alias the reply's attachments: they stay
-                          // valid in state->all after the decoder is gone.
-                          if (resp.Decode(d)) {
-                            for (auto& pr : resp.records) {
-                              state->all.push_back(std::move(pr));
-                            }
-                          } else {
-                            state->failure = Status::Internal("bad read response");
-                          }
-                        }
-                        slot(std::move(s), Decoder());
-                      },
-                      params_.rpc_timeout_ns);
+    // Record payloads alias the reply's attachments: they stay valid in state->all
+    // after the decoder is gone.
+    auto merge = [state, slot](Status s, std::vector<PositionedRecord> recs) {
+      if (s.ok()) {
+        for (PositionedRecord& pr : recs) {
+          state->all.push_back(std::move(pr));
+        }
+      }
+      slot(std::move(s), Decoder());
+    };
+    // A sub whose last position is below the cached stable tail is a known-stable read:
+    // its bindings are final on any replica that also considers them stable, so it is
+    // routed load-aware and coalesced. A sub reaching at or above the cached stable
+    // keeps the old semantics — a waiting read at the shard primary.
+    const LogPos last = sub.first + static_cast<uint64_t>(sub.count - 1) * n;
+    if (last < known_stable && !replicas.empty()) {
+      const NodeId primary = replicas[0];
+      const NodeId target = router_.PickStable(replicas);
+      std::vector<ReadRange> ranges;
+      for (uint32_t j0 = 0; j0 < sub.count; j0 += chunk) {
+        ranges.push_back(ReadRange{sub.first + static_cast<uint64_t>(j0) * n,
+                                   std::min(chunk, sub.count - j0)});
+      }
+      coalescer_.Add(target, primary, std::move(ranges), std::move(merge));
+    } else {
+      coalescer_.ClassicRead(replicas[0], sub.first, sub.count, /*nowait=*/false,
+                             std::move(merge));
+    }
   }
 }
 
@@ -370,7 +436,8 @@ void ErwinMClient::ReadNextViaIndex(LogId log, StreamTag tag, LogPos from, uint3
                                ReadNextViaIndex(log, tag, from, max, cb, attempt + 1);
                              });
                        });
-                     });
+                     },
+                     &router_, &tails_);
 }
 
 // --- named-log read / tail (virtual logs) --------------------------------------------------
@@ -410,7 +477,8 @@ void ErwinMClient::ReadLogViaIndex(LogId log, LogPos from, uint64_t len, ReadCal
                 ReadLogViaIndex(log, from, len, cb, attempt + 1);
               });
         });
-      });
+      },
+      &router_, &tails_);
 }
 
 // --- tail / trim ---------------------------------------------------------------------------
@@ -435,9 +503,19 @@ void ErwinMClient::CheckTailAttempt(TailCallback cb, int attempt) {
                      return;
                    }
                    last_tail_view_ = resp.view;
+                   tails_.Note(endpoint_.loop()->Now(), resp.durable, resp.stable);
                    cb(Status::Ok(), resp.durable, resp.stable);
                  },
                  5 * kMs);
+}
+
+bool ErwinMClient::CachedTail(LogPos* durable, LogPos* stable) {
+  if (!tails_.Get(endpoint_.loop()->Now(), params_.client_read.tail_cache_ttl_ns, durable,
+                  stable)) {
+    return false;
+  }
+  read_stats_.tail_cache_hits++;
+  return true;
 }
 
 void ErwinMClient::CheckTailOfLog(LogId log, TailCallback cb) {

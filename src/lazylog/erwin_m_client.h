@@ -13,6 +13,7 @@
 #include "src/common/params.h"
 #include "src/common/random.h"
 #include "src/lazylog/cluster_view.h"
+#include "src/lazylog/read_path.h"
 #include "src/lazylog/shared_log_client.h"
 #include "src/rpc/rpc.h"
 #include "src/rpc/rpc_methods.h"
@@ -38,6 +39,14 @@ class ErwinMClient : public SharedLogClient {
   // scope durable-monotonicity per view using this).
   ViewId last_tail_view() const { return last_tail_view_; }
   uint64_t shard_epoch() const { return view_.shard_epoch; }
+  // Most recent durable/stable tail heard from CheckTail replies and read-reply
+  // piggybacks; true only while fresher than client_read.tail_cache_ttl_ns.
+  bool CachedTail(LogPos* durable, LogPos* stable) override;
+  // Observer over every routed/classic read reply (serving replica, advertised stable,
+  // records); the chaos read-staleness oracle subscribes.
+  void SetReadReplyObserver(ReadCoalescer::ReplyObserver obs) {
+    coalescer_.SetReplyObserver(std::move(obs));
+  }
   ClientId client_id() const { return client_id_; }
   // RPC outcome counters (chaos reports: how much of a run hit timeouts/retries).
   const RpcStats& rpc_stats() const { return endpoint_.stats(); }
@@ -108,6 +117,8 @@ class ErwinMClient : public SharedLogClient {
   void ReadLogViaIndex(LogId log, LogPos from, uint64_t len, ReadCallback cb,
                        int attempt);
   void PollStable(LogPos target, AppendCallback cb);
+  // Prefetches the stable region past a sequential reader's cursor (one in flight).
+  void MaybePrefetch(LogPos next);
 
   RpcEndpoint endpoint_;
   SimParams params_;
@@ -122,6 +133,15 @@ class ErwinMClient : public SharedLogClient {
   std::deque<std::shared_ptr<PendingAppend>> retry_queue_;
   // Per-log client-side quota mute (see SimParams::client_quota_mute_ns).
   std::map<LogId, SimTime> quota_muted_until_;
+
+  // Read scale-out (read_path.h): sub-reads entirely below the cached stable tail are
+  // routed across replicas and coalesced; subs reaching at or above it keep the old
+  // waiting read at the shard primary.
+  ReplicaRouter router_;
+  TailCache tails_;
+  ReadAheadCache readahead_;
+  ReadCoalescer coalescer_;
+  bool readahead_inflight_ = false;
 };
 
 }  // namespace lazylog

@@ -14,7 +14,9 @@ ErwinStClient::ErwinStClient(Network* net, const SimParams& params, ClusterView 
       params_(params),
       view_(std::move(view)),
       client_id_(client_id),
-      rng_(params.seed ^ (0xc11e47a5ULL + client_id)) {
+      rng_(params.seed ^ (0xc11e47a5ULL + client_id)),
+      router_(&params_, &rng_, client_id, &read_stats_),
+      coalescer_(&endpoint_, &params_, &router_, &tails_, &read_stats_) {
   rr_cursor_ = client_id;  // decorrelate shard choice across clients
   InstallLogRegistry(view_.logs);
 }
@@ -299,7 +301,61 @@ void ErwinStClient::Read(LogPos from, uint64_t len, ReadCallback cb) {
     cb(Status::Ok(), {});
     return;
   }
-  auto rd = std::make_shared<PendingRead>(PendingRead{from, len, std::move(cb)});
+  // Serve whatever contiguous prefix the readahead cache holds, fetch the rest.
+  auto cached = std::make_shared<std::vector<PositionedRecord>>();
+  const uint64_t hit = readahead_.TakePrefix(from, len, cached.get());
+  read_stats_.readahead_hits += hit;
+  if (hit == len) {
+    endpoint_.loop()->Schedule(0, [cached, cb = std::move(cb)]() {
+      cb(Status::Ok(), std::move(*cached));
+    });
+    MaybePrefetch(from + len);
+    return;
+  }
+  ReadCallback wrapped = [this, from, len, cached, cb = std::move(cb)](
+                             Status s, std::vector<PositionedRecord> recs) {
+    if (!s.ok()) {
+      cb(std::move(s), {});
+      return;
+    }
+    if (cached->empty()) {
+      cached->swap(recs);
+    } else {
+      for (PositionedRecord& pr : recs) {
+        cached->push_back(std::move(pr));
+      }
+    }
+    MaybePrefetch(from + len);
+    cb(Status::Ok(), std::move(*cached));
+  };
+  auto rd = std::make_shared<PendingRead>(PendingRead{from + hit, len - hit, std::move(wrapped)});
+  TryRead(std::move(rd));
+}
+
+void ErwinStClient::MaybePrefetch(LogPos next) {
+  const auto& cr = params_.client_read;
+  if (cr.readahead_records == 0 || readahead_inflight_ || !cache_enabled_) {
+    return;
+  }
+  // Only the stable region is prefetched: those bindings are final, so cached entries
+  // never need revalidation.
+  const LogPos stable = tails_.stable();
+  if (next >= stable || readahead_.Covers(next)) {
+    return;
+  }
+  const uint32_t n =
+      static_cast<uint32_t>(std::min<uint64_t>(cr.readahead_records, stable - next));
+  readahead_inflight_ = true;
+  read_stats_.readahead_fetched += n;
+  auto rd = std::make_shared<PendingRead>(
+      PendingRead{next, n, [this](Status s, std::vector<PositionedRecord> recs) {
+                    readahead_inflight_ = false;
+                    if (s.ok()) {
+                      readahead_.Insert(
+                          std::move(recs),
+                          std::max<size_t>(4 * params_.client_read.readahead_records, 1024));
+                    }
+                  }});
   TryRead(std::move(rd));
 }
 
@@ -321,16 +377,18 @@ void ErwinStClient::TryRead(std::shared_ptr<PendingRead> rd) {
 
 void ErwinStClient::FetchPosMap(LogPos needed_end, std::function<void()> then) {
   // Bulk fetch with read-ahead; amortizes the mapping roundtrip over many reads (§5.3).
-  constexpr uint64_t kReadAhead = 1024;
+  const uint64_t readahead = std::max<uint64_t>(1, params_.client_read.posmap_readahead);
   ShardPosMapReq req;
   req.from = posmap_.size();
   const uint64_t want =
-      needed_end > posmap_.size() ? needed_end - posmap_.size() : kReadAhead;
-  req.len = static_cast<uint32_t>(std::max<uint64_t>(want, kReadAhead));
+      needed_end > posmap_.size() ? needed_end - posmap_.size() : readahead;
+  req.len = static_cast<uint32_t>(std::max<uint64_t>(want, readahead));
   posmap_fetches_++;
   // Shard 0 predates any runtime-added shard, so its metadata log covers all positions.
+  // Every replica serves the map gated on its own stable-gp, so successive fetches
+  // rotate across shard 0's replicas instead of pinning one.
   const auto& replicas = view_.shards[0];
-  const NodeId target = replicas[client_id_ % replicas.size()];
+  const NodeId target = replicas[(client_id_ + posmap_fetches_) % replicas.size()];
   endpoint_.CallMsg(target, kShardPosMap, req,
                     [this, then = std::move(then)](Status s, Decoder d) mutable {
                       if (s.ok()) {
@@ -339,6 +397,10 @@ void ErwinStClient::FetchPosMap(LogPos needed_end, std::function<void()> then) {
                           for (uint64_t sid : resp.shard_ids) {
                             posmap_.push_back(static_cast<uint32_t>(sid));
                           }
+                          // Every mapped position was stable at the serving replica, so
+                          // the map length is a conservative tail sample.
+                          tails_.Note(endpoint_.loop()->Now(), posmap_.size(),
+                                      posmap_.size());
                         }
                         then();
                         return;
@@ -353,35 +415,37 @@ void ErwinStClient::FetchPosMap(LogPos needed_end, std::function<void()> then) {
 void ErwinStClient::DoRead(std::shared_ptr<PendingRead> rd) {
   struct MergeState {
     std::vector<PositionedRecord> all;
-    Status failure = Status::Ok();
   };
-  auto state = std::make_shared<MergeState>();
-  // Group the positions by owning shard; each shard's positions form one contiguous run
-  // of its local log, so a single ranged read per shard suffices.
-  std::vector<std::pair<NodeId, ShardReadReq>> subs;
-  std::vector<std::pair<ShardId, std::pair<LogPos, uint32_t>>> per_shard;  // first pos, count
+  // Group the positions into per-shard runs in ONE pass. Each shard's positions within
+  // the window form one contiguous run of its local log, so per shard we keep the run's
+  // chunk-granular split points (the coalescer's ReadRanges); a shard-indexed slot table
+  // makes the per-position step O(1) instead of the old scan over seen shards.
+  struct ShardRun {
+    ShardId shard = 0;
+    std::vector<ReadRange> ranges;
+  };
+  const uint32_t chunk = std::max<uint32_t>(1, params_.client_read.read_chunk_records);
+  std::vector<ShardRun> runs;
+  std::vector<int32_t> slot_of_shard;  // shard id -> index into runs; -1 = unseen
   for (LogPos p = rd->from; p < rd->from + rd->len; ++p) {
-    const ShardId s = static_cast<ShardId>(posmap_[p]);
-    bool found = false;
-    for (auto& [sid, fc] : per_shard) {
-      if (sid == s) {
-        fc.second++;
-        found = true;
-        break;
-      }
+    const uint32_t s = posmap_[p];
+    if (s >= slot_of_shard.size()) {
+      slot_of_shard.resize(s + 1, -1);
     }
-    if (!found) {
-      per_shard.push_back({s, {p, 1}});
+    if (slot_of_shard[s] < 0) {
+      slot_of_shard[s] = static_cast<int32_t>(runs.size());
+      runs.push_back(ShardRun{static_cast<ShardId>(s), {ReadRange{p, 1}}});
+      continue;
+    }
+    ShardRun& run = runs[slot_of_shard[s]];
+    if (run.ranges.back().len == chunk) {
+      run.ranges.push_back(ReadRange{p, 1});
+    } else {
+      run.ranges.back().len++;
     }
   }
-  for (const auto& [sid, fc] : per_shard) {
-    ShardReadReq req;
-    req.pos = fc.first;
-    req.len = fc.second;
-    const auto& replicas = view_.shards[sid];
-    subs.emplace_back(replicas[client_id_ % replicas.size()], req);
-  }
-  auto gather = Gather::Create(subs.size(), [this, state, rd](const std::vector<Status>& ss) {
+  auto state = std::make_shared<MergeState>();
+  auto gather = Gather::Create(runs.size(), [this, state, rd](const std::vector<Status>& ss) {
     for (const Status& s : ss) {
       if (!s.ok()) {
         if (rd->attempts >= 10) {
@@ -399,33 +463,30 @@ void ErwinStClient::DoRead(std::shared_ptr<PendingRead> rd) {
         return;
       }
     }
-    if (!state->failure.ok()) {
-      rd->cb(state->failure, {});
-      return;
-    }
     std::sort(state->all.begin(), state->all.end(),
               [](const PositionedRecord& a, const PositionedRecord& b) { return a.pos < b.pos; });
     rd->cb(Status::Ok(), std::move(state->all));
   });
-  for (size_t i = 0; i < subs.size(); ++i) {
+  // Every position here has a posmap entry, and the map server gates on stable-gp — so
+  // every sub is a known-stable read and any replica may serve it. The router picks the
+  // least-loaded of two random replicas; the coalescer batches same-target subs and
+  // falls back to the primary's waiting read if the pick clips.
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const auto& replicas = view_.shards[runs[i].shard];
+    const NodeId primary = replicas[0];
+    const NodeId target = router_.PickStable(replicas);
     auto slot = gather->Slot(i);
-    endpoint_.CallMsg(subs[i].first, kShardRead, subs[i].second,
-                      [state, slot](Status s, Decoder d) {
-                        if (s.ok()) {
-                          ShardReadResp resp;
-                          // Record payloads alias the reply's attachments: they stay
-                          // valid in state->all after the decoder is gone.
-                          if (resp.Decode(d)) {
-                            for (auto& pr : resp.records) {
-                              state->all.push_back(std::move(pr));
-                            }
-                          } else {
-                            state->failure = Status::Internal("bad read response");
-                          }
-                        }
-                        slot(std::move(s), Decoder());
-                      },
-                      params_.rpc_timeout_ns);
+    coalescer_.Add(target, primary, std::move(runs[i].ranges),
+                   [state, slot](Status s, std::vector<PositionedRecord> recs) {
+                     if (s.ok()) {
+                       // Record payloads alias the reply's attachments: they stay
+                       // valid in state->all after the decoder is gone.
+                       for (PositionedRecord& pr : recs) {
+                         state->all.push_back(std::move(pr));
+                       }
+                     }
+                     slot(std::move(s), Decoder());
+                   });
   }
 }
 
@@ -464,7 +525,8 @@ void ErwinStClient::ReadNextViaIndex(LogId log, StreamTag tag, LogPos from, uint
                                ReadNextViaIndex(log, tag, from, max, cb, attempt + 1);
                              });
                        });
-                     });
+                     },
+                     &router_, &tails_);
 }
 
 // --- named-log read / tail (virtual logs) ---------------------------------------------------
@@ -504,7 +566,8 @@ void ErwinStClient::ReadLogViaIndex(LogId log, LogPos from, uint64_t len, ReadCa
                 ReadLogViaIndex(log, from, len, cb, attempt + 1);
               });
         });
-      });
+      },
+      &router_, &tails_);
 }
 
 // --- tail / trim ----------------------------------------------------------------------------
@@ -528,9 +591,19 @@ void ErwinStClient::CheckTailAttempt(TailCallback cb, int attempt) {
                      return;
                    }
                    last_tail_view_ = resp.view;
+                   tails_.Note(endpoint_.loop()->Now(), resp.durable, resp.stable);
                    cb(Status::Ok(), resp.durable, resp.stable);
                  },
                  5 * kMs);
+}
+
+bool ErwinStClient::CachedTail(LogPos* durable, LogPos* stable) {
+  if (!tails_.Get(endpoint_.loop()->Now(), params_.client_read.tail_cache_ttl_ns, durable,
+                  stable)) {
+    return false;
+  }
+  read_stats_.tail_cache_hits++;
+  return true;
 }
 
 void ErwinStClient::CheckTailOfLog(LogId log, TailCallback cb) {

@@ -13,6 +13,7 @@
 #include "src/common/params.h"
 #include "src/common/random.h"
 #include "src/lazylog/cluster_view.h"
+#include "src/lazylog/read_path.h"
 #include "src/lazylog/shared_log_client.h"
 #include "src/rpc/rpc.h"
 #include "src/rpc/rpc_methods.h"
@@ -39,6 +40,14 @@ class ErwinStClient : public SharedLogClient {
   void AppendDataOnly(ShardId shard, Buf payload, AppendCallback cb);
 
   uint64_t posmap_fetches() const { return posmap_fetches_; }
+  // Most recent durable/stable tail heard from CheckTail replies and read-reply
+  // piggybacks; true only while fresher than client_read.tail_cache_ttl_ns.
+  bool CachedTail(LogPos* durable, LogPos* stable) override;
+  // Observer over every routed/classic read reply (serving replica, advertised stable,
+  // records); the chaos read-staleness oracle subscribes.
+  void SetReadReplyObserver(ReadCoalescer::ReplyObserver obs) {
+    coalescer_.SetReplyObserver(std::move(obs));
+  }
   ClientId client_id() const { return client_id_; }
   ViewId view() const { return view_.view; }
   // View that served the most recent successful CheckTail (see ErwinMClient).
@@ -122,6 +131,8 @@ class ErwinStClient : public SharedLogClient {
                        int attempt);
   void DoRead(std::shared_ptr<PendingRead> rd);
   void FetchPosMap(LogPos needed_end, std::function<void()> then);
+  // Prefetches the stable region past a sequential reader's cursor (one in flight).
+  void MaybePrefetch(LogPos next);
 
   RpcEndpoint endpoint_;
   SimParams params_;
@@ -142,6 +153,15 @@ class ErwinStClient : public SharedLogClient {
   bool cache_enabled_ = true;
   bool posmap_fetch_inflight_ = false;
   uint64_t posmap_fetches_ = 0;
+
+  // Read scale-out (read_path.h): every ranged read resolves through the posmap, whose
+  // server gates on stable-gp — so every DoRead position is known-stable and may be
+  // served by any replica via the load-aware router + coalescer.
+  ReplicaRouter router_;
+  TailCache tails_;
+  ReadAheadCache readahead_;
+  ReadCoalescer coalescer_;
+  bool readahead_inflight_ = false;
 };
 
 }  // namespace lazylog

@@ -17,6 +17,7 @@
 #include "src/common/params.h"
 #include "src/index/index_messages.h"
 #include "src/lazylog/cluster_view.h"
+#include "src/lazylog/read_path.h"
 #include "src/lazylog/shared_log_client.h"
 #include "src/rpc/rpc.h"
 #include "src/rpc/rpc_methods.h"
@@ -31,11 +32,17 @@ namespace lazylog {
 // named-log Read path (tag == kNoTag selects the per-log rank list). `fallback` is
 // invoked (instead of `cb`) when the index path cannot serve — index node unreachable,
 // stale shard ids, or a failed shard fetch; the caller supplies its scan there.
+// `router`/`tails` (optional) plug the shard fetches into the client's load-aware
+// replica routing and tail cache: indexed positions are below the index's stable
+// frontier, so any replica may serve them, and a replica whose own frontier trails
+// simply clips — which the resume-cursor clamp below already absorbs.
 inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
                                const ClusterView* view, ClientId client_id, LogId log,
                                StreamTag tag, LogPos from, uint32_t max, bool by_rank,
                                SharedLogClient::ReadNextCallback cb,
-                               std::function<void()> fallback) {
+                               std::function<void()> fallback,
+                               ReplicaRouter* router = nullptr,
+                               TailCache* tails = nullptr) {
   const NodeId index_node = view->index_nodes[client_id % view->index_nodes.size()];
   IndexReadNextReq req;
   req.tag = tag;
@@ -45,8 +52,8 @@ inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
   req.by_rank = by_rank;
   endpoint->CallMsg(
       index_node, kIndexReadNext, req,
-      [endpoint, params, view, client_id, from, max, by_rank, cb = std::move(cb),
-       fallback = std::move(fallback)](Status s, Decoder d) mutable {
+      [endpoint, params, view, client_id, from, max, by_rank, router, tails,
+       cb = std::move(cb), fallback = std::move(fallback)](Status s, Decoder d) mutable {
         if (s.code() == StatusCode::kInvalidArgument) {
           cb(std::move(s), {}, from);
           return;
@@ -83,7 +90,9 @@ inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
         std::vector<std::pair<NodeId, ShardMultiReadReq>> subs;
         for (auto& [shard, sreq] : per_shard) {
           const auto& replicas = view->shards[shard];
-          subs.emplace_back(replicas[client_id % replicas.size()], std::move(sreq));
+          const NodeId target = router ? router->PickStable(replicas)
+                                       : replicas[client_id % replicas.size()];
+          subs.emplace_back(target, std::move(sreq));
         }
         auto gather = Gather::Create(
             subs.size(), [state, resp = std::move(resp), from, max, by_rank,
@@ -135,17 +144,37 @@ inline void IndexSelectiveRead(RpcEndpoint* endpoint, const SimParams* params,
             });
         for (size_t i = 0; i < subs.size(); ++i) {
           auto slot = gather->Slot(i);
+          const NodeId target = subs[i].first;
+          if (router) {
+            router->OnIssue(target);
+          }
+          const SimTime t0 = endpoint->loop()->Now();
           endpoint->CallMsg(subs[i].first, kShardMultiRead, subs[i].second,
-                            [state, slot](Status st, Decoder rd) {
+                            [endpoint, router, tails, target, t0, state,
+                             slot](Status st, Decoder rd) {
+                              bool observed = false;
                               if (st.ok()) {
                                 ShardReadResp rresp;
                                 if (rresp.Decode(rd)) {
+                                  if (router) {
+                                    router->OnReply(target,
+                                                    endpoint->loop()->Now() - t0,
+                                                    rresp.queue_ns);
+                                    observed = true;
+                                  }
+                                  if (tails) {
+                                    tails->Note(endpoint->loop()->Now(),
+                                                rresp.durable_tail, rresp.stable_gp);
+                                  }
                                   for (auto& pr : rresp.records) {
                                     state->by_pos.emplace(pr.pos, std::move(pr.record));
                                   }
                                 } else {
                                   state->decode_failed = true;
                                 }
+                              }
+                              if (router && !observed) {
+                                router->OnReply(target, endpoint->loop()->Now() - t0, 0);
                               }
                               slot(std::move(st), Decoder());
                             },

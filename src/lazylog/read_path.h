@@ -1,0 +1,416 @@
+// Client-side read scale-out machinery (§5.3, DESIGN.md §6): load-aware replica
+// routing, coalesced multi-range reads, and tail caching/readahead.
+//
+// The invariant that makes any of this safe: every shard replica gates ServeRead on its
+// *own* stable-gp, learned from the orderer's broadcasts. A stable position has its
+// final, immutable binding on every replica that considers it stable, so a read of a
+// known-stable range may be served by ANY replica — the worst a lagging backup can do
+// is clip the range short, never return a different binding. Reads at or above the
+// client's stable knowledge keep going to the primary, whose waiter queue provides the
+// wait-for-stability semantics (§4.4).
+#ifndef SRC_LAZYLOG_READ_PATH_H_
+#define SRC_LAZYLOG_READ_PATH_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/params.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/lazylog/shared_log_client.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/rpc_methods.h"
+#include "src/storage/shard_messages.h"
+
+namespace lazylog {
+
+// Load-aware replica selection: power-of-two-choices over a per-replica EWMA of
+// observed read cost (measured RTT plus the server-piggybacked CPU backlog), with an
+// in-flight penalty so a replica is not flooded between feedback samples. Modes 0/1
+// reproduce the old behaviours for A/B benches: always-primary and static
+// client-modulo pinning.
+class ReplicaRouter {
+ public:
+  ReplicaRouter(const SimParams* params, Rng* rng, ClientId client_id, ReadPathStats* stats)
+      : params_(params), rng_(rng), client_id_(client_id), stats_(stats) {}
+
+  // Picks the serving replica for a known-stable read. `replicas[0]` is the primary.
+  NodeId PickStable(const std::vector<NodeId>& replicas) {
+    stats_->routed_reads++;
+    NodeId picked = replicas[0];
+    if (replicas.size() > 1) {
+      switch (params_->client_read.read_routing_mode) {
+        case 0:
+          break;
+        case 1:
+          picked = replicas[client_id_ % replicas.size()];
+          break;
+        default: {
+          // Two distinct uniform choices; lower estimated cost wins. Randomness comes
+          // from the client's seeded rng so chaos replays stay deterministic.
+          const size_t a = rng_->Uniform(replicas.size());
+          size_t b = rng_->Uniform(replicas.size() - 1);
+          if (b >= a) {
+            ++b;
+          }
+          picked = Score(replicas[a]) <= Score(replicas[b]) ? replicas[a] : replicas[b];
+          break;
+        }
+      }
+    }
+    if (picked != replicas[0]) {
+      stats_->backup_routed++;
+    }
+    return picked;
+  }
+
+  void OnIssue(NodeId n) { est_[n].inflight++; }
+
+  // Feedback from a completed (or failed — then queue_ns is 0 and the elapsed time is
+  // the penalty) read RPC.
+  void OnReply(NodeId n, uint64_t elapsed_ns, uint64_t server_queue_ns) {
+    Estimate& e = est_[n];
+    if (e.inflight > 0) {
+      e.inflight--;
+    }
+    const double sample = static_cast<double>(elapsed_ns + server_queue_ns);
+    const double alpha = params_->client_read.route_ewma_alpha;
+    e.ewma = e.ewma == 0.0 ? sample : alpha * sample + (1.0 - alpha) * e.ewma;
+  }
+
+  double Score(NodeId n) const {
+    auto it = est_.find(n);
+    if (it == est_.end()) {
+      return 0.0;  // unexplored replicas look cheap, so p2c explores them
+    }
+    const double base = it->second.ewma;
+    // Each in-flight request is expected to add roughly one service time of queueing.
+    return base + static_cast<double>(it->second.inflight) * (base > 0.0 ? base : 50'000.0);
+  }
+
+ private:
+  struct Estimate {
+    double ewma = 0.0;      // ns; 0 = never observed
+    uint32_t inflight = 0;  // our own outstanding reads against this replica
+  };
+
+  const SimParams* params_;
+  Rng* rng_;
+  ClientId client_id_;
+  ReadPathStats* stats_;
+  std::unordered_map<NodeId, Estimate> est_;
+};
+
+// Most recent durable/stable tail this client has heard — from CheckTail replies and
+// from the piggyback every shard read reply carries. Both tails are monotone under one
+// view, so a stale cached value is merely conservative, never wrong; `Get` additionally
+// applies a freshness TTL for pollers that want a recent value.
+class TailCache {
+ public:
+  void Note(SimTime now, LogPos durable, LogPos stable) {
+    durable_ = std::max(durable_, durable);
+    stable_ = std::max(stable_, stable);
+    noted_at_ = now;
+  }
+
+  bool Get(SimTime now, uint64_t ttl_ns, LogPos* durable, LogPos* stable) const {
+    if (noted_at_ == 0 || now - noted_at_ > ttl_ns) {
+      return false;
+    }
+    *durable = durable_;
+    *stable = stable_;
+    return true;
+  }
+
+  LogPos stable() const { return stable_; }
+  LogPos durable() const { return durable_; }
+
+ private:
+  LogPos durable_ = 0;
+  LogPos stable_ = 0;
+  SimTime noted_at_ = 0;
+};
+
+// Speculatively prefetched stable records, keyed by global position. Only ever holds
+// records that were below stable-gp when fetched, so entries are final bindings and can
+// be served without revalidation.
+class ReadAheadCache {
+ public:
+  // Appends the cached contiguous run starting exactly at `from` (up to `len` records)
+  // to `out` and returns how many were served. Served entries — and everything before
+  // them — are dropped: the sequential reader has moved past.
+  uint64_t TakePrefix(LogPos from, uint64_t len, std::vector<PositionedRecord>* out) {
+    uint64_t served = 0;
+    while (served < len) {
+      auto it = entries_.find(from + served);
+      if (it == entries_.end()) {
+        break;
+      }
+      out->push_back(it->second);
+      ++served;
+    }
+    if (served > 0) {
+      entries_.erase(entries_.begin(), entries_.upper_bound(from + served - 1));
+    }
+    return served;
+  }
+
+  void Insert(std::vector<PositionedRecord> recs, size_t cap) {
+    for (PositionedRecord& pr : recs) {
+      entries_.emplace(pr.pos, std::move(pr));
+    }
+    while (entries_.size() > cap) {
+      entries_.erase(entries_.begin());
+    }
+  }
+
+  bool Covers(LogPos pos) const { return entries_.count(pos) > 0; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<LogPos, PositionedRecord> entries_;
+};
+
+// Merges concurrent same-replica read sub-requests into batched multi-range RPCs.
+//
+// A *sub* is one logical sub-read: a run of consecutive target-local records, expressed
+// as pre-split ReadRanges (the caller owns the position arithmetic — Erwin-st splits on
+// its cached posmap, Erwin-m on its stride — each range at most read_chunk_records
+// long). Subs added for the same target within the aggregation window flush as one or
+// more kShardMultiRangeRead RPCs of at most read_chunk_records each; issuing the chunks
+// as independent RPCs lets the shard's response-serialization CPU for chunk k overlap
+// the NIC transmission of chunk k-1 on large ranges.
+//
+// The batched RPC never waits. A sub whose ranges come back clipped (the serving
+// replica's stable-gp trails the client's knowledge, or the replica is gone) is
+// re-issued in full to the shard primary via the classic waiting read and the results
+// are merged with per-position dedupe — wait semantics live entirely at the primary.
+class ReadCoalescer {
+ public:
+  using SubCallback = std::function<void(Status, std::vector<PositionedRecord>)>;
+  // Fired for every read reply that carries a tail piggyback: (serving replica,
+  // advertised stable-gp, records). The chaos read-staleness oracle subscribes.
+  using ReplyObserver =
+      std::function<void(NodeId, LogPos, const std::vector<PositionedRecord>&)>;
+
+  ReadCoalescer(RpcEndpoint* ep, const SimParams* params, ReplicaRouter* router,
+                TailCache* tails, ReadPathStats* stats)
+      : ep_(ep), params_(params), router_(router), tails_(tails), stats_(stats) {}
+
+  void SetReplyObserver(ReplyObserver obs) { observer_ = std::move(obs); }
+
+  // Enqueues one sub-read routed to `target`; `primary` serves the waiting fallback.
+  // `ranges` must be non-empty, in ascending order, and describe one consecutive run of
+  // target-local records (so the primary fallback can re-read the whole sub as
+  // (first pos, total len)).
+  void Add(NodeId target, NodeId primary, std::vector<ReadRange> ranges, SubCallback cb) {
+    auto sub = std::make_shared<Sub>();
+    sub->pos = ranges.front().pos;
+    for (const ReadRange& range : ranges) {
+      sub->len += range.len;
+    }
+    sub->ranges = std::move(ranges);
+    sub->primary = primary;
+    sub->cb = std::move(cb);
+    stats_->coalesced_subs++;
+    auto& q = pending_[target];
+    q.push_back(std::move(sub));
+    if (q.size() == 1) {
+      ep_->loop()->Schedule(params_->client_read.read_coalesce_window_ns,
+                            [this, target]() { Flush(target); });
+    }
+  }
+
+  // Classic single-range read against one replica (the waiting primary path and the
+  // clipped-sub fallback). Feeds the router and tail cache from the reply piggyback
+  // like the batched path does.
+  void ClassicRead(NodeId target, LogPos pos, uint32_t len, bool nowait, SubCallback cb) {
+    ShardReadReq req{pos, len, nowait};
+    stats_->primary_reads++;
+    router_->OnIssue(target);
+    const SimTime t0 = ep_->loop()->Now();
+    ep_->CallMsg(target, kShardRead, req,
+                 [this, target, t0, cb = std::move(cb)](Status s, Decoder d) {
+                   std::vector<PositionedRecord> recs;
+                   if (s.ok()) {
+                     ShardReadResp resp;
+                     if (resp.Decode(d)) {
+                       NoteReply(target, t0, resp.stable_gp, resp.durable_tail,
+                                 resp.queue_ns, resp.records);
+                       recs = std::move(resp.records);
+                     } else {
+                       s = Status::Internal("bad read response");
+                       router_->OnReply(target, ep_->loop()->Now() - t0, 0);
+                     }
+                   } else {
+                     router_->OnReply(target, ep_->loop()->Now() - t0, 0);
+                   }
+                   cb(std::move(s), std::move(recs));
+                 },
+                 params_->rpc_timeout_ns);
+  }
+
+ private:
+  struct Sub {
+    LogPos pos = 0;     // first position of the run
+    uint32_t len = 0;   // total records across all ranges
+    NodeId primary = kInvalidNode;
+    std::vector<ReadRange> ranges;
+    SubCallback cb;
+    uint32_t outstanding = 0;  // chunk RPCs not yet replied
+    bool clipped = false;
+    bool failed = false;
+    std::vector<PositionedRecord> got;
+  };
+  // One range of one sub inside one RPC.
+  struct Piece {
+    std::shared_ptr<Sub> sub;
+    ReadRange range;
+  };
+
+  void Flush(NodeId target) {
+    auto it = pending_.find(target);
+    if (it == pending_.end()) {
+      return;
+    }
+    std::vector<std::shared_ptr<Sub>> subs = std::move(it->second);
+    pending_.erase(it);
+    const uint32_t chunk = std::max<uint32_t>(1, params_->client_read.read_chunk_records);
+    // Pack ranges into RPCs of at most `chunk` records each, preserving order.
+    std::vector<std::vector<Piece>> rpcs;
+    uint32_t budget = 0;
+    for (auto& sub : subs) {
+      for (const ReadRange& range : sub->ranges) {
+        if (rpcs.empty() || budget + range.len > chunk) {
+          rpcs.emplace_back();
+          budget = 0;
+        }
+        rpcs.back().push_back(Piece{sub, range});
+        budget += range.len;
+        sub->outstanding++;
+      }
+    }
+    stats_->coalesced_batches += rpcs.size();
+    if (rpcs.size() > 1) {
+      stats_->chunk_rpcs += rpcs.size() - 1;
+    }
+    for (auto& pieces : rpcs) {
+      IssueRpc(target, std::move(pieces));
+    }
+  }
+
+  void IssueRpc(NodeId target, std::vector<Piece> pieces) {
+    ShardMultiRangeReadReq req;
+    req.ranges.reserve(pieces.size());
+    for (const Piece& p : pieces) {
+      req.ranges.push_back(p.range);
+    }
+    router_->OnIssue(target);
+    const SimTime t0 = ep_->loop()->Now();
+    ep_->CallMsg(
+        target, kShardMultiRangeRead, req,
+        [this, target, t0, pieces = std::move(pieces)](Status s, Decoder d) mutable {
+          ShardMultiRangeReadResp resp;
+          const bool ok = s.ok() && resp.Decode(d) && resp.counts.size() == pieces.size();
+          if (ok) {
+            NoteReply(target, t0, resp.stable_gp, resp.durable_tail, resp.queue_ns,
+                      resp.records);
+            size_t idx = 0;
+            for (size_t i = 0; i < pieces.size(); ++i) {
+              Piece& p = pieces[i];
+              const uint32_t c = std::min<uint32_t>(
+                  resp.counts[i], static_cast<uint32_t>(resp.records.size() - idx));
+              for (uint32_t k = 0; k < c; ++k) {
+                p.sub->got.push_back(std::move(resp.records[idx + k]));
+              }
+              idx += c;
+              if (c < p.range.len) {
+                p.sub->clipped = true;
+              }
+            }
+          } else {
+            router_->OnReply(target, ep_->loop()->Now() - t0, 0);
+            for (Piece& p : pieces) {
+              p.sub->failed = true;
+            }
+          }
+          for (Piece& p : pieces) {
+            if (--p.sub->outstanding == 0) {
+              FinishSub(p.sub);
+            }
+          }
+        },
+        params_->rpc_timeout_ns);
+  }
+
+  void FinishSub(const std::shared_ptr<Sub>& sub) {
+    if (sub->failed) {
+      // An outright RPC failure (dead or replaced replica) surfaces to the caller: its
+      // retry ladder refreshes the shard membership before retrying, which a silent
+      // primary fallback would never trigger.
+      sub->cb(Status::Timeout("routed read failed"), {});
+      return;
+    }
+    if (!sub->clipped) {
+      Deliver(sub);
+      return;
+    }
+    // The serving replica clipped the run: its stable-gp trails what the client knows.
+    // Re-issue the whole sub to the primary via the classic waiting read;
+    // already-fetched records are deduped at merge. A failure here surfaces to the
+    // caller, whose retry ladder re-resolves the shard config.
+    stats_->clipped_resends++;
+    ClassicRead(sub->primary, sub->pos, sub->len, /*nowait=*/false,
+                [this, sub](Status s, std::vector<PositionedRecord> recs) {
+                  if (!s.ok()) {
+                    sub->cb(std::move(s), {});
+                    return;
+                  }
+                  for (PositionedRecord& pr : recs) {
+                    sub->got.push_back(std::move(pr));
+                  }
+                  Deliver(sub);
+                });
+  }
+
+  void Deliver(const std::shared_ptr<Sub>& sub) {
+    std::sort(sub->got.begin(), sub->got.end(),
+              [](const PositionedRecord& a, const PositionedRecord& b) {
+                return a.pos < b.pos;
+              });
+    sub->got.erase(std::unique(sub->got.begin(), sub->got.end(),
+                               [](const PositionedRecord& a, const PositionedRecord& b) {
+                                 return a.pos == b.pos;
+                               }),
+                   sub->got.end());
+    sub->cb(Status::Ok(), std::move(sub->got));
+  }
+
+  void NoteReply(NodeId target, SimTime t0, LogPos stable, LogPos durable,
+                 uint64_t queue_ns, const std::vector<PositionedRecord>& records) {
+    const SimTime now = ep_->loop()->Now();
+    router_->OnReply(target, now - t0, queue_ns);
+    tails_->Note(now, durable, stable);
+    if (observer_) {
+      observer_(target, stable, records);
+    }
+  }
+
+  RpcEndpoint* ep_;
+  const SimParams* params_;
+  ReplicaRouter* router_;
+  TailCache* tails_;
+  ReadPathStats* stats_;
+  ReplyObserver observer_;
+  std::unordered_map<NodeId, std::vector<std::shared_ptr<Sub>>> pending_;
+};
+
+}  // namespace lazylog
+
+#endif  // SRC_LAZYLOG_READ_PATH_H_

@@ -64,6 +64,40 @@ inline uint64_t OverloadBackoffNs(uint32_t attempt, double jitter01) {
   return base / 2 + static_cast<uint64_t>(static_cast<double>(base / 2) * jitter01);
 }
 
+// Client-side read-path counters (replica routing, request coalescing, tail caching,
+// readahead). Every SharedLogClient owns a set; the Erwin clients drive the full
+// machinery, the eager baselines populate the subset that applies to them.
+struct ReadPathStats {
+  uint64_t routed_reads = 0;      // stable sub-reads sent through the replica router
+  uint64_t backup_routed = 0;     // of those, picks that landed on a non-primary replica
+  uint64_t primary_reads = 0;     // sub-reads pinned to the primary (above-stable / mode 0)
+  uint64_t coalesced_batches = 0; // multi-range RPCs issued
+  uint64_t coalesced_subs = 0;    // sub-reads folded into those RPCs
+  uint64_t chunk_rpcs = 0;        // extra RPCs from splitting large ranges into chunks
+  uint64_t clipped_resends = 0;   // clipped/failed sub-reads re-issued to the primary
+  uint64_t tail_cache_hits = 0;   // CheckTail-equivalents answered from the tail cache
+  uint64_t readahead_hits = 0;    // records served from the readahead cache
+  uint64_t readahead_fetched = 0; // records speculatively prefetched
+};
+
+struct ReadPathStatsSnapshot {
+  ReadPathStats counters;
+  StatsFields Fields() const {
+    return {
+        {"routed_reads", static_cast<double>(counters.routed_reads)},
+        {"backup_routed", static_cast<double>(counters.backup_routed)},
+        {"primary_reads", static_cast<double>(counters.primary_reads)},
+        {"coalesced_batches", static_cast<double>(counters.coalesced_batches)},
+        {"coalesced_subs", static_cast<double>(counters.coalesced_subs)},
+        {"chunk_rpcs", static_cast<double>(counters.chunk_rpcs)},
+        {"clipped_resends", static_cast<double>(counters.clipped_resends)},
+        {"tail_cache_hits", static_cast<double>(counters.tail_cache_hits)},
+        {"readahead_hits", static_cast<double>(counters.readahead_hits)},
+        {"readahead_fetched", static_cast<double>(counters.readahead_fetched)},
+    };
+  }
+};
+
 // Per-append options. The single Append entry point takes this instead of the old
 // tagged/untagged overload pair; future per-append knobs slot in here without touching
 // every implementation again. `log` is normally stamped by the LogHandle the append
@@ -136,6 +170,14 @@ class SharedLogClient {
   }
   const std::vector<LogRegistryEntry>& log_registry() const { return log_registry_; }
 
+  // Last tail piggybacked on a read reply or learned from CheckTail, if still within
+  // client_read.tail_cache_ttl_ns. Pollers (PeriodicTailReader) consult this before
+  // paying for a CheckTail round trip. Default: nothing cached.
+  virtual bool CachedTail(LogPos* durable, LogPos* stable) { return false; }
+
+  // Point-in-time copy of the client-side read-path counters (bench JSON / tests).
+  ReadPathStatsSnapshot ReadPathSnapshot() const { return {read_stats_}; }
+
  protected:
   friend class LogHandle;
 
@@ -193,6 +235,10 @@ class SharedLogClient {
                           std::function<void(Status, LogId)> cb) {
     cb(Status::InvalidArgument("unknown log: " + name), kDefaultLog);
   }
+
+  // Mutated by the implementation's read path (and the read_path.h helpers, which hold
+  // a pointer to it).
+  ReadPathStats read_stats_;
 
  private:
   struct ScanState;

@@ -59,6 +59,8 @@ inline constexpr MethodId kShardPromote = 318;       // controller -> replica: a
 inline constexpr MethodId kShardBackfill = 319;      // new primary -> peer backup: fetch the
                                                      // record bound at a position (payload
                                                      // back-fill during promotion handoff)
+inline constexpr MethodId kShardMultiRangeRead = 320;  // client -> any replica: coalesced
+                                                       // multi-range stable read (never waits)
 
 // --- index tier: 800 block ---
 inline constexpr MethodId kIndexReadNext = 800;      // client -> index node: tag position scan

@@ -865,7 +865,9 @@ void SequencingReplica::ArmGcRetry() {
 }
 
 void SequencingReplica::BroadcastStableGp() {
-  StableGpMsg msg{view_, stable_gp_};
+  // Piggyback the durable frontier (same formula CheckTail answers with) so shard
+  // replicas can advertise a recent durable tail on their read replies.
+  StableGpMsg msg{view_, stable_gp_, ordered_gp_ + log_.size()};
   Encoder enc;
   msg.Encode(enc);
   // One backing shared across the broadcast; each Call copies a handle.

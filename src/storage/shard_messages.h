@@ -81,11 +81,90 @@ struct ShardReadReq {
   bool Decode(Decoder& d) { return d.GetU64(&pos) && d.GetU32(&len) && d.GetBool(&nowait); }
 };
 
+// Read reply. Besides the records, every reply piggybacks the serving replica's view
+// of the log tail (stable_gp count-semantics stable frontier, durable_tail learned from
+// the orderer's broadcasts) so tail pollers can skip a CheckTail round trip, plus the
+// replica's current CPU queue depth in nanoseconds, which feeds the client-side
+// load-aware replica router.
 struct ShardReadResp {
   std::vector<PositionedRecord> records;
+  LogPos stable_gp = 0;      // serving replica's stable frontier at reply time
+  LogPos durable_tail = 0;   // serving replica's last-heard durable tail (may lag)
+  uint64_t queue_ns = 0;     // serving replica's CPU backlog when the request was handled
 
-  void Encode(Encoder& e) const { e.PutVector(records); }
-  bool Decode(Decoder& d) { return d.GetVector(&records); }
+  void Encode(Encoder& e) const {
+    e.PutVector(records);
+    e.PutU64(stable_gp);
+    e.PutU64(durable_tail);
+    e.PutU64(queue_ns);
+  }
+  bool Decode(Decoder& d) {
+    return d.GetVector(&records) && d.GetU64(&stable_gp) && d.GetU64(&durable_tail) &&
+           d.GetU64(&queue_ns);
+  }
+};
+
+// One contiguous read sub-range: up to `len` consecutive records *local to the target
+// shard* starting at global position `pos` (same walk the server does for ShardReadReq).
+struct ReadRange {
+  static constexpr size_t kMinEncodedSize = 12;  // pos + len
+  LogPos pos = 0;
+  uint32_t len = 1;
+
+  void Encode(Encoder& e) const {
+    e.PutU64(pos);
+    e.PutU32(len);
+  }
+  bool Decode(Decoder& d) { return d.GetU64(&pos) && d.GetU32(&len); }
+};
+
+// Client -> shard server: coalesced multi-range read. Serves every range in one
+// request-handling pass and never waits: sub-ranges that start at/above the serving
+// replica's stable-gp (or at a trimmed/foreign position) are clipped or omitted, and
+// the client re-issues the remainder to the primary via the classic waiting read.
+// Response is a ShardReadResp with the union of all served ranges.
+struct ShardMultiRangeReadReq {
+  std::vector<ReadRange> ranges;
+
+  void Encode(Encoder& e) const { e.PutVector(ranges); }
+  bool Decode(Decoder& d) { return d.GetVector(&ranges); }
+};
+
+// Reply to a multi-range read: `records` is the concatenation of the per-range record
+// runs in request order, and `counts[i]` says how many of them belong to range i — the
+// partition is explicit because ranges from different callers may overlap or abut.
+// Carries the same tail/queue piggyback as ShardReadResp.
+struct ShardMultiRangeReadResp {
+  std::vector<uint32_t> counts;
+  std::vector<PositionedRecord> records;
+  LogPos stable_gp = 0;
+  LogPos durable_tail = 0;
+  uint64_t queue_ns = 0;
+
+  void Encode(Encoder& e) const {
+    e.PutU32(static_cast<uint32_t>(counts.size()));
+    for (uint32_t c : counts) {
+      e.PutU32(c);
+    }
+    e.PutVector(records);
+    e.PutU64(stable_gp);
+    e.PutU64(durable_tail);
+    e.PutU64(queue_ns);
+  }
+  bool Decode(Decoder& d) {
+    uint32_t n = 0;
+    if (!d.GetU32(&n)) {
+      return false;
+    }
+    counts.assign(n, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!d.GetU32(&counts[i])) {
+        return false;
+      }
+    }
+    return d.GetVector(&records) && d.GetU64(&stable_gp) && d.GetU64(&durable_tail) &&
+           d.GetU64(&queue_ns);
+  }
 };
 
 // Erwin-st client data write: durable-on-arrival record data, not yet ordered. The
@@ -261,16 +340,22 @@ struct ShardMultiReadReq {
 };
 
 // Orderer/controller -> shard server: advance the stable global position. `stable_gp`
-// uses count semantics: positions < stable_gp are stable and readable.
+// uses count semantics: positions < stable_gp are stable and readable. `durable_tail`
+// is the sequencing leader's durable frontier at broadcast time (ordered_gp + unordered
+// ring size); replicas cache it so read replies can piggyback a recent durable tail.
 struct StableGpMsg {
   ViewId view = 0;
   LogPos stable_gp = 0;
+  LogPos durable_tail = 0;
 
   void Encode(Encoder& e) const {
     e.PutU64(view);
     e.PutU64(stable_gp);
+    e.PutU64(durable_tail);
   }
-  bool Decode(Decoder& d) { return d.GetU64(&view) && d.GetU64(&stable_gp); }
+  bool Decode(Decoder& d) {
+    return d.GetU64(&view) && d.GetU64(&stable_gp) && d.GetU64(&durable_tail);
+  }
 };
 
 // Controller -> shard server: fence the epoch. After this, any orderer/data-path message

@@ -141,6 +141,9 @@ ShardServer::ShardServer(Network* net, const SimParams& params, ShardMode mode,
   endpoint_.Register(kShardMultiRead, [this](NodeId, Decoder d, Responder r) {
     HandleMultiRead(d, std::move(r));
   });
+  endpoint_.Register(kShardMultiRangeRead, [this](NodeId, Decoder d, Responder r) {
+    HandleMultiRangeRead(d, std::move(r));
+  });
   endpoint_.Register(kShardTrim, [this](NodeId, Decoder d, Responder r) {
     HandleTrim(d, std::move(r));
   });
@@ -805,6 +808,9 @@ void ShardServer::ServeRead(const ShardReadReq& req, Responder r) {
     r.Send(Status::Internal("stable position not on this shard"));
     return;
   }
+  if (!is_primary()) {
+    stats_.backup_reads++;
+  }
   ShardReadResp resp;
   uint64_t local = it->second;
   uint64_t bytes = 0;
@@ -823,11 +829,21 @@ void ShardServer::ServeRead(const ShardReadReq& req, Responder r) {
     resp.records.push_back(PositionedRecord{pos, *rec});
     bytes += rec->payload.size();
   }
+  FillReadPiggyback(&resp);
   cpu_.ExecuteFor(bytes, [resp = std::move(resp), r]() mutable {
     Encoder e;
     resp.Encode(e);
     r.Ok(e);
   });
+}
+
+void ShardServer::FillReadPiggyback(ShardReadResp* resp) {
+  resp->stable_gp = stable_gp_;
+  // The leader's durable tail can never trail stable-gp; surface at least that much
+  // even before the first extended broadcast arrives.
+  resp->durable_tail = std::max(durable_hint_, stable_gp_);
+  const SimTime now = endpoint_.loop()->Now();
+  resp->queue_ns = cpu_.busy_until() > now ? cpu_.busy_until() - now : 0;
 }
 
 void ShardServer::HandleSetStableGp(Decoder d, Responder r) {
@@ -842,6 +858,7 @@ void ShardServer::HandleSetStableGp(Decoder d, Responder r) {
   }
   view_ = std::max(view_, msg.view);
   stable_gp_ = std::max(stable_gp_, msg.stable_gp);
+  durable_hint_ = std::max(durable_hint_, msg.durable_tail);
   if (stable_gp_observer_) {
     stable_gp_observer_(view_, stable_gp_);
   }
@@ -974,6 +991,67 @@ void ShardServer::HandleMultiRead(Decoder d, Responder r) {
     bytes += rec->payload.size();
   }
   stats_.fast_reads++;
+  if (!is_primary()) {
+    stats_.backup_reads++;
+  }
+  FillReadPiggyback(&resp);
+  cpu_.ExecuteFor(bytes, [resp = std::move(resp), r]() mutable {
+    Encoder e;
+    resp.Encode(e);
+    r.Ok(e);
+  });
+}
+
+void ShardServer::HandleMultiRangeRead(Decoder d, Responder r) {
+  ShardMultiRangeReadReq req;
+  if (!req.Decode(d)) {
+    r.Send(Status::InvalidArgument("bad multi-range read"));
+    return;
+  }
+  // Never waits: each range is walked exactly like ShardReadReq but clipped at this
+  // replica's stable frontier (or a trimmed/foreign start position). The client detects
+  // short ranges and re-issues the remainder to the primary via the classic waiting
+  // read, so wait semantics live entirely at the primary.
+  ShardMultiRangeReadResp resp;
+  uint64_t bytes = 0;
+  for (const ReadRange& range : req.ranges) {
+    uint32_t served = 0;
+    auto it = pos_to_local_.find(range.pos);
+    if (it != pos_to_local_.end() && range.pos >= trimmed_below_ &&
+        (range.pos < stable_gp_ || read_gate_disabled_)) {
+      uint64_t local = it->second;
+      for (uint32_t i = 0; i < range.len; ++i, ++local) {
+        if (local >= log_.end_index() || local - local_pos_base_ >= local_pos_.size()) {
+          break;
+        }
+        const LogPos pos = local_pos_[local - local_pos_base_];
+        if (pos >= stable_gp_ && !read_gate_disabled_) {
+          break;
+        }
+        const Record* rec = log_.Get(local);
+        if (rec == nullptr) {
+          break;
+        }
+        resp.records.push_back(PositionedRecord{pos, *rec});
+        bytes += rec->payload.size();
+        ++served;
+      }
+    }
+    resp.counts.push_back(served);
+    if (served < range.len) {
+      stats_.multirange_ranges_clipped++;
+    }
+  }
+  stats_.fast_reads++;
+  stats_.multirange_reads++;
+  if (!is_primary()) {
+    stats_.backup_reads++;
+  }
+  ShardReadResp piggy;
+  FillReadPiggyback(&piggy);
+  resp.stable_gp = piggy.stable_gp;
+  resp.durable_tail = piggy.durable_tail;
+  resp.queue_ns = piggy.queue_ns;
   cpu_.ExecuteFor(bytes, [resp = std::move(resp), r]() mutable {
     Encoder e;
     resp.Encode(e);
@@ -1448,6 +1526,10 @@ StatsFields ShardStatsSnapshot::Fields() const {
       {"data_puts", static_cast<double>(counters.data_puts)},
       {"fast_reads", static_cast<double>(counters.fast_reads)},
       {"slow_reads", static_cast<double>(counters.slow_reads)},
+      {"backup_reads", static_cast<double>(counters.backup_reads)},
+      {"multirange_reads", static_cast<double>(counters.multirange_reads)},
+      {"multirange_ranges_clipped",
+       static_cast<double>(counters.multirange_ranges_clipped)},
       {"noops_created", static_cast<double>(counters.noops_created)},
       {"rejected_puts", static_cast<double>(counters.rejected_puts)},
       {"windows_applied", static_cast<double>(counters.windows_applied)},

@@ -34,6 +34,9 @@ struct ShardStats {
   uint64_t data_puts = 0;       // Erwin-st unordered data writes
   uint64_t fast_reads = 0;      // served immediately (pos <= stable-gp)
   uint64_t slow_reads = 0;      // had to wait for stable-gp to advance
+  uint64_t backup_reads = 0;    // reads served while not the shard primary
+  uint64_t multirange_reads = 0;          // coalesced multi-range read RPCs served
+  uint64_t multirange_ranges_clipped = 0; // sub-ranges clipped/omitted (client re-issues)
   uint64_t noops_created = 0;   // Erwin-st missing-data resolutions
   uint64_t rejected_puts = 0;   // late data after no-op
   uint64_t windows_applied = 0; // ordering windows applied in span order
@@ -166,6 +169,7 @@ class ShardServer {
   void HandlePosMap(Decoder d, Responder r);
   void HandleIndexDelta(Decoder d, Responder r);  // index node -> primary: tag index pull
   void HandleMultiRead(Decoder d, Responder r);   // client sparse position batch read
+  void HandleMultiRangeRead(Decoder d, Responder r);  // coalesced multi-range read
   void HandleTrim(Decoder d, Responder r);
   void HandleFetchState(Decoder d, Responder r);
   void HandleSeal(Decoder d, Responder r);        // controller -> shard: fence the epoch
@@ -242,6 +246,9 @@ class ShardServer {
   void ApplyFetchedRecord(const RecordId& id, const Status& s, Decoder d);
 
   void ServeRead(const ShardReadReq& req, Responder r);
+  // Stamps a read reply with this replica's stable/durable tails and current CPU
+  // backlog (the router/tail-cache feedback every read reply carries).
+  void FillReadPiggyback(ShardReadResp* resp);
   void WakeWaiters();
   uint64_t DiskAdmissionDelay() const;
   void ScrubOrphans();
@@ -260,6 +267,9 @@ class ShardServer {
 
   ViewId view_ = 0;
   LogPos stable_gp_ = 0;  // positions < stable_gp_ are readable (count semantics)
+  // Last durable tail heard from the orderer's stable-gp broadcasts; advertised on read
+  // replies so tail pollers can skip CheckTail. May lag the leader, never exceeds it.
+  LogPos durable_hint_ = 0;
 
   // Ordering-stream frontiers (global positions, count semantics). order_applied_ is
   // the contiguous span frontier of applied windows; order_durable_ is the contiguous

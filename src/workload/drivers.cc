@@ -171,6 +171,22 @@ void PeriodicTailReader::Tick() {
     return;
   }
   busy_ = true;
+  // Shard read replies piggyback the durable/stable tail; a fresh cached value skips
+  // the CheckTail round trip entirely. The cache holds the global (default-log) tail,
+  // so named-log handles always fall through to the RPC.
+  if (log_.id() == kDefaultLog) {
+    LogPos cached_durable = 0;
+    LogPos cached_stable = 0;
+    if (log_.client()->CachedTail(&cached_durable, &cached_stable)) {
+      if (cached_durable <= cursor_) {
+        busy_ = false;
+        loop_->Schedule(options_.period_ns, [this]() { Tick(); });
+        return;
+      }
+      ReadNext(cached_durable);
+      return;
+    }
+  }
   log_.CheckTail([this](Status s, LogPos durable, LogPos) {
     if (!s.ok() || durable <= cursor_) {
       busy_ = false;

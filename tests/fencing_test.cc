@@ -218,6 +218,9 @@ TEST(Fencing, InFlightAppendsSurviveViewChangeExactlyOnce) {
 
 TEST(Fencing, ShardReplacementFlowsThroughControlPlaneToClients) {
   ErwinClusterOptions copts = MOptions(13);
+  // Legacy client-modulo routing: this test is specifically about the one replica the
+  // client's reads are pinned to, so the load-aware router must not pick around it.
+  copts.params.client_read.read_routing_mode = 1;
   ErwinCluster c(copts);
   auto client = c.MakeMClient();  // client_id 1: reads replica index 1 % 3 of each shard
   ASSERT_EQ(client->client_id() % copts.shard_replication, 1u);

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/lazylog/erwin_cluster.h"
+#include "src/lazylog/read_path.h"
 #include "tests/test_util.h"
 
 namespace lazylog {
@@ -224,6 +225,89 @@ TEST(PrimaryFailover, MModePromotionKeepsLogAvailable) {
   }
   cluster.RunFor(100 * kMs);
   EXPECT_EQ(ReadAll(cluster, 14).size(), 14u);
+}
+
+TEST(PrimaryFailover, RoutedReadsSurviveBackupPromotionMidFlight) {
+  // Load-aware routing sends stable reads to backups; here the backup serving them is
+  // promoted mid-stream. Reads issued across the whole failover window — before the
+  // crash, during detection/seal/handoff, and after the role flip — must all return
+  // the same stable prefix: a promoted backup keeps its stable bindings, and a routed
+  // read that lands on the dead primary propagates an error that the client's retry
+  // ladder absorbs by re-resolving and retrying.
+  ErwinCluster cluster(Options(ErwinMode::kSt));
+  ASSERT_EQ(cluster.params().client_read.read_routing_mode, 2u);
+  auto client = cluster.MakeStClient();
+  constexpr uint64_t kN = 16;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(AppendSyncly(cluster.loop(), *client, "rr-" + std::to_string(i)));
+  }
+  cluster.RunFor(100 * kMs);
+  const std::map<std::string, LogPos> before = ReadAll(cluster, kN);
+  ASSERT_EQ(before.size(), kN);
+
+  cluster.CrashShardPrimary(0);
+  // During the detection window the old primary is dead but no promotion has been
+  // committed yet: the stable prefix must stay readable off the surviving backups.
+  auto mid = ReadSyncly(cluster.loop(), *client, 0, kN, 10 * kSec);
+  ASSERT_TRUE(mid.has_value()) << "stable prefix unreadable during the failover window";
+  ASSERT_EQ(mid->size(), kN);
+  for (const auto& rec : *mid) {
+    ASSERT_EQ(before.count(rec.record.payload.ToString()), 1u);
+    EXPECT_EQ(before.at(rec.record.payload.ToString()), rec.pos)
+        << "binding moved mid-failover";
+  }
+
+  cluster.RunFor(2 * kSec);
+  EXPECT_EQ(cluster.controller()->shard_promotions(), 1u);
+  // The promoted ex-backup now serves as primary; the same client (stale or refreshed)
+  // still reads the identical bindings, and new appends land after them.
+  const std::map<std::string, LogPos> after = ReadAll(cluster, kN);
+  ASSERT_EQ(after.size(), kN);
+  for (const auto& [payload, pos] : before) {
+    ASSERT_EQ(after.count(payload), 1u) << payload;
+    EXPECT_EQ(after.at(payload), pos) << payload;
+  }
+  auto writer = cluster.MakeStClient();
+  ASSERT_TRUE(AppendSyncly(cluster.loop(), *writer, "post-promo"));
+  cluster.RunFor(100 * kMs);
+  EXPECT_EQ(ReadAll(cluster, kN + 1).size(), kN + 1);
+}
+
+TEST(PrimaryFailover, StaleViewMultiRangeReadReResolvesShardConfig) {
+  // The coalesced multi-range RPC against a replaced replica must fail through to the
+  // client's retry ladder (not be silently absorbed), so the stale client refreshes
+  // "/shards/config" and finishes the read against the new membership.
+  ErwinClusterOptions opts = Options(ErwinMode::kSt);
+  // Pin routing to replica client_id % 3 so the read deterministically targets the
+  // replica this test replaces (same scheme as the fencing test, st multi-range path).
+  opts.params.client_read.read_routing_mode = 1;
+  ErwinCluster cluster(opts);
+  auto client = cluster.MakeStClient();
+  ASSERT_EQ(client->client_id() % cluster.shard_replication(), 1u);
+  constexpr uint64_t kN = 12;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(AppendSyncly(cluster.loop(), *client, "sv-" + std::to_string(i)));
+  }
+  cluster.RunFor(100 * kMs);
+  auto warm = ReadSyncly(cluster.loop(), *client, 0, kN, 10 * kSec);
+  ASSERT_TRUE(warm.has_value());
+  ASSERT_EQ(warm->size(), kN);
+  ASSERT_EQ(client->shard_epoch(), 1u);
+
+  // Replace the exact backups this client's routed reads are pinned to, on both
+  // shards; the stale client's next multi-range read hits a dead node.
+  cluster.ReplaceShardReplica(0, 1);
+  cluster.ReplaceShardReplica(1, 1);
+  cluster.RunFor(50 * kMs);
+  ASSERT_EQ(cluster.controller()->shard_epoch(), 3u);
+
+  auto after = ReadSyncly(cluster.loop(), *client, 0, kN, 10 * kSec);
+  ASSERT_TRUE(after.has_value()) << "stale-view multi-range read never recovered";
+  ASSERT_EQ(after->size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ((*after)[i].pos, i);
+  }
+  EXPECT_EQ(client->shard_epoch(), 3u) << "client never re-resolved the shard config";
 }
 
 TEST(PrimaryFailover, ControllerSnapshotExportsFailoverCounters) {

@@ -1,0 +1,465 @@
+// Read scale-out tests (DESIGN.md read path): load-aware replica routing (p2c over
+// per-replica EWMA), coalesced multi-range reads with chunking, the tail cache fed by
+// reply piggybacks, sequential readahead, and the posmap prefetch knob. Unit tests
+// cover the router/caches/codecs in isolation; the cluster tests assert the end-to-end
+// counters and that routed reads return exactly the pinned-path results.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/lazylog/erwin_cluster.h"
+#include "src/lazylog/read_path.h"
+#include "tests/test_util.h"
+
+namespace lazylog {
+namespace {
+
+// --- codec round trips ----------------------------------------------------------------
+
+TEST(MultiRangeCodec, RequestRoundTrip) {
+  ShardMultiRangeReadReq req;
+  req.ranges.push_back(ReadRange{0, 4});
+  req.ranges.push_back(ReadRange{17, 1});
+  req.ranges.push_back(ReadRange{1000000, 256});
+  Encoder e;
+  req.Encode(e);
+  Decoder d(e.data());
+  ShardMultiRangeReadReq back;
+  ASSERT_TRUE(back.Decode(d));
+  ASSERT_EQ(back.ranges.size(), 3u);
+  EXPECT_EQ(back.ranges[0].pos, 0u);
+  EXPECT_EQ(back.ranges[0].len, 4u);
+  EXPECT_EQ(back.ranges[2].pos, 1000000u);
+  EXPECT_EQ(back.ranges[2].len, 256u);
+  EXPECT_TRUE(d.Done());
+}
+
+TEST(MultiRangeCodec, ResponseRoundTripWithPiggyback) {
+  ShardMultiRangeReadResp resp;
+  resp.counts = {2, 0, 1};
+  for (LogPos p : {5u, 6u, 40u}) {
+    PositionedRecord rec;
+    rec.pos = p;
+    rec.record.payload = Buf("payload-" + std::to_string(p));
+    resp.records.push_back(std::move(rec));
+  }
+  resp.stable_gp = 41;
+  resp.durable_tail = 44;
+  resp.queue_ns = 12345;
+  Encoder e;
+  resp.Encode(e);
+  // Record payloads ride as attachments, so the decoder needs the attachment list.
+  Decoder d(e.TakeBuf(), e.TakeAtts());
+  ShardMultiRangeReadResp back;
+  ASSERT_TRUE(back.Decode(d));
+  EXPECT_EQ(back.counts, (std::vector<uint32_t>{2, 0, 1}));
+  ASSERT_EQ(back.records.size(), 3u);
+  EXPECT_EQ(back.records[2].pos, 40u);
+  EXPECT_EQ(back.records[2].record.payload.ToString(), "payload-40");
+  EXPECT_EQ(back.stable_gp, 41u);
+  EXPECT_EQ(back.durable_tail, 44u);
+  EXPECT_EQ(back.queue_ns, 12345u);
+  EXPECT_TRUE(d.Done());
+}
+
+TEST(MultiRangeCodec, TruncatedResponseFailsCleanly) {
+  ShardMultiRangeReadResp resp;
+  resp.counts = {1};
+  PositionedRecord rec;
+  rec.pos = 3;
+  rec.record.payload = Buf("x");
+  resp.records.push_back(std::move(rec));
+  Encoder e;
+  resp.Encode(e);
+  Buf full = e.data();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    Decoder d(Buf(full.ToString().substr(0, cut)));
+    ShardMultiRangeReadResp back;
+    EXPECT_FALSE(back.Decode(d)) << "decoded from a " << cut << "-byte prefix";
+  }
+}
+
+// --- ReplicaRouter --------------------------------------------------------------------
+
+TEST(ReplicaRouter, ModeZeroAlwaysPicksPrimary) {
+  SimParams params;
+  params.client_read.read_routing_mode = 0;
+  Rng rng(7);
+  ReadPathStats stats;
+  ReplicaRouter router(&params, &rng, /*client_id=*/3, &stats);
+  const std::vector<NodeId> replicas = {10, 11, 12};
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(router.PickStable(replicas), 10u);
+  }
+  EXPECT_EQ(stats.routed_reads, 32u);
+  EXPECT_EQ(stats.backup_routed, 0u);
+}
+
+TEST(ReplicaRouter, ModeOneIsClientModuloPin) {
+  SimParams params;
+  params.client_read.read_routing_mode = 1;
+  Rng rng(7);
+  ReadPathStats stats;
+  ReplicaRouter router(&params, &rng, /*client_id=*/4, &stats);
+  const std::vector<NodeId> replicas = {10, 11, 12};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(router.PickStable(replicas), 11u);  // 4 % 3 == 1
+  }
+  EXPECT_EQ(stats.backup_routed, 16u);
+}
+
+TEST(ReplicaRouter, PowerOfTwoChoicesSpreadsAcrossReplicas) {
+  SimParams params;  // mode 2 default
+  Rng rng(42);
+  ReadPathStats stats;
+  ReplicaRouter router(&params, &rng, /*client_id=*/1, &stats);
+  const std::vector<NodeId> replicas = {10, 11, 12};
+  std::map<NodeId, int> picks;
+  for (int i = 0; i < 300; ++i) {
+    const NodeId n = router.PickStable(replicas);
+    picks[n]++;
+    // Feed symmetric feedback so no replica ever looks permanently cheaper.
+    router.OnIssue(n);
+    router.OnReply(n, 100 * kUs, 0);
+  }
+  // All three replicas serve a meaningful share under symmetric costs.
+  ASSERT_EQ(picks.size(), 3u);
+  for (const auto& [node, count] : picks) {
+    EXPECT_GT(count, 30) << "replica " << node << " starved";
+  }
+  EXPECT_GT(stats.backup_routed, 0u);
+  EXPECT_LT(stats.backup_routed, stats.routed_reads);
+}
+
+TEST(ReplicaRouter, AvoidsSlowReplicaAfterFeedback) {
+  SimParams params;
+  Rng rng(9);
+  ReadPathStats stats;
+  ReplicaRouter router(&params, &rng, /*client_id=*/1, &stats);
+  const std::vector<NodeId> replicas = {10, 11};
+  // Teach the router: replica 11 is 50x slower than replica 10.
+  for (int i = 0; i < 8; ++i) {
+    router.OnIssue(10);
+    router.OnReply(10, 20 * kUs, 0);
+    router.OnIssue(11);
+    router.OnReply(11, 1 * kMs, 0);
+  }
+  int slow_picks = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (router.PickStable(replicas) == 11u) {
+      slow_picks++;
+    }
+  }
+  // p2c with a huge cost gap routes essentially everything to the fast replica; the
+  // residual slow picks come only from both-choices-identical draws (impossible with
+  // two replicas: the two choices are always distinct).
+  EXPECT_EQ(slow_picks, 0);
+  // Server-side queue feedback counts toward the cost estimate like RTT does.
+  router.OnIssue(10);
+  router.OnReply(10, 20 * kUs, /*server_queue_ns=*/10 * kMs);
+  EXPECT_GT(router.Score(10), router.Score(11));
+}
+
+TEST(ReplicaRouter, InflightPenaltyShedsLoad) {
+  SimParams params;
+  Rng rng(3);
+  ReadPathStats stats;
+  ReplicaRouter router(&params, &rng, /*client_id=*/1, &stats);
+  // Equal EWMAs, but replica 10 has a pile of our own unanswered reads.
+  for (NodeId n : {10u, 11u}) {
+    router.OnIssue(n);
+    router.OnReply(n, 100 * kUs, 0);
+  }
+  for (int i = 0; i < 4; ++i) {
+    router.OnIssue(10);
+  }
+  EXPECT_GT(router.Score(10), router.Score(11));
+}
+
+// --- TailCache ------------------------------------------------------------------------
+
+TEST(TailCache, MaxMergeAndTtl) {
+  TailCache cache;
+  LogPos d = 0, s = 0;
+  EXPECT_FALSE(cache.Get(100, 1 * kMs, &d, &s)) << "empty cache served a tail";
+
+  cache.Note(/*now=*/1000, /*durable=*/50, /*stable=*/40);
+  cache.Note(/*now=*/2000, /*durable=*/45, /*stable=*/42);  // durable regression ignored
+  ASSERT_TRUE(cache.Get(2500, 1 * kMs, &d, &s));
+  EXPECT_EQ(d, 50u);  // max-merged: a late, lower sample never shrinks the cache
+  EXPECT_EQ(s, 42u);
+
+  // Past the TTL the cache refuses to serve, but the monotone values remain readable
+  // through the raw accessors (routing decisions do not need freshness).
+  EXPECT_FALSE(cache.Get(2000 + 2 * kMs, 1 * kMs, &d, &s));
+  EXPECT_EQ(cache.stable(), 42u);
+  EXPECT_EQ(cache.durable(), 50u);
+}
+
+// --- ReadAheadCache -------------------------------------------------------------------
+
+PositionedRecord Rec(LogPos pos) {
+  PositionedRecord r;
+  r.pos = pos;
+  r.record.payload = Buf("r" + std::to_string(pos));
+  return r;
+}
+
+TEST(ReadAheadCache, ServesContiguousPrefixAndDropsBehind) {
+  ReadAheadCache cache;
+  cache.Insert({Rec(5), Rec(6), Rec(7), Rec(9)}, /*cap=*/16);
+  std::vector<PositionedRecord> out;
+  // Wrong start: nothing served, nothing dropped.
+  EXPECT_EQ(cache.TakePrefix(4, 3, &out), 0u);
+  EXPECT_EQ(cache.size(), 4u);
+  // Contiguous run 5..7 serves 3 then stops at the 8-gap; served entries are dropped.
+  EXPECT_EQ(cache.TakePrefix(5, 10, &out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].pos, 5u);
+  EXPECT_EQ(out[2].pos, 7u);
+  EXPECT_FALSE(cache.Covers(5));
+  EXPECT_TRUE(cache.Covers(9));
+}
+
+TEST(ReadAheadCache, CapEvictsOldestPositions) {
+  ReadAheadCache cache;
+  cache.Insert({Rec(1), Rec(2), Rec(3), Rec(4)}, /*cap=*/2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Covers(1));
+  EXPECT_FALSE(cache.Covers(2));
+  EXPECT_TRUE(cache.Covers(3));
+  EXPECT_TRUE(cache.Covers(4));
+}
+
+// --- cluster integration --------------------------------------------------------------
+
+ErwinClusterOptions Options(ErwinMode mode, uint32_t routing_mode) {
+  ErwinClusterOptions opt;
+  opt.mode = mode;
+  opt.num_shards = 2;
+  opt.shard_replication = 3;
+  opt.with_control_plane = true;
+  opt.params.client_read.read_routing_mode = routing_mode;
+  return opt;
+}
+
+// Appends `n` records and runs until the whole log is stable (checked via CheckTail).
+void FillLog(ErwinCluster& cluster, SharedLogClient& client, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(AppendSyncly(cluster.loop(), client, "rec-" + std::to_string(i)));
+  }
+  for (int round = 0; round < 50; ++round) {
+    const TailResult tail = TailSyncly(cluster.loop(), client);
+    if (tail.status.ok() && tail.stable >= n) {
+      return;
+    }
+    cluster.RunFor(5 * kMs);
+  }
+  FAIL() << "log never stabilized at " << n;
+}
+
+uint64_t TotalBackupReads(ErwinCluster& cluster) {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < cluster.num_shards(); ++s) {
+    for (uint32_t r = 0; r < cluster.shard_size(s); ++r) {
+      total += cluster.shard(s, r).stats().backup_reads;
+    }
+  }
+  return total;
+}
+
+uint64_t TotalMultiRangeReads(ErwinCluster& cluster) {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < cluster.num_shards(); ++s) {
+    for (uint32_t r = 0; r < cluster.shard_size(s); ++r) {
+      total += cluster.shard(s, r).stats().multirange_reads;
+    }
+  }
+  return total;
+}
+
+TEST(ReadRouting, StRoutedReadsHitBackupsAndStayCorrect) {
+  ErwinCluster cluster(Options(ErwinMode::kSt, /*routing_mode=*/2));
+  auto client = cluster.MakeStClient();
+  constexpr uint64_t kN = 48;
+  FillLog(cluster, *client, kN);
+
+  // Many independent ranged reads so p2c has real choices to make.
+  std::set<std::string> seen;
+  for (int pass = 0; pass < 6; ++pass) {
+    auto recs = ReadSyncly(cluster.loop(), *client, 0, kN, 10 * kSec);
+    ASSERT_TRUE(recs.has_value()) << "pass " << pass;
+    ASSERT_EQ(recs->size(), kN);
+    for (const auto& rec : *recs) {
+      seen.insert(rec.record.payload.ToString());
+    }
+  }
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(seen.count("rec-" + std::to_string(i)), 1u);
+  }
+
+  const ReadPathStatsSnapshot snap = client->ReadPathSnapshot();
+  EXPECT_GT(snap.counters.routed_reads, 0u);
+  EXPECT_GT(snap.counters.backup_routed, 0u) << "p2c never left the primary";
+  EXPECT_GT(snap.counters.coalesced_subs, 0u);
+  EXPECT_GT(snap.counters.coalesced_batches, 0u);
+  // Server side agrees: backups served reads, through the multi-range RPC.
+  EXPECT_GT(TotalBackupReads(cluster), 0u);
+  EXPECT_GT(TotalMultiRangeReads(cluster), 0u);
+}
+
+TEST(ReadRouting, ModeZeroPinsEveryReadToThePrimary) {
+  ErwinCluster cluster(Options(ErwinMode::kSt, /*routing_mode=*/0));
+  auto client = cluster.MakeStClient();
+  constexpr uint64_t kN = 24;
+  FillLog(cluster, *client, kN);
+  for (int pass = 0; pass < 4; ++pass) {
+    auto recs = ReadSyncly(cluster.loop(), *client, 0, kN, 10 * kSec);
+    ASSERT_TRUE(recs.has_value());
+    ASSERT_EQ(recs->size(), kN);
+  }
+  EXPECT_EQ(client->ReadPathSnapshot().counters.backup_routed, 0u);
+  EXPECT_EQ(TotalBackupReads(cluster), 0u);
+}
+
+TEST(ReadRouting, ChunkingSplitsLargeReadsIntoPipelinedRpcs) {
+  ErwinClusterOptions opt = Options(ErwinMode::kSt, /*routing_mode=*/2);
+  opt.params.client_read.read_chunk_records = 4;  // force chunking on small reads
+  opt.params.client_read.readahead_records = 0;   // isolate the chunk counters
+  ErwinCluster cluster(opt);
+  auto client = cluster.MakeStClient();
+  constexpr uint64_t kN = 32;
+  FillLog(cluster, *client, kN);
+  auto recs = ReadSyncly(cluster.loop(), *client, 0, kN, 10 * kSec);
+  ASSERT_TRUE(recs.has_value());
+  ASSERT_EQ(recs->size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ((*recs)[i].pos, i);
+  }
+  // 32 records over 2 shards at <=4 records per RPC means several chunk RPCs beyond
+  // the first per shard-run.
+  EXPECT_GT(client->ReadPathSnapshot().counters.chunk_rpcs, 0u);
+}
+
+TEST(ReadRouting, TailCacheAnswersAfterReadPiggyback) {
+  ErwinCluster cluster(Options(ErwinMode::kSt, /*routing_mode=*/2));
+  auto client = cluster.MakeStClient();
+  constexpr uint64_t kN = 8;
+  FillLog(cluster, *client, kN);
+  ASSERT_TRUE(ReadSyncly(cluster.loop(), *client, 0, kN, 10 * kSec).has_value());
+
+  // The read replies piggybacked the serving replica's tails: CachedTail answers
+  // without an RPC while fresh...
+  LogPos durable = 0, stable = 0;
+  ASSERT_TRUE(client->CachedTail(&durable, &stable));
+  EXPECT_GE(stable, kN);
+  EXPECT_GE(durable, stable);
+  EXPECT_GT(client->ReadPathSnapshot().counters.tail_cache_hits, 0u);
+
+  // ...and refuses once the TTL lapses with no traffic refreshing it.
+  cluster.RunFor(cluster.params().client_read.tail_cache_ttl_ns + 1 * kMs);
+  EXPECT_FALSE(client->CachedTail(&durable, &stable));
+}
+
+TEST(ReadRouting, SequentialReaderHitsReadahead) {
+  ErwinCluster cluster(Options(ErwinMode::kSt, /*routing_mode=*/2));
+  auto client = cluster.MakeStClient();
+  constexpr uint64_t kN = 40;
+  FillLog(cluster, *client, kN);
+
+  // A sequential single-record reader: after the first fetch the prefetcher should be
+  // feeding the cursor from the client-side cache.
+  for (uint64_t pos = 0; pos < kN; ++pos) {
+    auto recs = ReadSyncly(cluster.loop(), *client, pos, 1, 10 * kSec);
+    ASSERT_TRUE(recs.has_value()) << "pos " << pos;
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ((*recs)[0].record.payload.ToString(), "rec-" + std::to_string(pos));
+  }
+  const ReadPathStatsSnapshot snap = client->ReadPathSnapshot();
+  EXPECT_GT(snap.counters.readahead_fetched, 0u);
+  EXPECT_GT(snap.counters.readahead_hits, 0u);
+}
+
+TEST(ReadRouting, PosmapReadaheadParamAmortizesFetches) {
+  // posmap_readahead is the fetch-span floor: a sequential single-record reader with a
+  // span of 4 needs a mapping RPC every 4 positions, while the default span covers the
+  // whole scan in one fetch. Record prefetch is disabled so only the mapping path runs.
+  auto scan = [](uint64_t span) {
+    ErwinClusterOptions opts = Options(ErwinMode::kSt, /*routing_mode=*/2);
+    opts.params.client_read.posmap_readahead = span;
+    opts.params.client_read.readahead_records = 0;
+    ErwinCluster cluster(opts);
+    auto client = cluster.MakeStClient();
+    constexpr uint64_t kN = 24;
+    FillLog(cluster, *client, kN);
+    for (uint64_t pos = 0; pos < kN; ++pos) {
+      auto recs = ReadSyncly(cluster.loop(), *client, pos, 1, 10 * kSec);
+      EXPECT_TRUE(recs.has_value()) << "pos " << pos;
+      if (recs.has_value()) {
+        EXPECT_EQ((*recs)[0].record.payload.ToString(), "rec-" + std::to_string(pos));
+      }
+    }
+    return client->posmap_fetches();
+  };
+  const uint64_t small_span_fetches = scan(4);
+  const uint64_t default_span_fetches = scan(1024);
+  EXPECT_GE(small_span_fetches, 24u / 4) << "posmap_readahead=4 not honored";
+  EXPECT_LT(default_span_fetches, small_span_fetches);
+}
+
+TEST(ReadRouting, MModeRoutesStableReadsAndFallsBackAboveStable) {
+  ErwinCluster cluster(Options(ErwinMode::kM, /*routing_mode=*/2));
+  auto client = cluster.MakeMClient();
+  constexpr uint64_t kN = 36;
+  FillLog(cluster, *client, kN);
+
+  // The CheckTail in FillLog primed the tail cache, so the whole prefix is known
+  // stable and every sub goes through the router.
+  std::set<std::string> seen;
+  for (int pass = 0; pass < 6; ++pass) {
+    auto recs = ReadSyncly(cluster.loop(), *client, 0, kN, 10 * kSec);
+    ASSERT_TRUE(recs.has_value());
+    ASSERT_EQ(recs->size(), kN);
+    for (const auto& rec : *recs) {
+      seen.insert(rec.record.payload.ToString());
+    }
+  }
+  EXPECT_EQ(seen.size(), kN);
+  const ReadPathStatsSnapshot snap = client->ReadPathSnapshot();
+  EXPECT_GT(snap.counters.routed_reads, 0u);
+  EXPECT_GT(snap.counters.backup_routed, 0u);
+  EXPECT_GT(TotalBackupReads(cluster), 0u);
+
+  // A reader with no stable knowledge (fresh client, no CheckTail yet) must still be
+  // correct: its subs take the classic waiting-primary path.
+  auto fresh = cluster.MakeMClient();
+  auto recs = ReadSyncly(cluster.loop(), *fresh, 0, kN, 10 * kSec);
+  ASSERT_TRUE(recs.has_value());
+  ASSERT_EQ(recs->size(), kN);
+  EXPECT_GT(fresh->ReadPathSnapshot().counters.primary_reads, 0u);
+}
+
+TEST(ReadRouting, SnapshotFieldsExportEveryCounter) {
+  ReadPathStatsSnapshot snap;
+  snap.counters.routed_reads = 3;
+  snap.counters.backup_routed = 2;
+  std::set<std::string> names;
+  for (const auto& [name, value] : snap.Fields()) {
+    names.insert(name);
+    if (name == "routed_reads") {
+      EXPECT_EQ(value, 3.0);
+    }
+  }
+  for (const char* required :
+       {"routed_reads", "backup_routed", "primary_reads", "coalesced_batches",
+        "coalesced_subs", "chunk_rpcs", "clipped_resends", "tail_cache_hits",
+        "readahead_hits", "readahead_fetched"}) {
+    EXPECT_EQ(names.count(required), 1u) << required;
+  }
+}
+
+}  // namespace
+}  // namespace lazylog
